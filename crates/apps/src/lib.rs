@@ -1,0 +1,16 @@
+//! # parcomm-apps — application kernels
+//!
+//! The paper's two application-level evaluations (§VI-D): a multi-GPU 2-D
+//! Jacobi solver with halo exchange (traditional vs GPU-initiated
+//! partitioned), and a data-parallel deep-learning proxy (binary
+//! cross-entropy kernel + gradient allreduce in traditional, partitioned,
+//! and NCCL variants).
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod deep_learning;
+mod jacobi;
+
+pub use deep_learning::{nccl_for_world, run_dl, DlConfig, DlModel, DlResult};
+pub use jacobi::{jacobi_reference, process_grid, run_jacobi, JacobiConfig, JacobiModel, JacobiResult};

@@ -1,0 +1,191 @@
+//! Application tests: the distributed Jacobi solver must reproduce the
+//! single-rank reference bit-for-bit in every communication model, and the
+//! DL proxy must produce identical losses across models.
+
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use parcomm_apps::{
+    jacobi_reference, process_grid, run_dl, run_jacobi, nccl_for_world, DlConfig, DlModel,
+    JacobiConfig, JacobiModel,
+};
+use parcomm_core::CopyMechanism;
+use parcomm_mpi::MpiWorld;
+use parcomm_sim::{SimConfig, Simulation};
+
+#[test]
+fn process_grids_match_paper() {
+    assert_eq!(process_grid(4), (2, 2));
+    assert_eq!(process_grid(8), (4, 2));
+    assert_eq!(process_grid(1), (1, 1));
+}
+
+/// Run the distributed solver and return (checksum, elapsed µs) from rank 0
+/// plus the global field reassembled? Checksum-of-sums suffices: the
+/// reference's interior sum must equal the sum of all ranks' interior sums.
+fn distributed_checksum(nodes: u16, model: JacobiModel, iterations: usize) -> f64 {
+    let mut sim = Simulation::new(SimConfig::default());
+    let world = MpiWorld::gh200(&sim, nodes);
+    let sums = Arc::new(Mutex::new(Vec::new()));
+    let s2 = sums.clone();
+    world.run_ranks(&mut sim, move |ctx, rank| {
+        let cfg = JacobiConfig { iterations, ..JacobiConfig::functional_test(model) };
+        let result = run_jacobi(ctx, rank, &cfg);
+        s2.lock().push(result.checksum);
+    });
+    sim.run().unwrap();
+    let sums = sums.lock();
+    sums.iter().sum()
+}
+
+fn reference_checksum(size: usize, iterations: usize) -> f64 {
+    let (px, py) = process_grid(size);
+    let (gh, gw) = (16 * py, 16 * px);
+    let field = jacobi_reference(gh, gw, iterations);
+    let pitch = gw + 2;
+    (1..=gh).map(|i| field[i * pitch + 1..i * pitch + 1 + gw].iter().sum::<f64>()).sum()
+}
+
+#[test]
+fn jacobi_traditional_matches_reference() {
+    let dist = distributed_checksum(1, JacobiModel::Traditional, 6);
+    let reference = reference_checksum(4, 6);
+    assert!(
+        (dist - reference).abs() < 1e-9,
+        "traditional: distributed {dist} vs reference {reference}"
+    );
+}
+
+#[test]
+fn jacobi_partitioned_pe_matches_reference() {
+    let dist = distributed_checksum(1, JacobiModel::Partitioned(CopyMechanism::ProgressionEngine), 6);
+    let reference = reference_checksum(4, 6);
+    assert!(
+        (dist - reference).abs() < 1e-9,
+        "partitioned/PE: distributed {dist} vs reference {reference}"
+    );
+}
+
+#[test]
+fn jacobi_partitioned_kernel_copy_matches_reference() {
+    let dist = distributed_checksum(1, JacobiModel::Partitioned(CopyMechanism::KernelCopy), 6);
+    let reference = reference_checksum(4, 6);
+    assert!(
+        (dist - reference).abs() < 1e-9,
+        "partitioned/KC: distributed {dist} vs reference {reference}"
+    );
+}
+
+#[test]
+fn jacobi_two_nodes_matches_reference() {
+    // 8 ranks (4×2 grid), kernel copy falls back to PE across nodes.
+    let dist = distributed_checksum(2, JacobiModel::Partitioned(CopyMechanism::KernelCopy), 5);
+    let reference = reference_checksum(8, 5);
+    assert!(
+        (dist - reference).abs() < 1e-9,
+        "2-node: distributed {dist} vs reference {reference}"
+    );
+}
+
+#[test]
+fn jacobi_partitioned_beats_traditional_two_nodes() {
+    // Paper Fig. 9: up to 1.30× on two nodes; shape check: partitioned
+    // strictly faster at small multipliers.
+    fn timed(model: JacobiModel) -> f64 {
+        let mut sim = Simulation::new(SimConfig::default());
+        let world = MpiWorld::gh200(&sim, 2);
+        let out = Arc::new(Mutex::new(0.0));
+        let o2 = out.clone();
+        world.run_ranks(&mut sim, move |ctx, rank| {
+            let cfg = JacobiConfig {
+                base_h: 64,
+                base_w: 64,
+                multiplier: 8,
+                iterations: 20,
+                functional: false,
+                model,
+                stencil_gbps: 300.0,
+            };
+            let result = run_jacobi(ctx, rank, &cfg);
+            if rank.rank() == 0 {
+                *o2.lock() = result.elapsed.as_micros_f64();
+            }
+        });
+        sim.run().unwrap();
+        let v = *out.lock();
+        v
+    }
+    let trad = timed(JacobiModel::Traditional);
+    let part = timed(JacobiModel::Partitioned(CopyMechanism::KernelCopy));
+    assert!(
+        part < trad,
+        "partitioned Jacobi ({part} µs) must beat traditional ({trad} µs) on 2 nodes"
+    );
+}
+
+#[test]
+fn dl_losses_agree_across_models() {
+    let mut losses = Vec::new();
+    for model in [DlModel::Traditional, DlModel::Partitioned, DlModel::Nccl] {
+        let mut sim = Simulation::new(SimConfig::default());
+        let world = MpiWorld::gh200(&sim, 1);
+        let nccl = nccl_for_world(&world);
+        let out = Arc::new(Mutex::new(0.0));
+        let o2 = out.clone();
+        world.run_ranks(&mut sim, move |ctx, rank| {
+            let cfg = DlConfig {
+                elements: 4096,
+                partitions: 4,
+                steps: 2,
+                functional: true,
+                model,
+            };
+            let result = run_dl(ctx, rank, &cfg, Some(&nccl));
+            if rank.rank() == 0 {
+                *o2.lock() = result.loss;
+            }
+        });
+        sim.run().unwrap();
+        let v = *out.lock();
+        losses.push(v);
+    }
+    assert!(losses[0] > 0.0);
+    assert!(
+        (losses[0] - losses[1]).abs() < 1e-9 && (losses[1] - losses[2]).abs() < 1e-9,
+        "all three models must synchronize identical gradients: {losses:?}"
+    );
+}
+
+#[test]
+fn dl_model_ordering_matches_paper() {
+    // Figs. 10/11: NCCL < Partitioned < Traditional (per-step time).
+    fn timed(model: DlModel) -> f64 {
+        let mut sim = Simulation::new(SimConfig::default());
+        let world = MpiWorld::gh200(&sim, 1);
+        let nccl = nccl_for_world(&world);
+        let out = Arc::new(Mutex::new(0.0));
+        let o2 = out.clone();
+        world.run_ranks(&mut sim, move |ctx, rank| {
+            let cfg = DlConfig {
+                elements: 1 << 20, // 8 MB of gradients
+                partitions: 4,
+                steps: 3,
+                functional: false,
+                model,
+            };
+            let result = run_dl(ctx, rank, &cfg, Some(&nccl));
+            if rank.rank() == 0 {
+                *o2.lock() = result.per_step.as_micros_f64();
+            }
+        });
+        sim.run().unwrap();
+        let v = *out.lock();
+        v
+    }
+    let trad = timed(DlModel::Traditional);
+    let part = timed(DlModel::Partitioned);
+    let nccl = timed(DlModel::Nccl);
+    assert!(nccl < part, "NCCL ({nccl} µs) must beat partitioned ({part} µs)");
+    assert!(part < trad, "partitioned ({part} µs) must beat traditional ({trad} µs)");
+}

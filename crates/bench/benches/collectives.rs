@@ -1,0 +1,90 @@
+//! Criterion benchmarks of complete collective simulations: partitioned
+//! allreduce (schedule engine), the traditional host-staged baseline, and
+//! the NCCL model, across world sizes.
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use parking_lot::Mutex;
+
+use parcomm_apps::nccl_for_world;
+use parcomm_coll::pallreduce_init;
+use parcomm_gpu::KernelSpec;
+use parcomm_mpi::MpiWorld;
+use parcomm_sim::Simulation;
+
+#[derive(Copy, Clone)]
+enum Which {
+    Partitioned,
+    Traditional,
+    Nccl,
+}
+
+fn run_once(nodes: u16, which: Which) -> f64 {
+    let mut sim = Simulation::with_seed(0xC011);
+    let world = MpiWorld::gh200(&sim, nodes);
+    let nccl = nccl_for_world(&world);
+    let out = Arc::new(Mutex::new(0.0f64));
+    let o2 = out.clone();
+    world.run_ranks(&mut sim, move |ctx, rank| {
+        let partitions = 4usize;
+        let n = partitions * rank.size() * 256;
+        let buf = rank.gpu().alloc_global(n * 8);
+        let stream = rank.gpu().create_stream();
+        match which {
+            Which::Partitioned => {
+                let coll = pallreduce_init(ctx, rank, &buf, partitions, &stream, 90);
+                coll.start(ctx);
+                coll.pbuf_prepare(ctx);
+                let c2 = coll.clone();
+                stream.launch(ctx, KernelSpec::vector_add(4, 1024), move |d| {
+                    c2.pready_device_all(d)
+                });
+                coll.wait(ctx);
+            }
+            Which::Traditional => {
+                stream.launch(ctx, KernelSpec::vector_add(4, 1024), |_| {});
+                stream.synchronize(ctx);
+                rank.allreduce_hoststaged_f64(ctx, &buf, 0, n, &stream);
+            }
+            Which::Nccl => {
+                stream.launch(ctx, KernelSpec::vector_add(4, 1024), |_| {});
+                let done = nccl.all_reduce_f64(ctx, rank.rank(), &buf, 0, n, &stream);
+                ctx.wait(&done);
+            }
+        }
+        if rank.rank() == 0 {
+            *o2.lock() = ctx.now().as_micros_f64();
+        }
+    });
+    sim.run().expect("bench run");
+    let v = *out.lock();
+    v
+}
+
+fn bench_collectives(c: &mut Criterion) {
+    let mut g = c.benchmark_group("collectives/allreduce_sim");
+    for nodes in [1u16, 2] {
+        g.bench_with_input(
+            BenchmarkId::new("partitioned", nodes),
+            &nodes,
+            |b, &nodes| b.iter(|| run_once(nodes, Which::Partitioned)),
+        );
+        g.bench_with_input(
+            BenchmarkId::new("traditional", nodes),
+            &nodes,
+            |b, &nodes| b.iter(|| run_once(nodes, Which::Traditional)),
+        );
+        g.bench_with_input(BenchmarkId::new("nccl", nodes), &nodes, |b, &nodes| {
+            b.iter(|| run_once(nodes, Which::Nccl))
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_collectives
+}
+criterion_main!(benches);

@@ -1,0 +1,221 @@
+//! Ablation studies on the design choices DESIGN.md §7 calls out:
+//!
+//! - **Progression-engine poll interval**: the PE-copy path's latency is
+//!   bounded below by how often the host progress thread looks at the
+//!   pinned notification flags.
+//! - **Transport partition count**: how many puts an epoch is split into
+//!   (the paper reports one best intra-node, two best inter-node for
+//!   large kernels).
+//! - **Multi-block counter aggregation**: GPU-global counters collapsing
+//!   per-block notifications into one host write per transport partition.
+
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use parcomm_core::{precv_init, prequest_create, psend_init, CopyMechanism, PrequestConfig};
+use parcomm_gpu::{AggLevel, KernelSpec};
+use parcomm_mpi::{MpiWorld, WorldConfig};
+use parcomm_sim::Simulation;
+
+use crate::p2p::{goodput_gbps, measure, P2pMode, P2pParams};
+use crate::report::Experiment;
+
+/// Poll-interval sensitivity of the Progression-Engine copy path.
+pub fn run_poll_interval(quick: bool) -> Experiment {
+    let polls = if quick { vec![0.5f64, 4.0] } else { vec![0.1, 0.25, 0.5, 1.0, 2.0, 4.0, 8.0] };
+    let mut exp = Experiment::new(
+        "ablation_poll",
+        "PE-copy single-epoch latency (µs) vs progression-engine poll interval",
+        &["poll_us", "epoch_us"],
+    );
+    for &poll in &polls {
+        exp.push_row(vec![poll, pe_epoch_with_poll(poll)]);
+    }
+    let first = exp.rows.first().map(|r| r[1]).unwrap_or(0.0);
+    let last = exp.rows.last().map(|r| r[1]).unwrap_or(0.0);
+    exp.note(format!(
+        "epoch latency grows {:.1} µs across the sweep — roughly the added mean poll delay; \
+         sub-µs polling buys little because the put-post and wire latencies dominate",
+        last - first
+    ));
+    exp
+}
+
+fn pe_epoch_with_poll(poll_us: f64) -> f64 {
+    let mut sim = Simulation::with_seed(0xAB01);
+    let mut config = WorldConfig::gh200(1);
+    config.progress_poll_us = poll_us;
+    let world = MpiWorld::new(&sim, config);
+    let out = Arc::new(Mutex::new(0.0f64));
+    let o2 = out.clone();
+    world.run_ranks(&mut sim, move |ctx, rank| {
+        let parts = 256usize;
+        let buf = rank.gpu().alloc_global(parts * 8);
+        let stream = rank.gpu().create_stream();
+        match rank.rank() {
+            0 => {
+                let sreq = psend_init(ctx, rank, 1, 6, &buf, parts);
+                sreq.start(ctx);
+                sreq.pbuf_prepare(ctx);
+                let preq = prequest_create(ctx, rank, &sreq, PrequestConfig::default()).unwrap();
+                let t0 = ctx.now();
+                let p2 = preq.clone();
+                stream.launch(ctx, KernelSpec::vector_add(1, 256), move |d| p2.pready_all(d));
+                sreq.wait(ctx);
+                *o2.lock() = ctx.now().since(t0).as_micros_f64();
+            }
+            1 => {
+                let rreq = precv_init(ctx, rank, 0, 6, &buf, parts);
+                rreq.start(ctx);
+                rreq.pbuf_prepare(ctx);
+                rreq.wait(ctx);
+            }
+            _ => {}
+        }
+    });
+    sim.run().expect("poll ablation");
+    let v = *out.lock();
+    v
+}
+
+/// Transport-partition sweep, intra-node and inter-node (the paper's
+/// §VI-A finding: one best intra-node, two best inter-node for large
+/// kernels).
+pub fn run_transport_sweep(quick: bool) -> Experiment {
+    let transports = if quick { vec![1usize, 2] } else { vec![1, 2, 4, 8, 16] };
+    let grid = 2048u32; // 16 MB payload: squarely in the large regime
+    let mut exp = Experiment::new(
+        "ablation_transport",
+        "Goodput (GB/s) vs transport partition count, 2048-grid kernels",
+        &["transports", "intra_gbps", "inter_gbps"],
+    );
+    for &t in &transports {
+        let intra = measure(
+            P2pParams {
+                nodes: 1,
+                sender: 0,
+                receiver: 1,
+                grid,
+                block: 1024,
+                iters: if quick { 2 } else { 8 },
+                seed: 0xAB02,
+            },
+            P2pMode::Partitioned {
+                copy: CopyMechanism::ProgressionEngine,
+                agg: AggLevel::Block,
+                transports: t,
+            },
+        );
+        let inter = measure(
+            P2pParams {
+                nodes: 2,
+                sender: 0,
+                receiver: 4,
+                grid,
+                block: 1024,
+                iters: if quick { 2 } else { 8 },
+                seed: 0xAB03,
+            },
+            P2pMode::Partitioned {
+                copy: CopyMechanism::ProgressionEngine,
+                agg: AggLevel::Block,
+                transports: t,
+            },
+        );
+        let bytes = grid as usize * 1024 * 8;
+        exp.push_row(vec![t as f64, goodput_gbps(bytes, intra), goodput_gbps(bytes, inter)]);
+    }
+    let knee_intra = knee_row(&exp, 1);
+    let knee_inter = knee_row(&exp, 2);
+    exp.note(format!(
+        "gains knee (≥98% of best) at {knee_intra} transport partition(s) intra-node and \
+         {knee_inter} inter-node — splitting beyond a couple of puts buys almost nothing, \
+         consistent with the paper settling on 1 (intra) / 2 (inter); our per-put software \
+         cost is small relative to the compute-overlap gain, so the curve stays weakly \
+         monotone instead of peaking"
+    ));
+    exp
+}
+
+/// Smallest transport count achieving ≥ 98 % of the column's best value.
+fn knee_row(exp: &Experiment, col: usize) -> usize {
+    let best = exp.rows.iter().map(|r| r[col]).fold(f64::MIN, f64::max);
+    exp.rows
+        .iter()
+        .find(|r| r[col] >= 0.98 * best)
+        .map(|r| r[0] as usize)
+        .unwrap_or(0)
+}
+
+/// Multi-block counter aggregation on/off across grid sizes.
+pub fn run_counter_aggregation(quick: bool) -> Experiment {
+    let grids = if quick { vec![4u32, 64] } else { vec![2, 8, 32, 128, 512] };
+    let mut exp = Experiment::new(
+        "ablation_counters",
+        "Device pready kernel extension (µs): per-block writes vs GPU-global counters",
+        &["blocks", "per_block_us", "counters_us"],
+    );
+    for &grid in &grids {
+        exp.push_row(vec![
+            grid as f64,
+            pready_ext(grid, false),
+            pready_ext(grid, true),
+        ]);
+    }
+    exp.note(
+        "counters keep the cost flat in the block count (one host write per transport \
+         partition plus cheap global atomics) — the paper's design for multi-block kernels",
+    );
+    exp
+}
+
+fn pready_ext(grid: u32, counters: bool) -> f64 {
+    let mut sim = Simulation::with_seed(0xAB04 ^ grid as u64);
+    let world = MpiWorld::gh200(&sim, 1);
+    let out = Arc::new(Mutex::new(0.0f64));
+    let o2 = out.clone();
+    world.run_ranks(&mut sim, move |ctx, rank| {
+        let parts = grid as usize * 1024;
+        let buf = rank.gpu().alloc_global(parts * 8);
+        let stream = rank.gpu().create_stream();
+        match rank.rank() {
+            0 => {
+                let sreq = psend_init(ctx, rank, 1, 8, &buf, parts);
+                sreq.start(ctx);
+                sreq.pbuf_prepare(ctx);
+                let preq = prequest_create(
+                    ctx,
+                    rank,
+                    &sreq,
+                    PrequestConfig {
+                        copy: CopyMechanism::ProgressionEngine,
+                        agg: AggLevel::Block,
+                        transport_partitions: 1,
+                        multi_block_counters: counters,
+                    },
+                )
+                .unwrap();
+                let plain = stream.launch(ctx, KernelSpec::vector_add(grid, 1024), |_| {});
+                ctx.wait(&plain.done);
+                let p2 = preq.clone();
+                let with = stream
+                    .launch(ctx, KernelSpec::vector_add(grid, 1024), move |d| p2.pready_all(d));
+                ctx.wait(&with.done);
+                sreq.wait(ctx);
+                *o2.lock() =
+                    with.duration().as_micros_f64() - plain.duration().as_micros_f64();
+            }
+            1 => {
+                let rreq = precv_init(ctx, rank, 0, 8, &buf, parts);
+                rreq.start(ctx);
+                rreq.pbuf_prepare(ctx);
+                rreq.wait(ctx);
+            }
+            _ => {}
+        }
+    });
+    sim.run().expect("counter ablation");
+    let v = *out.lock();
+    v
+}

@@ -1,0 +1,10 @@
+//! Run the three ablation studies (poll interval, transport partitions,
+//! multi-block counters). Pass `--quick` for reduced sweeps.
+use parcomm_bench as b;
+
+fn main() {
+    let q = b::quick_mode();
+    b::ablations::run_poll_interval(q).emit();
+    b::ablations::run_transport_sweep(q).emit();
+    b::ablations::run_counter_aggregation(q).emit();
+}

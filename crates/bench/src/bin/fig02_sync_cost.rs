@@ -1,0 +1,4 @@
+//! Regenerate Fig. 2. Pass `--quick` for a reduced sweep.
+fn main() {
+    parcomm_bench::fig02::run(parcomm_bench::quick_mode()).emit();
+}

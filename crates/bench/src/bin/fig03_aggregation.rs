@@ -1,0 +1,4 @@
+//! Regenerate Fig. 3. Pass `--quick` for a reduced sweep.
+fn main() {
+    parcomm_bench::fig03::run(parcomm_bench::quick_mode()).emit();
+}

@@ -1,0 +1,4 @@
+//! Regenerate Fig. 4. Pass `--quick` for a reduced sweep.
+fn main() {
+    parcomm_bench::fig0405::run_fig04(parcomm_bench::quick_mode()).emit();
+}

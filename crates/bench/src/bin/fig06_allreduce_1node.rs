@@ -1,0 +1,4 @@
+//! Regenerate Fig. 6. Pass `--quick` for a reduced sweep.
+fn main() {
+    parcomm_bench::fig0607::run_fig06(parcomm_bench::quick_mode()).emit();
+}

@@ -1,0 +1,4 @@
+//! Regenerate Fig. 7. Pass `--quick` for a reduced sweep.
+fn main() {
+    parcomm_bench::fig0607::run_fig07(parcomm_bench::quick_mode()).emit();
+}

@@ -1,0 +1,4 @@
+//! Regenerate Fig. 9. Pass `--quick` for a reduced sweep.
+fn main() {
+    parcomm_bench::fig0809::run_fig09(parcomm_bench::quick_mode()).emit();
+}

@@ -1,0 +1,4 @@
+//! Regenerate Fig. 11. Pass `--quick` for a reduced sweep.
+fn main() {
+    parcomm_bench::fig1011::run_fig11(parcomm_bench::quick_mode()).emit();
+}

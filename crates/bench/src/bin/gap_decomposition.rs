@@ -1,0 +1,93 @@
+//! Decompose the NCCL gap (paper §VI-B): where does the partitioned
+//! allreduce's extra time go? The paper attributes it to the in-schedule
+//! reduction kernels and their `cudaStreamSynchronize` calls; this
+//! harness traces the measured interval and prints the occupancy of each
+//! category for the partitioned allreduce vs NCCL (1K-grid, 4 GH200).
+
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use parcomm_apps::nccl_for_world;
+use parcomm_coll::pallreduce_init;
+use parcomm_gpu::KernelSpec;
+use parcomm_mpi::MpiWorld;
+use parcomm_sim::{SimTime, Simulation};
+
+fn main() {
+    let n = 1024usize * 1024; // 1K grids × 1024 threads × 8 B = 8 MB
+    for partitioned in [true, false] {
+        let label = if partitioned { "partitioned allreduce" } else { "ncclAllReduce" };
+        let mut sim = Simulation::with_seed(0xDEC0);
+        let trace = sim.trace();
+        let world = MpiWorld::gh200(&sim, 1);
+        let nccl = nccl_for_world(&world);
+        let window = Arc::new(Mutex::new((SimTime::ZERO, SimTime::ZERO)));
+        let w2 = window.clone();
+        let trace2 = trace.clone();
+        world.run_ranks(&mut sim, move |ctx, rank| {
+            let buf = rank.gpu().alloc_global(n * 8);
+            let stream = rank.gpu().create_stream();
+            let grid = (n as u32).div_ceil(1024);
+            let coll = if partitioned {
+                Some(pallreduce_init(ctx, rank, &buf, 4, &stream, 7))
+            } else {
+                None
+            };
+            // Warm-up epoch: first-call pbuf_prepare and setup exchange
+            // happen outside the measured region.
+            if let Some(c) = &coll {
+                c.start(ctx);
+                c.pbuf_prepare(ctx);
+                for u in 0..4 {
+                    c.pready(ctx, u);
+                }
+                c.wait(ctx);
+            }
+            rank.barrier(ctx);
+            if rank.rank() == 0 {
+                trace2.enable(); // record only the measured region
+                w2.lock().0 = ctx.now();
+            }
+            if let Some(c) = &coll {
+                c.start(ctx);
+                c.pbuf_prepare(ctx);
+                let c2 = c.clone();
+                stream.launch(ctx, KernelSpec::vector_add(grid, 1024), move |d| {
+                    c2.pready_device_all(d)
+                });
+                c.wait(ctx);
+            } else {
+                stream.launch(ctx, KernelSpec::vector_add(grid, 1024), |_| {});
+                let done = nccl.all_reduce_f64(ctx, rank.rank(), &buf, 0, n, &stream);
+                ctx.wait(&done);
+            }
+            if rank.rank() == 0 {
+                w2.lock().1 = ctx.now();
+            }
+        });
+        sim.run().expect("decomposition run");
+        let (from, to) = *window.lock();
+        let total = to.since(from);
+        println!("== {label}: measured interval {total} ==");
+        let summary = trace.summarize(from, to);
+        for (cat, s) in &summary {
+            println!(
+                "  {cat:<12} {:>6} spans   {:>12} occupancy ({:.1}% of elapsed × 4 ranks)",
+                s.count,
+                s.total,
+                100.0 * s.total.as_micros_f64() / (4.0 * total.as_micros_f64())
+            );
+        }
+        if partitioned {
+            let sync = summary.get("stream_sync").copied().unwrap_or_default();
+            println!(
+                "  → {} stream synchronizations inside the schedule totalling {} across \
+                 ranks: the structural cost NCCL's fused ring avoids (paper §VI-B)\n",
+                sync.count, sync.total
+            );
+        } else {
+            println!();
+        }
+    }
+}

@@ -1,0 +1,11 @@
+//! Partitioned-communication micro-benchmarks (latency, partition-count
+//! overhead, overlap efficiency), in the style of the authors' ICPP'22
+//! suite. Pass `--quick` for reduced sweeps.
+use parcomm_bench as b;
+
+fn main() {
+    let q = b::quick_mode();
+    b::pbench::run_latency(q).emit();
+    b::pbench::run_partition_overhead(q).emit();
+    b::pbench::run_overlap(q).emit();
+}

@@ -1,0 +1,18 @@
+//! Run every table/figure harness in paper order. Pass `--quick` for a
+//! smoke run; set `PARCOMM_RESULTS_DIR` to save JSON next to the text.
+use parcomm_bench as b;
+
+fn main() {
+    let q = b::quick_mode();
+    b::fig02::run(q).emit();
+    b::fig03::run(q).emit();
+    b::fig0405::run_fig04(q).emit();
+    b::fig0405::run_fig05(q).emit();
+    b::fig0607::run_fig06(q).emit();
+    b::fig0607::run_fig07(q).emit();
+    b::table1::run(q).emit();
+    b::fig0809::run_fig08(q).emit();
+    b::fig0809::run_fig09(q).emit();
+    b::fig1011::run_fig10(q).emit();
+    b::fig1011::run_fig11(q).emit();
+}

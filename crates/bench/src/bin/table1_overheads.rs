@@ -1,0 +1,4 @@
+//! Regenerate Table I. Pass `--quick` for a reduced sweep.
+fn main() {
+    parcomm_bench::table1::run(parcomm_bench::quick_mode()).emit();
+}

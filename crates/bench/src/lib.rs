@@ -1,0 +1,24 @@
+//! # parcomm-bench — experiment harnesses
+//!
+//! One module per table/figure of the paper's evaluation (§VI); each has a
+//! `run(quick) -> Experiment` entry point and a thin binary wrapper in
+//! `src/bin/`. `reproduce_all` runs everything and `EXPERIMENTS.md`
+//! records the outputs. Set `PARCOMM_RESULTS_DIR` to also write JSON.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod ablations;
+pub mod fig02;
+pub mod fig03;
+pub mod fig0405;
+pub mod fig0607;
+pub mod fig0809;
+pub mod fig1011;
+pub mod p2p;
+pub mod pbench;
+pub mod report;
+pub mod stats;
+pub mod table1;
+
+pub use report::{quick_mode, Experiment};

@@ -1,0 +1,131 @@
+//! Experiment result container and rendering: aligned text tables for the
+//! terminal plus JSON for EXPERIMENTS.md bookkeeping.
+
+use serde::Serialize;
+
+/// One reproduced table or figure.
+#[derive(Serialize, Clone, Debug)]
+pub struct Experiment {
+    /// Paper label, e.g. `"fig04"`.
+    pub id: String,
+    /// Human title.
+    pub title: String,
+    /// Column headers; column 0 is the x-axis parameter.
+    pub columns: Vec<String>,
+    /// One row per parameter point.
+    pub rows: Vec<Vec<f64>>,
+    /// Free-form observations (shape checks, paper anchors).
+    pub notes: Vec<String>,
+}
+
+impl Experiment {
+    /// Create an empty experiment.
+    pub fn new(id: &str, title: &str, columns: &[&str]) -> Experiment {
+        Experiment {
+            id: id.to_string(),
+            title: title.to_string(),
+            columns: columns.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+            notes: Vec::new(),
+        }
+    }
+
+    /// Append a data row (must match the column count).
+    pub fn push_row(&mut self, row: Vec<f64>) {
+        assert_eq!(row.len(), self.columns.len(), "row width mismatch in {}", self.id);
+        self.rows.push(row);
+    }
+
+    /// Append an observation note.
+    pub fn note(&mut self, s: impl Into<String>) {
+        self.notes.push(s.into());
+    }
+
+    /// Render as an aligned text table.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("== {} — {} ==\n", self.id, self.title));
+        let width = 14usize;
+        let header: Vec<String> =
+            self.columns.iter().map(|c| format!("{c:>width$}")).collect();
+        out.push_str(&header.join(" "));
+        out.push('\n');
+        for row in &self.rows {
+            let cells: Vec<String> = row
+                .iter()
+                .map(|v| {
+                    if v.abs() >= 1e6 || (v.abs() < 1e-3 && *v != 0.0) {
+                        format!("{v:>width$.3e}")
+                    } else {
+                        format!("{v:>width$.3}")
+                    }
+                })
+                .collect();
+            out.push_str(&cells.join(" "));
+            out.push('\n');
+        }
+        for n in &self.notes {
+            out.push_str(&format!("   note: {n}\n"));
+        }
+        out
+    }
+
+    /// Serialize to JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("experiment serializes")
+    }
+
+    /// Print to stdout and, if `PARCOMM_RESULTS_DIR` is set, write
+    /// `<dir>/<id>.json`.
+    pub fn emit(&self) {
+        println!("{}", self.render());
+        if let Ok(dir) = std::env::var("PARCOMM_RESULTS_DIR") {
+            let path = std::path::Path::new(&dir).join(format!("{}.json", self.id));
+            if let Err(e) = std::fs::create_dir_all(&dir)
+                .and_then(|_| std::fs::write(&path, self.to_json()))
+            {
+                eprintln!("warning: could not write {path:?}: {e}");
+            }
+        }
+    }
+}
+
+/// True when the harness should run a reduced sweep (CI / smoke runs):
+/// either `--quick` on the command line or `PARCOMM_QUICK=1`.
+pub fn quick_mode() -> bool {
+    std::env::args().any(|a| a == "--quick")
+        || std::env::var("PARCOMM_QUICK").map(|v| v == "1").unwrap_or(false)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_includes_all_parts() {
+        let mut e = Experiment::new("figX", "demo", &["grid", "a", "b"]);
+        e.push_row(vec![1.0, 2.5, 3.25]);
+        e.note("shape ok");
+        let s = e.render();
+        assert!(s.contains("figX"));
+        assert!(s.contains("grid"));
+        assert!(s.contains("3.25"));
+        assert!(s.contains("shape ok"));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn row_width_checked() {
+        let mut e = Experiment::new("figY", "demo", &["a", "b"]);
+        e.push_row(vec![1.0]);
+    }
+
+    #[test]
+    fn json_roundtrip_shape() {
+        let mut e = Experiment::new("figZ", "demo", &["a"]);
+        e.push_row(vec![42.0]);
+        let j = e.to_json();
+        assert!(j.contains("\"id\": \"figZ\""));
+        assert!(j.contains("42.0"));
+    }
+}

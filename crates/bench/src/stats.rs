@@ -1,0 +1,54 @@
+//! Sample statistics for experiment reporting (mean ± stddev over repeated
+//! simulation samples, as the paper reports in Table I).
+
+/// Mean of a sample set.
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    xs.iter().sum::<f64>() / xs.len() as f64
+}
+
+/// Sample standard deviation (n-1 denominator).
+pub fn stddev(xs: &[f64]) -> f64 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(xs);
+    (xs.iter().map(|x| (x - m).powi(2)).sum::<f64>() / (xs.len() - 1) as f64).sqrt()
+}
+
+/// Geometric series of powers of two: `lo, 2lo, …, ≤ hi`.
+pub fn pow2_range(lo: u32, hi: u32) -> Vec<u32> {
+    let mut v = Vec::new();
+    let mut x = lo;
+    while x <= hi {
+        v.push(x);
+        match x.checked_mul(2) {
+            Some(n) => x = n,
+            None => break,
+        }
+    }
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_and_stddev() {
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        assert!((mean(&xs) - 5.0).abs() < 1e-12);
+        assert!((stddev(&xs) - 2.138089935).abs() < 1e-6);
+        assert_eq!(stddev(&[1.0]), 0.0);
+        assert_eq!(mean(&[]), 0.0);
+    }
+
+    #[test]
+    fn pow2_ranges() {
+        assert_eq!(pow2_range(1, 16), vec![1, 2, 4, 8, 16]);
+        assert_eq!(pow2_range(3, 20), vec![3, 6, 12]);
+        assert_eq!(pow2_range(8, 4), Vec::<u32>::new());
+    }
+}

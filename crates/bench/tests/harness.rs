@@ -1,0 +1,68 @@
+//! Self-tests of the experiment harness: measurements are deterministic
+//! (same seed ⇒ identical virtual-time results), experiments are
+//! well-formed, and the quick sweeps stay cheap.
+
+use parcomm_bench::p2p::{goodput_gbps, measure, P2pMode, P2pParams};
+use parcomm_bench::{fig02, fig03, stats};
+use parcomm_core::CopyMechanism;
+use parcomm_gpu::AggLevel;
+
+fn params(seed: u64) -> P2pParams {
+    P2pParams { nodes: 1, sender: 0, receiver: 1, grid: 8, block: 1024, iters: 5, seed }
+}
+
+#[test]
+fn measurements_are_deterministic() {
+    for mode in [
+        P2pMode::Traditional,
+        P2pMode::Partitioned {
+            copy: CopyMechanism::ProgressionEngine,
+            agg: AggLevel::Block,
+            transports: 1,
+        },
+        P2pMode::Partitioned {
+            copy: CopyMechanism::KernelCopy,
+            agg: AggLevel::Block,
+            transports: 2,
+        },
+    ] {
+        let a = measure(params(11), mode);
+        let b = measure(params(11), mode);
+        assert_eq!(a, b, "same seed must give identical virtual time ({mode:?})");
+    }
+}
+
+#[test]
+fn different_seeds_jitter_but_agree_closely() {
+    let a = measure(params(1), P2pMode::Traditional);
+    let b = measure(params(2), P2pMode::Traditional);
+    assert!((a - b).abs() / a < 0.1, "jitter should be small: {a} vs {b}");
+}
+
+#[test]
+fn goodput_math() {
+    // 1 GB in 1 s = 1 GB/s; expressed in µs.
+    assert!((goodput_gbps(1_000_000_000, 1_000_000.0) - 1.0).abs() < 1e-12);
+    assert!((goodput_gbps(8192, 8.192) - 1.0).abs() < 1e-12);
+}
+
+#[test]
+fn quick_experiments_are_well_formed() {
+    let e2 = fig02::run(true);
+    assert_eq!(e2.columns.len(), 6);
+    assert!(!e2.rows.is_empty());
+    assert!(e2.rows.iter().all(|r| r.len() == e2.columns.len()));
+    assert!(!e2.notes.is_empty());
+
+    let e3 = fig03::run(true);
+    assert_eq!(e3.columns[0], "threads");
+    // Block-level cost must not exceed warp, which must not exceed thread,
+    // at the full-block row.
+    let last = e3.rows.last().expect("rows");
+    assert!(last[3] <= last[2] && last[2] <= last[1]);
+}
+
+#[test]
+fn pow2_range_drives_sweeps() {
+    assert_eq!(stats::pow2_range(1, 8), vec![1, 2, 4, 8]);
+}

@@ -1,0 +1,518 @@
+//! The generic partitioned-collective executor.
+//!
+//! One engine instance per rank per collective. At init time (paper
+//! §IV-B1) the engine:
+//!
+//! - builds this rank's [`Schedule`],
+//! - creates one partitioned *send* channel per distinct outgoing neighbor
+//!   and one *receive* channel per distinct incoming neighbor
+//!   (`MPI_Psend_init` / `MPI_Precv_init` inside the collective init),
+//! - sizes each channel with one **transport slot** per `(user partition,
+//!   step served by that channel)` pair — the generalization of the paper's
+//!   `transport partition = user partition · user partition size + R`
+//!   mapping that avoids reusing a slot within an epoch,
+//! - allocates staging buffers the slots live in.
+//!
+//! Execution follows Algorithm 2: each user partition carries its own step
+//! state; `MPI_Wait` sweeps the states, reducing arrived chunks (launching
+//! a device reduction kernel plus the mandatory `cudaStreamSynchronize` —
+//! the cost the paper identifies as the NCCL gap) and issuing the next
+//! step's `MPI_Pready` calls.
+
+use std::collections::HashMap;
+use std::ops::Range;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use parcomm_core::{precv_init, psend_init, PrecvRequest, PsendRequest};
+use parcomm_gpu::{Buffer, CostModel, DeviceCtx, KernelSpec, Stream};
+use parcomm_mpi::{HookOutcome, ProgressionEngine, Rank};
+use parcomm_sim::{Ctx, SimDuration};
+
+use crate::schedule::{Schedule, StepOp};
+
+/// A send channel to one neighbor, serving a set of schedule steps.
+struct SendChannel {
+    sreq: PsendRequest,
+    stage: Buffer,
+    /// Schedule steps this channel carries, in order; the slot for
+    /// `(partition u, step s)` is `u * steps.len() + index_of(s)`.
+    steps: Vec<usize>,
+    slot_of_step: HashMap<usize, usize>,
+}
+
+/// A receive channel from one neighbor.
+struct RecvChannel {
+    rreq: PrecvRequest,
+    stage: Buffer,
+    steps: Vec<usize>,
+    slot_of_step: HashMap<usize, usize>,
+}
+
+/// Per-user-partition progression state (Algorithm 2's `states[part]`).
+#[derive(Clone, Debug)]
+struct PartState {
+    step: usize,
+    parrived_complete: usize,
+    /// Arrivals already reduced/copied this step (the paper: "ensure the
+    /// reduce operation is only executed once for each incoming neighbor").
+    processed: Vec<bool>,
+    pready_complete: usize,
+    active: bool,
+}
+
+struct EngineInner {
+    schedule: Schedule,
+    user_partitions: usize,
+    /// Bytes of one chunk (= user partition bytes / schedule.chunks).
+    chunk_bytes: usize,
+    buffer: Buffer,
+    stream: Stream,
+    cost: CostModel,
+    progression: ProgressionEngine,
+    send: HashMap<usize, SendChannel>,
+    recv: HashMap<usize, RecvChannel>,
+    states: Mutex<Vec<PartState>>,
+    /// Device-initiated readiness queue (collective device binding).
+    pending_device: Mutex<std::collections::VecDeque<usize>>,
+    hook_active: Mutex<bool>,
+}
+
+/// The engine shared by the collective wrappers.
+#[derive(Clone)]
+pub(crate) struct CollectiveEngine {
+    inner: Arc<EngineInner>,
+}
+
+impl CollectiveEngine {
+    /// Build the engine: channels, staging, and per-partition state.
+    pub(crate) fn new(
+        ctx: &mut Ctx,
+        rank: &Rank,
+        schedule: Schedule,
+        buffer: &Buffer,
+        user_partitions: usize,
+        stream: &Stream,
+        tag: u64,
+    ) -> CollectiveEngine {
+        assert!(user_partitions > 0);
+        assert_eq!(
+            buffer.len() % (user_partitions * schedule.chunks),
+            0,
+            "collective buffer ({} B) must divide into {} partitions × {} chunks",
+            buffer.len(),
+            user_partitions,
+            schedule.chunks
+        );
+        let part_bytes = buffer.len() / user_partitions;
+        let chunk_bytes = part_bytes / schedule.chunks;
+
+        // Group steps by neighbor.
+        let mut out_steps: HashMap<usize, Vec<usize>> = HashMap::new();
+        let mut in_steps: HashMap<usize, Vec<usize>> = HashMap::new();
+        for (i, step) in schedule.steps.iter().enumerate() {
+            for &o in &step.outgoing {
+                out_steps.entry(o).or_default().push(i);
+            }
+            for &inc in &step.incoming {
+                in_steps.entry(inc).or_default().push(i);
+            }
+        }
+
+        // Create the channels. Order init calls by peer rank so the two
+        // sides of each channel agree (matching is on (src, dst, tag)).
+        let mut send = HashMap::new();
+        let mut peers: Vec<usize> = out_steps.keys().copied().collect();
+        peers.sort_unstable();
+        for o in peers {
+            let steps = out_steps.remove(&o).expect("key exists");
+            let slots = user_partitions * steps.len();
+            let stage = rank.gpu().alloc_global(slots * chunk_bytes);
+            let sreq = psend_init(ctx, rank, o, tag, &stage, slots);
+            // Each (partition, step) slot travels independently: one
+            // transport partition per slot.
+            sreq.set_transport_partitions(slots);
+            let slot_of_step = steps.iter().enumerate().map(|(j, &s)| (s, j)).collect();
+            send.insert(o, SendChannel { sreq, stage, steps, slot_of_step });
+        }
+        let mut recv = HashMap::new();
+        let mut peers: Vec<usize> = in_steps.keys().copied().collect();
+        peers.sort_unstable();
+        for inc in peers {
+            let steps = in_steps.remove(&inc).expect("key exists");
+            let slots = user_partitions * steps.len();
+            let stage = rank.gpu().alloc_global(slots * chunk_bytes);
+            let rreq = precv_init(ctx, rank, inc, tag, &stage, slots);
+            let slot_of_step = steps.iter().enumerate().map(|(j, &s)| (s, j)).collect();
+            recv.insert(inc, RecvChannel { rreq, stage, steps, slot_of_step });
+        }
+
+        let states = (0..user_partitions)
+            .map(|_| PartState {
+                step: 0,
+                parrived_complete: 0,
+                processed: Vec::new(),
+                pready_complete: 0,
+                active: false,
+            })
+            .collect();
+
+        CollectiveEngine {
+            inner: Arc::new(EngineInner {
+                schedule,
+                user_partitions,
+                chunk_bytes,
+                buffer: buffer.clone(),
+                stream: stream.clone(),
+                cost: rank.gpu().cost().clone(),
+                progression: rank.progression().clone(),
+                send,
+                recv,
+                states: Mutex::new(states),
+                pending_device: Mutex::new(std::collections::VecDeque::new()),
+                hook_active: Mutex::new(false),
+            }),
+        }
+    }
+
+    pub(crate) fn user_partitions(&self) -> usize {
+        self.inner.user_partitions
+    }
+
+    pub(crate) fn schedule(&self) -> &Schedule {
+        &self.inner.schedule
+    }
+
+    /// `MPI_Start` for every underlying channel plus state reset.
+    pub(crate) fn start(&self, ctx: &mut Ctx) {
+        for ch in self.inner.send.values() {
+            ch.sreq.start(ctx);
+        }
+        for ch in self.inner.recv.values() {
+            ch.rreq.start(ctx);
+        }
+        let mut states = self.inner.states.lock();
+        for st in states.iter_mut() {
+            st.step = 0;
+            st.parrived_complete = 0;
+            st.processed.clear();
+            st.pready_complete = 0;
+            st.active = false;
+        }
+        self.inner.pending_device.lock().clear();
+    }
+
+    /// `MPIX_Pbuf_prepare`: synchronize with every neighbor of the
+    /// collective (the paper: "we now synchronize the processes associated
+    /// with the collective rather than just two ranks" — ring neighbors
+    /// transitively synchronize the whole communicator).
+    pub(crate) fn pbuf_prepare(&self, ctx: &mut Ctx) {
+        // Receive channels reply/RTR first so no sender can block forever
+        // waiting for its peer's receive side.
+        for ch in self.inner.recv.values() {
+            ch.rreq.pbuf_prepare(ctx);
+        }
+        for ch in self.inner.send.values() {
+            ch.sreq.pbuf_prepare(ctx);
+        }
+    }
+
+    /// Host `MPI_Pready` for one collective user partition: activates its
+    /// schedule, issues the step-0 sends, and stages-and-sends every
+    /// `early_stage` step's chunk (epoch-original data whose buffer slot
+    /// may later be overwritten by in-place arrivals).
+    pub(crate) fn pready(&self, ctx: &mut Ctx, u: usize) {
+        assert!(u < self.inner.user_partitions, "collective pready: partition out of range");
+        {
+            let mut states = self.inner.states.lock();
+            let st = &mut states[u];
+            assert!(!st.active, "collective partition {u} marked ready twice");
+            st.active = true;
+        }
+        self.issue_step_sends(ctx, u, 0);
+        for s in 0..self.inner.schedule.len() {
+            if s != 0 && self.inner.schedule.steps[s].early_stage {
+                self.stage_and_send(ctx, u, s);
+            }
+        }
+    }
+
+    /// Device binding: called from a kernel body. Extends the kernel with
+    /// the block-aggregated notification cost and hands the partitions to
+    /// the progression engine, which performs the step-0 staging copies and
+    /// `MPI_Pready` calls on the host (paper §IV-B, Progression Engine
+    /// approach — in-kernel collective execution is future work the paper
+    /// advocates for).
+    pub(crate) fn pready_device(&self, d: &mut DeviceCtx<'_>, users: Range<usize>) {
+        assert!(!users.is_empty());
+        assert!(users.end <= self.inner.user_partitions);
+        let cost = d.cost();
+        let writes = users.len() as u32; // one counter-crossing write per partition
+        let base = d.current_end_offset();
+        let sync_us = cost.syncthreads_us
+            + d.spec().grid_dim as f64 * cost.device_atomic_us;
+        let total = sync_us + d.flag_write_train_us(writes);
+        d.extend(SimDuration::from_micros_f64(total));
+        let this = self.clone();
+        let at = base + SimDuration::from_micros_f64(total);
+        d.at_offset(at, move |h| {
+            {
+                let mut q = this.inner.pending_device.lock();
+                q.extend(users.clone());
+            }
+            let mut active = this.inner.hook_active.lock();
+            if !*active {
+                *active = true;
+                let engine = this.clone();
+                engine.clone().inner.progression.register(h, move |ctx| engine.drain_device(ctx));
+            }
+        });
+    }
+
+    fn drain_device(&self, ctx: &mut Ctx) -> HookOutcome {
+        loop {
+            let u = { self.inner.pending_device.lock().pop_front() };
+            let Some(u) = u else { break };
+            {
+                let mut states = self.inner.states.lock();
+                let st = &mut states[u];
+                assert!(!st.active, "collective partition {u} marked ready twice");
+                st.active = true;
+            }
+            self.issue_step_sends(ctx, u, 0);
+            for s in 0..self.inner.schedule.len() {
+                if s != 0 && self.inner.schedule.steps[s].early_stage {
+                    self.stage_and_send(ctx, u, s);
+                }
+            }
+        }
+        let mut active = self.inner.hook_active.lock();
+        *active = false;
+        HookOutcome::Remove
+    }
+
+    /// `MPI_Parrived` for the collective: has partition `u` completed the
+    /// whole schedule?
+    pub(crate) fn parrived(&self, u: usize) -> bool {
+        let states = self.inner.states.lock();
+        states[u].step >= self.inner.schedule.len()
+    }
+
+    /// Byte offset of chunk `c` of user partition `u` in the main buffer.
+    fn chunk_off(&self, u: usize, c: usize) -> usize {
+        u * self.inner.chunk_bytes * self.inner.schedule.chunks + c * self.inner.chunk_bytes
+    }
+
+    /// Local device copy cost (cudaMemcpyD2D of one chunk).
+    fn copy_cost(&self) -> SimDuration {
+        SimDuration::from_micros_f64(
+            self.inner.chunk_bytes as f64 / (self.inner.cost.hbm_bw_gbps * 1e3) + 0.8,
+        )
+    }
+
+    /// Issue the sends of step `s` for partition `u` (Algorithm 2 lines
+    /// 21–27; step 0 is triggered by the application's `MPI_Pready`).
+    /// `early_stage` steps were already staged and sent at activation.
+    fn issue_step_sends(&self, ctx: &mut Ctx, u: usize, s: usize) {
+        if s >= self.inner.schedule.len() {
+            return;
+        }
+        let step = &self.inner.schedule.steps[s];
+        if !(s != 0 && step.early_stage) {
+            self.stage_and_send(ctx, u, s);
+        }
+        let mut states = self.inner.states.lock();
+        states[u].pready_complete = step.outgoing.len();
+    }
+
+    /// Copy the outgoing chunk of step `s` into each serving channel's
+    /// staging slot and mark it ready.
+    fn stage_and_send(&self, ctx: &mut Ctx, u: usize, s: usize) {
+        let step = &self.inner.schedule.steps[s];
+        for &o in &step.outgoing {
+            let ch = self.inner.send.get(&o).expect("send channel exists");
+            let j = ch.slot_of_step[&s];
+            let slot = u * ch.steps.len() + j;
+            // Stage the outgoing chunk (device-local copy), then Pready.
+            let src_off = self.chunk_off(u, step.ready_offset);
+            ch.stage.copy_from_buffer(
+                slot * self.inner.chunk_bytes,
+                &self.inner.buffer,
+                src_off,
+                self.inner.chunk_bytes,
+            );
+            ctx.advance(self.copy_cost());
+            ch.sreq.pready(ctx, slot);
+        }
+    }
+
+    /// One sweep of Algorithm 2 over all partition states. Returns `true`
+    /// if any partition progressed.
+    fn sweep(&self, ctx: &mut Ctx) -> bool {
+        let mut progressed = false;
+        let total_steps = self.inner.schedule.len();
+        for u in 0..self.inner.user_partitions {
+            loop {
+                let (s, active) = {
+                    let states = self.inner.states.lock();
+                    (states[u].step, states[u].active)
+                };
+                if !active || s >= total_steps {
+                    break; // line 4: continue past finished partitions
+                }
+                let step = self.inner.schedule.steps[s].clone();
+                // Lines 5–13: check/ingest arrivals for this step.
+                let mut arrived_now: Vec<(usize, usize)> = Vec::new();
+                {
+                    let mut states = self.inner.states.lock();
+                    let st = &mut states[u];
+                    if st.processed.len() != step.incoming.len() {
+                        st.processed = vec![false; step.incoming.len()];
+                    }
+                    for (xi, &inc) in step.incoming.iter().enumerate() {
+                        if st.processed[xi] {
+                            continue;
+                        }
+                        let ch = self.inner.recv.get(&inc).expect("recv channel");
+                        let j = ch.slot_of_step[&s];
+                        let slot = u * ch.steps.len() + j;
+                        if ch.rreq.parrived(slot) {
+                            st.processed[xi] = true;
+                            st.parrived_complete += 1;
+                            arrived_now.push((inc, slot));
+                        }
+                    }
+                }
+                // Apply the op outside the state lock (reductions launch
+                // kernels and synchronize the stream).
+                for &(inc, slot) in &arrived_now {
+                    progressed = true;
+                    let ch = self.inner.recv.get(&inc).expect("recv channel");
+                    let dst_off = self.chunk_off(u, step.arrived_offset);
+                    let stage_off = slot * self.inner.chunk_bytes;
+                    match step.op {
+                        StepOp::Sum => self.reduce_chunk(ctx, &ch.stage, stage_off, dst_off),
+                        StepOp::Nop => {
+                            self.inner.buffer.copy_from_buffer(
+                                dst_off,
+                                &ch.stage,
+                                stage_off,
+                                self.inner.chunk_bytes,
+                            );
+                            ctx.advance(self.copy_cost());
+                        }
+                    }
+                }
+                // Lines 14–20: step completion check.
+                let advance = {
+                    let mut states = self.inner.states.lock();
+                    let st = &mut states[u];
+                    if st.parrived_complete == step.incoming.len()
+                        && st.pready_complete == step.outgoing.len()
+                    {
+                        st.step += 1;
+                        st.parrived_complete = 0;
+                        st.pready_complete = 0;
+                        st.processed.clear();
+                        true
+                    } else {
+                        false
+                    }
+                };
+                if !advance {
+                    break;
+                }
+                progressed = true;
+                // Lines 21–27: issue the next step's sends.
+                let next = s + 1;
+                if next < total_steps {
+                    self.issue_step_sends(ctx, u, next);
+                } // else: final step reached — no extra data transfer.
+            }
+        }
+        progressed
+    }
+
+    /// Device reduction of one staged chunk into the main buffer: a kernel
+    /// launch followed by `cudaStreamSynchronize` — numerically required
+    /// before the chunk can be forwarded (paper §VI-B: the source of the
+    /// remaining gap to NCCL).
+    fn reduce_chunk(&self, ctx: &mut Ctx, stage: &Buffer, stage_off: usize, dst_off: usize) {
+        let elems = self.inner.chunk_bytes / 8;
+        let grid = (elems as u32).div_ceil(1024).max(1);
+        let buf = self.inner.buffer.clone();
+        let stage = stage.clone();
+        let spec = KernelSpec::new("pcoll_reduce", grid, 1024)
+            .with_memory_traffic(16, 8)
+            .with_flops(1.0);
+        self.inner.stream.launch(ctx, spec, move |_d| {
+            buf.accumulate_f64(dst_off, &stage, stage_off, elems);
+        });
+        self.inner.stream.synchronize(ctx);
+    }
+
+    /// `MPI_Wait`: run Algorithm 2 until every partition finishes the
+    /// schedule, then complete the underlying channel epochs.
+    pub(crate) fn wait(&self, ctx: &mut Ctx) {
+        let total = self.inner.schedule.len();
+        loop {
+            let progressed = self.sweep(ctx);
+            let all_done = {
+                let states = self.inner.states.lock();
+                states.iter().all(|st| st.step >= total)
+            };
+            if all_done {
+                break;
+            }
+            if !progressed {
+                // Block until any new arrival on any receive channel (or a
+                // short poll if a device-side pready is still in flight).
+                self.wait_any_arrival(ctx);
+            }
+        }
+        for ch in self.inner.send.values() {
+            ch.sreq.wait(ctx);
+        }
+        for ch in self.inner.recv.values() {
+            ch.rreq.wait(ctx);
+        }
+    }
+
+    /// Debug helper: print each channel's staging contents (first f64 per
+    /// slot). Test-support only.
+    #[doc(hidden)]
+    pub fn debug_dump_stages(&self, me: usize) {
+        for (peer, ch) in &self.inner.send {
+            let v: Vec<f64> =
+                (0..ch.steps.len()).map(|j| ch.stage.read_f64(j * self.inner.chunk_bytes)).collect();
+            println!("rank {me}: send→{peer} steps {:?} stage {v:?}", ch.steps);
+        }
+        for (peer, ch) in &self.inner.recv {
+            let v: Vec<f64> =
+                (0..ch.steps.len()).map(|j| ch.stage.read_f64(j * self.inner.chunk_bytes)).collect();
+            println!("rank {me}: recv←{peer} steps {:?} stage {v:?}", ch.steps);
+        }
+    }
+
+    /// Block until an arrival count changes anywhere (poll-style backstop
+    /// for multi-channel waiting).
+    fn wait_any_arrival(&self, ctx: &mut Ctx) {
+        if self.inner.recv.len() == 1 {
+            let ch = self.inner.recv.values().next().expect("one");
+            let current = ch.rreq.arrived_count();
+            let ev = ch.rreq.arrived_event().clone();
+            // Wait for at least one more than we've seen (bounded by the
+            // channel's slot count).
+            let target = (current + 1).min(ch.rreq.user_partitions() as u64);
+            if current < target {
+                ctx.wait_count(&ev, target);
+            } else {
+                ctx.advance(SimDuration::from_micros_f64(self.inner.cost.progress_poll_us));
+            }
+        } else {
+            // Multiple channels: poll at the progression interval.
+            ctx.advance(SimDuration::from_micros_f64(self.inner.cost.progress_poll_us));
+        }
+    }
+}

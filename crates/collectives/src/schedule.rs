@@ -1,0 +1,359 @@
+//! The generic partitioned-collective schedule (paper §IV-B1).
+//!
+//! A collective is compiled at init time into a series of steps
+//! `S_i = (I, R, ⊕, O, A)`:
+//!
+//! - `I` — incoming neighbor ranks for the step,
+//! - `R` — the `MPI_Pready` chunk offset (which chunk of the buffer this
+//!   rank forwards during the step),
+//! - `⊕` — the reduction operation to apply to arriving data (or NOP),
+//! - `O` — outgoing neighbor ranks,
+//! - `A` — the `MPI_Parrived` chunk offset (which chunk arrives).
+//!
+//! One schedule is built per rank; every partition executes the schedule
+//! independently, carrying its own per-partition state (paper: "while a
+//! single schedule is created, each partition independently executes that
+//! schedule"). The builders below generate ring reduce-scatter-allgather
+//! (Algorithm 1), binomial-tree broadcast, and ring reduce-scatter — all on
+//! the same executor.
+
+/// The reduction op for a step.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub enum StepOp {
+    /// No computation this step (pure forwarding, e.g. allgather phase or
+    /// any broadcast step).
+    Nop,
+    /// Sum-reduce arriving data into the local buffer (`MPI_SUM`; the only
+    /// `MPI_Op` the evaluation uses, as in the paper's DL workloads).
+    Sum,
+}
+
+/// One schedule step `S_i = (I, R, ⊕, O, A)`.
+#[derive(Clone, Debug)]
+pub struct Step {
+    /// Incoming neighbors (ranks this step receives from).
+    pub incoming: Vec<usize>,
+    /// `MPI_Pready` offset: the chunk index this rank sends this step.
+    pub ready_offset: usize,
+    /// The operation applied to arriving data.
+    pub op: StepOp,
+    /// Outgoing neighbors (ranks this step sends to).
+    pub outgoing: Vec<usize>,
+    /// `MPI_Parrived` offset: the chunk index that arrives this step.
+    pub arrived_offset: usize,
+    /// Stage-and-send at partition activation instead of step entry. Valid
+    /// only when the outgoing chunk carries *epoch-original* data (no
+    /// dependency on earlier arrivals): pipelining algorithms (rings,
+    /// trees) forward received data and must stage on entry, while
+    /// alltoall-style direct exchanges send original chunks that in-place
+    /// arrivals would otherwise clobber.
+    pub early_stage: bool,
+}
+
+/// A full schedule for one rank.
+#[derive(Clone, Debug)]
+pub struct Schedule {
+    /// The steps, executed in order (independently per partition).
+    pub steps: Vec<Step>,
+    /// Number of buffer chunks the offsets index into (== communicator
+    /// size for the ring algorithms).
+    pub chunks: usize,
+}
+
+impl Schedule {
+    /// Number of steps.
+    pub fn len(&self) -> usize {
+        self.steps.len()
+    }
+
+    /// True when the schedule has no steps (single-rank collectives).
+    pub fn is_empty(&self) -> bool {
+        self.steps.is_empty()
+    }
+
+    /// Algorithm 1: ring-based reduce-scatter-allgather allreduce schedule
+    /// for `rank` of `p` ranks. `2(P-1)` steps: the first `P-1` carry the
+    /// reduction op (reduce-scatter), the rest are NOPs (allgather).
+    pub fn ring_allreduce(rank: usize, p: usize) -> Schedule {
+        assert!(p >= 1 && rank < p);
+        let mut steps = Vec::new();
+        if p > 1 {
+            for i in 0..2 * (p - 1) {
+                let incoming = vec![(rank + p - 1) % p];
+                let outgoing = vec![(rank + 1) % p];
+                let ready_offset = (rank + 2 * p - i) % p;
+                let arrived_offset = (rank + 2 * p - i - 1) % p;
+                let op = if i < p - 1 { StepOp::Sum } else { StepOp::Nop };
+                steps.push(Step { incoming, ready_offset, op, outgoing, arrived_offset, early_stage: false });
+            }
+        }
+        Schedule { steps, chunks: p }
+    }
+
+    /// Binomial-tree broadcast schedule rooted at `root`: all NOP steps.
+    /// Step `i` has rank pairs at distance `2^(ceil(log2 p) - 1 - i)`.
+    /// Every rank gets the same number of steps (idle steps have empty
+    /// neighbor sets) so partitions progress uniformly.
+    pub fn tree_bcast(rank: usize, p: usize, root: usize) -> Schedule {
+        assert!(p >= 1 && rank < p && root < p);
+        // Work in the rotated space where the root is rank 0.
+        let vrank = (rank + p - root) % p;
+        let rounds = (p as u64).next_power_of_two().trailing_zeros() as usize;
+        let mut steps = Vec::new();
+        for i in 0..rounds {
+            // Round i doubles the informed set: ranks 0..2^i send to
+            // ranks 2^i..2^(i+1) (virtual-rank space).
+            let dist = 1usize << i;
+            let mut incoming = Vec::new();
+            let mut outgoing = Vec::new();
+            if vrank < dist {
+                // A sender this round, if the partner exists.
+                let partner = vrank + dist;
+                if partner < p {
+                    outgoing.push((partner + root) % p);
+                }
+            } else if vrank < 2 * dist {
+                let partner = vrank - dist;
+                incoming.push((partner + root) % p);
+            }
+            steps.push(Step {
+                incoming,
+                ready_offset: 0,
+                op: StepOp::Nop,
+                outgoing,
+                arrived_offset: 0,
+                early_stage: false,
+            });
+        }
+        Schedule { steps, chunks: 1 }
+    }
+
+    /// Ring reduce-scatter schedule: the first half of Algorithm 1. After
+    /// completion, rank `r` owns the fully reduced chunk `(r + 1) mod p`.
+    pub fn ring_reduce_scatter(rank: usize, p: usize) -> Schedule {
+        let full = Schedule::ring_allreduce(rank, p);
+        let keep = p.saturating_sub(1);
+        Schedule { steps: full.steps.into_iter().take(keep).collect(), chunks: p }
+    }
+
+    /// Ring allgather schedule: the second half of Algorithm 1 on its own.
+    /// Rank `r` starts owning chunk `r`; after `P−1` NOP steps every rank
+    /// holds every chunk.
+    pub fn ring_allgather(rank: usize, p: usize) -> Schedule {
+        assert!(p >= 1 && rank < p);
+        let mut steps = Vec::new();
+        if p > 1 {
+            for i in 0..p - 1 {
+                steps.push(Step {
+                    incoming: vec![(rank + p - 1) % p],
+                    ready_offset: (rank + p - i) % p,
+                    op: StepOp::Nop,
+                    outgoing: vec![(rank + 1) % p],
+                    arrived_offset: (rank + 2 * p - i - 1) % p,
+                    early_stage: false,
+                });
+            }
+        }
+        Schedule { steps, chunks: p }
+    }
+
+    /// Chain gather toward `root`: every rank forwards chunks one hop
+    /// closer to the root along the ring (rank `r` sends to `r − 1`);
+    /// after `P−1` steps the root holds every rank's chunk. Only the
+    /// root's buffer is meaningful afterwards, matching `MPI_Gather`
+    /// semantics with in-place chunked buffers.
+    pub fn chain_gather(rank: usize, p: usize, root: usize) -> Schedule {
+        assert!(p >= 1 && rank < p && root < p);
+        let mut steps = Vec::new();
+        if p > 1 {
+            // Distance from the root along the chain (root = 0).
+            let d = (rank + p - root) % p;
+            let left = (rank + p - 1) % p;
+            let right = (rank + 1) % p;
+            for i in 0..p - 1 {
+                // Rank at distance d forwards its own chunk (step 0) and
+                // the P−1−d chunks arriving from its right neighbor.
+                let sends = d != 0 && i < p - d;
+                let receives = (d != 0 && i < p - 1 - d) || (d == 0 && i < p - 1);
+                steps.push(Step {
+                    incoming: if receives { vec![right] } else { Vec::new() },
+                    ready_offset: (rank + i) % p,
+                    op: StepOp::Nop,
+                    outgoing: if sends { vec![left] } else { Vec::new() },
+                    arrived_offset: (rank + 1 + i) % p,
+                    early_stage: false,
+                });
+            }
+        }
+        Schedule { steps, chunks: p }
+    }
+
+    /// Pairwise-exchange alltoall: at step `i` (1-based), rank `r` sends
+    /// its chunk for rank `(r + i) mod p` directly to that rank and
+    /// receives its own chunk from `(r − i) mod p` — every step uses a
+    /// *different* neighbor pair, exercising the schedule's generality.
+    /// After `p − 1` steps, chunk `s` of the buffer holds what rank `s`
+    /// sent to this rank (chunk `r` is the local contribution, untouched).
+    pub fn pairwise_alltoall(rank: usize, p: usize) -> Schedule {
+        assert!(p >= 1 && rank < p);
+        let mut steps = Vec::new();
+        if p > 1 {
+            for i in 1..p {
+                let to = (rank + i) % p;
+                let from = (rank + p - i) % p;
+                steps.push(Step {
+                    incoming: vec![from],
+                    ready_offset: to,
+                    op: StepOp::Nop,
+                    outgoing: vec![to],
+                    arrived_offset: from,
+                    // Direct exchange of original chunks: stage at
+                    // activation, before in-place arrivals clobber them.
+                    early_stage: true,
+                });
+            }
+        }
+        Schedule { steps, chunks: p }
+    }
+
+    /// Chain scatter from `root`: the mirror of [`Schedule::chain_gather`] — the
+    /// root emits the chunk for the most distant rank first; every rank
+    /// keeps its own chunk and forwards the rest one hop onward.
+    pub fn chain_scatter(rank: usize, p: usize, root: usize) -> Schedule {
+        assert!(p >= 1 && rank < p && root < p);
+        let mut steps: Vec<Step> = Vec::new();
+        if p > 1 {
+            let d = (rank + p - root) % p;
+            let left = (rank + p - 1) % p;
+            let right = (rank + 1) % p;
+            for i in 0..p - 1 {
+                steps.push(Step {
+                    incoming: Vec::new(),
+                    ready_offset: 0,
+                    op: StepOp::Nop,
+                    outgoing: Vec::new(),
+                    arrived_offset: 0,
+                    early_stage: false,
+                });
+                let _ = i;
+            }
+            if d == 0 {
+                // Root sends the chunk for distance t = P−1−i at step i.
+                for (i, step) in steps.iter_mut().enumerate() {
+                    let t = p - 1 - i;
+                    step.outgoing = vec![right];
+                    step.ready_offset = (root + t) % p;
+                }
+            } else {
+                // Chunk for distance t (t ≥ d) arrives at this rank at
+                // step P−1−t+d−1, and is forwarded one step later when
+                // t > d.
+                for t in (d..p).rev() {
+                    let s_a = p + d - t - 2;
+                    steps[s_a].incoming = vec![left];
+                    steps[s_a].arrived_offset = (root + t) % p;
+                    if t > d {
+                        let s_f = s_a + 1;
+                        steps[s_f].outgoing = vec![right];
+                        steps[s_f].ready_offset = (root + t) % p;
+                    }
+                }
+            }
+        }
+        Schedule { steps, chunks: p }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_allreduce_step_count_and_ops() {
+        for p in [2usize, 4, 8] {
+            for r in 0..p {
+                let s = Schedule::ring_allreduce(r, p);
+                assert_eq!(s.len(), 2 * (p - 1));
+                for (i, step) in s.steps.iter().enumerate() {
+                    assert_eq!(step.op == StepOp::Sum, i < p - 1, "p={p} r={r} i={i}");
+                    assert_eq!(step.incoming, vec![(r + p - 1) % p]);
+                    assert_eq!(step.outgoing, vec![(r + 1) % p]);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn ring_offsets_chain_between_neighbors() {
+        // What rank r sends at step i (ready_offset) must be what rank r+1
+        // sees arrive at step i (arrived_offset).
+        let p = 8;
+        for i in 0..2 * (p - 1) {
+            for r in 0..p {
+                let s_r = Schedule::ring_allreduce(r, p);
+                let s_next = Schedule::ring_allreduce((r + 1) % p, p);
+                assert_eq!(
+                    s_r.steps[i].ready_offset, s_next.steps[i].arrived_offset,
+                    "p={p} r={r} i={i}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn ring_reduce_scatter_accumulates_every_chunk_once_per_step() {
+        // In each reduce-scatter step, the arriving chunk indices across
+        // ranks form a permutation (each chunk is being reduced somewhere).
+        let p = 4;
+        for i in 0..p - 1 {
+            let mut seen: Vec<usize> =
+                (0..p).map(|r| Schedule::ring_allreduce(r, p).steps[i].arrived_offset).collect();
+            seen.sort_unstable();
+            assert_eq!(seen, (0..p).collect::<Vec<_>>(), "step {i}");
+        }
+    }
+
+    #[test]
+    fn single_rank_schedules_are_empty() {
+        assert!(Schedule::ring_allreduce(0, 1).is_empty());
+        assert_eq!(Schedule::tree_bcast(0, 1, 0).len(), 0);
+    }
+
+    #[test]
+    fn tree_bcast_reaches_everyone_exactly_once() {
+        for p in [2usize, 3, 4, 7, 8] {
+            for root in [0usize, p / 2] {
+                let schedules: Vec<Schedule> =
+                    (0..p).map(|r| Schedule::tree_bcast(r, p, root)).collect();
+                let mut have: Vec<bool> = (0..p).map(|r| r == root).collect();
+                let rounds = schedules[0].len();
+                for i in 0..rounds {
+                    let mut new_have = have.clone();
+                    for r in 0..p {
+                        for &dst in &schedules[r].steps[i].outgoing {
+                            assert!(have[r], "p={p} root={root}: rank {r} sends before it has data");
+                            assert!(!have[dst] || dst == root, "duplicate delivery to {dst}");
+                            new_have[dst] = true;
+                        }
+                        for &src in &schedules[r].steps[i].incoming {
+                            // Symmetry: src must list us as outgoing.
+                            assert!(schedules[src].steps[i].outgoing.contains(&r));
+                        }
+                    }
+                    have = new_have;
+                }
+                assert!(have.iter().all(|&b| b), "p={p} root={root}: all ranks reached");
+            }
+        }
+    }
+
+    #[test]
+    fn reduce_scatter_is_allreduce_prefix() {
+        let full = Schedule::ring_allreduce(2, 4);
+        let rs = Schedule::ring_reduce_scatter(2, 4);
+        assert_eq!(rs.len(), 3);
+        for i in 0..3 {
+            assert_eq!(rs.steps[i].ready_offset, full.steps[i].ready_offset);
+        }
+    }
+}

@@ -1,0 +1,375 @@
+//! Correctness tests for the additional schedule-engine collectives:
+//! allgather, reduce-scatter, gather, scatter — on one and two nodes,
+//! with epoch reuse.
+
+use parcomm_coll::{
+    pallgather_init, pgather_init, preduce_scatter_init, pscatter_init, PreduceScatter, Schedule,
+};
+use parcomm_mpi::MpiWorld;
+use parcomm_sim::{SimConfig, Simulation};
+
+/// Rank r's marker value for chunk-content checks.
+fn mark(r: usize, extra: usize) -> f64 {
+    (r * 100 + extra + 1) as f64
+}
+
+#[test]
+fn pallgather_distributes_every_chunk() {
+    for nodes in [1u16, 2] {
+        let mut sim = Simulation::new(SimConfig::default());
+        let world = MpiWorld::gh200(&sim, nodes);
+        let p = world.size();
+        world.run_ranks(&mut sim, move |ctx, rank| {
+            let partitions = 2usize;
+            let elems_per_chunk = 32usize;
+            let n = partitions * p * elems_per_chunk;
+            let buf = rank.gpu().alloc_global(n * 8);
+            // Fill only this rank's chunk of each partition region.
+            for u in 0..partitions {
+                let region = u * p * elems_per_chunk;
+                let own = region + rank.rank() * elems_per_chunk;
+                buf.write_f64_slice(own * 8, &vec![mark(rank.rank(), u); elems_per_chunk]);
+            }
+            let stream = rank.gpu().create_stream();
+            let coll = pallgather_init(ctx, rank, &buf, partitions, &stream, 40);
+            coll.start(ctx);
+            coll.pbuf_prepare(ctx);
+            for u in 0..partitions {
+                coll.pready(ctx, u);
+            }
+            coll.wait(ctx);
+            for u in 0..partitions {
+                for src in 0..p {
+                    let region = u * p * elems_per_chunk;
+                    let off = (region + src * elems_per_chunk) * 8;
+                    assert_eq!(
+                        buf.read_f64(off),
+                        mark(src, u),
+                        "nodes={nodes} rank={} partition={u} chunk from {src}",
+                        rank.rank()
+                    );
+                }
+            }
+        });
+        sim.run().unwrap();
+    }
+}
+
+#[test]
+fn preduce_scatter_owns_reduced_chunk() {
+    let mut sim = Simulation::new(SimConfig::default());
+    let world = MpiWorld::gh200(&sim, 1);
+    let p = world.size();
+    world.run_ranks(&mut sim, move |ctx, rank| {
+        let partitions = 2usize;
+        let elems_per_chunk = 16usize;
+        let n = partitions * p * elems_per_chunk;
+        let buf = rank.gpu().alloc_global(n * 8);
+        buf.write_f64_slice(0, &vec![(rank.rank() + 1) as f64; n]);
+        let stream = rank.gpu().create_stream();
+        let coll = preduce_scatter_init(ctx, rank, &buf, partitions, &stream, 41);
+        coll.start(ctx);
+        coll.pbuf_prepare(ctx);
+        for u in 0..partitions {
+            coll.pready(ctx, u);
+        }
+        coll.wait(ctx);
+        // The owned chunk of every partition region is fully reduced.
+        let owned = PreduceScatter::owned_chunk(rank.rank(), p);
+        let expect = (p * (p + 1)) as f64 / 2.0;
+        for u in 0..partitions {
+            let region = u * p * elems_per_chunk;
+            let off = (region + owned * elems_per_chunk) * 8;
+            let got = buf.read_f64_slice(off, elems_per_chunk);
+            assert!(
+                got.iter().all(|v| (*v - expect).abs() < 1e-9),
+                "rank {} partition {u}: {:?} != {expect}",
+                rank.rank(),
+                &got[..2]
+            );
+        }
+    });
+    sim.run().unwrap();
+}
+
+#[test]
+fn pgather_collects_all_chunks_at_root() {
+    for root in [0usize, 2] {
+        let mut sim = Simulation::new(SimConfig::default());
+        let world = MpiWorld::gh200(&sim, 1);
+        let p = world.size();
+        world.run_ranks(&mut sim, move |ctx, rank| {
+            let partitions = 2usize;
+            let elems_per_chunk = 8usize;
+            let n = partitions * p * elems_per_chunk;
+            let buf = rank.gpu().alloc_global(n * 8);
+            for u in 0..partitions {
+                let region = u * p * elems_per_chunk;
+                let own = region + rank.rank() * elems_per_chunk;
+                buf.write_f64_slice(own * 8, &vec![mark(rank.rank(), u); elems_per_chunk]);
+            }
+            let stream = rank.gpu().create_stream();
+            let coll = pgather_init(ctx, rank, &buf, partitions, &stream, root, 42);
+            coll.start(ctx);
+            coll.pbuf_prepare(ctx);
+            for u in 0..partitions {
+                coll.pready(ctx, u);
+            }
+            coll.wait(ctx);
+            if rank.rank() == root {
+                for u in 0..partitions {
+                    for src in 0..p {
+                        let region = u * p * elems_per_chunk;
+                        let off = (region + src * elems_per_chunk) * 8;
+                        assert_eq!(
+                            buf.read_f64(off),
+                            mark(src, u),
+                            "root={root} partition={u} chunk from {src}"
+                        );
+                    }
+                }
+            }
+        });
+        sim.run().unwrap();
+    }
+}
+
+#[test]
+fn pscatter_delivers_each_ranks_chunk() {
+    for root in [0usize, 3] {
+        let mut sim = Simulation::new(SimConfig::default());
+        let world = MpiWorld::gh200(&sim, 1);
+        let p = world.size();
+        world.run_ranks(&mut sim, move |ctx, rank| {
+            let partitions = 2usize;
+            let elems_per_chunk = 8usize;
+            let n = partitions * p * elems_per_chunk;
+            let buf = rank.gpu().alloc_global(n * 8);
+            if rank.rank() == root {
+                // Root fills chunk `dst` with that destination's marker.
+                for u in 0..partitions {
+                    for dst in 0..p {
+                        let region = u * p * elems_per_chunk;
+                        let off = (region + dst * elems_per_chunk) * 8;
+                        buf.write_f64_slice(off, &vec![mark(dst, u); elems_per_chunk]);
+                    }
+                }
+            }
+            let stream = rank.gpu().create_stream();
+            let coll = pscatter_init(ctx, rank, &buf, partitions, &stream, root, 43);
+            coll.start(ctx);
+            coll.pbuf_prepare(ctx);
+            for u in 0..partitions {
+                coll.pready(ctx, u);
+            }
+            coll.wait(ctx);
+            for u in 0..partitions {
+                let region = u * p * elems_per_chunk;
+                let off = (region + rank.rank() * elems_per_chunk) * 8;
+                assert_eq!(
+                    buf.read_f64(off),
+                    mark(rank.rank(), u),
+                    "root={root} rank={} partition={u}",
+                    rank.rank()
+                );
+            }
+        });
+        sim.run().unwrap();
+    }
+}
+
+#[test]
+fn allgather_reuse_across_epochs() {
+    let mut sim = Simulation::new(SimConfig::default());
+    let world = MpiWorld::gh200(&sim, 1);
+    let p = world.size();
+    world.run_ranks(&mut sim, move |ctx, rank| {
+        let elems = 8usize;
+        let n = p * elems;
+        let buf = rank.gpu().alloc_global(n * 8);
+        let stream = rank.gpu().create_stream();
+        let coll = pallgather_init(ctx, rank, &buf, 1, &stream, 44);
+        for epoch in 1..=2u64 {
+            let own = rank.rank() * elems;
+            buf.write_f64_slice(own * 8, &vec![epoch as f64 * mark(rank.rank(), 0); elems]);
+            coll.start(ctx);
+            coll.pbuf_prepare(ctx);
+            coll.pready(ctx, 0);
+            coll.wait(ctx);
+            for src in 0..p {
+                assert_eq!(
+                    buf.read_f64(src * elems * 8),
+                    epoch as f64 * mark(src, 0),
+                    "epoch {epoch} chunk {src}"
+                );
+            }
+        }
+    });
+    sim.run().unwrap();
+}
+
+#[test]
+fn schedule_builders_are_consistent() {
+    // Allgather offsets chain between neighbors like the allreduce's
+    // second phase.
+    let p = 8;
+    for r in 0..p {
+        let s = Schedule::ring_allgather(r, p);
+        let next = Schedule::ring_allgather((r + 1) % p, p);
+        assert_eq!(s.len(), p - 1);
+        for i in 0..p - 1 {
+            assert_eq!(s.steps[i].ready_offset, next.steps[i].arrived_offset);
+        }
+    }
+    // Chain gather: total sends across ranks = P-1 chunks reaching the
+    // root... every rank at distance d sends P-d chunks.
+    for root in [0usize, 5] {
+        let mut total_sends = 0;
+        for r in 0..p {
+            let s = Schedule::chain_gather(r, p, root);
+            total_sends += s.steps.iter().filter(|st| !st.outgoing.is_empty()).count();
+        }
+        // Sum over d=1..P-1 of (P-d) = P(P-1)/2.
+        assert_eq!(total_sends, p * (p - 1) / 2, "root={root}");
+    }
+    // Chain scatter mirrors gather's send count.
+    for root in [0usize, 5] {
+        let mut total_sends = 0;
+        for r in 0..p {
+            let s = Schedule::chain_scatter(r, p, root);
+            total_sends += s.steps.iter().filter(|st| !st.outgoing.is_empty()).count();
+        }
+        assert_eq!(total_sends, p * (p - 1) / 2, "root={root}");
+    }
+}
+
+#[test]
+fn single_rank_collectives_complete_trivially() {
+    // A one-GPU world: every schedule is empty and the collective is a
+    // local no-op, but the control flow must still work end to end.
+    use parcomm_coll::pallreduce_init;
+    use parcomm_mpi::WorldConfig;
+    use parcomm_net::ClusterSpec;
+
+    let mut sim = Simulation::new(SimConfig::default());
+    let mut config = WorldConfig::gh200(1);
+    config.cluster = ClusterSpec { gpus_per_node: 1, nics_per_node: 1, ..ClusterSpec::gh200(1) };
+    let world = MpiWorld::new(&sim, config);
+    assert_eq!(world.size(), 1);
+    world.run_ranks(&mut sim, |ctx, rank| {
+        let n = 64usize;
+        let buf = rank.gpu().alloc_global(n * 8);
+        buf.write_f64_slice(0, &vec![3.5; n]);
+        let stream = rank.gpu().create_stream();
+        let coll = pallreduce_init(ctx, rank, &buf, 2, &stream, 45);
+        coll.start(ctx);
+        coll.pbuf_prepare(ctx);
+        coll.pready(ctx, 0);
+        coll.pready(ctx, 1);
+        coll.wait(ctx);
+        // Sum over one rank = identity.
+        assert_eq!(buf.read_f64_slice(0, n), vec![3.5; n]);
+        assert!(coll.parrived(0) && coll.parrived(1));
+    });
+    sim.run().unwrap();
+}
+
+#[test]
+fn collective_device_pready_partial_ranges() {
+    // Device bindings may mark partition subsets from separate kernels.
+    use parcomm_coll::pallreduce_init;
+    use parcomm_gpu::KernelSpec;
+
+    let mut sim = Simulation::new(SimConfig::default());
+    let world = MpiWorld::gh200(&sim, 1);
+    let p = world.size();
+    world.run_ranks(&mut sim, move |ctx, rank| {
+        let partitions = 4usize;
+        let n = partitions * p * 16;
+        let buf = rank.gpu().alloc_global(n * 8);
+        buf.write_f64_slice(0, &vec![1.0; n]);
+        let stream = rank.gpu().create_stream();
+        let coll = pallreduce_init(ctx, rank, &buf, partitions, &stream, 46);
+        coll.start(ctx);
+        coll.pbuf_prepare(ctx);
+        // Two kernels, each readying half the partitions.
+        let c1 = coll.clone();
+        stream.launch(ctx, KernelSpec::vector_add(1, 1024), move |d| {
+            c1.pready_device(d, 0..2);
+        });
+        let c2 = coll.clone();
+        stream.launch(ctx, KernelSpec::vector_add(1, 1024), move |d| {
+            c2.pready_device(d, 2..4);
+        });
+        coll.wait(ctx);
+        assert!(buf.read_f64_slice(0, n).iter().all(|v| (*v - p as f64).abs() < 1e-9));
+    });
+    sim.run().unwrap();
+}
+
+#[test]
+fn palltoall_exchanges_every_pair() {
+    use parcomm_coll::palltoall_init;
+    for nodes in [1u16, 2] {
+        let mut sim = Simulation::new(SimConfig::default());
+        let world = MpiWorld::gh200(&sim, nodes);
+        let p = world.size();
+        world.run_ranks(&mut sim, move |ctx, rank| {
+            let partitions = 2usize;
+            let elems_per_chunk = 8usize;
+            let n = partitions * p * elems_per_chunk;
+            let buf = rank.gpu().alloc_global(n * 8);
+            // Chunk d of partition u carries marker (sender, dest, u).
+            for u in 0..partitions {
+                for dst in 0..p {
+                    let region = u * p * elems_per_chunk;
+                    let off = (region + dst * elems_per_chunk) * 8;
+                    let val = (rank.rank() * 1000 + dst * 10 + u) as f64;
+                    buf.write_f64_slice(off, &vec![val; elems_per_chunk]);
+                }
+            }
+            let stream = rank.gpu().create_stream();
+            let coll = palltoall_init(ctx, rank, &buf, partitions, &stream, 47);
+            coll.start(ctx);
+            coll.pbuf_prepare(ctx);
+            for u in 0..partitions {
+                coll.pready(ctx, u);
+            }
+            coll.wait(ctx);
+            // Chunk s now holds what rank s sent to us.
+            for u in 0..partitions {
+                for src in 0..p {
+                    let region = u * p * elems_per_chunk;
+                    let off = (region + src * elems_per_chunk) * 8;
+                    let expect = (src * 1000 + rank.rank() * 10 + u) as f64;
+                    assert_eq!(
+                        buf.read_f64(off),
+                        expect,
+                        "nodes={nodes} rank={} partition={u} chunk from {src}",
+                        rank.rank()
+                    );
+                }
+            }
+        });
+        sim.run().unwrap();
+    }
+}
+
+#[test]
+fn pairwise_alltoall_schedule_is_symmetric() {
+    let p = 8;
+    for r in 0..p {
+        let s = Schedule::pairwise_alltoall(r, p);
+        assert_eq!(s.len(), p - 1);
+        for (idx, step) in s.steps.iter().enumerate() {
+            let i = idx + 1;
+            let to = step.outgoing[0];
+            // The peer's step i must receive from us, and file the arriving
+            // chunk under the *sender's* index (alltoall semantics: R ≠ A).
+            let peer = Schedule::pairwise_alltoall(to, p);
+            assert_eq!(peer.steps[idx].incoming[0], r, "step {i}");
+            assert_eq!(peer.steps[idx].arrived_offset, r, "step {i}");
+            assert_eq!(step.ready_offset, to, "step {i}");
+        }
+    }
+}

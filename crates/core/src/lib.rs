@@ -1,0 +1,30 @@
+//! # parcomm-core — MPI-native GPU-initiated MPI Partitioned communication
+//!
+//! The paper's primary contribution: a UCX-based Partitioned point-to-point
+//! component with device bindings.
+//!
+//! - **Host API** (MPI-4.0 + proposed extensions): [`psend_init`],
+//!   [`precv_init`], `start`, `pbuf_prepare` (the proposed
+//!   `MPIX_Pbuf_prepare` remote-buffer-readiness guarantee), host
+//!   `pready`/`parrived`, `wait`/`test`.
+//! - **Device API**: [`prequest_create`]/`free` building the slim
+//!   [`DevicePrequest`] (`MPIX_Prequest`), with in-kernel
+//!   `pready_all`/`pready_users` at thread/warp/block aggregation levels
+//!   ([`parcomm_gpu::AggLevel`]) and two copy mechanisms
+//!   ([`CopyMechanism::ProgressionEngine`], [`CopyMechanism::KernelCopy`]).
+//!
+//! See `DESIGN.md` for the experiment map and calibration anchors.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod channel;
+mod device;
+mod overheads;
+mod recv;
+mod send;
+
+pub use device::{prequest_create, CopyMechanism, DevicePrequest, PrequestConfig, PrequestError};
+pub use overheads::{ApiOverheads, Overhead};
+pub use recv::{precv_init, PrecvRequest};
+pub use send::{psend_init, transport_of_user, PsendRequest};

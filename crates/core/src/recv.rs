@@ -1,0 +1,296 @@
+//! The receive side of MPI Partitioned point-to-point.
+//!
+//! The receiver's job (paper §IV-A2): on the first `MPIX_Pbuf_prepare`,
+//! consume the sender's `setup_t`, register the receive buffer and the
+//! partition status flags (`ucp_mem_map` + `ucp_rkey_pack`), and reply with
+//! the rkeys. On later epochs it just signals ready-to-receive. Partition
+//! arrival is observed through the flag words the sender's chained puts
+//! raise; `MPI_Parrived` reads them and `MPI_Wait` blocks until all user
+//! partitions of the epoch have landed.
+
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use parcomm_gpu::{Buffer, CostModel, MemSpace};
+use parcomm_mpi::Rank;
+use parcomm_sim::{CountEvent, Ctx, SimDuration};
+use parcomm_ucx::{Endpoint, Worker};
+
+use crate::channel::{am_tag, Channel, ReadyToReceive, ReceiverSetup, SenderSetup};
+use crate::overheads::ApiOverheads;
+
+pub(crate) struct RecvState {
+    pub epoch: u64,
+    pub started: bool,
+    pub prepared: bool,
+    pub ep_to_sender: Option<Endpoint>,
+    /// Device-memory mirror of the arrival flags for the `MPIX_Parrived`
+    /// device binding, refreshed during `MPI_Wait` (paper §IV-A4).
+    pub device_mirror: Option<Buffer>,
+}
+
+pub(crate) struct PrecvShared {
+    pub worker: Worker,
+    pub cost: CostModel,
+    pub overheads: ApiOverheads,
+    pub my_rank: usize,
+    pub src: usize,
+    pub tag: u64,
+    pub buffer: Buffer,
+    pub user_partitions: usize,
+    pub partition_bytes: usize,
+    /// Host flag words, one per user partition; a flag equals the current
+    /// epoch number once its partition has arrived.
+    pub flags: Buffer,
+    /// Arrival counter for the current epoch (bumped by the sender's
+    /// chained flag put at its arrival instant).
+    pub arrived: CountEvent,
+    pub state: Mutex<RecvState>,
+}
+
+/// A persistent partitioned receive channel (`MPI_Precv_init` result).
+#[derive(Clone)]
+pub struct PrecvRequest {
+    pub(crate) inner: Arc<PrecvShared>,
+}
+
+/// Initialize a partitioned receive channel: `MPI_Precv_init`.
+pub fn precv_init(
+    ctx: &mut Ctx,
+    rank: &Rank,
+    src: usize,
+    tag: u64,
+    buffer: &Buffer,
+    partitions: usize,
+) -> PrecvRequest {
+    assert!(partitions > 0, "precv_init: need at least one partition");
+    assert_eq!(
+        buffer.len() % partitions,
+        0,
+        "precv_init: buffer length {} not divisible into {} partitions",
+        buffer.len(),
+        partitions
+    );
+    let overheads = ApiOverheads::default();
+    ctx.advance(ApiOverheads::sample(ctx, overheads.p2p_init));
+    let flags = Buffer::alloc(MemSpace::Host { node: rank.gpu().id().node }, partitions * 8);
+    PrecvRequest {
+        inner: Arc::new(PrecvShared {
+            worker: rank.worker().clone(),
+            cost: rank.gpu().cost().clone(),
+            overheads,
+            my_rank: rank.rank(),
+            src,
+            tag,
+            buffer: buffer.clone(),
+            user_partitions: partitions,
+            partition_bytes: buffer.len() / partitions,
+            flags,
+            arrived: CountEvent::new(),
+            state: Mutex::new(RecvState {
+                epoch: 0,
+                started: false,
+                prepared: false,
+                ep_to_sender: None,
+                device_mirror: None,
+            }),
+        }),
+    }
+}
+
+impl PrecvRequest {
+    /// Number of user partitions.
+    pub fn user_partitions(&self) -> usize {
+        self.inner.user_partitions
+    }
+
+    /// Bytes per user partition.
+    pub fn partition_bytes(&self) -> usize {
+        self.inner.partition_bytes
+    }
+
+    /// The receive buffer.
+    pub fn buffer(&self) -> &Buffer {
+        &self.inner.buffer
+    }
+
+    /// `MPI_Start`: open a new receive epoch.
+    pub fn start(&self, _ctx: &mut Ctx) {
+        let mut st = self.inner.state.lock();
+        assert!(!st.started, "MPI_Start while the previous epoch is still active");
+        st.epoch += 1;
+        st.started = true;
+        self.inner.arrived.reset();
+        // Flags are epoch-stamped, so no zeroing is needed: a flag is "set"
+        // for this epoch iff it equals the new epoch number.
+    }
+
+    /// `MPIX_Pbuf_prepare` (receiver side): first call performs the
+    /// deferred registration and rkey reply; later calls send the
+    /// ready-to-receive signal.
+    pub fn pbuf_prepare(&self, ctx: &mut Ctx) {
+        let (first, epoch) = {
+            let st = self.inner.state.lock();
+            assert!(st.started, "MPIX_Pbuf_prepare before MPI_Start");
+            (!st.prepared, st.epoch)
+        };
+        let inner = &self.inner;
+        if first {
+            // Deferred MCA init + ucp_mem_map of data and flag regions +
+            // rkey packing: the bulk of the paper's 193.4 µs first-call cost.
+            ctx.advance(ApiOverheads::sample(ctx, inner.overheads.pbuf_prepare_first_recv));
+            let setup_tag = am_tag(Channel::Setup, inner.tag, inner.src, inner.my_rank);
+            let msg = inner.worker.am_recv(ctx, setup_tag);
+            let ss = msg.payload.downcast::<SenderSetup>().expect("setup payload type mismatch");
+            assert_eq!(
+                ss.user_partitions, inner.user_partitions,
+                "partitioned channel: sender/receiver partition counts differ \
+                 (sender {}, receiver {})",
+                ss.user_partitions, inner.user_partitions
+            );
+            assert_eq!(
+                ss.partition_bytes * ss.user_partitions,
+                inner.buffer.len(),
+                "partitioned channel: buffer sizes differ"
+            );
+            let data_rkey = inner.worker.mem_map(&inner.buffer).pack_rkey();
+            let flag_rkey = inner.worker.mem_map(&inner.flags).pack_rkey();
+            let ep = inner
+                .worker
+                .create_endpoint(ss.sender_addr)
+                .expect("sender worker not registered");
+            ep.am_send(
+                am_tag(Channel::SetupReply, inner.tag, inner.src, inner.my_rank),
+                ReceiverSetup {
+                    data_rkey,
+                    flag_rkey,
+                    notifier: inner.arrived.clone(),
+                    user_partitions: inner.user_partitions,
+                },
+                ReceiverSetup::WIRE_BYTES,
+            );
+            let mut st = inner.state.lock();
+            st.ep_to_sender = Some(ep);
+            st.prepared = true;
+        } else {
+            ctx.advance(ApiOverheads::sample(ctx, inner.overheads.pbuf_prepare_steady));
+            let ep = inner.state.lock().ep_to_sender.clone().expect("prepared state lost");
+            ep.am_send(
+                am_tag(Channel::ReadyToReceive, inner.tag, inner.src, inner.my_rank),
+                ReadyToReceive { epoch },
+                ReadyToReceive::WIRE_BYTES,
+            );
+        }
+    }
+
+    /// `MPI_Parrived` (host binding): has user partition `u` arrived this
+    /// epoch? A pure flag read.
+    pub fn parrived(&self, u: usize) -> bool {
+        assert!(u < self.inner.user_partitions, "parrived: partition out of range");
+        let epoch = self.inner.state.lock().epoch;
+        self.inner.flags.read_flag(u) == epoch
+    }
+
+    /// Number of user partitions arrived so far this epoch.
+    pub fn arrived_count(&self) -> u64 {
+        self.inner.arrived.count()
+    }
+
+    /// The arrival counter event (used by collective progression).
+    pub fn arrived_event(&self) -> &CountEvent {
+        &self.inner.arrived
+    }
+
+    /// Block until at least `n` user partitions of the current epoch have
+    /// arrived (a blocking `MPI_Parrived` companion for receiver-side
+    /// pipelining: consume early partitions while later ones are still in
+    /// flight).
+    pub fn wait_arrivals(&self, ctx: &mut Ctx, n: u64) {
+        let target = n.min(self.inner.user_partitions as u64);
+        ctx.wait_count(&self.inner.arrived, target);
+    }
+
+    /// `MPI_Wait` (receiver side): block until every user partition of the
+    /// epoch has arrived, then close the epoch. Also refreshes the
+    /// device-memory mirror of the arrival flags if one was created
+    /// (paper: "we issue a memory copy to the device in `MPI_Wait` as
+    /// partitions arrive").
+    pub fn wait(&self, ctx: &mut Ctx) {
+        {
+            let st = self.inner.state.lock();
+            assert!(st.started, "MPI_Wait without MPI_Start");
+        }
+        ctx.wait_count(&self.inner.arrived, self.inner.user_partitions as u64);
+        let mirror = self.inner.state.lock().device_mirror.clone();
+        if let Some(m) = mirror {
+            // Host→device copy of the flag words over C2C.
+            m.copy_from_buffer(0, &self.inner.flags, 0, self.inner.user_partitions * 8);
+            ctx.advance(SimDuration::from_micros_f64(
+                self.inner.user_partitions as f64 * 8.0 / (self.inner.cost.hbm_bw_gbps * 1e3)
+                    + 0.6,
+            ));
+        }
+        self.inner.state.lock().started = false;
+    }
+
+    /// `MPI_Test` (receiver side).
+    pub fn test(&self) -> bool {
+        self.inner.arrived.count() >= self.inner.user_partitions as u64
+    }
+
+    /// Create (lazily) the GPU-global-memory mirror of the arrival flags
+    /// used by the `MPIX_Parrived` device binding. Reading a flag in device
+    /// memory is far cheaper for a kernel than reaching into host memory
+    /// (paper §IV-A4).
+    pub fn device_arrival_flags(&self, rank: &Rank) -> Buffer {
+        let mut st = self.inner.state.lock();
+        if st.device_mirror.is_none() {
+            st.device_mirror = Some(rank.gpu().alloc_global(self.inner.user_partitions * 8));
+        }
+        st.device_mirror.clone().expect("just created")
+    }
+
+    /// `MPIX_Parrived` device binding: check the device-memory mirror for
+    /// user partition `u`, charging the device flag-read cost to the kernel.
+    /// The mirror is only refreshed in `MPI_Wait`, mirroring the paper's
+    /// design (and its staleness caveat).
+    pub fn parrived_device(&self, d: &mut parcomm_gpu::DeviceCtx<'_>, u: usize) -> bool {
+        let read_cost = SimDuration::from_micros_f64(self.inner.cost.device_flag_read_us);
+        d.extend(read_cost);
+        let st = self.inner.state.lock();
+        match &st.device_mirror {
+            Some(m) => m.read_flag(u) == st.epoch,
+            None => false,
+        }
+    }
+}
+
+impl PrecvRequest {
+    /// `MPI_Request_free` for the persistent receive channel (no active
+    /// epoch allowed). Consumes the handle.
+    pub fn free(self, ctx: &mut Ctx) {
+        {
+            let st = self.inner.state.lock();
+            assert!(
+                !st.started,
+                "MPI_Request_free while a communication epoch is active"
+            );
+        }
+        ctx.advance(SimDuration::from_micros_f64(2.0));
+        drop(self);
+    }
+}
+
+impl std::fmt::Debug for PrecvRequest {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let st = self.inner.state.lock();
+        f.debug_struct("PrecvRequest")
+            .field("src", &self.inner.src)
+            .field("dst", &self.inner.my_rank)
+            .field("tag", &self.inner.tag)
+            .field("partitions", &self.inner.user_partitions)
+            .field("epoch", &st.epoch)
+            .finish()
+    }
+}

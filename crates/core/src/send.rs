@@ -1,0 +1,451 @@
+//! The send side of MPI Partitioned point-to-point.
+//!
+//! Life cycle (paper Fig. 1 / §IV-A):
+//!
+//! 1. [`psend_init`] — create the channel, ship `setup_t` to the receiver
+//!    (non-blocking).
+//! 2. [`PsendRequest::start`] — open a communication epoch: reset partition
+//!    state (`MPI_Start`).
+//! 3. [`PsendRequest::pbuf_prepare`] — blocking guarantee that the remote
+//!    buffer is ready. First call completes the rkey exchange; later calls
+//!    wait for the receiver's ready-to-receive signal.
+//! 4. [`PsendRequest::pready`] — host binding of `MPI_Pready`: mark a user
+//!    partition ready; when a whole *transport* partition is ready, put its
+//!    data and chain the receive-side flag put.
+//! 5. [`PsendRequest::wait`] — block until every transport partition of the
+//!    epoch is delivered (`MPI_Wait`), closing the epoch.
+//!
+//! Device bindings (`MPIX_Pready` from inside a kernel) live in
+//! `crate::device` and drive the same state machine through the crate-
+//! internal `mark_ready` / `issue_*` entry points.
+
+use std::ops::Range;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use parcomm_gpu::{Buffer, CostModel, MemSpace};
+use parcomm_mpi::{chunk_range, MpiWorld, ProgressionEngine, Rank};
+use parcomm_sim::{CountEvent, Ctx, SimDuration, SimHandle};
+use parcomm_ucx::{Endpoint, RKey, Worker};
+
+use crate::channel::{am_tag, Channel, ReadyToReceive, ReceiverSetup, SenderSetup};
+use crate::overheads::ApiOverheads;
+
+/// Which transport partition covers user partition `u` when `users` user
+/// partitions are aggregated into `transports` transport partitions
+/// (contiguous, balanced split — the inverse of [`chunk_range`]).
+pub fn transport_of_user(users: usize, transports: usize, u: usize) -> usize {
+    debug_assert!(u < users);
+    let base = users / transports;
+    let rem = users % transports;
+    let fat = (base + 1) * rem; // users covered by the first `rem` fat chunks
+    if u < fat {
+        u / (base + 1)
+    } else {
+        rem + (u - fat) / base
+    }
+}
+
+pub(crate) struct SendState {
+    pub epoch: u64,
+    pub started: bool,
+    pub prepared: bool,
+    pub transport_partitions: usize,
+    pub data_rkey: Option<RKey>,
+    pub flag_rkey: Option<RKey>,
+    /// Receiver's arrival counter (the sim stand-in for the receiver
+    /// polling its flag memory); bumped by the chained flag put.
+    pub notifier: Option<CountEvent>,
+    /// Per-transport count of user partitions marked ready this epoch.
+    pub ready: Vec<u64>,
+    /// Per-user-partition ready bit (double-`MPI_Pready` detection).
+    pub user_ready: Vec<bool>,
+    /// Per-transport "put issued" latch.
+    pub sent: Vec<bool>,
+    /// Host staging for the chained flag puts: one u64 per user partition,
+    /// holding the current epoch number.
+    pub flag_stage: Buffer,
+}
+
+pub(crate) struct PsendShared {
+    pub world: MpiWorld,
+    pub worker: Worker,
+    pub progression: ProgressionEngine,
+    pub cost: CostModel,
+    pub overheads: ApiOverheads,
+    pub my_rank: usize,
+    pub dest: usize,
+    pub tag: u64,
+    pub buffer: Buffer,
+    pub user_partitions: usize,
+    pub partition_bytes: usize,
+    pub endpoint: Endpoint,
+    pub state: Mutex<SendState>,
+    /// Bumped once per transport partition delivered this epoch.
+    pub transport_complete: CountEvent,
+}
+
+/// A persistent partitioned send channel (`MPI_Psend_init` result).
+#[derive(Clone)]
+pub struct PsendRequest {
+    pub(crate) inner: Arc<PsendShared>,
+}
+
+/// Initialize a partitioned send channel: `MPI_Psend_init`.
+///
+/// `buffer.len()` must be divisible by `partitions`. The `setup_t` object is
+/// shipped to the receiver non-blocking; all deferred work happens in the
+/// first [`PsendRequest::pbuf_prepare`].
+pub fn psend_init(
+    ctx: &mut Ctx,
+    rank: &Rank,
+    dest: usize,
+    tag: u64,
+    buffer: &Buffer,
+    partitions: usize,
+) -> PsendRequest {
+    assert!(partitions > 0, "psend_init: need at least one partition");
+    assert_eq!(
+        buffer.len() % partitions,
+        0,
+        "psend_init: buffer length {} not divisible into {} partitions",
+        buffer.len(),
+        partitions
+    );
+    assert_ne!(dest, rank.rank(), "psend_init: self-send channels are not supported");
+    let overheads = ApiOverheads::default();
+    ctx.advance(ApiOverheads::sample(ctx, overheads.p2p_init));
+
+    let endpoint = rank
+        .worker()
+        .create_endpoint(rank.peer_address(dest))
+        .expect("psend_init: destination worker not registered");
+    let setup = SenderSetup {
+        src: rank.rank(),
+        dst: dest,
+        tag,
+        user_partitions: partitions,
+        partition_bytes: buffer.len() / partitions,
+        sender_addr: rank.worker().address(),
+    };
+    endpoint.am_send(
+        am_tag(Channel::Setup, tag, rank.rank(), dest),
+        setup,
+        SenderSetup::WIRE_BYTES,
+    );
+
+    let flag_stage = Buffer::alloc(MemSpace::Host { node: rank.gpu().id().node }, partitions * 8);
+    PsendRequest {
+        inner: Arc::new(PsendShared {
+            world: rank.world().clone(),
+            worker: rank.worker().clone(),
+            progression: rank.progression().clone(),
+            cost: rank.gpu().cost().clone(),
+            overheads,
+            my_rank: rank.rank(),
+            dest,
+            tag,
+            buffer: buffer.clone(),
+            user_partitions: partitions,
+            partition_bytes: buffer.len() / partitions,
+            endpoint,
+            state: Mutex::new(SendState {
+                epoch: 0,
+                started: false,
+                prepared: false,
+                transport_partitions: 1,
+                data_rkey: None,
+                flag_rkey: None,
+                notifier: None,
+                ready: vec![0; 1],
+                user_ready: vec![false; partitions],
+                sent: vec![false; 1],
+                flag_stage,
+            }),
+            transport_complete: CountEvent::new(),
+        }),
+    }
+}
+
+impl PsendRequest {
+    /// Number of user partitions of this channel.
+    pub fn user_partitions(&self) -> usize {
+        self.inner.user_partitions
+    }
+
+    /// Bytes per user partition.
+    pub fn partition_bytes(&self) -> usize {
+        self.inner.partition_bytes
+    }
+
+    /// Current transport partition count (user partitions are aggregated
+    /// into this many RMA puts per epoch).
+    pub fn transport_partitions(&self) -> usize {
+        self.inner.state.lock().transport_partitions
+    }
+
+    /// The send buffer.
+    pub fn buffer(&self) -> &Buffer {
+        &self.inner.buffer
+    }
+
+    /// Configure transport aggregation. Must be called before any partition
+    /// of the current epoch is marked ready. `t` must be in
+    /// `1..=user_partitions`.
+    pub fn set_transport_partitions(&self, t: usize) {
+        assert!(t >= 1 && t <= self.inner.user_partitions, "invalid transport partition count {t}");
+        let mut st = self.inner.state.lock();
+        assert!(
+            st.ready.iter().all(|&c| c == 0),
+            "set_transport_partitions after partitions were marked ready"
+        );
+        st.transport_partitions = t;
+        st.ready = vec![0; t];
+        st.sent = vec![false; t];
+    }
+
+    /// `MPI_Start`: open a new communication epoch.
+    pub fn start(&self, _ctx: &mut Ctx) {
+        let mut st = self.inner.state.lock();
+        assert!(!st.started, "MPI_Start while the previous epoch is still active");
+        st.epoch += 1;
+        st.started = true;
+        let t = st.transport_partitions;
+        st.ready = vec![0; t];
+        st.user_ready = vec![false; self.inner.user_partitions];
+        st.sent = vec![false; t];
+        self.inner.transport_complete.reset();
+        // Flag puts carry the epoch number so MPI_Parrived can distinguish
+        // epochs without a reset race.
+        let epoch = st.epoch;
+        for u in 0..self.inner.user_partitions {
+            st.flag_stage.write_flag(u, epoch);
+        }
+    }
+
+    /// `MPIX_Pbuf_prepare` (sender side): block until the receiver's buffer
+    /// is guaranteed ready for this epoch.
+    pub fn pbuf_prepare(&self, ctx: &mut Ctx) {
+        let (first, epoch) = {
+            let st = self.inner.state.lock();
+            assert!(st.started, "MPIX_Pbuf_prepare before MPI_Start");
+            (!st.prepared, st.epoch)
+        };
+        if first {
+            ctx.advance(ApiOverheads::sample(ctx, self.inner.overheads.pbuf_prepare_first_send));
+            let reply_tag = am_tag(Channel::SetupReply, self.inner.tag, self.inner.my_rank, self.inner.dest);
+            let msg = self.inner.worker.am_recv(ctx, reply_tag);
+            let rs = msg
+                .payload
+                .downcast::<ReceiverSetup>()
+                .expect("setup reply payload type mismatch");
+            assert_eq!(
+                rs.user_partitions, self.inner.user_partitions,
+                "partitioned channel: sender and receiver partition counts differ"
+            );
+            let mut st = self.inner.state.lock();
+            st.data_rkey = Some(rs.data_rkey.clone());
+            st.flag_rkey = Some(rs.flag_rkey.clone());
+            st.notifier = Some(rs.notifier.clone());
+            st.prepared = true;
+        } else {
+            ctx.advance(ApiOverheads::sample(ctx, self.inner.overheads.pbuf_prepare_steady));
+            let rtr_tag = am_tag(Channel::ReadyToReceive, self.inner.tag, self.inner.my_rank, self.inner.dest);
+            let msg = self.inner.worker.am_recv(ctx, rtr_tag);
+            let rtr = msg.payload.downcast::<ReadyToReceive>().expect("RTR payload type mismatch");
+            assert_eq!(rtr.epoch, epoch, "receiver epoch out of sync with sender");
+        }
+    }
+
+    /// Host binding of `MPI_Pready`: mark one user partition ready. If that
+    /// completes a transport partition, its data put is issued from the
+    /// calling process (charging the put-post cost).
+    pub fn pready(&self, ctx: &mut Ctx, user_partition: usize) {
+        let completed = self.inner.mark_ready(user_partition..user_partition + 1);
+        for k in completed {
+            ctx.advance(SimDuration::from_micros_f64(self.inner.cost.data_put_post_us));
+            self.inner.issue_data_put(&ctx.handle(), k);
+        }
+    }
+
+    /// Host bulk `MPI_Pready` over a contiguous user partition range.
+    pub fn pready_range(&self, ctx: &mut Ctx, users: Range<usize>) {
+        let completed = self.inner.mark_ready(users);
+        for k in completed {
+            ctx.advance(SimDuration::from_micros_f64(self.inner.cost.data_put_post_us));
+            self.inner.issue_data_put(&ctx.handle(), k);
+        }
+    }
+
+    /// `MPI_Wait` (sender side): block until every transport partition of
+    /// the current epoch is delivered, then close the epoch.
+    pub fn wait(&self, ctx: &mut Ctx) {
+        let t = {
+            let st = self.inner.state.lock();
+            assert!(st.started, "MPI_Wait without MPI_Start");
+            st.transport_partitions as u64
+        };
+        ctx.wait_count(&self.inner.transport_complete, t);
+        self.inner.state.lock().started = false;
+    }
+
+    /// `MPI_Test` (sender side): true when the epoch is fully delivered.
+    pub fn test(&self) -> bool {
+        let st = self.inner.state.lock();
+        self.inner.transport_complete.count() >= st.transport_partitions as u64
+    }
+
+    pub(crate) fn shared(&self) -> &Arc<PsendShared> {
+        &self.inner
+    }
+
+    /// `MPI_Request_free` for the persistent channel: the request must not
+    /// have an active epoch. Resources are reference-counted in the
+    /// simulation; this charges the host bookkeeping cost and consumes the
+    /// handle so further API calls are impossible.
+    pub fn free(self, ctx: &mut Ctx) {
+        {
+            let st = self.inner.state.lock();
+            assert!(
+                !st.started,
+                "MPI_Request_free while a communication epoch is active"
+            );
+        }
+        ctx.advance(SimDuration::from_micros_f64(2.0));
+        drop(self);
+    }
+}
+
+impl PsendShared {
+    /// Mark a user range ready; returns the transport partitions that just
+    /// became complete (and latches them as sent).
+    pub(crate) fn mark_ready(&self, users: Range<usize>) -> Vec<usize> {
+        assert!(users.end <= self.user_partitions, "pready: partition out of range");
+        let mut st = self.state.lock();
+        assert!(st.started, "MPI_Pready before MPI_Start");
+        assert!(st.prepared, "MPI_Pready before MPIX_Pbuf_prepare (receiver not guaranteed ready)");
+        let t = st.transport_partitions;
+        for u in users.clone() {
+            assert!(
+                !st.user_ready[u],
+                "user partition {u} marked ready twice in one epoch"
+            );
+            st.user_ready[u] = true;
+        }
+        let mut completed = Vec::new();
+        let k_first = transport_of_user(self.user_partitions, t, users.start);
+        let k_last = transport_of_user(self.user_partitions, t, users.end - 1);
+        for k in k_first..=k_last {
+            let (k_start, k_len) = chunk_range(self.user_partitions, t, k);
+            let overlap_start = users.start.max(k_start);
+            let overlap_end = users.end.min(k_start + k_len);
+            let overlap = overlap_end.saturating_sub(overlap_start) as u64;
+            if overlap == 0 {
+                continue;
+            }
+            st.ready[k] += overlap;
+            if st.ready[k] == k_len as u64 && !st.sent[k] {
+                st.sent[k] = true;
+                completed.push(k);
+            }
+        }
+        completed
+    }
+
+    /// Issue the data put for transport partition `k`, chaining the
+    /// receive-side flag put at its completion (paper §IV-A4).
+    pub(crate) fn issue_data_put(&self, _h: &SimHandle, k: usize) {
+        let (ep, data_rkey, flag_rkey, notifier, flag_stage, t) = {
+            let st = self.state.lock();
+            (
+                self.endpoint.clone(),
+                st.data_rkey.clone().expect("pbuf_prepare not completed"),
+                st.flag_rkey.clone().expect("pbuf_prepare not completed"),
+                st.notifier.clone().expect("pbuf_prepare not completed"),
+                st.flag_stage.clone(),
+                st.transport_partitions,
+            )
+        };
+        let (u0, ulen) = chunk_range(self.user_partitions, t, k);
+        let byte_off = u0 * self.partition_bytes;
+        let byte_len = ulen * self.partition_bytes;
+        let tc = self.transport_complete.clone();
+        let ep2 = ep.clone();
+        ep.put_nbx(&self.buffer, byte_off, byte_len, &data_rkey, byte_off, move |_h| {
+            // Data delivered: chain the control put that raises the
+            // receive-side partition flags (UCX has no put-with-completion).
+            // The sender's transport-complete count also waits for this
+            // chained put, so the epoch cannot close (and the flag staging
+            // cannot be restamped by the next MPI_Start) while a flag put
+            // is still reading it.
+            let notifier = notifier.clone();
+            let tc = tc.clone();
+            ep2.put_nbx(&flag_stage, u0 * 8, ulen * 8, &flag_rkey, u0 * 8, move |h| {
+                notifier.add(h, ulen as u64);
+                tc.add(h, 1);
+            });
+        });
+    }
+
+    /// Kernel-copy completion signal: the data already landed via in-kernel
+    /// NVLink stores; only the flag put travels.
+    pub(crate) fn issue_completion_flag_put(&self, _h: &SimHandle, k: usize) {
+        let (ep, flag_rkey, notifier, flag_stage, t) = {
+            let st = self.state.lock();
+            (
+                self.endpoint.clone(),
+                st.flag_rkey.clone().expect("pbuf_prepare not completed"),
+                st.notifier.clone().expect("pbuf_prepare not completed"),
+                st.flag_stage.clone(),
+                st.transport_partitions,
+            )
+        };
+        let (u0, ulen) = chunk_range(self.user_partitions, t, k);
+        let tc = self.transport_complete.clone();
+        ep.put_nbx(&flag_stage, u0 * 8, ulen * 8, &flag_rkey, u0 * 8, move |h| {
+            notifier.add(h, ulen as u64);
+            tc.add(h, 1);
+        });
+    }
+}
+
+impl std::fmt::Debug for PsendRequest {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let st = self.inner.state.lock();
+        f.debug_struct("PsendRequest")
+            .field("src", &self.inner.my_rank)
+            .field("dst", &self.inner.dest)
+            .field("tag", &self.inner.tag)
+            .field("partitions", &self.inner.user_partitions)
+            .field("epoch", &st.epoch)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::transport_of_user;
+    use parcomm_mpi::chunk_range;
+
+    #[test]
+    fn transport_of_user_inverts_chunk_range() {
+        for users in [1usize, 4, 7, 16, 1024] {
+            for transports in [1usize, 2, 3, 4] {
+                if transports > users {
+                    continue;
+                }
+                for k in 0..transports {
+                    let (start, len) = chunk_range(users, transports, k);
+                    for u in start..start + len {
+                        assert_eq!(
+                            transport_of_user(users, transports, u),
+                            k,
+                            "users={users} transports={transports} u={u}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+}

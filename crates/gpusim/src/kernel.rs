@@ -1,0 +1,206 @@
+//! Kernel launches and the device-side execution context.
+//!
+//! A kernel is described by a [`KernelSpec`] (geometry + per-thread resource
+//! counts, which drive the cost model) and an optional **body closure** that
+//! runs once per launch against a [`DeviceCtx`]. The body performs the
+//! kernel's *functional* effects (reading/writing simulated buffers) and
+//! records *timed* device-side actions — notification-flag writes, in-kernel
+//! NVLink stores — as offsets within the kernel's execution window. The
+//! stream engine then schedules those actions as simulation callbacks at
+//! `kernel_start + offset`.
+//!
+//! This keeps the programming model close to the paper's Listing 2 — the
+//! body is "the kernel", and calling the device-side partitioned API inside
+//! it both moves data and costs time — without simulating 10⁸ CUDA threads
+//! individually.
+
+use parcomm_sim::{Event, SimDuration, SimHandle, SimTime};
+
+use crate::cost::CostModel;
+
+/// A timed device-side action: a callback scheduled at an offset within
+/// the kernel's execution window.
+type Emission = (SimDuration, Box<dyn FnOnce(&SimHandle) + Send + 'static>);
+
+/// Geometry and resource description of a kernel launch.
+#[derive(Clone, Debug)]
+pub struct KernelSpec {
+    /// Kernel name (diagnostics only).
+    pub name: &'static str,
+    /// Number of thread blocks ("grid size" in the paper's figures).
+    pub grid_dim: u32,
+    /// Threads per block (≤ 1024 on Hopper).
+    pub block_dim: u32,
+    /// Bytes each thread reads from global memory.
+    pub bytes_read_per_thread: u64,
+    /// Bytes each thread writes to global memory.
+    pub bytes_written_per_thread: u64,
+    /// Floating-point operations per thread.
+    pub flops_per_thread: f64,
+}
+
+impl KernelSpec {
+    /// A kernel with the given geometry and no modeled memory/compute
+    /// traffic (cost = fixed launch cost only).
+    pub fn new(name: &'static str, grid_dim: u32, block_dim: u32) -> Self {
+        assert!((1..=1024).contains(&block_dim), "block_dim must be 1..=1024");
+        assert!(grid_dim >= 1, "grid_dim must be >= 1");
+        KernelSpec {
+            name,
+            grid_dim,
+            block_dim,
+            bytes_read_per_thread: 0,
+            bytes_written_per_thread: 0,
+            flops_per_thread: 0.0,
+        }
+    }
+
+    /// Set per-thread global-memory traffic (read, written) in bytes.
+    pub fn with_memory_traffic(mut self, read: u64, written: u64) -> Self {
+        self.bytes_read_per_thread = read;
+        self.bytes_written_per_thread = written;
+        self
+    }
+
+    /// Set per-thread flop count.
+    pub fn with_flops(mut self, flops: f64) -> Self {
+        self.flops_per_thread = flops;
+        self
+    }
+
+    /// The paper's vector-add workload: `C = A + B`, 8 B elements, so each
+    /// thread reads 16 B, writes 8 B, and does 1 flop.
+    pub fn vector_add(grid_dim: u32, block_dim: u32) -> Self {
+        KernelSpec::new("vector_add", grid_dim, block_dim)
+            .with_memory_traffic(16, 8)
+            .with_flops(1.0)
+    }
+
+    /// Total threads in the launch.
+    pub fn threads(&self) -> u64 {
+        self.grid_dim as u64 * self.block_dim as u64
+    }
+}
+
+/// The device-side context a kernel body runs against.
+///
+/// Provides the clock-free facilities a kernel has: extending its own
+/// execution time (modeling in-kernel communication work) and scheduling
+/// timed emissions (flag writes, copy completions) at offsets inside its
+/// execution window.
+pub struct DeviceCtx<'a> {
+    spec: &'a KernelSpec,
+    cost: &'a CostModel,
+    handle: &'a SimHandle,
+    start: SimTime,
+    /// Duration of the pure-compute phase (from the spec).
+    compute: SimDuration,
+    /// Extra device time accumulated by in-kernel communication.
+    extra: SimDuration,
+    /// Timed actions: (offset from kernel start, callback).
+    emissions: Vec<Emission>,
+    /// Host-flag writes already issued by this kernel (the fixed drain
+    /// latency `a` of the `a + n·b` model is paid once per kernel).
+    flag_writes_done: u32,
+}
+
+impl<'a> DeviceCtx<'a> {
+    pub(crate) fn new(
+        spec: &'a KernelSpec,
+        cost: &'a CostModel,
+        handle: &'a SimHandle,
+        start: SimTime,
+    ) -> Self {
+        let compute = cost.kernel_duration(spec);
+        DeviceCtx {
+            spec,
+            cost,
+            handle,
+            start,
+            compute,
+            extra: SimDuration::ZERO,
+            emissions: Vec::new(),
+            flag_writes_done: 0,
+        }
+    }
+
+    /// The launch geometry of this kernel.
+    pub fn spec(&self) -> &KernelSpec {
+        self.spec
+    }
+
+    /// The cost model of the device this kernel runs on.
+    pub fn cost(&self) -> &CostModel {
+        self.cost
+    }
+
+    /// Virtual instant at which this kernel starts executing on the device.
+    pub fn start_time(&self) -> SimTime {
+        self.start
+    }
+
+    /// Duration of the compute phase (before any in-kernel communication
+    /// tail added with [`extend`](Self::extend)).
+    pub fn compute_duration(&self) -> SimDuration {
+        self.compute
+    }
+
+    /// Offset of the current end of the kernel (compute + accumulated extra).
+    pub fn current_end_offset(&self) -> SimDuration {
+        self.compute + self.extra
+    }
+
+    /// Add device time to this kernel (in-kernel sync, flag writes, NVLink
+    /// stores). Returns the new end offset.
+    pub fn extend(&mut self, d: SimDuration) -> SimDuration {
+        self.extra += d;
+        self.current_end_offset()
+    }
+
+    /// Schedule `cb` to run at `offset` from kernel start. The kernel's
+    /// execution window is *not* implicitly extended; call
+    /// [`extend`](Self::extend) for actions that occupy the device.
+    pub fn at_offset(&mut self, offset: SimDuration, cb: impl FnOnce(&SimHandle) + Send + 'static) {
+        self.emissions.push((offset, Box::new(cb)));
+    }
+
+    /// Non-blocking access to the simulation (e.g. for reading the RNG).
+    pub fn sim(&self) -> &SimHandle {
+        self.handle
+    }
+
+    /// Cost (µs) of issuing `n` more pinned-host notification writes from
+    /// this kernel. The first train of the kernel pays the fixed drain
+    /// latency `a`; later trains (e.g. additional channels in the same
+    /// kernel) ride the already-primed pipeline and pay only `n·b`.
+    pub fn flag_write_train_us(&mut self, n: u32) -> f64 {
+        if n == 0 {
+            return 0.0;
+        }
+        let base = if self.flag_writes_done == 0 { self.cost.host_flag_write_base_us } else { 0.0 };
+        self.flag_writes_done += n;
+        base + n as f64 * self.cost.host_flag_write_per_us
+    }
+
+    pub(crate) fn finish(self) -> (SimDuration, Vec<Emission>) {
+        (self.compute + self.extra, self.emissions)
+    }
+}
+
+/// Handle to an in-flight (or completed) kernel launch.
+#[derive(Clone, Debug)]
+pub struct LaunchHandle {
+    /// Fires when the kernel's execution window closes.
+    pub done: Event,
+    /// Kernel start on the device.
+    pub start: SimTime,
+    /// Kernel end on the device.
+    pub end: SimTime,
+}
+
+impl LaunchHandle {
+    /// Device-side execution duration.
+    pub fn duration(&self) -> SimDuration {
+        self.end.since(self.start)
+    }
+}

@@ -1,0 +1,27 @@
+//! # parcomm-gpu — the simulated GPU substrate
+//!
+//! A software model of the CUDA execution environment the paper's system
+//! runs on: devices, global/pinned memory, FIFO streams,
+//! `cudaStreamSynchronize`, kernel launches with a calibrated cost model,
+//! and CUDA-IPC peer mappings. See `DESIGN.md` §2 for the
+//! hardware-substitution rationale and the calibration anchors.
+//!
+//! The model is *functional + timed*: kernel bodies really read and write
+//! simulated buffers (so numerics are exact), while the cost model places
+//! every action on the virtual timeline (so the paper's latency/overlap
+//! shapes are reproduced).
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod cost;
+mod device;
+mod kernel;
+mod mem;
+mod stream;
+
+pub use cost::{AggLevel, CostModel};
+pub use device::{Gpu, GpuId, IpcError, IpcMappedBuffer};
+pub use kernel::{DeviceCtx, KernelSpec, LaunchHandle};
+pub use mem::{Buffer, BufferId, Location, MemSpace, Unit};
+pub use stream::Stream;

@@ -1,0 +1,143 @@
+//! Persistent point-to-point (`MPI_Send_init` / `MPI_Recv_init`): the
+//! pre-partitioned way to amortize per-message setup, and the baseline the
+//! partitioned literature measures against (paper §VII-A, Dosanjh et al.).
+//!
+//! A persistent request binds (peer, tag, buffer) once; each epoch is
+//! `start → wait`. Unlike partitioned channels there is no intra-message
+//! granularity: the whole buffer moves as one message when started, and
+//! there is no device binding — the host must have synchronized the GPU
+//! before starting the send.
+
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use parcomm_gpu::Buffer;
+use parcomm_sim::{Ctx, Event};
+
+use crate::p2p::P2pOp;
+use crate::world::Rank;
+
+/// Direction of a persistent request.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+enum Dir {
+    Send,
+    Recv,
+}
+
+struct PersistentInner {
+    dir: Dir,
+    peer: usize,
+    tag: u64,
+    buf: Buffer,
+    off: usize,
+    len: usize,
+    active: Mutex<Option<Event>>,
+}
+
+/// A persistent point-to-point request (`MPI_Send_init`/`MPI_Recv_init`).
+#[derive(Clone)]
+pub struct PersistentRequest {
+    inner: Arc<PersistentInner>,
+}
+
+impl Rank {
+    /// `MPI_Send_init`: bind a persistent send of `len` bytes at
+    /// `buf[off..]` to `dest`.
+    pub fn send_init(&self, dest: usize, tag: u64, buf: &Buffer, off: usize, len: usize) -> PersistentRequest {
+        assert!(dest < self.size(), "send_init: destination out of range");
+        PersistentRequest {
+            inner: Arc::new(PersistentInner {
+                dir: Dir::Send,
+                peer: dest,
+                tag,
+                buf: buf.clone(),
+                off,
+                len,
+                active: Mutex::new(None),
+            }),
+        }
+    }
+
+    /// `MPI_Recv_init`: bind a persistent receive.
+    pub fn recv_init(&self, src: usize, tag: u64, buf: &Buffer, off: usize, len: usize) -> PersistentRequest {
+        assert!(src < self.size(), "recv_init: source out of range");
+        PersistentRequest {
+            inner: Arc::new(PersistentInner {
+                dir: Dir::Recv,
+                peer: src,
+                tag,
+                buf: buf.clone(),
+                off,
+                len,
+                active: Mutex::new(None),
+            }),
+        }
+    }
+
+    /// `MPI_Start` on a persistent request: post the bound operation.
+    pub fn start_persistent(&self, ctx: &mut Ctx, req: &PersistentRequest) {
+        let inner = &req.inner;
+        {
+            let active = inner.active.lock();
+            assert!(active.is_none(), "MPI_Start on an already-active persistent request");
+        }
+        ctx.advance(self.mpi_overhead());
+        let h = ctx.handle();
+        let op: P2pOp = match inner.dir {
+            Dir::Send => self.isend(&h, inner.peer, inner.tag, &inner.buf, inner.off, inner.len),
+            Dir::Recv => self.irecv(&h, inner.peer, inner.tag, &inner.buf, inner.off, inner.len),
+        };
+        *inner.active.lock() = Some(op.done);
+    }
+
+    /// `MPI_Wait` on a persistent request: block until the posted
+    /// operation completes, re-arming the request for the next epoch.
+    pub fn wait_persistent(&self, ctx: &mut Ctx, req: &PersistentRequest) {
+        let done = {
+            let mut active = req.inner.active.lock();
+            active.take().expect("MPI_Wait on an inactive persistent request")
+        };
+        ctx.wait(&done);
+    }
+
+    /// `MPI_Test` on a persistent request (non-consuming).
+    pub fn test_persistent(&self, req: &PersistentRequest) -> bool {
+        req.inner.active.lock().as_ref().map(|e| e.is_set()).unwrap_or(false)
+    }
+}
+
+impl std::fmt::Debug for PersistentRequest {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PersistentRequest")
+            .field("dir", &self.inner.dir)
+            .field("peer", &self.inner.peer)
+            .field("tag", &self.inner.tag)
+            .field("len", &self.inner.len)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    // Integration coverage lives in tests/persistent.rs; unit tests here
+    // cover pure bookkeeping.
+    use super::*;
+
+    #[test]
+    fn debug_format_mentions_peer() {
+        // Construct without a world: only the Debug impl is exercised.
+        let inner = PersistentInner {
+            dir: Dir::Send,
+            peer: 3,
+            tag: 9,
+            buf: Buffer::alloc(parcomm_gpu::MemSpace::Host { node: 0 }, 8),
+            off: 0,
+            len: 8,
+            active: Mutex::new(None),
+        };
+        let req = PersistentRequest { inner: Arc::new(inner) };
+        let s = format!("{req:?}");
+        assert!(s.contains("peer: 3") && s.contains("tag: 9"));
+    }
+}

@@ -1,0 +1,139 @@
+//! The per-rank MPI progression engine.
+//!
+//! The paper's design (§IV-A4, §IV-B3) leans on a host progress thread: it
+//! notices device-side `MPIX_Pready` notifications in pinned host memory,
+//! issues the corresponding `ucp_put_nbx` calls, and advances partitioned
+//! collective schedules. Here it is a daemon simulation process per rank
+//! that runs registered **hooks** every poll interval.
+//!
+//! Hooks run in the engine's process context, so they can charge host time
+//! (e.g. the put-post cost) and block if ever needed. A hook returning
+//! [`HookOutcome::Remove`] unregisters itself. The engine parks on an event
+//! while no hooks are registered, so idle ranks cost no simulation events.
+
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use parcomm_sim::{Ctx, Event, SimDuration};
+
+/// What a hook wants after an invocation.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub enum HookOutcome {
+    /// Call me again on the next poll.
+    Keep,
+    /// Done; unregister.
+    Remove,
+}
+
+type Hook = Box<dyn FnMut(&mut Ctx) -> HookOutcome + Send>;
+
+struct PeState {
+    hooks: Vec<Hook>,
+    /// Set whenever a hook is registered while the engine is idle.
+    work_available: Event,
+}
+
+/// Handle to a rank's progression engine.
+#[derive(Clone)]
+pub struct ProgressionEngine {
+    inner: Arc<Mutex<PeState>>,
+    poll: SimDuration,
+}
+
+impl ProgressionEngine {
+    /// Spawn the engine daemon for `rank` with the given poll interval.
+    pub(crate) fn start(ctx: &mut Ctx, rank: usize, poll: SimDuration) -> ProgressionEngine {
+        let inner = Arc::new(Mutex::new(PeState {
+            hooks: Vec::new(),
+            work_available: Event::new(),
+        }));
+        let engine = ProgressionEngine { inner: inner.clone(), poll };
+        ctx.spawn_daemon(format!("progress{rank}"), move |ctx| {
+            loop {
+                if ctx.is_shutdown() {
+                    break;
+                }
+                // Park while idle.
+                let wait_ev = {
+                    let st = inner.lock();
+                    if st.hooks.is_empty() {
+                        Some(st.work_available.clone())
+                    } else {
+                        None
+                    }
+                };
+                if let Some(ev) = wait_ev {
+                    if !ctx.wait(&ev) {
+                        break; // shutdown
+                    }
+                    let st = inner.lock();
+                    if st.work_available.is_set() && st.hooks.is_empty() {
+                        st.work_available.reset();
+                        continue;
+                    }
+                    drop(st);
+                    // The progress thread polls on a grid: a notification
+                    // raised between ticks is observed up to one poll
+                    // interval later (uniform phase).
+                    let phase = ctx.with_rng(|r| r.uniform());
+                    ctx.advance(SimDuration::from_micros_f64(
+                        poll.as_micros_f64() * phase,
+                    ));
+                    if ctx.is_shutdown() {
+                        break;
+                    }
+                }
+                // Run every registered hook once. Hooks are temporarily
+                // moved out so they can re-enter the engine (e.g. register
+                // follow-up work) without deadlocking the lock.
+                let mut hooks = std::mem::take(&mut inner.lock().hooks);
+                let mut kept: Vec<Hook> = Vec::with_capacity(hooks.len());
+                for mut hook in hooks.drain(..) {
+                    if hook(ctx) == HookOutcome::Keep {
+                        kept.push(hook);
+                    }
+                }
+                {
+                    let mut st = inner.lock();
+                    // New hooks registered during the sweep go behind kept ones.
+                    let newly = std::mem::take(&mut st.hooks);
+                    kept.extend(newly);
+                    st.hooks = kept;
+                    if st.hooks.is_empty() && st.work_available.is_set() {
+                        st.work_available.reset();
+                    }
+                }
+                ctx.advance(poll);
+            }
+        });
+        engine
+    }
+
+    /// Register a hook; the engine wakes if it was idle. Callable from both
+    /// process context (pass `ctx.handle()`) and scheduled callbacks — the
+    /// device-side `MPIX_Pready` notification path registers from the
+    /// latter.
+    pub fn register(
+        &self,
+        h: &parcomm_sim::SimHandle,
+        hook: impl FnMut(&mut Ctx) -> HookOutcome + Send + 'static,
+    ) {
+        let ev = {
+            let mut st = self.inner.lock();
+            st.hooks.push(Box::new(hook));
+            st.work_available.clone()
+        };
+        ev.set(h);
+    }
+
+    /// The engine's poll interval.
+    pub fn poll_interval(&self) -> SimDuration {
+        self.poll
+    }
+
+    /// Number of registered hooks (diagnostics/tests).
+    pub fn hook_count(&self) -> usize {
+        self.inner.lock().hooks.len()
+    }
+}

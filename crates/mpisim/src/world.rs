@@ -1,0 +1,232 @@
+//! The MPI world: rank/topology bookkeeping and per-rank launch.
+//!
+//! An [`MpiWorld`] models `MPI_COMM_WORLD` over the simulated cluster with
+//! one rank per GPU (the paper's deployment: ranks 0–3 on node 0, 4–7 on
+//! node 1). Each rank is a simulation process; [`MpiWorld::run_ranks`]
+//! spawns them all with a [`Rank`] handle providing the MPI surface.
+
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use parcomm_gpu::{CostModel, Gpu, GpuId, Location, Unit};
+use parcomm_net::{ClusterSpec, Fabric};
+use parcomm_sim::{Ctx, SimBarrier, SimDuration, Simulation};
+use parcomm_ucx::{UcxUniverse, Worker, WorkerAddress};
+
+use crate::p2p::MatchTable;
+use crate::progress::ProgressionEngine;
+
+/// World-level configuration.
+#[derive(Clone, Debug)]
+pub struct WorldConfig {
+    /// Cluster shape and link classes.
+    pub cluster: ClusterSpec,
+    /// GPU cost model (same on every device).
+    pub cost: CostModel,
+    /// Host software overhead charged per MPI send/recv call.
+    pub mpi_overhead_us: f64,
+    /// Progression-engine poll interval.
+    pub progress_poll_us: f64,
+}
+
+impl WorldConfig {
+    /// The paper's GH200 testbed with `nodes` nodes.
+    pub fn gh200(nodes: u16) -> Self {
+        WorldConfig {
+            cluster: ClusterSpec::gh200(nodes),
+            cost: CostModel::default(),
+            mpi_overhead_us: 0.5,
+            progress_poll_us: 0.5,
+        }
+    }
+}
+
+struct WorldInner {
+    config: WorldConfig,
+    fabric: Fabric,
+    universe: UcxUniverse,
+    matching: MatchTable,
+    /// Worker address of each rank, filled as ranks start.
+    addresses: Mutex<Vec<Option<WorkerAddress>>>,
+    size: usize,
+    start_barrier: SimBarrier,
+}
+
+/// The simulated `MPI_COMM_WORLD`. Cheap to clone.
+#[derive(Clone)]
+pub struct MpiWorld {
+    inner: Arc<WorldInner>,
+}
+
+impl MpiWorld {
+    /// Build a world over a fresh fabric; one rank per GPU.
+    pub fn new(sim: &Simulation, config: WorldConfig) -> Self {
+        let fabric = Fabric::new(sim.handle(), config.cluster.clone());
+        let universe = UcxUniverse::new(fabric.clone());
+        let size = config.cluster.total_gpus() as usize;
+        MpiWorld {
+            inner: Arc::new(WorldInner {
+                config,
+                fabric,
+                universe,
+                matching: MatchTable::new(),
+                addresses: Mutex::new(vec![None; size]),
+                size,
+                start_barrier: SimBarrier::new(size),
+            }),
+        }
+    }
+
+    /// GH200 world with `nodes` nodes.
+    pub fn gh200(sim: &Simulation, nodes: u16) -> Self {
+        MpiWorld::new(sim, WorldConfig::gh200(nodes))
+    }
+
+    /// Number of ranks (== number of GPUs).
+    pub fn size(&self) -> usize {
+        self.inner.size
+    }
+
+    /// The world configuration.
+    pub fn config(&self) -> &WorldConfig {
+        &self.inner.config
+    }
+
+    /// The cluster fabric.
+    pub fn fabric(&self) -> &Fabric {
+        &self.inner.fabric
+    }
+
+    /// The UCX universe (shared by the Partitioned component).
+    pub fn universe(&self) -> &UcxUniverse {
+        &self.inner.universe
+    }
+
+    /// The GPU identity rank `r` drives.
+    pub fn gpu_of(&self, r: usize) -> GpuId {
+        let per = self.inner.config.cluster.gpus_per_node as usize;
+        GpuId { node: (r / per) as u16, index: (r % per) as u8 }
+    }
+
+    /// The node rank `r` runs on.
+    pub fn node_of(&self, r: usize) -> u16 {
+        self.gpu_of(r).node
+    }
+
+    pub(crate) fn matching(&self) -> &MatchTable {
+        &self.inner.matching
+    }
+
+    pub(crate) fn worker_address_of(&self, r: usize) -> WorkerAddress {
+        self.inner.addresses.lock()[r].expect("rank not initialized yet")
+    }
+
+    /// Spawn one simulation process per rank running `body`. All ranks pass
+    /// an internal start barrier after initializing (MPI_Init semantics:
+    /// no rank proceeds until every worker address is published).
+    pub fn run_ranks<F>(&self, sim: &mut Simulation, body: F)
+    where
+        F: Fn(&mut Ctx, &mut Rank) + Send + Sync + 'static,
+    {
+        let body = Arc::new(body);
+        for r in 0..self.inner.size {
+            let world = self.clone();
+            let body = body.clone();
+            sim.spawn(format!("rank{r}"), move |ctx| {
+                let mut rank = Rank::init(ctx, world, r);
+                body(ctx, &mut rank);
+            });
+        }
+    }
+}
+
+impl std::fmt::Debug for MpiWorld {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MpiWorld").field("size", &self.inner.size).finish()
+    }
+}
+
+/// The per-rank MPI handle: identity, device, worker, and the progression
+/// engine. The MPI surface (send/recv, allreduce, barrier) hangs off this.
+pub struct Rank {
+    world: MpiWorld,
+    rank: usize,
+    gpu: Gpu,
+    worker: Worker,
+    progression: ProgressionEngine,
+}
+
+impl Rank {
+    fn init(ctx: &mut Ctx, world: MpiWorld, rank: usize) -> Rank {
+        let gpu_id = world.gpu_of(rank);
+        let gpu = Gpu::new(gpu_id, world.inner.config.cost.clone(), ctx.handle());
+        let worker = world
+            .inner
+            .universe
+            .create_worker(Location { node: gpu_id.node, unit: Unit::Cpu });
+        world.inner.addresses.lock()[rank] = Some(worker.address());
+        let progression = ProgressionEngine::start(
+            ctx,
+            rank,
+            SimDuration::from_micros_f64(world.inner.config.progress_poll_us),
+        );
+        // MPI_Init barrier: every rank's worker address is published before
+        // anyone communicates.
+        world.inner.start_barrier.wait(ctx);
+        Rank { world, rank, gpu, worker, progression }
+    }
+
+    /// This rank's index in the world.
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// World size.
+    pub fn size(&self) -> usize {
+        self.world.size()
+    }
+
+    /// The world this rank belongs to.
+    pub fn world(&self) -> &MpiWorld {
+        &self.world
+    }
+
+    /// The GPU this rank drives.
+    pub fn gpu(&self) -> &Gpu {
+        &self.gpu
+    }
+
+    /// This rank's UCP worker.
+    pub fn worker(&self) -> &Worker {
+        &self.worker
+    }
+
+    /// This rank's progression engine.
+    pub fn progression(&self) -> &ProgressionEngine {
+        &self.progression
+    }
+
+    /// Worker address of a peer rank (available after MPI_Init).
+    pub fn peer_address(&self, r: usize) -> WorkerAddress {
+        self.world.worker_address_of(r)
+    }
+
+    /// Host software overhead per MPI call.
+    pub fn mpi_overhead(&self) -> SimDuration {
+        SimDuration::from_micros_f64(self.world.inner.config.mpi_overhead_us)
+    }
+
+    /// Synchronize all ranks (zero-cost alignment barrier used by the
+    /// benchmark harnesses; real MPI_Barrier latency is not modeled because
+    /// no measured region in the paper contains one).
+    pub fn barrier(&self, ctx: &mut Ctx) {
+        self.world.inner.start_barrier.wait(ctx);
+    }
+}
+
+impl std::fmt::Debug for Rank {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Rank").field("rank", &self.rank).field("gpu", &self.gpu.id()).finish()
+    }
+}

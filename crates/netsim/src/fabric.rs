@@ -1,0 +1,336 @@
+//! The fabric: routed, occupancy-aware data transfers between locations.
+//!
+//! Each physical link is a FIFO resource with a `busy_until` horizon;
+//! a transfer reserves every hop of its route — cut-through, so the hops
+//! of one message overlap after a segment delay — and accumulates per-hop
+//! propagation latency. Concurrent transfers over the same link queue
+//! behind each other, which is what produces bandwidth contention in the
+//! ring-collective experiments.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use parcomm_gpu::{Location, Unit};
+use parcomm_sim::{Event, SimDuration, SimHandle, SimTime};
+
+use crate::spec::{ClusterSpec, LinkSpec};
+
+/// Index of a physical link within the fabric.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
+pub struct LinkId(usize);
+
+/// Kinds of physical links the GH200 topology instantiates.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
+enum LinkKey {
+    /// Directed GPU→GPU NVLink on `node` from `src` to `dst`.
+    NvLink { node: u16, src: u8, dst: u8 },
+    /// Directed C2C hop on `node` for `gpu`; `up == true` means GPU→CPU.
+    C2c { node: u16, gpu: u8, up: bool },
+    /// IB uplink (`up == true`, node→switch) or downlink for `nic` on `node`.
+    Ib { node: u16, nic: u8, up: bool },
+    /// Host-memory pseudo-link on `node` (same-CPU copies).
+    HostMem { node: u16 },
+}
+
+struct Link {
+    spec: LinkSpec,
+    busy_until: Mutex<SimTime>,
+}
+
+impl Link {
+    /// Reserve the link for `bytes` starting no earlier than `at`;
+    /// returns (start, end-of-serialization).
+    fn reserve(&self, at: SimTime, bytes: u64) -> (SimTime, SimTime) {
+        let mut busy = self.busy_until.lock();
+        let start = at.max(*busy);
+        let end = start + SimDuration::from_micros_f64(self.spec.serialize_us(bytes));
+        *busy = end;
+        (start, end)
+    }
+}
+
+/// A completed routing decision: the hops a message traverses.
+#[derive(Debug, Clone)]
+pub struct Route {
+    links: Vec<LinkId>,
+    /// Total propagation latency across hops.
+    pub latency: SimDuration,
+}
+
+/// An in-flight or completed transfer.
+#[derive(Clone, Debug)]
+pub struct Transfer {
+    /// When the first hop started serializing.
+    pub start: SimTime,
+    /// When the last byte arrives at the destination.
+    pub arrival: SimTime,
+    /// Fires at `arrival`.
+    pub done: Event,
+}
+
+struct FabricInner {
+    spec: ClusterSpec,
+    handle: SimHandle,
+    links: Vec<Link>,
+    index: HashMap<LinkKey, LinkId>,
+}
+
+/// The cluster interconnect. Cheap to clone.
+#[derive(Clone)]
+pub struct Fabric {
+    inner: Arc<FabricInner>,
+}
+
+impl Fabric {
+    /// Build the fabric for `spec`, scheduling completions on `handle`.
+    pub fn new(handle: SimHandle, spec: ClusterSpec) -> Fabric {
+        let mut links = Vec::new();
+        let mut index = HashMap::new();
+        let mut add = |key: LinkKey, ls: &LinkSpec| {
+            let id = LinkId(links.len());
+            links.push(Link { spec: ls.clone(), busy_until: Mutex::new(SimTime::ZERO) });
+            index.insert(key, id);
+        };
+        for node in 0..spec.nodes {
+            add(LinkKey::HostMem { node }, &spec.host_mem);
+            for gpu in 0..spec.gpus_per_node {
+                add(LinkKey::C2c { node, gpu, up: true }, &spec.c2c);
+                add(LinkKey::C2c { node, gpu, up: false }, &spec.c2c);
+                for dst in 0..spec.gpus_per_node {
+                    if dst != gpu {
+                        add(LinkKey::NvLink { node, src: gpu, dst }, &spec.nvlink);
+                    }
+                }
+            }
+            for nic in 0..spec.nics_per_node {
+                add(LinkKey::Ib { node, nic, up: true }, &spec.ib);
+                add(LinkKey::Ib { node, nic, up: false }, &spec.ib);
+            }
+        }
+        Fabric { inner: Arc::new(FabricInner { spec, handle, links, index }) }
+    }
+
+    /// The cluster specification this fabric was built from.
+    pub fn spec(&self) -> &ClusterSpec {
+        &self.inner.spec
+    }
+
+    /// The simulation handle the fabric schedules on.
+    pub fn sim(&self) -> &SimHandle {
+        &self.inner.handle
+    }
+
+    fn link(&self, key: LinkKey) -> LinkId {
+        *self
+            .inner
+            .index
+            .get(&key)
+            .unwrap_or_else(|| panic!("no such link in topology: {key:?}"))
+    }
+
+    fn nic_for(&self, unit: Unit) -> u8 {
+        match unit {
+            Unit::Gpu(i) => i % self.inner.spec.nics_per_node,
+            Unit::Cpu => 0,
+        }
+    }
+
+    /// Compute the route between two locations.
+    ///
+    /// Intra-node GPU→GPU takes the dedicated NVLink pair; GPU↔CPU takes the
+    /// C2C hop; cross-node routes go NIC uplink → NIC downlink with the
+    /// GPU-direct PCIe/C2C cost folded into the IB latency.
+    pub fn route(&self, src: Location, dst: Location) -> Route {
+        let mut links = Vec::with_capacity(2);
+        if src == dst {
+            // Local copy within one unit's memory: host-mem pseudo-link for
+            // CPUs; GPos-local copies are modeled by the GPU cost model and
+            // take the host-mem link's latency floor here.
+            links.push(self.link(LinkKey::HostMem { node: src.node }));
+        } else if src.node == dst.node {
+            match (src.unit, dst.unit) {
+                (Unit::Gpu(a), Unit::Gpu(b)) => {
+                    links.push(self.link(LinkKey::NvLink { node: src.node, src: a, dst: b }));
+                }
+                (Unit::Gpu(a), Unit::Cpu) => {
+                    links.push(self.link(LinkKey::C2c { node: src.node, gpu: a, up: true }));
+                }
+                (Unit::Cpu, Unit::Gpu(b)) => {
+                    links.push(self.link(LinkKey::C2c { node: src.node, gpu: b, up: false }));
+                }
+                (Unit::Cpu, Unit::Cpu) => {
+                    links.push(self.link(LinkKey::HostMem { node: src.node }));
+                }
+            }
+        } else {
+            let src_nic = self.nic_for(src.unit);
+            let dst_nic = self.nic_for(dst.unit);
+            links.push(self.link(LinkKey::Ib { node: src.node, nic: src_nic, up: true }));
+            links.push(self.link(LinkKey::Ib { node: dst.node, nic: dst_nic, up: false }));
+        }
+        let latency = links
+            .iter()
+            .map(|id| SimDuration::from_micros_f64(self.inner.links[id.0].spec.latency_us))
+            .sum();
+        Route { links, latency }
+    }
+
+    /// Bottleneck bandwidth (GB/s) along the route between two locations.
+    pub fn path_bandwidth_gbps(&self, src: Location, dst: Location) -> f64 {
+        self.route(src, dst)
+            .links
+            .iter()
+            .map(|id| self.inner.links[id.0].spec.bandwidth_gbps)
+            .fold(f64::INFINITY, f64::min)
+    }
+
+    /// End-to-end zero-load latency between two locations.
+    pub fn path_latency(&self, src: Location, dst: Location) -> SimDuration {
+        self.route(src, dst).latency
+    }
+
+    /// Issue a transfer of `bytes` from `src` to `dst`, starting no earlier
+    /// than `at` (clamped to now). Reserves occupancy on every hop and
+    /// returns a ticket whose `done` event fires at arrival.
+    ///
+    /// Multi-hop routes are **cut-through**: hop *i+1* begins once the
+    /// first segment (64 KiB) clears hop *i*, so a message's hops overlap
+    /// and the end-to-end serialization is governed by the bottleneck
+    /// link, as on real InfiniBand fabrics — splitting a message does not
+    /// magically double multi-hop bandwidth.
+    ///
+    /// The fabric moves *time*, not data: the caller applies the functional
+    /// copy no later than `arrival` (typically in a completion callback).
+    pub fn transfer_at(&self, at: SimTime, src: Location, dst: Location, bytes: u64) -> Transfer {
+        const SEGMENT_BYTES: u64 = 64 * 1024;
+        let now = self.inner.handle.now();
+        let at = at.max(now);
+        // Large cross-node messages stripe across every NIC pair of the
+        // two nodes (UCX multi-rail): each rail carries an equal share and
+        // the message completes when the slowest rail drains.
+        if src.node != dst.node && bytes >= Self::STRIPE_THRESHOLD {
+            return self.striped_transfer(at, src, dst, bytes);
+        }
+        let route = self.route(src, dst);
+        let mut cursor = at;
+        let mut first_start = None;
+        let mut tail = at;
+        for id in &route.links {
+            let link = &self.inner.links[id.0];
+            let (s, e) = link.reserve(cursor, bytes);
+            if first_start.is_none() {
+                first_start = Some(s);
+            }
+            // Next hop starts after the first segment clears this one.
+            let seg = SimDuration::from_micros_f64(
+                link.spec.serialize_us(bytes.min(SEGMENT_BYTES)),
+            );
+            cursor = s + seg;
+            tail = tail.max(e);
+        }
+        let arrival = tail + route.latency;
+        let done = Event::new();
+        {
+            let done = done.clone();
+            self.inner.handle.schedule_at(arrival, move |h| done.set(h));
+        }
+        let start = first_start.unwrap_or(at);
+        self.inner.handle.trace().record("wire", start, arrival);
+        Transfer { start, arrival, done }
+    }
+
+    /// Transfer starting at the current instant.
+    pub fn transfer(&self, src: Location, dst: Location, bytes: u64) -> Transfer {
+        self.transfer_at(self.inner.handle.now(), src, dst, bytes)
+    }
+
+    /// Messages at or above this size stripe across all NIC rails when
+    /// crossing nodes (the UCX multi-rail threshold).
+    pub const STRIPE_THRESHOLD: u64 = 1 << 20;
+
+    /// Multi-rail cross-node transfer: split `bytes` evenly over every
+    /// (uplink, downlink) NIC pair; each rail is cut-through internally.
+    fn striped_transfer(&self, at: SimTime, src: Location, dst: Location, bytes: u64) -> Transfer {
+        const SEGMENT_BYTES: u64 = 64 * 1024;
+        let rails = self.inner.spec.nics_per_node as u64;
+        let share = bytes.div_ceil(rails);
+        let mut first_start: Option<SimTime> = None;
+        let mut arrival = at;
+        for nic in 0..self.inner.spec.nics_per_node {
+            let up = self.link(LinkKey::Ib { node: src.node, nic, up: true });
+            let down = self.link(LinkKey::Ib { node: dst.node, nic, up: false });
+            let mut cursor = at;
+            let mut tail = at;
+            let mut latency = SimDuration::ZERO;
+            for id in [up, down] {
+                let link = &self.inner.links[id.0];
+                let (s, e) = link.reserve(cursor, share);
+                if first_start.is_none() {
+                    first_start = Some(s);
+                }
+                let seg = SimDuration::from_micros_f64(
+                    link.spec.serialize_us(share.min(SEGMENT_BYTES)),
+                );
+                cursor = s + seg;
+                tail = tail.max(e);
+                latency += SimDuration::from_micros_f64(link.spec.latency_us);
+            }
+            arrival = arrival.max(tail + latency);
+        }
+        let done = Event::new();
+        {
+            let done = done.clone();
+            self.inner.handle.schedule_at(arrival, move |h| done.set(h));
+        }
+        let start = first_start.unwrap_or(at);
+        self.inner.handle.trace().record("wire", start, arrival);
+        Transfer { start, arrival, done }
+    }
+
+    /// Effective bandwidth between two locations for a large message,
+    /// including multi-rail striping on cross-node paths. This is what
+    /// bandwidth-bound collectives (e.g. the NCCL ring) sustain per hop.
+    pub fn striped_bandwidth_gbps(&self, src: Location, dst: Location) -> f64 {
+        let base = self.path_bandwidth_gbps(src, dst);
+        if src.node != dst.node {
+            base * self.inner.spec.nics_per_node as f64
+        } else {
+            base
+        }
+    }
+
+    /// Analytic (zero-contention) duration of a transfer: cut-through
+    /// serialization (bottleneck hop plus one segment per extra hop) plus
+    /// propagation. Used by the kernel-copy path to extend kernel windows.
+    pub fn unloaded_duration(&self, src: Location, dst: Location, bytes: u64) -> SimDuration {
+        const SEGMENT_BYTES: u64 = 64 * 1024;
+        // Mirror transfer_at's multi-rail striping for large cross-node
+        // messages: each rail carries an equal share.
+        let bytes = if src.node != dst.node && bytes >= Self::STRIPE_THRESHOLD {
+            bytes.div_ceil(self.inner.spec.nics_per_node as u64)
+        } else {
+            bytes
+        };
+        let route = self.route(src, dst);
+        let mut cursor = 0.0f64;
+        let mut tail = 0.0f64;
+        for id in &route.links {
+            let spec = &self.inner.links[id.0].spec;
+            let end = cursor + spec.serialize_us(bytes);
+            tail = tail.max(end);
+            cursor += spec.serialize_us(bytes.min(SEGMENT_BYTES));
+        }
+        SimDuration::from_micros_f64(tail) + route.latency
+    }
+}
+
+impl std::fmt::Debug for Fabric {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Fabric")
+            .field("nodes", &self.inner.spec.nodes)
+            .field("links", &self.inner.links.len())
+            .finish()
+    }
+}

@@ -1,0 +1,86 @@
+//! Cluster and link specifications.
+//!
+//! Defaults model the paper's testbed: two nodes, each with four NVIDIA
+//! GH200 superchips. Between each GPU pair on a node there are 6 NVLink-4
+//! links (150 GB/s unidirectional); each Grace–Hopper pair is joined by
+//! NVLink-C2C (450 GB/s per direction); each node has four ConnectX-7
+//! 400 Gbit NICs (50 GB/s each).
+
+/// Bandwidth/latency description of one link class.
+#[derive(Clone, Debug, PartialEq)]
+pub struct LinkSpec {
+    /// Human-readable class name (diagnostics).
+    pub name: &'static str,
+    /// Unidirectional bandwidth in GB/s (1e9 bytes per second).
+    pub bandwidth_gbps: f64,
+    /// One-way latency in microseconds for this hop.
+    pub latency_us: f64,
+}
+
+impl LinkSpec {
+    /// Serialization time of `bytes` on this link, in microseconds.
+    pub fn serialize_us(&self, bytes: u64) -> f64 {
+        bytes as f64 / (self.bandwidth_gbps * 1e3)
+    }
+}
+
+/// Whole-cluster shape and link classes.
+#[derive(Clone, Debug)]
+pub struct ClusterSpec {
+    /// Number of nodes.
+    pub nodes: u16,
+    /// GPUs per node.
+    pub gpus_per_node: u8,
+    /// NICs per node (GPU *i* uses NIC *i* % `nics_per_node`).
+    pub nics_per_node: u8,
+    /// GPU↔GPU intra-node links (per ordered pair).
+    pub nvlink: LinkSpec,
+    /// CPU↔GPU NVLink-C2C (per direction, per superchip).
+    pub c2c: LinkSpec,
+    /// NIC uplink/downlink to the InfiniBand switch.
+    pub ib: LinkSpec,
+    /// Host-memory copy pseudo-link for same-CPU transfers.
+    pub host_mem: LinkSpec,
+}
+
+impl ClusterSpec {
+    /// The paper's GH200 testbed with `nodes` nodes (the paper uses 1 and 2).
+    pub fn gh200(nodes: u16) -> Self {
+        ClusterSpec {
+            nodes,
+            gpus_per_node: 4,
+            nics_per_node: 4,
+            nvlink: LinkSpec { name: "nvlink4x6", bandwidth_gbps: 150.0, latency_us: 1.9 },
+            c2c: LinkSpec { name: "nvlink-c2c", bandwidth_gbps: 450.0, latency_us: 0.6 },
+            ib: LinkSpec { name: "ib-cx7", bandwidth_gbps: 50.0, latency_us: 1.75 },
+            host_mem: LinkSpec { name: "lpddr5x", bandwidth_gbps: 500.0, latency_us: 0.5 },
+        }
+    }
+
+    /// Total GPUs in the cluster.
+    pub fn total_gpus(&self) -> u32 {
+        self.nodes as u32 * self.gpus_per_node as u32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gh200_defaults() {
+        let s = ClusterSpec::gh200(2);
+        assert_eq!(s.total_gpus(), 8);
+        assert_eq!(s.nvlink.bandwidth_gbps, 150.0);
+        assert_eq!(s.ib.bandwidth_gbps, 50.0);
+    }
+
+    #[test]
+    fn serialize_time() {
+        let s = ClusterSpec::gh200(1);
+        // 150 MB over 150 GB/s = 1 ms = 1000 µs.
+        let us = s.nvlink.serialize_us(150_000_000);
+        assert!((us - 1000.0).abs() < 1e-6);
+        assert_eq!(s.nvlink.serialize_us(0), 0.0);
+    }
+}

@@ -1,0 +1,183 @@
+//! Integration tests for the fabric: routing, bandwidth, latency, and
+//! link contention.
+
+use parcomm_gpu::{Location, Unit};
+use parcomm_net::{ClusterSpec, Fabric};
+use parcomm_sim::{SimConfig, Simulation};
+
+fn gpu(node: u16, idx: u8) -> Location {
+    Location { node, unit: Unit::Gpu(idx) }
+}
+
+fn cpu(node: u16) -> Location {
+    Location { node, unit: Unit::Cpu }
+}
+
+#[test]
+fn intra_node_gpu_route_is_nvlink() {
+    let sim = Simulation::new(SimConfig::default());
+    let fabric = Fabric::new(sim.handle(), ClusterSpec::gh200(2));
+    assert_eq!(fabric.path_bandwidth_gbps(gpu(0, 0), gpu(0, 1)), 150.0);
+    let lat = fabric.path_latency(gpu(0, 0), gpu(0, 1)).as_micros_f64();
+    assert!((1.8..2.0).contains(&lat), "nvlink latency {lat}");
+}
+
+#[test]
+fn inter_node_route_is_ib() {
+    let sim = Simulation::new(SimConfig::default());
+    let fabric = Fabric::new(sim.handle(), ClusterSpec::gh200(2));
+    assert_eq!(fabric.path_bandwidth_gbps(gpu(0, 0), gpu(1, 0)), 50.0);
+    // Two IB hops at 1.75 µs each.
+    let lat = fabric.path_latency(gpu(0, 0), gpu(1, 0)).as_micros_f64();
+    assert!((3.4..3.6).contains(&lat), "ib latency {lat}");
+}
+
+#[test]
+fn gpu_cpu_route_is_c2c() {
+    let sim = Simulation::new(SimConfig::default());
+    let fabric = Fabric::new(sim.handle(), ClusterSpec::gh200(1));
+    assert_eq!(fabric.path_bandwidth_gbps(gpu(0, 2), cpu(0)), 450.0);
+    assert_eq!(fabric.path_bandwidth_gbps(cpu(0), gpu(0, 2)), 450.0);
+}
+
+#[test]
+fn transfer_times_match_bandwidth() {
+    let mut sim = Simulation::new(SimConfig::default());
+    let fabric = Fabric::new(sim.handle(), ClusterSpec::gh200(1));
+    sim.spawn("p", move |ctx| {
+        // 150 MB over 150 GB/s NVLink = 1 ms + 1.9 µs latency.
+        let t = fabric.transfer(gpu(0, 0), gpu(0, 1), 150_000_000);
+        ctx.wait(&t.done);
+        let us = ctx.now().as_micros_f64();
+        assert!((1001.0..1003.0).contains(&us), "arrival at {us}");
+    });
+    sim.run().unwrap();
+}
+
+#[test]
+fn same_link_transfers_contend() {
+    let mut sim = Simulation::new(SimConfig::default());
+    let fabric = Fabric::new(sim.handle(), ClusterSpec::gh200(1));
+    sim.spawn("p", move |ctx| {
+        let a = fabric.transfer(gpu(0, 0), gpu(0, 1), 150_000_000);
+        let b = fabric.transfer(gpu(0, 0), gpu(0, 1), 150_000_000);
+        // Second transfer queues behind the first on the same link.
+        assert!(b.start >= a.start);
+        assert!(
+            b.arrival.since(a.arrival).as_micros_f64() > 900.0,
+            "second transfer must serialize"
+        );
+        ctx.wait(&b.done);
+    });
+    sim.run().unwrap();
+}
+
+#[test]
+fn distinct_links_do_not_contend() {
+    let mut sim = Simulation::new(SimConfig::default());
+    let fabric = Fabric::new(sim.handle(), ClusterSpec::gh200(1));
+    sim.spawn("p", move |ctx| {
+        let a = fabric.transfer(gpu(0, 0), gpu(0, 1), 150_000_000);
+        let b = fabric.transfer(gpu(0, 2), gpu(0, 3), 150_000_000);
+        let delta =
+            (a.arrival.as_micros_f64() - b.arrival.as_micros_f64()).abs();
+        assert!(delta < 1.0, "independent NVLink pairs must run in parallel");
+        ctx.wait(&a.done);
+        ctx.wait(&b.done);
+    });
+    sim.run().unwrap();
+}
+
+#[test]
+fn opposite_directions_do_not_contend() {
+    let mut sim = Simulation::new(SimConfig::default());
+    let fabric = Fabric::new(sim.handle(), ClusterSpec::gh200(1));
+    sim.spawn("p", move |ctx| {
+        let a = fabric.transfer(gpu(0, 0), gpu(0, 1), 150_000_000);
+        let b = fabric.transfer(gpu(0, 1), gpu(0, 0), 150_000_000);
+        let delta = (a.arrival.as_micros_f64() - b.arrival.as_micros_f64()).abs();
+        assert!(delta < 1.0, "NVLink is full duplex in the model");
+        ctx.wait(&a.done);
+        ctx.wait(&b.done);
+    });
+    sim.run().unwrap();
+}
+
+#[test]
+fn cross_node_nic_mapping_separates_gpu_flows() {
+    let mut sim = Simulation::new(SimConfig::default());
+    let fabric = Fabric::new(sim.handle(), ClusterSpec::gh200(2));
+    sim.spawn("p", move |ctx| {
+        // Below the multi-rail stripe threshold, GPU 0 and GPU 1 use their
+        // own NICs, so cross-node flows overlap.
+        let a = fabric.transfer(gpu(0, 0), gpu(1, 0), 512_000);
+        let b = fabric.transfer(gpu(0, 1), gpu(1, 1), 512_000);
+        let delta = (a.arrival.as_micros_f64() - b.arrival.as_micros_f64()).abs();
+        assert!(delta < 1.0, "per-GPU NICs must not serialize");
+        ctx.wait(&a.done);
+        ctx.wait(&b.done);
+    });
+    sim.run().unwrap();
+}
+
+#[test]
+fn unloaded_duration_matches_actual_on_idle_fabric() {
+    let mut sim = Simulation::new(SimConfig::default());
+    let fabric = Fabric::new(sim.handle(), ClusterSpec::gh200(2));
+    sim.spawn("p", move |ctx| {
+        // Above the stripe threshold: the analytic form must model the
+        // multi-rail split exactly like the reservation path.
+        let predicted = fabric.unloaded_duration(gpu(0, 0), gpu(1, 2), 1 << 22);
+        let t0 = ctx.now();
+        let t = fabric.transfer(gpu(0, 0), gpu(1, 2), 1 << 22);
+        ctx.wait(&t.done);
+        let actual = ctx.now().since(t0);
+        // Allow 2 ns of float-rounding skew between the analytic form and
+        // the hop-by-hop reservation arithmetic.
+        let delta = predicted.as_nanos().abs_diff(actual.as_nanos());
+        assert!(delta <= 2, "predicted {predicted} vs actual {actual}");
+    });
+    sim.run().unwrap();
+}
+
+#[test]
+fn zero_byte_transfer_is_latency_only() {
+    let mut sim = Simulation::new(SimConfig::default());
+    let fabric = Fabric::new(sim.handle(), ClusterSpec::gh200(1));
+    sim.spawn("p", move |ctx| {
+        let t = fabric.transfer(gpu(0, 0), gpu(0, 1), 0);
+        ctx.wait(&t.done);
+        let us = ctx.now().as_micros_f64();
+        assert!((1.8..2.0).contains(&us), "latency-only arrival {us}");
+    });
+    sim.run().unwrap();
+}
+
+#[test]
+fn large_cross_node_transfers_stripe_across_rails() {
+    let mut sim = Simulation::new(SimConfig::default());
+    let fabric = Fabric::new(sim.handle(), ClusterSpec::gh200(2));
+    sim.spawn("p", move |ctx| {
+        // 200 MB striped over 4 × 50 GB/s rails ≈ 1 ms; single-rail would
+        // be 4 ms.
+        let t = fabric.transfer(gpu(0, 0), gpu(1, 0), 200_000_000);
+        ctx.wait(&t.done);
+        let us = ctx.now().as_micros_f64();
+        assert!((1000.0..1100.0).contains(&us), "striped arrival {us}");
+    });
+    sim.run().unwrap();
+}
+
+#[test]
+fn transfer_at_future_time_respects_start() {
+    let mut sim = Simulation::new(SimConfig::default());
+    let fabric = Fabric::new(sim.handle(), ClusterSpec::gh200(1));
+    sim.spawn("p", move |ctx| {
+        let at = ctx.now() + parcomm_sim::SimDuration::from_micros(100);
+        let t = fabric.transfer_at(at, gpu(0, 0), gpu(0, 1), 1500);
+        assert_eq!(t.start, at);
+        ctx.wait(&t.done);
+        assert!(ctx.now().as_micros_f64() >= 100.0);
+    });
+    sim.run().unwrap();
+}

@@ -1,0 +1,13 @@
+//! Quick probe: first normal draws for the Table 1 seeds.
+use parcomm_sim::SimRng;
+fn main() {
+    let mut firsts = Vec::new();
+    for s in 0..10u64 {
+        let mut r = SimRng::seeded(0x7AB1 ^ s);
+        let mut draws: Vec<f64> = (0..6).map(|_| r.normal(17.2, 10.2).max(0.0)).collect();
+        firsts.push(draws[0]);
+        draws.truncate(6);
+        println!("seed {s}: {draws:?}");
+    }
+    println!("mean of first draws: {}", firsts.iter().sum::<f64>() / firsts.len() as f64);
+}

@@ -1,0 +1,35 @@
+//! Simulation error types.
+
+use std::fmt;
+
+/// Fatal outcomes of running a simulation.
+#[derive(Debug)]
+pub enum SimError {
+    /// Regular processes remain blocked but no timed work is pending.
+    Deadlock {
+        /// Names of blocked processes at the moment of detection.
+        blocked: Vec<String>,
+    },
+    /// A process body panicked; the message is the panic payload.
+    ProcessPanic {
+        /// The panicking process's name.
+        name: String,
+        /// The stringified panic payload.
+        message: String,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::Deadlock { blocked } => {
+                write!(f, "simulation deadlock; blocked processes: {blocked:?}")
+            }
+            SimError::ProcessPanic { name, message } => {
+                write!(f, "process '{name}' panicked: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SimError {}

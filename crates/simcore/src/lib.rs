@@ -1,0 +1,58 @@
+//! # parcomm-sim — deterministic discrete-event simulation kernel
+//!
+//! The substrate under the whole `parcomm` reproduction. Provides:
+//!
+//! - a virtual clock ([`SimTime`], [`SimDuration`]) with nanosecond
+//!   resolution;
+//! - **simulation processes**: blocking-style user code, each process on its
+//!   own OS thread, with exactly one runnable at a time (SimGrid-style
+//!   cooperative scheduling) — so `MPI_Wait` can be written as an ordinary
+//!   blocking call;
+//! - **scheduled callbacks** for fine-grained hardware events (DMA
+//!   completions, flag writes) that run on the scheduler thread without
+//!   thread-switch cost;
+//! - wake-up primitives: [`Event`], [`CountEvent`], [`SimChannel`],
+//!   [`Semaphore`], [`SimBarrier`];
+//! - deterministic seeded randomness ([`SimRng`]) for timing jitter;
+//! - deadlock detection and daemon-process shutdown semantics.
+//!
+//! ## Example
+//!
+//! ```
+//! use parcomm_sim::{Simulation, SimConfig, SimDuration, Event};
+//!
+//! let mut sim = Simulation::new(SimConfig::default());
+//! let done = Event::new();
+//! let done2 = done.clone();
+//! sim.spawn("producer", move |ctx| {
+//!     ctx.advance(SimDuration::from_micros(5));
+//!     done2.set(&ctx.handle());
+//! });
+//! sim.spawn("consumer", move |ctx| {
+//!     ctx.wait(&done);
+//!     assert_eq!(ctx.now().as_micros_f64(), 5.0);
+//! });
+//! let report = sim.run().unwrap();
+//! assert_eq!(report.end_time.as_micros_f64(), 5.0);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod error;
+mod event;
+mod process;
+mod rng;
+mod sched;
+mod sync;
+mod time;
+mod trace;
+
+pub use error::SimError;
+pub use event::{CountEvent, Event};
+pub use process::Ctx;
+pub use rng::SimRng;
+pub use sched::{ProcessId, SimConfig, SimHandle, SimReport, Simulation, SpawnHandle};
+pub use sync::{Semaphore, SimBarrier, SimChannel};
+pub use time::{SimDuration, SimTime};
+pub use trace::{CategorySummary, Trace, TraceSpan};

@@ -1,0 +1,197 @@
+//! The process-side API: what simulation code can do.
+//!
+//! Every simulation process receives a `&mut Ctx`. All blocking operations
+//! (`advance`, `wait`, channel receives) go through it; the mutable borrow
+//! statically prevents a process from blocking re-entrantly.
+
+use std::sync::Arc;
+
+use crossbeam_channel::Receiver;
+
+use crate::event::Event;
+use crate::rng::SimRng;
+use crate::sched::{self, ProcessId, SchedCore, SimHandle, SpawnHandle, YieldMsg};
+use crate::time::{SimDuration, SimTime};
+
+/// Sentinel panic message used to unwind process threads when the simulation
+/// is torn down before they run again (only possible after `run` returned).
+pub(crate) const TEARDOWN_MSG: &str = "__parcomm_sim_teardown__";
+
+/// Per-process execution context.
+///
+/// Not `Clone` and not `Send`-shareable: it owns the process's resume channel.
+/// To give long-lived model objects access to the simulation, use
+/// [`Ctx::handle`].
+pub struct Ctx {
+    pid: ProcessId,
+    core: Arc<SchedCore>,
+    resume_rx: Receiver<()>,
+    handle: SimHandle,
+}
+
+impl Ctx {
+    pub(crate) fn new(pid: ProcessId, core: Arc<SchedCore>, resume_rx: Receiver<()>) -> Self {
+        let handle = SimHandle { core: core.clone() };
+        Ctx { pid, core, resume_rx, handle }
+    }
+
+    /// This process's id.
+    pub fn pid(&self) -> ProcessId {
+        self.pid
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        sched::now_of(&self.core)
+    }
+
+    /// A cloneable, non-blocking capability handle (for model objects and
+    /// scheduled callbacks).
+    pub fn handle(&self) -> SimHandle {
+        self.handle.clone()
+    }
+
+    /// True once the simulation is winding down daemons (all regular
+    /// processes finished). Daemon poll loops should check this.
+    pub fn is_shutdown(&self) -> bool {
+        sched::is_shutdown(&self.core)
+    }
+
+    /// Let virtual time pass: park this process and resume it `dt` later.
+    ///
+    /// `advance(SimDuration::ZERO)` yields to other same-instant work
+    /// (FIFO order among equal timestamps).
+    pub fn advance(&mut self, dt: SimDuration) {
+        let epoch = sched::park_and_bump(&self.core, self.pid);
+        let at = self.now() + dt;
+        self.core
+            .yield_tx
+            .send(YieldMsg::AdvanceTo { pid: self.pid, at, epoch })
+            .expect("scheduler gone");
+        self.park();
+    }
+
+    /// Yield to other processes/callbacks scheduled at the current instant.
+    pub fn yield_now(&mut self) {
+        self.advance(SimDuration::ZERO);
+    }
+
+    /// Block until `event` fires. Returns `true` if the event is set, or
+    /// `false` if the process was released by simulation shutdown instead
+    /// (only happens to daemons).
+    pub fn wait(&mut self, event: &Event) -> bool {
+        loop {
+            if event.is_set() {
+                return true;
+            }
+            if self.is_shutdown() {
+                return false;
+            }
+            let epoch = sched::park_and_bump(&self.core, self.pid);
+            // Register *after* bumping so the event wakes the right epoch.
+            if !event.register_waiter(self.pid, epoch) {
+                // Event fired between the check and registration: un-park by
+                // scheduling an immediate resume for our epoch.
+                sched::schedule_resume(&self.core, self.now(), self.pid, epoch);
+            }
+            self.core
+                .yield_tx
+                .send(YieldMsg::Blocked { pid: self.pid })
+                .expect("scheduler gone");
+            self.park();
+        }
+    }
+
+    /// Block until `event` fires or `dt` elapses. Returns `true` if the event
+    /// is set (even if it fired exactly at the deadline).
+    pub fn wait_timeout(&mut self, event: &Event, dt: SimDuration) -> bool {
+        let deadline = self.now() + dt;
+        loop {
+            if event.is_set() {
+                return true;
+            }
+            if self.is_shutdown() || self.now() >= deadline {
+                return event.is_set();
+            }
+            let epoch = sched::park_and_bump(&self.core, self.pid);
+            if !event.register_waiter(self.pid, epoch) {
+                sched::schedule_resume(&self.core, self.now(), self.pid, epoch);
+            }
+            // Timed backstop at the deadline; stale if the event wins.
+            sched::schedule_resume(&self.core, deadline, self.pid, epoch);
+            self.core
+                .yield_tx
+                .send(YieldMsg::Blocked { pid: self.pid })
+                .expect("scheduler gone");
+            self.park();
+        }
+    }
+
+    /// Block until all events in `events` have fired.
+    pub fn wait_all(&mut self, events: &[Event]) {
+        for e in events {
+            self.wait(e);
+        }
+    }
+
+    /// Block until `counter` reaches at least `threshold` (or shutdown).
+    pub fn wait_count(&mut self, counter: &crate::event::CountEvent, threshold: u64) {
+        loop {
+            if counter.count() >= threshold || self.is_shutdown() {
+                return;
+            }
+            let epoch = sched::park_and_bump(&self.core, self.pid);
+            if !counter.register_waiter(threshold, self.pid, epoch) {
+                sched::schedule_resume(&self.core, self.now(), self.pid, epoch);
+            }
+            self.core
+                .yield_tx
+                .send(YieldMsg::Blocked { pid: self.pid })
+                .expect("scheduler gone");
+            self.park();
+        }
+    }
+
+    /// Spawn a regular child process starting at the current virtual time.
+    pub fn spawn(
+        &mut self,
+        name: impl Into<String>,
+        body: impl FnOnce(&mut Ctx) + Send + 'static,
+    ) -> SpawnHandle {
+        sched::spawn_process(&self.core, name.into(), false, body)
+    }
+
+    /// Spawn a daemon child process (released at shutdown; see crate docs).
+    pub fn spawn_daemon(
+        &mut self,
+        name: impl Into<String>,
+        body: impl FnOnce(&mut Ctx) + Send + 'static,
+    ) -> SpawnHandle {
+        sched::spawn_process(&self.core, name.into(), true, body)
+    }
+
+    /// Block until the given spawned process finishes.
+    pub fn join(&mut self, handle: &SpawnHandle) {
+        self.wait(&handle.done);
+    }
+
+    /// Draw from the simulation's deterministic RNG.
+    pub fn with_rng<T>(&self, f: impl FnOnce(&mut SimRng) -> T) -> T {
+        self.handle.with_rng(f)
+    }
+
+    /// Sample a normally distributed duration (clamped at zero), in
+    /// microseconds.
+    pub fn jitter_us(&self, mean: f64, sd: f64) -> SimDuration {
+        self.handle.jitter_us(mean, sd)
+    }
+
+    /// Park the calling thread until the scheduler resumes us.
+    fn park(&mut self) {
+        if self.resume_rx.recv().is_err() {
+            // Simulation dropped while we were parked (only after run()
+            // returned, e.g. a leaked daemon). Unwind quietly.
+            std::panic::panic_any(TEARDOWN_MSG.to_string());
+        }
+    }
+}

@@ -1,0 +1,535 @@
+//! The discrete-event scheduler.
+//!
+//! ## Execution model
+//!
+//! The simulation is *process-oriented* (SimGrid / SimPy style): user code is
+//! written as ordinary blocking Rust running in **simulation processes**, each
+//! backed by its own OS thread, while fine-grained hardware actions (DMA
+//! completions, flag writes) are **scheduled callbacks** that run directly on
+//! the scheduler thread.
+//!
+//! At any wall-clock instant, *at most one* simulation process is executing;
+//! the scheduler thread and that process hand control back and forth through
+//! rendezvous channels. Virtual time only advances inside the scheduler loop,
+//! between process steps, which makes the simulation deterministic: a given
+//! program + seed always produces the identical event trace.
+//!
+//! ## Shutdown semantics
+//!
+//! Processes are either *regular* or *daemon*. The simulation completes when
+//! every regular process has finished. Daemons (progression engines, pollers)
+//! are then woken one final time with the global shutdown flag set so that
+//! their `while !ctx.is_shutdown()` loops can exit cleanly.
+//!
+//! ## Deadlock detection
+//!
+//! If no timed work remains but regular processes are still blocked, the
+//! scheduler aborts with a diagnostic listing every blocked process by name —
+//! turning would-be hangs into test failures.
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use crossbeam_channel::{unbounded, Receiver, Sender};
+use parking_lot::Mutex;
+
+use crate::error::SimError;
+use crate::event::Event;
+use crate::rng::SimRng;
+use crate::time::{SimDuration, SimTime};
+use crate::trace::Trace;
+
+/// Identifier of a simulation process (dense, assigned at spawn).
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
+pub struct ProcessId(pub(crate) u64);
+
+/// A callback scheduled to run on the scheduler thread at a virtual instant.
+pub type Callback = Box<dyn FnOnce(&SimHandle) + Send + 'static>;
+
+/// What an entry in the event queue does when its time arrives.
+enum QueueItem {
+    /// Resume process `pid` if it is still parked with the given epoch.
+    /// Stale epochs (the process was woken earlier by an event) are ignored.
+    Resume { pid: ProcessId, epoch: u64 },
+    /// Run a closure on the scheduler thread.
+    Callback(Callback),
+}
+
+/// Message a process sends back to the scheduler when it yields.
+pub(crate) enum YieldMsg {
+    /// Park me; resume at `at` (advance) — epoch already bumped.
+    AdvanceTo { pid: ProcessId, at: SimTime, epoch: u64 },
+    /// Park me; something else (an event) will wake me. The pid is carried
+    /// for trace debugging only.
+    Blocked {
+        #[allow(dead_code)]
+        pid: ProcessId,
+    },
+    /// The process body returned (`Ok`) or panicked (`Err(message)`).
+    Finished { pid: ProcessId, result: Result<(), String> },
+}
+
+struct ProcRecord {
+    name: String,
+    daemon: bool,
+    resume_tx: Sender<()>,
+    /// Bumped every time the process parks; used to discard stale timed wakes.
+    park_epoch: u64,
+    parked: bool,
+    finished: bool,
+    done: Event,
+    join: Option<JoinHandle<()>>,
+}
+
+/// Shared scheduler state. Lives behind `Arc` in [`SimHandle`] and `Ctx`.
+pub(crate) struct SchedCore {
+    pub(crate) state: Mutex<SchedState>,
+    /// Processes report yields here; the scheduler blocks on the receiver.
+    pub(crate) yield_tx: Sender<YieldMsg>,
+    yield_rx: Receiver<YieldMsg>,
+    /// Global shutdown flag: set once all regular processes have finished.
+    shutdown: AtomicBool,
+    /// Span tracing (disabled by default).
+    pub(crate) trace: Trace,
+}
+
+pub(crate) struct SchedState {
+    now: SimTime,
+    seq: u64,
+    queue: BinaryHeap<Reverse<(SimTime, u64, QueueSlot)>>,
+    items: HashMap<u64, QueueItem>,
+    procs: HashMap<ProcessId, ProcRecord>,
+    next_pid: u64,
+    live_regular: usize,
+    live_daemons: usize,
+    pub(crate) rng: SimRng,
+    events_processed: u64,
+}
+
+/// Heap key helper: items with identical timestamps pop in insertion order.
+#[derive(PartialEq, Eq, PartialOrd, Ord)]
+struct QueueSlot(u64);
+
+/// A cloneable capability handle onto the running simulation.
+///
+/// `SimHandle` is what scheduled callbacks receive, and what long-lived model
+/// objects (GPU devices, network links, UCX workers) store so they can read
+/// the clock, schedule callbacks, and fire [`Event`]s. It deliberately cannot
+/// block: blocking is only possible from a process `Ctx`.
+#[derive(Clone)]
+pub struct SimHandle {
+    pub(crate) core: Arc<SchedCore>,
+}
+
+impl SimHandle {
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.core.state.lock().now
+    }
+
+    /// True once every regular process has finished and daemons are being
+    /// wound down.
+    pub fn is_shutdown(&self) -> bool {
+        self.core.shutdown.load(Ordering::Acquire)
+    }
+
+    /// Schedule `f` to run on the scheduler thread after `delay`.
+    pub fn schedule_in(&self, delay: SimDuration, f: impl FnOnce(&SimHandle) + Send + 'static) {
+        let mut st = self.core.state.lock();
+        let at = st.now + delay;
+        st.push(at, QueueItem::Callback(Box::new(f)));
+    }
+
+    /// Schedule `f` at an absolute virtual instant (must not be in the past).
+    pub fn schedule_at(&self, at: SimTime, f: impl FnOnce(&SimHandle) + Send + 'static) {
+        let mut st = self.core.state.lock();
+        assert!(at >= st.now, "schedule_at: {at:?} is in the past (now {:?})", st.now);
+        st.push(at, QueueItem::Callback(Box::new(f)));
+    }
+
+    /// Draw from the simulation's deterministic RNG.
+    pub fn with_rng<T>(&self, f: impl FnOnce(&mut SimRng) -> T) -> T {
+        f(&mut self.core.state.lock().rng)
+    }
+
+    /// Sample a normally distributed duration (clamped at zero) around
+    /// `mean` with standard deviation `sd`, both in microseconds.
+    pub fn jitter_us(&self, mean: f64, sd: f64) -> SimDuration {
+        self.with_rng(|rng| SimDuration::from_micros_f64(rng.normal(mean, sd)))
+    }
+
+    /// The simulation's span trace (recording is a no-op until the trace
+    /// is enabled via [`crate::Simulation::trace`]).
+    pub fn trace(&self) -> &Trace {
+        &self.core.trace
+    }
+
+    pub(crate) fn wake(&self, pid: ProcessId, epoch: u64) {
+        let mut st = self.core.state.lock();
+        let at = st.now;
+        st.push(at, QueueItem::Resume { pid, epoch });
+    }
+
+}
+
+impl SchedState {
+    fn push(&mut self, at: SimTime, item: QueueItem) {
+        let id = self.seq;
+        self.seq += 1;
+        self.items.insert(id, item);
+        self.queue.push(Reverse((at, id, QueueSlot(id))));
+    }
+}
+
+/// Statistics returned by [`Simulation::run`].
+#[derive(Debug, Clone)]
+pub struct SimReport {
+    /// Virtual time at which the last event was processed.
+    pub end_time: SimTime,
+    /// Number of queue items (resumes + callbacks) processed.
+    pub events_processed: u64,
+    /// Number of processes that ran (regular + daemon).
+    pub processes: u64,
+}
+
+/// Configuration for a [`Simulation`].
+#[derive(Debug, Clone)]
+pub struct SimConfig {
+    /// Seed for the deterministic RNG. Two runs with the same seed produce
+    /// identical traces.
+    pub seed: u64,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig { seed: 0x5EED_CAFE }
+    }
+}
+
+/// A configured simulation: spawn processes, then [`run`](Simulation::run).
+pub struct Simulation {
+    core: Arc<SchedCore>,
+    started: bool,
+}
+
+impl Simulation {
+    /// Create a simulation with the given configuration.
+    pub fn new(cfg: SimConfig) -> Self {
+        let (yield_tx, yield_rx) = unbounded();
+        let core = Arc::new(SchedCore {
+            state: Mutex::new(SchedState {
+                now: SimTime::ZERO,
+                seq: 0,
+                queue: BinaryHeap::new(),
+                items: HashMap::new(),
+                procs: HashMap::new(),
+                next_pid: 0,
+                live_regular: 0,
+                live_daemons: 0,
+                rng: SimRng::seeded(cfg.seed),
+                events_processed: 0,
+            }),
+            yield_tx,
+            yield_rx,
+            shutdown: AtomicBool::new(false),
+            trace: Trace::default(),
+        });
+        Simulation { core, started: false }
+    }
+
+    /// Create a simulation with the default configuration (fixed seed).
+    pub fn with_seed(seed: u64) -> Self {
+        Simulation::new(SimConfig { seed })
+    }
+
+    /// Handle usable to pre-build model objects before `run`.
+    pub fn handle(&self) -> SimHandle {
+        SimHandle { core: self.core.clone() }
+    }
+
+    /// The simulation's span trace; call [`Trace::enable`] to record.
+    pub fn trace(&self) -> Trace {
+        self.core.trace.clone()
+    }
+
+    /// Spawn a regular root process starting at t = 0.
+    pub fn spawn(&mut self, name: impl Into<String>, body: impl FnOnce(&mut crate::process::Ctx) + Send + 'static) {
+        spawn_process(&self.core, name.into(), false, body);
+    }
+
+    /// Spawn a daemon root process starting at t = 0 (see module docs).
+    pub fn spawn_daemon(
+        &mut self,
+        name: impl Into<String>,
+        body: impl FnOnce(&mut crate::process::Ctx) + Send + 'static,
+    ) {
+        spawn_process(&self.core, name.into(), true, body);
+    }
+
+    /// Run the event loop to completion.
+    ///
+    /// Returns once every regular process has finished and the queue has
+    /// drained. Fails with [`SimError::Deadlock`] if regular processes remain
+    /// blocked with no timed work pending, or [`SimError::ProcessPanic`] if
+    /// any process body panicked.
+    pub fn run(mut self) -> Result<SimReport, SimError> {
+        assert!(!self.started, "Simulation::run called twice");
+        self.started = true;
+        let handle = SimHandle { core: self.core.clone() };
+        let mut total_procs = 0u64;
+
+        loop {
+            // Pop the earliest queue item, if any.
+            let popped = {
+                let mut st = self.core.state.lock();
+                match st.queue.pop() {
+                    Some(Reverse((at, id, _))) => {
+                        st.now = at;
+                        st.events_processed += 1;
+                        let item = st.items.remove(&id).expect("queue item missing");
+                        Some(item)
+                    }
+                    None => None,
+                }
+            };
+
+            match popped {
+                Some(QueueItem::Callback(f)) => {
+                    f(&handle);
+                }
+                Some(QueueItem::Resume { pid, epoch }) => {
+                    let resume_tx = {
+                        let mut st = self.core.state.lock();
+                        match st.procs.get_mut(&pid) {
+                            Some(p) if p.parked && !p.finished && p.park_epoch == epoch => {
+                                p.parked = false;
+                                Some(p.resume_tx.clone())
+                            }
+                            _ => None, // stale wake
+                        }
+                    };
+                    let Some(tx) = resume_tx else { continue };
+                    tx.send(()).expect("process resume channel closed");
+                    // Let the process run until it yields again.
+                    self.handle_yield(self.core.yield_rx.recv().expect("yield channel closed"))?;
+                    total_procs = total_procs.max(self.core.state.lock().next_pid);
+                }
+                None => {
+                    // Queue empty: either done, shutdown phase, or deadlock.
+                    let (live_regular, live_daemons, blocked): (usize, usize, Vec<String>) = {
+                        let st = self.core.state.lock();
+                        let blocked = st
+                            .procs
+                            .values()
+                            .filter(|p| p.parked && !p.finished)
+                            .map(|p| p.name.clone())
+                            .collect();
+                        (st.live_regular, st.live_daemons, blocked)
+                    };
+
+                    if live_regular == 0 && live_daemons == 0 {
+                        break; // all done
+                    }
+                    if live_regular == 0 {
+                        // Only daemons remain: initiate shutdown, wake them all.
+                        self.begin_shutdown(&handle);
+                        continue;
+                    }
+                    return Err(SimError::Deadlock { blocked });
+                }
+            }
+
+            // If the last regular process just finished, wind daemons down.
+            let need_shutdown = {
+                let st = self.core.state.lock();
+                st.live_regular == 0 && st.live_daemons > 0
+            };
+            if need_shutdown && !self.core.shutdown.load(Ordering::Acquire) {
+                self.begin_shutdown(&handle);
+            }
+        }
+
+        // Join all process threads (all have finished by now).
+        let joins: Vec<JoinHandle<()>> = {
+            let mut st = self.core.state.lock();
+            st.procs.values_mut().filter_map(|p| p.join.take()).collect()
+        };
+        for j in joins {
+            let _ = j.join();
+        }
+
+        let st = self.core.state.lock();
+        Ok(SimReport {
+            end_time: st.now,
+            events_processed: st.events_processed,
+            processes: st.next_pid,
+        })
+    }
+
+    /// Set the shutdown flag and wake every parked daemon so its poll loop
+    /// can observe the flag and exit.
+    fn begin_shutdown(&self, _handle: &SimHandle) {
+        self.core.shutdown.store(true, Ordering::Release);
+        let mut st = self.core.state.lock();
+        let now = st.now;
+        let parked: Vec<(ProcessId, u64)> = st
+            .procs
+            .iter()
+            .filter(|(_, p)| p.parked && !p.finished)
+            .map(|(pid, p)| (*pid, p.park_epoch))
+            .collect();
+        for (pid, epoch) in parked {
+            st.push(now, QueueItem::Resume { pid, epoch });
+        }
+    }
+
+    fn handle_yield(&self, msg: YieldMsg) -> Result<(), SimError> {
+        match msg {
+            YieldMsg::AdvanceTo { pid, at, epoch } => {
+                let mut st = self.core.state.lock();
+                debug_assert!(at >= st.now);
+                st.push(at, QueueItem::Resume { pid, epoch });
+                Ok(())
+            }
+            YieldMsg::Blocked { .. } => Ok(()),
+            YieldMsg::Finished { pid, result } => {
+                let (name, done) = {
+                    let mut st = self.core.state.lock();
+                    let p = st.procs.get_mut(&pid).expect("unknown process finished");
+                    p.finished = true;
+                    p.parked = false;
+                    let name = p.name.clone();
+                    let done = p.done.clone();
+                    if p.daemon {
+                        st.live_daemons -= 1;
+                    } else {
+                        st.live_regular -= 1;
+                    }
+                    (name, done)
+                };
+                let handle = SimHandle { core: self.core.clone() };
+                done.set(&handle);
+                match result {
+                    Ok(()) => Ok(()),
+                    Err(msg) => Err(SimError::ProcessPanic { name, message: msg }),
+                }
+            }
+        }
+    }
+}
+
+/// Handle returned by dynamic spawn; lets other processes await completion.
+#[derive(Clone)]
+pub struct SpawnHandle {
+    pub(crate) pid: ProcessId,
+    /// Fired when the process body returns.
+    pub done: Event,
+}
+
+impl SpawnHandle {
+    /// The spawned process's id.
+    pub fn pid(&self) -> ProcessId {
+        self.pid
+    }
+}
+
+/// Internal: register and start a process thread. The thread immediately
+/// parks; the scheduler releases it via a `Resume` queue item at the current
+/// virtual time.
+pub(crate) fn spawn_process(
+    core: &Arc<SchedCore>,
+    name: String,
+    daemon: bool,
+    body: impl FnOnce(&mut crate::process::Ctx) + Send + 'static,
+) -> SpawnHandle {
+    let (resume_tx, resume_rx) = unbounded::<()>();
+    let done = Event::new();
+
+    let pid = {
+        let mut st = core.state.lock();
+        let pid = ProcessId(st.next_pid);
+        st.next_pid += 1;
+        if daemon {
+            st.live_daemons += 1;
+        } else {
+            st.live_regular += 1;
+        }
+        st.procs.insert(
+            pid,
+            ProcRecord {
+                name: name.clone(),
+                daemon,
+                resume_tx,
+                park_epoch: 0,
+                parked: true,
+                finished: false,
+                done: done.clone(),
+                join: None,
+            },
+        );
+        let now = st.now;
+        st.push(now, QueueItem::Resume { pid, epoch: 0 });
+        pid
+    };
+
+    let core2 = core.clone();
+    let thread_name = format!("sim:{name}");
+    let join = std::thread::Builder::new()
+        .name(thread_name)
+        .spawn(move || {
+            // Wait for the scheduler to start us.
+            if resume_rx.recv().is_err() {
+                return; // simulation torn down before we ran
+            }
+            let mut ctx = crate::process::Ctx::new(pid, core2.clone(), resume_rx);
+            let result = panic::catch_unwind(AssertUnwindSafe(|| body(&mut ctx)))
+                .map_err(|payload| payload_to_string(payload.as_ref()));
+            // Teardown unwinds (scheduler dropped our channel) must not be
+            // reported as user panics; they only occur after run() returned.
+            let result = match result {
+                Err(m) if m == crate::process::TEARDOWN_MSG => Ok(()),
+                other => other,
+            };
+            let _ = core2.yield_tx.send(YieldMsg::Finished { pid, result });
+        })
+        .expect("failed to spawn simulation process thread");
+
+    core.state.lock().procs.get_mut(&pid).expect("proc vanished").join = Some(join);
+    SpawnHandle { pid, done }
+}
+
+fn payload_to_string(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic payload>".to_string()
+    }
+}
+
+/// Internal API used by `Ctx` and `Event`.
+pub(crate) fn park_and_bump(core: &Arc<SchedCore>, pid: ProcessId) -> u64 {
+    let mut st = core.state.lock();
+    let p = st.procs.get_mut(&pid).expect("unknown process parking");
+    p.park_epoch += 1;
+    p.parked = true;
+    p.park_epoch
+}
+
+pub(crate) fn now_of(core: &Arc<SchedCore>) -> SimTime {
+    core.state.lock().now
+}
+
+pub(crate) fn schedule_resume(core: &Arc<SchedCore>, at: SimTime, pid: ProcessId, epoch: u64) {
+    let mut st = core.state.lock();
+    st.push(at, QueueItem::Resume { pid, epoch });
+}
+
+pub(crate) fn is_shutdown(core: &Arc<SchedCore>) -> bool {
+    core.shutdown.load(Ordering::Acquire)
+}

@@ -1,0 +1,132 @@
+//! Lightweight span tracing over virtual time.
+//!
+//! Model layers record named spans (`kernel`, `stream_sync`, `wire`, …)
+//! against the virtual clock; analysis code aggregates them to explain
+//! *where* a measured interval went — e.g. decomposing the partitioned
+//! allreduce's gap to NCCL into reduction-kernel launches and stream
+//! synchronizations. Tracing is off by default (recording is a no-op) and
+//! enabled per simulation.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::time::{SimDuration, SimTime};
+
+/// One recorded span.
+#[derive(Clone, Debug)]
+pub struct TraceSpan {
+    /// Category label (static so recording never allocates for the name).
+    pub category: &'static str,
+    /// Span start (virtual time).
+    pub start: SimTime,
+    /// Span end (virtual time).
+    pub end: SimTime,
+}
+
+impl TraceSpan {
+    /// Span length.
+    pub fn duration(&self) -> SimDuration {
+        self.end.saturating_since(self.start)
+    }
+}
+
+/// Aggregate of one category.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct CategorySummary {
+    /// Number of spans recorded.
+    pub count: u64,
+    /// Total virtual time across spans (spans may overlap in wall terms —
+    /// this is occupancy, not elapsed).
+    pub total: SimDuration,
+}
+
+#[derive(Default)]
+pub(crate) struct TraceState {
+    enabled: AtomicBool,
+    spans: Mutex<Vec<TraceSpan>>,
+}
+
+/// Shared handle to a simulation's trace buffer.
+#[derive(Clone, Default)]
+pub struct Trace {
+    pub(crate) state: Arc<TraceState>,
+}
+
+impl Trace {
+    /// Turn recording on.
+    pub fn enable(&self) {
+        self.state.enabled.store(true, Ordering::Release);
+    }
+
+    /// True when spans are being recorded.
+    pub fn is_enabled(&self) -> bool {
+        self.state.enabled.load(Ordering::Acquire)
+    }
+
+    /// Record a span (no-op unless enabled).
+    pub fn record(&self, category: &'static str, start: SimTime, end: SimTime) {
+        if self.is_enabled() {
+            self.state.spans.lock().push(TraceSpan { category, start, end });
+        }
+    }
+
+    /// All spans recorded so far (clone).
+    pub fn spans(&self) -> Vec<TraceSpan> {
+        self.state.spans.lock().clone()
+    }
+
+    /// Aggregate spans within `[from, to]` by category.
+    pub fn summarize(&self, from: SimTime, to: SimTime) -> BTreeMap<&'static str, CategorySummary> {
+        let mut out: BTreeMap<&'static str, CategorySummary> = BTreeMap::new();
+        for s in self.state.spans.lock().iter() {
+            if s.end < from || s.start > to {
+                continue;
+            }
+            let start = s.start.max(from);
+            let end = s.end.min(to);
+            let e = out.entry(s.category).or_default();
+            e.count += 1;
+            e.total += end.saturating_since(start);
+        }
+        out
+    }
+
+    /// Clear recorded spans (between measurement phases).
+    pub fn reset(&self) {
+        self.state.spans.lock().clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(us: u64) -> SimTime {
+        SimTime::from_nanos(us * 1000)
+    }
+
+    #[test]
+    fn disabled_trace_records_nothing() {
+        let tr = Trace::default();
+        tr.record("kernel", t(0), t(5));
+        assert!(tr.spans().is_empty());
+    }
+
+    #[test]
+    fn summary_clips_to_window() {
+        let tr = Trace::default();
+        tr.enable();
+        tr.record("kernel", t(0), t(10));
+        tr.record("kernel", t(20), t(30));
+        tr.record("sync", t(5), t(8));
+        let s = tr.summarize(t(5), t(25));
+        assert_eq!(s["kernel"].count, 2);
+        assert_eq!(s["kernel"].total, SimDuration::from_micros(10)); // 5 + 5
+        assert_eq!(s["sync"].total, SimDuration::from_micros(3));
+        tr.reset();
+        assert!(tr.spans().is_empty());
+    }
+}

@@ -1,0 +1,420 @@
+//! Integration tests for the discrete-event scheduler: ordering, blocking,
+//! shutdown, deadlock detection, and determinism.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use parcomm_sim::{
+    CountEvent, Event, SimBarrier, SimChannel, SimConfig, SimDuration, SimError, SimTime,
+    Simulation,
+};
+
+fn us(n: u64) -> SimDuration {
+    SimDuration::from_micros(n)
+}
+
+#[test]
+fn empty_simulation_completes() {
+    let sim = Simulation::new(SimConfig::default());
+    let report = sim.run().unwrap();
+    assert_eq!(report.end_time, SimTime::ZERO);
+    assert_eq!(report.processes, 0);
+}
+
+#[test]
+fn single_process_advances_clock() {
+    let mut sim = Simulation::with_seed(1);
+    let end = Arc::new(Mutex::new(SimTime::ZERO));
+    let end2 = end.clone();
+    sim.spawn("p", move |ctx| {
+        assert_eq!(ctx.now(), SimTime::ZERO);
+        ctx.advance(us(10));
+        ctx.advance(us(5));
+        *end2.lock() = ctx.now();
+    });
+    let report = sim.run().unwrap();
+    assert_eq!(*end.lock(), SimTime::from_nanos(15_000));
+    assert_eq!(report.end_time, SimTime::from_nanos(15_000));
+}
+
+#[test]
+fn processes_interleave_in_time_order() {
+    let mut sim = Simulation::with_seed(1);
+    let log = Arc::new(Mutex::new(Vec::new()));
+    for (name, delay) in [("a", 30u64), ("b", 10), ("c", 20)] {
+        let log = log.clone();
+        sim.spawn(name, move |ctx| {
+            ctx.advance(us(delay));
+            log.lock().push((name, ctx.now().as_micros_f64()));
+        });
+    }
+    sim.run().unwrap();
+    let log = log.lock();
+    assert_eq!(
+        *log,
+        vec![("b", 10.0), ("c", 20.0), ("a", 30.0)],
+        "wakeups must be in virtual-time order"
+    );
+}
+
+#[test]
+fn same_instant_is_fifo() {
+    let mut sim = Simulation::with_seed(1);
+    let log = Arc::new(Mutex::new(Vec::new()));
+    for name in ["first", "second", "third"] {
+        let log = log.clone();
+        sim.spawn(name, move |ctx| {
+            ctx.advance(us(5));
+            log.lock().push(name);
+        });
+    }
+    sim.run().unwrap();
+    assert_eq!(*log.lock(), vec!["first", "second", "third"]);
+}
+
+#[test]
+fn event_wait_and_set() {
+    let mut sim = Simulation::with_seed(1);
+    let ev = Event::new();
+    let ev2 = ev.clone();
+    let waited_until = Arc::new(Mutex::new(0.0));
+    let w2 = waited_until.clone();
+    sim.spawn("waiter", move |ctx| {
+        assert!(ctx.wait(&ev2));
+        *w2.lock() = ctx.now().as_micros_f64();
+    });
+    let ev3 = ev.clone();
+    sim.spawn("setter", move |ctx| {
+        ctx.advance(us(42));
+        ev3.set(&ctx.handle());
+    });
+    sim.run().unwrap();
+    assert_eq!(*waited_until.lock(), 42.0);
+    assert_eq!(ev.set_at(), Some(SimTime::from_nanos(42_000)));
+}
+
+#[test]
+fn wait_on_already_set_event_returns_immediately() {
+    let mut sim = Simulation::with_seed(1);
+    let ev = Event::new();
+    let ev2 = ev.clone();
+    sim.spawn("p", move |ctx| {
+        ev2.set(&ctx.handle());
+        let t0 = ctx.now();
+        assert!(ctx.wait(&ev2));
+        assert_eq!(ctx.now(), t0);
+    });
+    sim.run().unwrap();
+}
+
+#[test]
+fn event_set_is_idempotent() {
+    let mut sim = Simulation::with_seed(1);
+    let ev = Event::new();
+    let ev2 = ev.clone();
+    sim.spawn("p", move |ctx| {
+        ev2.set(&ctx.handle());
+        ctx.advance(us(5));
+        ev2.set(&ctx.handle()); // second set must not move set_at
+        assert_eq!(ev2.set_at(), Some(SimTime::ZERO));
+    });
+    sim.run().unwrap();
+}
+
+#[test]
+fn wait_timeout_expires() {
+    let mut sim = Simulation::with_seed(1);
+    let ev = Event::new();
+    let ev2 = ev.clone();
+    sim.spawn("p", move |ctx| {
+        let fired = ctx.wait_timeout(&ev2, us(10));
+        assert!(!fired, "event never set; timeout must report false");
+        assert_eq!(ctx.now().as_micros_f64(), 10.0);
+    });
+    sim.run().unwrap();
+}
+
+#[test]
+fn wait_timeout_event_wins() {
+    let mut sim = Simulation::with_seed(1);
+    let ev = Event::new();
+    let ev2 = ev.clone();
+    sim.spawn("waiter", move |ctx| {
+        let fired = ctx.wait_timeout(&ev2, us(100));
+        assert!(fired);
+        assert_eq!(ctx.now().as_micros_f64(), 7.0);
+        // The stale timeout wake at t=100 must not disturb later sleeps.
+        ctx.advance(us(1));
+        assert_eq!(ctx.now().as_micros_f64(), 8.0);
+    });
+    let ev3 = ev.clone();
+    sim.spawn("setter", move |ctx| {
+        ctx.advance(us(7));
+        ev3.set(&ctx.handle());
+    });
+    sim.run().unwrap();
+}
+
+#[test]
+fn scheduled_callbacks_run_at_their_time() {
+    let mut sim = Simulation::with_seed(1);
+    let hits = Arc::new(Mutex::new(Vec::new()));
+    let hits2 = hits.clone();
+    sim.spawn("p", move |ctx| {
+        let h = ctx.handle();
+        for (i, d) in [30u64, 10, 20].into_iter().enumerate() {
+            let hits3 = hits2.clone();
+            h.schedule_in(us(d), move |h| {
+                hits3.lock().push((i, h.now().as_micros_f64()));
+            });
+        }
+        ctx.advance(us(100));
+    });
+    sim.run().unwrap();
+    assert_eq!(*hits.lock(), vec![(1, 10.0), (2, 20.0), (0, 30.0)]);
+}
+
+#[test]
+fn callbacks_can_chain_and_set_events() {
+    let mut sim = Simulation::with_seed(1);
+    let ev = Event::new();
+    let ev2 = ev.clone();
+    sim.spawn("p", move |ctx| {
+        let h = ctx.handle();
+        let ev3 = ev2.clone();
+        h.schedule_in(us(5), move |h| {
+            let ev4 = ev3.clone();
+            h.schedule_in(us(5), move |h| ev4.set(h));
+        });
+        assert!(ctx.wait(&ev2));
+        assert_eq!(ctx.now().as_micros_f64(), 10.0);
+    });
+    sim.run().unwrap();
+}
+
+#[test]
+fn dynamic_spawn_and_join() {
+    let mut sim = Simulation::with_seed(1);
+    let total = Arc::new(AtomicU64::new(0));
+    let total2 = total.clone();
+    sim.spawn("parent", move |ctx| {
+        let mut handles = Vec::new();
+        for i in 0..4u64 {
+            let total3 = total2.clone();
+            handles.push(ctx.spawn(format!("child{i}"), move |ctx| {
+                ctx.advance(us(i + 1));
+                total3.fetch_add(i + 1, Ordering::Relaxed);
+            }));
+        }
+        for h in &handles {
+            ctx.join(h);
+        }
+        assert_eq!(total2.load(Ordering::Relaxed), 1 + 2 + 3 + 4);
+        assert_eq!(ctx.now().as_micros_f64(), 4.0);
+    });
+    sim.run().unwrap();
+    assert_eq!(total.load(Ordering::Relaxed), 10);
+}
+
+#[test]
+fn deadlock_is_detected_with_names() {
+    let mut sim = Simulation::with_seed(1);
+    let ev = Event::new();
+    sim.spawn("stuck-proc", move |ctx| {
+        ctx.wait(&ev); // never set
+    });
+    match sim.run() {
+        Err(SimError::Deadlock { blocked }) => {
+            assert_eq!(blocked, vec!["stuck-proc".to_string()]);
+        }
+        other => panic!("expected deadlock, got {other:?}"),
+    }
+}
+
+#[test]
+fn process_panic_is_reported() {
+    let mut sim = Simulation::with_seed(1);
+    sim.spawn("boom", |_ctx| panic!("kaboom: {}", 42));
+    match sim.run() {
+        Err(SimError::ProcessPanic { name, message }) => {
+            assert_eq!(name, "boom");
+            assert!(message.contains("kaboom: 42"));
+        }
+        other => panic!("expected panic error, got {other:?}"),
+    }
+}
+
+#[test]
+fn daemons_are_released_at_shutdown() {
+    let mut sim = Simulation::with_seed(1);
+    let polls = Arc::new(AtomicU64::new(0));
+    let polls2 = polls.clone();
+    sim.spawn_daemon("poller", move |ctx| {
+        while !ctx.is_shutdown() {
+            polls2.fetch_add(1, Ordering::Relaxed);
+            ctx.advance(us(1));
+        }
+    });
+    sim.spawn("worker", move |ctx| {
+        ctx.advance(us(10));
+    });
+    let report = sim.run().unwrap();
+    // The poller ran ~10-11 times then observed shutdown.
+    let n = polls.load(Ordering::Relaxed);
+    assert!((10..=12).contains(&n), "poller polled {n} times");
+    assert!(report.end_time >= SimTime::from_nanos(10_000));
+}
+
+#[test]
+fn daemon_blocked_on_event_is_released() {
+    let mut sim = Simulation::with_seed(1);
+    let never = Event::new();
+    sim.spawn_daemon("waiter", move |ctx| {
+        let fired = ctx.wait(&never);
+        assert!(!fired, "released by shutdown, not by event");
+    });
+    sim.spawn("worker", move |ctx| ctx.advance(us(1)));
+    sim.run().unwrap();
+}
+
+#[test]
+fn channel_delivers_in_order() {
+    let mut sim = Simulation::with_seed(1);
+    let ch: SimChannel<u64> = SimChannel::new();
+    let ch2 = ch.clone();
+    let out = Arc::new(Mutex::new(Vec::new()));
+    let out2 = out.clone();
+    sim.spawn("rx", move |ctx| {
+        for _ in 0..3 {
+            out2.lock().push((ch2.recv(ctx), ctx.now().as_micros_f64()));
+        }
+    });
+    let ch3 = ch.clone();
+    sim.spawn("tx", move |ctx| {
+        for v in 0..3u64 {
+            ctx.advance(us(10));
+            ch3.send(&ctx.handle(), v);
+        }
+    });
+    sim.run().unwrap();
+    assert_eq!(*out.lock(), vec![(0, 10.0), (1, 20.0), (2, 30.0)]);
+}
+
+#[test]
+fn count_event_thresholds() {
+    let mut sim = Simulation::with_seed(1);
+    let counter = CountEvent::new();
+    let c2 = counter.clone();
+    sim.spawn("waiter", move |ctx| {
+        ctx.wait_count(&c2, 3);
+        assert_eq!(ctx.now().as_micros_f64(), 30.0);
+        assert_eq!(c2.count(), 3);
+    });
+    let c3 = counter.clone();
+    sim.spawn("adder", move |ctx| {
+        for _ in 0..3 {
+            ctx.advance(us(10));
+            c3.add(&ctx.handle(), 1);
+        }
+    });
+    sim.run().unwrap();
+}
+
+#[test]
+fn barrier_synchronizes_all_parties() {
+    let mut sim = Simulation::with_seed(1);
+    let barrier = SimBarrier::new(3);
+    let release_times = Arc::new(Mutex::new(Vec::new()));
+    for (i, d) in [5u64, 15, 25].into_iter().enumerate() {
+        let b = barrier.clone();
+        let rt = release_times.clone();
+        sim.spawn(format!("p{i}"), move |ctx| {
+            ctx.advance(us(d));
+            b.wait(ctx);
+            rt.lock().push(ctx.now().as_micros_f64());
+        });
+    }
+    sim.run().unwrap();
+    assert_eq!(*release_times.lock(), vec![25.0, 25.0, 25.0]);
+}
+
+#[test]
+fn barrier_is_reusable() {
+    let mut sim = Simulation::with_seed(1);
+    let barrier = SimBarrier::new(2);
+    let log = Arc::new(Mutex::new(Vec::new()));
+    for (i, d) in [3u64, 7].into_iter().enumerate() {
+        let b = barrier.clone();
+        let log2 = log.clone();
+        sim.spawn(format!("p{i}"), move |ctx| {
+            for round in 0..3 {
+                ctx.advance(us(d));
+                b.wait(ctx);
+                log2.lock().push((round, i, ctx.now().as_micros_f64()));
+            }
+        });
+    }
+    sim.run().unwrap();
+    let log = log.lock();
+    // Each round releases both at the slower party's arrival time.
+    for round in 0..3u64 {
+        let times: Vec<f64> =
+            log.iter().filter(|(r, _, _)| *r == round).map(|(_, _, t)| *t).collect();
+        assert_eq!(times.len(), 2);
+        assert_eq!(times[0], times[1], "round {round}");
+    }
+}
+
+#[test]
+fn determinism_same_seed_same_trace() {
+    fn run_once(seed: u64) -> Vec<(u64, u64)> {
+        let mut sim = Simulation::with_seed(seed);
+        let trace = Arc::new(Mutex::new(Vec::new()));
+        for i in 0..4u64 {
+            let trace2 = trace.clone();
+            sim.spawn(format!("p{i}"), move |ctx| {
+                for _ in 0..5 {
+                    let jitter = ctx.jitter_us(10.0, 2.0);
+                    ctx.advance(jitter);
+                    trace2.lock().push((i, ctx.now().as_nanos()));
+                }
+            });
+        }
+        sim.run().unwrap();
+        let t = trace.lock().clone();
+        t
+    }
+    assert_eq!(run_once(99), run_once(99));
+    assert_ne!(run_once(99), run_once(100));
+}
+
+#[test]
+fn report_counts_events() {
+    let mut sim = Simulation::with_seed(1);
+    sim.spawn("p", move |ctx| {
+        for _ in 0..10 {
+            ctx.advance(us(1));
+        }
+    });
+    let report = sim.run().unwrap();
+    // 1 initial resume + 10 advances.
+    assert!(report.events_processed >= 11);
+    assert_eq!(report.processes, 1);
+}
+
+#[test]
+fn many_processes_scale() {
+    let mut sim = Simulation::with_seed(1);
+    let sum = Arc::new(AtomicU64::new(0));
+    for i in 0..64u64 {
+        let sum2 = sum.clone();
+        sim.spawn(format!("p{i}"), move |ctx| {
+            ctx.advance(us(i % 7));
+            sum2.fetch_add(1, Ordering::Relaxed);
+        });
+    }
+    sim.run().unwrap();
+    assert_eq!(sum.load(Ordering::Relaxed), 64);
+}

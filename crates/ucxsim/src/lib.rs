@@ -1,0 +1,16 @@
+//! # parcomm-ucx — the UCP-like communication layer
+//!
+//! Reproduces the API boundary the paper's Partitioned component is written
+//! against (§II-C, §IV-A): workers and endpoints, tagged active messages for
+//! the `setup_t` bootstrap exchange, registered memory with packable remote
+//! keys, non-blocking RMA puts with chained completion callbacks, and the
+//! modified CUDA-IPC `rkey_ptr` that underpins the Kernel Copy path.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod rma;
+mod worker;
+
+pub use rma::{MemHandle, PutHandle, RKey};
+pub use worker::{AmMessage, Endpoint, UcxError, UcxUniverse, Worker, WorkerAddress};

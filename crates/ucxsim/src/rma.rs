@@ -1,0 +1,144 @@
+//! UCP RMA: memory registration, remote keys, and `put_nbx`.
+//!
+//! The put is the workhorse of the paper's Partitioned component
+//! (§IV-A4): `MPI_Pready` issues a `ucp_put_nbx` for the partition's data
+//! and chains a second, small put that raises the receive-side partition
+//! flag (UCX has no put-with-receive-completion, cf.
+//! `IBV_WR_RDMA_WRITE_WITH_IMM`). Callbacks attached to a put run exactly
+//! at its arrival instant, which is where the chained put is issued.
+//!
+//! `rkey_ptr` models the paper's modified `uct_cuda_ipc_rkey_ptr`: for
+//! device memory on the same node it exposes a directly-storable mapping of
+//! the remote buffer (the Kernel Copy substrate).
+
+use parcomm_gpu::{Buffer, MemSpace};
+use parcomm_sim::{Event, SimHandle, SimTime};
+
+use crate::worker::{Endpoint, UcxError, Worker};
+
+/// A registered memory region (`ucp_mem_map`).
+#[derive(Clone, Debug)]
+pub struct MemHandle {
+    buffer: Buffer,
+}
+
+impl MemHandle {
+    /// The registered buffer.
+    pub fn buffer(&self) -> &Buffer {
+        &self.buffer
+    }
+
+    /// Pack a remote key for this region (`ucp_rkey_pack`). The returned
+    /// key is what the receiver ships to the sender in its `setup_t` reply.
+    pub fn pack_rkey(&self) -> RKey {
+        RKey { buffer: self.buffer.clone() }
+    }
+}
+
+/// A packed/unpacked remote key: the capability to put into a remote
+/// registered region. In the simulation it carries the target buffer
+/// handle; on hardware it would carry `(raddr, rkey)`.
+#[derive(Clone, Debug)]
+pub struct RKey {
+    buffer: Buffer,
+}
+
+impl RKey {
+    /// The memory space of the region this key targets.
+    pub fn space(&self) -> MemSpace {
+        self.buffer.space()
+    }
+
+    /// Length of the target region in bytes.
+    pub fn region_len(&self) -> usize {
+        self.buffer.len()
+    }
+
+    /// Direct load/store mapping of the remote region (`ucp_rkey_ptr`).
+    ///
+    /// Only available when the region is GPU global memory on the same node
+    /// as the caller — the CUDA-IPC transport the paper modified. All other
+    /// combinations return [`UcxError::RkeyPtrUnavailable`], matching
+    /// mainline UCX exposing this only for host-reachable mappings.
+    pub fn rkey_ptr(&self, caller_node: u16) -> Result<Buffer, UcxError> {
+        match self.buffer.space() {
+            MemSpace::Device { node, .. } if node == caller_node => Ok(self.buffer.clone()),
+            MemSpace::Device { .. } => {
+                Err(UcxError::RkeyPtrUnavailable("peer GPU is on a different node"))
+            }
+            _ => Err(UcxError::RkeyPtrUnavailable("region is not CUDA memory")),
+        }
+    }
+
+    /// The target buffer (simulation-internal; used by the functional copy).
+    pub fn target_buffer(&self) -> &Buffer {
+        &self.buffer
+    }
+}
+
+/// Completion handle of a `put_nbx`.
+#[derive(Clone, Debug)]
+pub struct PutHandle {
+    /// Fires when the last byte (and the completion callback) has landed.
+    pub done: Event,
+    /// Arrival instant at the target.
+    pub arrival: SimTime,
+}
+
+impl Worker {
+    /// Register `buffer` with this worker's context (`ucp_mem_map`).
+    /// Registration *cost* is charged by the caller (it is part of the
+    /// `MPIX_Prequest_create` / first-`Pbuf_prepare` overheads in Table I).
+    pub fn mem_map(&self, buffer: &Buffer) -> MemHandle {
+        MemHandle { buffer: buffer.clone() }
+    }
+}
+
+impl Endpoint {
+    /// Non-blocking RMA put (`ucp_put_nbx`): move `len` bytes from
+    /// `src[src_off..]` into the remote region `rkey[dst_off..]`.
+    ///
+    /// The transfer is routed from the *source buffer's* location to the
+    /// *target buffer's* location (GPUDirect semantics: device-resident
+    /// payload moves GPU→GPU without staging through the host even though
+    /// the operation is posted by the host).
+    ///
+    /// `on_complete` runs at the arrival instant, after the functional copy
+    /// — the hook where the paper chains the receive-side flag put.
+    pub fn put_nbx(
+        &self,
+        src: &Buffer,
+        src_off: usize,
+        len: usize,
+        rkey: &RKey,
+        dst_off: usize,
+        on_complete: impl FnOnce(&SimHandle) + Send + 'static,
+    ) -> PutHandle {
+        let fabric = self.universe.fabric();
+        let from = src.space().location();
+        let to = rkey.space().location();
+        let transfer = fabric.transfer(from, to, len as u64);
+        let src = src.clone();
+        let dst = rkey.target_buffer().clone();
+        let done = Event::new();
+        let done2 = done.clone();
+        self.universe.sim().schedule_at(transfer.arrival, move |h| {
+            dst.copy_from_buffer(dst_off, &src, src_off, len);
+            on_complete(h);
+            done2.set(h);
+        });
+        PutHandle { done, arrival: transfer.arrival }
+    }
+
+    /// Put without a completion callback.
+    pub fn put_nbx_silent(
+        &self,
+        src: &Buffer,
+        src_off: usize,
+        len: usize,
+        rkey: &RKey,
+        dst_off: usize,
+    ) -> PutHandle {
+        self.put_nbx(src, src_off, len, rkey, dst_off, |_| {})
+    }
+}

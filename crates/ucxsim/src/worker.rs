@@ -1,0 +1,266 @@
+//! UCP workers, endpoints, and tagged active messages.
+//!
+//! Mirrors the subset of the UCP API the paper's Partitioned component uses
+//! (§II-C, §IV-A): a **worker** encapsulates a communication context and
+//! progression; an **endpoint** addresses a remote worker; tagged active
+//! messages carry the `setup_t` bootstrap objects; RMA puts move payload
+//! (see [`crate::rma`]).
+//!
+//! Workers live in a [`UcxUniverse`] — the in-simulation stand-in for the
+//! out-of-band address exchange (PMIx/OOB) real deployments use.
+
+use std::any::Any;
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use parcomm_gpu::Location;
+use parcomm_net::Fabric;
+use parcomm_sim::{Ctx, Event, SimDuration, SimHandle};
+
+/// Address of a worker, obtainable via [`Worker::address`] and exchangeable
+/// out of band (the simulation's universe registry plays that role).
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
+pub struct WorkerAddress(u64);
+
+/// Errors surfaced by the UCX layer.
+#[derive(Debug, PartialEq, Eq)]
+pub enum UcxError {
+    /// The worker address is not registered in the universe.
+    UnknownWorker(WorkerAddress),
+    /// `rkey_ptr` is not available for this memory/topology combination.
+    RkeyPtrUnavailable(&'static str),
+}
+
+impl std::fmt::Display for UcxError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            UcxError::UnknownWorker(a) => write!(f, "unknown worker address {a:?}"),
+            UcxError::RkeyPtrUnavailable(r) => write!(f, "ucp_rkey_ptr unavailable: {r}"),
+        }
+    }
+}
+
+impl std::error::Error for UcxError {}
+
+/// A received active message: opaque payload plus the modeled wire size.
+pub struct AmMessage {
+    /// The payload (downcast to the concrete setup type by the receiver).
+    pub payload: Box<dyn Any + Send>,
+    /// Bytes the message occupied on the wire (for accounting).
+    pub wire_bytes: u64,
+}
+
+#[derive(Default)]
+struct Mailbox {
+    queues: HashMap<u64, VecDeque<AmMessage>>,
+    arrivals: HashMap<u64, Event>,
+}
+
+pub(crate) struct WorkerInner {
+    address: WorkerAddress,
+    location: Location,
+    mailbox: Mutex<Mailbox>,
+}
+
+/// A UCP worker: one per process in the paper's design (§IV-A1).
+#[derive(Clone)]
+pub struct Worker {
+    pub(crate) inner: Arc<WorkerInner>,
+    pub(crate) universe: UcxUniverse,
+}
+
+/// The shared registry binding worker addresses to workers, plus the fabric
+/// that carries their traffic.
+#[derive(Clone)]
+pub struct UcxUniverse {
+    inner: Arc<UniverseInner>,
+}
+
+struct UniverseInner {
+    fabric: Fabric,
+    workers: Mutex<HashMap<WorkerAddress, Arc<WorkerInner>>>,
+}
+
+/// Worker addresses are globally unique so an address can never resolve in a
+/// universe the worker does not belong to.
+static NEXT_WORKER_ADDR: AtomicU64 = AtomicU64::new(1);
+
+impl UcxUniverse {
+    /// Create a universe over a fabric.
+    pub fn new(fabric: Fabric) -> Self {
+        UcxUniverse {
+            inner: Arc::new(UniverseInner {
+                fabric,
+                workers: Mutex::new(HashMap::new()),
+            }),
+        }
+    }
+
+    /// The underlying fabric.
+    pub fn fabric(&self) -> &Fabric {
+        &self.inner.fabric
+    }
+
+    /// The simulation handle.
+    pub fn sim(&self) -> &SimHandle {
+        self.inner.fabric.sim()
+    }
+
+    /// Create and register a worker homed at `location` (the CPU of the
+    /// owning process in the paper's design; communication resources are
+    /// host-driven even when payload lives in device memory).
+    pub fn create_worker(&self, location: Location) -> Worker {
+        let address = WorkerAddress(NEXT_WORKER_ADDR.fetch_add(1, Ordering::Relaxed));
+        let inner = Arc::new(WorkerInner {
+            address,
+            location,
+            mailbox: Mutex::new(Mailbox::default()),
+        });
+        self.inner.workers.lock().insert(address, inner.clone());
+        Worker { inner, universe: self.clone() }
+    }
+
+    pub(crate) fn lookup(&self, addr: WorkerAddress) -> Result<Arc<WorkerInner>, UcxError> {
+        self.inner
+            .workers
+            .lock()
+            .get(&addr)
+            .cloned()
+            .ok_or(UcxError::UnknownWorker(addr))
+    }
+}
+
+impl Worker {
+    /// This worker's address (exchanged out of band).
+    pub fn address(&self) -> WorkerAddress {
+        self.inner.address
+    }
+
+    /// Where this worker is homed.
+    pub fn location(&self) -> Location {
+        self.inner.location
+    }
+
+    /// The universe this worker belongs to.
+    pub fn universe(&self) -> &UcxUniverse {
+        &self.universe
+    }
+
+    /// Create an endpoint addressing `remote`.
+    pub fn create_endpoint(&self, remote: WorkerAddress) -> Result<Endpoint, UcxError> {
+        let peer = self.universe.lookup(remote)?;
+        Ok(Endpoint { src: self.inner.clone(), dst: peer, universe: self.universe.clone() })
+    }
+
+    /// Non-blocking tagged receive: returns a message if one is queued.
+    pub fn try_am_recv(&self, tag: u64) -> Option<AmMessage> {
+        let mut mb = self.inner.mailbox.lock();
+        let msg = mb.queues.get_mut(&tag)?.pop_front();
+        if msg.is_some() {
+            // Re-arm the arrival event if the queue drained.
+            if mb.queues.get(&tag).is_none_or(|q| q.is_empty()) {
+                if let Some(ev) = mb.arrivals.get(&tag) {
+                    if ev.is_set() {
+                        ev.reset();
+                    }
+                }
+            }
+        }
+        msg
+    }
+
+    /// Blocking tagged receive (virtual time).
+    pub fn am_recv(&self, ctx: &mut Ctx, tag: u64) -> AmMessage {
+        loop {
+            if let Some(m) = self.try_am_recv(tag) {
+                return m;
+            }
+            let ev = self.arrival_event(tag);
+            ctx.wait(&ev);
+        }
+    }
+
+    /// The event that fires when a message with `tag` is queued. Used by
+    /// progression engines to poll without busy-waiting.
+    pub fn arrival_event(&self, tag: u64) -> Event {
+        let mut mb = self.inner.mailbox.lock();
+        mb.arrivals.entry(tag).or_default().clone()
+    }
+
+    /// Explicit progression hook (`ucp_worker_progress`). Message delivery
+    /// in the model is event-driven, so this only charges the poll cost —
+    /// it exists so progression-engine loops read like the real thing.
+    pub fn progress(&self, ctx: &mut Ctx, poll_cost: SimDuration) {
+        ctx.advance(poll_cost);
+    }
+
+    pub(crate) fn deliver(&self, h: &SimHandle, tag: u64, msg: AmMessage) {
+        let ev = {
+            let mut mb = self.inner.mailbox.lock();
+            mb.queues.entry(tag).or_default().push_back(msg);
+            mb.arrivals.entry(tag).or_default().clone()
+        };
+        ev.set(h);
+    }
+}
+
+/// A UCP endpoint: the source-side object addressing one remote worker.
+#[derive(Clone)]
+pub struct Endpoint {
+    pub(crate) src: Arc<WorkerInner>,
+    pub(crate) dst: Arc<WorkerInner>,
+    pub(crate) universe: UcxUniverse,
+}
+
+impl Endpoint {
+    /// Location of the initiating worker.
+    pub fn src_location(&self) -> Location {
+        self.src.location
+    }
+
+    /// Location of the target worker.
+    pub fn dst_location(&self) -> Location {
+        self.dst.location
+    }
+
+    /// Send a tagged active message carrying `payload`; `wire_bytes` is the
+    /// modeled serialized size (control messages are small, e.g. the
+    /// `setup_t` exchange). Returns the fabric arrival event.
+    pub fn am_send<T: Any + Send>(&self, tag: u64, payload: T, wire_bytes: u64) -> Event {
+        let transfer =
+            self.universe.fabric().transfer(self.src.location, self.dst.location, wire_bytes);
+        let dst = self.dst.clone();
+        let universe = self.universe.clone();
+        let done = transfer.done.clone();
+        let msg_done = done.clone();
+        let payload: Box<dyn Any + Send> = Box::new(payload);
+        // Deliver into the mailbox exactly at arrival.
+        self.universe.sim().schedule_at(transfer.arrival, move |h| {
+            let worker = Worker { inner: dst, universe };
+            worker.deliver(h, tag, AmMessage { payload, wire_bytes });
+            let _ = msg_done;
+        });
+        done
+    }
+}
+
+impl std::fmt::Debug for Worker {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Worker")
+            .field("address", &self.inner.address)
+            .field("location", &self.inner.location)
+            .finish()
+    }
+}
+
+impl std::fmt::Debug for Endpoint {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Endpoint")
+            .field("src", &self.src.location)
+            .field("dst", &self.dst.location)
+            .finish()
+    }
+}

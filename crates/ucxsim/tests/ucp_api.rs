@@ -1,0 +1,276 @@
+//! Integration tests for the UCP-like layer: worker bootstrap, tagged
+//! active messages, RMA puts with chained callbacks, and rkey_ptr.
+
+use parcomm_gpu::{Buffer, Location, MemSpace, Unit};
+use parcomm_net::{ClusterSpec, Fabric};
+use parcomm_sim::{SimConfig, Simulation};
+use parcomm_ucx::{UcxError, UcxUniverse};
+
+fn cpu(node: u16) -> Location {
+    Location { node, unit: Unit::Cpu }
+}
+
+fn universe(sim: &Simulation, nodes: u16) -> UcxUniverse {
+    UcxUniverse::new(Fabric::new(sim.handle(), ClusterSpec::gh200(nodes)))
+}
+
+#[test]
+fn workers_have_unique_addresses() {
+    let sim = Simulation::new(SimConfig::default());
+    let uni = universe(&sim, 1);
+    let w0 = uni.create_worker(cpu(0));
+    let w1 = uni.create_worker(cpu(0));
+    assert_ne!(w0.address(), w1.address());
+}
+
+#[test]
+fn endpoint_to_unknown_worker_fails() {
+    let sim = Simulation::new(SimConfig::default());
+    let uni1 = universe(&sim, 1);
+    let uni2 = universe(&sim, 1);
+    let w_other = uni2.create_worker(cpu(0));
+    let w = uni1.create_worker(cpu(0));
+    // Address from a different universe is unknown here.
+    assert!(matches!(
+        w.create_endpoint(w_other.address()),
+        Err(UcxError::UnknownWorker(_))
+    ));
+}
+
+#[test]
+fn am_send_recv_roundtrip() {
+    let mut sim = Simulation::new(SimConfig::default());
+    let uni = universe(&sim, 2);
+    let w0 = uni.create_worker(cpu(0));
+    let w1 = uni.create_worker(cpu(1));
+    let w1_addr = w1.address();
+
+    sim.spawn("sender", move |ctx| {
+        ctx.advance(parcomm_sim::SimDuration::from_micros(5));
+        let ep = w0.create_endpoint(w1_addr).unwrap();
+        ep.am_send(77, String::from("setup"), 256);
+    });
+    sim.spawn("receiver", move |ctx| {
+        let msg = w1.am_recv(ctx, 77);
+        let s = msg.payload.downcast::<String>().unwrap();
+        assert_eq!(*s, "setup");
+        assert_eq!(msg.wire_bytes, 256);
+        // Cross-node control message: ≥ IB latency after the send at t=5µs.
+        assert!(ctx.now().as_micros_f64() > 8.0);
+    });
+    sim.run().unwrap();
+}
+
+#[test]
+fn am_messages_with_same_tag_are_fifo() {
+    let mut sim = Simulation::new(SimConfig::default());
+    let uni = universe(&sim, 1);
+    let w0 = uni.create_worker(cpu(0));
+    let w1 = uni.create_worker(cpu(0));
+    let w1_addr = w1.address();
+
+    sim.spawn("sender", move |_ctx| {
+        let ep = w0.create_endpoint(w1_addr).unwrap();
+        for i in 0..3u32 {
+            ep.am_send(5, i, 64);
+        }
+    });
+    sim.spawn("receiver", move |ctx| {
+        for expect in 0..3u32 {
+            let msg = w1.am_recv(ctx, 5);
+            assert_eq!(*msg.payload.downcast::<u32>().unwrap(), expect);
+        }
+    });
+    sim.run().unwrap();
+}
+
+#[test]
+fn distinct_tags_do_not_cross() {
+    let mut sim = Simulation::new(SimConfig::default());
+    let uni = universe(&sim, 1);
+    let w0 = uni.create_worker(cpu(0));
+    let w1 = uni.create_worker(cpu(0));
+    let w1_addr = w1.address();
+
+    sim.spawn("sender", move |_ctx| {
+        let ep = w0.create_endpoint(w1_addr).unwrap();
+        ep.am_send(1, 111u32, 64);
+        ep.am_send(2, 222u32, 64);
+    });
+    sim.spawn("receiver", move |ctx| {
+        // Receive tag 2 first even though tag 1 arrived earlier.
+        let m2 = w1.am_recv(ctx, 2);
+        assert_eq!(*m2.payload.downcast::<u32>().unwrap(), 222);
+        let m1 = w1.am_recv(ctx, 1);
+        assert_eq!(*m1.payload.downcast::<u32>().unwrap(), 111);
+    });
+    sim.run().unwrap();
+}
+
+#[test]
+fn put_nbx_moves_data_and_fires_callback() {
+    let mut sim = Simulation::new(SimConfig::default());
+    let uni = universe(&sim, 1);
+    let w0 = uni.create_worker(cpu(0));
+    let w1 = uni.create_worker(cpu(0));
+    let w1_addr = w1.address();
+
+    let src = Buffer::alloc(MemSpace::Device { node: 0, gpu: 0 }, 1024);
+    let dst = Buffer::alloc(MemSpace::Device { node: 0, gpu: 1 }, 1024);
+    src.write_f64_slice(0, &[3.0; 128]);
+
+    let rkey = w1.mem_map(&dst).pack_rkey();
+    let dst2 = dst.clone();
+    sim.spawn("sender", move |ctx| {
+        let ep = w0.create_endpoint(w1_addr).unwrap();
+        let flag = parcomm_sim::Event::new();
+        let flag2 = flag.clone();
+        let put = ep.put_nbx(&src, 0, 1024, &rkey, 0, move |h| {
+            // Functional copy already applied when the callback runs.
+            flag2.set(h);
+        });
+        ctx.wait(&put.done);
+        assert!(flag.is_set());
+        assert_eq!(dst2.read_f64_slice(0, 128), vec![3.0; 128]);
+        // NVLink path: ~1.9 µs latency + tiny serialization.
+        let t = ctx.now().as_micros_f64();
+        assert!((1.8..3.0).contains(&t), "arrival {t}");
+    });
+    sim.run().unwrap();
+}
+
+#[test]
+fn chained_put_from_completion_callback() {
+    let mut sim = Simulation::new(SimConfig::default());
+    let uni = universe(&sim, 1);
+    let w0 = uni.create_worker(cpu(0));
+    let w1 = uni.create_worker(cpu(0));
+    let w1_addr = w1.address();
+
+    let payload_src = Buffer::alloc(MemSpace::Device { node: 0, gpu: 0 }, 256);
+    let payload_dst = Buffer::alloc(MemSpace::Device { node: 0, gpu: 1 }, 256);
+    let flag_src = Buffer::alloc(MemSpace::Host { node: 0 }, 8);
+    let flag_dst = Buffer::alloc(MemSpace::Host { node: 0 }, 8);
+    flag_src.write_flag(0, 1);
+
+    let rkey_payload = w1.mem_map(&payload_dst).pack_rkey();
+    let rkey_flag = w1.mem_map(&flag_dst).pack_rkey();
+    let flag_dst2 = flag_dst.clone();
+
+    sim.spawn("sender", move |ctx| {
+        let ep = w0.create_endpoint(w1_addr).unwrap();
+        let ep2 = ep.clone();
+        let flag_src2 = flag_src.clone();
+        let rkey_flag2 = rkey_flag.clone();
+        // The paper's pattern: data put, whose completion issues the
+        // receive-side partition-flag put.
+        let put = ep.put_nbx(&payload_src, 0, 256, &rkey_payload, 0, move |_h| {
+            ep2.put_nbx_silent(&flag_src2, 0, 8, &rkey_flag2, 0);
+        });
+        ctx.wait(&put.done);
+        // Wait a little for the chained put to land.
+        ctx.advance(parcomm_sim::SimDuration::from_micros(10));
+        assert_eq!(flag_dst2.read_flag(0), 1, "chained flag put must land");
+    });
+    sim.run().unwrap();
+}
+
+#[test]
+fn rkey_ptr_rules() {
+    let sim = Simulation::new(SimConfig::default());
+    let uni = universe(&sim, 2);
+    let w = uni.create_worker(cpu(0));
+
+    let dev_same = Buffer::alloc(MemSpace::Device { node: 0, gpu: 1 }, 64);
+    let dev_other = Buffer::alloc(MemSpace::Device { node: 1, gpu: 0 }, 64);
+    let host = Buffer::alloc(MemSpace::Host { node: 0 }, 64);
+
+    let k_same = w.mem_map(&dev_same).pack_rkey();
+    let k_other = w.mem_map(&dev_other).pack_rkey();
+    let k_host = w.mem_map(&host).pack_rkey();
+
+    let mapped = k_same.rkey_ptr(0).expect("same-node device rkey_ptr");
+    mapped.write_f64(0, 9.5);
+    assert_eq!(dev_same.read_f64(0), 9.5);
+
+    assert!(matches!(k_other.rkey_ptr(0), Err(UcxError::RkeyPtrUnavailable(_))));
+    assert!(matches!(k_host.rkey_ptr(0), Err(UcxError::RkeyPtrUnavailable(_))));
+}
+
+#[test]
+fn cross_node_put_takes_ib_time() {
+    let mut sim = Simulation::new(SimConfig::default());
+    let uni = universe(&sim, 2);
+    let w0 = uni.create_worker(cpu(0));
+    let w1 = uni.create_worker(cpu(1));
+    let w1_addr = w1.address();
+
+    let src = Buffer::alloc(MemSpace::Device { node: 0, gpu: 0 }, 50_000_000);
+    let dst = Buffer::alloc(MemSpace::Device { node: 1, gpu: 0 }, 50_000_000);
+    let rkey = w1.mem_map(&dst).pack_rkey();
+
+    sim.spawn("sender", move |ctx| {
+        let ep = w0.create_endpoint(w1_addr).unwrap();
+        let put = ep.put_nbx_silent(&src, 0, 50_000_000, &rkey, 0);
+        ctx.wait(&put.done);
+        // 50 MB striped over 4 NIC rails (12.5 MB each at 50 GB/s,
+        // cut-through) = 250 µs + one segment + propagation latency.
+        let t = ctx.now().as_micros_f64();
+        assert!((250.0..300.0).contains(&t), "IB arrival {t}");
+    });
+    sim.run().unwrap();
+}
+
+#[test]
+fn worker_progress_charges_poll_cost() {
+    let mut sim = Simulation::new(SimConfig::default());
+    let uni = universe(&sim, 1);
+    let w = uni.create_worker(cpu(0));
+    sim.spawn("p", move |ctx| {
+        let t0 = ctx.now();
+        w.progress(ctx, parcomm_sim::SimDuration::from_micros(2));
+        assert_eq!(ctx.now().since(t0).as_micros_f64(), 2.0);
+    });
+    sim.run().unwrap();
+}
+
+#[test]
+fn multiple_endpoints_to_same_worker_share_the_mailbox() {
+    let mut sim = Simulation::new(SimConfig::default());
+    let uni = universe(&sim, 1);
+    let w0 = uni.create_worker(cpu(0));
+    let w1 = uni.create_worker(cpu(0));
+    let w2 = uni.create_worker(cpu(0));
+    let target = w2.address();
+    sim.spawn("s0", move |_| {
+        w0.create_endpoint(target).unwrap().am_send(1, 10u32, 32);
+    });
+    sim.spawn("s1", move |_| {
+        w1.create_endpoint(target).unwrap().am_send(1, 20u32, 32);
+    });
+    sim.spawn("rx", move |ctx| {
+        let a = *w2.am_recv(ctx, 1).payload.downcast::<u32>().unwrap();
+        let b = *w2.am_recv(ctx, 1).payload.downcast::<u32>().unwrap();
+        assert_eq!(a + b, 30, "both senders' messages arrive on one tag");
+    });
+    sim.run().unwrap();
+}
+
+#[test]
+fn put_handle_arrival_matches_event() {
+    let mut sim = Simulation::new(SimConfig::default());
+    let uni = universe(&sim, 1);
+    let w0 = uni.create_worker(cpu(0));
+    let w1 = uni.create_worker(cpu(0));
+    let addr = w1.address();
+    let src = Buffer::alloc(MemSpace::Device { node: 0, gpu: 0 }, 64);
+    let dst = Buffer::alloc(MemSpace::Device { node: 0, gpu: 1 }, 64);
+    let rkey = w1.mem_map(&dst).pack_rkey();
+    sim.spawn("p", move |ctx| {
+        let ep = w0.create_endpoint(addr).unwrap();
+        let put = ep.put_nbx_silent(&src, 0, 64, &rkey, 0);
+        ctx.wait(&put.done);
+        assert_eq!(ctx.now(), put.arrival, "done fires exactly at arrival");
+    });
+    sim.run().unwrap();
+}

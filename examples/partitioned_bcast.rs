@@ -1,0 +1,55 @@
+//! The schedule engine is algorithm-independent (paper §IV-B1): this
+//! example runs the partitioned *broadcast* built from the same
+//! `(I, R, ⊕, O, A)` machinery as the allreduce — a binomial tree of NOP
+//! steps — across eight GPUs on two nodes, with per-partition pipelining.
+//!
+//! Run with: `cargo run --example partitioned_bcast`
+
+use std::sync::Arc;
+
+use parcomm::prelude::*;
+use parking_lot::Mutex;
+
+fn main() {
+    let mut sim = Simulation::with_seed(31);
+    let world = MpiWorld::gh200(&sim, 2);
+    let times = Arc::new(Mutex::new(Vec::new()));
+    let t2 = times.clone();
+
+    world.run_ranks(&mut sim, move |ctx, rank| {
+        const PARTITIONS: usize = 8;
+        const ELEMS: usize = PARTITIONS * 4096;
+        let root = 0usize;
+        let buf = rank.gpu().alloc_global(ELEMS * 8);
+        if rank.rank() == root {
+            buf.write_f64_slice(0, &(0..ELEMS).map(|i| (i % 97) as f64).collect::<Vec<_>>());
+        }
+        let stream = rank.gpu().create_stream();
+        let bcast = pbcast_init(ctx, rank, &buf, PARTITIONS, &stream, root, 3);
+
+        bcast.start(ctx);
+        bcast.pbuf_prepare(ctx);
+        rank.barrier(ctx);
+        let t0 = ctx.now();
+        for u in 0..PARTITIONS {
+            bcast.pready(ctx, u);
+        }
+        bcast.wait(ctx);
+        let elapsed = ctx.now().since(t0);
+
+        // Every rank now holds the root's payload.
+        let got = buf.read_f64_slice(0, ELEMS);
+        assert!(got.iter().enumerate().all(|(i, v)| *v == (i % 97) as f64));
+        t2.lock().push((rank.rank(), elapsed.as_micros_f64()));
+    });
+
+    sim.run().expect("bcast");
+    let mut times = times.lock().clone();
+    times.sort_by_key(|(r, _)| *r);
+    println!("Partitioned binomial-tree bcast of 256 KiB over 8 GH200 (2 nodes):\n");
+    for (r, us) in &times {
+        println!("  rank {r}: completed in {us:>8.1} µs (payload verified)");
+    }
+    println!("\nno reduction op in the schedule → no in-collective stream synchronization,");
+    println!("so broadcast does not pay the allreduce's NCCL gap (paper §VI-B).");
+}

@@ -1,0 +1,77 @@
+//! Span-tracing integration: the trace must attribute virtual time to the
+//! right categories across the full stack, and stay free when disabled.
+
+use parcomm::prelude::*;
+use parcomm::sim::SimTime;
+
+#[test]
+fn kernel_and_sync_spans_are_recorded() {
+    let mut sim = Simulation::with_seed(5);
+    let trace = sim.trace();
+    trace.enable();
+    let world = MpiWorld::gh200(&sim, 1);
+    world.run_ranks(&mut sim, |ctx, rank| {
+        if rank.rank() == 0 {
+            let stream = rank.gpu().create_stream();
+            stream.launch(ctx, KernelSpec::vector_add(64, 1024), |_| {});
+            stream.synchronize(ctx);
+        }
+    });
+    sim.run().unwrap();
+    let summary = trace.summarize(SimTime::ZERO, SimTime::from_nanos(u64::MAX / 2));
+    assert_eq!(summary["kernel"].count, 1);
+    assert_eq!(summary["stream_sync"].count, 1);
+    let sync_us = summary["stream_sync"].total.as_micros_f64();
+    assert!((7.0..9.0).contains(&sync_us), "sync span {sync_us} µs");
+}
+
+#[test]
+fn wire_spans_cover_partitioned_puts() {
+    let mut sim = Simulation::with_seed(6);
+    let trace = sim.trace();
+    trace.enable();
+    let world = MpiWorld::gh200(&sim, 1);
+    world.run_ranks(&mut sim, |ctx, rank| {
+        let buf = rank.gpu().alloc_global(4 * 4096);
+        match rank.rank() {
+            0 => {
+                let sreq = psend_init(ctx, rank, 1, 7, &buf, 4);
+                sreq.set_transport_partitions(4);
+                sreq.start(ctx);
+                sreq.pbuf_prepare(ctx);
+                for u in 0..4 {
+                    sreq.pready(ctx, u);
+                }
+                sreq.wait(ctx);
+            }
+            1 => {
+                let rreq = precv_init(ctx, rank, 0, 7, &buf, 4);
+                rreq.start(ctx);
+                rreq.pbuf_prepare(ctx);
+                rreq.wait(ctx);
+            }
+            _ => {}
+        }
+    });
+    sim.run().unwrap();
+    let summary = trace.summarize(SimTime::ZERO, SimTime::from_nanos(u64::MAX / 2));
+    // 4 data puts + 4 chained flag puts + control messages: at least 8
+    // wire spans.
+    assert!(summary["wire"].count >= 8, "wire spans: {}", summary["wire"].count);
+}
+
+#[test]
+fn disabled_tracing_records_nothing_across_the_stack() {
+    let mut sim = Simulation::with_seed(7);
+    let trace = sim.trace();
+    let world = MpiWorld::gh200(&sim, 1);
+    world.run_ranks(&mut sim, |ctx, rank| {
+        if rank.rank() == 0 {
+            let stream = rank.gpu().create_stream();
+            stream.launch(ctx, KernelSpec::vector_add(8, 1024), |_| {});
+            stream.synchronize(ctx);
+        }
+    });
+    sim.run().unwrap();
+    assert!(trace.spans().is_empty());
+}
