@@ -4,7 +4,7 @@
 
 use std::sync::Arc;
 
-use parking_lot::Mutex;
+use parcomm_sim::Mutex;
 
 use parcomm_apps::{
     jacobi_reference, process_grid, run_dl, run_jacobi, nccl_for_world, DlConfig, DlModel,

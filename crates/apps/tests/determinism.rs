@@ -1,0 +1,103 @@
+//! Per-crate determinism regression for the application kernels, via the
+//! `parcomm-testkit` trace-digest and seed-sweep APIs: the Jacobi solver's
+//! timing trace is a pure function of the seed, and both Jacobi and the
+//! deep-learning proxy keep their numerics seed-independent.
+
+use std::sync::Arc;
+
+use parcomm_apps::{nccl_for_world, run_dl, run_jacobi, DlConfig, DlModel, JacobiConfig, JacobiModel};
+use parcomm_core::CopyMechanism;
+use parcomm_mpi::MpiWorld;
+use parcomm_sim::{Mutex, Simulation};
+use parcomm_testkit::{digest, sweep};
+
+fn jacobi_digest(model: JacobiModel, seed: u64) -> u64 {
+    let mut sim = Simulation::with_seed(seed);
+    let trace = sim.trace();
+    trace.enable();
+    let world = MpiWorld::gh200(&sim, 1);
+    let sums = Arc::new(Mutex::new(Vec::new()));
+    let s2 = sums.clone();
+    world.run_ranks(&mut sim, move |ctx, rank| {
+        let cfg = JacobiConfig::functional_test(model);
+        let result = run_jacobi(ctx, rank, &cfg);
+        s2.lock().push(result.checksum);
+    });
+    let report = sim.run().expect("jacobi sim");
+    let mut d = digest::Digest::new();
+    d.write_u64(digest::run_digest(&report, &trace));
+    d.write_f64_slice(&sums.lock());
+    d.finish()
+}
+
+#[test]
+fn jacobi_partitioned_digest_is_seed_deterministic() {
+    sweep::assert_deterministic_and_seed_sensitive(&[101, 202, 303], |seed| {
+        jacobi_digest(JacobiModel::Partitioned(CopyMechanism::KernelCopy), seed)
+    });
+}
+
+#[test]
+fn jacobi_models_agree_on_checksums() {
+    // Metamorphic invariant: the communication model (traditional sendrecv
+    // vs partitioned halo exchange) changes the timing, never the stencil
+    // numerics.
+    let checksums = |model: JacobiModel| {
+        let mut sim = Simulation::with_seed(0x1AC0B);
+        let world = MpiWorld::gh200(&sim, 1);
+        let sums = Arc::new(Mutex::new(Vec::new()));
+        let s2 = sums.clone();
+        world.run_ranks(&mut sim, move |ctx, rank| {
+            let cfg = JacobiConfig::functional_test(model);
+            let result = run_jacobi(ctx, rank, &cfg);
+            s2.lock().push((rank.rank(), result.checksum.to_bits()));
+        });
+        sim.run().expect("jacobi sim");
+        // Rank completion order may vary; per-rank numerics must not.
+        let mut v = sums.lock().clone();
+        v.sort_unstable();
+        v
+    };
+    sweep::assert_all_equal([
+        ("traditional", checksums(JacobiModel::Traditional)),
+        (
+            "partitioned/kernel-copy",
+            checksums(JacobiModel::Partitioned(CopyMechanism::KernelCopy)),
+        ),
+        (
+            "partitioned/progression-engine",
+            checksums(JacobiModel::Partitioned(CopyMechanism::ProgressionEngine)),
+        ),
+    ]);
+}
+
+#[test]
+fn deep_learning_loss_is_seed_independent() {
+    let losses = |seed: u64| {
+        let mut sim = Simulation::with_seed(seed);
+        let world = MpiWorld::gh200(&sim, 1);
+        let nccl = nccl_for_world(&world);
+        let out = Arc::new(Mutex::new(Vec::new()));
+        let o2 = out.clone();
+        world.run_ranks(&mut sim, move |ctx, rank| {
+            let cfg = DlConfig {
+                elements: 2048,
+                partitions: 4,
+                steps: 2,
+                functional: true,
+                model: DlModel::Partitioned,
+            };
+            let result = run_dl(ctx, rank, &cfg, Some(&nccl));
+            o2.lock().push((rank.rank(), result.loss.to_bits()));
+        });
+        sim.run().expect("dl sim");
+        let mut v = out.lock().clone();
+        v.sort_unstable();
+        v
+    };
+    sweep::assert_all_equal([
+        ("seed 9", losses(9)),
+        ("seed 10", losses(10)),
+        ("seed 11", losses(11)),
+    ]);
+}

@@ -1,17 +1,19 @@
-//! Criterion benchmarks of complete collective simulations: partitioned
+//! Wall-clock benchmarks of complete collective simulations: partitioned
 //! allreduce (schedule engine), the traditional host-staged baseline, and
 //! the NCCL model, across world sizes.
+//!
+//! Plain harness binary (`harness = false`) on the `parcomm-testkit` timer;
+//! run with `cargo bench -p parcomm-bench --bench collectives`.
 
+use std::hint::black_box;
 use std::sync::Arc;
-
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use parking_lot::Mutex;
 
 use parcomm_apps::nccl_for_world;
 use parcomm_coll::pallreduce_init;
 use parcomm_gpu::KernelSpec;
 use parcomm_mpi::MpiWorld;
-use parcomm_sim::Simulation;
+use parcomm_sim::{Mutex, Simulation};
+use parcomm_testkit::timer::{bench, BenchConfig};
 
 #[derive(Copy, Clone)]
 enum Which {
@@ -62,29 +64,21 @@ fn run_once(nodes: u16, which: Which) -> f64 {
     v
 }
 
-fn bench_collectives(c: &mut Criterion) {
-    let mut g = c.benchmark_group("collectives/allreduce_sim");
+fn main() {
+    let cfg = if parcomm_bench::report::quick_mode() {
+        BenchConfig::quick()
+    } else {
+        BenchConfig::default()
+    };
     for nodes in [1u16, 2] {
-        g.bench_with_input(
-            BenchmarkId::new("partitioned", nodes),
-            &nodes,
-            |b, &nodes| b.iter(|| run_once(nodes, Which::Partitioned)),
-        );
-        g.bench_with_input(
-            BenchmarkId::new("traditional", nodes),
-            &nodes,
-            |b, &nodes| b.iter(|| run_once(nodes, Which::Traditional)),
-        );
-        g.bench_with_input(BenchmarkId::new("nccl", nodes), &nodes, |b, &nodes| {
-            b.iter(|| run_once(nodes, Which::Nccl))
-        });
+        for (name, which) in [
+            ("partitioned", Which::Partitioned),
+            ("traditional", Which::Traditional),
+            ("nccl", Which::Nccl),
+        ] {
+            bench(&cfg, &format!("collectives/allreduce_sim/{name}/{nodes}node"), || {
+                black_box(run_once(nodes, which));
+            });
+        }
     }
-    g.finish();
 }
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(10);
-    targets = bench_collectives
-}
-criterion_main!(benches);

@@ -1,74 +1,71 @@
-//! Criterion benchmarks of complete partitioned point-to-point cycles:
-//! wall-clock cost of simulating one epoch for each copy mechanism and
-//! aggregation level. These double as regression guards for the simulator
-//! hot paths (matching, puts, flag chains).
+//! Wall-clock benchmarks of complete partitioned point-to-point cycles:
+//! cost of simulating one epoch for each copy mechanism and aggregation
+//! level. These double as regression guards for the simulator hot paths
+//! (matching, puts, flag chains).
+//!
+//! Plain harness binary (`harness = false`) on the `parcomm-testkit` timer;
+//! run with `cargo bench -p parcomm-bench --bench partitioned`.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
 
 use parcomm_bench::p2p::{measure, P2pMode, P2pParams};
 use parcomm_core::CopyMechanism;
 use parcomm_gpu::AggLevel;
+use parcomm_testkit::timer::{bench, BenchConfig};
 
 fn params(grid: u32) -> P2pParams {
     P2pParams { nodes: 1, sender: 0, receiver: 1, grid, block: 1024, iters: 3, seed: 0xBE7C }
 }
 
-fn bench_modes(c: &mut Criterion) {
-    let mut g = c.benchmark_group("partitioned/epoch");
-    g.bench_function("traditional", |b| {
-        b.iter(|| measure(params(4), P2pMode::Traditional));
+fn bench_modes(cfg: &BenchConfig) {
+    bench(cfg, "partitioned/epoch/traditional", || {
+        black_box(measure(params(4), P2pMode::Traditional));
     });
-    g.bench_function("progression_engine", |b| {
-        b.iter(|| {
-            measure(
-                params(4),
-                P2pMode::Partitioned {
-                    copy: CopyMechanism::ProgressionEngine,
-                    agg: AggLevel::Block,
-                    transports: 1,
-                },
-            )
-        });
+    bench(cfg, "partitioned/epoch/progression_engine", || {
+        black_box(measure(
+            params(4),
+            P2pMode::Partitioned {
+                copy: CopyMechanism::ProgressionEngine,
+                agg: AggLevel::Block,
+                transports: 1,
+            },
+        ));
     });
-    g.bench_function("kernel_copy", |b| {
-        b.iter(|| {
-            measure(
-                params(4),
-                P2pMode::Partitioned {
-                    copy: CopyMechanism::KernelCopy,
-                    agg: AggLevel::Block,
-                    transports: 1,
-                },
-            )
-        });
+    bench(cfg, "partitioned/epoch/kernel_copy", || {
+        black_box(measure(
+            params(4),
+            P2pMode::Partitioned {
+                copy: CopyMechanism::KernelCopy,
+                agg: AggLevel::Block,
+                transports: 1,
+            },
+        ));
     });
-    g.finish();
 }
 
-fn bench_aggregation_levels(c: &mut Criterion) {
-    let mut g = c.benchmark_group("partitioned/aggregation");
+fn bench_aggregation_levels(cfg: &BenchConfig) {
     for (name, agg) in
         [("thread", AggLevel::Thread), ("warp", AggLevel::Warp), ("block", AggLevel::Block)]
     {
-        g.bench_with_input(BenchmarkId::from_parameter(name), &agg, |b, &agg| {
-            b.iter(|| {
-                measure(
-                    params(1),
-                    P2pMode::Partitioned {
-                        copy: CopyMechanism::ProgressionEngine,
-                        agg,
-                        transports: 1,
-                    },
-                )
-            });
+        bench(cfg, &format!("partitioned/aggregation/{name}"), || {
+            black_box(measure(
+                params(1),
+                P2pMode::Partitioned {
+                    copy: CopyMechanism::ProgressionEngine,
+                    agg,
+                    transports: 1,
+                },
+            ));
         });
     }
-    g.finish();
 }
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(10);
-    targets = bench_modes, bench_aggregation_levels
+fn main() {
+    let cfg = if parcomm_bench::report::quick_mode() {
+        BenchConfig::quick()
+    } else {
+        BenchConfig::default()
+    };
+    bench_modes(&cfg);
+    bench_aggregation_levels(&cfg);
 }
-criterion_main!(benches);

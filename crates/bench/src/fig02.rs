@@ -68,7 +68,7 @@ fn sample(grid: u32, iters: usize, seed: u64) -> (Vec<f64>, Vec<f64>) {
     let mut sim = Simulation::with_seed(0xF160_0200 ^ seed);
     let handle = sim.handle();
     let gpu = Gpu::new(GpuId { node: 0, index: 0 }, CostModel::default(), handle);
-    let out = std::sync::Arc::new(parking_lot::Mutex::new((Vec::new(), Vec::new())));
+    let out = std::sync::Arc::new(parcomm_sim::Mutex::new((Vec::new(), Vec::new())));
     let out2 = out.clone();
     sim.spawn("bench", move |ctx| {
         let stream = gpu.create_stream();

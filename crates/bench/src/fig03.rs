@@ -46,7 +46,7 @@ fn pready_extension_us(threads: u32, agg: AggLevel) -> f64 {
     use parcomm_core::{precv_init, prequest_create, psend_init, CopyMechanism, PrequestConfig};
     use parcomm_gpu::KernelSpec;
     use parcomm_mpi::MpiWorld;
-    use parking_lot::Mutex;
+    use parcomm_sim::Mutex;
     use std::sync::Arc;
 
     let mut sim = Simulation::with_seed(0xF160_0300 ^ threads as u64);

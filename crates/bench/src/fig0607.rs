@@ -4,7 +4,7 @@
 
 use std::sync::Arc;
 
-use parking_lot::Mutex;
+use parcomm_sim::Mutex;
 
 use parcomm_apps::nccl_for_world;
 use parcomm_coll::pallreduce_init;

@@ -5,7 +5,7 @@
 
 use std::sync::Arc;
 
-use parking_lot::Mutex;
+use parcomm_sim::Mutex;
 
 use parcomm_apps::{nccl_for_world, run_dl, DlConfig, DlModel};
 use parcomm_mpi::MpiWorld;

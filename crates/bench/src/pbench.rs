@@ -1,11 +1,11 @@
 //! A partitioned-communication micro-benchmark suite in the style of the
-//! authors' own ICPP'22 benchmarks (paper reference [16]): latency,
+//! authors' own ICPP'22 benchmarks (paper reference \[16\]): latency,
 //! bandwidth, partition-count overhead, achievable overlap, and a halo
 //! pattern — all against the partitioned API rather than plain P2P.
 
 use std::sync::Arc;
 
-use parking_lot::Mutex;
+use parcomm_sim::Mutex;
 
 use parcomm_core::{precv_init, prequest_create, psend_init, PrequestConfig};
 use parcomm_gpu::KernelSpec;
@@ -155,7 +155,7 @@ fn partition_epoch(partitions: usize, quick: bool) -> f64 {
 }
 
 /// Achievable overlap (Schonbein et al.'s early-bird potential, paper
-/// reference [37]): fraction of the communication hidden behind the
+/// reference \[37\]): fraction of the communication hidden behind the
 /// kernel as the compute/transfer ratio varies.
 pub fn run_overlap(quick: bool) -> Experiment {
     let ratios = if quick { vec![0.5f64, 2.0] } else { vec![0.25, 0.5, 1.0, 2.0, 4.0] };

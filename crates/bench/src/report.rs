@@ -1,10 +1,8 @@
 //! Experiment result container and rendering: aligned text tables for the
 //! terminal plus JSON for EXPERIMENTS.md bookkeeping.
 
-use serde::Serialize;
-
 /// One reproduced table or figure.
-#[derive(Serialize, Clone, Debug)]
+#[derive(Clone, Debug)]
 pub struct Experiment {
     /// Paper label, e.g. `"fig04"`.
     pub id: String,
@@ -70,9 +68,32 @@ impl Experiment {
         out
     }
 
-    /// Serialize to JSON.
+    /// Serialize to pretty-printed JSON (hand-rolled: the workspace builds
+    /// with zero external dependencies, so no `serde`). The field layout
+    /// matches what `serde_json` used to emit for this struct.
     pub fn to_json(&self) -> String {
-        serde_json::to_string_pretty(self).expect("experiment serializes")
+        let mut out = String::from("{\n");
+        out.push_str(&format!("  \"id\": {},\n", json_str(&self.id)));
+        out.push_str(&format!("  \"title\": {},\n", json_str(&self.title)));
+        out.push_str(&format!(
+            "  \"columns\": [{}],\n",
+            self.columns.iter().map(|c| json_str(c)).collect::<Vec<_>>().join(", ")
+        ));
+        out.push_str("  \"rows\": [");
+        for (i, row) in self.rows.iter().enumerate() {
+            out.push_str(if i == 0 { "\n" } else { ",\n" });
+            out.push_str(&format!(
+                "    [{}]",
+                row.iter().map(|v| json_f64(*v)).collect::<Vec<_>>().join(", ")
+            ));
+        }
+        out.push_str(if self.rows.is_empty() { "],\n" } else { "\n  ],\n" });
+        out.push_str(&format!(
+            "  \"notes\": [{}]\n",
+            self.notes.iter().map(|n| json_str(n)).collect::<Vec<_>>().join(", ")
+        ));
+        out.push('}');
+        out
     }
 
     /// Print to stdout and, if `PARCOMM_RESULTS_DIR` is set, write
@@ -87,6 +108,42 @@ impl Experiment {
                 eprintln!("warning: could not write {path:?}: {e}");
             }
         }
+    }
+}
+
+/// JSON-escape and quote a string.
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Render an `f64` as a JSON number. JSON has no NaN/Infinity; experiment
+/// data should never contain them, so encode as null if they ever appear
+/// (visible in the output rather than a silent panic).
+fn json_f64(v: f64) -> String {
+    if !v.is_finite() {
+        return "null".to_string();
+    }
+    // Match serde_json's convention: integral floats keep a ".0" suffix so
+    // they read back as floats.
+    if v == v.trunc() && v.abs() < 1e15 {
+        format!("{v:.1}")
+    } else {
+        let s = format!("{v}");
+        s
     }
 }
 

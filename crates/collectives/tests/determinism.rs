@@ -1,0 +1,74 @@
+//! Determinism and metamorphic tests for the partitioned collectives,
+//! via the `parcomm-testkit` trace-digest and seed-sweep APIs.
+
+use std::sync::Arc;
+
+use parcomm_coll::pallreduce_init;
+use parcomm_gpu::KernelSpec;
+use parcomm_mpi::MpiWorld;
+use parcomm_sim::{Mutex, Simulation};
+use parcomm_testkit::{digest, sweep};
+
+/// Run the partitioned allreduce with `partitions` user partitions and
+/// return (trace digest, reduced values on rank 0).
+fn run_allreduce(seed: u64, partitions: usize) -> (u64, Vec<u64>) {
+    let mut sim = Simulation::with_seed(seed);
+    let trace = sim.trace();
+    trace.enable();
+    let world = MpiWorld::gh200(&sim, 1);
+    let p = world.size();
+    // Element count divisible by every partition count under test and by
+    // the communicator size, so all variants reduce the same payload.
+    let n = 16 * p * 12;
+    let out = Arc::new(Mutex::new(Vec::new()));
+    let o2 = out.clone();
+    world.run_ranks(&mut sim, move |ctx, rank| {
+        let buf = rank.gpu().alloc_global(n * 8);
+        let vals: Vec<f64> = (0..n).map(|i| ((rank.rank() * 17 + i * 3) % 29) as f64).collect();
+        buf.write_f64_slice(0, &vals);
+        let stream = rank.gpu().create_stream();
+        let coll = pallreduce_init(ctx, rank, &buf, partitions, &stream, 91);
+        coll.start(ctx);
+        coll.pbuf_prepare(ctx);
+        let c2 = coll.clone();
+        stream.launch(ctx, KernelSpec::vector_add(2, 128), move |d| c2.pready_device_all(d));
+        coll.wait(ctx);
+        if rank.rank() == 0 {
+            *o2.lock() = buf.read_f64_slice(0, n);
+        }
+    });
+    let report = sim.run().expect("allreduce sim");
+    let values: Vec<u64> = out.lock().iter().map(|v| v.to_bits()).collect();
+    (digest::run_digest(&report, &trace), values)
+}
+
+#[test]
+fn allreduce_digest_is_seed_deterministic() {
+    sweep::assert_deterministic_and_seed_sensitive(&[11, 22, 33], |seed| {
+        run_allreduce(seed, 4).0
+    });
+}
+
+#[test]
+fn allreduce_values_are_partition_count_invariant() {
+    // Metamorphic invariant: splitting the same buffer into 1, 2, 4, or 8
+    // user partitions must not change the reduced values (only the
+    // communication schedule granularity).
+    let values = |partitions: usize| run_allreduce(0xD1CE, partitions).1;
+    sweep::assert_all_equal([
+        ("1 partition", values(1)),
+        ("2 partitions", values(2)),
+        ("4 partitions", values(4)),
+        ("8 partitions", values(8)),
+    ]);
+}
+
+#[test]
+fn allreduce_values_are_seed_invariant() {
+    // Timing jitter must never leak into the numerics.
+    sweep::assert_all_equal([
+        ("seed 5", run_allreduce(5, 4).1),
+        ("seed 6", run_allreduce(6, 4).1),
+        ("seed 7", run_allreduce(7, 4).1),
+    ]);
+}

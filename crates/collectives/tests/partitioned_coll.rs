@@ -4,7 +4,7 @@
 
 use std::sync::Arc;
 
-use parking_lot::Mutex;
+use parcomm_sim::Mutex;
 
 use parcomm_coll::{pallreduce_init, pbcast_init, Schedule, StepOp};
 use parcomm_gpu::KernelSpec;

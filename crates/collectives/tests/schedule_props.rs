@@ -1,0 +1,189 @@
+//! Property tests of the schedule-step algebra (paper §IV-B1), on the
+//! `parcomm-testkit` property runner: for every schedule family, step
+//! composition must cover all chunks exactly once per phase, offsets must
+//! chain correctly between neighbors, and sends must be symmetric with
+//! receives.
+
+use parcomm_coll::{Schedule, StepOp};
+use parcomm_testkit::prop::{check, PropConfig, TestResult};
+
+fn gen_p_rank(rng: &mut parcomm_sim::SimRng) -> (usize, usize) {
+    (rng.uniform_range(1, 24) as usize, rng.uniform_range(0, 24) as usize)
+}
+
+#[test]
+fn ring_allreduce_each_phase_covers_chunks_exactly_once() {
+    check(
+        &PropConfig::default(),
+        "ring_allreduce_each_phase_covers_chunks_exactly_once",
+        gen_p_rank,
+        |&(p, r_probe)| {
+            if p < 2 {
+                return TestResult::Discard;
+            }
+            let r = r_probe % p;
+            let s = Schedule::ring_allreduce(r, p);
+            // Reduce-scatter phase: the p-1 arriving chunks are distinct
+            // (each chunk of the buffer is reduced into exactly once), and
+            // likewise for the allgather phase.
+            for (phase, range) in [("reduce-scatter", 0..p - 1), ("allgather", p - 1..2 * (p - 1))]
+            {
+                let mut seen: Vec<usize> =
+                    range.map(|i| s.steps[i].arrived_offset).collect();
+                seen.sort_unstable();
+                seen.dedup();
+                assert_eq!(
+                    seen.len(),
+                    p - 1,
+                    "p={p} r={r}: {phase} phase repeats an arriving chunk"
+                );
+            }
+            TestResult::Pass
+        },
+    );
+}
+
+#[test]
+fn ring_allreduce_cross_rank_step_is_chunk_permutation() {
+    check(
+        &PropConfig::default(),
+        "ring_allreduce_cross_rank_step_is_chunk_permutation",
+        gen_p_rank,
+        |&(p, step_probe)| {
+            if p < 2 {
+                return TestResult::Discard;
+            }
+            let i = step_probe % (2 * (p - 1));
+            // At any step, the chunks arriving across all ranks form a
+            // permutation of 0..p: every chunk is in flight somewhere.
+            let mut arrived: Vec<usize> =
+                (0..p).map(|r| Schedule::ring_allreduce(r, p).steps[i].arrived_offset).collect();
+            arrived.sort_unstable();
+            assert_eq!(arrived, (0..p).collect::<Vec<_>>(), "step {i}");
+            let mut ready: Vec<usize> =
+                (0..p).map(|r| Schedule::ring_allreduce(r, p).steps[i].ready_offset).collect();
+            ready.sort_unstable();
+            assert_eq!(ready, (0..p).collect::<Vec<_>>(), "step {i}");
+            TestResult::Pass
+        },
+    );
+}
+
+#[test]
+fn pairwise_alltoall_sends_and_receives_each_chunk_exactly_once() {
+    check(
+        &PropConfig::default(),
+        "pairwise_alltoall_sends_and_receives_each_chunk_exactly_once",
+        gen_p_rank,
+        |&(p, r_probe)| {
+            if p < 2 {
+                return TestResult::Discard;
+            }
+            let r = r_probe % p;
+            let s = Schedule::pairwise_alltoall(r, p);
+            assert_eq!(s.len(), p - 1);
+            // Outgoing chunks: every chunk except our own, exactly once.
+            let mut sent: Vec<usize> = s.steps.iter().map(|st| st.ready_offset).collect();
+            sent.sort_unstable();
+            let expect: Vec<usize> = (0..p).filter(|&c| c != r).collect();
+            assert_eq!(sent, expect, "rank {r} outgoing chunks");
+            // Arriving chunks: every peer's chunk exactly once.
+            let mut got: Vec<usize> = s.steps.iter().map(|st| st.arrived_offset).collect();
+            got.sort_unstable();
+            assert_eq!(got, expect, "rank {r} arriving chunks");
+            // Direct exchange: send target and receive source match the
+            // chunk indices, and all steps are NOP + early staged.
+            for st in &s.steps {
+                assert_eq!(st.outgoing, vec![st.ready_offset]);
+                assert_eq!(st.incoming, vec![st.arrived_offset]);
+                assert_eq!(st.op, StepOp::Nop);
+                assert!(st.early_stage);
+            }
+            TestResult::Pass
+        },
+    );
+}
+
+#[test]
+fn schedule_sends_are_symmetric_with_receives() {
+    check(
+        &PropConfig::default(),
+        "schedule_sends_are_symmetric_with_receives",
+        |rng| {
+            (
+                rng.uniform_range(1, 16) as usize,
+                rng.uniform_range(0, 16) as usize,
+                rng.uniform_range(0, 5) as usize,
+            )
+        },
+        |&(p, root_probe, family)| {
+            if p == 0 {
+                return TestResult::Discard;
+            }
+            let root = root_probe % p;
+            let build: fn(usize, usize, usize) -> Schedule = match family {
+                0 => |r, p, _| Schedule::ring_allreduce(r, p),
+                1 => |r, p, _| Schedule::ring_allgather(r, p),
+                2 => Schedule::tree_bcast,
+                3 => Schedule::chain_gather,
+                _ => Schedule::chain_scatter,
+            };
+            let schedules: Vec<Schedule> = (0..p).map(|r| build(r, p, root)).collect();
+            let steps = schedules[0].len();
+            for (r, s) in schedules.iter().enumerate() {
+                assert_eq!(s.len(), steps, "rank {r}: ragged schedule");
+            }
+            // Whenever rank a lists b as outgoing at step i, rank b must
+            // list a as incoming at step i, and vice versa.
+            for i in 0..steps {
+                for a in 0..p {
+                    for &b in &schedules[a].steps[i].outgoing {
+                        assert!(
+                            schedules[b].steps[i].incoming.contains(&a),
+                            "family {family} p={p} root={root} step {i}: {a}→{b} unmatched"
+                        );
+                    }
+                    for &b in &schedules[a].steps[i].incoming {
+                        assert!(
+                            schedules[b].steps[i].outgoing.contains(&a),
+                            "family {family} p={p} root={root} step {i}: {a}←{b} unmatched"
+                        );
+                    }
+                }
+            }
+            TestResult::Pass
+        },
+    );
+}
+
+#[test]
+fn reduce_scatter_composed_with_allgather_covers_like_allreduce() {
+    check(
+        &PropConfig::default(),
+        "reduce_scatter_composed_with_allgather_covers_like_allreduce",
+        gen_p_rank,
+        |&(p, r_probe)| {
+            if p < 2 {
+                return TestResult::Discard;
+            }
+            let r = r_probe % p;
+            let full = Schedule::ring_allreduce(r, p);
+            let rs = Schedule::ring_reduce_scatter(r, p);
+            let ag = Schedule::ring_allgather(r, p);
+            assert_eq!(rs.len() + ag.len(), full.len());
+            // The reduce-scatter half is the allreduce prefix, op included.
+            for i in 0..rs.len() {
+                assert_eq!(rs.steps[i].ready_offset, full.steps[i].ready_offset);
+                assert_eq!(rs.steps[i].arrived_offset, full.steps[i].arrived_offset);
+                assert_eq!(rs.steps[i].op, StepOp::Sum);
+            }
+            // The standalone allgather forwards every chunk except the one
+            // this rank starts with, exactly once.
+            let mut sent: Vec<usize> = ag.steps.iter().map(|st| st.ready_offset).collect();
+            sent.sort_unstable();
+            sent.dedup();
+            assert_eq!(sent.len(), p - 1, "p={p} r={r}: allgather repeats a chunk");
+            TestResult::Pass
+        },
+    );
+}

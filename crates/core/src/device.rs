@@ -23,7 +23,7 @@ use std::collections::VecDeque;
 use std::ops::Range;
 use std::sync::Arc;
 
-use parking_lot::Mutex;
+use parcomm_sim::Mutex;
 
 use parcomm_gpu::{AggLevel, Buffer, DeviceCtx};
 use parcomm_mpi::{chunk_range, HookOutcome, Rank};

@@ -22,7 +22,7 @@
 use std::ops::Range;
 use std::sync::Arc;
 
-use parking_lot::Mutex;
+use parcomm_sim::Mutex;
 
 use parcomm_gpu::{Buffer, CostModel, MemSpace};
 use parcomm_mpi::{chunk_range, MpiWorld, ProgressionEngine, Rank};

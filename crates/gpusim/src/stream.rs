@@ -12,7 +12,7 @@
 
 use std::sync::Arc;
 
-use parking_lot::Mutex;
+use parcomm_sim::Mutex;
 
 use parcomm_sim::{Ctx, Event, SimDuration, SimHandle, SimTime};
 

@@ -3,7 +3,7 @@
 
 use std::sync::Arc;
 
-use parking_lot::Mutex;
+use parcomm_sim::Mutex;
 
 use parcomm_gpu::{AggLevel, Buffer, CostModel, Gpu, GpuId, IpcError, KernelSpec, MemSpace};
 use parcomm_sim::{Event, SimConfig, SimDuration, Simulation};

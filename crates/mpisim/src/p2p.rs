@@ -10,7 +10,7 @@
 
 use std::collections::{HashMap, VecDeque};
 
-use parking_lot::Mutex;
+use parcomm_sim::Mutex;
 
 use parcomm_gpu::Buffer;
 use parcomm_sim::{Ctx, Event, SimHandle};

@@ -13,7 +13,7 @@
 
 use std::sync::Arc;
 
-use parking_lot::Mutex;
+use parcomm_sim::Mutex;
 
 use parcomm_sim::{Ctx, Event, SimDuration};
 

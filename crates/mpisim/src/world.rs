@@ -7,7 +7,7 @@
 
 use std::sync::Arc;
 
-use parking_lot::Mutex;
+use parcomm_sim::Mutex;
 
 use parcomm_gpu::{CostModel, Gpu, GpuId, Location, Unit};
 use parcomm_net::{ClusterSpec, Fabric};

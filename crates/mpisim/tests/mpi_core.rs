@@ -5,7 +5,7 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-use parking_lot::Mutex;
+use parcomm_sim::Mutex;
 
 use parcomm_mpi::{HookOutcome, MpiWorld};
 use parcomm_sim::{SimConfig, SimDuration, Simulation};

@@ -3,7 +3,7 @@
 
 use std::sync::Arc;
 
-use parking_lot::Mutex;
+use parcomm_sim::Mutex;
 
 use parcomm_mpi::MpiWorld;
 use parcomm_sim::{SimConfig, Simulation};

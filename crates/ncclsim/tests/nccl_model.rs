@@ -3,7 +3,7 @@
 
 use std::sync::Arc;
 
-use parking_lot::Mutex;
+use parcomm_sim::Mutex;
 
 use parcomm_coll::pallreduce_init;
 use parcomm_gpu::KernelSpec;

@@ -10,7 +10,7 @@
 use std::collections::HashMap;
 use std::sync::Arc;
 
-use parking_lot::Mutex;
+use parcomm_sim::Mutex;
 
 use parcomm_gpu::{Location, Unit};
 use parcomm_sim::{Event, SimDuration, SimHandle, SimTime};

@@ -10,7 +10,7 @@
 
 use std::sync::Arc;
 
-use parking_lot::Mutex;
+use crate::lock::Mutex;
 
 use crate::sched::{ProcessId, SimHandle};
 use crate::time::SimTime;

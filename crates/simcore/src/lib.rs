@@ -41,6 +41,7 @@
 
 mod error;
 mod event;
+mod lock;
 mod process;
 mod rng;
 mod sched;
@@ -50,6 +51,7 @@ mod trace;
 
 pub use error::SimError;
 pub use event::{CountEvent, Event};
+pub use lock::Mutex;
 pub use process::Ctx;
 pub use rng::SimRng;
 pub use sched::{ProcessId, SimConfig, SimHandle, SimReport, Simulation, SpawnHandle};

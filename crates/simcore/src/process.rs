@@ -6,7 +6,7 @@
 
 use std::sync::Arc;
 
-use crossbeam_channel::Receiver;
+use std::sync::mpsc::Receiver;
 
 use crate::event::Event;
 use crate::rng::SimRng;

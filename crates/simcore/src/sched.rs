@@ -34,8 +34,9 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
-use crossbeam_channel::{unbounded, Receiver, Sender};
-use parking_lot::Mutex;
+use std::sync::mpsc::{channel, Receiver, Sender};
+
+use crate::lock::Mutex;
 
 use crate::error::SimError;
 use crate::event::Event;
@@ -88,9 +89,10 @@ struct ProcRecord {
 /// Shared scheduler state. Lives behind `Arc` in [`SimHandle`] and `Ctx`.
 pub(crate) struct SchedCore {
     pub(crate) state: Mutex<SchedState>,
-    /// Processes report yields here; the scheduler blocks on the receiver.
+    /// Processes report yields here; the scheduler blocks on the matching
+    /// receiver (held by [`Simulation`] — `std` receivers are not `Sync`,
+    /// and only the scheduler loop ever receives).
     pub(crate) yield_tx: Sender<YieldMsg>,
-    yield_rx: Receiver<YieldMsg>,
     /// Global shutdown flag: set once all regular processes have finished.
     shutdown: AtomicBool,
     /// Span tracing (disabled by default).
@@ -213,13 +215,14 @@ impl Default for SimConfig {
 /// A configured simulation: spawn processes, then [`run`](Simulation::run).
 pub struct Simulation {
     core: Arc<SchedCore>,
+    yield_rx: Receiver<YieldMsg>,
     started: bool,
 }
 
 impl Simulation {
     /// Create a simulation with the given configuration.
     pub fn new(cfg: SimConfig) -> Self {
-        let (yield_tx, yield_rx) = unbounded();
+        let (yield_tx, yield_rx) = channel();
         let core = Arc::new(SchedCore {
             state: Mutex::new(SchedState {
                 now: SimTime::ZERO,
@@ -234,11 +237,10 @@ impl Simulation {
                 events_processed: 0,
             }),
             yield_tx,
-            yield_rx,
             shutdown: AtomicBool::new(false),
             trace: Trace::default(),
         });
-        Simulation { core, started: false }
+        Simulation { core, yield_rx, started: false }
     }
 
     /// Create a simulation with the default configuration (fixed seed).
@@ -315,7 +317,7 @@ impl Simulation {
                     let Some(tx) = resume_tx else { continue };
                     tx.send(()).expect("process resume channel closed");
                     // Let the process run until it yields again.
-                    self.handle_yield(self.core.yield_rx.recv().expect("yield channel closed"))?;
+                    self.handle_yield(self.yield_rx.recv().expect("yield channel closed"))?;
                     total_procs = total_procs.max(self.core.state.lock().next_pid);
                 }
                 None => {
@@ -446,7 +448,7 @@ pub(crate) fn spawn_process(
     daemon: bool,
     body: impl FnOnce(&mut crate::process::Ctx) + Send + 'static,
 ) -> SpawnHandle {
-    let (resume_tx, resume_rx) = unbounded::<()>();
+    let (resume_tx, resume_rx) = channel::<()>();
     let done = Event::new();
 
     let pid = {

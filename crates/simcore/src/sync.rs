@@ -4,7 +4,7 @@
 use std::collections::VecDeque;
 use std::sync::Arc;
 
-use parking_lot::Mutex;
+use crate::lock::Mutex;
 
 use crate::event::Event;
 use crate::process::Ctx;

@@ -4,7 +4,7 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-use parking_lot::Mutex;
+use parcomm_sim::Mutex;
 
 use parcomm_sim::{
     CountEvent, Event, SimBarrier, SimChannel, SimConfig, SimDuration, SimError, SimTime,

@@ -1,0 +1,55 @@
+//! # parcomm-testkit — deterministic-simulation test harness
+//!
+//! First-party correctness tooling for the `parcomm` workspace, built on the
+//! hermetic zero-external-dependency policy (see `DESIGN.md`). Four pieces:
+//!
+//! - [`prop`] — a seeded property-testing runner with shrinking over
+//!   integer/float/vec/tuple inputs (the in-tree `proptest` replacement);
+//! - [`digest`] — stable 64-bit FNV-1a digests of `simcore` trace-span
+//!   streams and run reports, for replay assertions;
+//! - [`sweep`] — seed-sweep runners asserting the determinism contract
+//!   (same seed ⇒ identical digest; different seeds ⇒ digests diverge) and
+//!   metamorphic invariants;
+//! - [`timer`] — a wall-clock micro-benchmark timer (the in-tree
+//!   `criterion` replacement for the bench harness binaries).
+//!
+//! ## Writing a determinism test
+//!
+//! ```
+//! use parcomm_sim::{SimDuration, Simulation};
+//! use parcomm_testkit::{digest, sweep};
+//!
+//! let digests = sweep::assert_deterministic_and_seed_sensitive(
+//!     &[1, 2, 3],
+//!     |seed| {
+//!         let mut sim = Simulation::with_seed(seed);
+//!         let trace = sim.trace();
+//!         trace.enable();
+//!         sim.spawn("worker", |ctx| {
+//!             let dt = ctx.jitter_us(5.0, 1.0);
+//!             let start = ctx.now();
+//!             ctx.advance(dt);
+//!             ctx.handle().trace().record("work", start, ctx.now());
+//!         });
+//!         let report = sim.run().unwrap();
+//!         digest::run_digest(&report, &trace)
+//!     },
+//! );
+//! assert_eq!(digests.len(), 3);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod digest;
+pub mod prop;
+pub mod sweep;
+pub mod timer;
+
+pub use digest::{report_digest, run_digest, trace_digest, Digest};
+pub use prop::{check, PropConfig, Shrink, TestResult};
+pub use sweep::{
+    assert_all_equal, assert_deterministic, assert_deterministic_and_seed_sensitive,
+    assert_seed_sensitive,
+};
+pub use timer::{bench, BenchConfig, BenchStats};

@@ -1,0 +1,416 @@
+//! A minimal seeded property-testing runner with shrinking.
+//!
+//! The workspace builds with zero external dependencies, so `proptest` is
+//! replaced by this ~200-line runner. It keeps the parts that matter for
+//! deterministic-simulation testing:
+//!
+//! - **seeded generation** — cases are drawn from a [`SimRng`], so a failing
+//!   run's `(seed, case index)` pair reproduces exactly;
+//! - **shrinking** — on failure the input is greedily minimized through the
+//!   [`Shrink`] trait before being reported;
+//! - **discarding** — properties can reject inputs that violate their
+//!   preconditions (the analogue of `prop_assume!`).
+//!
+//! ```
+//! use parcomm_testkit::prop::{check, PropConfig};
+//!
+//! check(&PropConfig::default(), "add_commutes",
+//!     |rng| (rng.uniform_range(0, 1 << 20), rng.uniform_range(0, 1 << 20)),
+//!     |&(a, b)| a + b == b + a,
+//! );
+//! ```
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+use parcomm_sim::SimRng;
+
+/// Outcome of evaluating a property on one input.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TestResult {
+    /// The property held.
+    Pass,
+    /// The input did not satisfy the property's preconditions; draw another.
+    Discard,
+    /// The property failed, with a reason.
+    Fail(String),
+}
+
+impl From<bool> for TestResult {
+    fn from(ok: bool) -> Self {
+        if ok {
+            TestResult::Pass
+        } else {
+            TestResult::Fail("property returned false".into())
+        }
+    }
+}
+
+impl From<Result<(), String>> for TestResult {
+    fn from(r: Result<(), String>) -> Self {
+        match r {
+            Ok(()) => TestResult::Pass,
+            Err(m) => TestResult::Fail(m),
+        }
+    }
+}
+
+impl From<()> for TestResult {
+    fn from(_: ()) -> Self {
+        TestResult::Pass
+    }
+}
+
+/// Configuration for a [`check`] run.
+#[derive(Clone, Debug)]
+pub struct PropConfig {
+    /// Number of (non-discarded) cases to run.
+    pub cases: u32,
+    /// Seed for case generation. Override with `PARCOMM_PROP_SEED` to
+    /// reproduce a CI failure locally.
+    pub seed: u64,
+    /// Cap on shrinking steps (each step tries every candidate of the
+    /// current smallest failing input).
+    pub max_shrink_steps: u32,
+    /// Cap on consecutive discards before the run aborts (a generator that
+    /// discards everything is a bug in the test).
+    pub max_discards: u32,
+}
+
+impl Default for PropConfig {
+    fn default() -> Self {
+        let seed = std::env::var("PARCOMM_PROP_SEED")
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(0x7E57_C0DE);
+        PropConfig { cases: 64, seed, max_shrink_steps: 256, max_discards: 4096 }
+    }
+}
+
+impl PropConfig {
+    /// A config running `cases` cases (default seed).
+    pub fn with_cases(cases: u32) -> Self {
+        PropConfig { cases, ..PropConfig::default() }
+    }
+}
+
+/// Types whose failing values can propose smaller candidates.
+///
+/// Shrinking is *greedy first-fail descent*: the runner re-tests candidates
+/// in order and recurses on the first one that still fails. Candidates must
+/// therefore be strictly "smaller" by some well-founded measure or shrinking
+/// could loop; every impl here shrinks toward zero/empty.
+pub trait Shrink: Sized {
+    /// Strictly-smaller candidate values, most aggressive first.
+    fn shrink(&self) -> Vec<Self>;
+}
+
+impl Shrink for u64 {
+    fn shrink(&self) -> Vec<Self> {
+        let mut out = Vec::new();
+        if *self > 0 {
+            out.push(0);
+            if *self > 1 {
+                out.push(self / 2);
+            }
+            out.push(self - 1);
+        }
+        out.dedup();
+        out
+    }
+}
+
+impl Shrink for usize {
+    fn shrink(&self) -> Vec<Self> {
+        (*self as u64).shrink().into_iter().map(|v| v as usize).collect()
+    }
+}
+
+impl Shrink for u32 {
+    fn shrink(&self) -> Vec<Self> {
+        (*self as u64).shrink().into_iter().map(|v| v as u32).collect()
+    }
+}
+
+impl Shrink for i64 {
+    fn shrink(&self) -> Vec<Self> {
+        let mut out = Vec::new();
+        if *self != 0 {
+            out.push(0);
+            out.push(self / 2);
+            out.push(self - self.signum());
+        }
+        out.dedup();
+        out
+    }
+}
+
+impl Shrink for f64 {
+    fn shrink(&self) -> Vec<Self> {
+        let mut out = Vec::new();
+        if *self != 0.0 && self.is_finite() {
+            out.push(0.0);
+            out.push(self / 2.0);
+            let t = self.trunc();
+            if t != *self {
+                out.push(t);
+            }
+        }
+        out
+    }
+}
+
+impl Shrink for bool {
+    fn shrink(&self) -> Vec<Self> {
+        if *self {
+            vec![false]
+        } else {
+            Vec::new()
+        }
+    }
+}
+
+impl<T: Shrink + Clone> Shrink for Vec<T> {
+    fn shrink(&self) -> Vec<Self> {
+        let mut out = Vec::new();
+        let n = self.len();
+        if n == 0 {
+            return out;
+        }
+        // Drop halves, then single elements, then shrink single elements.
+        out.push(self[..n / 2].to_vec());
+        out.push(self[n / 2..].to_vec());
+        for i in 0..n.min(8) {
+            let mut v = self.clone();
+            v.remove(i);
+            out.push(v);
+        }
+        for i in 0..n.min(4) {
+            for cand in self[i].shrink().into_iter().take(2) {
+                let mut v = self.clone();
+                v[i] = cand;
+                out.push(v);
+            }
+        }
+        out
+    }
+}
+
+macro_rules! tuple_shrink {
+    ($($name:ident : $idx:tt),+) => {
+        impl<$($name: Shrink + Clone),+> Shrink for ($($name,)+) {
+            fn shrink(&self) -> Vec<Self> {
+                let mut out = Vec::new();
+                $(
+                    for cand in self.$idx.shrink() {
+                        let mut t = self.clone();
+                        t.$idx = cand;
+                        out.push(t);
+                    }
+                )+
+                out
+            }
+        }
+    };
+}
+
+tuple_shrink!(A: 0);
+tuple_shrink!(A: 0, B: 1);
+tuple_shrink!(A: 0, B: 1, C: 2);
+tuple_shrink!(A: 0, B: 1, C: 2, D: 3);
+
+/// Run `prop` against `cases` inputs drawn by `gen` from a seeded [`SimRng`].
+///
+/// On failure the input is shrunk to a local minimum and the runner panics
+/// with the minimal input, the generating seed, and the case index — enough
+/// to reproduce by rerunning with the same config. Panics inside `prop` are
+/// caught and treated as failures (so plain `assert!` works).
+pub fn check<T, G, F, R>(cfg: &PropConfig, name: &str, mut gen: G, prop: F)
+where
+    T: Shrink + Clone + std::fmt::Debug,
+    G: FnMut(&mut SimRng) -> T,
+    F: Fn(&T) -> R,
+    R: Into<TestResult>,
+{
+    let mut rng = SimRng::seeded(cfg.seed);
+    let eval = |input: &T| -> TestResult {
+        match catch_unwind(AssertUnwindSafe(|| prop(input).into())) {
+            Ok(r) => r,
+            Err(payload) => TestResult::Fail(panic_message(payload.as_ref())),
+        }
+    };
+
+    let mut ran = 0u32;
+    let mut discards = 0u32;
+    while ran < cfg.cases {
+        let input = gen(&mut rng);
+        match eval(&input) {
+            TestResult::Pass => {
+                ran += 1;
+            }
+            TestResult::Discard => {
+                discards += 1;
+                assert!(
+                    discards <= cfg.max_discards,
+                    "property '{name}': {discards} discards before {ran} cases ran — \
+                     generator and preconditions disagree"
+                );
+            }
+            TestResult::Fail(first_reason) => {
+                let (min, reason, steps) =
+                    shrink_failure(input, first_reason, cfg.max_shrink_steps, &eval);
+                panic!(
+                    "property '{name}' failed (seed {:#x}, case {ran}, {steps} shrink steps)\n\
+                     minimal input: {min:?}\nreason: {reason}",
+                    cfg.seed
+                );
+            }
+        }
+    }
+}
+
+/// Greedy first-fail shrink descent. Returns the minimal failing input, its
+/// failure reason, and the number of accepted shrink steps.
+fn shrink_failure<T: Shrink + Clone>(
+    mut cur: T,
+    mut reason: String,
+    max_steps: u32,
+    eval: &dyn Fn(&T) -> TestResult,
+) -> (T, String, u32) {
+    let mut steps = 0u32;
+    'outer: while steps < max_steps {
+        for cand in cur.shrink() {
+            if let TestResult::Fail(r) = eval(&cand) {
+                cur = cand;
+                reason = r;
+                steps += 1;
+                continue 'outer;
+            }
+        }
+        break; // local minimum: no candidate still fails
+    }
+    (cur, reason, steps)
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        format!("panic: {s}")
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        format!("panic: {s}")
+    } else {
+        "panic: <non-string payload>".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn passing_property_runs_all_cases() {
+        let count = std::cell::Cell::new(0u32);
+        check(
+            &PropConfig::with_cases(50),
+            "counting",
+            |rng| rng.uniform_range(0, 100),
+            |_| {
+                // Evaluated at least once per case (shrinking would add more).
+                count.set(count.get() + 1);
+                true
+            },
+        );
+        assert_eq!(count.get(), 50);
+    }
+
+    #[test]
+    fn failing_property_shrinks_to_minimum() {
+        // Property "v < 10" fails for v >= 10; minimal counterexample is 10.
+        let r = catch_unwind(AssertUnwindSafe(|| {
+            check(
+                &PropConfig::with_cases(200),
+                "lt_ten",
+                |rng| rng.uniform_range(0, 1 << 40),
+                |&v| v < 10,
+            );
+        }));
+        let msg = panic_message(r.expect_err("must fail").as_ref());
+        assert!(msg.contains("minimal input: 10"), "{msg}");
+    }
+
+    #[test]
+    fn vec_shrinking_reduces_length() {
+        // "no vec contains an element > 1000" — minimal counterexample is a
+        // single-element vec.
+        let r = catch_unwind(AssertUnwindSafe(|| {
+            check(
+                &PropConfig::with_cases(100),
+                "small_elems",
+                |rng| {
+                    let n = rng.uniform_range(1, 20) as usize;
+                    (0..n).map(|_| rng.uniform_range(0, 5000)).collect::<Vec<u64>>()
+                },
+                |v| v.iter().all(|&x| x <= 1000),
+            );
+        }));
+        let msg = panic_message(r.expect_err("must fail").as_ref());
+        // After shrinking, the reported vec should have exactly one element.
+        let inner = msg.split("minimal input: ").nth(1).expect("has input");
+        let commas = inner.split('\n').next().unwrap_or("").matches(',').count();
+        assert_eq!(commas, 0, "expected single-element vec in: {msg}");
+    }
+
+    #[test]
+    fn discards_do_not_count_as_cases() {
+        let passes = std::cell::Cell::new(0u32);
+        check(
+            &PropConfig::with_cases(16),
+            "discarding",
+            |rng| rng.uniform_range(0, 10),
+            |&v| {
+                if v % 2 == 1 {
+                    TestResult::Discard
+                } else {
+                    passes.set(passes.get() + 1);
+                    TestResult::Pass
+                }
+            },
+        );
+        assert!(passes.get() >= 16);
+    }
+
+    #[test]
+    fn panics_are_reported_as_failures() {
+        let r = catch_unwind(AssertUnwindSafe(|| {
+            check(
+                &PropConfig::with_cases(10),
+                "panicky",
+                |rng| rng.uniform_range(0, 100),
+                |&v| {
+                    assert!(v > 1_000, "generated {v}");
+                    true
+                },
+            );
+        }));
+        let msg = panic_message(r.expect_err("must fail").as_ref());
+        assert!(msg.contains("panicky"), "{msg}");
+        assert!(msg.contains("panic: generated"), "{msg}");
+    }
+
+    #[test]
+    fn same_seed_generates_same_cases() {
+        let collect = |seed: u64| {
+            let v = std::cell::RefCell::new(Vec::new());
+            check(
+                &PropConfig { seed, ..PropConfig::with_cases(32) },
+                "collect",
+                |rng| rng.uniform_range(0, 1 << 30),
+                |&x| {
+                    v.borrow_mut().push(x);
+                    true
+                },
+            );
+            v.into_inner()
+        };
+        assert_eq!(collect(77), collect(77));
+        assert_ne!(collect(77), collect(78));
+    }
+}

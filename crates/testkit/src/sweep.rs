@@ -1,0 +1,151 @@
+//! Seed-sweep determinism runners.
+//!
+//! The reproducibility contract of the simulator is: a `(program, seed)`
+//! pair fully determines the trace. These helpers turn that contract into
+//! assertions:
+//!
+//! - [`assert_deterministic`] — run a program twice per seed and require
+//!   bit-identical digests (same seed ⇒ same trace);
+//! - [`assert_seed_sensitive`] — require that different seeds actually
+//!   produce different digests (the program consumes randomness at all —
+//!   a vacuous determinism test would otherwise pass);
+//! - [`assert_all_equal`] — metamorphic invariants: program variants that
+//!   must agree on a result (e.g. any partition-count permutation reduces
+//!   to the same values).
+
+use std::collections::BTreeMap;
+use std::fmt::Debug;
+
+/// Run `program` twice for every seed and assert that both runs return the
+/// same digest. Returns the per-seed digests for further checks (e.g.
+/// feeding [`assert_seed_sensitive`] without re-running).
+///
+/// `program` receives the seed and returns any comparable observation —
+/// typically a [`crate::digest::run_digest`] of the simulation, but raw
+/// output vectors work too.
+pub fn assert_deterministic<T, F>(seeds: &[u64], mut program: F) -> Vec<T>
+where
+    T: PartialEq + Debug,
+    F: FnMut(u64) -> T,
+{
+    assert!(!seeds.is_empty(), "assert_deterministic: no seeds given");
+    let mut out = Vec::with_capacity(seeds.len());
+    for &seed in seeds {
+        let first = program(seed);
+        let second = program(seed);
+        assert_eq!(
+            first, second,
+            "seed {seed:#x}: two runs of the same program diverged — \
+             the (program, seed) determinism contract is broken"
+        );
+        out.push(first);
+    }
+    out
+}
+
+/// Assert that not all seeds map to the same digest. Guards against a
+/// vacuously-deterministic program (one that never consumes simulation
+/// randomness would trivially pass [`assert_deterministic`]).
+pub fn assert_seed_sensitive<T: PartialEq + Debug>(seeds: &[u64], digests: &[T]) {
+    assert_eq!(seeds.len(), digests.len(), "seed/digest length mismatch");
+    assert!(
+        seeds.len() >= 2,
+        "assert_seed_sensitive: need at least two seeds"
+    );
+    let all_same = digests.iter().all(|d| *d == digests[0]);
+    assert!(
+        !all_same,
+        "all {} seeds produced the identical digest {:?} — the program does \
+         not consume simulation randomness, so this determinism test is vacuous",
+        seeds.len(),
+        digests[0]
+    );
+}
+
+/// One-call convenience: determinism plus seed sensitivity over `seeds`.
+pub fn assert_deterministic_and_seed_sensitive<T, F>(seeds: &[u64], program: F) -> Vec<T>
+where
+    T: PartialEq + Debug,
+    F: FnMut(u64) -> T,
+{
+    let digests = assert_deterministic(seeds, program);
+    assert_seed_sensitive(seeds, &digests);
+    digests
+}
+
+/// Metamorphic invariant: every labelled variant must produce an equal
+/// value. Reports *which* variants disagree on failure.
+///
+/// ```
+/// use parcomm_testkit::sweep::assert_all_equal;
+/// assert_all_equal([
+///     ("2 partitions", 10u64),
+///     ("5 partitions", 10u64),
+/// ]);
+/// ```
+pub fn assert_all_equal<T, I>(variants: I)
+where
+    T: PartialEq + Debug,
+    I: IntoIterator<Item = (&'static str, T)>,
+{
+    let collected: Vec<(&'static str, T)> = variants.into_iter().collect();
+    assert!(
+        collected.len() >= 2,
+        "assert_all_equal: need at least two variants"
+    );
+    let (base_label, base) = &collected[0];
+    let mut disagreements: BTreeMap<&'static str, &T> = BTreeMap::new();
+    for (label, value) in &collected[1..] {
+        if value != base {
+            disagreements.insert(label, value);
+        }
+    }
+    assert!(
+        disagreements.is_empty(),
+        "metamorphic invariant violated: baseline '{base_label}' = {base:?}, \
+         but {disagreements:?} disagree"
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+
+    #[test]
+    fn deterministic_program_passes() {
+        let digests =
+            assert_deterministic_and_seed_sensitive(&[1, 2, 3], |seed| seed.wrapping_mul(0x9E37));
+        assert_eq!(digests.len(), 3);
+    }
+
+    #[test]
+    fn nondeterministic_program_is_caught() {
+        let mut flip = 0u64;
+        let r = catch_unwind(AssertUnwindSafe(|| {
+            assert_deterministic(&[7], |seed| {
+                flip += 1;
+                seed + flip
+            });
+        }));
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn vacuous_determinism_is_caught() {
+        let r = catch_unwind(AssertUnwindSafe(|| {
+            assert_deterministic_and_seed_sensitive(&[1, 2, 3], |_seed| 42u64);
+        }));
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn metamorphic_disagreement_names_the_variant() {
+        let r = catch_unwind(AssertUnwindSafe(|| {
+            assert_all_equal([("a", 1), ("b", 1), ("c", 2)]);
+        }));
+        let err = r.expect_err("must fail");
+        let msg = err.downcast_ref::<String>().cloned().unwrap_or_default();
+        assert!(msg.contains('c'), "{msg}");
+    }
+}

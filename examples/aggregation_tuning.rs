@@ -8,7 +8,7 @@
 use std::sync::Arc;
 
 use parcomm::prelude::*;
-use parking_lot::Mutex;
+use parcomm_sim::Mutex;
 
 fn pready_cost(threads: u32, agg: AggLevel, multi_block: bool, grid: u32) -> f64 {
     let mut sim = Simulation::with_seed(threads as u64 ^ grid as u64);

@@ -11,7 +11,7 @@ use std::sync::Arc;
 
 use parcomm::apps::{nccl_for_world, run_dl, DlConfig, DlModel};
 use parcomm::prelude::*;
-use parking_lot::Mutex;
+use parcomm_sim::Mutex;
 
 fn run(model: DlModel, label: &str) -> (f64, f64) {
     let mut sim = Simulation::with_seed(11);

@@ -10,7 +10,7 @@ use std::sync::Arc;
 
 use parcomm::apps::{jacobi_reference, process_grid, run_jacobi, JacobiConfig, JacobiModel};
 use parcomm::prelude::*;
-use parking_lot::Mutex;
+use parcomm_sim::Mutex;
 
 fn run(model: JacobiModel, label: &str) -> f64 {
     let mut sim = Simulation::with_seed(7);

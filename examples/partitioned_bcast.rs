@@ -8,7 +8,7 @@
 use std::sync::Arc;
 
 use parcomm::prelude::*;
-use parking_lot::Mutex;
+use parcomm_sim::Mutex;
 
 fn main() {
     let mut sim = Simulation::with_seed(31);

@@ -10,7 +10,7 @@
 use std::sync::Arc;
 
 use parcomm::prelude::*;
-use parking_lot::Mutex;
+use parcomm_sim::Mutex;
 
 fn main() {
     const PARTITIONS: usize = 8;

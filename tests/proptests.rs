@@ -1,8 +1,10 @@
 //! Property-based tests over the core invariants: partition/transport
 //! arithmetic, buffer views, schedule structure, and end-to-end exactly-once
 //! delivery for arbitrary channel shapes and ready orders.
-
-use proptest::prelude::*;
+//!
+//! Runs on the in-tree `parcomm-testkit` property runner (seeded generation
+//! plus shrinking); reproduce a failure by re-running with
+//! `PARCOMM_PROP_SEED=<seed>`.
 
 use parcomm::coll::{Schedule, StepOp};
 use parcomm::core::transport_of_user;
@@ -10,209 +12,333 @@ use parcomm::gpu::{Buffer, MemSpace};
 use parcomm::mpi::chunk_range;
 use parcomm::prelude::*;
 use parcomm::sim::SimDuration;
+use parcomm_testkit::prop::{check, PropConfig, TestResult};
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn chunk_range_is_exact_partition(n in 0usize..10_000, parts in 1usize..64) {
-        let mut next = 0usize;
-        let mut total = 0usize;
-        for i in 0..parts {
-            let (start, len) = chunk_range(n, parts, i);
-            prop_assert_eq!(start, next);
-            next = start + len;
-            total += len;
-        }
-        prop_assert_eq!(total, n);
-    }
-
-    #[test]
-    fn chunk_sizes_differ_by_at_most_one(n in 1usize..10_000, parts in 1usize..64) {
-        let lens: Vec<usize> = (0..parts).map(|i| chunk_range(n, parts, i).1).collect();
-        let min = *lens.iter().min().expect("non-empty");
-        let max = *lens.iter().max().expect("non-empty");
-        prop_assert!(max - min <= 1);
-    }
-
-    #[test]
-    fn transport_of_user_is_chunk_range_inverse(
-        users in 1usize..4096,
-        transports in 1usize..64,
-        probe in 0usize..4096,
-    ) {
-        prop_assume!(transports <= users);
-        let u = probe % users;
-        let k = transport_of_user(users, transports, u);
-        let (start, len) = chunk_range(users, transports, k);
-        prop_assert!(u >= start && u < start + len, "u={u} mapped to k={k} [{start},{})", start+len);
-    }
-
-    #[test]
-    fn buffer_f64_roundtrip(values in proptest::collection::vec(-1e12f64..1e12, 1..128), off in 0usize..64) {
-        let buf = Buffer::alloc(MemSpace::Host { node: 0 }, (values.len() + 64) * 8);
-        buf.write_f64_slice(off * 8, &values);
-        prop_assert_eq!(buf.read_f64_slice(off * 8, values.len()), values);
-    }
-
-    #[test]
-    fn buffer_accumulate_is_elementwise_add(
-        a in proptest::collection::vec(-1e6f64..1e6, 1..64),
-        b_seed in -1e6f64..1e6,
-    ) {
-        let n = a.len();
-        let b: Vec<f64> = (0..n).map(|i| b_seed + i as f64).collect();
-        let ba = Buffer::alloc(MemSpace::Host { node: 0 }, n * 8);
-        let bb = Buffer::alloc(MemSpace::Host { node: 0 }, n * 8);
-        ba.write_f64_slice(0, &a);
-        bb.write_f64_slice(0, &b);
-        ba.accumulate_f64(0, &bb, 0, n);
-        let out = ba.read_f64_slice(0, n);
-        for ((o, x), y) in out.iter().zip(&a).zip(&b) {
-            prop_assert_eq!(*o, x + y);
-        }
-    }
-
-    #[test]
-    fn sim_duration_arithmetic_is_consistent(a in 0u64..u64::MAX / 4, b in 0u64..u64::MAX / 4) {
-        let (da, db) = (SimDuration::from_nanos(a), SimDuration::from_nanos(b));
-        prop_assert_eq!(da + db, db + da);
-        prop_assert_eq!((da + db) - db, da);
-        prop_assert_eq!(da.saturating_sub(db) + db.saturating_sub(da),
-            SimDuration::from_nanos(a.abs_diff(b)));
-    }
-
-    #[test]
-    fn ring_allreduce_schedule_invariants(p in 1usize..24, r_probe in 0usize..24) {
-        let r = r_probe % p;
-        let s = Schedule::ring_allreduce(r, p);
-        if p == 1 {
-            prop_assert!(s.is_empty());
-            return Ok(());
-        }
-        prop_assert_eq!(s.len(), 2 * (p - 1));
-        // Reduce-scatter ops first, then allgather NOPs.
-        for (i, step) in s.steps.iter().enumerate() {
-            prop_assert_eq!(step.op == StepOp::Sum, i < p - 1);
-            prop_assert_eq!(step.incoming.clone(), vec![(r + p - 1) % p]);
-            prop_assert_eq!(step.outgoing.clone(), vec![(r + 1) % p]);
-            prop_assert!(step.ready_offset < p && step.arrived_offset < p);
-        }
-        // What r sends at step i arrives at r+1 at step i.
-        let next = Schedule::ring_allreduce((r + 1) % p, p);
-        for i in 0..s.len() {
-            prop_assert_eq!(s.steps[i].ready_offset, next.steps[i].arrived_offset);
-        }
-    }
-
-    #[test]
-    fn tree_bcast_schedule_covers_all_ranks(p in 1usize..20, root_probe in 0usize..20) {
-        let root = root_probe % p;
-        let schedules: Vec<Schedule> = (0..p).map(|r| Schedule::tree_bcast(r, p, root)).collect();
-        let mut have: Vec<bool> = (0..p).map(|r| r == root).collect();
-        for i in 0..schedules[0].len() {
-            let snapshot = have.clone();
-            for r in 0..p {
-                for &dst in &schedules[r].steps[i].outgoing {
-                    prop_assert!(snapshot[r], "p={p} root={root}: rank {r} sends without data");
-                    have[dst] = true;
-                }
-            }
-        }
-        prop_assert!(have.iter().all(|&x| x));
-    }
+fn cfg() -> PropConfig {
+    PropConfig::with_cases(64)
 }
 
-proptest! {
-    // End-to-end simulations are heavier: fewer cases.
-    #![proptest_config(ProptestConfig::with_cases(12))]
+#[test]
+fn chunk_range_is_exact_partition() {
+    check(
+        &cfg(),
+        "chunk_range_is_exact_partition",
+        |rng| (rng.uniform_range(0, 10_000) as usize, rng.uniform_range(1, 64) as usize),
+        |&(n, parts)| {
+            if parts == 0 {
+                return TestResult::Discard;
+            }
+            let mut next = 0usize;
+            let mut total = 0usize;
+            for i in 0..parts {
+                let (start, len) = chunk_range(n, parts, i);
+                assert_eq!(start, next, "chunk {i} not contiguous");
+                next = start + len;
+                total += len;
+            }
+            assert_eq!(total, n);
+            TestResult::Pass
+        },
+    );
+}
 
-    #[test]
-    fn partitioned_delivery_is_exactly_once(
-        partitions in 1usize..24,
-        part_kib in 1usize..8,
-        transports_probe in 1usize..24,
-        shuffle_seed in 0u64..1_000,
-    ) {
-        let transports = 1 + transports_probe % partitions;
-        let bytes = partitions * part_kib * 64;
-        // Random but deterministic ready order.
-        let mut order: Vec<usize> = (0..partitions).collect();
-        let mut state = shuffle_seed.wrapping_add(1);
-        for i in (1..order.len()).rev() {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
-            order.swap(i, (state >> 33) as usize % (i + 1));
-        }
+#[test]
+fn chunk_sizes_differ_by_at_most_one() {
+    check(
+        &cfg(),
+        "chunk_sizes_differ_by_at_most_one",
+        |rng| (rng.uniform_range(1, 10_000) as usize, rng.uniform_range(1, 64) as usize),
+        |&(n, parts)| {
+            if n == 0 || parts == 0 {
+                return TestResult::Discard;
+            }
+            let lens: Vec<usize> = (0..parts).map(|i| chunk_range(n, parts, i).1).collect();
+            let min = *lens.iter().min().expect("non-empty");
+            let max = *lens.iter().max().expect("non-empty");
+            assert!(max - min <= 1, "n={n} parts={parts}: {min}..{max}");
+            TestResult::Pass
+        },
+    );
+}
 
-        let mut sim = Simulation::with_seed(shuffle_seed);
-        let world = MpiWorld::gh200(&sim, 1);
-        world.run_ranks(&mut sim, move |ctx, rank| {
-            let buf = rank.gpu().alloc_global(bytes);
-            match rank.rank() {
-                0 => {
-                    for u in 0..partitions {
-                        let (start, len) = chunk_range(bytes, partitions, u);
-                        let _ = len;
-                        buf.write_f64(start, (u + 1) as f64);
+#[test]
+fn transport_of_user_is_chunk_range_inverse() {
+    check(
+        &cfg(),
+        "transport_of_user_is_chunk_range_inverse",
+        |rng| {
+            (
+                rng.uniform_range(1, 4096) as usize,
+                rng.uniform_range(1, 64) as usize,
+                rng.uniform_range(0, 4096) as usize,
+            )
+        },
+        |&(users, transports, probe)| {
+            if users == 0 || transports == 0 || transports > users {
+                return TestResult::Discard;
+            }
+            let u = probe % users;
+            let k = transport_of_user(users, transports, u);
+            let (start, len) = chunk_range(users, transports, k);
+            assert!(
+                u >= start && u < start + len,
+                "u={u} mapped to k={k} [{start},{})",
+                start + len
+            );
+            TestResult::Pass
+        },
+    );
+}
+
+#[test]
+fn buffer_f64_roundtrip() {
+    check(
+        &cfg(),
+        "buffer_f64_roundtrip",
+        |rng| {
+            let n = rng.uniform_range(1, 128) as usize;
+            let mut values = vec![0.0f64; n];
+            rng.fill_uniform_f64(&mut values, -1e12, 1e12);
+            (values, rng.uniform_range(0, 64) as usize)
+        },
+        |(values, off): &(Vec<f64>, usize)| {
+            if values.is_empty() {
+                return TestResult::Discard;
+            }
+            let buf = Buffer::alloc(MemSpace::Host { node: 0 }, (values.len() + 64) * 8);
+            buf.write_f64_slice(off * 8, values);
+            assert_eq!(&buf.read_f64_slice(off * 8, values.len()), values);
+            TestResult::Pass
+        },
+    );
+}
+
+#[test]
+fn buffer_accumulate_is_elementwise_add() {
+    check(
+        &cfg(),
+        "buffer_accumulate_is_elementwise_add",
+        |rng| {
+            let n = rng.uniform_range(1, 64) as usize;
+            let mut a = vec![0.0f64; n];
+            rng.fill_uniform_f64(&mut a, -1e6, 1e6);
+            let b_seed = -1e6 + 2e6 * rng.uniform();
+            (a, b_seed)
+        },
+        |(a, b_seed): &(Vec<f64>, f64)| {
+            if a.is_empty() {
+                return TestResult::Discard;
+            }
+            let n = a.len();
+            let b: Vec<f64> = (0..n).map(|i| b_seed + i as f64).collect();
+            let ba = Buffer::alloc(MemSpace::Host { node: 0 }, n * 8);
+            let bb = Buffer::alloc(MemSpace::Host { node: 0 }, n * 8);
+            ba.write_f64_slice(0, a);
+            bb.write_f64_slice(0, &b);
+            ba.accumulate_f64(0, &bb, 0, n);
+            let out = ba.read_f64_slice(0, n);
+            for ((o, x), y) in out.iter().zip(a).zip(&b) {
+                assert_eq!(*o, x + y);
+            }
+            TestResult::Pass
+        },
+    );
+}
+
+#[test]
+fn sim_duration_arithmetic_is_consistent() {
+    check(
+        &cfg(),
+        "sim_duration_arithmetic_is_consistent",
+        |rng| (rng.uniform_range(0, u64::MAX / 4), rng.uniform_range(0, u64::MAX / 4)),
+        |&(a, b)| {
+            let (da, db) = (SimDuration::from_nanos(a), SimDuration::from_nanos(b));
+            assert_eq!(da + db, db + da);
+            assert_eq!((da + db) - db, da);
+            assert_eq!(
+                da.saturating_sub(db) + db.saturating_sub(da),
+                SimDuration::from_nanos(a.abs_diff(b))
+            );
+            TestResult::Pass
+        },
+    );
+}
+
+#[test]
+fn ring_allreduce_schedule_invariants() {
+    check(
+        &cfg(),
+        "ring_allreduce_schedule_invariants",
+        |rng| (rng.uniform_range(1, 24) as usize, rng.uniform_range(0, 24) as usize),
+        |&(p, r_probe)| {
+            if p == 0 {
+                return TestResult::Discard;
+            }
+            let r = r_probe % p;
+            let s = Schedule::ring_allreduce(r, p);
+            if p == 1 {
+                assert!(s.is_empty());
+                return TestResult::Pass;
+            }
+            assert_eq!(s.len(), 2 * (p - 1));
+            // Reduce-scatter ops first, then allgather NOPs.
+            for (i, step) in s.steps.iter().enumerate() {
+                assert_eq!(step.op == StepOp::Sum, i < p - 1);
+                assert_eq!(step.incoming, vec![(r + p - 1) % p]);
+                assert_eq!(step.outgoing, vec![(r + 1) % p]);
+                assert!(step.ready_offset < p && step.arrived_offset < p);
+            }
+            // What r sends at step i arrives at r+1 at step i.
+            let next = Schedule::ring_allreduce((r + 1) % p, p);
+            for i in 0..s.len() {
+                assert_eq!(s.steps[i].ready_offset, next.steps[i].arrived_offset);
+            }
+            TestResult::Pass
+        },
+    );
+}
+
+#[test]
+fn tree_bcast_schedule_covers_all_ranks() {
+    check(
+        &cfg(),
+        "tree_bcast_schedule_covers_all_ranks",
+        |rng| (rng.uniform_range(1, 20) as usize, rng.uniform_range(0, 20) as usize),
+        |&(p, root_probe)| {
+            if p == 0 {
+                return TestResult::Discard;
+            }
+            let root = root_probe % p;
+            let schedules: Vec<Schedule> = (0..p).map(|r| Schedule::tree_bcast(r, p, root)).collect();
+            let mut have: Vec<bool> = (0..p).map(|r| r == root).collect();
+            for i in 0..schedules[0].len() {
+                let snapshot = have.clone();
+                for r in 0..p {
+                    for &dst in &schedules[r].steps[i].outgoing {
+                        assert!(snapshot[r], "p={p} root={root}: rank {r} sends without data");
+                        have[dst] = true;
                     }
-                    let sreq = psend_init(ctx, rank, 1, 80, &buf, partitions);
-                    sreq.set_transport_partitions(transports);
-                    sreq.start(ctx);
-                    sreq.pbuf_prepare(ctx);
-                    for &u in &order {
-                        sreq.pready(ctx, u);
-                    }
-                    sreq.wait(ctx);
                 }
-                1 => {
-                    let rreq = precv_init(ctx, rank, 0, 80, &buf, partitions);
-                    rreq.start(ctx);
-                    rreq.pbuf_prepare(ctx);
-                    rreq.wait(ctx);
-                    for u in 0..partitions {
-                        assert!(rreq.parrived(u), "partition {u} not flagged");
-                        let (start, _) = chunk_range(bytes, partitions, u);
-                        assert_eq!(buf.read_f64(start), (u + 1) as f64, "partition {u} payload");
-                    }
-                }
-                _ => {}
             }
-        });
-        sim.run().unwrap();
-    }
+            assert!(have.iter().all(|&x| x));
+            TestResult::Pass
+        },
+    );
+}
 
-    #[test]
-    fn pallreduce_matches_scalar_sum(
-        partitions in 1usize..6,
-        elems_per_chunk in 1usize..32,
-        seed in 0u64..1_000,
-    ) {
-        let mut sim = Simulation::with_seed(seed);
-        let world = MpiWorld::gh200(&sim, 1);
-        let p = world.size();
-        let n = partitions * p * elems_per_chunk;
-        world.run_ranks(&mut sim, move |ctx, rank| {
-            let buf = rank.gpu().alloc_global(n * 8);
-            let vals: Vec<f64> = (0..n)
-                .map(|i| ((rank.rank() * 7919 + i * 13) % 101) as f64 - 50.0)
-                .collect();
-            buf.write_f64_slice(0, &vals);
-            let stream = rank.gpu().create_stream();
-            let coll = pallreduce_init(ctx, rank, &buf, partitions, &stream, 81);
-            coll.start(ctx);
-            coll.pbuf_prepare(ctx);
-            for u in 0..partitions {
-                coll.pready(ctx, u);
+// End-to-end simulations are heavier: fewer cases.
+
+#[test]
+fn partitioned_delivery_is_exactly_once() {
+    check(
+        &PropConfig::with_cases(12),
+        "partitioned_delivery_is_exactly_once",
+        |rng| {
+            (
+                rng.uniform_range(1, 24) as usize,
+                rng.uniform_range(1, 8) as usize,
+                rng.uniform_range(1, 24) as usize,
+                rng.uniform_range(0, 1_000),
+            )
+        },
+        |&(partitions, part_kib, transports_probe, shuffle_seed)| {
+            if partitions == 0 || part_kib == 0 || transports_probe == 0 {
+                return TestResult::Discard;
             }
-            coll.wait(ctx);
-            let out = buf.read_f64_slice(0, n);
-            for (i, v) in out.iter().enumerate() {
-                let expect: f64 = (0..rank.size())
-                    .map(|r| ((r * 7919 + i * 13) % 101) as f64 - 50.0)
-                    .sum();
-                assert!((v - expect).abs() < 1e-9, "elem {i}: {v} != {expect}");
+            let transports = 1 + transports_probe % partitions;
+            let bytes = partitions * part_kib * 64;
+            // Random but deterministic ready order.
+            let mut order: Vec<usize> = (0..partitions).collect();
+            let mut state = shuffle_seed.wrapping_add(1);
+            for i in (1..order.len()).rev() {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                order.swap(i, (state >> 33) as usize % (i + 1));
             }
-        });
-        sim.run().unwrap();
-    }
+
+            let mut sim = Simulation::with_seed(shuffle_seed);
+            let world = MpiWorld::gh200(&sim, 1);
+            world.run_ranks(&mut sim, move |ctx, rank| {
+                let buf = rank.gpu().alloc_global(bytes);
+                match rank.rank() {
+                    0 => {
+                        for u in 0..partitions {
+                            let (start, len) = chunk_range(bytes, partitions, u);
+                            let _ = len;
+                            buf.write_f64(start, (u + 1) as f64);
+                        }
+                        let sreq = psend_init(ctx, rank, 1, 80, &buf, partitions);
+                        sreq.set_transport_partitions(transports);
+                        sreq.start(ctx);
+                        sreq.pbuf_prepare(ctx);
+                        for &u in &order {
+                            sreq.pready(ctx, u);
+                        }
+                        sreq.wait(ctx);
+                    }
+                    1 => {
+                        let rreq = precv_init(ctx, rank, 0, 80, &buf, partitions);
+                        rreq.start(ctx);
+                        rreq.pbuf_prepare(ctx);
+                        rreq.wait(ctx);
+                        for u in 0..partitions {
+                            assert!(rreq.parrived(u), "partition {u} not flagged");
+                            let (start, _) = chunk_range(bytes, partitions, u);
+                            assert_eq!(buf.read_f64(start), (u + 1) as f64, "partition {u} payload");
+                        }
+                    }
+                    _ => {}
+                }
+            });
+            sim.run().unwrap();
+            TestResult::Pass
+        },
+    );
+}
+
+#[test]
+fn pallreduce_matches_scalar_sum() {
+    check(
+        &PropConfig::with_cases(12),
+        "pallreduce_matches_scalar_sum",
+        |rng| {
+            (
+                rng.uniform_range(1, 6) as usize,
+                rng.uniform_range(1, 32) as usize,
+                rng.uniform_range(0, 1_000),
+            )
+        },
+        |&(partitions, elems_per_chunk, seed)| {
+            if partitions == 0 || elems_per_chunk == 0 {
+                return TestResult::Discard;
+            }
+            let mut sim = Simulation::with_seed(seed);
+            let world = MpiWorld::gh200(&sim, 1);
+            let p = world.size();
+            let n = partitions * p * elems_per_chunk;
+            world.run_ranks(&mut sim, move |ctx, rank| {
+                let buf = rank.gpu().alloc_global(n * 8);
+                let vals: Vec<f64> = (0..n)
+                    .map(|i| ((rank.rank() * 7919 + i * 13) % 101) as f64 - 50.0)
+                    .collect();
+                buf.write_f64_slice(0, &vals);
+                let stream = rank.gpu().create_stream();
+                let coll = pallreduce_init(ctx, rank, &buf, partitions, &stream, 81);
+                coll.start(ctx);
+                coll.pbuf_prepare(ctx);
+                for u in 0..partitions {
+                    coll.pready(ctx, u);
+                }
+                coll.wait(ctx);
+                let out = buf.read_f64_slice(0, n);
+                for (i, v) in out.iter().enumerate() {
+                    let expect: f64 = (0..rank.size())
+                        .map(|r| ((r * 7919 + i * 13) % 101) as f64 - 50.0)
+                        .sum();
+                    assert!((v - expect).abs() < 1e-9, "elem {i}: {v} != {expect}");
+                }
+            });
+            sim.run().unwrap();
+            TestResult::Pass
+        },
+    );
 }
