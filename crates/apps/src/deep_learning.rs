@@ -15,7 +15,7 @@
 
 use parcomm_coll::{pallreduce_init, Pallreduce};
 use parcomm_gpu::KernelSpec;
-use parcomm_mpi::Rank;
+use parcomm_mpi::{MpiError, Rank};
 use parcomm_nccl::{NcclComm, NcclConfig};
 use parcomm_sim::{Ctx, SimDuration};
 
@@ -79,7 +79,16 @@ fn bce_spec(elements: usize) -> KernelSpec {
 
 /// Run `cfg.steps` data-parallel training steps on this rank; all ranks
 /// must participate. `nccl` must be `Some` for the NCCL model.
-pub fn run_dl(ctx: &mut Ctx, rank: &Rank, cfg: &DlConfig, nccl: Option<&NcclComm>) -> DlResult {
+///
+/// Fault-free runs cannot fail; with fault injection armed (see
+/// `parcomm-fault`) a disrupted allreduce surfaces as a typed
+/// [`MpiError`] instead of a hang.
+pub fn run_dl(
+    ctx: &mut Ctx,
+    rank: &Rank,
+    cfg: &DlConfig,
+    nccl: Option<&NcclComm>,
+) -> Result<DlResult, MpiError> {
     let n = cfg.elements;
     let gpu = rank.gpu();
     let stream = gpu.create_stream();
@@ -99,7 +108,7 @@ pub fn run_dl(ctx: &mut Ctx, rank: &Rank, cfg: &DlConfig, nccl: Option<&NcclComm
     }
 
     let coll: Option<Pallreduce> = if cfg.model == DlModel::Partitioned {
-        Some(pallreduce_init(ctx, rank, &grad, cfg.partitions, &stream, 77))
+        Some(pallreduce_init(ctx, rank, &grad, cfg.partitions, &stream, 77)?)
     } else {
         None
     };
@@ -132,8 +141,8 @@ pub fn run_dl(ctx: &mut Ctx, rank: &Rank, cfg: &DlConfig, nccl: Option<&NcclComm
                 let coll = coll.as_ref().expect("initialized above");
                 // The paper includes MPI_Start and MPIX_Pbuf_prepare in the
                 // measured region: they recur every training step.
-                coll.start(ctx);
-                coll.pbuf_prepare(ctx);
+                coll.start(ctx)?;
+                coll.pbuf_prepare(ctx)?;
                 let (p2, t2, g2) = (pred.clone(), target.clone(), grad.clone());
                 let functional = cfg.functional;
                 let coll2 = coll.clone();
@@ -147,7 +156,7 @@ pub fn run_dl(ctx: &mut Ctx, rank: &Rank, cfg: &DlConfig, nccl: Option<&NcclComm
                     }
                     coll2.pready_device_all(d);
                 });
-                coll.wait(ctx);
+                coll.wait(ctx)?;
             }
             DlModel::Nccl => {
                 let comm = nccl.expect("checked above");
@@ -173,7 +182,7 @@ pub fn run_dl(ctx: &mut Ctx, rank: &Rank, cfg: &DlConfig, nccl: Option<&NcclComm
     }
 
     let elapsed = ctx.now().since(t0);
-    DlResult { elapsed, per_step: elapsed / cfg.steps as u64, loss }
+    Ok(DlResult { elapsed, per_step: elapsed / cfg.steps as u64, loss })
 }
 
 /// Build the NCCL communicator for a world (ring in rank order).

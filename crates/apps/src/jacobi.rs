@@ -20,7 +20,7 @@ use parcomm_core::{
     PsendRequest,
 };
 use parcomm_gpu::{AggLevel, Buffer, KernelSpec};
-use parcomm_mpi::Rank;
+use parcomm_mpi::{MpiError, Rank};
 use parcomm_sim::{Ctx, SimDuration};
 
 /// Which communication model the solver uses.
@@ -128,7 +128,11 @@ impl Tile {
 
 /// Run the solver on this rank. All ranks must call it with identical
 /// configuration.
-pub fn run_jacobi(ctx: &mut Ctx, rank: &Rank, cfg: &JacobiConfig) -> JacobiResult {
+///
+/// Fault-free runs cannot fail; with fault injection armed (see
+/// `parcomm-fault`) a disrupted halo exchange surfaces as a typed
+/// [`MpiError`] instead of a hang.
+pub fn run_jacobi(ctx: &mut Ctx, rank: &Rank, cfg: &JacobiConfig) -> Result<JacobiResult, MpiError> {
     let size = rank.size();
     let (px, py) = process_grid(size);
     assert_eq!(px * py, size);
@@ -189,8 +193,8 @@ pub fn run_jacobi(ctx: &mut Ctx, rank: &Rank, cfg: &JacobiConfig) -> JacobiResul
         let opposite = [1usize, 0, 3, 2][dir];
         let (sreq, rreq) = if partitioned {
             // Channel setup messages are non-blocking: any init order works.
-            let sreq = psend_init(ctx, rank, nbr, 0x3A0 + dir as u64, &send, 1);
-            let rreq = precv_init(ctx, rank, nbr, 0x3A0 + opposite as u64, &recv, 1);
+            let sreq = psend_init(ctx, rank, nbr, 0x3A0 + dir as u64, &send, 1)?;
+            let rreq = precv_init(ctx, rank, nbr, 0x3A0 + opposite as u64, &recv, 1)?;
             (Some(sreq), Some(rreq))
         } else {
             (None, None)
@@ -204,16 +208,16 @@ pub fn run_jacobi(ctx: &mut Ctx, rank: &Rank, cfg: &JacobiConfig) -> JacobiResul
     // measurements).
     if partitioned {
         for h in halos.iter().flatten() {
-            h.rreq.as_ref().expect("partitioned").start(ctx);
+            h.rreq.as_ref().expect("partitioned").start(ctx)?;
         }
         for h in halos.iter().flatten() {
-            h.sreq.as_ref().expect("partitioned").start(ctx);
+            h.sreq.as_ref().expect("partitioned").start(ctx)?;
         }
         for h in halos.iter().flatten() {
-            h.rreq.as_ref().expect("partitioned").pbuf_prepare(ctx);
+            h.rreq.as_ref().expect("partitioned").pbuf_prepare(ctx)?;
         }
         for h in halos.iter().flatten() {
-            h.sreq.as_ref().expect("partitioned").pbuf_prepare(ctx);
+            h.sreq.as_ref().expect("partitioned").pbuf_prepare(ctx)?;
         }
         let copy = match cfg.model {
             JacobiModel::Partitioned(c) => c,
@@ -325,10 +329,10 @@ pub fn run_jacobi(ctx: &mut Ctx, rank: &Rank, cfg: &JacobiConfig) -> JacobiResul
             }
             JacobiModel::Partitioned(_) => {
                 for h in halos.iter().flatten() {
-                    h.sreq.as_ref().expect("partitioned").wait(ctx);
+                    h.sreq.as_ref().expect("partitioned").wait(ctx)?;
                 }
                 for h in halos.iter().flatten() {
-                    h.rreq.as_ref().expect("partitioned").wait(ctx);
+                    h.rreq.as_ref().expect("partitioned").wait(ctx)?;
                 }
             }
         }
@@ -345,16 +349,16 @@ pub fn run_jacobi(ctx: &mut Ctx, rank: &Rank, cfg: &JacobiConfig) -> JacobiResul
 
         if partitioned && iter + 1 < cfg.iterations {
             for h in halos.iter().flatten() {
-                h.rreq.as_ref().expect("partitioned").start(ctx);
+                h.rreq.as_ref().expect("partitioned").start(ctx)?;
             }
             for h in halos.iter().flatten() {
-                h.sreq.as_ref().expect("partitioned").start(ctx);
+                h.sreq.as_ref().expect("partitioned").start(ctx)?;
             }
             for h in halos.iter().flatten() {
-                h.rreq.as_ref().expect("partitioned").pbuf_prepare(ctx);
+                h.rreq.as_ref().expect("partitioned").pbuf_prepare(ctx)?;
             }
             for h in halos.iter().flatten() {
-                h.sreq.as_ref().expect("partitioned").pbuf_prepare(ctx);
+                h.sreq.as_ref().expect("partitioned").pbuf_prepare(ctx)?;
             }
         }
 
@@ -366,7 +370,7 @@ pub fn run_jacobi(ctx: &mut Ctx, rank: &Rank, cfg: &JacobiConfig) -> JacobiResul
     let flops = points * cfg.iterations as f64 * 5.0;
     let gflops = flops / elapsed.as_secs_f64() / 1e9;
     let checksum = if cfg.functional { interior_sum(&cur, th, tw, pitch) } else { 0.0 };
-    JacobiResult { elapsed, gflops, checksum }
+    Ok(JacobiResult { elapsed, gflops, checksum })
 }
 
 /// One 5-point Jacobi sweep: `next = 0.25·(N + S + W + E)` over the

@@ -31,7 +31,7 @@ fn distributed_checksum(nodes: u16, model: JacobiModel, iterations: usize) -> f6
     let s2 = sums.clone();
     world.run_ranks(&mut sim, move |ctx, rank| {
         let cfg = JacobiConfig { iterations, ..JacobiConfig::functional_test(model) };
-        let result = run_jacobi(ctx, rank, &cfg);
+        let result = run_jacobi(ctx, rank, &cfg).expect("run_jacobi");
         s2.lock().push(result.checksum);
     });
     sim.run().unwrap();
@@ -107,7 +107,7 @@ fn jacobi_partitioned_beats_traditional_two_nodes() {
                 model,
                 stencil_gbps: 300.0,
             };
-            let result = run_jacobi(ctx, rank, &cfg);
+            let result = run_jacobi(ctx, rank, &cfg).expect("run_jacobi");
             if rank.rank() == 0 {
                 *o2.lock() = result.elapsed.as_micros_f64();
             }
@@ -141,7 +141,7 @@ fn dl_losses_agree_across_models() {
                 functional: true,
                 model,
             };
-            let result = run_dl(ctx, rank, &cfg, Some(&nccl));
+            let result = run_dl(ctx, rank, &cfg, Some(&nccl)).expect("run_dl");
             if rank.rank() == 0 {
                 *o2.lock() = result.loss;
             }
@@ -174,7 +174,7 @@ fn dl_model_ordering_matches_paper() {
                 functional: false,
                 model,
             };
-            let result = run_dl(ctx, rank, &cfg, Some(&nccl));
+            let result = run_dl(ctx, rank, &cfg, Some(&nccl)).expect("run_dl");
             if rank.rank() == 0 {
                 *o2.lock() = result.per_step.as_micros_f64();
             }

@@ -20,7 +20,7 @@ fn jacobi_digest(model: JacobiModel, seed: u64) -> u64 {
     let s2 = sums.clone();
     world.run_ranks(&mut sim, move |ctx, rank| {
         let cfg = JacobiConfig::functional_test(model);
-        let result = run_jacobi(ctx, rank, &cfg);
+        let result = run_jacobi(ctx, rank, &cfg).expect("run_jacobi");
         s2.lock().push(result.checksum);
     });
     let report = sim.run().expect("jacobi sim");
@@ -49,7 +49,7 @@ fn jacobi_models_agree_on_checksums() {
         let s2 = sums.clone();
         world.run_ranks(&mut sim, move |ctx, rank| {
             let cfg = JacobiConfig::functional_test(model);
-            let result = run_jacobi(ctx, rank, &cfg);
+            let result = run_jacobi(ctx, rank, &cfg).expect("run_jacobi");
             s2.lock().push((rank.rank(), result.checksum.to_bits()));
         });
         sim.run().expect("jacobi sim");
@@ -87,7 +87,7 @@ fn deep_learning_loss_is_seed_independent() {
                 functional: true,
                 model: DlModel::Partitioned,
             };
-            let result = run_dl(ctx, rank, &cfg, Some(&nccl));
+            let result = run_dl(ctx, rank, &cfg, Some(&nccl)).expect("run_dl");
             o2.lock().push((rank.rank(), result.loss.to_bits()));
         });
         sim.run().expect("dl sim");

@@ -35,14 +35,14 @@ fn run_once(nodes: u16, which: Which) -> f64 {
         let stream = rank.gpu().create_stream();
         match which {
             Which::Partitioned => {
-                let coll = pallreduce_init(ctx, rank, &buf, partitions, &stream, 90);
-                coll.start(ctx);
-                coll.pbuf_prepare(ctx);
+                let coll = pallreduce_init(ctx, rank, &buf, partitions, &stream, 90).expect("init");
+                coll.start(ctx).expect("start");
+                coll.pbuf_prepare(ctx).expect("pbuf_prepare");
                 let c2 = coll.clone();
                 stream.launch(ctx, KernelSpec::vector_add(4, 1024), move |d| {
                     c2.pready_device_all(d)
                 });
-                coll.wait(ctx);
+                coll.wait(ctx).expect("wait");
             }
             Which::Traditional => {
                 stream.launch(ctx, KernelSpec::vector_add(4, 1024), |_| {});

@@ -1,5 +1,6 @@
-//! Run the three ablation studies (poll interval, transport partitions,
-//! multi-block counters). Pass `--quick` for reduced sweeps.
+//! Run the ablation studies (poll interval, transport partitions,
+//! multi-block counters, fault-rate goodput). Pass `--quick` for reduced
+//! sweeps; `--faults <seed>` picks the chaos seed for the fault ablation.
 use parcomm_bench as b;
 
 fn main() {
@@ -7,4 +8,5 @@ fn main() {
     b::ablations::run_poll_interval(q).emit();
     b::ablations::run_transport_sweep(q).emit();
     b::ablations::run_counter_aggregation(q).emit();
+    b::ablations::run_fault_goodput(q, b::fault_seed().unwrap_or(0xC4A05)).emit();
 }

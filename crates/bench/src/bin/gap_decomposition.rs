@@ -30,19 +30,19 @@ fn main() {
             let stream = rank.gpu().create_stream();
             let grid = (n as u32).div_ceil(1024);
             let coll = if partitioned {
-                Some(pallreduce_init(ctx, rank, &buf, 4, &stream, 7))
+                Some(pallreduce_init(ctx, rank, &buf, 4, &stream, 7).expect("init"))
             } else {
                 None
             };
             // Warm-up epoch: first-call pbuf_prepare and setup exchange
             // happen outside the measured region.
             if let Some(c) = &coll {
-                c.start(ctx);
-                c.pbuf_prepare(ctx);
+                c.start(ctx).expect("start");
+                c.pbuf_prepare(ctx).expect("pbuf_prepare");
                 for u in 0..4 {
-                    c.pready(ctx, u);
+                    c.pready(ctx, u).expect("pready");
                 }
-                c.wait(ctx);
+                c.wait(ctx).expect("wait");
             }
             rank.barrier(ctx);
             if rank.rank() == 0 {
@@ -50,13 +50,13 @@ fn main() {
                 w2.lock().0 = ctx.now();
             }
             if let Some(c) = &coll {
-                c.start(ctx);
-                c.pbuf_prepare(ctx);
+                c.start(ctx).expect("start");
+                c.pbuf_prepare(ctx).expect("pbuf_prepare");
                 let c2 = c.clone();
                 stream.launch(ctx, KernelSpec::vector_add(grid, 1024), move |d| {
                     c2.pready_device_all(d)
                 });
-                c.wait(ctx);
+                c.wait(ctx).expect("wait");
             } else {
                 stream.launch(ctx, KernelSpec::vector_add(grid, 1024), |_| {});
                 let done = nccl.all_reduce_f64(ctx, rank.rank(), &buf, 0, n, &stream);

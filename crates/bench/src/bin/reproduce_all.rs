@@ -1,5 +1,8 @@
 //! Run every table/figure harness in paper order. Pass `--quick` for a
 //! smoke run; set `PARCOMM_RESULTS_DIR` to save JSON next to the text.
+//! Pass `--faults <seed>` to additionally run the whole suite's fault
+//! ablation: the canonical allreduce under seeded chaos at increasing
+//! fault rates (goodput vs fault rate, deterministic per seed).
 use parcomm_bench as b;
 
 fn main() {
@@ -15,4 +18,7 @@ fn main() {
     b::fig0809::run_fig09(q).emit();
     b::fig1011::run_fig10(q).emit();
     b::fig1011::run_fig11(q).emit();
+    if let Some(seed) = b::fault_seed() {
+        b::ablations::run_fault_goodput(q, seed).emit();
+    }
 }

@@ -59,9 +59,9 @@ fn pready_extension_us(threads: u32, agg: AggLevel) -> f64 {
         let stream = rank.gpu().create_stream();
         match rank.rank() {
             0 => {
-                let sreq = psend_init(ctx, rank, 1, 3, &buf, parts);
-                sreq.start(ctx);
-                sreq.pbuf_prepare(ctx);
+                let sreq = psend_init(ctx, rank, 1, 3, &buf, parts).expect("init");
+                sreq.start(ctx).expect("start");
+                sreq.pbuf_prepare(ctx).expect("pbuf_prepare");
                 let preq = prequest_create(
                     ctx,
                     rank,
@@ -85,15 +85,15 @@ fn pready_extension_us(threads: u32, agg: AggLevel) -> f64 {
                         preq2.pready_all(d)
                     });
                 ctx.wait(&with.done);
-                sreq.wait(ctx);
+                sreq.wait(ctx).expect("wait");
                 *out2.lock() =
                     with.duration().as_micros_f64() - plain.duration().as_micros_f64();
             }
             1 => {
-                let rreq = precv_init(ctx, rank, 0, 3, &buf, parts);
-                rreq.start(ctx);
-                rreq.pbuf_prepare(ctx);
-                rreq.wait(ctx);
+                let rreq = precv_init(ctx, rank, 0, 3, &buf, parts).expect("init");
+                rreq.start(ctx).expect("start");
+                rreq.pbuf_prepare(ctx).expect("pbuf_prepare");
+                rreq.wait(ctx).expect("wait");
             }
             _ => {}
         }

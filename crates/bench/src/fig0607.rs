@@ -77,7 +77,7 @@ fn timed(nodes: u16, n: usize, coll: Coll, quick: bool) -> f64 {
         let stream = rank.gpu().create_stream();
         let grid = (n as u32).div_ceil(1024).max(1);
         let part_coll = if coll == Coll::Partitioned {
-            Some(pallreduce_init(ctx, rank, &buf, partitions, &stream, 17))
+            Some(pallreduce_init(ctx, rank, &buf, partitions, &stream, 17).expect("init"))
         } else {
             None
         };
@@ -92,13 +92,13 @@ fn timed(nodes: u16, n: usize, coll: Coll, quick: bool) -> f64 {
                 }
                 Coll::Partitioned => {
                     let c = part_coll.as_ref().expect("initialized");
-                    c.start(ctx);
-                    c.pbuf_prepare(ctx);
+                    c.start(ctx).expect("start");
+                    c.pbuf_prepare(ctx).expect("pbuf_prepare");
                     let c2 = c.clone();
                     stream.launch(ctx, KernelSpec::vector_add(grid, 1024), move |d| {
                         c2.pready_device_all(d)
                     });
-                    c.wait(ctx);
+                    c.wait(ctx).expect("wait");
                 }
                 Coll::Nccl => {
                     stream.launch(ctx, KernelSpec::vector_add(grid, 1024), |_| {});

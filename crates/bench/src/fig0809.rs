@@ -69,7 +69,7 @@ fn gflops(nodes: u16, multiplier: usize, model: JacobiModel, quick: bool) -> f64
             model,
             stencil_gbps: 300.0,
         };
-        let result = run_jacobi(ctx, rank, &cfg);
+        let result = run_jacobi(ctx, rank, &cfg).expect("run_jacobi");
         if rank.rank() == 0 {
             *out2.lock() = result.gflops;
         }

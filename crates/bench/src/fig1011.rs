@@ -56,7 +56,7 @@ fn per_step(nodes: u16, elements: usize, model: DlModel, quick: bool) -> f64 {
     let steps = if quick { 1 } else { 3 };
     world.run_ranks(&mut sim, move |ctx, rank| {
         let cfg = DlConfig { elements, partitions: 4, steps, functional: false, model };
-        let result = run_dl(ctx, rank, &cfg, Some(&nccl));
+        let result = run_dl(ctx, rank, &cfg, Some(&nccl)).expect("run_dl");
         if rank.rank() == 0 {
             *out2.lock() = result.per_step.as_micros_f64();
         }

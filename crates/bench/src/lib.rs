@@ -21,4 +21,4 @@ pub mod report;
 pub mod stats;
 pub mod table1;
 
-pub use report::{quick_mode, Experiment};
+pub use report::{fault_seed, quick_mode, Experiment};

@@ -92,9 +92,9 @@ pub fn measure(params: P2pParams, mode: P2pMode) -> f64 {
                         ctx.now().since(t0).as_micros_f64() / params.iters as f64;
                 }
                 P2pMode::Partitioned { copy, agg, transports } => {
-                    let sreq = psend_init(ctx, rank, receiver, 7, &buf, parts);
-                    sreq.start(ctx);
-                    sreq.pbuf_prepare(ctx);
+                    let sreq = psend_init(ctx, rank, receiver, 7, &buf, parts).expect("init");
+                    sreq.start(ctx).expect("start");
+                    sreq.pbuf_prepare(ctx).expect("pbuf_prepare");
                     let preq = prequest_create(
                         ctx,
                         rank,
@@ -123,11 +123,11 @@ pub fn measure(params: P2pParams, mode: P2pMode) -> f64 {
                             // it completes — transfers overlap the kernel.
                             move |d| preq2.pready_all_progressive(d),
                         );
-                        sreq.wait(ctx);
+                        sreq.wait(ctx).expect("wait");
                         total_us += ctx.now().since(t0).as_micros_f64();
                         if it + 1 < params.iters {
-                            sreq.start(ctx);
-                            sreq.pbuf_prepare(ctx);
+                            sreq.start(ctx).expect("start");
+                            sreq.pbuf_prepare(ctx).expect("pbuf_prepare");
                         }
                     }
                     *out2.lock() = total_us / params.iters as f64;
@@ -142,15 +142,15 @@ pub fn measure(params: P2pParams, mode: P2pMode) -> f64 {
                     }
                 }
                 P2pMode::Partitioned { .. } => {
-                    let rreq = precv_init(ctx, rank, sender, 7, &buf, parts);
-                    rreq.start(ctx);
-                    rreq.pbuf_prepare(ctx);
+                    let rreq = precv_init(ctx, rank, sender, 7, &buf, parts).expect("init");
+                    rreq.start(ctx).expect("start");
+                    rreq.pbuf_prepare(ctx).expect("pbuf_prepare");
                     rank.barrier(ctx);
                     for it in 0..params.iters {
-                        rreq.wait(ctx);
+                        rreq.wait(ctx).expect("wait");
                         if it + 1 < params.iters {
-                            rreq.start(ctx);
-                            rreq.pbuf_prepare(ctx);
+                            rreq.start(ctx).expect("start");
+                            rreq.pbuf_prepare(ctx).expect("pbuf_prepare");
                         }
                     }
                 }

@@ -44,32 +44,32 @@ fn latency_once(nodes: u16, a: usize, b: usize, bytes: usize, quick: bool) -> f6
     world.run_ranks(&mut sim, move |ctx, rank| {
         let buf = rank.gpu().alloc_global(bytes.max(8));
         if rank.rank() == a {
-            let sreq = psend_init(ctx, rank, b, 1, &buf, 1);
-            sreq.start(ctx);
-            sreq.pbuf_prepare(ctx);
+            let sreq = psend_init(ctx, rank, b, 1, &buf, 1).expect("init");
+            sreq.start(ctx).expect("start");
+            sreq.pbuf_prepare(ctx).expect("pbuf_prepare");
             rank.barrier(ctx);
             let mut total = 0.0;
             for it in 0..iters {
                 let t0 = ctx.now();
-                sreq.pready(ctx, 0);
-                sreq.wait(ctx);
+                sreq.pready(ctx, 0).expect("pready");
+                sreq.wait(ctx).expect("wait");
                 total += ctx.now().since(t0).as_micros_f64();
                 if it + 1 < iters {
-                    sreq.start(ctx);
-                    sreq.pbuf_prepare(ctx);
+                    sreq.start(ctx).expect("start");
+                    sreq.pbuf_prepare(ctx).expect("pbuf_prepare");
                 }
             }
             *o2.lock() = total / iters as f64;
         } else if rank.rank() == b {
-            let rreq = precv_init(ctx, rank, a, 1, &buf, 1);
-            rreq.start(ctx);
-            rreq.pbuf_prepare(ctx);
+            let rreq = precv_init(ctx, rank, a, 1, &buf, 1).expect("init");
+            rreq.start(ctx).expect("start");
+            rreq.pbuf_prepare(ctx).expect("pbuf_prepare");
             rank.barrier(ctx);
             for it in 0..iters {
-                rreq.wait(ctx);
+                rreq.wait(ctx).expect("wait");
                 if it + 1 < iters {
-                    rreq.start(ctx);
-                    rreq.pbuf_prepare(ctx);
+                    rreq.start(ctx).expect("start");
+                    rreq.pbuf_prepare(ctx).expect("pbuf_prepare");
                 }
             }
         } else {
@@ -115,34 +115,34 @@ fn partition_epoch(partitions: usize, quick: bool) -> f64 {
         let buf = rank.gpu().alloc_global(bytes);
         match rank.rank() {
             0 => {
-                let sreq = psend_init(ctx, rank, 1, 2, &buf, partitions);
-                sreq.set_transport_partitions(partitions);
-                sreq.start(ctx);
-                sreq.pbuf_prepare(ctx);
+                let sreq = psend_init(ctx, rank, 1, 2, &buf, partitions).expect("init");
+                sreq.set_transport_partitions(partitions).expect("set_transport_partitions");
+                sreq.start(ctx).expect("start");
+                sreq.pbuf_prepare(ctx).expect("pbuf_prepare");
                 let mut total = 0.0;
                 for it in 0..iters {
                     let t0 = ctx.now();
                     for u in 0..partitions {
-                        sreq.pready(ctx, u);
+                        sreq.pready(ctx, u).expect("pready");
                     }
-                    sreq.wait(ctx);
+                    sreq.wait(ctx).expect("wait");
                     total += ctx.now().since(t0).as_micros_f64();
                     if it + 1 < iters {
-                        sreq.start(ctx);
-                        sreq.pbuf_prepare(ctx);
+                        sreq.start(ctx).expect("start");
+                        sreq.pbuf_prepare(ctx).expect("pbuf_prepare");
                     }
                 }
                 *o2.lock() = total / iters as f64;
             }
             1 => {
-                let rreq = precv_init(ctx, rank, 0, 2, &buf, partitions);
-                rreq.start(ctx);
-                rreq.pbuf_prepare(ctx);
+                let rreq = precv_init(ctx, rank, 0, 2, &buf, partitions).expect("init");
+                rreq.start(ctx).expect("start");
+                rreq.pbuf_prepare(ctx).expect("pbuf_prepare");
                 for it in 0..iters {
-                    rreq.wait(ctx);
+                    rreq.wait(ctx).expect("wait");
                     if it + 1 < iters {
-                        rreq.start(ctx);
-                        rreq.pbuf_prepare(ctx);
+                        rreq.start(ctx).expect("start");
+                        rreq.pbuf_prepare(ctx).expect("pbuf_prepare");
                     }
                 }
             }
@@ -202,9 +202,9 @@ fn overlap_measure(kernel: KernelSpec, bytes: usize, progressive: bool, quick: b
         let buf = rank.gpu().alloc_global(bytes);
         match rank.rank() {
             0 => {
-                let sreq = psend_init(ctx, rank, 4, 3, &buf, parts);
-                sreq.start(ctx);
-                sreq.pbuf_prepare(ctx);
+                let sreq = psend_init(ctx, rank, 4, 3, &buf, parts).expect("init");
+                sreq.start(ctx).expect("start");
+                sreq.pbuf_prepare(ctx).expect("pbuf_prepare");
                 let preq = prequest_create(
                     ctx,
                     rank,
@@ -225,24 +225,24 @@ fn overlap_measure(kernel: KernelSpec, bytes: usize, progressive: bool, quick: b
                             p2.pready_all(d);
                         }
                     });
-                    sreq.wait(ctx);
+                    sreq.wait(ctx).expect("wait");
                     total += ctx.now().since(t0).as_micros_f64();
                     if it + 1 < iters {
-                        sreq.start(ctx);
-                        sreq.pbuf_prepare(ctx);
+                        sreq.start(ctx).expect("start");
+                        sreq.pbuf_prepare(ctx).expect("pbuf_prepare");
                     }
                 }
                 *o2.lock() = total / iters as f64;
             }
             4 => {
-                let rreq = precv_init(ctx, rank, 0, 3, &buf, parts);
-                rreq.start(ctx);
-                rreq.pbuf_prepare(ctx);
+                let rreq = precv_init(ctx, rank, 0, 3, &buf, parts).expect("init");
+                rreq.start(ctx).expect("start");
+                rreq.pbuf_prepare(ctx).expect("pbuf_prepare");
                 for it in 0..iters {
-                    rreq.wait(ctx);
+                    rreq.wait(ctx).expect("wait");
                     if it + 1 < iters {
-                        rreq.start(ctx);
-                        rreq.pbuf_prepare(ctx);
+                        rreq.start(ctx).expect("start");
+                        rreq.pbuf_prepare(ctx).expect("pbuf_prepare");
                     }
                 }
             }

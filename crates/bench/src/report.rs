@@ -154,6 +154,27 @@ pub fn quick_mode() -> bool {
         || std::env::var("PARCOMM_QUICK").map(|v| v == "1").unwrap_or(false)
 }
 
+/// Chaos seed for the fault-injection ablation: `--faults <seed>` on the
+/// command line (decimal or `0x`-prefixed hex) or `PARCOMM_FAULTS=<seed>`.
+/// `None` means the caller should skip fault runs entirely.
+pub fn fault_seed() -> Option<u64> {
+    fn parse(s: &str) -> Option<u64> {
+        let s = s.trim();
+        if let Some(hex) = s.strip_prefix("0x").or_else(|| s.strip_prefix("0X")) {
+            u64::from_str_radix(hex, 16).ok()
+        } else {
+            s.parse().ok()
+        }
+    }
+    let mut args = std::env::args();
+    while let Some(a) = args.next() {
+        if a == "--faults" {
+            return args.next().as_deref().and_then(parse);
+        }
+    }
+    std::env::var("PARCOMM_FAULTS").ok().as_deref().and_then(parse)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -98,19 +98,19 @@ fn sample(iters: usize, seed: u64) -> Samples {
                 };
                 // Timed MPI_Psend_init.
                 let t0 = ctx.now();
-                let sreq = psend_init(ctx, rank, 1, 9, &buf, parts);
+                let sreq = psend_init(ctx, rank, 1, 9, &buf, parts).expect("init");
                 s.p2p_init.push(ctx.now().since(t0).as_micros_f64());
 
                 // Timed MPIX_Pallreduce_init (all ranks participate below).
                 let t0 = ctx.now();
-                let coll = pallreduce_init(ctx, rank, &buf, 4, &stream, 19);
+                let coll = pallreduce_init(ctx, rank, &buf, 4, &stream, 19).expect("init");
                 s.pallreduce_init.push(ctx.now().since(t0).as_micros_f64());
                 let _ = coll;
 
                 // First Pbuf_prepare (includes deferred setup).
-                sreq.start(ctx);
+                sreq.start(ctx).expect("start");
                 let t0 = ctx.now();
-                sreq.pbuf_prepare(ctx);
+                sreq.pbuf_prepare(ctx).expect("pbuf_prepare");
                 s.pbuf_first.push(ctx.now().since(t0).as_micros_f64());
 
                 // Timed MPIX_Prequest_create.
@@ -124,38 +124,38 @@ fn sample(iters: usize, seed: u64) -> Samples {
                 // each epoch with host pready + wait.
                 for _ in 0..iters {
                     for u in 0..parts {
-                        sreq.pready(ctx, u);
+                        sreq.pready(ctx, u).expect("pready");
                     }
-                    sreq.wait(ctx);
-                    sreq.start(ctx);
+                    sreq.wait(ctx).expect("wait");
+                    sreq.start(ctx).expect("start");
                     let t0 = ctx.now();
-                    sreq.pbuf_prepare(ctx);
+                    sreq.pbuf_prepare(ctx).expect("pbuf_prepare");
                     s.pbuf_steady.push(ctx.now().since(t0).as_micros_f64());
                 }
                 for u in 0..parts {
-                    sreq.pready(ctx, u);
+                    sreq.pready(ctx, u).expect("pready");
                 }
-                sreq.wait(ctx);
+                sreq.wait(ctx).expect("wait");
                 *out2.lock() = Some(s);
             }
             1 => {
                 let t0 = ctx.now();
-                let rreq = precv_init(ctx, rank, 0, 9, &buf, parts);
+                let rreq = precv_init(ctx, rank, 0, 9, &buf, parts).expect("init");
                 let init_us = ctx.now().since(t0).as_micros_f64();
-                let coll = pallreduce_init(ctx, rank, &buf, 4, &stream, 19);
+                let coll = pallreduce_init(ctx, rank, &buf, 4, &stream, 19).expect("init");
                 let _ = (coll, init_us);
-                rreq.start(ctx);
-                rreq.pbuf_prepare(ctx);
-                rreq.wait(ctx);
+                rreq.start(ctx).expect("start");
+                rreq.pbuf_prepare(ctx).expect("pbuf_prepare");
+                rreq.wait(ctx).expect("wait");
                 for _ in 0..iters {
-                    rreq.start(ctx);
-                    rreq.pbuf_prepare(ctx);
-                    rreq.wait(ctx);
+                    rreq.start(ctx).expect("start");
+                    rreq.pbuf_prepare(ctx).expect("pbuf_prepare");
+                    rreq.wait(ctx).expect("wait");
                 }
             }
             _ => {
                 // Other ranks only participate in the collective init.
-                let coll = pallreduce_init(ctx, rank, &buf, 4, &stream, 19);
+                let coll = pallreduce_init(ctx, rank, &buf, 4, &stream, 19).expect("init");
                 let _ = coll;
             }
         }

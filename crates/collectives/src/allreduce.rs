@@ -10,7 +10,7 @@
 use std::ops::Range;
 
 use parcomm_gpu::{Buffer, DeviceCtx, Stream};
-use parcomm_mpi::Rank;
+use parcomm_mpi::{MpiError, Rank};
 use parcomm_sim::Ctx;
 
 use crate::engine::CollectiveEngine;
@@ -37,11 +37,11 @@ pub fn pallreduce_init(
     user_partitions: usize,
     stream: &Stream,
     tag: u64,
-) -> Pallreduce {
+) -> Result<Pallreduce, MpiError> {
     crate::charge_pcoll_init_extra(ctx);
     let schedule = Schedule::ring_allreduce(rank.rank(), rank.size());
-    let engine = CollectiveEngine::new(ctx, rank, schedule, buffer, user_partitions, stream, tag);
-    Pallreduce { engine }
+    let engine = CollectiveEngine::new(ctx, rank, schedule, buffer, user_partitions, stream, tag)?;
+    Ok(Pallreduce { engine })
 }
 
 impl Pallreduce {
@@ -51,19 +51,19 @@ impl Pallreduce {
     }
 
     /// `MPI_Start` for the collective.
-    pub fn start(&self, ctx: &mut Ctx) {
-        self.engine.start(ctx);
+    pub fn start(&self, ctx: &mut Ctx) -> Result<(), MpiError> {
+        self.engine.start(ctx)
     }
 
     /// `MPIX_Pbuf_prepare` for the collective: synchronizes the processes
     /// associated with the collective.
-    pub fn pbuf_prepare(&self, ctx: &mut Ctx) {
-        self.engine.pbuf_prepare(ctx);
+    pub fn pbuf_prepare(&self, ctx: &mut Ctx) -> Result<(), MpiError> {
+        self.engine.pbuf_prepare(ctx)
     }
 
     /// Host `MPI_Pready`: partition `u`'s local contribution is complete.
-    pub fn pready(&self, ctx: &mut Ctx, u: usize) {
-        self.engine.pready(ctx, u);
+    pub fn pready(&self, ctx: &mut Ctx, u: usize) -> Result<(), MpiError> {
+        self.engine.pready(ctx, u)
     }
 
     /// Device `MPIX_Pready` for a range of user partitions, callable from
@@ -83,8 +83,11 @@ impl Pallreduce {
     }
 
     /// `MPI_Wait`: progress the schedule (Algorithm 2) to completion.
-    pub fn wait(&self, ctx: &mut Ctx) {
-        self.engine.wait(ctx);
+    ///
+    /// With `WorldConfig::wait_watchdog_us` armed, a stalled schedule
+    /// surfaces [`MpiError::CollectiveTimeout`] instead of hanging.
+    pub fn wait(&self, ctx: &mut Ctx) -> Result<(), MpiError> {
+        self.engine.wait(ctx)
     }
 
     /// Number of schedule steps (diagnostics).
@@ -112,11 +115,11 @@ pub fn pbcast_init(
     stream: &Stream,
     root: usize,
     tag: u64,
-) -> Pbcast {
+) -> Result<Pbcast, MpiError> {
     crate::charge_pcoll_init_extra(ctx);
     let schedule = Schedule::tree_bcast(rank.rank(), rank.size(), root);
-    let engine = CollectiveEngine::new(ctx, rank, schedule, buffer, user_partitions, stream, tag);
-    Pbcast { engine, root }
+    let engine = CollectiveEngine::new(ctx, rank, schedule, buffer, user_partitions, stream, tag)?;
+    Ok(Pbcast { engine, root })
 }
 
 impl Pbcast {
@@ -126,19 +129,19 @@ impl Pbcast {
     }
 
     /// `MPI_Start`.
-    pub fn start(&self, ctx: &mut Ctx) {
-        self.engine.start(ctx);
+    pub fn start(&self, ctx: &mut Ctx) -> Result<(), MpiError> {
+        self.engine.start(ctx)
     }
 
     /// `MPIX_Pbuf_prepare`.
-    pub fn pbuf_prepare(&self, ctx: &mut Ctx) {
-        self.engine.pbuf_prepare(ctx);
+    pub fn pbuf_prepare(&self, ctx: &mut Ctx) -> Result<(), MpiError> {
+        self.engine.pbuf_prepare(ctx)
     }
 
     /// `MPI_Pready`: on the root, the partition's payload is complete; on
     /// other ranks this activates the partition's forwarding schedule.
-    pub fn pready(&self, ctx: &mut Ctx, u: usize) {
-        self.engine.pready(ctx, u);
+    pub fn pready(&self, ctx: &mut Ctx, u: usize) -> Result<(), MpiError> {
+        self.engine.pready(ctx, u)
     }
 
     /// `MPI_Parrived`.
@@ -147,7 +150,7 @@ impl Pbcast {
     }
 
     /// `MPI_Wait`.
-    pub fn wait(&self, ctx: &mut Ctx) {
-        self.engine.wait(ctx);
+    pub fn wait(&self, ctx: &mut Ctx) -> Result<(), MpiError> {
+        self.engine.wait(ctx)
     }
 }

@@ -27,8 +27,8 @@ use parcomm_sim::Mutex;
 
 use parcomm_core::{precv_init, psend_init, PrecvRequest, PsendRequest};
 use parcomm_gpu::{Buffer, CostModel, DeviceCtx, KernelSpec, Stream};
-use parcomm_mpi::{HookOutcome, ProgressionEngine, Rank};
-use parcomm_sim::{Ctx, SimDuration};
+use parcomm_mpi::{HookOutcome, MpiError, ProgressionEngine, Rank};
+use parcomm_sim::{Ctx, SimDuration, SimTime};
 
 use crate::schedule::{Schedule, StepOp};
 
@@ -71,6 +71,11 @@ struct EngineInner {
     stream: Stream,
     cost: CostModel,
     progression: ProgressionEngine,
+    /// This rank's index (typed-error diagnostics).
+    rank: usize,
+    /// Armed Algorithm-2 watchdog (from the world config); `None` in
+    /// fault-free runs keeps the wait loop event-identical to the seed.
+    watchdog_us: Option<f64>,
     send: HashMap<usize, SendChannel>,
     recv: HashMap<usize, RecvChannel>,
     states: Mutex<Vec<PartState>>,
@@ -95,16 +100,22 @@ impl CollectiveEngine {
         user_partitions: usize,
         stream: &Stream,
         tag: u64,
-    ) -> CollectiveEngine {
-        assert!(user_partitions > 0);
-        assert_eq!(
-            buffer.len() % (user_partitions * schedule.chunks),
-            0,
-            "collective buffer ({} B) must divide into {} partitions × {} chunks",
-            buffer.len(),
-            user_partitions,
-            schedule.chunks
-        );
+    ) -> Result<CollectiveEngine, MpiError> {
+        if user_partitions == 0 {
+            return Err(MpiError::InvalidArgument {
+                context: "collective init: need at least one partition".into(),
+            });
+        }
+        if !buffer.len().is_multiple_of(user_partitions * schedule.chunks) {
+            return Err(MpiError::InvalidArgument {
+                context: format!(
+                    "collective buffer ({} B) must divide into {} partitions × {} chunks",
+                    buffer.len(),
+                    user_partitions,
+                    schedule.chunks
+                ),
+            });
+        }
         let part_bytes = buffer.len() / user_partitions;
         let chunk_bytes = part_bytes / schedule.chunks;
 
@@ -129,10 +140,10 @@ impl CollectiveEngine {
             let steps = out_steps.remove(&o).expect("key exists");
             let slots = user_partitions * steps.len();
             let stage = rank.gpu().alloc_global(slots * chunk_bytes);
-            let sreq = psend_init(ctx, rank, o, tag, &stage, slots);
+            let sreq = psend_init(ctx, rank, o, tag, &stage, slots)?;
             // Each (partition, step) slot travels independently: one
             // transport partition per slot.
-            sreq.set_transport_partitions(slots);
+            sreq.set_transport_partitions(slots)?;
             let slot_of_step = steps.iter().enumerate().map(|(j, &s)| (s, j)).collect();
             send.insert(o, SendChannel { sreq, stage, steps, slot_of_step });
         }
@@ -143,7 +154,7 @@ impl CollectiveEngine {
             let steps = in_steps.remove(&inc).expect("key exists");
             let slots = user_partitions * steps.len();
             let stage = rank.gpu().alloc_global(slots * chunk_bytes);
-            let rreq = precv_init(ctx, rank, inc, tag, &stage, slots);
+            let rreq = precv_init(ctx, rank, inc, tag, &stage, slots)?;
             let slot_of_step = steps.iter().enumerate().map(|(j, &s)| (s, j)).collect();
             recv.insert(inc, RecvChannel { rreq, stage, steps, slot_of_step });
         }
@@ -158,7 +169,7 @@ impl CollectiveEngine {
             })
             .collect();
 
-        CollectiveEngine {
+        Ok(CollectiveEngine {
             inner: Arc::new(EngineInner {
                 schedule,
                 user_partitions,
@@ -167,13 +178,15 @@ impl CollectiveEngine {
                 stream: stream.clone(),
                 cost: rank.gpu().cost().clone(),
                 progression: rank.progression().clone(),
+                rank: rank.rank(),
+                watchdog_us: rank.world().config().wait_watchdog_us,
                 send,
                 recv,
                 states: Mutex::new(states),
                 pending_device: Mutex::new(std::collections::VecDeque::new()),
                 hook_active: Mutex::new(false),
             }),
-        }
+        })
     }
 
     pub(crate) fn user_partitions(&self) -> usize {
@@ -185,12 +198,12 @@ impl CollectiveEngine {
     }
 
     /// `MPI_Start` for every underlying channel plus state reset.
-    pub(crate) fn start(&self, ctx: &mut Ctx) {
+    pub(crate) fn start(&self, ctx: &mut Ctx) -> Result<(), MpiError> {
         for ch in self.inner.send.values() {
-            ch.sreq.start(ctx);
+            ch.sreq.start(ctx)?;
         }
         for ch in self.inner.recv.values() {
-            ch.rreq.start(ctx);
+            ch.rreq.start(ctx)?;
         }
         let mut states = self.inner.states.lock();
         for st in states.iter_mut() {
@@ -201,41 +214,52 @@ impl CollectiveEngine {
             st.active = false;
         }
         self.inner.pending_device.lock().clear();
+        Ok(())
     }
 
     /// `MPIX_Pbuf_prepare`: synchronize with every neighbor of the
     /// collective (the paper: "we now synchronize the processes associated
     /// with the collective rather than just two ranks" — ring neighbors
     /// transitively synchronize the whole communicator).
-    pub(crate) fn pbuf_prepare(&self, ctx: &mut Ctx) {
+    pub(crate) fn pbuf_prepare(&self, ctx: &mut Ctx) -> Result<(), MpiError> {
         // Receive channels reply/RTR first so no sender can block forever
         // waiting for its peer's receive side.
         for ch in self.inner.recv.values() {
-            ch.rreq.pbuf_prepare(ctx);
+            ch.rreq.pbuf_prepare(ctx)?;
         }
         for ch in self.inner.send.values() {
-            ch.sreq.pbuf_prepare(ctx);
+            ch.sreq.pbuf_prepare(ctx)?;
         }
+        Ok(())
     }
 
     /// Host `MPI_Pready` for one collective user partition: activates its
     /// schedule, issues the step-0 sends, and stages-and-sends every
     /// `early_stage` step's chunk (epoch-original data whose buffer slot
     /// may later be overwritten by in-place arrivals).
-    pub(crate) fn pready(&self, ctx: &mut Ctx, u: usize) {
-        assert!(u < self.inner.user_partitions, "collective pready: partition out of range");
+    pub(crate) fn pready(&self, ctx: &mut Ctx, u: usize) -> Result<(), MpiError> {
+        if u >= self.inner.user_partitions {
+            return Err(MpiError::InvalidArgument {
+                context: format!("collective pready: partition {u} out of range"),
+            });
+        }
         {
             let mut states = self.inner.states.lock();
             let st = &mut states[u];
-            assert!(!st.active, "collective partition {u} marked ready twice");
+            if st.active {
+                return Err(MpiError::InvalidArgument {
+                    context: format!("collective partition {u} marked ready twice"),
+                });
+            }
             st.active = true;
         }
-        self.issue_step_sends(ctx, u, 0);
+        self.issue_step_sends(ctx, u, 0)?;
         for s in 0..self.inner.schedule.len() {
             if s != 0 && self.inner.schedule.steps[s].early_stage {
-                self.stage_and_send(ctx, u, s);
+                self.stage_and_send(ctx, u, s)?;
             }
         }
+        Ok(())
     }
 
     /// Device binding: called from a kernel body. Extends the kernel with
@@ -280,10 +304,12 @@ impl CollectiveEngine {
                 assert!(!st.active, "collective partition {u} marked ready twice");
                 st.active = true;
             }
-            self.issue_step_sends(ctx, u, 0);
+            // Hook context cannot surface Results; channel state was
+            // validated when the collective epoch opened.
+            self.issue_step_sends(ctx, u, 0).expect("validated at start");
             for s in 0..self.inner.schedule.len() {
                 if s != 0 && self.inner.schedule.steps[s].early_stage {
-                    self.stage_and_send(ctx, u, s);
+                    self.stage_and_send(ctx, u, s).expect("validated at start");
                 }
             }
         }
@@ -314,21 +340,22 @@ impl CollectiveEngine {
     /// Issue the sends of step `s` for partition `u` (Algorithm 2 lines
     /// 21–27; step 0 is triggered by the application's `MPI_Pready`).
     /// `early_stage` steps were already staged and sent at activation.
-    fn issue_step_sends(&self, ctx: &mut Ctx, u: usize, s: usize) {
+    fn issue_step_sends(&self, ctx: &mut Ctx, u: usize, s: usize) -> Result<(), MpiError> {
         if s >= self.inner.schedule.len() {
-            return;
+            return Ok(());
         }
         let step = &self.inner.schedule.steps[s];
         if !(s != 0 && step.early_stage) {
-            self.stage_and_send(ctx, u, s);
+            self.stage_and_send(ctx, u, s)?;
         }
         let mut states = self.inner.states.lock();
         states[u].pready_complete = step.outgoing.len();
+        Ok(())
     }
 
     /// Copy the outgoing chunk of step `s` into each serving channel's
     /// staging slot and mark it ready.
-    fn stage_and_send(&self, ctx: &mut Ctx, u: usize, s: usize) {
+    fn stage_and_send(&self, ctx: &mut Ctx, u: usize, s: usize) -> Result<(), MpiError> {
         let step = &self.inner.schedule.steps[s];
         for &o in &step.outgoing {
             let ch = self.inner.send.get(&o).expect("send channel exists");
@@ -343,13 +370,14 @@ impl CollectiveEngine {
                 self.inner.chunk_bytes,
             );
             ctx.advance(self.copy_cost());
-            ch.sreq.pready(ctx, slot);
+            ch.sreq.pready(ctx, slot)?;
         }
+        Ok(())
     }
 
     /// One sweep of Algorithm 2 over all partition states. Returns `true`
     /// if any partition progressed.
-    fn sweep(&self, ctx: &mut Ctx) -> bool {
+    fn sweep(&self, ctx: &mut Ctx) -> Result<bool, MpiError> {
         let mut progressed = false;
         let total_steps = self.inner.schedule.len();
         for u in 0..self.inner.user_partitions {
@@ -427,11 +455,11 @@ impl CollectiveEngine {
                 // Lines 21–27: issue the next step's sends.
                 let next = s + 1;
                 if next < total_steps {
-                    self.issue_step_sends(ctx, u, next);
+                    self.issue_step_sends(ctx, u, next)?;
                 } // else: final step reached — no extra data transfer.
             }
         }
-        progressed
+        Ok(progressed)
     }
 
     /// Device reduction of one staged chunk into the main buffer: a kernel
@@ -454,10 +482,16 @@ impl CollectiveEngine {
 
     /// `MPI_Wait`: run Algorithm 2 until every partition finishes the
     /// schedule, then complete the underlying channel epochs.
-    pub(crate) fn wait(&self, ctx: &mut Ctx) {
+    ///
+    /// With the world's wait watchdog armed, a progression stall longer
+    /// than the timeout returns [`MpiError::CollectiveTimeout`] naming the
+    /// stuck partition and step instead of spinning forever — the typed
+    /// surface for lost arrivals (crashed peers, lost device flag writes).
+    pub(crate) fn wait(&self, ctx: &mut Ctx) -> Result<(), MpiError> {
         let total = self.inner.schedule.len();
+        let mut stall_started: Option<SimTime> = None;
         loop {
-            let progressed = self.sweep(ctx);
+            let progressed = self.sweep(ctx)?;
             let all_done = {
                 let states = self.inner.states.lock();
                 states.iter().all(|st| st.step >= total)
@@ -465,17 +499,47 @@ impl CollectiveEngine {
             if all_done {
                 break;
             }
-            if !progressed {
+            if progressed {
+                stall_started = None;
+            } else {
+                if let Some(timeout_us) = self.inner.watchdog_us {
+                    let t0 = *stall_started.get_or_insert(ctx.now());
+                    if ctx.now().since(t0).as_micros_f64() >= timeout_us {
+                        return Err(self.stall_error(timeout_us, total));
+                    }
+                }
                 // Block until any new arrival on any receive channel (or a
                 // short poll if a device-side pready is still in flight).
                 self.wait_any_arrival(ctx);
             }
         }
         for ch in self.inner.send.values() {
-            ch.sreq.wait(ctx);
+            ch.sreq.wait(ctx)?;
         }
         for ch in self.inner.recv.values() {
-            ch.rreq.wait(ctx);
+            ch.rreq.wait(ctx)?;
+        }
+        Ok(())
+    }
+
+    /// Build the [`MpiError::CollectiveTimeout`] for the current stall:
+    /// names the first unfinished partition and the step it is parked at.
+    fn stall_error(&self, timeout_us: f64, total: usize) -> MpiError {
+        let states = self.inner.states.lock();
+        let completed = states.iter().filter(|st| st.step >= total).count() as u64;
+        let (partition, step) = states
+            .iter()
+            .enumerate()
+            .find(|(_, st)| st.step < total)
+            .map(|(u, st)| (u, st.step))
+            .unwrap_or((0, 0));
+        MpiError::CollectiveTimeout {
+            rank: self.inner.rank,
+            partition,
+            step,
+            completed,
+            expected: self.inner.user_partitions as u64,
+            timeout_us,
         }
     }
 
@@ -496,7 +560,8 @@ impl CollectiveEngine {
     }
 
     /// Block until an arrival count changes anywhere (poll-style backstop
-    /// for multi-channel waiting).
+    /// for multi-channel waiting). With the watchdog armed, the block is
+    /// bounded so the stall check in [`CollectiveEngine::wait`] re-runs.
     fn wait_any_arrival(&self, ctx: &mut Ctx) {
         if self.inner.recv.len() == 1 {
             let ch = self.inner.recv.values().next().expect("one");
@@ -506,7 +571,16 @@ impl CollectiveEngine {
             // channel's slot count).
             let target = (current + 1).min(ch.rreq.user_partitions() as u64);
             if current < target {
-                ctx.wait_count(&ev, target);
+                match self.inner.watchdog_us {
+                    None => ctx.wait_count(&ev, target),
+                    Some(timeout_us) => {
+                        let _ = ctx.wait_count_timeout(
+                            &ev,
+                            target,
+                            SimDuration::from_micros_f64(timeout_us),
+                        );
+                    }
+                }
             } else {
                 ctx.advance(SimDuration::from_micros_f64(self.inner.cost.progress_poll_us));
             }

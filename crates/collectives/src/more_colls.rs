@@ -11,7 +11,7 @@
 use std::ops::Range;
 
 use parcomm_gpu::{Buffer, DeviceCtx, Stream};
-use parcomm_mpi::Rank;
+use parcomm_mpi::{MpiError, Rank};
 use parcomm_sim::Ctx;
 
 use crate::engine::CollectiveEngine;
@@ -25,18 +25,18 @@ macro_rules! collective_common {
         }
 
         /// `MPI_Start` for the collective.
-        pub fn start(&self, ctx: &mut Ctx) {
-            self.engine.start(ctx);
+        pub fn start(&self, ctx: &mut Ctx) -> Result<(), MpiError> {
+            self.engine.start(ctx)
         }
 
         /// `MPIX_Pbuf_prepare`: synchronize the collective's processes.
-        pub fn pbuf_prepare(&self, ctx: &mut Ctx) {
-            self.engine.pbuf_prepare(ctx);
+        pub fn pbuf_prepare(&self, ctx: &mut Ctx) -> Result<(), MpiError> {
+            self.engine.pbuf_prepare(ctx)
         }
 
         /// Host `MPI_Pready` for user partition `u`.
-        pub fn pready(&self, ctx: &mut Ctx, u: usize) {
-            self.engine.pready(ctx, u);
+        pub fn pready(&self, ctx: &mut Ctx, u: usize) -> Result<(), MpiError> {
+            self.engine.pready(ctx, u)
         }
 
         /// Device `MPIX_Pready` for a range of user partitions.
@@ -50,8 +50,8 @@ macro_rules! collective_common {
         }
 
         /// `MPI_Wait`: run Algorithm 2 to completion.
-        pub fn wait(&self, ctx: &mut Ctx) {
-            self.engine.wait(ctx);
+        pub fn wait(&self, ctx: &mut Ctx) -> Result<(), MpiError> {
+            self.engine.wait(ctx)
         }
     };
 }
@@ -72,12 +72,12 @@ pub fn pallgather_init(
     user_partitions: usize,
     stream: &Stream,
     tag: u64,
-) -> Pallgather {
+) -> Result<Pallgather, MpiError> {
     crate::charge_pcoll_init_extra(ctx);
     let schedule = Schedule::ring_allgather(rank.rank(), rank.size());
-    Pallgather {
-        engine: CollectiveEngine::new(ctx, rank, schedule, buffer, user_partitions, stream, tag),
-    }
+    Ok(Pallgather {
+        engine: CollectiveEngine::new(ctx, rank, schedule, buffer, user_partitions, stream, tag)?,
+    })
 }
 
 impl Pallgather {
@@ -101,12 +101,12 @@ pub fn preduce_scatter_init(
     user_partitions: usize,
     stream: &Stream,
     tag: u64,
-) -> PreduceScatter {
+) -> Result<PreduceScatter, MpiError> {
     crate::charge_pcoll_init_extra(ctx);
     let schedule = Schedule::ring_reduce_scatter(rank.rank(), rank.size());
-    PreduceScatter {
-        engine: CollectiveEngine::new(ctx, rank, schedule, buffer, user_partitions, stream, tag),
-    }
+    Ok(PreduceScatter {
+        engine: CollectiveEngine::new(ctx, rank, schedule, buffer, user_partitions, stream, tag)?,
+    })
 }
 
 impl PreduceScatter {
@@ -135,13 +135,13 @@ pub fn pgather_init(
     stream: &Stream,
     root: usize,
     tag: u64,
-) -> Pgather {
+) -> Result<Pgather, MpiError> {
     crate::charge_pcoll_init_extra(ctx);
     let schedule = Schedule::chain_gather(rank.rank(), rank.size(), root);
-    Pgather {
-        engine: CollectiveEngine::new(ctx, rank, schedule, buffer, user_partitions, stream, tag),
+    Ok(Pgather {
+        engine: CollectiveEngine::new(ctx, rank, schedule, buffer, user_partitions, stream, tag)?,
         root,
-    }
+    })
 }
 
 impl Pgather {
@@ -169,12 +169,12 @@ pub fn palltoall_init(
     user_partitions: usize,
     stream: &Stream,
     tag: u64,
-) -> Palltoall {
+) -> Result<Palltoall, MpiError> {
     crate::charge_pcoll_init_extra(ctx);
     let schedule = Schedule::pairwise_alltoall(rank.rank(), rank.size());
-    Palltoall {
-        engine: CollectiveEngine::new(ctx, rank, schedule, buffer, user_partitions, stream, tag),
-    }
+    Ok(Palltoall {
+        engine: CollectiveEngine::new(ctx, rank, schedule, buffer, user_partitions, stream, tag)?,
+    })
 }
 
 impl Palltoall {
@@ -203,13 +203,13 @@ pub fn pscatter_init(
     stream: &Stream,
     root: usize,
     tag: u64,
-) -> Pscatter {
+) -> Result<Pscatter, MpiError> {
     crate::charge_pcoll_init_extra(ctx);
     let schedule = Schedule::chain_scatter(rank.rank(), rank.size(), root);
-    Pscatter {
-        engine: CollectiveEngine::new(ctx, rank, schedule, buffer, user_partitions, stream, tag),
+    Ok(Pscatter {
+        engine: CollectiveEngine::new(ctx, rank, schedule, buffer, user_partitions, stream, tag)?,
         root,
-    }
+    })
 }
 
 impl Pscatter {

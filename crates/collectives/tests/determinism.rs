@@ -27,12 +27,12 @@ fn run_allreduce(seed: u64, partitions: usize) -> (u64, Vec<u64>) {
         let vals: Vec<f64> = (0..n).map(|i| ((rank.rank() * 17 + i * 3) % 29) as f64).collect();
         buf.write_f64_slice(0, &vals);
         let stream = rank.gpu().create_stream();
-        let coll = pallreduce_init(ctx, rank, &buf, partitions, &stream, 91);
-        coll.start(ctx);
-        coll.pbuf_prepare(ctx);
+        let coll = pallreduce_init(ctx, rank, &buf, partitions, &stream, 91).expect("init");
+        coll.start(ctx).expect("start");
+        coll.pbuf_prepare(ctx).expect("pbuf_prepare");
         let c2 = coll.clone();
         stream.launch(ctx, KernelSpec::vector_add(2, 128), move |d| c2.pready_device_all(d));
-        coll.wait(ctx);
+        coll.wait(ctx).expect("wait");
         if rank.rank() == 0 {
             *o2.lock() = buf.read_f64_slice(0, n);
         }

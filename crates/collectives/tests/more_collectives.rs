@@ -31,13 +31,13 @@ fn pallgather_distributes_every_chunk() {
                 buf.write_f64_slice(own * 8, &vec![mark(rank.rank(), u); elems_per_chunk]);
             }
             let stream = rank.gpu().create_stream();
-            let coll = pallgather_init(ctx, rank, &buf, partitions, &stream, 40);
-            coll.start(ctx);
-            coll.pbuf_prepare(ctx);
+            let coll = pallgather_init(ctx, rank, &buf, partitions, &stream, 40).expect("init");
+            coll.start(ctx).expect("start");
+            coll.pbuf_prepare(ctx).expect("pbuf_prepare");
             for u in 0..partitions {
-                coll.pready(ctx, u);
+                coll.pready(ctx, u).expect("pready");
             }
-            coll.wait(ctx);
+            coll.wait(ctx).expect("wait");
             for u in 0..partitions {
                 for src in 0..p {
                     let region = u * p * elems_per_chunk;
@@ -67,13 +67,13 @@ fn preduce_scatter_owns_reduced_chunk() {
         let buf = rank.gpu().alloc_global(n * 8);
         buf.write_f64_slice(0, &vec![(rank.rank() + 1) as f64; n]);
         let stream = rank.gpu().create_stream();
-        let coll = preduce_scatter_init(ctx, rank, &buf, partitions, &stream, 41);
-        coll.start(ctx);
-        coll.pbuf_prepare(ctx);
+        let coll = preduce_scatter_init(ctx, rank, &buf, partitions, &stream, 41).expect("init");
+        coll.start(ctx).expect("start");
+        coll.pbuf_prepare(ctx).expect("pbuf_prepare");
         for u in 0..partitions {
-            coll.pready(ctx, u);
+            coll.pready(ctx, u).expect("pready");
         }
-        coll.wait(ctx);
+        coll.wait(ctx).expect("wait");
         // The owned chunk of every partition region is fully reduced.
         let owned = PreduceScatter::owned_chunk(rank.rank(), p);
         let expect = (p * (p + 1)) as f64 / 2.0;
@@ -109,13 +109,13 @@ fn pgather_collects_all_chunks_at_root() {
                 buf.write_f64_slice(own * 8, &vec![mark(rank.rank(), u); elems_per_chunk]);
             }
             let stream = rank.gpu().create_stream();
-            let coll = pgather_init(ctx, rank, &buf, partitions, &stream, root, 42);
-            coll.start(ctx);
-            coll.pbuf_prepare(ctx);
+            let coll = pgather_init(ctx, rank, &buf, partitions, &stream, root, 42).expect("init");
+            coll.start(ctx).expect("start");
+            coll.pbuf_prepare(ctx).expect("pbuf_prepare");
             for u in 0..partitions {
-                coll.pready(ctx, u);
+                coll.pready(ctx, u).expect("pready");
             }
-            coll.wait(ctx);
+            coll.wait(ctx).expect("wait");
             if rank.rank() == root {
                 for u in 0..partitions {
                     for src in 0..p {
@@ -156,13 +156,13 @@ fn pscatter_delivers_each_ranks_chunk() {
                 }
             }
             let stream = rank.gpu().create_stream();
-            let coll = pscatter_init(ctx, rank, &buf, partitions, &stream, root, 43);
-            coll.start(ctx);
-            coll.pbuf_prepare(ctx);
+            let coll = pscatter_init(ctx, rank, &buf, partitions, &stream, root, 43).expect("init");
+            coll.start(ctx).expect("start");
+            coll.pbuf_prepare(ctx).expect("pbuf_prepare");
             for u in 0..partitions {
-                coll.pready(ctx, u);
+                coll.pready(ctx, u).expect("pready");
             }
-            coll.wait(ctx);
+            coll.wait(ctx).expect("wait");
             for u in 0..partitions {
                 let region = u * p * elems_per_chunk;
                 let off = (region + rank.rank() * elems_per_chunk) * 8;
@@ -188,14 +188,14 @@ fn allgather_reuse_across_epochs() {
         let n = p * elems;
         let buf = rank.gpu().alloc_global(n * 8);
         let stream = rank.gpu().create_stream();
-        let coll = pallgather_init(ctx, rank, &buf, 1, &stream, 44);
+        let coll = pallgather_init(ctx, rank, &buf, 1, &stream, 44).expect("init");
         for epoch in 1..=2u64 {
             let own = rank.rank() * elems;
             buf.write_f64_slice(own * 8, &vec![epoch as f64 * mark(rank.rank(), 0); elems]);
-            coll.start(ctx);
-            coll.pbuf_prepare(ctx);
-            coll.pready(ctx, 0);
-            coll.wait(ctx);
+            coll.start(ctx).expect("start");
+            coll.pbuf_prepare(ctx).expect("pbuf_prepare");
+            coll.pready(ctx, 0).expect("pready");
+            coll.wait(ctx).expect("wait");
             for src in 0..p {
                 assert_eq!(
                     buf.read_f64(src * elems * 8),
@@ -261,12 +261,12 @@ fn single_rank_collectives_complete_trivially() {
         let buf = rank.gpu().alloc_global(n * 8);
         buf.write_f64_slice(0, &vec![3.5; n]);
         let stream = rank.gpu().create_stream();
-        let coll = pallreduce_init(ctx, rank, &buf, 2, &stream, 45);
-        coll.start(ctx);
-        coll.pbuf_prepare(ctx);
-        coll.pready(ctx, 0);
-        coll.pready(ctx, 1);
-        coll.wait(ctx);
+        let coll = pallreduce_init(ctx, rank, &buf, 2, &stream, 45).expect("init");
+        coll.start(ctx).expect("start");
+        coll.pbuf_prepare(ctx).expect("pbuf_prepare");
+        coll.pready(ctx, 0).expect("pready");
+        coll.pready(ctx, 1).expect("pready");
+        coll.wait(ctx).expect("wait");
         // Sum over one rank = identity.
         assert_eq!(buf.read_f64_slice(0, n), vec![3.5; n]);
         assert!(coll.parrived(0) && coll.parrived(1));
@@ -289,9 +289,9 @@ fn collective_device_pready_partial_ranges() {
         let buf = rank.gpu().alloc_global(n * 8);
         buf.write_f64_slice(0, &vec![1.0; n]);
         let stream = rank.gpu().create_stream();
-        let coll = pallreduce_init(ctx, rank, &buf, partitions, &stream, 46);
-        coll.start(ctx);
-        coll.pbuf_prepare(ctx);
+        let coll = pallreduce_init(ctx, rank, &buf, partitions, &stream, 46).expect("init");
+        coll.start(ctx).expect("start");
+        coll.pbuf_prepare(ctx).expect("pbuf_prepare");
         // Two kernels, each readying half the partitions.
         let c1 = coll.clone();
         stream.launch(ctx, KernelSpec::vector_add(1, 1024), move |d| {
@@ -301,7 +301,7 @@ fn collective_device_pready_partial_ranges() {
         stream.launch(ctx, KernelSpec::vector_add(1, 1024), move |d| {
             c2.pready_device(d, 2..4);
         });
-        coll.wait(ctx);
+        coll.wait(ctx).expect("wait");
         assert!(buf.read_f64_slice(0, n).iter().all(|v| (*v - p as f64).abs() < 1e-9));
     });
     sim.run().unwrap();
@@ -329,13 +329,13 @@ fn palltoall_exchanges_every_pair() {
                 }
             }
             let stream = rank.gpu().create_stream();
-            let coll = palltoall_init(ctx, rank, &buf, partitions, &stream, 47);
-            coll.start(ctx);
-            coll.pbuf_prepare(ctx);
+            let coll = palltoall_init(ctx, rank, &buf, partitions, &stream, 47).expect("init");
+            coll.start(ctx).expect("start");
+            coll.pbuf_prepare(ctx).expect("pbuf_prepare");
             for u in 0..partitions {
-                coll.pready(ctx, u);
+                coll.pready(ctx, u).expect("pready");
             }
-            coll.wait(ctx);
+            coll.wait(ctx).expect("wait");
             // Chunk s now holds what rank s sent to us.
             for u in 0..partitions {
                 for src in 0..p {

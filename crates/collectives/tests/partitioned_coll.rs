@@ -31,13 +31,13 @@ fn run_allreduce_correctness(nodes: u16, partitions: usize, elems_per_chunk: usi
         let init: Vec<f64> = (0..n).map(|i| (rank.rank() + 1) as f64 * (i + 1) as f64).collect();
         buf.write_f64_slice(0, &init);
         let stream = rank.gpu().create_stream();
-        let coll = pallreduce_init(ctx, rank, &buf, partitions, &stream, 5);
-        coll.start(ctx);
-        coll.pbuf_prepare(ctx);
+        let coll = pallreduce_init(ctx, rank, &buf, partitions, &stream, 5).expect("init");
+        coll.start(ctx).expect("start");
+        coll.pbuf_prepare(ctx).expect("pbuf_prepare");
         for u in 0..partitions {
-            coll.pready(ctx, u);
+            coll.pready(ctx, u).expect("pready");
         }
-        coll.wait(ctx);
+        coll.wait(ctx).expect("wait");
         let out = buf.read_f64_slice(0, n);
         let scale = (rank.size() * (rank.size() + 1)) as f64 / 2.0;
         for (i, v) in out.iter().enumerate() {
@@ -65,15 +65,15 @@ fn pallreduce_reuse_across_iterations() {
         let n = partitions * p * 16;
         let buf = rank.gpu().alloc_global(n * 8);
         let stream = rank.gpu().create_stream();
-        let coll = pallreduce_init(ctx, rank, &buf, partitions, &stream, 9);
+        let coll = pallreduce_init(ctx, rank, &buf, partitions, &stream, 9).expect("init");
         for iter in 1..=3u64 {
             buf.write_f64_slice(0, &vec![iter as f64 * (rank.rank() + 1) as f64; n]);
-            coll.start(ctx);
-            coll.pbuf_prepare(ctx);
+            coll.start(ctx).expect("start");
+            coll.pbuf_prepare(ctx).expect("pbuf_prepare");
             for u in 0..partitions {
-                coll.pready(ctx, u);
+                coll.pready(ctx, u).expect("pready");
             }
-            coll.wait(ctx);
+            coll.wait(ctx).expect("wait");
             let expect = iter as f64 * (p * (p + 1)) as f64 / 2.0;
             let out = buf.read_f64_slice(0, n);
             assert!(
@@ -96,9 +96,9 @@ fn pallreduce_device_initiated() {
         let n = partitions * p * 64;
         let buf = rank.gpu().alloc_global(n * 8);
         let stream = rank.gpu().create_stream();
-        let coll = pallreduce_init(ctx, rank, &buf, partitions, &stream, 11);
-        coll.start(ctx);
-        coll.pbuf_prepare(ctx);
+        let coll = pallreduce_init(ctx, rank, &buf, partitions, &stream, 11).expect("init");
+        coll.start(ctx).expect("start");
+        coll.pbuf_prepare(ctx).expect("pbuf_prepare");
         // The compute kernel produces the contribution and calls the device
         // MPIX_Pready for all partitions.
         let buf2 = buf.clone();
@@ -108,7 +108,7 @@ fn pallreduce_device_initiated() {
             buf2.write_f64_slice(0, &vec![(r + 1) as f64; n]);
             coll2.pready_device_all(d);
         });
-        coll.wait(ctx);
+        coll.wait(ctx).expect("wait");
         let expect = (p * (p + 1)) as f64 / 2.0;
         let out = buf.read_f64_slice(0, n);
         assert!(out.iter().all(|v| (v - expect).abs() < 1e-9), "{:?} != {expect}", &out[..4]);
@@ -129,14 +129,14 @@ fn pallreduce_partitions_pipeline() {
         let buf = rank.gpu().alloc_global(n * 8);
         buf.write_f64_slice(0, &vec![1.0; n]);
         let stream = rank.gpu().create_stream();
-        let coll = pallreduce_init(ctx, rank, &buf, partitions, &stream, 13);
-        coll.start(ctx);
-        coll.pbuf_prepare(ctx);
+        let coll = pallreduce_init(ctx, rank, &buf, partitions, &stream, 13).expect("init");
+        coll.start(ctx).expect("start");
+        coll.pbuf_prepare(ctx).expect("pbuf_prepare");
         for u in 0..partitions {
-            coll.pready(ctx, u);
+            coll.pready(ctx, u).expect("pready");
             ctx.advance(SimDuration::from_micros(30));
         }
-        coll.wait(ctx);
+        coll.wait(ctx).expect("wait");
         let out = buf.read_f64_slice(0, n);
         assert!(out.iter().all(|v| (*v - p as f64).abs() < 1e-9));
     });
@@ -157,13 +157,13 @@ fn pbcast_delivers_root_payload() {
                 buf.write_f64_slice(0, &(0..n).map(|i| i as f64 * 0.5).collect::<Vec<_>>());
             }
             let stream = rank.gpu().create_stream();
-            let coll = pbcast_init(ctx, rank, &buf, partitions, &stream, root, 21);
-            coll.start(ctx);
-            coll.pbuf_prepare(ctx);
+            let coll = pbcast_init(ctx, rank, &buf, partitions, &stream, root, 21).expect("init");
+            coll.start(ctx).expect("start");
+            coll.pbuf_prepare(ctx).expect("pbuf_prepare");
             for u in 0..partitions {
-                coll.pready(ctx, u);
+                coll.pready(ctx, u).expect("pready");
             }
-            coll.wait(ctx);
+            coll.wait(ctx).expect("wait");
             let out = buf.read_f64_slice(0, n);
             for (i, v) in out.iter().enumerate() {
                 assert_eq!(*v, i as f64 * 0.5, "nodes={nodes} rank={} elem {i}", rank.rank());
@@ -209,9 +209,9 @@ fn timed(partitioned: bool) -> f64 {
         let stream = rank.gpu().create_stream();
         let grid = (n as u32).div_ceil(1024).max(1);
         if partitioned {
-            let coll = pallreduce_init(ctx, rank, &buf, partitions, &stream, 31);
-            coll.start(ctx);
-            coll.pbuf_prepare(ctx);
+            let coll = pallreduce_init(ctx, rank, &buf, partitions, &stream, 31).expect("init");
+            coll.start(ctx).expect("start");
+            coll.pbuf_prepare(ctx).expect("pbuf_prepare");
             rank.barrier(ctx);
             let t0 = ctx.now();
             let coll2 = coll.clone();
@@ -220,7 +220,7 @@ fn timed(partitioned: bool) -> f64 {
                 buf2.write_f64_slice(0, &vec![1.0; n]);
                 coll2.pready_device_all(d);
             });
-            coll.wait(ctx);
+            coll.wait(ctx).expect("wait");
             if rank.rank() == 0 {
                 *e2.lock() = ctx.now().since(t0).as_micros_f64();
             }

@@ -26,8 +26,9 @@ use std::sync::Arc;
 use parcomm_sim::Mutex;
 
 use parcomm_gpu::{AggLevel, Buffer, DeviceCtx};
-use parcomm_mpi::{chunk_range, HookOutcome, Rank};
+use parcomm_mpi::{chunk_range, HookOutcome, MpiError, Rank};
 use parcomm_sim::{Ctx, SimDuration};
+use parcomm_ucx::IpcMapping;
 
 use crate::overheads::ApiOverheads;
 use crate::send::{PsendRequest, PsendShared};
@@ -69,32 +70,12 @@ impl Default for PrequestConfig {
     }
 }
 
-/// Errors from device-request creation.
-#[derive(Debug)]
-pub enum PrequestError {
-    /// Kernel Copy requires the peer buffer to be same-node device memory.
-    KernelCopyUnavailable(parcomm_ucx::UcxError),
-    /// `MPIX_Pbuf_prepare` has not completed for this channel.
-    NotPrepared,
-}
-
-impl std::fmt::Display for PrequestError {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        match self {
-            PrequestError::KernelCopyUnavailable(e) => {
-                write!(f, "kernel-copy prequest unavailable: {e}")
-            }
-            PrequestError::NotPrepared => {
-                write!(f, "MPIX_Prequest_create before MPIX_Pbuf_prepare completed")
-            }
-        }
-    }
-}
-
-impl std::error::Error for PrequestError {}
-
 struct PendingNotifications {
-    queue: VecDeque<usize>,
+    /// Pending transport partitions, each tagged with whether the
+    /// progression engine must issue the *data* put for it (Progression
+    /// Engine path, or Kernel Copy falling back after IPC revocation) or
+    /// just the completion-flag put (healthy Kernel Copy path).
+    queue: VecDeque<(usize, bool)>,
     processed: usize,
     hook_active: bool,
     epoch: u64,
@@ -107,7 +88,9 @@ struct DpInner {
     /// (one word per transport partition).
     pinned_flags: Buffer,
     /// Kernel Copy: the peer receive buffer mapped via `ucp_rkey_ptr`.
-    mapped_peer: Option<Buffer>,
+    /// Revocable — every `pready` checks validity and falls back to the
+    /// Progression Engine path once the mapping dies mid-epoch.
+    mapped_peer: Option<IpcMapping>,
     /// GPU-global aggregation counters (`MPIX_Prequest_create` allocates
     /// them; multi-block aggregation increments them atomically).
     counters: Mutex<Vec<u64>>,
@@ -131,22 +114,24 @@ pub fn prequest_create(
     rank: &Rank,
     sreq: &PsendRequest,
     config: PrequestConfig,
-) -> Result<DevicePrequest, PrequestError> {
+) -> Result<DevicePrequest, MpiError> {
     let send = sreq.shared().clone();
     let (prepared, data_rkey) = {
         let st = send.state.lock();
         (st.prepared, st.data_rkey.clone())
     };
     if !prepared {
-        return Err(PrequestError::NotPrepared);
+        return Err(MpiError::InvalidArgument {
+            context: "MPIX_Prequest_create before MPIX_Pbuf_prepare completed".into(),
+        });
     }
-    sreq.set_transport_partitions(config.transport_partitions);
+    sreq.set_transport_partitions(config.transport_partitions)?;
 
     let mapped_peer = match config.copy {
         CopyMechanism::KernelCopy => {
             let rkey = data_rkey.expect("prepared implies rkey");
             let node = rank.gpu().id().node;
-            Some(rkey.rkey_ptr(node).map_err(PrequestError::KernelCopyUnavailable)?)
+            Some(rkey.rkey_ptr(node)?)
         }
         CopyMechanism::ProgressionEngine => None,
     };
@@ -219,15 +204,17 @@ impl DevicePrequest {
             "pready_all_progressive must be the kernel's only timed device call"
         );
         let users = send.user_partitions;
-        let completed = send.mark_ready(0..users);
+        let completed = send
+            .mark_ready(0..users)
+            .expect("device MPIX_Pready misuse traps the kernel");
         let t = send.state.lock().transport_partitions;
         let compute = d.compute_duration();
         let train_us = d.flag_write_train_us(completed.len() as u32);
         let per_write_us = train_us / completed.len().max(1) as f64;
         let mut last_off = SimDuration::ZERO;
 
-        match inner.config.copy {
-            CopyMechanism::ProgressionEngine => {
+        match self.kernel_copy_mapping() {
+            None => {
                 for (i, &k) in completed.iter().enumerate() {
                     let (u0, ulen) = chunk_range(users, t, k);
                     let frac = (u0 + ulen) as f64 / users as f64;
@@ -238,20 +225,19 @@ impl DevicePrequest {
                     );
                     last_off = last_off.max(ready);
                     let this = self.clone();
-                    d.at_offset(ready, move |h| this.on_device_notification(h, k));
+                    d.at_offset(ready, move |h| this.on_device_notification(h, k, true));
                 }
             }
-            CopyMechanism::KernelCopy => {
-                let mapped = inner.mapped_peer.as_ref().expect("kernel-copy mapping");
+            Some(mapped) => {
                 let fabric = send.world.fabric();
                 let src_loc = send.buffer.space().location();
-                let dst_loc = mapped.space().location();
+                let dst_loc = mapped.buffer().space().location();
                 let lat = fabric.path_latency(src_loc, dst_loc);
                 for (i, &k) in completed.iter().enumerate() {
                     let (u0, ulen) = chunk_range(users, t, k);
                     let off = u0 * send.partition_bytes;
                     let len = ulen * send.partition_bytes;
-                    mapped.copy_from_buffer(off, &send.buffer, off, len);
+                    mapped.buffer().copy_from_buffer(off, &send.buffer, off, len);
                     let frac = (u0 + ulen) as f64 / users as f64;
                     let copy_start = d.start_time()
                         + SimDuration::from_micros_f64(
@@ -268,7 +254,7 @@ impl DevicePrequest {
                         );
                     last_off = last_off.max(ready);
                     let this = self.clone();
-                    d.at_offset(ready, move |h| this.on_device_notification(h, k));
+                    d.at_offset(ready, move |h| this.on_device_notification(h, k, false));
                 }
             }
         }
@@ -286,13 +272,33 @@ impl DevicePrequest {
         }
     }
 
+    /// The live Kernel Copy mapping, or `None` when configured for the
+    /// Progression Engine *or* when the IPC mapping has been revoked
+    /// mid-epoch (chaos injection) — the fallback that keeps the channel
+    /// functional at Progression-Engine timing.
+    fn kernel_copy_mapping(&self) -> Option<IpcMapping> {
+        match self.inner.config.copy {
+            CopyMechanism::KernelCopy => {
+                let m = self.inner.mapped_peer.as_ref().expect("kernel-copy mapping");
+                if m.is_valid() {
+                    Some(m.clone())
+                } else {
+                    None
+                }
+            }
+            CopyMechanism::ProgressionEngine => None,
+        }
+    }
+
     /// Mark a contiguous user partition range ready from inside a kernel.
     pub fn pready_users(&self, d: &mut DeviceCtx<'_>, users: Range<usize>) {
         assert!(!users.is_empty(), "pready_users: empty range");
         let inner = &self.inner;
         let send = &inner.send;
         let cost = d.cost().clone();
-        let completed = send.mark_ready(users.clone());
+        let completed = send
+            .mark_ready(users.clone())
+            .expect("device MPIX_Pready misuse traps the kernel");
         let n = users.len() as u32;
         let block_dim = d.spec().block_dim;
         let blocks_covered = n.div_ceil(block_dim).max(1);
@@ -310,17 +316,23 @@ impl DevicePrequest {
             }
         }
 
-        match inner.config.copy {
-            CopyMechanism::ProgressionEngine => {
+        match self.kernel_copy_mapping() {
+            None => {
                 let sync_us = cost.aggregation_sync_us(inner.config.agg, block_dim.min(n));
                 let (writes, atomics_us) = self.notification_writes(n, block_dim, &completed);
                 let base = d.current_end_offset();
                 let train_us = d.flag_write_train_us(writes);
                 d.extend(SimDuration::from_micros_f64(sync_us + atomics_us + train_us));
-                self.schedule_notifications(d, base, sync_us + atomics_us, train_us, &completed);
+                self.schedule_notifications(
+                    d,
+                    base,
+                    sync_us + atomics_us,
+                    train_us,
+                    &completed,
+                    true,
+                );
             }
-            CopyMechanism::KernelCopy => {
-                let mapped = inner.mapped_peer.as_ref().expect("kernel-copy mapping");
+            Some(mapped) => {
                 // Functional stores into the peer GPU now; visibility is
                 // gated on the completion-flag put (never earlier than the
                 // modeled NVLink time below).
@@ -330,7 +342,7 @@ impl DevicePrequest {
                     let (u0, ulen) = chunk_range(send.user_partitions, t, k);
                     let off = u0 * send.partition_bytes;
                     let len = ulen * send.partition_bytes;
-                    mapped.copy_from_buffer(off, &send.buffer, off, len);
+                    mapped.buffer().copy_from_buffer(off, &send.buffer, off, len);
                     copy_bytes += len;
                 }
                 // Device time: block sync + counters, then the NVLink
@@ -346,7 +358,7 @@ impl DevicePrequest {
                 let copy_start = d.start_time() + base;
                 let fabric = send.world.fabric();
                 let src_loc = send.buffer.space().location();
-                let dst_loc = mapped.space().location();
+                let dst_loc = mapped.buffer().space().location();
                 let transfer = fabric.transfer_at(copy_start, src_loc, dst_loc, copy_bytes as u64);
                 let occupancy = transfer
                     .arrival
@@ -357,7 +369,7 @@ impl DevicePrequest {
                 let writes = completed.len() as u32;
                 let train_us = d.flag_write_train_us(writes);
                 d.extend(SimDuration::from_micros_f64(train_us));
-                self.schedule_notifications(d, after_copy, 0.0, train_us, &completed);
+                self.schedule_notifications(d, after_copy, 0.0, train_us, &completed, false);
             }
         }
     }
@@ -392,6 +404,7 @@ impl DevicePrequest {
         lead_us: f64,
         train_us: f64,
         completed: &[usize],
+        data_put: bool,
     ) {
         if completed.is_empty() {
             return;
@@ -403,18 +416,20 @@ impl DevicePrequest {
             let off_us = lead_us + ((i + 1) as f64 / m as f64) * train_us;
             let at = base + SimDuration::from_micros_f64(off_us);
             let this = self.clone();
-            d.at_offset(at, move |h| this.on_device_notification(h, k));
+            d.at_offset(at, move |h| this.on_device_notification(h, k, data_put));
         }
     }
 
     /// A pinned-host notification flag just landed: record it and make sure
-    /// the progression engine is draining the queue.
-    fn on_device_notification(&self, h: &parcomm_sim::SimHandle, k: usize) {
+    /// the progression engine is draining the queue. `data_put` says whether
+    /// the engine must move the payload itself (Progression Engine path or
+    /// revoked-mapping fallback) or only raise the remote flag.
+    fn on_device_notification(&self, h: &parcomm_sim::SimHandle, k: usize, data_put: bool) {
         let inner = &self.inner;
         inner.pinned_flags.write_flag(k, inner.pending.lock().epoch);
         let register = {
             let mut p = inner.pending.lock();
-            p.queue.push_back(k);
+            p.queue.push_back((k, data_put));
             if p.hook_active {
                 false
             } else {
@@ -436,17 +451,14 @@ impl DevicePrequest {
         let data_post = SimDuration::from_micros_f64(inner.send.cost.data_put_post_us);
         let control_post = SimDuration::from_micros_f64(inner.send.cost.control_put_post_us);
         loop {
-            let k = { inner.pending.lock().queue.pop_front() };
-            let Some(k) = k else { break };
-            match inner.config.copy {
-                CopyMechanism::ProgressionEngine => {
-                    ctx.advance(data_post);
-                    inner.send.issue_data_put(&ctx.handle(), k);
-                }
-                CopyMechanism::KernelCopy => {
-                    ctx.advance(control_post);
-                    inner.send.issue_completion_flag_put(&ctx.handle(), k);
-                }
+            let entry = { inner.pending.lock().queue.pop_front() };
+            let Some((k, data_put)) = entry else { break };
+            if data_put {
+                ctx.advance(data_post);
+                inner.send.issue_data_put(&ctx.handle(), k);
+            } else {
+                ctx.advance(control_post);
+                inner.send.issue_completion_flag_put(&ctx.handle(), k);
             }
             inner.pending.lock().processed += 1;
         }

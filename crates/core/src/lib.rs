@@ -24,7 +24,8 @@ mod overheads;
 mod recv;
 mod send;
 
-pub use device::{prequest_create, CopyMechanism, DevicePrequest, PrequestConfig, PrequestError};
+pub use device::{prequest_create, CopyMechanism, DevicePrequest, PrequestConfig};
 pub use overheads::{ApiOverheads, Overhead};
+pub use parcomm_mpi::MpiError;
 pub use recv::{precv_init, PrecvRequest};
 pub use send::{psend_init, transport_of_user, PsendRequest};

@@ -13,9 +13,9 @@ use std::sync::Arc;
 use parcomm_sim::Mutex;
 
 use parcomm_gpu::{Buffer, CostModel, MemSpace};
-use parcomm_mpi::Rank;
+use parcomm_mpi::{MpiError, MpiWorld, Rank};
 use parcomm_sim::{CountEvent, Ctx, SimDuration};
-use parcomm_ucx::{Endpoint, Worker};
+use parcomm_ucx::{AmMessage, Endpoint, Worker};
 
 use crate::channel::{am_tag, Channel, ReadyToReceive, ReceiverSetup, SenderSetup};
 use crate::overheads::ApiOverheads;
@@ -31,6 +31,7 @@ pub(crate) struct RecvState {
 }
 
 pub(crate) struct PrecvShared {
+    pub world: MpiWorld,
     pub worker: Worker,
     pub cost: CostModel,
     pub overheads: ApiOverheads,
@@ -63,20 +64,32 @@ pub fn precv_init(
     tag: u64,
     buffer: &Buffer,
     partitions: usize,
-) -> PrecvRequest {
-    assert!(partitions > 0, "precv_init: need at least one partition");
-    assert_eq!(
-        buffer.len() % partitions,
-        0,
-        "precv_init: buffer length {} not divisible into {} partitions",
-        buffer.len(),
-        partitions
-    );
+) -> Result<PrecvRequest, MpiError> {
+    if partitions == 0 {
+        return Err(MpiError::InvalidArgument {
+            context: "precv_init: need at least one partition".into(),
+        });
+    }
+    if !buffer.len().is_multiple_of(partitions) {
+        return Err(MpiError::InvalidArgument {
+            context: format!(
+                "precv_init: buffer length {} not divisible into {} partitions",
+                buffer.len(),
+                partitions
+            ),
+        });
+    }
+    if src == rank.rank() || src >= rank.size() {
+        return Err(MpiError::InvalidArgument {
+            context: format!("precv_init: invalid source rank {src}"),
+        });
+    }
     let overheads = ApiOverheads::default();
     ctx.advance(ApiOverheads::sample(ctx, overheads.p2p_init));
     let flags = Buffer::alloc(MemSpace::Host { node: rank.gpu().id().node }, partitions * 8);
-    PrecvRequest {
+    Ok(PrecvRequest {
         inner: Arc::new(PrecvShared {
+            world: rank.world().clone(),
             worker: rank.worker().clone(),
             cost: rank.gpu().cost().clone(),
             overheads,
@@ -87,7 +100,7 @@ pub fn precv_init(
             user_partitions: partitions,
             partition_bytes: buffer.len() / partitions,
             flags,
-            arrived: CountEvent::new(),
+            arrived: CountEvent::named("precv arrivals"),
             state: Mutex::new(RecvState {
                 epoch: 0,
                 started: false,
@@ -96,7 +109,7 @@ pub fn precv_init(
                 device_mirror: None,
             }),
         }),
-    }
+    })
 }
 
 impl PrecvRequest {
@@ -116,23 +129,32 @@ impl PrecvRequest {
     }
 
     /// `MPI_Start`: open a new receive epoch.
-    pub fn start(&self, _ctx: &mut Ctx) {
+    pub fn start(&self, _ctx: &mut Ctx) -> Result<(), MpiError> {
         let mut st = self.inner.state.lock();
-        assert!(!st.started, "MPI_Start while the previous epoch is still active");
+        if st.started {
+            return Err(MpiError::InvalidArgument {
+                context: "MPI_Start while the previous epoch is still active".into(),
+            });
+        }
         st.epoch += 1;
         st.started = true;
         self.inner.arrived.reset();
         // Flags are epoch-stamped, so no zeroing is needed: a flag is "set"
         // for this epoch iff it equals the new epoch number.
+        Ok(())
     }
 
     /// `MPIX_Pbuf_prepare` (receiver side): first call performs the
     /// deferred registration and rkey reply; later calls send the
     /// ready-to-receive signal.
-    pub fn pbuf_prepare(&self, ctx: &mut Ctx) {
+    pub fn pbuf_prepare(&self, ctx: &mut Ctx) -> Result<(), MpiError> {
         let (first, epoch) = {
             let st = self.inner.state.lock();
-            assert!(st.started, "MPIX_Pbuf_prepare before MPI_Start");
+            if !st.started {
+                return Err(MpiError::InvalidArgument {
+                    context: "MPIX_Pbuf_prepare before MPI_Start".into(),
+                });
+            }
             (!st.prepared, st.epoch)
         };
         let inner = &self.inner;
@@ -141,25 +163,29 @@ impl PrecvRequest {
             // rkey packing: the bulk of the paper's 193.4 µs first-call cost.
             ctx.advance(ApiOverheads::sample(ctx, inner.overheads.pbuf_prepare_first_recv));
             let setup_tag = am_tag(Channel::Setup, inner.tag, inner.src, inner.my_rank);
-            let msg = inner.worker.am_recv(ctx, setup_tag);
+            let msg = inner.recv_handshake(ctx, setup_tag, "sender setup")?;
             let ss = msg.payload.downcast::<SenderSetup>().expect("setup payload type mismatch");
-            assert_eq!(
-                ss.user_partitions, inner.user_partitions,
-                "partitioned channel: sender/receiver partition counts differ \
-                 (sender {}, receiver {})",
-                ss.user_partitions, inner.user_partitions
-            );
-            assert_eq!(
-                ss.partition_bytes * ss.user_partitions,
-                inner.buffer.len(),
-                "partitioned channel: buffer sizes differ"
-            );
+            if ss.user_partitions != inner.user_partitions {
+                return Err(MpiError::InvalidArgument {
+                    context: format!(
+                        "partitioned channel: sender/receiver partition counts differ \
+                         (sender {}, receiver {})",
+                        ss.user_partitions, inner.user_partitions
+                    ),
+                });
+            }
+            if ss.partition_bytes * ss.user_partitions != inner.buffer.len() {
+                return Err(MpiError::InvalidArgument {
+                    context: format!(
+                        "partitioned channel: buffer sizes differ (sender {}, receiver {})",
+                        ss.partition_bytes * ss.user_partitions,
+                        inner.buffer.len()
+                    ),
+                });
+            }
             let data_rkey = inner.worker.mem_map(&inner.buffer).pack_rkey();
             let flag_rkey = inner.worker.mem_map(&inner.flags).pack_rkey();
-            let ep = inner
-                .worker
-                .create_endpoint(ss.sender_addr)
-                .expect("sender worker not registered");
+            let ep = inner.worker.create_endpoint(ss.sender_addr)?;
             ep.am_send(
                 am_tag(Channel::SetupReply, inner.tag, inner.src, inner.my_rank),
                 ReceiverSetup {
@@ -182,6 +208,7 @@ impl PrecvRequest {
                 ReadyToReceive::WIRE_BYTES,
             );
         }
+        Ok(())
     }
 
     /// `MPI_Parrived` (host binding): has user partition `u` arrived this
@@ -205,10 +232,10 @@ impl PrecvRequest {
     /// Block until at least `n` user partitions of the current epoch have
     /// arrived (a blocking `MPI_Parrived` companion for receiver-side
     /// pipelining: consume early partitions while later ones are still in
-    /// flight).
-    pub fn wait_arrivals(&self, ctx: &mut Ctx, n: u64) {
+    /// flight). Honors the wait watchdog like [`PrecvRequest::wait`].
+    pub fn wait_arrivals(&self, ctx: &mut Ctx, n: u64) -> Result<(), MpiError> {
         let target = n.min(self.inner.user_partitions as u64);
-        ctx.wait_count(&self.inner.arrived, target);
+        self.inner.wait_arrived(ctx, target, "partial partition arrival")
     }
 
     /// `MPI_Wait` (receiver side): block until every user partition of the
@@ -216,12 +243,21 @@ impl PrecvRequest {
     /// device-memory mirror of the arrival flags if one was created
     /// (paper: "we issue a memory copy to the device in `MPI_Wait` as
     /// partitions arrive").
-    pub fn wait(&self, ctx: &mut Ctx) {
+    ///
+    /// With [`parcomm_mpi::WorldConfig::wait_watchdog_us`] armed, a stalled
+    /// epoch — lost device flag write, crashed sender-side progression
+    /// engine, dropped control message — returns
+    /// [`MpiError::WaitTimeout`] instead of hanging the simulation.
+    pub fn wait(&self, ctx: &mut Ctx) -> Result<(), MpiError> {
         {
             let st = self.inner.state.lock();
-            assert!(st.started, "MPI_Wait without MPI_Start");
+            if !st.started {
+                return Err(MpiError::InvalidArgument {
+                    context: "MPI_Wait without MPI_Start".into(),
+                });
+            }
         }
-        ctx.wait_count(&self.inner.arrived, self.inner.user_partitions as u64);
+        self.inner.wait_arrived(ctx, self.inner.user_partitions as u64, "partition arrival")?;
         let mirror = self.inner.state.lock().device_mirror.clone();
         if let Some(m) = mirror {
             // Host→device copy of the flag words over C2C.
@@ -232,6 +268,7 @@ impl PrecvRequest {
             ));
         }
         self.inner.state.lock().started = false;
+        Ok(())
     }
 
     /// `MPI_Test` (receiver side).
@@ -266,19 +303,62 @@ impl PrecvRequest {
     }
 }
 
+impl PrecvShared {
+    /// Handshake receive honoring the wait watchdog: without one armed this
+    /// is exactly the seed's unbounded `am_recv`; with one armed, a dead
+    /// peer surfaces a typed timeout instead of parking this rank forever.
+    fn recv_handshake(&self, ctx: &mut Ctx, tag: u64, what: &str) -> Result<AmMessage, MpiError> {
+        match self.world.config().wait_watchdog_us {
+            None => Ok(self.worker.am_recv(ctx, tag)),
+            Some(t) => self
+                .worker
+                .am_recv_timeout(ctx, tag, SimDuration::from_micros_f64(t))
+                .ok_or_else(|| MpiError::WaitTimeout {
+                    rank: self.my_rank,
+                    context: format!("precv {what} (src {})", self.src),
+                    completed: 0,
+                    expected: 1,
+                    timeout_us: t,
+                }),
+        }
+    }
+
+    /// Wait for `target` arrivals, honoring the world's wait watchdog.
+    fn wait_arrived(&self, ctx: &mut Ctx, target: u64, what: &str) -> Result<(), MpiError> {
+        match self.world.config().wait_watchdog_us {
+            None => ctx.wait_count(&self.arrived, target),
+            Some(timeout_us) => {
+                let dt = SimDuration::from_micros_f64(timeout_us);
+                if !ctx.wait_count_timeout(&self.arrived, target, dt) {
+                    return Err(MpiError::WaitTimeout {
+                        rank: self.my_rank,
+                        context: format!("precv {what} (src {})", self.src),
+                        completed: self.arrived.count(),
+                        expected: target,
+                        timeout_us,
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
 impl PrecvRequest {
     /// `MPI_Request_free` for the persistent receive channel (no active
     /// epoch allowed). Consumes the handle.
-    pub fn free(self, ctx: &mut Ctx) {
+    pub fn free(self, ctx: &mut Ctx) -> Result<(), MpiError> {
         {
             let st = self.inner.state.lock();
-            assert!(
-                !st.started,
-                "MPI_Request_free while a communication epoch is active"
-            );
+            if st.started {
+                return Err(MpiError::InvalidArgument {
+                    context: "MPI_Request_free while a communication epoch is active".into(),
+                });
+            }
         }
         ctx.advance(SimDuration::from_micros_f64(2.0));
         drop(self);
+        Ok(())
     }
 }
 

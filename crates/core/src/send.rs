@@ -25,9 +25,9 @@ use std::sync::Arc;
 use parcomm_sim::Mutex;
 
 use parcomm_gpu::{Buffer, CostModel, MemSpace};
-use parcomm_mpi::{chunk_range, MpiWorld, ProgressionEngine, Rank};
+use parcomm_mpi::{chunk_range, MpiError, MpiWorld, ProgressionEngine, Rank};
 use parcomm_sim::{CountEvent, Ctx, SimDuration, SimHandle};
-use parcomm_ucx::{Endpoint, RKey, Worker};
+use parcomm_ucx::{AmMessage, Endpoint, PutHandle, RKey, Worker};
 
 use crate::channel::{am_tag, Channel, ReadyToReceive, ReceiverSetup, SenderSetup};
 use crate::overheads::ApiOverheads;
@@ -84,6 +84,10 @@ pub(crate) struct PsendShared {
     pub state: Mutex<SendState>,
     /// Bumped once per transport partition delivered this epoch.
     pub transport_complete: CountEvent,
+    /// Handles of the puts issued this epoch (data and chained flag puts),
+    /// scanned by the `MPI_Wait` watchdog to surface transport failures.
+    /// Cleared at `MPI_Start`.
+    pub puts: Arc<Mutex<Vec<PutHandle>>>,
 }
 
 /// A persistent partitioned send channel (`MPI_Psend_init` result).
@@ -104,23 +108,35 @@ pub fn psend_init(
     tag: u64,
     buffer: &Buffer,
     partitions: usize,
-) -> PsendRequest {
-    assert!(partitions > 0, "psend_init: need at least one partition");
-    assert_eq!(
-        buffer.len() % partitions,
-        0,
-        "psend_init: buffer length {} not divisible into {} partitions",
-        buffer.len(),
-        partitions
-    );
-    assert_ne!(dest, rank.rank(), "psend_init: self-send channels are not supported");
+) -> Result<PsendRequest, MpiError> {
+    if partitions == 0 {
+        return Err(MpiError::InvalidArgument {
+            context: "psend_init: need at least one partition".into(),
+        });
+    }
+    if !buffer.len().is_multiple_of(partitions) {
+        return Err(MpiError::InvalidArgument {
+            context: format!(
+                "psend_init: buffer length {} not divisible into {} partitions",
+                buffer.len(),
+                partitions
+            ),
+        });
+    }
+    if dest == rank.rank() {
+        return Err(MpiError::InvalidArgument {
+            context: "psend_init: self-send channels are not supported".into(),
+        });
+    }
+    if dest >= rank.size() {
+        return Err(MpiError::InvalidArgument {
+            context: format!("psend_init: destination rank {dest} out of range"),
+        });
+    }
     let overheads = ApiOverheads::default();
     ctx.advance(ApiOverheads::sample(ctx, overheads.p2p_init));
 
-    let endpoint = rank
-        .worker()
-        .create_endpoint(rank.peer_address(dest))
-        .expect("psend_init: destination worker not registered");
+    let endpoint = rank.worker().create_endpoint(rank.peer_address(dest))?;
     let setup = SenderSetup {
         src: rank.rank(),
         dst: dest,
@@ -136,7 +152,7 @@ pub fn psend_init(
     );
 
     let flag_stage = Buffer::alloc(MemSpace::Host { node: rank.gpu().id().node }, partitions * 8);
-    PsendRequest {
+    Ok(PsendRequest {
         inner: Arc::new(PsendShared {
             world: rank.world().clone(),
             worker: rank.worker().clone(),
@@ -163,9 +179,10 @@ pub fn psend_init(
                 sent: vec![false; 1],
                 flag_stage,
             }),
-            transport_complete: CountEvent::new(),
+            transport_complete: CountEvent::named("psend transport_complete"),
+            puts: Arc::new(Mutex::new(Vec::new())),
         }),
-    }
+    })
 }
 
 impl PsendRequest {
@@ -193,28 +210,39 @@ impl PsendRequest {
     /// Configure transport aggregation. Must be called before any partition
     /// of the current epoch is marked ready. `t` must be in
     /// `1..=user_partitions`.
-    pub fn set_transport_partitions(&self, t: usize) {
-        assert!(t >= 1 && t <= self.inner.user_partitions, "invalid transport partition count {t}");
+    pub fn set_transport_partitions(&self, t: usize) -> Result<(), MpiError> {
+        if t < 1 || t > self.inner.user_partitions {
+            return Err(MpiError::InvalidArgument {
+                context: format!("invalid transport partition count {t}"),
+            });
+        }
         let mut st = self.inner.state.lock();
-        assert!(
-            st.ready.iter().all(|&c| c == 0),
-            "set_transport_partitions after partitions were marked ready"
-        );
+        if !st.ready.iter().all(|&c| c == 0) {
+            return Err(MpiError::InvalidArgument {
+                context: "set_transport_partitions after partitions were marked ready".into(),
+            });
+        }
         st.transport_partitions = t;
         st.ready = vec![0; t];
         st.sent = vec![false; t];
+        Ok(())
     }
 
     /// `MPI_Start`: open a new communication epoch.
-    pub fn start(&self, _ctx: &mut Ctx) {
+    pub fn start(&self, _ctx: &mut Ctx) -> Result<(), MpiError> {
         let mut st = self.inner.state.lock();
-        assert!(!st.started, "MPI_Start while the previous epoch is still active");
+        if st.started {
+            return Err(MpiError::InvalidArgument {
+                context: "MPI_Start while the previous epoch is still active".into(),
+            });
+        }
         st.epoch += 1;
         st.started = true;
         let t = st.transport_partitions;
         st.ready = vec![0; t];
         st.user_ready = vec![false; self.inner.user_partitions];
         st.sent = vec![false; t];
+        self.inner.puts.lock().clear();
         self.inner.transport_complete.reset();
         // Flag puts carry the epoch number so MPI_Parrived can distinguish
         // epochs without a reset race.
@@ -222,28 +250,46 @@ impl PsendRequest {
         for u in 0..self.inner.user_partitions {
             st.flag_stage.write_flag(u, epoch);
         }
+        Ok(())
+    }
+
+    /// The receiver's data-buffer [`RKey`] (available after the first
+    /// `MPIX_Pbuf_prepare`). Fault-injection surface: chaos tests call
+    /// [`RKey::revoke_ipc`] on it to simulate the peer unmapping its
+    /// `ucp_rkey_ptr` IPC mapping mid-epoch.
+    pub fn data_rkey(&self) -> Option<RKey> {
+        self.inner.state.lock().data_rkey.clone()
     }
 
     /// `MPIX_Pbuf_prepare` (sender side): block until the receiver's buffer
     /// is guaranteed ready for this epoch.
-    pub fn pbuf_prepare(&self, ctx: &mut Ctx) {
+    pub fn pbuf_prepare(&self, ctx: &mut Ctx) -> Result<(), MpiError> {
         let (first, epoch) = {
             let st = self.inner.state.lock();
-            assert!(st.started, "MPIX_Pbuf_prepare before MPI_Start");
+            if !st.started {
+                return Err(MpiError::InvalidArgument {
+                    context: "MPIX_Pbuf_prepare before MPI_Start".into(),
+                });
+            }
             (!st.prepared, st.epoch)
         };
         if first {
             ctx.advance(ApiOverheads::sample(ctx, self.inner.overheads.pbuf_prepare_first_send));
             let reply_tag = am_tag(Channel::SetupReply, self.inner.tag, self.inner.my_rank, self.inner.dest);
-            let msg = self.inner.worker.am_recv(ctx, reply_tag);
+            let msg = self.recv_handshake(ctx, reply_tag, "setup reply")?;
             let rs = msg
                 .payload
                 .downcast::<ReceiverSetup>()
                 .expect("setup reply payload type mismatch");
-            assert_eq!(
-                rs.user_partitions, self.inner.user_partitions,
-                "partitioned channel: sender and receiver partition counts differ"
-            );
+            if rs.user_partitions != self.inner.user_partitions {
+                return Err(MpiError::InvalidArgument {
+                    context: format!(
+                        "partitioned channel: sender ({}) and receiver ({}) partition \
+                         counts differ",
+                        self.inner.user_partitions, rs.user_partitions
+                    ),
+                });
+            }
             let mut st = self.inner.state.lock();
             st.data_rkey = Some(rs.data_rkey.clone());
             st.flag_rkey = Some(rs.flag_rkey.clone());
@@ -252,42 +298,71 @@ impl PsendRequest {
         } else {
             ctx.advance(ApiOverheads::sample(ctx, self.inner.overheads.pbuf_prepare_steady));
             let rtr_tag = am_tag(Channel::ReadyToReceive, self.inner.tag, self.inner.my_rank, self.inner.dest);
-            let msg = self.inner.worker.am_recv(ctx, rtr_tag);
+            let msg = self.recv_handshake(ctx, rtr_tag, "ready-to-receive")?;
             let rtr = msg.payload.downcast::<ReadyToReceive>().expect("RTR payload type mismatch");
-            assert_eq!(rtr.epoch, epoch, "receiver epoch out of sync with sender");
+            if rtr.epoch != epoch {
+                return Err(MpiError::InvalidArgument {
+                    context: format!(
+                        "receiver epoch {} out of sync with sender epoch {epoch}",
+                        rtr.epoch
+                    ),
+                });
+            }
         }
+        Ok(())
     }
 
     /// Host binding of `MPI_Pready`: mark one user partition ready. If that
     /// completes a transport partition, its data put is issued from the
     /// calling process (charging the put-post cost).
-    pub fn pready(&self, ctx: &mut Ctx, user_partition: usize) {
-        let completed = self.inner.mark_ready(user_partition..user_partition + 1);
+    pub fn pready(&self, ctx: &mut Ctx, user_partition: usize) -> Result<(), MpiError> {
+        let completed = self.inner.mark_ready(user_partition..user_partition + 1)?;
         for k in completed {
             ctx.advance(SimDuration::from_micros_f64(self.inner.cost.data_put_post_us));
             self.inner.issue_data_put(&ctx.handle(), k);
         }
+        Ok(())
     }
 
     /// Host bulk `MPI_Pready` over a contiguous user partition range.
-    pub fn pready_range(&self, ctx: &mut Ctx, users: Range<usize>) {
-        let completed = self.inner.mark_ready(users);
+    pub fn pready_range(&self, ctx: &mut Ctx, users: Range<usize>) -> Result<(), MpiError> {
+        let completed = self.inner.mark_ready(users)?;
         for k in completed {
             ctx.advance(SimDuration::from_micros_f64(self.inner.cost.data_put_post_us));
             self.inner.issue_data_put(&ctx.handle(), k);
         }
+        Ok(())
     }
 
     /// `MPI_Wait` (sender side): block until every transport partition of
     /// the current epoch is delivered, then close the epoch.
-    pub fn wait(&self, ctx: &mut Ctx) {
+    ///
+    /// With [`parcomm_mpi::WorldConfig::wait_watchdog_us`] armed, a stalled
+    /// epoch returns a typed error instead of blocking forever: a failed put
+    /// surfaces as [`MpiError::Transport`], a crashed progression engine as
+    /// [`MpiError::ProgressionHalted`], anything else as
+    /// [`MpiError::WaitTimeout`].
+    pub fn wait(&self, ctx: &mut Ctx) -> Result<(), MpiError> {
         let t = {
             let st = self.inner.state.lock();
-            assert!(st.started, "MPI_Wait without MPI_Start");
+            if !st.started {
+                return Err(MpiError::InvalidArgument {
+                    context: "MPI_Wait without MPI_Start".into(),
+                });
+            }
             st.transport_partitions as u64
         };
-        ctx.wait_count(&self.inner.transport_complete, t);
+        match self.inner.world.config().wait_watchdog_us {
+            None => ctx.wait_count(&self.inner.transport_complete, t),
+            Some(timeout_us) => {
+                let dt = SimDuration::from_micros_f64(timeout_us);
+                if !ctx.wait_count_timeout(&self.inner.transport_complete, t, dt) {
+                    return Err(self.inner.diagnose_stall(timeout_us, t));
+                }
+            }
+        }
         self.inner.state.lock().started = false;
+        Ok(())
     }
 
     /// `MPI_Test` (sender side): true when the epoch is fully delivered.
@@ -304,33 +379,98 @@ impl PsendRequest {
     /// have an active epoch. Resources are reference-counted in the
     /// simulation; this charges the host bookkeeping cost and consumes the
     /// handle so further API calls are impossible.
-    pub fn free(self, ctx: &mut Ctx) {
+    pub fn free(self, ctx: &mut Ctx) -> Result<(), MpiError> {
         {
             let st = self.inner.state.lock();
-            assert!(
-                !st.started,
-                "MPI_Request_free while a communication epoch is active"
-            );
+            if st.started {
+                return Err(MpiError::InvalidArgument {
+                    context: "MPI_Request_free while a communication epoch is active".into(),
+                });
+            }
         }
         ctx.advance(SimDuration::from_micros_f64(2.0));
         drop(self);
+        Ok(())
+    }
+}
+
+impl PsendRequest {
+    /// Handshake receive honoring the wait watchdog: without one armed this
+    /// is exactly the seed's unbounded `am_recv` (zero extra events); with
+    /// one armed, a dead peer surfaces a typed timeout instead of parking
+    /// this rank forever.
+    fn recv_handshake(&self, ctx: &mut Ctx, tag: u64, what: &str) -> Result<AmMessage, MpiError> {
+        match self.inner.world.config().wait_watchdog_us {
+            None => Ok(self.inner.worker.am_recv(ctx, tag)),
+            Some(t) => self
+                .inner
+                .worker
+                .am_recv_timeout(ctx, tag, SimDuration::from_micros_f64(t))
+                .ok_or_else(|| MpiError::WaitTimeout {
+                    rank: self.inner.my_rank,
+                    context: format!("psend {what} (dst {})", self.inner.dest),
+                    completed: 0,
+                    expected: 1,
+                    timeout_us: t,
+                }),
+        }
     }
 }
 
 impl PsendShared {
+    /// Watchdog expiry triage, most-specific first: a settled put failure
+    /// (transport gave up after retries), a crashed progression engine, then
+    /// the generic stalled-counter timeout.
+    pub(crate) fn diagnose_stall(&self, timeout_us: f64, expected: u64) -> MpiError {
+        let failed = self.puts.lock().iter().find_map(|p| match p.result() {
+            Some(Err(e)) => Some(e),
+            _ => None,
+        });
+        if let Some(e) = failed {
+            return MpiError::Transport(e);
+        }
+        if self.progression.is_crashed() {
+            return MpiError::ProgressionHalted { rank: self.my_rank };
+        }
+        MpiError::WaitTimeout {
+            rank: self.my_rank,
+            context: format!("psend transport completion (dst {})", self.dest),
+            completed: self.transport_complete.count(),
+            expected,
+            timeout_us,
+        }
+    }
+
     /// Mark a user range ready; returns the transport partitions that just
     /// became complete (and latches them as sent).
-    pub(crate) fn mark_ready(&self, users: Range<usize>) -> Vec<usize> {
-        assert!(users.end <= self.user_partitions, "pready: partition out of range");
+    pub(crate) fn mark_ready(&self, users: Range<usize>) -> Result<Vec<usize>, MpiError> {
+        if users.end > self.user_partitions {
+            return Err(MpiError::InvalidArgument {
+                context: format!(
+                    "pready: partition range {users:?} out of range (channel has {})",
+                    self.user_partitions
+                ),
+            });
+        }
         let mut st = self.state.lock();
-        assert!(st.started, "MPI_Pready before MPI_Start");
-        assert!(st.prepared, "MPI_Pready before MPIX_Pbuf_prepare (receiver not guaranteed ready)");
+        if !st.started {
+            return Err(MpiError::InvalidArgument {
+                context: "MPI_Pready before MPI_Start".into(),
+            });
+        }
+        if !st.prepared {
+            return Err(MpiError::InvalidArgument {
+                context: "MPI_Pready before MPIX_Pbuf_prepare (receiver not guaranteed ready)"
+                    .into(),
+            });
+        }
         let t = st.transport_partitions;
         for u in users.clone() {
-            assert!(
-                !st.user_ready[u],
-                "user partition {u} marked ready twice in one epoch"
-            );
+            if st.user_ready[u] {
+                return Err(MpiError::InvalidArgument {
+                    context: format!("user partition {u} marked ready twice in one epoch"),
+                });
+            }
             st.user_ready[u] = true;
         }
         let mut completed = Vec::new();
@@ -350,7 +490,7 @@ impl PsendShared {
                 completed.push(k);
             }
         }
-        completed
+        Ok(completed)
     }
 
     /// Issue the data put for transport partition `k`, chaining the
@@ -372,7 +512,9 @@ impl PsendShared {
         let byte_len = ulen * self.partition_bytes;
         let tc = self.transport_complete.clone();
         let ep2 = ep.clone();
-        ep.put_nbx(&self.buffer, byte_off, byte_len, &data_rkey, byte_off, move |_h| {
+        let puts = self.puts.clone();
+        let puts2 = puts.clone();
+        let h = ep.put_nbx(&self.buffer, byte_off, byte_len, &data_rkey, byte_off, move |_h| {
             // Data delivered: chain the control put that raises the
             // receive-side partition flags (UCX has no put-with-completion).
             // The sender's transport-complete count also waits for this
@@ -381,11 +523,13 @@ impl PsendShared {
             // is still reading it.
             let notifier = notifier.clone();
             let tc = tc.clone();
-            ep2.put_nbx(&flag_stage, u0 * 8, ulen * 8, &flag_rkey, u0 * 8, move |h| {
+            let fh = ep2.put_nbx(&flag_stage, u0 * 8, ulen * 8, &flag_rkey, u0 * 8, move |h| {
                 notifier.add(h, ulen as u64);
                 tc.add(h, 1);
             });
+            puts2.lock().push(fh);
         });
+        puts.lock().push(h);
     }
 
     /// Kernel-copy completion signal: the data already landed via in-kernel
@@ -403,10 +547,11 @@ impl PsendShared {
         };
         let (u0, ulen) = chunk_range(self.user_partitions, t, k);
         let tc = self.transport_complete.clone();
-        ep.put_nbx(&flag_stage, u0 * 8, ulen * 8, &flag_rkey, u0 * 8, move |h| {
+        let h = ep.put_nbx(&flag_stage, u0 * 8, ulen * 8, &flag_rkey, u0 * 8, move |h| {
             notifier.add(h, ulen as u64);
             tc.add(h, 1);
         });
+        self.puts.lock().push(h);
     }
 }
 

@@ -34,9 +34,9 @@ fn progressive_pready_overlaps_transfer_with_compute() {
             let buf = rank.gpu().alloc_global(bytes);
             match rank.rank() {
                 0 => {
-                    let sreq = psend_init(ctx, rank, 1, TAG, &buf, parts);
-                    sreq.start(ctx);
-                    sreq.pbuf_prepare(ctx);
+                    let sreq = psend_init(ctx, rank, 1, TAG, &buf, parts).expect("init");
+                    sreq.start(ctx).expect("start");
+                    sreq.pbuf_prepare(ctx).expect("pbuf_prepare");
                     let preq = prequest_create(
                         ctx,
                         rank,
@@ -54,14 +54,14 @@ fn progressive_pready_overlaps_transfer_with_compute() {
                             p2.pready_all(d);
                         }
                     });
-                    sreq.wait(ctx);
+                    sreq.wait(ctx).expect("wait");
                     *o2.lock() = ctx.now().since(t0).as_micros_f64();
                 }
                 1 => {
-                    let rreq = precv_init(ctx, rank, 0, TAG, &buf, parts);
-                    rreq.start(ctx);
-                    rreq.pbuf_prepare(ctx);
-                    rreq.wait(ctx);
+                    let rreq = precv_init(ctx, rank, 0, TAG, &buf, parts).expect("init");
+                    rreq.start(ctx).expect("start");
+                    rreq.pbuf_prepare(ctx).expect("pbuf_prepare");
+                    rreq.wait(ctx).expect("wait");
                 }
                 _ => {}
             }
@@ -91,9 +91,9 @@ fn progressive_kernel_copy_delivers_payload() {
                 for u in 0..parts {
                     buf.write_f64(u * 64, (u * u) as f64);
                 }
-                let sreq = psend_init(ctx, rank, 1, TAG, &buf, parts);
-                sreq.start(ctx);
-                sreq.pbuf_prepare(ctx);
+                let sreq = psend_init(ctx, rank, 1, TAG, &buf, parts).expect("init");
+                sreq.start(ctx).expect("start");
+                sreq.pbuf_prepare(ctx).expect("pbuf_prepare");
                 let preq = prequest_create(
                     ctx,
                     rank,
@@ -110,13 +110,13 @@ fn progressive_kernel_copy_delivers_payload() {
                 stream.launch(ctx, KernelSpec::vector_add(1, 64), move |d| {
                     p2.pready_all_progressive(d)
                 });
-                sreq.wait(ctx);
+                sreq.wait(ctx).expect("wait");
             }
             1 => {
-                let rreq = precv_init(ctx, rank, 0, TAG, &buf, parts);
-                rreq.start(ctx);
-                rreq.pbuf_prepare(ctx);
-                rreq.wait(ctx);
+                let rreq = precv_init(ctx, rank, 0, TAG, &buf, parts).expect("init");
+                rreq.start(ctx).expect("start");
+                rreq.pbuf_prepare(ctx).expect("pbuf_prepare");
+                rreq.wait(ctx).expect("wait");
                 for u in 0..parts {
                     assert_eq!(buf.read_f64(u * 64), (u * u) as f64, "partition {u}");
                 }
@@ -137,9 +137,9 @@ fn warp_level_device_binding_round_trip() {
         match rank.rank() {
             0 => {
                 buf.write_f64_slice(0, &vec![6.25; parts]);
-                let sreq = psend_init(ctx, rank, 1, TAG, &buf, parts);
-                sreq.start(ctx);
-                sreq.pbuf_prepare(ctx);
+                let sreq = psend_init(ctx, rank, 1, TAG, &buf, parts).expect("init");
+                sreq.start(ctx).expect("start");
+                sreq.pbuf_prepare(ctx).expect("pbuf_prepare");
                 let preq = prequest_create(
                     ctx,
                     rank,
@@ -155,13 +155,13 @@ fn warp_level_device_binding_round_trip() {
                 let p2 = preq.clone();
                 stream
                     .launch(ctx, KernelSpec::vector_add(1, parts as u32), move |d| p2.pready_all(d));
-                sreq.wait(ctx);
+                sreq.wait(ctx).expect("wait");
             }
             1 => {
-                let rreq = precv_init(ctx, rank, 0, TAG, &buf, parts);
-                rreq.start(ctx);
-                rreq.pbuf_prepare(ctx);
-                rreq.wait(ctx);
+                let rreq = precv_init(ctx, rank, 0, TAG, &buf, parts).expect("init");
+                rreq.start(ctx).expect("start");
+                rreq.pbuf_prepare(ctx).expect("pbuf_prepare");
+                rreq.wait(ctx).expect("wait");
                 assert_eq!(buf.read_f64_slice(0, parts), vec![6.25; parts]);
             }
             _ => {}
@@ -179,22 +179,22 @@ fn device_arrival_mirror_reflects_wait() {
         let buf = rank.gpu().alloc_global(parts * 256);
         match rank.rank() {
             0 => {
-                let sreq = psend_init(ctx, rank, 1, TAG, &buf, parts);
-                sreq.start(ctx);
-                sreq.pbuf_prepare(ctx);
+                let sreq = psend_init(ctx, rank, 1, TAG, &buf, parts).expect("init");
+                sreq.start(ctx).expect("start");
+                sreq.pbuf_prepare(ctx).expect("pbuf_prepare");
                 for u in 0..parts {
-                    sreq.pready(ctx, u);
+                    sreq.pready(ctx, u).expect("pready");
                 }
-                sreq.wait(ctx);
+                sreq.wait(ctx).expect("wait");
             }
             1 => {
-                let rreq = precv_init(ctx, rank, 0, TAG, &buf, parts);
+                let rreq = precv_init(ctx, rank, 0, TAG, &buf, parts).expect("init");
                 // Create the device mirror before the epoch.
                 let mirror = rreq.device_arrival_flags(rank);
                 assert_eq!(mirror.read_flag(0), 0, "mirror starts clear");
-                rreq.start(ctx);
-                rreq.pbuf_prepare(ctx);
-                rreq.wait(ctx);
+                rreq.start(ctx).expect("start");
+                rreq.pbuf_prepare(ctx).expect("pbuf_prepare");
+                rreq.wait(ctx).expect("wait");
                 // MPI_Wait refreshed the device mirror (paper §IV-A4): a
                 // kernel can now check arrivals from device memory.
                 let stream = rank.gpu().create_stream();
@@ -224,12 +224,12 @@ fn mpi_test_polls_without_blocking() {
         let buf = rank.gpu().alloc_global(parts * 128);
         match rank.rank() {
             0 => {
-                let sreq = psend_init(ctx, rank, 1, TAG, &buf, parts);
-                sreq.start(ctx);
-                sreq.pbuf_prepare(ctx);
+                let sreq = psend_init(ctx, rank, 1, TAG, &buf, parts).expect("init");
+                sreq.start(ctx).expect("start");
+                sreq.pbuf_prepare(ctx).expect("pbuf_prepare");
                 assert!(!sreq.test(), "nothing sent yet");
-                sreq.pready(ctx, 0);
-                sreq.pready(ctx, 1);
+                sreq.pready(ctx, 0).expect("pready");
+                sreq.pready(ctx, 1).expect("pready");
                 // Poll until complete (MPI_Test loop).
                 let mut polls = 0;
                 while !sreq.test() {
@@ -237,16 +237,16 @@ fn mpi_test_polls_without_blocking() {
                     polls += 1;
                     assert!(polls < 1000, "test never completed");
                 }
-                sreq.wait(ctx); // immediate
+                sreq.wait(ctx).expect("wait"); // immediate
             }
             1 => {
-                let rreq = precv_init(ctx, rank, 0, TAG, &buf, parts);
-                rreq.start(ctx);
-                rreq.pbuf_prepare(ctx);
+                let rreq = precv_init(ctx, rank, 0, TAG, &buf, parts).expect("init");
+                rreq.start(ctx).expect("start");
+                rreq.pbuf_prepare(ctx).expect("pbuf_prepare");
                 while !rreq.test() {
                     ctx.advance(SimDuration::from_micros(1));
                 }
-                rreq.wait(ctx);
+                rreq.wait(ctx).expect("wait");
             }
             _ => {}
         }
@@ -263,22 +263,22 @@ fn pinned_flags_record_epoch_numbers() {
         let buf = rank.gpu().alloc_global(parts * 8);
         match rank.rank() {
             0 => {
-                let sreq = psend_init(ctx, rank, 1, TAG, &buf, parts);
-                sreq.start(ctx);
-                sreq.pbuf_prepare(ctx);
+                let sreq = psend_init(ctx, rank, 1, TAG, &buf, parts).expect("init");
+                sreq.start(ctx).expect("start");
+                sreq.pbuf_prepare(ctx).expect("pbuf_prepare");
                 let preq = prequest_create(ctx, rank, &sreq, PrequestConfig::default()).unwrap();
                 let stream = rank.gpu().create_stream();
                 let p2 = preq.clone();
                 stream.launch(ctx, KernelSpec::vector_add(1, 4), move |d| p2.pready_all(d));
-                sreq.wait(ctx);
+                sreq.wait(ctx).expect("wait");
                 // The device wrote its notification into pinned host memory.
                 assert_eq!(preq.pinned_flags().read_flag(0), 1, "epoch 1 notification");
             }
             1 => {
-                let rreq = precv_init(ctx, rank, 0, TAG, &buf, parts);
-                rreq.start(ctx);
-                rreq.pbuf_prepare(ctx);
-                rreq.wait(ctx);
+                let rreq = precv_init(ctx, rank, 0, TAG, &buf, parts).expect("init");
+                rreq.start(ctx).expect("start");
+                rreq.pbuf_prepare(ctx).expect("pbuf_prepare");
+                rreq.wait(ctx).expect("wait");
             }
             _ => {}
         }

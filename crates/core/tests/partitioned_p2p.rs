@@ -25,19 +25,19 @@ fn host_pready_full_cycle_delivers_all_partitions() {
                 for u in 0..parts {
                     buf.write_f64_slice(u * 1024, &[u as f64 + 1.0; 128]);
                 }
-                let sreq = psend_init(ctx, rank, 1, TAG, &buf, parts);
-                sreq.start(ctx);
-                sreq.pbuf_prepare(ctx);
+                let sreq = psend_init(ctx, rank, 1, TAG, &buf, parts).expect("init");
+                sreq.start(ctx).expect("start");
+                sreq.pbuf_prepare(ctx).expect("pbuf_prepare");
                 for u in 0..parts {
-                    sreq.pready(ctx, u);
+                    sreq.pready(ctx, u).expect("pready");
                 }
-                sreq.wait(ctx);
+                sreq.wait(ctx).expect("wait");
             }
             1 => {
-                let rreq = precv_init(ctx, rank, 0, TAG, &buf, parts);
-                rreq.start(ctx);
-                rreq.pbuf_prepare(ctx);
-                rreq.wait(ctx);
+                let rreq = precv_init(ctx, rank, 0, TAG, &buf, parts).expect("init");
+                rreq.start(ctx).expect("start");
+                rreq.pbuf_prepare(ctx).expect("pbuf_prepare");
+                rreq.wait(ctx).expect("wait");
                 for u in 0..parts {
                     assert!(rreq.parrived(u), "partition {u} must be flagged");
                     assert_eq!(buf.read_f64_slice(u * 1024, 128), vec![u as f64 + 1.0; 128]);
@@ -58,23 +58,23 @@ fn persistent_channel_reuse_across_epochs() {
         let buf = rank.gpu().alloc_global(parts * 8);
         match rank.rank() {
             0 => {
-                let sreq = psend_init(ctx, rank, 1, TAG, &buf, parts);
+                let sreq = psend_init(ctx, rank, 1, TAG, &buf, parts).expect("init");
                 for epoch in 1..=3u64 {
                     buf.write_f64_slice(0, &[epoch as f64; 4]);
-                    sreq.start(ctx);
-                    sreq.pbuf_prepare(ctx);
+                    sreq.start(ctx).expect("start");
+                    sreq.pbuf_prepare(ctx).expect("pbuf_prepare");
                     for u in 0..parts {
-                        sreq.pready(ctx, u);
+                        sreq.pready(ctx, u).expect("pready");
                     }
-                    sreq.wait(ctx);
+                    sreq.wait(ctx).expect("wait");
                 }
             }
             1 => {
-                let rreq = precv_init(ctx, rank, 0, TAG, &buf, parts);
+                let rreq = precv_init(ctx, rank, 0, TAG, &buf, parts).expect("init");
                 for epoch in 1..=3u64 {
-                    rreq.start(ctx);
-                    rreq.pbuf_prepare(ctx);
-                    rreq.wait(ctx);
+                    rreq.start(ctx).expect("start");
+                    rreq.pbuf_prepare(ctx).expect("pbuf_prepare");
+                    rreq.wait(ctx).expect("wait");
                     assert_eq!(
                         buf.read_f64_slice(0, 4),
                         vec![epoch as f64; 4],
@@ -102,32 +102,32 @@ fn transport_aggregation_reduces_put_count() {
         let buf = rank.gpu().alloc_global(parts * 64);
         match rank.rank() {
             0 => {
-                let sreq = psend_init(ctx, rank, 1, TAG, &buf, parts);
-                sreq.set_transport_partitions(2);
-                sreq.start(ctx);
-                sreq.pbuf_prepare(ctx);
+                let sreq = psend_init(ctx, rank, 1, TAG, &buf, parts).expect("init");
+                sreq.set_transport_partitions(2).expect("set_transport_partitions");
+                sreq.start(ctx).expect("start");
+                sreq.pbuf_prepare(ctx).expect("pbuf_prepare");
                 // Ready partitions 0..3: completes transport 0 only.
                 for u in 0..4 {
-                    sreq.pready(ctx, u);
+                    sreq.pready(ctx, u).expect("pready");
                 }
                 ctx.advance(SimDuration::from_micros(50));
                 // Now the second transport.
                 for u in 4..8 {
-                    sreq.pready(ctx, u);
+                    sreq.pready(ctx, u).expect("pready");
                 }
-                sreq.wait(ctx);
+                sreq.wait(ctx).expect("wait");
             }
             1 => {
-                let rreq = precv_init(ctx, rank, 0, TAG, &buf, parts);
-                rreq.start(ctx);
-                rreq.pbuf_prepare(ctx);
+                let rreq = precv_init(ctx, rank, 0, TAG, &buf, parts).expect("init");
+                rreq.start(ctx).expect("start");
+                rreq.pbuf_prepare(ctx).expect("pbuf_prepare");
                 // Poll until the first transport lands; record arrival sets.
                 while rreq.arrived_count() < 4 {
                     ctx.advance(SimDuration::from_micros(1));
                 }
                 let first: Vec<bool> = (0..8).map(|u| rreq.parrived(u)).collect();
                 obs2.lock().push(first);
-                rreq.wait(ctx);
+                rreq.wait(ctx).expect("wait");
                 let second: Vec<bool> = (0..8).map(|u| rreq.parrived(u)).collect();
                 obs2.lock().push(second);
             }
@@ -151,9 +151,9 @@ fn run_device_cycle(copy: CopyMechanism, agg: AggLevel) -> f64 {
         match rank.rank() {
             0 => {
                 buf.write_f64_slice(0, &(0..parts).map(|i| i as f64).collect::<Vec<_>>());
-                let sreq = psend_init(ctx, rank, 1, TAG, &buf, parts);
-                sreq.start(ctx);
-                sreq.pbuf_prepare(ctx);
+                let sreq = psend_init(ctx, rank, 1, TAG, &buf, parts).expect("init");
+                sreq.start(ctx).expect("start");
+                sreq.pbuf_prepare(ctx).expect("pbuf_prepare");
                 let preq = prequest_create(
                     ctx,
                     rank,
@@ -167,14 +167,14 @@ fn run_device_cycle(copy: CopyMechanism, agg: AggLevel) -> f64 {
                 stream.launch(ctx, KernelSpec::vector_add(1, parts as u32), move |d| {
                     preq2.pready_all(d);
                 });
-                sreq.wait(ctx);
+                sreq.wait(ctx).expect("wait");
                 *e2.lock() = ctx.now().since(t0).as_micros_f64();
             }
             1 => {
-                let rreq = precv_init(ctx, rank, 0, TAG, &buf, parts);
-                rreq.start(ctx);
-                rreq.pbuf_prepare(ctx);
-                rreq.wait(ctx);
+                let rreq = precv_init(ctx, rank, 0, TAG, &buf, parts).expect("init");
+                rreq.start(ctx).expect("start");
+                rreq.pbuf_prepare(ctx).expect("pbuf_prepare");
+                rreq.wait(ctx).expect("wait");
                 assert_eq!(
                     buf.read_f64_slice(0, parts),
                     (0..parts).map(|i| i as f64).collect::<Vec<_>>(),
@@ -229,9 +229,9 @@ fn kernel_copy_cross_node_is_rejected() {
         match rank.rank() {
             0 => {
                 // Rank 4 is on the other node.
-                let sreq = psend_init(ctx, rank, 4, TAG, &buf, 4);
-                sreq.start(ctx);
-                sreq.pbuf_prepare(ctx);
+                let sreq = psend_init(ctx, rank, 4, TAG, &buf, 4).expect("init");
+                sreq.start(ctx).expect("start");
+                sreq.pbuf_prepare(ctx).expect("pbuf_prepare");
                 let err = prequest_create(
                     ctx,
                     rank,
@@ -247,13 +247,13 @@ fn kernel_copy_cross_node_is_rejected() {
                 let stream = rank.gpu().create_stream();
                 let preq2 = preq.clone();
                 stream.launch(ctx, KernelSpec::vector_add(1, 4), move |d| preq2.pready_all(d));
-                sreq.wait(ctx);
+                sreq.wait(ctx).expect("wait");
             }
             4 => {
-                let rreq = precv_init(ctx, rank, 0, TAG, &buf, 4);
-                rreq.start(ctx);
-                rreq.pbuf_prepare(ctx);
-                rreq.wait(ctx);
+                let rreq = precv_init(ctx, rank, 0, TAG, &buf, 4).expect("init");
+                rreq.start(ctx).expect("start");
+                rreq.pbuf_prepare(ctx).expect("pbuf_prepare");
+                rreq.wait(ctx).expect("wait");
             }
             _ => {}
         }
@@ -271,22 +271,22 @@ fn inter_node_progression_engine_works() {
         match rank.rank() {
             2 => {
                 buf.write_f64_slice(0, &[2.5; 64]);
-                let sreq = psend_init(ctx, rank, 6, TAG, &buf, parts);
-                sreq.start(ctx);
-                sreq.pbuf_prepare(ctx);
+                let sreq = psend_init(ctx, rank, 6, TAG, &buf, parts).expect("init");
+                sreq.start(ctx).expect("start");
+                sreq.pbuf_prepare(ctx).expect("pbuf_prepare");
                 let preq = prequest_create(ctx, rank, &sreq, PrequestConfig::default()).unwrap();
                 let stream = rank.gpu().create_stream();
                 let preq2 = preq.clone();
                 stream.launch(ctx, KernelSpec::vector_add(1, parts as u32), move |d| {
                     preq2.pready_all(d)
                 });
-                sreq.wait(ctx);
+                sreq.wait(ctx).expect("wait");
             }
             6 => {
-                let rreq = precv_init(ctx, rank, 2, TAG, &buf, parts);
-                rreq.start(ctx);
-                rreq.pbuf_prepare(ctx);
-                rreq.wait(ctx);
+                let rreq = precv_init(ctx, rank, 2, TAG, &buf, parts).expect("init");
+                rreq.start(ctx).expect("start");
+                rreq.pbuf_prepare(ctx).expect("pbuf_prepare");
+                rreq.wait(ctx).expect("wait");
                 assert_eq!(buf.read_f64_slice(0, 64), vec![2.5; 64]);
             }
             _ => {}
@@ -315,9 +315,9 @@ fn two_transport_partitions_overlap_large_kernels_inter_node() {
             let spec = KernelSpec::new("heavy", 1024, 1024).with_flops(10_000.0);
             match rank.rank() {
                 0 => {
-                    let sreq = psend_init(ctx, rank, 4, TAG, &buf, parts);
-                    sreq.start(ctx);
-                    sreq.pbuf_prepare(ctx);
+                    let sreq = psend_init(ctx, rank, 4, TAG, &buf, parts).expect("init");
+                    sreq.start(ctx).expect("start");
+                    sreq.pbuf_prepare(ctx).expect("pbuf_prepare");
                     let preq = prequest_create(
                         ctx,
                         rank,
@@ -332,14 +332,14 @@ fn two_transport_partitions_overlap_large_kernels_inter_node() {
                     let stream = rank.gpu().create_stream();
                     let preq2 = preq.clone();
                     stream.launch(ctx, spec, move |d| preq2.pready_all_progressive(d));
-                    sreq.wait(ctx);
+                    sreq.wait(ctx).expect("wait");
                     *e2.lock() = ctx.now().since(t0).as_micros_f64();
                 }
                 4 => {
-                    let rreq = precv_init(ctx, rank, 0, TAG, &buf, parts);
-                    rreq.start(ctx);
-                    rreq.pbuf_prepare(ctx);
-                    rreq.wait(ctx);
+                    let rreq = precv_init(ctx, rank, 0, TAG, &buf, parts).expect("init");
+                    rreq.start(ctx).expect("start");
+                    rreq.pbuf_prepare(ctx).expect("pbuf_prepare");
+                    rreq.wait(ctx).expect("wait");
                 }
                 _ => {}
             }
@@ -365,8 +365,8 @@ fn pready_before_start_panics() {
     world.run_ranks(&mut sim, |ctx, rank| {
         let buf = rank.gpu().alloc_global(64);
         if rank.rank() == 0 {
-            let sreq = psend_init(ctx, rank, 1, TAG, &buf, 4);
-            sreq.pready(ctx, 0); // no start, no prepare: must panic
+            let sreq = psend_init(ctx, rank, 1, TAG, &buf, 4).expect("init");
+            sreq.pready(ctx, 0).expect("pready"); // no start, no prepare: must panic
         }
     });
     let err = sim.run().unwrap_err();
@@ -382,17 +382,17 @@ fn double_pready_panics() {
         let buf = rank.gpu().alloc_global(64);
         match rank.rank() {
             0 => {
-                let sreq = psend_init(ctx, rank, 1, TAG, &buf, 4);
-                sreq.start(ctx);
-                sreq.pbuf_prepare(ctx);
-                sreq.pready(ctx, 2);
-                sreq.pready(ctx, 2); // double ready in one epoch
+                let sreq = psend_init(ctx, rank, 1, TAG, &buf, 4).expect("init");
+                sreq.start(ctx).expect("start");
+                sreq.pbuf_prepare(ctx).expect("pbuf_prepare");
+                sreq.pready(ctx, 2).expect("pready");
+                sreq.pready(ctx, 2).expect("pready"); // double ready in one epoch
             }
             1 => {
-                let rreq = precv_init(ctx, rank, 0, TAG, &buf, 4);
-                rreq.start(ctx);
-                rreq.pbuf_prepare(ctx);
-                rreq.wait(ctx);
+                let rreq = precv_init(ctx, rank, 0, TAG, &buf, 4).expect("init");
+                rreq.start(ctx).expect("start");
+                rreq.pbuf_prepare(ctx).expect("pbuf_prepare");
+                rreq.wait(ctx).expect("wait");
             }
             _ => {}
         }
@@ -409,14 +409,14 @@ fn mismatched_partition_counts_detected() {
         let buf = rank.gpu().alloc_global(64);
         match rank.rank() {
             0 => {
-                let sreq = psend_init(ctx, rank, 1, TAG, &buf, 8);
-                sreq.start(ctx);
-                sreq.pbuf_prepare(ctx);
+                let sreq = psend_init(ctx, rank, 1, TAG, &buf, 8).expect("init");
+                sreq.start(ctx).expect("start");
+                sreq.pbuf_prepare(ctx).expect("pbuf_prepare");
             }
             1 => {
-                let rreq = precv_init(ctx, rank, 0, TAG, &buf, 4); // mismatch
-                rreq.start(ctx);
-                rreq.pbuf_prepare(ctx);
+                let rreq = precv_init(ctx, rank, 0, TAG, &buf, 4).expect("init"); // mismatch
+                rreq.start(ctx).expect("start");
+                rreq.pbuf_prepare(ctx).expect("pbuf_prepare");
             }
             _ => {}
         }

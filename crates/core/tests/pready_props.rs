@@ -55,21 +55,21 @@ fn any_pready_permutation_completes_exactly_once() {
                         for u in 0..partitions {
                             buf.write_f64(u * 512, (u + 1) as f64 * 1.5);
                         }
-                        let sreq = psend_init(ctx, rank, 1, 88, &buf, partitions);
-                        sreq.set_transport_partitions(transports);
-                        sreq.start(ctx);
-                        sreq.pbuf_prepare(ctx);
+                        let sreq = psend_init(ctx, rank, 1, 88, &buf, partitions).expect("init");
+                        sreq.set_transport_partitions(transports).expect("set_transport_partitions");
+                        sreq.start(ctx).expect("start");
+                        sreq.pbuf_prepare(ctx).expect("pbuf_prepare");
                         for &u in &order {
-                            sreq.pready(ctx, u);
+                            sreq.pready(ctx, u).expect("pready");
                         }
-                        sreq.wait(ctx);
+                        sreq.wait(ctx).expect("wait");
                         *w2.lock() += 1;
                     }
                     1 => {
-                        let rreq = precv_init(ctx, rank, 0, 88, &buf, partitions);
-                        rreq.start(ctx);
-                        rreq.pbuf_prepare(ctx);
-                        rreq.wait(ctx);
+                        let rreq = precv_init(ctx, rank, 0, 88, &buf, partitions).expect("init");
+                        rreq.start(ctx).expect("start");
+                        rreq.pbuf_prepare(ctx).expect("pbuf_prepare");
+                        rreq.wait(ctx).expect("wait");
                         for u in 0..partitions {
                             assert!(rreq.parrived(u), "partition {u} not flagged");
                             assert_eq!(
@@ -101,21 +101,21 @@ fn double_pready_of_same_partition_fails_the_run() {
         let buf = rank.gpu().alloc_global(4 * 256);
         match rank.rank() {
             0 => {
-                let sreq = psend_init(ctx, rank, 1, 89, &buf, 4);
-                sreq.start(ctx);
-                sreq.pbuf_prepare(ctx);
-                sreq.pready(ctx, 2);
-                sreq.pready(ctx, 2); // duplicate: must fail the run
+                let sreq = psend_init(ctx, rank, 1, 89, &buf, 4).expect("init");
+                sreq.start(ctx).expect("start");
+                sreq.pbuf_prepare(ctx).expect("pbuf_prepare");
+                sreq.pready(ctx, 2).expect("pready");
+                sreq.pready(ctx, 2).expect("pready"); // duplicate: must fail the run
                 for u in [0, 1, 3] {
-                    sreq.pready(ctx, u);
+                    sreq.pready(ctx, u).expect("pready");
                 }
-                sreq.wait(ctx);
+                sreq.wait(ctx).expect("wait");
             }
             1 => {
-                let rreq = precv_init(ctx, rank, 0, 89, &buf, 4);
-                rreq.start(ctx);
-                rreq.pbuf_prepare(ctx);
-                rreq.wait(ctx);
+                let rreq = precv_init(ctx, rank, 0, 89, &buf, 4).expect("init");
+                rreq.start(ctx).expect("start");
+                rreq.pbuf_prepare(ctx).expect("pbuf_prepare");
+                rreq.wait(ctx).expect("wait");
             }
             _ => {}
         }

@@ -1,0 +1,146 @@
+//! Chaos-run helpers: execute a canonical workload under a [`FaultPlan`]
+//! and classify the outcome.
+//!
+//! A [`ChaosRun`] captures the three observables the fault-injection
+//! contract is stated in:
+//!
+//! - **digest** — the deterministic trace digest (same `(sim seed, plan)`
+//!   ⇒ same digest, replayable byte for byte);
+//! - **numeric** — the workload's rank-0 numeric result (survivable faults
+//!   must leave it bit-identical to the fault-free run: latency, never
+//!   integrity);
+//! - **errors** — the typed [`MpiError`]s ranks returned (unsurvivable
+//!   faults must land here instead of hanging the run).
+//!
+//! With [`FaultPlan::none`] the digest recipe reproduces the frozen
+//! pre-fault-PR baselines exactly (see `tests/chaos.rs`).
+
+use std::sync::Arc;
+
+use parcomm_apps::{run_jacobi, JacobiConfig, JacobiModel};
+use parcomm_coll::pallreduce_init;
+use parcomm_core::CopyMechanism;
+use parcomm_gpu::KernelSpec;
+use parcomm_mpi::{MpiError, MpiWorld, Rank, WorldConfig};
+use parcomm_sim::{Ctx, Mutex, Simulation};
+use parcomm_testkit::digest;
+
+use crate::FaultPlan;
+
+/// The classified outcome of one chaos run.
+#[derive(Debug, Clone)]
+pub struct ChaosRun {
+    /// Deterministic digest of the run (trace + report + rank-0 numerics).
+    pub digest: u64,
+    /// Virtual end time of the simulation (µs) — the goodput denominator.
+    pub end_time_us: f64,
+    /// Rank-0's numeric observable (reduced buffer / solver checksum).
+    pub numeric: Vec<f64>,
+    /// Typed errors returned by ranks, in rank order.
+    pub errors: Vec<(usize, MpiError)>,
+}
+
+impl ChaosRun {
+    /// True if every rank completed without a typed error.
+    pub fn survived(&self) -> bool {
+        self.errors.is_empty()
+    }
+}
+
+/// Run an arbitrary rank program under `plan` on a `nodes`-node GH200
+/// world. The body returns this rank's numeric observable (rank 0's is
+/// kept) or a typed error (recorded; the run itself still completes).
+pub fn run_world<F>(seed: u64, plan: &FaultPlan, nodes: u16, body: F) -> ChaosRun
+where
+    F: Fn(&mut Ctx, &mut Rank) -> Result<Vec<f64>, MpiError> + Send + Sync + 'static,
+{
+    let mut sim = Simulation::with_seed(seed);
+    let trace = sim.trace();
+    trace.enable();
+    let mut cfg = WorldConfig::gh200(nodes);
+    plan.apply(&mut cfg);
+    let world = MpiWorld::new(&sim, cfg);
+    let numeric = Arc::new(Mutex::new(Vec::new()));
+    let errors = Arc::new(Mutex::new(Vec::new()));
+    let (n2, e2) = (numeric.clone(), errors.clone());
+    world.run_ranks(&mut sim, move |ctx, rank| match body(ctx, rank) {
+        Ok(vals) => {
+            if rank.rank() == 0 {
+                *n2.lock() = vals;
+            }
+        }
+        Err(e) => e2.lock().push((rank.rank(), e)),
+    });
+    let report = sim.run().expect("chaos sim completes (watchdogs bound every wait)");
+    let mut errors = Arc::try_unwrap(errors).expect("ranks done").into_inner();
+    errors.sort_by_key(|(r, _)| *r);
+    let numeric = Arc::try_unwrap(numeric).expect("ranks done").into_inner();
+    let mut d = digest::Digest::new();
+    d.write_u64(digest::run_digest(&report, &trace));
+    d.write_f64_slice(&numeric);
+    ChaosRun { digest: d.finish(), end_time_us: report.end_time.as_micros_f64(), numeric, errors }
+}
+
+/// The canonical partitioned-allreduce chaos workload (4 user partitions,
+/// 64 f64 per partition-chunk, device-side `MPIX_Pready`), identical to
+/// the frozen-baseline recipe: with [`FaultPlan::none`] its digest is
+/// byte-identical to the pre-fault-injection build.
+pub fn run_allreduce(seed: u64, plan: &FaultPlan, nodes: u16) -> ChaosRun {
+    run_world(seed, plan, nodes, |ctx, rank| {
+        let partitions = 4usize;
+        let n = partitions * rank.size() * 64;
+        let buf = rank.gpu().alloc_global(n * 8);
+        let vals: Vec<f64> = (0..n).map(|i| (rank.rank() * 31 + i) as f64).collect();
+        buf.write_f64_slice(0, &vals);
+        let stream = rank.gpu().create_stream();
+        let coll = pallreduce_init(ctx, rank, &buf, partitions, &stream, 90)?;
+        coll.start(ctx)?;
+        coll.pbuf_prepare(ctx)?;
+        let c2 = coll.clone();
+        stream.launch(ctx, KernelSpec::vector_add(4, 256), move |d| c2.pready_device_all(d));
+        coll.wait(ctx)?;
+        Ok(buf.read_f64_slice(0, n))
+    })
+}
+
+/// The canonical Jacobi chaos workload: the functional-test solver with
+/// GPU-initiated partitioned halo exchange over the Progression Engine.
+/// Digest recipe matches the frozen jacobi baselines under
+/// [`FaultPlan::none`].
+pub fn run_jacobi_chaos(seed: u64, plan: &FaultPlan, nodes: u16) -> ChaosRun {
+    let mut sim = Simulation::with_seed(seed);
+    let trace = sim.trace();
+    trace.enable();
+    let mut cfg = WorldConfig::gh200(nodes);
+    plan.apply(&mut cfg);
+    let world = MpiWorld::new(&sim, cfg);
+    let out = Arc::new(Mutex::new(0.0f64));
+    let errors = Arc::new(Mutex::new(Vec::new()));
+    let (o2, e2) = (out.clone(), errors.clone());
+    world.run_ranks(&mut sim, move |ctx, rank| {
+        let jcfg = JacobiConfig::functional_test(JacobiModel::Partitioned(
+            CopyMechanism::ProgressionEngine,
+        ));
+        match run_jacobi(ctx, rank, &jcfg) {
+            Ok(res) => {
+                if rank.rank() == 0 {
+                    *o2.lock() = res.checksum;
+                }
+            }
+            Err(e) => e2.lock().push((rank.rank(), e)),
+        }
+    });
+    let report = sim.run().expect("chaos sim completes (watchdogs bound every wait)");
+    let mut errors = Arc::try_unwrap(errors).expect("ranks done").into_inner();
+    errors.sort_by_key(|(r, _)| *r);
+    let checksum = *out.lock();
+    let mut d = digest::Digest::new();
+    d.write_u64(digest::run_digest(&report, &trace));
+    d.write_f64(checksum);
+    ChaosRun {
+        digest: d.finish(),
+        end_time_us: report.end_time.as_micros_f64(),
+        numeric: vec![checksum],
+        errors,
+    }
+}

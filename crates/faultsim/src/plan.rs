@@ -1,0 +1,241 @@
+//! The [`FaultPlan`]: one seeded, declarative description of every fault a
+//! run will experience, applied onto a [`WorldConfig`] before the world is
+//! built.
+
+use parcomm_gpu::EmissionFaultConfig;
+use parcomm_mpi::{PeFaultConfig, WorldConfig};
+use parcomm_net::{NetFaultConfig, NicOutage};
+use parcomm_sim::SimRng;
+
+/// A deterministic fault schedule for one simulated run.
+///
+/// Build one with [`FaultPlan::none`] (injects nothing, perturbs nothing),
+/// [`FaultPlan::chaos`] (a seeded survivable mix), or the `with_*` builders
+/// for a hand-placed fault; then [`FaultPlan::apply`] it to the
+/// [`WorldConfig`] before constructing the `MpiWorld`.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct FaultPlan {
+    /// Seed the plan was derived from (0 for hand-built plans).
+    pub seed: u64,
+    /// Watchdog timeout (µs) armed on every blocking MPI wait, so
+    /// unsurvivable faults surface as typed errors instead of hangs.
+    pub watchdog_us: Option<f64>,
+    /// Fabric faults: transient drops, latency spikes, NIC outages.
+    pub net: Option<NetFaultConfig>,
+    /// Per-rank progression-engine faults (stall windows, crash instants).
+    pub pe: Vec<(usize, PeFaultConfig)>,
+    /// Per-rank device flag-write (emission) faults.
+    pub flags: Vec<(usize, EmissionFaultConfig)>,
+}
+
+impl FaultPlan {
+    /// The empty plan: arms nothing. Applying it leaves the [`WorldConfig`]
+    /// untouched, so the run's event stream, RNG draws, and trace digest
+    /// are byte-identical to a run that never heard of fault injection.
+    pub fn none() -> Self {
+        FaultPlan::default()
+    }
+
+    /// True if this plan injects nothing and arms no watchdog.
+    pub fn is_none(&self) -> bool {
+        self.watchdog_us.is_none()
+            && self.net.is_none()
+            && self.pe.is_empty()
+            && self.flags.is_empty()
+    }
+
+    /// A seeded *survivable* chaos mix scaled by `rate` (clamped to
+    /// `[0, 1]`): transient drops and latency spikes with probability
+    /// proportional to `rate`, plus (above a threshold) one single-NIC
+    /// down-window that routing re-stripes around. Injected faults degrade
+    /// goodput, never integrity — survivable runs produce bit-identical
+    /// numerics to the fault-free run.
+    ///
+    /// A generous watchdog is armed as a safety net: if a "survivable" mix
+    /// ever does wedge the run, the failure is a typed [`parcomm_mpi::MpiError`],
+    /// not a hung test. All parameters derive from `seed` via a dedicated
+    /// RNG: the same `(seed, rate)` always builds the identical plan.
+    pub fn chaos(seed: u64, rate: f64) -> Self {
+        let rate = rate.clamp(0.0, 1.0);
+        let mut rng = SimRng::seeded(seed ^ 0x00FA_017C_4A05);
+        let mut net = NetFaultConfig {
+            seed: rng.next_u64(),
+            drop_prob: 0.4 * rate,
+            retransmit_delay_us: 5.0,
+            spike_prob: 0.5 * rate,
+            spike_us: 10.0 + 40.0 * rng.uniform(),
+            nic_outages: Vec::new(),
+        };
+        if rate >= 0.25 {
+            // One NIC dark for a window; three sibling rails survive.
+            let from_us = 50.0 + 400.0 * rng.uniform();
+            net.nic_outages.push(NicOutage {
+                node: 0,
+                nic: (rng.uniform_range(0, 4)) as u8,
+                from_us,
+                until_us: from_us + 200.0 + 800.0 * rate * rng.uniform(),
+            });
+        }
+        FaultPlan {
+            seed,
+            watchdog_us: Some(5_000_000.0),
+            net: Some(net),
+            pe: Vec::new(),
+            flags: Vec::new(),
+        }
+    }
+
+    /// Arm the blocking-wait watchdog at `timeout_us` virtual microseconds.
+    pub fn with_watchdog(mut self, timeout_us: f64) -> Self {
+        self.watchdog_us = Some(timeout_us);
+        self
+    }
+
+    /// Add transient link faults: per-attempt drop probability and
+    /// per-transfer latency-spike probability/magnitude.
+    pub fn with_link_faults(mut self, drop_prob: f64, spike_prob: f64, spike_us: f64) -> Self {
+        let net = self.net.get_or_insert_with(|| NetFaultConfig {
+            seed: self.seed,
+            ..NetFaultConfig::default()
+        });
+        net.drop_prob = drop_prob;
+        net.spike_prob = spike_prob;
+        net.spike_us = spike_us;
+        self
+    }
+
+    /// Add a NIC down-window: `(node, nic)` is unusable for transfers
+    /// starting in `[from_us, until_us)`.
+    pub fn with_nic_outage(mut self, node: u16, nic: u8, from_us: f64, until_us: f64) -> Self {
+        let net = self.net.get_or_insert_with(|| NetFaultConfig {
+            seed: self.seed,
+            ..NetFaultConfig::default()
+        });
+        net.nic_outages.push(NicOutage { node, nic, from_us, until_us });
+        self
+    }
+
+    /// Stall `rank`'s progression engine for `stall_us` once the virtual
+    /// clock reaches `at_us` (survivable: deferred puts catch up).
+    pub fn with_pe_stall(mut self, rank: usize, at_us: f64, stall_us: f64) -> Self {
+        let f = self.pe_entry(rank);
+        f.stall_at_us = at_us;
+        f.stall_us = stall_us;
+        self
+    }
+
+    /// Crash `rank`'s progression engine at `at_us` (unsurvivable for PE
+    /// channels: arm a watchdog to get `MpiError::ProgressionHalted`).
+    pub fn with_pe_crash(mut self, rank: usize, at_us: f64) -> Self {
+        let f = self.pe_entry(rank);
+        f.crash_at_us = Some(at_us);
+        self
+    }
+
+    /// Delay every `every`-th device flag-write emission on `rank` by
+    /// `delay_us` (survivable: the progression engine sees it late).
+    pub fn with_delayed_flag_writes(mut self, rank: usize, every: u64, delay_us: f64) -> Self {
+        let f = self.flag_entry(rank);
+        f.delay_every = every;
+        f.delay_us = delay_us;
+        self
+    }
+
+    /// Lose every `every`-th device flag-write emission on `rank` entirely
+    /// (unsurvivable: arm a watchdog to get a typed timeout).
+    pub fn with_lost_flag_writes(mut self, rank: usize, every: u64) -> Self {
+        let f = self.flag_entry(rank);
+        f.lose_every = every;
+        self
+    }
+
+    /// Apply the plan onto a [`WorldConfig`]. [`FaultPlan::none`] leaves
+    /// `cfg` bit-for-bit unchanged.
+    pub fn apply(&self, cfg: &mut WorldConfig) {
+        if let Some(t) = self.watchdog_us {
+            cfg.wait_watchdog_us = Some(t);
+        }
+        if let Some(net) = &self.net {
+            cfg.net_faults = Some(net.clone());
+        }
+        cfg.pe_faults.extend(self.pe.iter().cloned());
+        cfg.gpu_flag_faults.extend(self.flags.iter().cloned());
+    }
+
+    fn pe_entry(&mut self, rank: usize) -> &mut PeFaultConfig {
+        if let Some(i) = self.pe.iter().position(|(r, _)| *r == rank) {
+            &mut self.pe[i].1
+        } else {
+            self.pe.push((rank, PeFaultConfig::default()));
+            &mut self.pe.last_mut().expect("just pushed").1
+        }
+    }
+
+    fn flag_entry(&mut self, rank: usize) -> &mut EmissionFaultConfig {
+        if let Some(i) = self.flags.iter().position(|(r, _)| *r == rank) {
+            &mut self.flags[i].1
+        } else {
+            self.flags.push((rank, EmissionFaultConfig::default()));
+            &mut self.flags.last_mut().expect("just pushed").1
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn none_is_inert_on_apply() {
+        let mut cfg = WorldConfig::gh200(2);
+        FaultPlan::none().apply(&mut cfg);
+        assert!(cfg.wait_watchdog_us.is_none());
+        assert!(cfg.net_faults.is_none());
+        assert!(cfg.pe_faults.is_empty());
+        assert!(cfg.gpu_flag_faults.is_empty());
+        assert!(FaultPlan::none().is_none());
+    }
+
+    #[test]
+    fn chaos_is_seed_deterministic() {
+        let a = FaultPlan::chaos(42, 0.5);
+        let b = FaultPlan::chaos(42, 0.5);
+        assert_eq!(a, b);
+        let c = FaultPlan::chaos(43, 0.5);
+        assert_ne!(a, c, "different seed => different plan");
+        assert!(!a.is_none());
+    }
+
+    #[test]
+    fn chaos_scales_with_rate() {
+        let quiet = FaultPlan::chaos(7, 0.0);
+        let loud = FaultPlan::chaos(7, 1.0);
+        let (q, l) = (quiet.net.expect("net"), loud.net.expect("net"));
+        assert_eq!(q.drop_prob, 0.0);
+        assert!(l.drop_prob > 0.0);
+        assert!(q.nic_outages.is_empty(), "low rate: no outage");
+        assert_eq!(l.nic_outages.len(), 1, "high rate: one down-window");
+    }
+
+    #[test]
+    fn builders_accumulate_per_rank() {
+        let plan = FaultPlan::none()
+            .with_pe_stall(1, 100.0, 50.0)
+            .with_pe_crash(1, 400.0)
+            .with_lost_flag_writes(2, 3)
+            .with_delayed_flag_writes(2, 5, 30.0)
+            .with_nic_outage(0, 1, 10.0, 20.0)
+            .with_watchdog(1e6);
+        assert_eq!(plan.pe.len(), 1, "stall and crash merge onto rank 1");
+        assert_eq!(plan.pe[0].1.crash_at_us, Some(400.0));
+        assert_eq!(plan.pe[0].1.stall_us, 50.0);
+        assert_eq!(plan.flags.len(), 1);
+        assert_eq!(plan.flags[0].1.lose_every, 3);
+        assert_eq!(plan.flags[0].1.delay_every, 5);
+        let mut cfg = WorldConfig::gh200(1);
+        plan.apply(&mut cfg);
+        assert_eq!(cfg.wait_watchdog_us, Some(1e6));
+        assert_eq!(cfg.pe_faults.len(), 1);
+        assert_eq!(cfg.net_faults.expect("net").nic_outages.len(), 1);
+    }
+}

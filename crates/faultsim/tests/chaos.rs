@@ -1,0 +1,249 @@
+//! The fault-injection contract, one fault class at a time:
+//!
+//! 1. **Replayability** — the same `(sim seed, FaultPlan)` produces the
+//!    identical trace digest, every time.
+//! 2. **Survivable faults degrade latency, never integrity** — transient
+//!    drops, spikes, re-striped NIC outages, PE stalls, and delayed flag
+//!    writes leave numerics bit-identical to the fault-free run (while the
+//!    digest proves the faults really happened).
+//! 3. **Unsurvivable faults are typed errors, not hangs** — a crashed
+//!    progression engine or a lost flag write surfaces a diagnosable
+//!    [`MpiError`] through the armed watchdog, and the simulation still
+//!    terminates.
+//! 4. **Zero-cost when disabled** — `FaultPlan::none()` reproduces the
+//!    frozen digests captured before the fault machinery existed.
+
+use parcomm_fault::{chaos, FaultPlan, MpiError};
+use parcomm_testkit::sweep;
+
+// Digests of the canonical workloads captured on the build *before* the
+// fault-injection subsystem was merged. `FaultPlan::none()` must reproduce
+// them bit for bit: arming nothing costs nothing.
+const FROZEN_ALLREDUCE: &[(u64, u64)] = &[
+    (0xA11CE, 0x1398043747556f40),
+    (0xB0B, 0x65b7d5c9b7bbbcb8),
+    (0xC0C0A, 0xc1a31d5d266c8b20),
+    (0xFA017, 0x3e5fdd5171c85ddd),
+];
+const FROZEN_JACOBI: &[(u64, u64)] = &[(0xA11CE, 0x175f6c88c6d7b78d), (0xFA017, 0xc1d5b040c16acd0d)];
+
+#[test]
+fn fault_plan_none_reproduces_frozen_baselines() {
+    for &(seed, want) in FROZEN_ALLREDUCE {
+        let run = chaos::run_allreduce(seed, &FaultPlan::none(), 1);
+        assert!(run.survived());
+        assert_eq!(
+            run.digest, want,
+            "allreduce seed {seed:#x}: FaultPlan::none() perturbed the baseline digest"
+        );
+    }
+    for &(seed, want) in FROZEN_JACOBI {
+        let run = chaos::run_jacobi_chaos(seed, &FaultPlan::none(), 1);
+        assert!(run.survived());
+        assert_eq!(
+            run.digest, want,
+            "jacobi seed {seed:#x}: FaultPlan::none() perturbed the baseline digest"
+        );
+    }
+}
+
+#[test]
+fn link_faults_are_deterministic_and_survivable() {
+    let clean = chaos::run_allreduce(0xA11CE, &FaultPlan::none(), 1);
+    let plan = FaultPlan::none()
+        .with_link_faults(0.3, 0.3, 25.0)
+        .with_watchdog(5e6);
+    let a = chaos::run_allreduce(0xA11CE, &plan, 1);
+    let b = chaos::run_allreduce(0xA11CE, &plan, 1);
+    assert_eq!(a.digest, b.digest, "same (seed, plan) must replay identically");
+    assert!(a.survived(), "drops/spikes are retransmitted: {:?}", a.errors);
+    assert_eq!(a.numeric, clean.numeric, "latency faults must not corrupt the reduction");
+    assert_ne!(a.digest, clean.digest, "the faults must actually have fired");
+    assert!(
+        a.end_time_us > clean.end_time_us,
+        "retransmits and spikes cost virtual time ({} vs {})",
+        a.end_time_us,
+        clean.end_time_us
+    );
+}
+
+/// Cross-node bulk psend: rank 4 (node 1) streams two ≥1 MiB partitions to
+/// rank 0 (node 0), big enough to engage UCX-style multi-rail striping.
+/// Rank 0 returns the received buffer's per-partition checksums.
+fn striped_round(seed: u64, plan: &FaultPlan) -> chaos::ChaosRun {
+    use parcomm_core::{precv_init, psend_init};
+    const PARTS: usize = 2;
+    const PART_F64: usize = 1 << 17; // 1 MiB per partition
+    chaos::run_world(seed, plan, 2, |ctx, rank| {
+        let buf = rank.gpu().alloc_global(PARTS * PART_F64 * 8);
+        match rank.rank() {
+            4 => {
+                for u in 0..PARTS {
+                    buf.write_f64_slice(u * PART_F64 * 8, &vec![(u + 1) as f64; PART_F64]);
+                }
+                let sreq = psend_init(ctx, rank, 0, 0x57, &buf, PARTS)?;
+                sreq.start(ctx)?;
+                sreq.pbuf_prepare(ctx)?;
+                sreq.pready_range(ctx, 0..PARTS)?;
+                sreq.wait(ctx)?;
+                Ok(Vec::new())
+            }
+            0 => {
+                let rreq = precv_init(ctx, rank, 4, 0x57, &buf, PARTS)?;
+                rreq.start(ctx)?;
+                rreq.pbuf_prepare(ctx)?;
+                rreq.wait(ctx)?;
+                Ok((0..PARTS)
+                    .map(|u| buf.read_f64_slice(u * PART_F64 * 8, PART_F64).iter().sum())
+                    .collect())
+            }
+            _ => Ok(Vec::new()),
+        }
+    })
+}
+
+#[test]
+fn nic_outage_restripes_and_survives() {
+    // Striped (≥1 MiB) cross-node traffic: one NIC per node goes dark for
+    // the whole run, so the message re-stripes over the three surviving
+    // rails — degraded bandwidth (visible in the trace and the end time),
+    // same bytes delivered.
+    let clean = striped_round(0xB0B, &FaultPlan::none());
+    let plan = FaultPlan::none()
+        .with_nic_outage(0, 0, 0.0, 1e6)
+        .with_nic_outage(1, 2, 0.0, 1e6)
+        .with_watchdog(5e6);
+    let a = striped_round(0xB0B, &plan);
+    let b = striped_round(0xB0B, &plan);
+    assert_eq!(a.digest, b.digest);
+    assert!(a.survived(), "single-NIC outages re-stripe: {:?}", a.errors);
+    assert_eq!(a.numeric, clean.numeric);
+    assert_ne!(a.digest, clean.digest, "degraded striping must change the trace");
+    assert!(
+        a.end_time_us > clean.end_time_us,
+        "three rails move 2 MiB slower than four ({} vs {})",
+        a.end_time_us,
+        clean.end_time_us
+    );
+}
+
+#[test]
+fn pe_stall_is_absorbed() {
+    // Window chosen to overlap rank 1's actual PE activity (the solver's
+    // halo exchanges start after ~450 µs of setup/handshake traffic).
+    let clean = chaos::run_jacobi_chaos(0xA11CE, &FaultPlan::none(), 1);
+    let plan = FaultPlan::none().with_pe_stall(1, 500.0, 400.0).with_watchdog(5e6);
+    let a = chaos::run_jacobi_chaos(0xA11CE, &plan, 1);
+    let b = chaos::run_jacobi_chaos(0xA11CE, &plan, 1);
+    assert_eq!(a.digest, b.digest);
+    assert!(a.survived(), "a bounded PE stall only defers puts: {:?}", a.errors);
+    assert_eq!(a.numeric, clean.numeric, "stall must not corrupt the solve");
+    assert_ne!(a.digest, clean.digest, "the stall must be visible in the trace");
+}
+
+#[test]
+fn pe_crash_surfaces_progression_halted() {
+    let plan = FaultPlan::none().with_pe_crash(1, 40.0).with_watchdog(30_000.0);
+    let a = chaos::run_jacobi_chaos(0xA11CE, &plan, 1);
+    let b = chaos::run_jacobi_chaos(0xA11CE, &plan, 1);
+    assert_eq!(a.digest, b.digest, "even failing runs replay identically");
+    assert!(!a.survived(), "a crashed engine cannot complete PE channels");
+    assert!(
+        a.errors
+            .iter()
+            .any(|(r, e)| *r == 1 && matches!(e, MpiError::ProgressionHalted { rank: 1 })),
+        "the crashed rank must diagnose its own dead engine, got {:?}",
+        a.errors
+    );
+    // Neighbors starve on arrivals and watchdog out with context instead
+    // of deadlocking the simulation.
+    assert!(
+        a.errors
+            .iter()
+            .any(|(r, e)| *r != 1 && matches!(e, MpiError::WaitTimeout { .. })),
+        "peers of the crashed rank must time out typed, got {:?}",
+        a.errors
+    );
+}
+
+#[test]
+fn delayed_flag_writes_are_absorbed() {
+    // `every = 1`: the collective engine batches all partitions of a
+    // `pready_device_all` into a single aggregated flag-write emission, so
+    // only a stride of one is guaranteed to hit it.
+    let clean = chaos::run_allreduce(0xC0C0A, &FaultPlan::none(), 1);
+    let plan = FaultPlan::none().with_delayed_flag_writes(0, 1, 40.0).with_watchdog(5e6);
+    let a = chaos::run_allreduce(0xC0C0A, &plan, 1);
+    let b = chaos::run_allreduce(0xC0C0A, &plan, 1);
+    assert_eq!(a.digest, b.digest);
+    assert!(a.survived(), "late flags are just late: {:?}", a.errors);
+    assert_eq!(a.numeric, clean.numeric);
+    assert_ne!(a.digest, clean.digest);
+}
+
+#[test]
+fn lost_flag_writes_surface_typed_timeout() {
+    // Every device flag write on rank 0 vanishes: its partitions never
+    // become ready, so Algorithm 2 stalls everywhere. The watchdog must
+    // convert that into CollectiveTimeout (with the stuck partition/step)
+    // on every rank — not a hang, not a panic.
+    let plan = FaultPlan::none().with_lost_flag_writes(0, 1).with_watchdog(20_000.0);
+    let a = chaos::run_allreduce(0xFA017, &plan, 1);
+    let b = chaos::run_allreduce(0xFA017, &plan, 1);
+    assert_eq!(a.digest, b.digest);
+    assert!(!a.survived());
+    assert!(
+        a.errors
+            .iter()
+            .all(|(_, e)| matches!(e, MpiError::CollectiveTimeout { .. })),
+        "every rank should report the stalled collective, got {:?}",
+        a.errors
+    );
+    assert!(
+        a.errors.iter().any(|(r, _)| *r == 0),
+        "the faulty rank itself stalls too: {:?}",
+        a.errors
+    );
+}
+
+#[test]
+fn chaos_mix_is_deterministic_and_seed_sensitive() {
+    // The one-knob chaos entry point: across seeds, every (seed, rate)
+    // replays bit-identically, different seeds diverge, and the survivable
+    // mix keeps numerics intact.
+    let clean = chaos::run_allreduce(7, &FaultPlan::none(), 1);
+    let digests = sweep::assert_deterministic_and_seed_sensitive(&[1, 2, 3, 4], |seed| {
+        let run = chaos::run_allreduce(7, &FaultPlan::chaos(seed, 0.5), 1);
+        assert!(run.survived(), "chaos(rate=0.5) is survivable: {:?}", run.errors);
+        assert_eq!(run.numeric, clean.numeric, "chaos must not corrupt numerics");
+        run.digest
+    });
+    assert!(digests.iter().all(|d| *d != clean.digest));
+}
+
+/// The CI chaos sweep (ignored by default; the `chaos` CI job runs it with
+/// `--ignored`): eight fault seeds, each at a moderate and an aggressive
+/// rate, every run replayed twice. `PARCOMM_CHAOS_SEED` shifts the whole
+/// seed block to explore fresh schedules without editing the test.
+#[test]
+#[ignore = "long chaos sweep; run via `cargo test -p parcomm-fault -- --ignored`"]
+fn chaos_sweep_eight_seeds() {
+    let base: u64 = std::env::var("PARCOMM_CHAOS_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0x5EED);
+    let clean = chaos::run_allreduce(0xFA017, &FaultPlan::none(), 2);
+    for seed in base..base + 8 {
+        for rate in [0.4, 0.9] {
+            let plan = FaultPlan::chaos(seed, rate);
+            let a = chaos::run_allreduce(0xFA017, &plan, 2);
+            let b = chaos::run_allreduce(0xFA017, &plan, 2);
+            assert_eq!(a.digest, b.digest, "seed {seed:#x} rate {rate}: replay diverged");
+            assert!(a.survived(), "seed {seed:#x} rate {rate}: {:?}", a.errors);
+            assert_eq!(
+                a.numeric, clean.numeric,
+                "seed {seed:#x} rate {rate}: chaos corrupted the reduction"
+            );
+        }
+    }
+}

@@ -1,0 +1,76 @@
+//! Fault class: the Kernel Copy IPC mapping is revoked mid-epoch (the
+//! peer unmaps its `ucp_rkey_ptr` region). Device `MPIX_Pready` must
+//! detect the dead mapping and fall back to the Progression Engine for
+//! the data movement — same numerics, different (PE-shaped) trace.
+
+use parcomm_core::{
+    precv_init, prequest_create, psend_init, CopyMechanism, PrequestConfig,
+};
+use parcomm_fault::{chaos, FaultPlan};
+use parcomm_gpu::KernelSpec;
+
+const TAG: u64 = 0x19C;
+const PARTS: usize = 4;
+
+/// Rank 1 sends `PARTS` partitions (partition `u` filled with `u²`) to
+/// rank 0 with the Kernel Copy mechanism; `revoke` kills the IPC mapping
+/// after `prequest_create` but before the kernel fires.
+fn kernel_copy_round(seed: u64, revoke: bool) -> chaos::ChaosRun {
+    chaos::run_world(seed, &FaultPlan::none(), 1, move |ctx, rank| {
+        let buf = rank.gpu().alloc_global(PARTS * 64 * 8);
+        match rank.rank() {
+            1 => {
+                for u in 0..PARTS {
+                    let vals = vec![(u * u) as f64; 64];
+                    buf.write_f64_slice(u * 64 * 8, &vals);
+                }
+                let sreq = psend_init(ctx, rank, 0, TAG, &buf, PARTS)?;
+                sreq.start(ctx)?;
+                sreq.pbuf_prepare(ctx)?;
+                let preq = prequest_create(
+                    ctx,
+                    rank,
+                    &sreq,
+                    PrequestConfig { copy: CopyMechanism::KernelCopy, ..PrequestConfig::default() },
+                )?;
+                if revoke {
+                    // The receiver unmaps its buffer mid-epoch: every
+                    // in-kernel store batch from here on must detect the
+                    // invalid mapping and reroute through the PE.
+                    sreq.data_rkey().expect("prepared").revoke_ipc();
+                }
+                let stream = rank.gpu().create_stream();
+                let p2 = preq.clone();
+                stream.launch(ctx, KernelSpec::vector_add(1, 64), move |d| p2.pready_all(d));
+                sreq.wait(ctx)?;
+                Ok(Vec::new())
+            }
+            0 => {
+                let rreq = precv_init(ctx, rank, 1, TAG, &buf, PARTS)?;
+                rreq.start(ctx)?;
+                rreq.pbuf_prepare(ctx)?;
+                rreq.wait(ctx)?;
+                Ok(buf.read_f64_slice(0, PARTS * 64))
+            }
+            _ => Ok(Vec::new()),
+        }
+    })
+}
+
+#[test]
+fn ipc_revocation_falls_back_to_progression_engine() {
+    let mapped = kernel_copy_round(0xA11CE, false);
+    let revoked = kernel_copy_round(0xA11CE, true);
+    let revoked2 = kernel_copy_round(0xA11CE, true);
+
+    assert!(mapped.survived() && revoked.survived(), "fallback is transparent");
+    let want: Vec<f64> = (0..PARTS).flat_map(|u| vec![(u * u) as f64; 64]).collect();
+    assert_eq!(mapped.numeric, want, "kernel-copy path delivers");
+    assert_eq!(revoked.numeric, want, "PE fallback delivers the same bytes");
+
+    assert_eq!(revoked.digest, revoked2.digest, "the fallback replays deterministically");
+    assert_ne!(
+        mapped.digest, revoked.digest,
+        "the fallback must actually change the transport (PE data puts, not in-kernel stores)"
+    );
+}

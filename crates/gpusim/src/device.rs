@@ -3,9 +3,10 @@
 
 use std::sync::Arc;
 
-use parcomm_sim::SimHandle;
+use parcomm_sim::{Mutex, SimHandle};
 
 use crate::cost::CostModel;
+use crate::faults::{EmissionFaultConfig, EmissionFaults};
 use crate::mem::{Buffer, Location, MemSpace, Unit};
 use crate::stream::Stream;
 
@@ -35,6 +36,9 @@ struct GpuInner {
     id: GpuId,
     cost: CostModel,
     handle: SimHandle,
+    /// Armed emission fault schedule, shared with every stream of this GPU.
+    /// `None` (default) keeps the fault branch dormant.
+    emission_faults: Arc<Mutex<Option<EmissionFaults>>>,
 }
 
 /// A simulated GPU (one Hopper die of a GH200 superchip).
@@ -78,7 +82,21 @@ pub struct IpcMappedBuffer {
 impl Gpu {
     /// Create a GPU with the given identity and cost model.
     pub fn new(id: GpuId, cost: CostModel, handle: SimHandle) -> Self {
-        Gpu { inner: Arc::new(GpuInner { id, cost, handle }) }
+        Gpu {
+            inner: Arc::new(GpuInner {
+                id,
+                cost,
+                handle,
+                emission_faults: Arc::new(Mutex::new(None)),
+            }),
+        }
+    }
+
+    /// Arm a deterministic emission fault schedule on this GPU: every N-th
+    /// kernel emission (device flag write) is delayed or lost across all of
+    /// the device's streams (existing and future). See [`EmissionFaultConfig`].
+    pub fn arm_emission_faults(&self, cfg: EmissionFaultConfig) {
+        *self.inner.emission_faults.lock() = Some(EmissionFaults::new(cfg));
     }
 
     /// This GPU's identity.
@@ -112,7 +130,12 @@ impl Gpu {
 
     /// Create a new stream on this device.
     pub fn create_stream(&self) -> Stream {
-        Stream::new(self.inner.cost.clone(), self.inner.handle.clone(), self.inner.id.to_string())
+        Stream::new(
+            self.inner.cost.clone(),
+            self.inner.handle.clone(),
+            self.inner.id.to_string(),
+            self.inner.emission_faults.clone(),
+        )
     }
 
     /// Open a CUDA-IPC mapping of a peer GPU's buffer. Only valid for

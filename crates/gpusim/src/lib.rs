@@ -16,12 +16,14 @@
 
 mod cost;
 mod device;
+mod faults;
 mod kernel;
 mod mem;
 mod stream;
 
 pub use cost::{AggLevel, CostModel};
 pub use device::{Gpu, GpuId, IpcError, IpcMappedBuffer};
+pub use faults::EmissionFaultConfig;
 pub use kernel::{DeviceCtx, KernelSpec, LaunchHandle};
 pub use mem::{Buffer, BufferId, Location, MemSpace, Unit};
 pub use stream::Stream;

@@ -17,6 +17,7 @@ use parcomm_sim::Mutex;
 use parcomm_sim::{Ctx, Event, SimDuration, SimHandle, SimTime};
 
 use crate::cost::CostModel;
+use crate::faults::{EmissionFate, EmissionFaults};
 use crate::kernel::{DeviceCtx, KernelSpec, LaunchHandle};
 
 struct StreamState {
@@ -36,10 +37,17 @@ struct StreamInner {
     cost: CostModel,
     state: Mutex<StreamState>,
     gpu_name: String,
+    /// The owning GPU's emission fault schedule (shared across its streams).
+    emission_faults: Arc<Mutex<Option<EmissionFaults>>>,
 }
 
 impl Stream {
-    pub(crate) fn new(cost: CostModel, handle: SimHandle, gpu_name: String) -> Self {
+    pub(crate) fn new(
+        cost: CostModel,
+        handle: SimHandle,
+        gpu_name: String,
+        emission_faults: Arc<Mutex<Option<EmissionFaults>>>,
+    ) -> Self {
         let tail_done = Event::new();
         tail_done.set(&handle); // idle stream: nothing to wait for
         Stream {
@@ -47,6 +55,7 @@ impl Stream {
                 cost,
                 state: Mutex::new(StreamState { busy_until: SimTime::ZERO, tail_done }),
                 gpu_name,
+                emission_faults,
             }),
         }
     }
@@ -108,12 +117,29 @@ impl Stream {
 
         h.trace().record("kernel", start, end);
         for (offset, cb) in emissions {
+            // The window invariant is checked on the *natural* offset; an
+            // injected delay may legitimately land past the window (the flag
+            // write drains after the kernel retires).
             debug_assert!(
                 offset <= duration,
                 "kernel '{}' emission at {offset} beyond its window {duration}",
                 spec.name
             );
-            h.schedule_at(start + offset, cb);
+            let fate = match self.inner.emission_faults.lock().as_mut() {
+                Some(f) => f.classify(),
+                None => EmissionFate::Normal,
+            };
+            match fate {
+                EmissionFate::Normal => h.schedule_at(start + offset, cb),
+                EmissionFate::Delayed(extra_us) => h.schedule_at(
+                    start + offset + SimDuration::from_micros_f64(extra_us),
+                    cb,
+                ),
+                EmissionFate::Lost => {
+                    // The flag write never becomes visible; downstream
+                    // watchdogs turn the missing arrival into a typed error.
+                }
+            }
         }
         {
             let done = done.clone();

@@ -1,0 +1,96 @@
+//! Typed MPI-layer errors.
+//!
+//! The shared error surface of the partitioned runtime: `core` (point-to-
+//! point partitioned requests), `collectives` (the Algorithm-2 engine), and
+//! the applications all report failures through [`MpiError`] instead of
+//! panicking or deadlocking. Watchdog variants carry the offending rank /
+//! partition / step so a chaos-test failure is diagnosable from the error
+//! alone.
+
+use parcomm_ucx::UcxError;
+
+/// Typed failure of an MPI-level operation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MpiError {
+    /// `MPI_Wait` (or a partitioned arrival wait) exceeded the armed
+    /// watchdog timeout: the operation's completion counter stalled.
+    WaitTimeout {
+        /// The waiting rank.
+        rank: usize,
+        /// What was being waited on (e.g. `"psend transport completion"`).
+        context: String,
+        /// Units (partitions/transports) that had completed at expiry.
+        completed: u64,
+        /// Units required for completion.
+        expected: u64,
+        /// The armed watchdog timeout (µs).
+        timeout_us: f64,
+    },
+    /// The Algorithm-2 collective progression loop exceeded the watchdog
+    /// while a partition was parked at a step.
+    CollectiveTimeout {
+        /// The stuck rank.
+        rank: usize,
+        /// Partition whose state machine stopped advancing.
+        partition: usize,
+        /// Step index the partition was parked at.
+        step: usize,
+        /// Partitions that had fully completed at expiry.
+        completed: u64,
+        /// Total partitions in the collective.
+        expected: u64,
+        /// The armed watchdog timeout (µs).
+        timeout_us: f64,
+    },
+    /// The local progression engine crashed (fault injection) — device
+    /// notifications can no longer be drained into puts.
+    ProgressionHalted {
+        /// The rank whose engine died.
+        rank: usize,
+    },
+    /// A user-supplied argument violates the API contract (e.g. partition
+    /// count not dividing the buffer).
+    InvalidArgument {
+        /// What was wrong.
+        context: String,
+    },
+    /// A transport-layer (UCX) failure bubbled up.
+    Transport(UcxError),
+}
+
+impl std::fmt::Display for MpiError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MpiError::WaitTimeout { rank, context, completed, expected, timeout_us } => write!(
+                f,
+                "rank {rank}: wait on {context} timed out after {timeout_us}us \
+                 ({completed}/{expected} complete)"
+            ),
+            MpiError::CollectiveTimeout {
+                rank,
+                partition,
+                step,
+                completed,
+                expected,
+                timeout_us,
+            } => write!(
+                f,
+                "rank {rank}: collective stalled at partition {partition} step {step} \
+                 for {timeout_us}us ({completed}/{expected} partitions complete)"
+            ),
+            MpiError::ProgressionHalted { rank } => {
+                write!(f, "rank {rank}: progression engine halted")
+            }
+            MpiError::InvalidArgument { context } => write!(f, "invalid argument: {context}"),
+            MpiError::Transport(e) => write!(f, "transport error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for MpiError {}
+
+impl From<UcxError> for MpiError {
+    fn from(e: UcxError) -> Self {
+        MpiError::Transport(e)
+    }
+}

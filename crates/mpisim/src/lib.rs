@@ -10,13 +10,15 @@
 #![forbid(unsafe_code)]
 
 mod coll;
+mod error;
 mod p2p;
 mod persistent;
 mod progress;
 mod world;
 
 pub use coll::chunk_range;
+pub use error::MpiError;
 pub use p2p::P2pOp;
 pub use persistent::PersistentRequest;
-pub use progress::{HookOutcome, ProgressionEngine};
+pub use progress::{HookOutcome, PeFaultConfig, ProgressionEngine};
 pub use world::{MpiWorld, Rank, WorldConfig};

@@ -11,6 +11,7 @@
 //! [`HookOutcome::Remove`] unregisters itself. The engine parks on an event
 //! while no hooks are registered, so idle ranks cost no simulation events.
 
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
 use parcomm_sim::Mutex;
@@ -26,6 +27,29 @@ pub enum HookOutcome {
     Remove,
 }
 
+/// Fault schedule for one rank's progression engine.
+///
+/// A **stall** pauses the engine's poll loop for `stall_us` starting at
+/// `stall_at_us` — hooks run late, puts post late, the run survives with
+/// degraded timing. A **crash** (`crash_at_us`) permanently halts the loop:
+/// registered hooks never run again, and the typed error surfaces through
+/// the `MPI_Wait` watchdog ([`crate::MpiError::ProgressionHalted`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct PeFaultConfig {
+    /// Virtual instant (µs) the stall begins.
+    pub stall_at_us: f64,
+    /// Stall duration (µs); 0 disables the stall.
+    pub stall_us: f64,
+    /// Virtual instant (µs) the engine crashes; `None` disables.
+    pub crash_at_us: Option<f64>,
+}
+
+impl Default for PeFaultConfig {
+    fn default() -> Self {
+        PeFaultConfig { stall_at_us: 0.0, stall_us: 0.0, crash_at_us: None }
+    }
+}
+
 type Hook = Box<dyn FnMut(&mut Ctx) -> HookOutcome + Send>;
 
 struct PeState {
@@ -39,16 +63,26 @@ struct PeState {
 pub struct ProgressionEngine {
     inner: Arc<Mutex<PeState>>,
     poll: SimDuration,
+    crashed: Arc<AtomicBool>,
 }
 
 impl ProgressionEngine {
-    /// Spawn the engine daemon for `rank` with the given poll interval.
-    pub(crate) fn start(ctx: &mut Ctx, rank: usize, poll: SimDuration) -> ProgressionEngine {
+    /// Spawn the engine daemon for `rank` with the given poll interval and
+    /// optional fault schedule (`None` in every fault-free run).
+    pub(crate) fn start(
+        ctx: &mut Ctx,
+        rank: usize,
+        poll: SimDuration,
+        fault: Option<PeFaultConfig>,
+    ) -> ProgressionEngine {
         let inner = Arc::new(Mutex::new(PeState {
             hooks: Vec::new(),
             work_available: Event::new(),
         }));
-        let engine = ProgressionEngine { inner: inner.clone(), poll };
+        let crashed = Arc::new(AtomicBool::new(false));
+        let engine =
+            ProgressionEngine { inner: inner.clone(), poll, crashed: crashed.clone() };
+        let mut stall_pending = fault.as_ref().is_some_and(|f| f.stall_us > 0.0);
         ctx.spawn_daemon(format!("progress{rank}"), move |ctx| {
             loop {
                 if ctx.is_shutdown() {
@@ -81,6 +115,30 @@ impl ProgressionEngine {
                         poll.as_micros_f64() * phase,
                     ));
                     if ctx.is_shutdown() {
+                        break;
+                    }
+                }
+                if let Some(f) = &fault {
+                    // Stall: checked immediately before each hook sweep so
+                    // that work arriving mid-window (even while the engine
+                    // was parked idle) is not serviced until the window
+                    // closes — hooks run late, puts post late, the run
+                    // survives with degraded timing.
+                    let now_us = ctx.now().as_micros_f64();
+                    if stall_pending && now_us >= f.stall_at_us {
+                        stall_pending = false;
+                        let end = f.stall_at_us + f.stall_us;
+                        if end > now_us {
+                            ctx.advance(SimDuration::from_micros_f64(end - now_us));
+                            continue;
+                        }
+                    }
+                    // Crash: halt the loop for good. Checked immediately
+                    // before each sweep so no hook runs at or after the
+                    // crash instant; waiters time out upstream with
+                    // `MpiError::ProgressionHalted`.
+                    if f.crash_at_us.is_some_and(|t| ctx.now().as_micros_f64() >= t) {
+                        crashed.store(true, Ordering::Release);
                         break;
                     }
                 }
@@ -130,6 +188,11 @@ impl ProgressionEngine {
     /// The engine's poll interval.
     pub fn poll_interval(&self) -> SimDuration {
         self.poll
+    }
+
+    /// True once an injected crash has permanently halted the engine.
+    pub fn is_crashed(&self) -> bool {
+        self.crashed.load(Ordering::Acquire)
     }
 
     /// Number of registered hooks (diagnostics/tests).

@@ -9,13 +9,13 @@ use std::sync::Arc;
 
 use parcomm_sim::Mutex;
 
-use parcomm_gpu::{CostModel, Gpu, GpuId, Location, Unit};
-use parcomm_net::{ClusterSpec, Fabric};
+use parcomm_gpu::{CostModel, EmissionFaultConfig, Gpu, GpuId, Location, Unit};
+use parcomm_net::{ClusterSpec, Fabric, NetFaultConfig};
 use parcomm_sim::{Ctx, SimBarrier, SimDuration, Simulation};
 use parcomm_ucx::{UcxUniverse, Worker, WorkerAddress};
 
 use crate::p2p::MatchTable;
-use crate::progress::ProgressionEngine;
+use crate::progress::{PeFaultConfig, ProgressionEngine};
 
 /// World-level configuration.
 #[derive(Clone, Debug)]
@@ -28,6 +28,15 @@ pub struct WorldConfig {
     pub mpi_overhead_us: f64,
     /// Progression-engine poll interval.
     pub progress_poll_us: f64,
+    /// Watchdog timeout (µs) armed on every blocking MPI wait. `None`
+    /// (the default) waits forever — zero extra events in fault-free runs.
+    pub wait_watchdog_us: Option<f64>,
+    /// Network fault schedule (drops / latency spikes / NIC outages).
+    pub net_faults: Option<NetFaultConfig>,
+    /// Per-rank progression-engine fault schedules.
+    pub pe_faults: Vec<(usize, PeFaultConfig)>,
+    /// Per-rank device flag-write (emission) fault schedules.
+    pub gpu_flag_faults: Vec<(usize, EmissionFaultConfig)>,
 }
 
 impl WorldConfig {
@@ -38,6 +47,10 @@ impl WorldConfig {
             cost: CostModel::default(),
             mpi_overhead_us: 0.5,
             progress_poll_us: 0.5,
+            wait_watchdog_us: None,
+            net_faults: None,
+            pe_faults: Vec::new(),
+            gpu_flag_faults: Vec::new(),
         }
     }
 }
@@ -63,6 +76,9 @@ impl MpiWorld {
     /// Build a world over a fresh fabric; one rank per GPU.
     pub fn new(sim: &Simulation, config: WorldConfig) -> Self {
         let fabric = Fabric::new(sim.handle(), config.cluster.clone());
+        if let Some(nf) = &config.net_faults {
+            fabric.arm_faults(nf.clone());
+        }
         let universe = UcxUniverse::new(fabric.clone());
         let size = config.cluster.total_gpus() as usize;
         MpiWorld {
@@ -161,15 +177,32 @@ impl Rank {
     fn init(ctx: &mut Ctx, world: MpiWorld, rank: usize) -> Rank {
         let gpu_id = world.gpu_of(rank);
         let gpu = Gpu::new(gpu_id, world.inner.config.cost.clone(), ctx.handle());
+        if let Some((_, ef)) = world
+            .inner
+            .config
+            .gpu_flag_faults
+            .iter()
+            .find(|(r, _)| *r == rank)
+        {
+            gpu.arm_emission_faults(ef.clone());
+        }
         let worker = world
             .inner
             .universe
             .create_worker(Location { node: gpu_id.node, unit: Unit::Cpu });
         world.inner.addresses.lock()[rank] = Some(worker.address());
+        let pe_fault = world
+            .inner
+            .config
+            .pe_faults
+            .iter()
+            .find(|(r, _)| *r == rank)
+            .map(|(_, f)| f.clone());
         let progression = ProgressionEngine::start(
             ctx,
             rank,
             SimDuration::from_micros_f64(world.inner.config.progress_poll_us),
+            pe_fault,
         );
         // MPI_Init barrier: every rank's worker address is published before
         // anyone communicates.
@@ -215,6 +248,17 @@ impl Rank {
     /// Host software overhead per MPI call.
     pub fn mpi_overhead(&self) -> SimDuration {
         SimDuration::from_micros_f64(self.world.inner.config.mpi_overhead_us)
+    }
+
+    /// The armed wait-watchdog timeout, if any. Blocking MPI waits use this
+    /// to turn a stalled completion counter into a typed [`crate::MpiError`]
+    /// instead of deadlocking the simulation.
+    pub fn wait_watchdog(&self) -> Option<SimDuration> {
+        self.world
+            .inner
+            .config
+            .wait_watchdog_us
+            .map(SimDuration::from_micros_f64)
     }
 
     /// Synchronize all ranks (zero-cost alignment barrier used by the

@@ -103,9 +103,9 @@ fn partitioned_beats_persistent_when_kernel_initiates() {
             match rank.rank() {
                 0 => {
                     if partitioned {
-                        let sreq = psend_init(ctx, rank, 1, 9, &buf, 16);
-                        sreq.start(ctx);
-                        sreq.pbuf_prepare(ctx);
+                        let sreq = psend_init(ctx, rank, 1, 9, &buf, 16).expect("init");
+                        sreq.start(ctx).expect("start");
+                        sreq.pbuf_prepare(ctx).expect("pbuf_prepare");
                         let preq =
                             prequest_create(ctx, rank, &sreq, PrequestConfig::default()).unwrap();
                         let t0 = ctx.now();
@@ -113,7 +113,7 @@ fn partitioned_beats_persistent_when_kernel_initiates() {
                         stream.launch(ctx, KernelSpec::vector_add(8, 1024), move |d| {
                             p2.pready_all(d)
                         });
-                        sreq.wait(ctx);
+                        sreq.wait(ctx).expect("wait");
                         *o2.lock() = ctx.now().since(t0).as_micros_f64();
                     } else {
                         let req = rank.send_init(1, 9, &buf, 0, bytes);
@@ -127,10 +127,10 @@ fn partitioned_beats_persistent_when_kernel_initiates() {
                 }
                 1 => {
                     if partitioned {
-                        let rreq = precv_init(ctx, rank, 0, 9, &buf, 16);
-                        rreq.start(ctx);
-                        rreq.pbuf_prepare(ctx);
-                        rreq.wait(ctx);
+                        let rreq = precv_init(ctx, rank, 0, 9, &buf, 16).expect("init");
+                        rreq.start(ctx).expect("start");
+                        rreq.pbuf_prepare(ctx).expect("pbuf_prepare");
+                        rreq.wait(ctx).expect("wait");
                     } else {
                         let req = rank.recv_init(0, 9, &buf, 0, bytes);
                         rank.start_persistent(ctx, &req);

@@ -115,9 +115,9 @@ fn timed_partitioned() -> f64 {
         let partitions = 4usize;
         let buf = rank.gpu().alloc_global(n * 8);
         let stream = rank.gpu().create_stream();
-        let coll = pallreduce_init(ctx, rank, &buf, partitions, &stream, 3);
-        coll.start(ctx);
-        coll.pbuf_prepare(ctx);
+        let coll = pallreduce_init(ctx, rank, &buf, partitions, &stream, 3).expect("init");
+        coll.start(ctx).expect("start");
+        coll.pbuf_prepare(ctx).expect("pbuf_prepare");
         rank.barrier(ctx);
         let t0 = ctx.now();
         let grid = (n as u32).div_ceil(1024);
@@ -125,7 +125,7 @@ fn timed_partitioned() -> f64 {
         stream.launch(ctx, KernelSpec::vector_add(grid, 1024), move |d| {
             coll2.pready_device_all(d);
         });
-        coll.wait(ctx);
+        coll.wait(ctx).expect("wait");
         if rank.rank() == 0 {
             *o2.lock() = ctx.now().since(t0).as_micros_f64();
         }

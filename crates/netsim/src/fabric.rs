@@ -15,6 +15,7 @@ use parcomm_sim::Mutex;
 use parcomm_gpu::{Location, Unit};
 use parcomm_sim::{Event, SimDuration, SimHandle, SimTime};
 
+use crate::faults::{NetError, NetFaultConfig, NetFaults};
 use crate::spec::{ClusterSpec, LinkSpec};
 
 /// Index of a physical link within the fabric.
@@ -75,6 +76,9 @@ struct FabricInner {
     handle: SimHandle,
     links: Vec<Link>,
     index: HashMap<LinkKey, LinkId>,
+    /// Armed fault schedule; `None` (the default) keeps every fault branch
+    /// dormant so fault-free runs draw nothing and schedule nothing extra.
+    faults: Mutex<Option<NetFaults>>,
 }
 
 /// The cluster interconnect. Cheap to clone.
@@ -109,7 +113,27 @@ impl Fabric {
                 add(LinkKey::Ib { node, nic, up: false }, &spec.ib);
             }
         }
-        Fabric { inner: Arc::new(FabricInner { spec, handle, links, index }) }
+        Fabric {
+            inner: Arc::new(FabricInner {
+                spec,
+                handle,
+                links,
+                index,
+                faults: Mutex::new(None),
+            }),
+        }
+    }
+
+    /// Arm a deterministic fault schedule on this fabric. Fault decisions
+    /// draw from a dedicated RNG seeded by `cfg.seed`, so the simulation's
+    /// main RNG stream is untouched. Call before traffic starts.
+    pub fn arm_faults(&self, cfg: NetFaultConfig) {
+        *self.inner.faults.lock() = Some(NetFaults::new(cfg));
+    }
+
+    /// True if a fault schedule is armed.
+    pub fn faults_armed(&self) -> bool {
+        self.inner.faults.lock().is_some()
     }
 
     /// The cluster specification this fabric was built from.
@@ -134,6 +158,50 @@ impl Fabric {
         match unit {
             Unit::Gpu(i) => i % self.inner.spec.nics_per_node,
             Unit::Cpu => 0,
+        }
+    }
+
+    /// Pick a usable NIC on `node` for a transfer starting at `at`,
+    /// preferring `preferred` and steering around armed outages. With no
+    /// faults armed this is `preferred` unconditionally.
+    fn pick_nic(&self, node: u16, preferred: u8, at: SimTime) -> Result<u8, NetError> {
+        let guard = self.inner.faults.lock();
+        let Some(f) = guard.as_ref() else { return Ok(preferred) };
+        let n = self.inner.spec.nics_per_node;
+        for i in 0..n {
+            let nic = (preferred + i) % n;
+            if f.nic_up(node, nic, at) {
+                return Ok(nic);
+            }
+        }
+        Err(NetError::NoNicAvailable { node, at_us: at.as_micros_f64() })
+    }
+
+    /// The NIC rails (paired by index on both nodes) usable at `at` for a
+    /// striped cross-node transfer. Errors only when no rail survives.
+    fn up_rails(&self, src_node: u16, dst_node: u16, at: SimTime) -> Result<Vec<u8>, NetError> {
+        let n = self.inner.spec.nics_per_node;
+        let guard = self.inner.faults.lock();
+        let Some(f) = guard.as_ref() else { return Ok((0..n).collect()) };
+        let rails: Vec<u8> = (0..n)
+            .filter(|&nic| f.nic_up(src_node, nic, at) && f.nic_up(dst_node, nic, at))
+            .collect();
+        if rails.is_empty() {
+            let src_down = (0..n).filter(|&nic| !f.nic_up(src_node, nic, at)).count();
+            let dst_down = (0..n).filter(|&nic| !f.nic_up(dst_node, nic, at)).count();
+            let node = if src_down >= dst_down { src_node } else { dst_node };
+            return Err(NetError::NoNicAvailable { node, at_us: at.as_micros_f64() });
+        }
+        Ok(rails)
+    }
+
+    /// Latency penalty for one transfer from the armed fault schedule
+    /// (retransmits + spikes); zero — with no RNG draw — when unarmed.
+    fn fault_penalty(&self) -> SimDuration {
+        let mut guard = self.inner.faults.lock();
+        match guard.as_mut() {
+            Some(f) => SimDuration::from_micros_f64(f.draw_penalty_us()),
+            None => SimDuration::ZERO,
         }
     }
 
@@ -204,6 +272,24 @@ impl Fabric {
     /// The fabric moves *time*, not data: the caller applies the functional
     /// copy no later than `arrival` (typically in a completion callback).
     pub fn transfer_at(&self, at: SimTime, src: Location, dst: Location, bytes: u64) -> Transfer {
+        self.try_transfer_at(at, src, dst, bytes).unwrap_or_else(|e| {
+            panic!("fabric transfer {src:?} -> {dst:?} failed with no recovery path: {e}")
+        })
+    }
+
+    /// Fallible form of [`transfer_at`](Fabric::transfer_at): returns
+    /// [`NetError`] instead of panicking when an armed fault schedule has
+    /// taken down every usable NIC on a required node. Transient drops and
+    /// latency spikes never error — they surface as a later arrival (the
+    /// transport retransmits under the covers). With no faults armed this is
+    /// infallible and byte-identical in behavior to the fault-free fabric.
+    pub fn try_transfer_at(
+        &self,
+        at: SimTime,
+        src: Location,
+        dst: Location,
+        bytes: u64,
+    ) -> Result<Transfer, NetError> {
         const SEGMENT_BYTES: u64 = 64 * 1024;
         let now = self.inner.handle.now();
         let at = at.max(now);
@@ -213,7 +299,7 @@ impl Fabric {
         if src.node != dst.node && bytes >= Self::STRIPE_THRESHOLD {
             return self.striped_transfer(at, src, dst, bytes);
         }
-        let route = self.route(src, dst);
+        let route = self.route_at(at, src, dst)?;
         let mut cursor = at;
         let mut first_start = None;
         let mut tail = at;
@@ -230,7 +316,7 @@ impl Fabric {
             cursor = s + seg;
             tail = tail.max(e);
         }
-        let arrival = tail + route.latency;
+        let arrival = tail + route.latency + self.fault_penalty();
         let done = Event::new();
         {
             let done = done.clone();
@@ -238,7 +324,26 @@ impl Fabric {
         }
         let start = first_start.unwrap_or(at);
         self.inner.handle.trace().record("wire", start, arrival);
-        Transfer { start, arrival, done }
+        Ok(Transfer { start, arrival, done })
+    }
+
+    /// Like [`route`](Fabric::route), but steers cross-node hops around NIC
+    /// outages active at `at`. Identical to `route` when no faults are armed.
+    fn route_at(&self, at: SimTime, src: Location, dst: Location) -> Result<Route, NetError> {
+        if src.node == dst.node {
+            return Ok(self.route(src, dst));
+        }
+        let src_nic = self.pick_nic(src.node, self.nic_for(src.unit), at)?;
+        let dst_nic = self.pick_nic(dst.node, self.nic_for(dst.unit), at)?;
+        let links = vec![
+            self.link(LinkKey::Ib { node: src.node, nic: src_nic, up: true }),
+            self.link(LinkKey::Ib { node: dst.node, nic: dst_nic, up: false }),
+        ];
+        let latency = links
+            .iter()
+            .map(|id| SimDuration::from_micros_f64(self.inner.links[id.0].spec.latency_us))
+            .sum();
+        Ok(Route { links, latency })
     }
 
     /// Transfer starting at the current instant.
@@ -251,14 +356,23 @@ impl Fabric {
     pub const STRIPE_THRESHOLD: u64 = 1 << 20;
 
     /// Multi-rail cross-node transfer: split `bytes` evenly over every
-    /// (uplink, downlink) NIC pair; each rail is cut-through internally.
-    fn striped_transfer(&self, at: SimTime, src: Location, dst: Location, bytes: u64) -> Transfer {
+    /// usable (uplink, downlink) NIC pair; each rail is cut-through
+    /// internally. Under an armed NIC outage the message **re-stripes** over
+    /// the surviving rails — degraded bandwidth, not failure — and only
+    /// errors when no rail survives.
+    fn striped_transfer(
+        &self,
+        at: SimTime,
+        src: Location,
+        dst: Location,
+        bytes: u64,
+    ) -> Result<Transfer, NetError> {
         const SEGMENT_BYTES: u64 = 64 * 1024;
-        let rails = self.inner.spec.nics_per_node as u64;
-        let share = bytes.div_ceil(rails);
+        let rails = self.up_rails(src.node, dst.node, at)?;
+        let share = bytes.div_ceil(rails.len() as u64);
         let mut first_start: Option<SimTime> = None;
         let mut arrival = at;
-        for nic in 0..self.inner.spec.nics_per_node {
+        for nic in rails {
             let up = self.link(LinkKey::Ib { node: src.node, nic, up: true });
             let down = self.link(LinkKey::Ib { node: dst.node, nic, up: false });
             let mut cursor = at;
@@ -279,6 +393,7 @@ impl Fabric {
             }
             arrival = arrival.max(tail + latency);
         }
+        let arrival = arrival + self.fault_penalty();
         let done = Event::new();
         {
             let done = done.clone();
@@ -286,7 +401,7 @@ impl Fabric {
         }
         let start = first_start.unwrap_or(at);
         self.inner.handle.trace().record("wire", start, arrival);
-        Transfer { start, arrival, done }
+        Ok(Transfer { start, arrival, done })
     }
 
     /// Effective bandwidth between two locations for a large message,

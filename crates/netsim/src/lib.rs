@@ -10,7 +10,9 @@
 #![forbid(unsafe_code)]
 
 mod fabric;
+mod faults;
 mod spec;
 
 pub use fabric::{Fabric, LinkId, Route, Transfer};
+pub use faults::{NetError, NetFaultConfig, NicOutage, MAX_RETRANSMITS};
 pub use spec::{ClusterSpec, LinkSpec};

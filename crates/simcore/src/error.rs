@@ -2,13 +2,37 @@
 
 use std::fmt;
 
+/// One blocked process in a [`SimError::Deadlock`] report: who is stuck and
+/// what primitive it was waiting on when the scheduler ran out of work.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BlockedProcess {
+    /// The process's name (as given at spawn).
+    pub process: String,
+    /// Human-readable description of the wait target, e.g.
+    /// `event 'start_barrier'` or `count 'arrived' (3/8)`. `None` when the
+    /// process parked through a primitive that carries no label.
+    pub waiting_on: Option<String>,
+}
+
+impl fmt::Display for BlockedProcess {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.waiting_on {
+            Some(w) => write!(f, "{} (waiting on {})", self.process, w),
+            None => write!(f, "{}", self.process),
+        }
+    }
+}
+
 /// Fatal outcomes of running a simulation.
 #[derive(Debug)]
 pub enum SimError {
-    /// Regular processes remain blocked but no timed work is pending.
+    /// Regular processes remain blocked but no timed work is pending. Each
+    /// entry names the blocked process and, where known, the event /
+    /// semaphore / channel it is waiting on — enough to diagnose a chaos-test
+    /// hang from the error alone.
     Deadlock {
-        /// Names of blocked processes at the moment of detection.
-        blocked: Vec<String>,
+        /// Blocked processes at the moment of detection, with wait targets.
+        blocked: Vec<BlockedProcess>,
     },
     /// A process body panicked; the message is the panic payload.
     ProcessPanic {
@@ -23,7 +47,8 @@ impl fmt::Display for SimError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             SimError::Deadlock { blocked } => {
-                write!(f, "simulation deadlock; blocked processes: {blocked:?}")
+                let list: Vec<String> = blocked.iter().map(|b| b.to_string()).collect();
+                write!(f, "simulation deadlock; blocked processes: [{}]", list.join(", "))
             }
             SimError::ProcessPanic { name, message } => {
                 write!(f, "process '{name}' panicked: {message}")

@@ -20,6 +20,9 @@ struct EventState {
     set: bool,
     set_at: Option<SimTime>,
     waiters: Vec<(ProcessId, u64)>,
+    /// Optional label surfaced in deadlock diagnostics ("what was this
+    /// process waiting on?"). Never affects scheduling.
+    label: Option<String>,
 }
 
 /// A fireable flag that processes can block on. Cheap to clone (shared).
@@ -32,6 +35,24 @@ impl Event {
     /// Create a new, unset event.
     pub fn new() -> Self {
         Event::default()
+    }
+
+    /// Create a new, unset event carrying a diagnostic label (shown in
+    /// [`crate::SimError::Deadlock`] wait-for reports).
+    pub fn named(label: impl Into<String>) -> Self {
+        let ev = Event::default();
+        ev.inner.lock().label = Some(label.into());
+        ev
+    }
+
+    /// Attach or replace the diagnostic label.
+    pub fn set_label(&self, label: impl Into<String>) {
+        self.inner.lock().label = Some(label.into());
+    }
+
+    /// The diagnostic label, if any.
+    pub fn label(&self) -> Option<String> {
+        self.inner.lock().label.clone()
     }
 
     /// True if the event has fired (and has not been reset since).
@@ -109,12 +130,32 @@ struct CountState {
     count: u64,
     /// (threshold, pid, epoch)
     waiters: Vec<(u64, ProcessId, u64)>,
+    /// Optional label surfaced in deadlock diagnostics.
+    label: Option<String>,
 }
 
 impl CountEvent {
     /// New counter starting at zero.
     pub fn new() -> Self {
         CountEvent::default()
+    }
+
+    /// New counter carrying a diagnostic label (shown in
+    /// [`crate::SimError::Deadlock`] wait-for reports).
+    pub fn named(label: impl Into<String>) -> Self {
+        let ev = CountEvent::default();
+        ev.inner.lock().label = Some(label.into());
+        ev
+    }
+
+    /// Attach or replace the diagnostic label.
+    pub fn set_label(&self, label: impl Into<String>) {
+        self.inner.lock().label = Some(label.into());
+    }
+
+    /// The diagnostic label, if any.
+    pub fn label(&self) -> Option<String> {
+        self.inner.lock().label.clone()
     }
 
     /// Current count.

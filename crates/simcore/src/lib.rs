@@ -49,7 +49,7 @@ mod sync;
 mod time;
 mod trace;
 
-pub use error::SimError;
+pub use error::{BlockedProcess, SimError};
 pub use event::{CountEvent, Event};
 pub use lock::Mutex;
 pub use process::Ctx;

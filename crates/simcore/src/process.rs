@@ -82,11 +82,14 @@ impl Ctx {
     pub fn wait(&mut self, event: &Event) -> bool {
         loop {
             if event.is_set() {
+                self.clear_wait_note();
                 return true;
             }
             if self.is_shutdown() {
+                self.clear_wait_note();
                 return false;
             }
+            self.note_wait(describe_event(event));
             let epoch = sched::park_and_bump(&self.core, self.pid);
             // Register *after* bumping so the event wakes the right epoch.
             if !event.register_waiter(self.pid, epoch) {
@@ -108,22 +111,27 @@ impl Ctx {
         let deadline = self.now() + dt;
         loop {
             if event.is_set() {
+                self.clear_wait_note();
                 return true;
             }
             if self.is_shutdown() || self.now() >= deadline {
+                self.clear_wait_note();
                 return event.is_set();
             }
+            self.note_wait(describe_event(event));
             let epoch = sched::park_and_bump(&self.core, self.pid);
             if !event.register_waiter(self.pid, epoch) {
                 sched::schedule_resume(&self.core, self.now(), self.pid, epoch);
             }
-            // Timed backstop at the deadline; stale if the event wins.
-            sched::schedule_resume(&self.core, deadline, self.pid, epoch);
+            // Timed backstop at the deadline; cancelled below if the event
+            // wins, so it can never stretch the simulation's end time.
+            let backstop = sched::schedule_resume(&self.core, deadline, self.pid, epoch);
             self.core
                 .yield_tx
                 .send(YieldMsg::Blocked { pid: self.pid })
                 .expect("scheduler gone");
             self.park();
+            sched::cancel_queued(&self.core, backstop);
         }
     }
 
@@ -138,8 +146,10 @@ impl Ctx {
     pub fn wait_count(&mut self, counter: &crate::event::CountEvent, threshold: u64) {
         loop {
             if counter.count() >= threshold || self.is_shutdown() {
+                self.clear_wait_note();
                 return;
             }
+            self.note_wait(describe_count(counter, threshold));
             let epoch = sched::park_and_bump(&self.core, self.pid);
             if !counter.register_waiter(threshold, self.pid, epoch) {
                 sched::schedule_resume(&self.core, self.now(), self.pid, epoch);
@@ -149,6 +159,43 @@ impl Ctx {
                 .send(YieldMsg::Blocked { pid: self.pid })
                 .expect("scheduler gone");
             self.park();
+        }
+    }
+
+    /// Block until `counter` reaches at least `threshold`, `dt` elapses, or
+    /// shutdown. Returns `true` if the threshold was met (even exactly at the
+    /// deadline). The timed backstop is only scheduled when this method is
+    /// called, so code paths that never arm a timeout cost no extra events.
+    pub fn wait_count_timeout(
+        &mut self,
+        counter: &crate::event::CountEvent,
+        threshold: u64,
+        dt: SimDuration,
+    ) -> bool {
+        let deadline = self.now() + dt;
+        loop {
+            if counter.count() >= threshold {
+                self.clear_wait_note();
+                return true;
+            }
+            if self.is_shutdown() || self.now() >= deadline {
+                self.clear_wait_note();
+                return counter.count() >= threshold;
+            }
+            self.note_wait(describe_count(counter, threshold));
+            let epoch = sched::park_and_bump(&self.core, self.pid);
+            if !counter.register_waiter(threshold, self.pid, epoch) {
+                sched::schedule_resume(&self.core, self.now(), self.pid, epoch);
+            }
+            // Timed backstop at the deadline; cancelled below if the counter
+            // wins, so it can never stretch the simulation's end time.
+            let backstop = sched::schedule_resume(&self.core, deadline, self.pid, epoch);
+            self.core
+                .yield_tx
+                .send(YieldMsg::Blocked { pid: self.pid })
+                .expect("scheduler gone");
+            self.park();
+            sched::cancel_queued(&self.core, backstop);
         }
     }
 
@@ -193,5 +240,33 @@ impl Ctx {
             // returned, e.g. a leaked daemon). Unwind quietly.
             std::panic::panic_any(TEARDOWN_MSG.to_string());
         }
+    }
+
+    /// Record what this process is about to block on (deadlock diagnosis).
+    fn note_wait(&self, what: String) {
+        sched::set_waiting_on(&self.core, self.pid, Some(what));
+    }
+
+    /// Clear the wait-for note once unblocked.
+    fn clear_wait_note(&self) {
+        sched::set_waiting_on(&self.core, self.pid, None);
+    }
+}
+
+/// Wait-for description of an [`Event`] for deadlock diagnostics.
+fn describe_event(event: &Event) -> String {
+    match event.label() {
+        Some(l) => format!("event '{l}'"),
+        None => "event <unnamed>".to_string(),
+    }
+}
+
+/// Wait-for description of a [`crate::event::CountEvent`], including how far
+/// along the counter was when the process last parked.
+fn describe_count(counter: &crate::event::CountEvent, threshold: u64) -> String {
+    let cur = counter.count();
+    match counter.label() {
+        Some(l) => format!("count '{l}' ({cur}/{threshold})"),
+        None => format!("count <unnamed> ({cur}/{threshold})"),
     }
 }

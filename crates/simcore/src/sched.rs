@@ -38,7 +38,7 @@ use std::sync::mpsc::{channel, Receiver, Sender};
 
 use crate::lock::Mutex;
 
-use crate::error::SimError;
+use crate::error::{BlockedProcess, SimError};
 use crate::event::Event;
 use crate::rng::SimRng;
 use crate::time::{SimDuration, SimTime};
@@ -84,6 +84,9 @@ struct ProcRecord {
     finished: bool,
     done: Event,
     join: Option<JoinHandle<()>>,
+    /// Description of the primitive the process is currently blocked on
+    /// (set by `Ctx` wait methods); surfaced in deadlock diagnostics.
+    waiting_on: Option<String>,
 }
 
 /// Shared scheduler state. Lives behind `Arc` in [`SimHandle`] and `Ctx`.
@@ -179,11 +182,14 @@ impl SimHandle {
 }
 
 impl SchedState {
-    fn push(&mut self, at: SimTime, item: QueueItem) {
+    /// Enqueue `item` at `at`; the returned id can cancel it via
+    /// [`cancel_queued`] before it fires.
+    fn push(&mut self, at: SimTime, item: QueueItem) -> u64 {
         let id = self.seq;
         self.seq += 1;
         self.items.insert(id, item);
         self.queue.push(Reverse((at, id, QueueSlot(id))));
+        id
     }
 }
 
@@ -285,17 +291,24 @@ impl Simulation {
         let mut total_procs = 0u64;
 
         loop {
-            // Pop the earliest queue item, if any.
+            // Pop the earliest live queue item, if any. Cancelled items
+            // (e.g. timeout backstops whose wait completed early) left a
+            // tombstone in the heap: skip them without advancing the clock
+            // or the event count, so an armed-but-unused watchdog never
+            // stretches the run's end time.
             let popped = {
                 let mut st = self.core.state.lock();
-                match st.queue.pop() {
-                    Some(Reverse((at, id, _))) => {
-                        st.now = at;
-                        st.events_processed += 1;
-                        let item = st.items.remove(&id).expect("queue item missing");
-                        Some(item)
+                loop {
+                    match st.queue.pop() {
+                        Some(Reverse((at, id, _))) => {
+                            if let Some(item) = st.items.remove(&id) {
+                                st.now = at;
+                                st.events_processed += 1;
+                                break Some(item);
+                            }
+                        }
+                        None => break None,
                     }
-                    None => None,
                 }
             };
 
@@ -322,13 +335,20 @@ impl Simulation {
                 }
                 None => {
                     // Queue empty: either done, shutdown phase, or deadlock.
-                    let (live_regular, live_daemons, blocked): (usize, usize, Vec<String>) = {
+                    let (live_regular, live_daemons, mut blocked): (
+                        usize,
+                        usize,
+                        Vec<BlockedProcess>,
+                    ) = {
                         let st = self.core.state.lock();
                         let blocked = st
                             .procs
                             .values()
                             .filter(|p| p.parked && !p.finished)
-                            .map(|p| p.name.clone())
+                            .map(|p| BlockedProcess {
+                                process: p.name.clone(),
+                                waiting_on: p.waiting_on.clone(),
+                            })
                             .collect();
                         (st.live_regular, st.live_daemons, blocked)
                     };
@@ -341,6 +361,9 @@ impl Simulation {
                         self.begin_shutdown(&handle);
                         continue;
                     }
+                    // HashMap iteration order is arbitrary; sort so the
+                    // diagnostic is deterministic.
+                    blocked.sort_by(|a, b| a.process.cmp(&b.process));
                     return Err(SimError::Deadlock { blocked });
                 }
             }
@@ -449,7 +472,7 @@ pub(crate) fn spawn_process(
     body: impl FnOnce(&mut crate::process::Ctx) + Send + 'static,
 ) -> SpawnHandle {
     let (resume_tx, resume_rx) = channel::<()>();
-    let done = Event::new();
+    let done = Event::named(format!("join '{name}'"));
 
     let pid = {
         let mut st = core.state.lock();
@@ -471,6 +494,7 @@ pub(crate) fn spawn_process(
                 finished: false,
                 done: done.clone(),
                 join: None,
+                waiting_on: None,
             },
         );
         let now = st.now;
@@ -514,6 +538,14 @@ fn payload_to_string(payload: &(dyn std::any::Any + Send)) -> String {
     }
 }
 
+/// Internal: record what `pid` is blocked on (None clears it). Read only by
+/// the deadlock diagnostic; has no effect on scheduling.
+pub(crate) fn set_waiting_on(core: &Arc<SchedCore>, pid: ProcessId, what: Option<String>) {
+    if let Some(p) = core.state.lock().procs.get_mut(&pid) {
+        p.waiting_on = what;
+    }
+}
+
 /// Internal API used by `Ctx` and `Event`.
 pub(crate) fn park_and_bump(core: &Arc<SchedCore>, pid: ProcessId) -> u64 {
     let mut st = core.state.lock();
@@ -527,9 +559,16 @@ pub(crate) fn now_of(core: &Arc<SchedCore>) -> SimTime {
     core.state.lock().now
 }
 
-pub(crate) fn schedule_resume(core: &Arc<SchedCore>, at: SimTime, pid: ProcessId, epoch: u64) {
+pub(crate) fn schedule_resume(core: &Arc<SchedCore>, at: SimTime, pid: ProcessId, epoch: u64) -> u64 {
     let mut st = core.state.lock();
-    st.push(at, QueueItem::Resume { pid, epoch });
+    st.push(at, QueueItem::Resume { pid, epoch })
+}
+
+/// Cancel a queued item by id before it fires (no-op if it already fired).
+/// The heap entry stays behind as a tombstone that the run loop discards
+/// without advancing virtual time.
+pub(crate) fn cancel_queued(core: &Arc<SchedCore>, id: u64) {
+    core.state.lock().items.remove(&id);
 }
 
 pub(crate) fn is_shutdown(core: &Arc<SchedCore>) -> bool {

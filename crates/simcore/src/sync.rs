@@ -41,9 +41,17 @@ impl<T> SimChannel<T> {
         SimChannel {
             inner: Arc::new(Mutex::new(ChannelState {
                 queue: VecDeque::new(),
-                nonempty: Event::new(),
+                nonempty: Event::named("channel"),
             })),
         }
+    }
+
+    /// Create an empty channel whose blocked receivers show up in deadlock
+    /// diagnostics under `channel '<label>'`.
+    pub fn named(label: impl Into<String>) -> Self {
+        let ch = SimChannel::new();
+        ch.inner.lock().nonempty.set_label(format!("channel '{}'", label.into()));
+        ch
     }
 
     /// Enqueue a value (from a process or a scheduled callback).
@@ -108,7 +116,10 @@ impl Semaphore {
     /// Create a semaphore with `permits` initial permits.
     pub fn new(permits: u64) -> Self {
         Semaphore {
-            inner: Arc::new(Mutex::new(SemState { permits, available: Event::new() })),
+            inner: Arc::new(Mutex::new(SemState {
+                permits,
+                available: Event::named("semaphore"),
+            })),
         }
     }
 
@@ -176,7 +187,7 @@ impl SimBarrier {
             inner: Arc::new(Mutex::new(BarrierState {
                 arrived: 0,
                 generation: 0,
-                release: Event::new(),
+                release: Event::named("barrier"),
             })),
             parties,
         }
@@ -197,7 +208,7 @@ impl SimBarrier {
                 st.arrived = 0;
                 st.generation += 1;
                 let old = st.release.clone();
-                st.release = Event::new();
+                st.release = Event::named("barrier");
                 old
             };
             next.set(&ctx.handle());

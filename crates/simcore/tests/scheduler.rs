@@ -221,16 +221,64 @@ fn dynamic_spawn_and_join() {
 #[test]
 fn deadlock_is_detected_with_names() {
     let mut sim = Simulation::with_seed(1);
-    let ev = Event::new();
+    let ev = Event::named("never-fires");
     sim.spawn("stuck-proc", move |ctx| {
         ctx.wait(&ev); // never set
     });
     match sim.run() {
         Err(SimError::Deadlock { blocked }) => {
-            assert_eq!(blocked, vec!["stuck-proc".to_string()]);
+            assert_eq!(blocked.len(), 1);
+            assert_eq!(blocked[0].process, "stuck-proc");
+            // Wait-for diagnosis: the error alone says what it was stuck on.
+            assert_eq!(blocked[0].waiting_on.as_deref(), Some("event 'never-fires'"));
         }
         other => panic!("expected deadlock, got {other:?}"),
     }
+}
+
+#[test]
+fn deadlock_reports_unnamed_and_count_waits() {
+    let mut sim = Simulation::with_seed(1);
+    let ev = Event::new();
+    let counter = parcomm_sim::CountEvent::named("arrivals");
+    sim.spawn("event-waiter", move |ctx| {
+        ctx.wait(&ev);
+    });
+    sim.spawn("count-waiter", move |ctx| {
+        ctx.wait_count(&counter, 8);
+    });
+    match sim.run() {
+        Err(SimError::Deadlock { blocked }) => {
+            // Sorted by process name for deterministic diagnostics.
+            assert_eq!(blocked.len(), 2);
+            assert_eq!(blocked[0].process, "count-waiter");
+            assert_eq!(blocked[0].waiting_on.as_deref(), Some("count 'arrivals' (0/8)"));
+            assert_eq!(blocked[1].process, "event-waiter");
+            assert_eq!(blocked[1].waiting_on.as_deref(), Some("event <unnamed>"));
+        }
+        other => panic!("expected deadlock, got {other:?}"),
+    }
+}
+
+#[test]
+fn wait_count_timeout_meets_threshold_or_expires() {
+    let mut sim = Simulation::with_seed(1);
+    let fast = parcomm_sim::CountEvent::new();
+    let slow = parcomm_sim::CountEvent::new();
+    let fast2 = fast.clone();
+    sim.spawn("producer", move |ctx| {
+        ctx.advance(us(3));
+        fast2.add(&ctx.handle(), 2);
+    });
+    sim.spawn("consumer", move |ctx| {
+        // Met before the deadline.
+        assert!(ctx.wait_count_timeout(&fast, 2, us(10)));
+        assert_eq!(ctx.now().as_micros_f64(), 3.0);
+        // Never met: expires at the deadline instead of hanging.
+        assert!(!ctx.wait_count_timeout(&slow, 1, us(5)));
+        assert_eq!(ctx.now().as_micros_f64(), 8.0);
+    });
+    sim.run().unwrap();
 }
 
 #[test]

@@ -12,5 +12,10 @@
 mod rma;
 mod worker;
 
-pub use rma::{MemHandle, PutHandle, RKey};
-pub use worker::{AmMessage, Endpoint, UcxError, UcxUniverse, Worker, WorkerAddress};
+pub use rma::{
+    IpcMapping, MemHandle, PutHandle, RKey, PUT_MAX_ATTEMPTS, PUT_RETRY_BACKOFF_US,
+};
+pub use worker::{
+    AmMessage, Endpoint, UcxError, UcxUniverse, Worker, WorkerAddress, AM_MAX_ATTEMPTS,
+    AM_RETRY_BACKOFF_US,
+};

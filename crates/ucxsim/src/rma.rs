@@ -8,13 +8,36 @@
 //! at its arrival instant, which is where the chained put is issued.
 //!
 //! `rkey_ptr` models the paper's modified `uct_cuda_ipc_rkey_ptr`: for
-//! device memory on the same node it exposes a directly-storable mapping of
-//! the remote buffer (the Kernel Copy substrate).
+//! device memory on the same node it exposes a directly-storable
+//! [`IpcMapping`] of the remote buffer (the Kernel Copy substrate). The
+//! mapping is *revocable* — chaos schedules revoke it mid-epoch and the
+//! partitioned runtime falls back to the Progression Engine.
+//!
+//! ## Fault recovery
+//!
+//! With a fault schedule armed on the fabric, a put whose route has no
+//! usable NIC retries with exponential backoff ([`PUT_RETRY_BACKOFF_US`],
+//! doubling, up to [`PUT_MAX_ATTEMPTS`] attempts). Exhausting the retries
+//! records [`UcxError::PutTimeout`] in the put's [`PutHandle::result`] and
+//! fires `done` anyway, so waiters observe a typed failure instead of
+//! blocking forever. With no faults armed, the retry machinery is never
+//! entered and behavior is byte-identical to the fault-free model.
 
-use parcomm_gpu::{Buffer, MemSpace};
-use parcomm_sim::{Event, SimHandle, SimTime};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use parcomm_gpu::{Buffer, Location, MemSpace};
+use parcomm_net::Fabric;
+use parcomm_sim::{Event, Mutex, SimDuration, SimHandle, SimTime};
 
 use crate::worker::{Endpoint, UcxError, Worker};
+
+/// Maximum attempts (first try + retries) for one `put_nbx` before it fails
+/// with [`UcxError::PutTimeout`].
+pub const PUT_MAX_ATTEMPTS: u32 = 6;
+
+/// Backoff before the first retry (µs); doubles per attempt (exponential).
+pub const PUT_RETRY_BACKOFF_US: f64 = 20.0;
 
 /// A registered memory region (`ucp_mem_map`).
 #[derive(Clone, Debug)]
@@ -31,7 +54,7 @@ impl MemHandle {
     /// Pack a remote key for this region (`ucp_rkey_pack`). The returned
     /// key is what the receiver ships to the sender in its `setup_t` reply.
     pub fn pack_rkey(&self) -> RKey {
-        RKey { buffer: self.buffer.clone() }
+        RKey { buffer: self.buffer.clone(), ipc_valid: Arc::new(AtomicBool::new(true)) }
     }
 }
 
@@ -41,6 +64,10 @@ impl MemHandle {
 #[derive(Clone, Debug)]
 pub struct RKey {
     buffer: Buffer,
+    /// Shared validity bit of the CUDA-IPC mapping derived from this key.
+    /// Cloned keys (and the mappings handed out by [`RKey::rkey_ptr`]) all
+    /// observe a revocation, wherever they traveled.
+    ipc_valid: Arc<AtomicBool>,
 }
 
 impl RKey {
@@ -60,14 +87,28 @@ impl RKey {
     /// as the caller — the CUDA-IPC transport the paper modified. All other
     /// combinations return [`UcxError::RkeyPtrUnavailable`], matching
     /// mainline UCX exposing this only for host-reachable mappings.
-    pub fn rkey_ptr(&self, caller_node: u16) -> Result<Buffer, UcxError> {
+    pub fn rkey_ptr(&self, caller_node: u16) -> Result<IpcMapping, UcxError> {
+        if !self.ipc_valid.load(Ordering::Acquire) {
+            return Err(UcxError::MappingRevoked);
+        }
         match self.buffer.space() {
-            MemSpace::Device { node, .. } if node == caller_node => Ok(self.buffer.clone()),
+            MemSpace::Device { node, .. } if node == caller_node => {
+                Ok(IpcMapping { buffer: self.buffer.clone(), valid: self.ipc_valid.clone() })
+            }
             MemSpace::Device { .. } => {
                 Err(UcxError::RkeyPtrUnavailable("peer GPU is on a different node"))
             }
             _ => Err(UcxError::RkeyPtrUnavailable("region is not CUDA memory")),
         }
+    }
+
+    /// Revoke the CUDA-IPC mapping (fault injection: the driver tore down
+    /// the IPC handle, e.g. `cuIpcCloseMemHandle` on the owner side). Every
+    /// [`IpcMapping`] already derived from this key — on any clone of it —
+    /// observes the revocation on its next validity check. RMA puts through
+    /// the key are unaffected; only the direct-store mapping dies.
+    pub fn revoke_ipc(&self) {
+        self.ipc_valid.store(false, Ordering::Release);
     }
 
     /// The target buffer (simulation-internal; used by the functional copy).
@@ -76,13 +117,53 @@ impl RKey {
     }
 }
 
+/// A live CUDA-IPC mapping of a remote region (`ucp_rkey_ptr` result):
+/// directly storable from device code, but revocable by the region owner.
+/// Users must check [`IpcMapping::is_valid`] before each store batch and
+/// fall back to an RMA path once revoked.
+#[derive(Clone, Debug)]
+pub struct IpcMapping {
+    buffer: Buffer,
+    valid: Arc<AtomicBool>,
+}
+
+impl IpcMapping {
+    /// The mapped remote buffer.
+    pub fn buffer(&self) -> &Buffer {
+        &self.buffer
+    }
+
+    /// True while the mapping has not been revoked.
+    pub fn is_valid(&self) -> bool {
+        self.valid.load(Ordering::Acquire)
+    }
+}
+
 /// Completion handle of a `put_nbx`.
 #[derive(Clone, Debug)]
 pub struct PutHandle {
-    /// Fires when the last byte (and the completion callback) has landed.
+    /// Fires when the put has settled: the last byte (and the completion
+    /// callback) landed, **or** the put failed after exhausting retries.
+    /// Check [`PutHandle::result`] to distinguish.
     pub done: Event,
-    /// Arrival instant at the target.
+    /// Arrival instant at the target, as computed at issue time. For a put
+    /// that entered fault-retry this is provisional; the authoritative
+    /// arrival is in [`PutHandle::result`].
     pub arrival: SimTime,
+    result: Arc<Mutex<Option<Result<SimTime, UcxError>>>>,
+}
+
+impl PutHandle {
+    /// The put's outcome: `None` until `done` fires, then `Ok(arrival)` or
+    /// the typed error that ended the retry sequence.
+    pub fn result(&self) -> Option<Result<SimTime, UcxError>> {
+        self.result.lock().clone()
+    }
+
+    /// True once the put has settled as a failure.
+    pub fn is_failed(&self) -> bool {
+        matches!(*self.result.lock(), Some(Err(_)))
+    }
 }
 
 impl Worker {
@@ -91,6 +172,62 @@ impl Worker {
     /// `MPIX_Prequest_create` / first-`Pbuf_prepare` overheads in Table I).
     pub fn mem_map(&self, buffer: &Buffer) -> MemHandle {
         MemHandle { buffer: buffer.clone() }
+    }
+}
+
+/// Everything one put attempt needs; kept in a struct so the retry chain
+/// can re-issue it from scheduled callbacks.
+struct PendingPut {
+    fabric: Fabric,
+    from: Location,
+    to: Location,
+    src: Buffer,
+    src_off: usize,
+    len: usize,
+    dst: Buffer,
+    dst_off: usize,
+    on_complete: Box<dyn FnOnce(&SimHandle) + Send + 'static>,
+    done: Event,
+    result: Arc<Mutex<Option<Result<SimTime, UcxError>>>>,
+    first_try_at: SimTime,
+}
+
+/// Issue (or re-issue) one attempt of a put; schedules the next retry with
+/// exponential backoff on a routing failure, or settles the handle with
+/// [`UcxError::PutTimeout`] once attempts are exhausted.
+fn attempt_put(p: PendingPut, attempt: u32) -> SimTime {
+    let h = p.fabric.sim().clone();
+    let now = h.now();
+    match p.fabric.try_transfer_at(now, p.from, p.to, p.len as u64) {
+        Ok(transfer) => {
+            let arrival = transfer.arrival;
+            let PendingPut { src, src_off, len, dst, dst_off, on_complete, done, result, .. } = p;
+            h.schedule_at(arrival, move |h| {
+                dst.copy_from_buffer(dst_off, &src, src_off, len);
+                on_complete(h);
+                *result.lock() = Some(Ok(arrival));
+                done.set(h);
+            });
+            arrival
+        }
+        Err(net_err) => {
+            if attempt + 1 >= PUT_MAX_ATTEMPTS {
+                let waited = now.since(p.first_try_at);
+                *p.result.lock() = Some(Err(UcxError::PutTimeout {
+                    attempts: attempt + 1,
+                    waited_us: waited.as_micros_f64() as u64,
+                    cause: net_err.to_string(),
+                }));
+                p.done.set(&h);
+            } else {
+                let backoff =
+                    SimDuration::from_micros_f64(PUT_RETRY_BACKOFF_US * f64::powi(2.0, attempt as i32));
+                h.schedule_in(backoff, move |_h| {
+                    attempt_put(p, attempt + 1);
+                });
+            }
+            now
+        }
     }
 }
 
@@ -104,7 +241,10 @@ impl Endpoint {
     /// the operation is posted by the host).
     ///
     /// `on_complete` runs at the arrival instant, after the functional copy
-    /// — the hook where the paper chains the receive-side flag put.
+    /// — the hook where the paper chains the receive-side flag put. If the
+    /// put fails (fault-injected NIC outage outlasting the retry window),
+    /// `on_complete` never runs; `done` fires with an `Err` in
+    /// [`PutHandle::result`] instead.
     pub fn put_nbx(
         &self,
         src: &Buffer,
@@ -114,20 +254,25 @@ impl Endpoint {
         dst_off: usize,
         on_complete: impl FnOnce(&SimHandle) + Send + 'static,
     ) -> PutHandle {
-        let fabric = self.universe.fabric();
-        let from = src.space().location();
-        let to = rkey.space().location();
-        let transfer = fabric.transfer(from, to, len as u64);
-        let src = src.clone();
-        let dst = rkey.target_buffer().clone();
-        let done = Event::new();
-        let done2 = done.clone();
-        self.universe.sim().schedule_at(transfer.arrival, move |h| {
-            dst.copy_from_buffer(dst_off, &src, src_off, len);
-            on_complete(h);
-            done2.set(h);
-        });
-        PutHandle { done, arrival: transfer.arrival }
+        let fabric = self.universe.fabric().clone();
+        let done = Event::named("put_nbx");
+        let result = Arc::new(Mutex::new(None));
+        let pending = PendingPut {
+            from: src.space().location(),
+            to: rkey.space().location(),
+            src: src.clone(),
+            src_off,
+            len,
+            dst: rkey.target_buffer().clone(),
+            dst_off,
+            on_complete: Box::new(on_complete),
+            done: done.clone(),
+            result: result.clone(),
+            first_try_at: fabric.sim().now(),
+            fabric,
+        };
+        let arrival = attempt_put(pending, 0);
+        PutHandle { done, arrival, result }
     }
 
     /// Put without a completion callback.

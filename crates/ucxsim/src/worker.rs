@@ -26,12 +26,25 @@ use parcomm_sim::{Ctx, Event, SimDuration, SimHandle};
 pub struct WorkerAddress(u64);
 
 /// Errors surfaced by the UCX layer.
-#[derive(Debug, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum UcxError {
     /// The worker address is not registered in the universe.
     UnknownWorker(WorkerAddress),
     /// `rkey_ptr` is not available for this memory/topology combination.
     RkeyPtrUnavailable(&'static str),
+    /// A `put_nbx` exhausted its retry/backoff budget without finding a
+    /// usable route (fault-injected NIC outage outlasting the retry window).
+    PutTimeout {
+        /// Attempts made (first try + retries).
+        attempts: u32,
+        /// Virtual time spent retrying, in whole microseconds.
+        waited_us: u64,
+        /// Stringified fabric error from the final attempt.
+        cause: String,
+    },
+    /// The CUDA-IPC mapping behind an `rkey_ptr` has been revoked by the
+    /// region owner; direct stores are no longer possible.
+    MappingRevoked,
 }
 
 impl std::fmt::Display for UcxError {
@@ -39,6 +52,13 @@ impl std::fmt::Display for UcxError {
         match self {
             UcxError::UnknownWorker(a) => write!(f, "unknown worker address {a:?}"),
             UcxError::RkeyPtrUnavailable(r) => write!(f, "ucp_rkey_ptr unavailable: {r}"),
+            UcxError::PutTimeout { attempts, waited_us, cause } => write!(
+                f,
+                "ucp_put_nbx gave up after {attempts} attempts ({waited_us}us of backoff): {cause}"
+            ),
+            UcxError::MappingRevoked => {
+                write!(f, "cuda-ipc mapping revoked; direct stores unavailable")
+            }
         }
     }
 }
@@ -183,6 +203,29 @@ impl Worker {
         }
     }
 
+    /// Bounded tagged receive: like [`Worker::am_recv`] but gives up after
+    /// `timeout` of virtual time with no message. The watchdog surface for
+    /// handshake waits — a peer that died mid-protocol must not park this
+    /// process forever.
+    pub fn am_recv_timeout(
+        &self,
+        ctx: &mut Ctx,
+        tag: u64,
+        timeout: SimDuration,
+    ) -> Option<AmMessage> {
+        let deadline = ctx.now() + timeout;
+        loop {
+            if let Some(m) = self.try_am_recv(tag) {
+                return Some(m);
+            }
+            if ctx.now() >= deadline {
+                return None;
+            }
+            let ev = self.arrival_event(tag);
+            ctx.wait_timeout(&ev, deadline.since(ctx.now()));
+        }
+    }
+
     /// The event that fires when a message with `tag` is queued. Used by
     /// progression engines to poll without busy-waiting.
     pub fn arrival_event(&self, tag: u64) -> Event {
@@ -228,22 +271,74 @@ impl Endpoint {
 
     /// Send a tagged active message carrying `payload`; `wire_bytes` is the
     /// modeled serialized size (control messages are small, e.g. the
-    /// `setup_t` exchange). Returns the fabric arrival event.
+    /// `setup_t` exchange). Returns an event that fires at delivery.
+    ///
+    /// Control messages ride the reliable transport: under a fault-injected
+    /// NIC outage the send retries on a fixed backoff until a route exists
+    /// again (bounded by [`AM_MAX_ATTEMPTS`]; an outage outlasting that
+    /// drops the message, which the receiver-side watchdog surfaces as a
+    /// typed timeout). With no faults armed the retry path is never entered.
     pub fn am_send<T: Any + Send>(&self, tag: u64, payload: T, wire_bytes: u64) -> Event {
-        let transfer =
-            self.universe.fabric().transfer(self.src.location, self.dst.location, wire_bytes);
-        let dst = self.dst.clone();
-        let universe = self.universe.clone();
-        let done = transfer.done.clone();
-        let msg_done = done.clone();
+        let done = Event::named(format!("am_send tag {tag}"));
         let payload: Box<dyn Any + Send> = Box::new(payload);
-        // Deliver into the mailbox exactly at arrival.
-        self.universe.sim().schedule_at(transfer.arrival, move |h| {
-            let worker = Worker { inner: dst, universe };
-            worker.deliver(h, tag, AmMessage { payload, wire_bytes });
-            let _ = msg_done;
-        });
+        am_send_attempt(
+            self.universe.clone(),
+            self.src.location,
+            self.dst.clone(),
+            tag,
+            payload,
+            wire_bytes,
+            done.clone(),
+            0,
+        );
         done
+    }
+}
+
+/// Maximum attempts for one active-message send under NIC outages.
+pub const AM_MAX_ATTEMPTS: u32 = 64;
+
+/// Backoff between active-message retry attempts (µs).
+pub const AM_RETRY_BACKOFF_US: f64 = 50.0;
+
+/// One attempt at putting an active message on the wire; reschedules itself
+/// on a routing failure. Free function (not a closure) so the retry chain
+/// can recurse from scheduled callbacks.
+#[allow(clippy::too_many_arguments)]
+fn am_send_attempt(
+    universe: UcxUniverse,
+    src: Location,
+    dst: Arc<WorkerInner>,
+    tag: u64,
+    payload: Box<dyn Any + Send>,
+    wire_bytes: u64,
+    done: Event,
+    attempt: u32,
+) {
+    let h = universe.sim().clone();
+    let now = h.now();
+    match universe.fabric().try_transfer_at(now, src, dst.location, wire_bytes) {
+        Ok(transfer) => {
+            // Deliver into the mailbox exactly at arrival.
+            h.schedule_at(transfer.arrival, move |h| {
+                let worker = Worker { inner: dst, universe };
+                worker.deliver(h, tag, AmMessage { payload, wire_bytes });
+                done.set(h);
+            });
+        }
+        Err(_) if attempt + 1 < AM_MAX_ATTEMPTS => {
+            h.schedule_in(
+                parcomm_sim::SimDuration::from_micros_f64(AM_RETRY_BACKOFF_US),
+                move |_h| {
+                    am_send_attempt(universe, src, dst, tag, payload, wire_bytes, done, attempt + 1)
+                },
+            );
+        }
+        Err(_) => {
+            // Outage outlasted every retry: the message is lost. The
+            // receiver's watchdog turns the missing arrival into a typed
+            // timeout; `done` stays unset.
+        }
     }
 }
 

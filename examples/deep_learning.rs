@@ -27,7 +27,7 @@ fn run(model: DlModel, label: &str) -> (f64, f64) {
             functional: true,
             model,
         };
-        let result = run_dl(ctx, rank, &cfg, Some(&nccl));
+        let result = run_dl(ctx, rank, &cfg, Some(&nccl)).expect("run_dl");
         if rank.rank() == 0 {
             *out2.lock() = (result.per_step.as_micros_f64(), result.loss);
         }

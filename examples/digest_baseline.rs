@@ -1,0 +1,79 @@
+//! Regenerate the frozen fault-free baseline digests asserted by
+//! `crates/faultsim/tests/chaos.rs` (`FROZEN_ALLREDUCE` / `FROZEN_JACOBI`).
+//!
+//! Those constants were captured on the build *before* the fault-injection
+//! subsystem existed; `FaultPlan::none()` must keep reproducing them bit
+//! for bit. Only re-run this (and update the constants) after a change
+//! that intentionally alters the simulation's event stream.
+use std::sync::Arc;
+
+use parcomm::apps::{run_jacobi, JacobiConfig, JacobiModel};
+use parcomm::coll::pallreduce_init;
+use parcomm::gpu::KernelSpec;
+use parcomm::mpi::MpiWorld;
+use parcomm::prelude::*;
+use parcomm::sim::Mutex;
+use parcomm_testkit::digest;
+
+fn allreduce_digest(seed: u64) -> u64 {
+    let mut sim = Simulation::with_seed(seed);
+    let trace = sim.trace();
+    trace.enable();
+    let world = MpiWorld::gh200(&sim, 1);
+    let out = Arc::new(Mutex::new(Vec::new()));
+    let o2 = out.clone();
+    world.run_ranks(&mut sim, move |ctx, rank| {
+        let partitions = 4usize;
+        let n = partitions * rank.size() * 64;
+        let buf = rank.gpu().alloc_global(n * 8);
+        let vals: Vec<f64> = (0..n).map(|i| (rank.rank() * 31 + i) as f64).collect();
+        buf.write_f64_slice(0, &vals);
+        let stream = rank.gpu().create_stream();
+        let coll = pallreduce_init(ctx, rank, &buf, partitions, &stream, 90).expect("init");
+        coll.start(ctx).expect("start");
+        coll.pbuf_prepare(ctx).expect("pbuf_prepare");
+        let c2 = coll.clone();
+        stream.launch(ctx, KernelSpec::vector_add(4, 256), move |d| c2.pready_device_all(d));
+        coll.wait(ctx).expect("wait");
+        if rank.rank() == 0 {
+            *o2.lock() = buf.read_f64_slice(0, n);
+        }
+    });
+    let report = sim.run().expect("allreduce sim");
+    let mut d = digest::Digest::new();
+    d.write_u64(digest::run_digest(&report, &trace));
+    d.write_f64_slice(&out.lock());
+    d.finish()
+}
+
+fn jacobi_digest(seed: u64) -> u64 {
+    let mut sim = Simulation::with_seed(seed);
+    let trace = sim.trace();
+    trace.enable();
+    let world = MpiWorld::gh200(&sim, 1);
+    let out = Arc::new(Mutex::new(0.0f64));
+    let o2 = out.clone();
+    world.run_ranks(&mut sim, move |ctx, rank| {
+        let cfg = JacobiConfig::functional_test(JacobiModel::Partitioned(
+            CopyMechanism::ProgressionEngine,
+        ));
+        let res = run_jacobi(ctx, rank, &cfg).expect("run_jacobi");
+        if rank.rank() == 0 {
+            *o2.lock() = res.checksum;
+        }
+    });
+    let report = sim.run().expect("jacobi sim");
+    let mut d = digest::Digest::new();
+    d.write_u64(digest::run_digest(&report, &trace));
+    d.write_f64(*out.lock());
+    d.finish()
+}
+
+fn main() {
+    for seed in [0xA11CE_u64, 0xB0B, 0xC0C0A, 0xFA017] {
+        println!("allreduce {seed:#x} -> {:#018x}", allreduce_digest(seed));
+    }
+    for seed in [0xA11CE_u64, 0xFA017] {
+        println!("jacobi    {seed:#x} -> {:#018x}", jacobi_digest(seed));
+    }
+}

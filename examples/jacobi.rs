@@ -29,7 +29,7 @@ fn run(model: JacobiModel, label: &str) -> f64 {
             model,
             stencil_gbps: 300.0,
         };
-        let result = run_jacobi(ctx, rank, &cfg);
+        let result = run_jacobi(ctx, rank, &cfg).expect("run_jacobi");
         *sums2.lock() += result.checksum;
         if rank.rank() == 0 {
             *out2.lock() = (result.gflops, result.elapsed.as_micros_f64());

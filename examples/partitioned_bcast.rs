@@ -25,16 +25,16 @@ fn main() {
             buf.write_f64_slice(0, &(0..ELEMS).map(|i| (i % 97) as f64).collect::<Vec<_>>());
         }
         let stream = rank.gpu().create_stream();
-        let bcast = pbcast_init(ctx, rank, &buf, PARTITIONS, &stream, root, 3);
+        let bcast = pbcast_init(ctx, rank, &buf, PARTITIONS, &stream, root, 3).expect("init");
 
-        bcast.start(ctx);
-        bcast.pbuf_prepare(ctx);
+        bcast.start(ctx).expect("start");
+        bcast.pbuf_prepare(ctx).expect("pbuf_prepare");
         rank.barrier(ctx);
         let t0 = ctx.now();
         for u in 0..PARTITIONS {
-            bcast.pready(ctx, u);
+            bcast.pready(ctx, u).expect("pready");
         }
-        bcast.wait(ctx);
+        bcast.wait(ctx).expect("wait");
         let elapsed = ctx.now().since(t0);
 
         // Every rank now holds the root's payload.

@@ -29,9 +29,9 @@ fn main() {
                 for u in 0..PARTITIONS {
                     buf.write_f64_slice(u * 1024, &[(u + 1) as f64; 128]);
                 }
-                let sreq = psend_init(ctx, rank, 1, 7, &buf, PARTITIONS);
-                sreq.start(ctx);
-                sreq.pbuf_prepare(ctx);
+                let sreq = psend_init(ctx, rank, 1, 7, &buf, PARTITIONS).expect("init");
+                sreq.start(ctx).expect("start");
+                sreq.pbuf_prepare(ctx).expect("pbuf_prepare");
                 let preq = prequest_create(
                     ctx,
                     rank,
@@ -52,17 +52,17 @@ fn main() {
                 stream.launch(ctx, KernelSpec::vector_add(1, 64), move |d| {
                     preq2.pready_all(d);
                 });
-                sreq.wait(ctx);
+                sreq.wait(ctx).expect("wait");
                 log2.lock().push(format!(
                     "sender: kernel + in-kernel Pready + MPI_Wait took {}",
                     ctx.now().since(t0)
                 ));
             }
             1 => {
-                let rreq = precv_init(ctx, rank, 0, 7, &buf, PARTITIONS);
-                rreq.start(ctx);
-                rreq.pbuf_prepare(ctx);
-                rreq.wait(ctx);
+                let rreq = precv_init(ctx, rank, 0, 7, &buf, PARTITIONS).expect("init");
+                rreq.start(ctx).expect("start");
+                rreq.pbuf_prepare(ctx).expect("pbuf_prepare");
+                rreq.wait(ctx).expect("wait");
                 let ok = (0..PARTITIONS)
                     .all(|u| buf.read_f64(u * 1024) == (u + 1) as f64 && rreq.parrived(u));
                 log2.lock().push(format!(

@@ -27,9 +27,9 @@ fn main() {
         match rank.rank() {
             0 => {
                 buf.write_f64_slice(0, &vec![1.0; n]);
-                let sreq = psend_init(ctx, rank, 1, 5, &buf, PARTITIONS);
-                sreq.start(ctx);
-                sreq.pbuf_prepare(ctx);
+                let sreq = psend_init(ctx, rank, 1, 5, &buf, PARTITIONS).expect("init");
+                sreq.start(ctx).expect("start");
+                sreq.pbuf_prepare(ctx).expect("pbuf_prepare");
                 let preq = prequest_create(
                     ctx,
                     rank,
@@ -45,18 +45,18 @@ fn main() {
                 let stream = rank.gpu().create_stream();
                 let p2 = preq.clone();
                 stream.launch(ctx, spec, move |d| p2.pready_all_progressive(d));
-                sreq.wait(ctx);
+                sreq.wait(ctx).expect("wait");
             }
             1 => {
-                let rreq = precv_init(ctx, rank, 0, 5, &buf, PARTITIONS);
-                rreq.start(ctx);
-                rreq.pbuf_prepare(ctx);
+                let rreq = precv_init(ctx, rank, 0, 5, &buf, PARTITIONS).expect("init");
+                rreq.start(ctx).expect("start");
+                rreq.pbuf_prepare(ctx).expect("pbuf_prepare");
                 let t0 = ctx.now();
                 let mut consumed = 0.0f64;
                 for u in 0..PARTITIONS as u64 {
                     // Block only until partition u is here, then process it
                     // while the rest are still being computed/transferred.
-                    rreq.wait_arrivals(ctx, u + 1);
+                    rreq.wait_arrivals(ctx, u + 1).expect("wait_arrivals");
                     let arrived_at = ctx.now().since(t0);
                     let off = u as usize * ELEMS_PER_PART * 8;
                     consumed += buf.reduce_sum_f64(off, ELEMS_PER_PART);
@@ -66,7 +66,7 @@ fn main() {
                         "partition {u}: arrived at +{arrived_at}, consumed (running sum {consumed})"
                     ));
                 }
-                rreq.wait(ctx);
+                rreq.wait(ctx).expect("wait");
                 let total = ctx.now().since(t0);
                 log2.lock().push(format!(
                     "all {PARTITIONS} partitions consumed in {total}; final sum {consumed} \

@@ -25,19 +25,19 @@
 //!     match rank.rank() {
 //!         0 => {
 //!             buf.write_f64_slice(0, &[1.0; 512]);
-//!             let sreq = psend_init(ctx, rank, 1, 7, &buf, 4);
-//!             sreq.start(ctx);
-//!             sreq.pbuf_prepare(ctx);
+//!             let sreq = psend_init(ctx, rank, 1, 7, &buf, 4).expect("init");
+//!             sreq.start(ctx).expect("start");
+//!             sreq.pbuf_prepare(ctx).expect("pbuf_prepare");
 //!             for u in 0..4 {
-//!                 sreq.pready(ctx, u);
+//!                 sreq.pready(ctx, u).expect("pready");
 //!             }
-//!             sreq.wait(ctx);
+//!             sreq.wait(ctx).expect("wait");
 //!         }
 //!         1 => {
-//!             let rreq = precv_init(ctx, rank, 0, 7, &buf, 4);
-//!             rreq.start(ctx);
-//!             rreq.pbuf_prepare(ctx);
-//!             rreq.wait(ctx);
+//!             let rreq = precv_init(ctx, rank, 0, 7, &buf, 4).expect("init");
+//!             rreq.start(ctx).expect("start");
+//!             rreq.pbuf_prepare(ctx).expect("pbuf_prepare");
+//!             rreq.wait(ctx).expect("wait");
 //!             assert_eq!(buf.read_f64(0), 1.0);
 //!         }
 //!         _ => {}
@@ -52,6 +52,7 @@
 pub use parcomm_apps as apps;
 pub use parcomm_coll as coll;
 pub use parcomm_core as core;
+pub use parcomm_fault as fault;
 pub use parcomm_gpu as gpu;
 pub use parcomm_mpi as mpi;
 pub use parcomm_nccl as nccl;
@@ -66,8 +67,9 @@ pub mod prelude {
         precv_init, prequest_create, psend_init, CopyMechanism, DevicePrequest, PrecvRequest,
         PrequestConfig, PsendRequest,
     };
+    pub use parcomm_fault::FaultPlan;
     pub use parcomm_gpu::{AggLevel, Buffer, CostModel, DeviceCtx, Gpu, KernelSpec, Stream};
-    pub use parcomm_mpi::{MpiWorld, Rank, WorldConfig};
+    pub use parcomm_mpi::{MpiError, MpiWorld, Rank, WorldConfig};
     pub use parcomm_nccl::{NcclComm, NcclConfig};
     pub use parcomm_net::ClusterSpec;
     pub use parcomm_sim::{Ctx, Event, SimConfig, SimDuration, SimTime, Simulation};

@@ -34,12 +34,12 @@ fn allreduce_digest(seed: u64) -> u64 {
         let vals: Vec<f64> = (0..n).map(|i| (rank.rank() * 31 + i) as f64).collect();
         buf.write_f64_slice(0, &vals);
         let stream = rank.gpu().create_stream();
-        let coll = pallreduce_init(ctx, rank, &buf, partitions, &stream, 90);
-        coll.start(ctx);
-        coll.pbuf_prepare(ctx);
+        let coll = pallreduce_init(ctx, rank, &buf, partitions, &stream, 90).expect("init");
+        coll.start(ctx).expect("start");
+        coll.pbuf_prepare(ctx).expect("pbuf_prepare");
         let c2 = coll.clone();
         stream.launch(ctx, KernelSpec::vector_add(4, 256), move |d| c2.pready_device_all(d));
-        coll.wait(ctx);
+        coll.wait(ctx).expect("wait");
         if rank.rank() == 0 {
             *o2.lock() = buf.read_f64_slice(0, n);
         }
@@ -66,20 +66,20 @@ fn p2p_digest(seed: u64) -> u64 {
                 for u in 0..parts {
                     buf.write_f64_slice(u * 1024, &[u as f64 + 1.0; 128]);
                 }
-                let sreq = psend_init(ctx, rank, 1, 7, &buf, parts);
-                sreq.set_transport_partitions(2);
-                sreq.start(ctx);
-                sreq.pbuf_prepare(ctx);
+                let sreq = psend_init(ctx, rank, 1, 7, &buf, parts).expect("init");
+                sreq.set_transport_partitions(2).expect("set_transport_partitions");
+                sreq.start(ctx).expect("start");
+                sreq.pbuf_prepare(ctx).expect("pbuf_prepare");
                 for u in (0..parts).rev() {
-                    sreq.pready(ctx, u);
+                    sreq.pready(ctx, u).expect("pready");
                 }
-                sreq.wait(ctx);
+                sreq.wait(ctx).expect("wait");
             }
             1 => {
-                let rreq = precv_init(ctx, rank, 0, 7, &buf, parts);
-                rreq.start(ctx);
-                rreq.pbuf_prepare(ctx);
-                rreq.wait(ctx);
+                let rreq = precv_init(ctx, rank, 0, 7, &buf, parts).expect("init");
+                rreq.start(ctx).expect("start");
+                rreq.pbuf_prepare(ctx).expect("pbuf_prepare");
+                rreq.wait(ctx).expect("wait");
                 for u in 0..parts {
                     assert!(rreq.parrived(u));
                 }
@@ -101,7 +101,7 @@ fn jacobi_digest(seed: u64) -> u64 {
     let s2 = sums.clone();
     world.run_ranks(&mut sim, move |ctx, rank| {
         let cfg = JacobiConfig::functional_test(JacobiModel::Partitioned(CopyMechanism::KernelCopy));
-        let result = run_jacobi(ctx, rank, &cfg);
+        let result = run_jacobi(ctx, rank, &cfg).expect("run_jacobi");
         s2.lock().push(result.checksum);
     });
     let report = sim.run().expect("jacobi sim");
@@ -137,7 +137,7 @@ fn jacobi_checksum_is_seed_independent() {
         let s2 = sums.clone();
         world.run_ranks(&mut sim, move |ctx, rank| {
             let cfg = JacobiConfig::functional_test(JacobiModel::Partitioned(CopyMechanism::KernelCopy));
-            let result = run_jacobi(ctx, rank, &cfg);
+            let result = run_jacobi(ctx, rank, &cfg).expect("run_jacobi");
             s2.lock().push((rank.rank(), result.checksum.to_bits()));
         });
         sim.run().expect("jacobi sim");

@@ -31,31 +31,31 @@ fn many_concurrent_channels_between_all_pairs() {
                 sbuf.write_f64_slice(u * 256, &[(me * 10 + u) as f64; 32]);
             }
             let rbuf = rank.gpu().alloc_global(parts * 256);
-            sends.push((peer, psend_init(ctx, rank, peer, 900 + me as u64, &sbuf, parts)));
-            recvs.push((peer, precv_init(ctx, rank, peer, 900 + peer as u64, &rbuf, parts), rbuf));
+            sends.push((peer, psend_init(ctx, rank, peer, 900 + me as u64, &sbuf, parts).expect("init")));
+            recvs.push((peer, precv_init(ctx, rank, peer, 900 + peer as u64, &rbuf, parts).expect("init"), rbuf));
         }
         for (_, s) in &sends {
-            s.start(ctx);
+            s.start(ctx).expect("start");
         }
         for (_, r, _) in &recvs {
-            r.start(ctx);
+            r.start(ctx).expect("start");
         }
         for (_, r, _) in &recvs {
-            r.pbuf_prepare(ctx);
+            r.pbuf_prepare(ctx).expect("pbuf_prepare");
         }
         for (_, s) in &sends {
-            s.pbuf_prepare(ctx);
+            s.pbuf_prepare(ctx).expect("pbuf_prepare");
         }
         for (_, s) in &sends {
             for u in 0..parts {
-                s.pready(ctx, u);
+                s.pready(ctx, u).expect("pready");
             }
         }
         for (_, s) in &sends {
-            s.wait(ctx);
+            s.wait(ctx).expect("wait");
         }
         for (peer, r, rbuf) in &recvs {
-            r.wait(ctx);
+            r.wait(ctx).expect("wait");
             for u in 0..parts {
                 assert_eq!(
                     rbuf.read_f64(u * 256),
@@ -80,42 +80,42 @@ fn p2p_and_collective_coexist() {
         let coll_buf = rank.gpu().alloc_global(n * 8);
         coll_buf.write_f64_slice(0, &vec![1.0; n]);
         let stream = rank.gpu().create_stream();
-        let coll = pallreduce_init(ctx, rank, &coll_buf, 4, &stream, 50);
+        let coll = pallreduce_init(ctx, rank, &coll_buf, 4, &stream, 50).expect("init");
 
         let p2p_buf = rank.gpu().alloc_global(1024);
         let (sreq, rreq) = if rank.rank() == 0 {
             p2p_buf.write_f64_slice(0, &[9.0; 128]);
-            (Some(psend_init(ctx, rank, 1, 51, &p2p_buf, 2)), None)
+            (Some(psend_init(ctx, rank, 1, 51, &p2p_buf, 2).expect("init")), None)
         } else if rank.rank() == 1 {
-            (None, Some(precv_init(ctx, rank, 0, 51, &p2p_buf, 2)))
+            (None, Some(precv_init(ctx, rank, 0, 51, &p2p_buf, 2).expect("init")))
         } else {
             (None, None)
         };
 
-        coll.start(ctx);
+        coll.start(ctx).expect("start");
         if let Some(r) = &rreq {
-            r.start(ctx);
-            r.pbuf_prepare(ctx);
+            r.start(ctx).expect("start");
+            r.pbuf_prepare(ctx).expect("pbuf_prepare");
         }
         if let Some(s) = &sreq {
-            s.start(ctx);
-            s.pbuf_prepare(ctx);
+            s.start(ctx).expect("start");
+            s.pbuf_prepare(ctx).expect("pbuf_prepare");
         }
-        coll.pbuf_prepare(ctx);
+        coll.pbuf_prepare(ctx).expect("pbuf_prepare");
 
         for u in 0..4 {
-            coll.pready(ctx, u);
+            coll.pready(ctx, u).expect("pready");
         }
         if let Some(s) = &sreq {
-            s.pready_range(ctx, 0..2);
+            s.pready_range(ctx, 0..2).expect("pready_range");
         }
 
-        coll.wait(ctx);
+        coll.wait(ctx).expect("wait");
         if let Some(s) = &sreq {
-            s.wait(ctx);
+            s.wait(ctx).expect("wait");
         }
         if let Some(r) = &rreq {
-            r.wait(ctx);
+            r.wait(ctx).expect("wait");
             assert_eq!(p2p_buf.read_f64_slice(0, 128), vec![9.0; 128]);
         }
         assert_eq!(coll_buf.read_f64(0), p as f64);
@@ -135,15 +135,15 @@ fn whole_system_is_deterministic() {
             let buf = rank.gpu().alloc_global(n * 8);
             buf.write_f64_slice(0, &vec![rank.rank() as f64; n]);
             let stream = rank.gpu().create_stream();
-            let coll = pallreduce_init(ctx, rank, &buf, 8, &stream, 60);
+            let coll = pallreduce_init(ctx, rank, &buf, 8, &stream, 60).expect("init");
             for _ in 0..2 {
-                coll.start(ctx);
-                coll.pbuf_prepare(ctx);
+                coll.start(ctx).expect("start");
+                coll.pbuf_prepare(ctx).expect("pbuf_prepare");
                 let c = coll.clone();
                 stream.launch(ctx, KernelSpec::vector_add(4, 1024), move |d| {
                     c.pready_device_all(d)
                 });
-                coll.wait(ctx);
+                coll.wait(ctx).expect("wait");
             }
             *c2.lock() += ctx.now().as_nanos();
         });
@@ -172,9 +172,9 @@ fn cost_model_is_tunable() {
             match rank.rank() {
                 0 => {
                     if partitioned {
-                        let sreq = psend_init(ctx, rank, 1, 70, &buf, 8);
-                        sreq.start(ctx);
-                        sreq.pbuf_prepare(ctx);
+                        let sreq = psend_init(ctx, rank, 1, 70, &buf, 8).expect("init");
+                        sreq.start(ctx).expect("start");
+                        sreq.pbuf_prepare(ctx).expect("pbuf_prepare");
                         let preq =
                             prequest_create(ctx, rank, &sreq, PrequestConfig::default()).unwrap();
                         let t0 = ctx.now();
@@ -182,7 +182,7 @@ fn cost_model_is_tunable() {
                         stream.launch(ctx, KernelSpec::vector_add(1, 1024), move |d| {
                             preq2.pready_all(d)
                         });
-                        sreq.wait(ctx);
+                        sreq.wait(ctx).expect("wait");
                         *o2.lock() = ctx.now().since(t0).as_micros_f64();
                     } else {
                         let t0 = ctx.now();
@@ -194,10 +194,10 @@ fn cost_model_is_tunable() {
                 }
                 1 => {
                     if partitioned {
-                        let rreq = precv_init(ctx, rank, 0, 70, &buf, 8);
-                        rreq.start(ctx);
-                        rreq.pbuf_prepare(ctx);
-                        rreq.wait(ctx);
+                        let rreq = precv_init(ctx, rank, 0, 70, &buf, 8).expect("init");
+                        rreq.start(ctx).expect("start");
+                        rreq.pbuf_prepare(ctx).expect("pbuf_prepare");
+                        rreq.wait(ctx).expect("wait");
                     } else {
                         rank.recv(ctx, 0, 70, &buf, 0, 8 * 1024);
                     }

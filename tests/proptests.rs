@@ -266,20 +266,20 @@ fn partitioned_delivery_is_exactly_once() {
                             let _ = len;
                             buf.write_f64(start, (u + 1) as f64);
                         }
-                        let sreq = psend_init(ctx, rank, 1, 80, &buf, partitions);
-                        sreq.set_transport_partitions(transports);
-                        sreq.start(ctx);
-                        sreq.pbuf_prepare(ctx);
+                        let sreq = psend_init(ctx, rank, 1, 80, &buf, partitions).expect("init");
+                        sreq.set_transport_partitions(transports).expect("set_transport_partitions");
+                        sreq.start(ctx).expect("start");
+                        sreq.pbuf_prepare(ctx).expect("pbuf_prepare");
                         for &u in &order {
-                            sreq.pready(ctx, u);
+                            sreq.pready(ctx, u).expect("pready");
                         }
-                        sreq.wait(ctx);
+                        sreq.wait(ctx).expect("wait");
                     }
                     1 => {
-                        let rreq = precv_init(ctx, rank, 0, 80, &buf, partitions);
-                        rreq.start(ctx);
-                        rreq.pbuf_prepare(ctx);
-                        rreq.wait(ctx);
+                        let rreq = precv_init(ctx, rank, 0, 80, &buf, partitions).expect("init");
+                        rreq.start(ctx).expect("start");
+                        rreq.pbuf_prepare(ctx).expect("pbuf_prepare");
+                        rreq.wait(ctx).expect("wait");
                         for u in 0..partitions {
                             assert!(rreq.parrived(u), "partition {u} not flagged");
                             let (start, _) = chunk_range(bytes, partitions, u);
@@ -322,13 +322,13 @@ fn pallreduce_matches_scalar_sum() {
                     .collect();
                 buf.write_f64_slice(0, &vals);
                 let stream = rank.gpu().create_stream();
-                let coll = pallreduce_init(ctx, rank, &buf, partitions, &stream, 81);
-                coll.start(ctx);
-                coll.pbuf_prepare(ctx);
+                let coll = pallreduce_init(ctx, rank, &buf, partitions, &stream, 81).expect("init");
+                coll.start(ctx).expect("start");
+                coll.pbuf_prepare(ctx).expect("pbuf_prepare");
                 for u in 0..partitions {
-                    coll.pready(ctx, u);
+                    coll.pready(ctx, u).expect("pready");
                 }
-                coll.wait(ctx);
+                coll.wait(ctx).expect("wait");
                 let out = buf.read_f64_slice(0, n);
                 for (i, v) in out.iter().enumerate() {
                     let expect: f64 = (0..rank.size())

@@ -35,20 +35,20 @@ fn wire_spans_cover_partitioned_puts() {
         let buf = rank.gpu().alloc_global(4 * 4096);
         match rank.rank() {
             0 => {
-                let sreq = psend_init(ctx, rank, 1, 7, &buf, 4);
-                sreq.set_transport_partitions(4);
-                sreq.start(ctx);
-                sreq.pbuf_prepare(ctx);
+                let sreq = psend_init(ctx, rank, 1, 7, &buf, 4).expect("init");
+                sreq.set_transport_partitions(4).expect("set_transport_partitions");
+                sreq.start(ctx).expect("start");
+                sreq.pbuf_prepare(ctx).expect("pbuf_prepare");
                 for u in 0..4 {
-                    sreq.pready(ctx, u);
+                    sreq.pready(ctx, u).expect("pready");
                 }
-                sreq.wait(ctx);
+                sreq.wait(ctx).expect("wait");
             }
             1 => {
-                let rreq = precv_init(ctx, rank, 0, 7, &buf, 4);
-                rreq.start(ctx);
-                rreq.pbuf_prepare(ctx);
-                rreq.wait(ctx);
+                let rreq = precv_init(ctx, rank, 0, 7, &buf, 4).expect("init");
+                rreq.start(ctx).expect("start");
+                rreq.pbuf_prepare(ctx).expect("pbuf_prepare");
+                rreq.wait(ctx).expect("wait");
             }
             _ => {}
         }
