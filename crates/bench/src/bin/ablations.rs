@@ -1,6 +1,8 @@
 //! Run the ablation studies (poll interval, transport partitions,
 //! multi-block counters, fault-rate goodput). Pass `--quick` for reduced
 //! sweeps; `--faults <seed>` picks the chaos seed for the fault ablation.
+//! `--trace-out <path>` / `--metrics-out <path>` additionally export the
+//! traced allreduce's Chrome trace, flamegraph stacks, and metrics.
 use parcomm_bench as b;
 
 fn main() {
@@ -9,4 +11,5 @@ fn main() {
     b::ablations::run_transport_sweep(q).emit();
     b::ablations::run_counter_aggregation(q).emit();
     b::ablations::run_fault_goodput(q, b::fault_seed().unwrap_or(0xC4A05)).emit();
+    b::obsrun::emit_requested_outputs(q);
 }

@@ -3,61 +3,95 @@
 //! reduction kernels and their `cudaStreamSynchronize` calls; this
 //! harness traces the measured interval and prints the occupancy of each
 //! category for the partitioned allreduce vs NCCL (1K-grid, 4 GH200).
+//!
+//! Pass `--trace-out <path>` (or set `PARCOMM_TRACE_OUT`) to also export
+//! the partitioned run's measured region as Chrome `trace_event` JSON with
+//! causal handoff spans — the printed table filters those out, so it stays
+//! byte-identical with or without the export.
 
 use std::sync::Arc;
 
 use parcomm_sim::Mutex;
 
 use parcomm_apps::nccl_for_world;
+use parcomm_bench as b;
 use parcomm_coll::pallreduce_init;
 use parcomm_gpu::KernelSpec;
-use parcomm_mpi::MpiWorld;
-use parcomm_sim::{SimTime, Simulation};
+use parcomm_mpi::{MpiError, MpiWorld, Rank};
+use parcomm_obs::{chrome_trace_json, is_causal_category, occupancy};
+use parcomm_sim::{Ctx, SimTime, Simulation};
+
+fn partitioned_body(
+    ctx: &mut Ctx,
+    rank: &mut Rank,
+    n: usize,
+) -> Result<impl FnOnce(&mut Ctx) -> Result<(), MpiError>, MpiError> {
+    let buf = rank.gpu().alloc_global(n * 8);
+    let stream = rank.gpu().create_stream();
+    let grid = (n as u32).div_ceil(1024);
+    let coll = pallreduce_init(ctx, rank, &buf, 4, &stream, 7)?;
+    // Warm-up epoch: first-call pbuf_prepare and setup exchange happen
+    // outside the measured region.
+    coll.start(ctx)?;
+    coll.pbuf_prepare(ctx)?;
+    for u in 0..4 {
+        coll.pready(ctx, u)?;
+    }
+    coll.wait(ctx)?;
+    Ok(move |ctx: &mut Ctx| {
+        coll.start(ctx)?;
+        coll.pbuf_prepare(ctx)?;
+        let c2 = coll.clone();
+        stream.launch(ctx, KernelSpec::vector_add(grid, 1024), move |d| c2.pready_device_all(d));
+        coll.wait(ctx)
+    })
+}
 
 fn main() {
     let n = 1024usize * 1024; // 1K grids × 1024 threads × 8 B = 8 MB
+    let trace_out = b::trace_out();
     for partitioned in [true, false] {
         let label = if partitioned { "partitioned allreduce" } else { "ncclAllReduce" };
+        let causal = partitioned && trace_out.is_some();
         let mut sim = Simulation::with_seed(0xDEC0);
         let trace = sim.trace();
         let world = MpiWorld::gh200(&sim, 1);
         let nccl = nccl_for_world(&world);
         let window = Arc::new(Mutex::new((SimTime::ZERO, SimTime::ZERO)));
-        let w2 = window.clone();
-        let trace2 = trace.clone();
+        let errors: Arc<Mutex<Vec<(usize, MpiError)>>> = Arc::new(Mutex::new(Vec::new()));
+        let (w2, e2, trace2) = (window.clone(), errors.clone(), trace.clone());
         world.run_ranks(&mut sim, move |ctx, rank| {
-            let buf = rank.gpu().alloc_global(n * 8);
-            let stream = rank.gpu().create_stream();
-            let grid = (n as u32).div_ceil(1024);
-            let coll = if partitioned {
-                Some(pallreduce_init(ctx, rank, &buf, 4, &stream, 7).expect("init"))
+            let measured = if partitioned {
+                match partitioned_body(ctx, rank, n) {
+                    Ok(f) => Some(f),
+                    Err(e) => {
+                        e2.lock().push((rank.rank(), e));
+                        return;
+                    }
+                }
             } else {
                 None
             };
-            // Warm-up epoch: first-call pbuf_prepare and setup exchange
-            // happen outside the measured region.
-            if let Some(c) = &coll {
-                c.start(ctx).expect("start");
-                c.pbuf_prepare(ctx).expect("pbuf_prepare");
-                for u in 0..4 {
-                    c.pready(ctx, u).expect("pready");
-                }
-                c.wait(ctx).expect("wait");
-            }
             rank.barrier(ctx);
             if rank.rank() == 0 {
-                trace2.enable(); // record only the measured region
+                // Record only the measured region; causal level adds the
+                // handoff spans the Chrome export needs.
+                if causal {
+                    trace2.enable_causal();
+                } else {
+                    trace2.enable();
+                }
                 w2.lock().0 = ctx.now();
             }
-            if let Some(c) = &coll {
-                c.start(ctx).expect("start");
-                c.pbuf_prepare(ctx).expect("pbuf_prepare");
-                let c2 = c.clone();
-                stream.launch(ctx, KernelSpec::vector_add(grid, 1024), move |d| {
-                    c2.pready_device_all(d)
-                });
-                c.wait(ctx).expect("wait");
+            if let Some(run_epoch) = measured {
+                if let Err(e) = run_epoch(ctx) {
+                    e2.lock().push((rank.rank(), e));
+                    return;
+                }
             } else {
+                let buf = rank.gpu().alloc_global(n * 8);
+                let stream = rank.gpu().create_stream();
+                let grid = (n as u32).div_ceil(1024);
                 stream.launch(ctx, KernelSpec::vector_add(grid, 1024), |_| {});
                 let done = nccl.all_reduce_f64(ctx, rank.rank(), &buf, 0, n, &stream);
                 ctx.wait(&done);
@@ -66,11 +100,25 @@ fn main() {
                 w2.lock().1 = ctx.now();
             }
         });
-        sim.run().expect("decomposition run");
+        if let Err(e) = sim.run() {
+            eprintln!("error: {label} run failed: {e:?}");
+            std::process::exit(1);
+        }
+        let errors = errors.lock().clone();
+        if let Some((r, e)) = errors.first() {
+            eprintln!("error: {label}: rank {r} failed: {e}");
+            std::process::exit(1);
+        }
         let (from, to) = *window.lock();
         let total = to.since(from);
         println!("== {label}: measured interval {total} ==");
-        let summary = trace.summarize(from, to);
+        let spans = trace.spans();
+        // Causal-only handoff spans are filtered so the table is identical
+        // with and without --trace-out.
+        let summary: std::collections::BTreeMap<_, _> = occupancy(&spans, from, to)
+            .into_iter()
+            .filter(|(cat, _)| !is_causal_category(cat))
+            .collect();
         for (cat, s) in &summary {
             println!(
                 "  {cat:<12} {:>6} spans   {:>12} occupancy ({:.1}% of elapsed × 4 ranks)",
@@ -86,6 +134,14 @@ fn main() {
                  ranks: the structural cost NCCL's fused ring avoids (paper §VI-B)\n",
                 sync.count, sync.total
             );
+            if let Some(path) = &trace_out {
+                match std::fs::write(path, chrome_trace_json(&spans)) {
+                    Ok(()) => {
+                        println!("trace written to {path} (load in https://ui.perfetto.dev)")
+                    }
+                    Err(e) => eprintln!("warning: could not write {path}: {e}"),
+                }
+            }
         } else {
             println!();
         }

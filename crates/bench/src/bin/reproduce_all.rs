@@ -3,6 +3,10 @@
 //! Pass `--faults <seed>` to additionally run the whole suite's fault
 //! ablation: the canonical allreduce under seeded chaos at increasing
 //! fault rates (goodput vs fault rate, deterministic per seed).
+//! Pass `--trace-out <path>` / `--metrics-out <path>` to additionally run
+//! the traced 1K-grid partitioned allreduce and export a Perfetto-loadable
+//! Chrome trace (plus `<path>.folded` flamegraph stacks), a metrics
+//! snapshot, and a critical-path report.
 use parcomm_bench as b;
 
 fn main() {
@@ -21,4 +25,5 @@ fn main() {
     if let Some(seed) = b::fault_seed() {
         b::ablations::run_fault_goodput(q, seed).emit();
     }
+    b::obsrun::emit_requested_outputs(q);
 }

@@ -15,10 +15,11 @@ pub mod fig0405;
 pub mod fig0607;
 pub mod fig0809;
 pub mod fig1011;
+pub mod obsrun;
 pub mod p2p;
 pub mod pbench;
 pub mod report;
 pub mod stats;
 pub mod table1;
 
-pub use report::{fault_seed, quick_mode, Experiment};
+pub use report::{fault_seed, metrics_out, quick_mode, trace_out, Experiment};

@@ -1,0 +1,159 @@
+//! Traced-run harness behind `--trace-out` / `--metrics-out`.
+//!
+//! Runs the paper's §VI-B configuration — a 1K-grid partitioned allreduce
+//! on 4 GH200 ranks with device-side `MPIX_Pready` — with **causal** span
+//! tracing and the metrics registry enabled, then exports:
+//!
+//! - a Chrome `trace_event` JSON trace (Perfetto-loadable, one track per
+//!   rank × layer, causal edges as flow arrows),
+//! - folded flamegraph stacks built from the causal chains,
+//! - the end-of-run metrics snapshot (PE polls, puts, bytes per rail,
+//!   retransmits, watchdog arms/fires) as JSON,
+//! - a critical-path report walking the causal graph backward from the
+//!   last completion.
+
+use std::sync::Arc;
+
+use parcomm_coll::pallreduce_init;
+use parcomm_gpu::KernelSpec;
+use parcomm_mpi::{MpiError, MpiWorld, Rank};
+use parcomm_obs::{chrome_trace_json, folded_stacks, CriticalPath, MetricsSnapshot};
+use parcomm_sim::{Ctx, Mutex, SimTime, Simulation, Trace, TraceSpan};
+
+/// The artifacts of one traced allreduce run.
+pub struct ObsRun {
+    /// Every span recorded inside the measured epoch (causal level).
+    pub spans: Vec<TraceSpan>,
+    /// End-of-run metrics snapshot across every layer.
+    pub metrics: MetricsSnapshot,
+    /// Start of the measured interval (rank 0).
+    pub from: SimTime,
+    /// End of the measured interval (rank 0).
+    pub to: SimTime,
+}
+
+impl ObsRun {
+    /// The Chrome `trace_event` JSON export.
+    pub fn chrome_json(&self) -> String {
+        chrome_trace_json(&self.spans)
+    }
+
+    /// Folded flamegraph stacks (`rankN;cat;...;cat weight_us` lines).
+    pub fn folded(&self) -> String {
+        folded_stacks(&self.spans)
+    }
+
+    /// The critical path through the causal span graph.
+    pub fn critical_path(&self) -> CriticalPath {
+        CriticalPath::from_spans(&self.spans)
+    }
+
+    /// Human-readable critical-path report including interval coverage.
+    pub fn critical_path_report(&self) -> String {
+        let cp = self.critical_path();
+        format!(
+            "{}  coverage of measured interval: {:.1}%\n",
+            cp.render(),
+            100.0 * cp.coverage_of(self.from, self.to)
+        )
+    }
+}
+
+fn rank_body(
+    ctx: &mut Ctx,
+    rank: &mut Rank,
+    n: usize,
+    trace: &Trace,
+    window: &Mutex<(SimTime, SimTime)>,
+) -> Result<(), MpiError> {
+    let buf = rank.gpu().alloc_global(n * 8);
+    let stream = rank.gpu().create_stream();
+    let grid = (n as u32).div_ceil(1024);
+    let coll = pallreduce_init(ctx, rank, &buf, 4, &stream, 7)?;
+    // Warm-up epoch: setup exchange and first-call pbuf_prepare stay
+    // outside the measured (and traced) region.
+    coll.start(ctx)?;
+    coll.pbuf_prepare(ctx)?;
+    for u in 0..4 {
+        coll.pready(ctx, u)?;
+    }
+    coll.wait(ctx)?;
+    rank.barrier(ctx);
+    if rank.rank() == 0 {
+        trace.enable_causal(); // record the measured epoch, with handoffs
+        window.lock().0 = ctx.now();
+    }
+    coll.start(ctx)?;
+    coll.pbuf_prepare(ctx)?;
+    let c2 = coll.clone();
+    stream.launch(ctx, KernelSpec::vector_add(grid, 1024), move |d| c2.pready_device_all(d));
+    coll.wait(ctx)?;
+    if rank.rank() == 0 {
+        window.lock().1 = ctx.now();
+    }
+    Ok(())
+}
+
+/// Run the traced 1K-grid partitioned allreduce (quick mode shrinks the
+/// buffer, not the topology). Returns the spans, metrics, and measured
+/// window; any rank-level [`MpiError`] or simulation failure is rendered
+/// into the error string.
+pub fn run_traced_allreduce(quick: bool) -> Result<ObsRun, String> {
+    let n = if quick { 64 * 1024 } else { 1024 * 1024 };
+    let mut sim = Simulation::with_seed(0x0B5);
+    let trace = sim.trace();
+    let world = MpiWorld::gh200(&sim, 1);
+    let registry = world.enable_metrics();
+    let window = Arc::new(Mutex::new((SimTime::ZERO, SimTime::ZERO)));
+    let errors: Arc<Mutex<Vec<(usize, MpiError)>>> = Arc::new(Mutex::new(Vec::new()));
+    let (t2, w2, e2) = (trace.clone(), window.clone(), errors.clone());
+    world.run_ranks(&mut sim, move |ctx, rank| {
+        if let Err(e) = rank_body(ctx, rank, n, &t2, &w2) {
+            e2.lock().push((rank.rank(), e));
+        }
+    });
+    sim.run().map_err(|e| format!("traced allreduce simulation failed: {e:?}"))?;
+    let errors = errors.lock().clone();
+    if let Some((r, e)) = errors.first() {
+        return Err(format!("traced allreduce: rank {r} failed: {e}"));
+    }
+    let (from, to) = *window.lock();
+    Ok(ObsRun { spans: trace.spans(), metrics: registry.snapshot(), from, to })
+}
+
+/// Honor `--trace-out` / `--metrics-out` for a harness: when either is
+/// set, run the traced allreduce and write the requested artifacts,
+/// printing the critical-path report alongside. Failures are warnings —
+/// observability must never fail the benchmark run itself.
+pub fn emit_requested_outputs(quick: bool) {
+    let trace_path = crate::report::trace_out();
+    let metrics_path = crate::report::metrics_out();
+    if trace_path.is_none() && metrics_path.is_none() {
+        return;
+    }
+    let run = match run_traced_allreduce(quick) {
+        Ok(run) => run,
+        Err(e) => {
+            eprintln!("warning: {e}");
+            return;
+        }
+    };
+    if let Some(path) = &trace_path {
+        match std::fs::write(path, run.chrome_json()) {
+            Ok(()) => println!("trace written to {path} (load in https://ui.perfetto.dev)"),
+            Err(e) => eprintln!("warning: could not write {path}: {e}"),
+        }
+        let folded = format!("{path}.folded");
+        match std::fs::write(&folded, run.folded()) {
+            Ok(()) => println!("folded flamegraph stacks written to {folded}"),
+            Err(e) => eprintln!("warning: could not write {folded}: {e}"),
+        }
+    }
+    if let Some(path) = &metrics_path {
+        match std::fs::write(path, run.metrics.to_json()) {
+            Ok(()) => println!("metrics snapshot written to {path}"),
+            Err(e) => eprintln!("warning: could not write {path}: {e}"),
+        }
+    }
+    print!("{}", run.critical_path_report());
+}

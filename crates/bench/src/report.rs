@@ -154,6 +154,32 @@ pub fn quick_mode() -> bool {
         || std::env::var("PARCOMM_QUICK").map(|v| v == "1").unwrap_or(false)
 }
 
+/// Value following `flag` on the command line, if present.
+fn arg_value(flag: &str) -> Option<String> {
+    let mut args = std::env::args();
+    while let Some(a) = args.next() {
+        if a == flag {
+            return args.next();
+        }
+    }
+    None
+}
+
+/// Output path for the Chrome `trace_event` export: `--trace-out <path>`
+/// on the command line or `PARCOMM_TRACE_OUT=<path>`. When set, harnesses
+/// that support tracing enable causal span recording and write a
+/// Perfetto-loadable JSON trace there (plus folded flamegraph stacks at
+/// `<path>.folded`).
+pub fn trace_out() -> Option<String> {
+    arg_value("--trace-out").or_else(|| std::env::var("PARCOMM_TRACE_OUT").ok())
+}
+
+/// Output path for the end-of-run metrics snapshot JSON:
+/// `--metrics-out <path>` or `PARCOMM_METRICS_OUT=<path>`.
+pub fn metrics_out() -> Option<String> {
+    arg_value("--metrics-out").or_else(|| std::env::var("PARCOMM_METRICS_OUT").ok())
+}
+
 /// Chaos seed for the fault-injection ablation: `--faults <seed>` on the
 /// command line (decimal or `0x`-prefixed hex) or `PARCOMM_FAULTS=<seed>`.
 /// `None` means the caller should skip fault runs entirely.

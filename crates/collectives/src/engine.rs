@@ -27,8 +27,8 @@ use parcomm_sim::Mutex;
 
 use parcomm_core::{precv_init, psend_init, PrecvRequest, PsendRequest};
 use parcomm_gpu::{Buffer, CostModel, DeviceCtx, KernelSpec, Stream};
-use parcomm_mpi::{HookOutcome, MpiError, ProgressionEngine, Rank};
-use parcomm_sim::{Ctx, SimDuration, SimTime};
+use parcomm_mpi::{HookOutcome, MpiError, MpiInstruments, ProgressionEngine, Rank};
+use parcomm_sim::{Ctx, SimDuration, SimTime, SpanId};
 
 use crate::schedule::{Schedule, StepOp};
 
@@ -76,6 +76,9 @@ struct EngineInner {
     /// Armed Algorithm-2 watchdog (from the world config); `None` in
     /// fault-free runs keeps the wait loop event-identical to the seed.
     watchdog_us: Option<f64>,
+    /// MPI-layer instruments (watchdog arm/fire counters), if the world
+    /// has metrics enabled.
+    instruments: Option<MpiInstruments>,
     send: HashMap<usize, SendChannel>,
     recv: HashMap<usize, RecvChannel>,
     states: Mutex<Vec<PartState>>,
@@ -180,6 +183,7 @@ impl CollectiveEngine {
                 progression: rank.progression().clone(),
                 rank: rank.rank(),
                 watchdog_us: rank.world().config().wait_watchdog_us,
+                instruments: rank.world().instruments(),
                 send,
                 recv,
                 states: Mutex::new(states),
@@ -390,6 +394,7 @@ impl CollectiveEngine {
                     break; // line 4: continue past finished partitions
                 }
                 let step = self.inner.schedule.steps[s].clone();
+                let step_t0 = ctx.now();
                 // Lines 5–13: check/ingest arrivals for this step.
                 let mut arrived_now: Vec<(usize, usize)> = Vec::new();
                 {
@@ -452,6 +457,16 @@ impl CollectiveEngine {
                     break;
                 }
                 progressed = true;
+                // Causal trace: the window this sweep spent completing step
+                // `s` of partition `u` (arrival ingestion + reductions).
+                ctx.handle().trace().record_causal(
+                    "coll_step",
+                    step_t0,
+                    ctx.now(),
+                    Some(self.inner.rank as u32),
+                    Some(u as u32),
+                    SpanId::NONE,
+                );
                 // Lines 21–27: issue the next step's sends.
                 let next = s + 1;
                 if next < total_steps {
@@ -490,6 +505,11 @@ impl CollectiveEngine {
     pub(crate) fn wait(&self, ctx: &mut Ctx) -> Result<(), MpiError> {
         let total = self.inner.schedule.len();
         let mut stall_started: Option<SimTime> = None;
+        if self.inner.watchdog_us.is_some() {
+            if let Some(ins) = &self.inner.instruments {
+                ins.watchdog_arms.inc();
+            }
+        }
         loop {
             let progressed = self.sweep(ctx)?;
             let all_done = {
@@ -505,6 +525,9 @@ impl CollectiveEngine {
                 if let Some(timeout_us) = self.inner.watchdog_us {
                     let t0 = *stall_started.get_or_insert(ctx.now());
                     if ctx.now().since(t0).as_micros_f64() >= timeout_us {
+                        if let Some(ins) = &self.inner.instruments {
+                            ins.watchdog_fires.inc();
+                        }
                         return Err(self.stall_error(timeout_us, total));
                     }
                 }

@@ -27,7 +27,7 @@ use parcomm_sim::Mutex;
 
 use parcomm_gpu::{AggLevel, Buffer, DeviceCtx};
 use parcomm_mpi::{chunk_range, HookOutcome, MpiError, Rank};
-use parcomm_sim::{Ctx, SimDuration};
+use parcomm_sim::{Ctx, SimDuration, SpanId};
 use parcomm_ucx::IpcMapping;
 
 use crate::overheads::ApiOverheads;
@@ -74,8 +74,10 @@ struct PendingNotifications {
     /// Pending transport partitions, each tagged with whether the
     /// progression engine must issue the *data* put for it (Progression
     /// Engine path, or Kernel Copy falling back after IPC revocation) or
-    /// just the completion-flag put (healthy Kernel Copy path).
-    queue: VecDeque<(usize, bool)>,
+    /// just the completion-flag put (healthy Kernel Copy path), plus the
+    /// `pready_flag` span of the pinned-flag write that raised it (for the
+    /// causal trace; [`SpanId::NONE`] when causal tracing is off).
+    queue: VecDeque<(usize, bool, SpanId)>,
     processed: usize,
     hook_active: bool,
     epoch: u64,
@@ -225,7 +227,9 @@ impl DevicePrequest {
                     );
                     last_off = last_off.max(ready);
                     let this = self.clone();
-                    d.at_offset(ready, move |h| this.on_device_notification(h, k, true));
+                    d.at_offset_traced(ready, move |h, kernel_span| {
+                        this.on_device_notification(h, k, true, kernel_span)
+                    });
                 }
             }
             Some(mapped) => {
@@ -254,7 +258,9 @@ impl DevicePrequest {
                         );
                     last_off = last_off.max(ready);
                     let this = self.clone();
-                    d.at_offset(ready, move |h| this.on_device_notification(h, k, false));
+                    d.at_offset_traced(ready, move |h, kernel_span| {
+                        this.on_device_notification(h, k, false, kernel_span)
+                    });
                 }
             }
         }
@@ -416,7 +422,9 @@ impl DevicePrequest {
             let off_us = lead_us + ((i + 1) as f64 / m as f64) * train_us;
             let at = base + SimDuration::from_micros_f64(off_us);
             let this = self.clone();
-            d.at_offset(at, move |h| this.on_device_notification(h, k, data_put));
+            d.at_offset_traced(at, move |h, kernel_span| {
+                this.on_device_notification(h, k, data_put, kernel_span)
+            });
         }
     }
 
@@ -424,12 +432,29 @@ impl DevicePrequest {
     /// the progression engine is draining the queue. `data_put` says whether
     /// the engine must move the payload itself (Progression Engine path or
     /// revoked-mapping fallback) or only raise the remote flag.
-    fn on_device_notification(&self, h: &parcomm_sim::SimHandle, k: usize, data_put: bool) {
+    fn on_device_notification(
+        &self,
+        h: &parcomm_sim::SimHandle,
+        k: usize,
+        data_put: bool,
+        kernel_span: SpanId,
+    ) {
         let inner = &self.inner;
         inner.pinned_flags.write_flag(k, inner.pending.lock().epoch);
+        // The instant the device's pinned-host flag write lands, causally
+        // chained to the kernel that emitted it.
+        let now = h.now();
+        let flag_span = h.trace().record_causal(
+            "pready_flag",
+            now,
+            now,
+            Some(inner.send.my_rank as u32),
+            Some(k as u32),
+            kernel_span,
+        );
         let register = {
             let mut p = inner.pending.lock();
-            p.queue.push_back((k, data_put));
+            p.queue.push_back((k, data_put, flag_span));
             if p.hook_active {
                 false
             } else {
@@ -452,13 +477,23 @@ impl DevicePrequest {
         let control_post = SimDuration::from_micros_f64(inner.send.cost.control_put_post_us);
         loop {
             let entry = { inner.pending.lock().queue.pop_front() };
-            let Some((k, data_put)) = entry else { break };
+            let Some((k, data_put, flag_span)) = entry else { break };
+            let t0 = ctx.now();
+            let rank = Some(inner.send.my_rank as u32);
             if data_put {
                 ctx.advance(data_post);
-                inner.send.issue_data_put(&ctx.handle(), k);
+                let h = ctx.handle();
+                let pe_span = h
+                    .trace()
+                    .record_causal("pe_post", t0, ctx.now(), rank, Some(k as u32), flag_span);
+                inner.send.issue_data_put(&h, k, pe_span);
             } else {
                 ctx.advance(control_post);
-                inner.send.issue_completion_flag_put(&ctx.handle(), k);
+                let h = ctx.handle();
+                let pe_span = h
+                    .trace()
+                    .record_causal("pe_post", t0, ctx.now(), rank, Some(k as u32), flag_span);
+                inner.send.issue_completion_flag_put(&h, k, pe_span);
             }
             inner.pending.lock().processed += 1;
         }

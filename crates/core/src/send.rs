@@ -26,7 +26,7 @@ use parcomm_sim::Mutex;
 
 use parcomm_gpu::{Buffer, CostModel, MemSpace};
 use parcomm_mpi::{chunk_range, MpiError, MpiWorld, ProgressionEngine, Rank};
-use parcomm_sim::{CountEvent, Ctx, SimDuration, SimHandle};
+use parcomm_sim::{CountEvent, Ctx, SimDuration, SimHandle, SpanId};
 use parcomm_ucx::{AmMessage, Endpoint, PutHandle, RKey, Worker};
 
 use crate::channel::{am_tag, Channel, ReadyToReceive, ReceiverSetup, SenderSetup};
@@ -317,21 +317,35 @@ impl PsendRequest {
     /// calling process (charging the put-post cost).
     pub fn pready(&self, ctx: &mut Ctx, user_partition: usize) -> Result<(), MpiError> {
         let completed = self.inner.mark_ready(user_partition..user_partition + 1)?;
-        for k in completed {
-            ctx.advance(SimDuration::from_micros_f64(self.inner.cost.data_put_post_us));
-            self.inner.issue_data_put(&ctx.handle(), k);
-        }
+        self.post_completed_puts(ctx, completed);
         Ok(())
     }
 
     /// Host bulk `MPI_Pready` over a contiguous user partition range.
     pub fn pready_range(&self, ctx: &mut Ctx, users: Range<usize>) -> Result<(), MpiError> {
         let completed = self.inner.mark_ready(users)?;
-        for k in completed {
-            ctx.advance(SimDuration::from_micros_f64(self.inner.cost.data_put_post_us));
-            self.inner.issue_data_put(&ctx.handle(), k);
-        }
+        self.post_completed_puts(ctx, completed);
         Ok(())
+    }
+
+    /// Post the data puts for freshly completed transport partitions,
+    /// charging the host put-post cost and recording a `pready_host` span
+    /// per put as the causal root of its put → wire → completion chain.
+    fn post_completed_puts(&self, ctx: &mut Ctx, completed: Vec<usize>) {
+        for k in completed {
+            let t0 = ctx.now();
+            ctx.advance(SimDuration::from_micros_f64(self.inner.cost.data_put_post_us));
+            let h = ctx.handle();
+            let host_span = h.trace().record_causal(
+                "pready_host",
+                t0,
+                ctx.now(),
+                Some(self.inner.my_rank as u32),
+                Some(k as u32),
+                SpanId::NONE,
+            );
+            self.inner.issue_data_put(&h, k, host_span);
+        }
     }
 
     /// `MPI_Wait` (sender side): block until every transport partition of
@@ -355,8 +369,15 @@ impl PsendRequest {
         match self.inner.world.config().wait_watchdog_us {
             None => ctx.wait_count(&self.inner.transport_complete, t),
             Some(timeout_us) => {
+                let instruments = self.inner.world.instruments();
+                if let Some(ins) = &instruments {
+                    ins.watchdog_arms.inc();
+                }
                 let dt = SimDuration::from_micros_f64(timeout_us);
                 if !ctx.wait_count_timeout(&self.inner.transport_complete, t, dt) {
+                    if let Some(ins) = &instruments {
+                        ins.watchdog_fires.inc();
+                    }
                     return Err(self.inner.diagnose_stall(timeout_us, t));
                 }
             }
@@ -402,17 +423,27 @@ impl PsendRequest {
     fn recv_handshake(&self, ctx: &mut Ctx, tag: u64, what: &str) -> Result<AmMessage, MpiError> {
         match self.inner.world.config().wait_watchdog_us {
             None => Ok(self.inner.worker.am_recv(ctx, tag)),
-            Some(t) => self
-                .inner
-                .worker
-                .am_recv_timeout(ctx, tag, SimDuration::from_micros_f64(t))
-                .ok_or_else(|| MpiError::WaitTimeout {
-                    rank: self.inner.my_rank,
-                    context: format!("psend {what} (dst {})", self.inner.dest),
-                    completed: 0,
-                    expected: 1,
-                    timeout_us: t,
-                }),
+            Some(t) => {
+                let instruments = self.inner.world.instruments();
+                if let Some(ins) = &instruments {
+                    ins.watchdog_arms.inc();
+                }
+                self.inner
+                    .worker
+                    .am_recv_timeout(ctx, tag, SimDuration::from_micros_f64(t))
+                    .ok_or_else(|| {
+                        if let Some(ins) = &instruments {
+                            ins.watchdog_fires.inc();
+                        }
+                        MpiError::WaitTimeout {
+                            rank: self.inner.my_rank,
+                            context: format!("psend {what} (dst {})", self.inner.dest),
+                            completed: 0,
+                            expected: 1,
+                            timeout_us: t,
+                        }
+                    })
+            }
         }
     }
 }
@@ -494,8 +525,11 @@ impl PsendShared {
     }
 
     /// Issue the data put for transport partition `k`, chaining the
-    /// receive-side flag put at its completion (paper §IV-A4).
-    pub(crate) fn issue_data_put(&self, _h: &SimHandle, k: usize) {
+    /// receive-side flag put at its completion (paper §IV-A4). `cause` is
+    /// the span that posted it (the progression-engine `pe_post` or the
+    /// host `pready_host` span); the chained flag put is in turn caused by
+    /// the data put's completion span.
+    pub(crate) fn issue_data_put(&self, _h: &SimHandle, k: usize, cause: SpanId) {
         let (ep, data_rkey, flag_rkey, notifier, flag_stage, t) = {
             let st = self.state.lock();
             (
@@ -514,27 +548,44 @@ impl PsendShared {
         let ep2 = ep.clone();
         let puts = self.puts.clone();
         let puts2 = puts.clone();
-        let h = ep.put_nbx(&self.buffer, byte_off, byte_len, &data_rkey, byte_off, move |_h| {
-            // Data delivered: chain the control put that raises the
-            // receive-side partition flags (UCX has no put-with-completion).
-            // The sender's transport-complete count also waits for this
-            // chained put, so the epoch cannot close (and the flag staging
-            // cannot be restamped by the next MPI_Start) while a flag put
-            // is still reading it.
-            let notifier = notifier.clone();
-            let tc = tc.clone();
-            let fh = ep2.put_nbx(&flag_stage, u0 * 8, ulen * 8, &flag_rkey, u0 * 8, move |h| {
-                notifier.add(h, ulen as u64);
-                tc.add(h, 1);
-            });
-            puts2.lock().push(fh);
-        });
+        let h = ep.put_nbx_caused(
+            &self.buffer,
+            byte_off,
+            byte_len,
+            &data_rkey,
+            byte_off,
+            cause,
+            move |_h, complete_span| {
+                // Data delivered: chain the control put that raises the
+                // receive-side partition flags (UCX has no
+                // put-with-completion). The sender's transport-complete
+                // count also waits for this chained put, so the epoch
+                // cannot close (and the flag staging cannot be restamped by
+                // the next MPI_Start) while a flag put is still reading it.
+                let notifier = notifier.clone();
+                let tc = tc.clone();
+                let fh = ep2.put_nbx_caused(
+                    &flag_stage,
+                    u0 * 8,
+                    ulen * 8,
+                    &flag_rkey,
+                    u0 * 8,
+                    complete_span,
+                    move |h, _span| {
+                        notifier.add(h, ulen as u64);
+                        tc.add(h, 1);
+                    },
+                );
+                puts2.lock().push(fh);
+            },
+        );
         puts.lock().push(h);
     }
 
     /// Kernel-copy completion signal: the data already landed via in-kernel
-    /// NVLink stores; only the flag put travels.
-    pub(crate) fn issue_completion_flag_put(&self, _h: &SimHandle, k: usize) {
+    /// NVLink stores; only the flag put travels. `cause` is the
+    /// progression-engine `pe_post` span that posted it.
+    pub(crate) fn issue_completion_flag_put(&self, _h: &SimHandle, k: usize, cause: SpanId) {
         let (ep, flag_rkey, notifier, flag_stage, t) = {
             let st = self.state.lock();
             (
@@ -547,10 +598,18 @@ impl PsendShared {
         };
         let (u0, ulen) = chunk_range(self.user_partitions, t, k);
         let tc = self.transport_complete.clone();
-        let h = ep.put_nbx(&flag_stage, u0 * 8, ulen * 8, &flag_rkey, u0 * 8, move |h| {
-            notifier.add(h, ulen as u64);
-            tc.add(h, 1);
-        });
+        let h = ep.put_nbx_caused(
+            &flag_stage,
+            u0 * 8,
+            ulen * 8,
+            &flag_rkey,
+            u0 * 8,
+            cause,
+            move |h, _span| {
+                notifier.add(h, ulen as u64);
+                tc.add(h, 1);
+            },
+        );
         self.puts.lock().push(h);
     }
 }

@@ -22,6 +22,7 @@ use parcomm_coll::pallreduce_init;
 use parcomm_core::CopyMechanism;
 use parcomm_gpu::KernelSpec;
 use parcomm_mpi::{MpiError, MpiWorld, Rank, WorldConfig};
+use parcomm_obs::MetricsSnapshot;
 use parcomm_sim::{Ctx, Mutex, Simulation};
 use parcomm_testkit::digest;
 
@@ -38,6 +39,10 @@ pub struct ChaosRun {
     pub numeric: Vec<f64>,
     /// Typed errors returned by ranks, in rank order.
     pub errors: Vec<(usize, MpiError)>,
+    /// End-of-run metrics across every layer (PE polls, puts, retransmits,
+    /// watchdog arms/fires, per-rail bytes). Instruments are pure atomics,
+    /// so collecting them leaves the digest untouched.
+    pub metrics: MetricsSnapshot,
 }
 
 impl ChaosRun {
@@ -60,6 +65,7 @@ where
     let mut cfg = WorldConfig::gh200(nodes);
     plan.apply(&mut cfg);
     let world = MpiWorld::new(&sim, cfg);
+    let registry = world.enable_metrics();
     let numeric = Arc::new(Mutex::new(Vec::new()));
     let errors = Arc::new(Mutex::new(Vec::new()));
     let (n2, e2) = (numeric.clone(), errors.clone());
@@ -78,7 +84,13 @@ where
     let mut d = digest::Digest::new();
     d.write_u64(digest::run_digest(&report, &trace));
     d.write_f64_slice(&numeric);
-    ChaosRun { digest: d.finish(), end_time_us: report.end_time.as_micros_f64(), numeric, errors }
+    ChaosRun {
+        digest: d.finish(),
+        end_time_us: report.end_time.as_micros_f64(),
+        numeric,
+        errors,
+        metrics: registry.snapshot(),
+    }
 }
 
 /// The canonical partitioned-allreduce chaos workload (4 user partitions,
@@ -114,6 +126,7 @@ pub fn run_jacobi_chaos(seed: u64, plan: &FaultPlan, nodes: u16) -> ChaosRun {
     let mut cfg = WorldConfig::gh200(nodes);
     plan.apply(&mut cfg);
     let world = MpiWorld::new(&sim, cfg);
+    let registry = world.enable_metrics();
     let out = Arc::new(Mutex::new(0.0f64));
     let errors = Arc::new(Mutex::new(Vec::new()));
     let (o2, e2) = (out.clone(), errors.clone());
@@ -142,5 +155,6 @@ pub fn run_jacobi_chaos(seed: u64, plan: &FaultPlan, nodes: u16) -> ChaosRun {
         end_time_us: report.end_time.as_micros_f64(),
         numeric: vec![checksum],
         errors,
+        metrics: registry.snapshot(),
     }
 }

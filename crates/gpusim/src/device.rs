@@ -5,9 +5,12 @@ use std::sync::Arc;
 
 use parcomm_sim::{Mutex, SimHandle};
 
+use parcomm_obs::MetricsRegistry;
+
 use crate::cost::CostModel;
 use crate::faults::{EmissionFaultConfig, EmissionFaults};
 use crate::mem::{Buffer, Location, MemSpace, Unit};
+use crate::obs::GpuObs;
 use crate::stream::Stream;
 
 /// Identity of a GPU in the cluster.
@@ -39,6 +42,9 @@ struct GpuInner {
     /// Armed emission fault schedule, shared with every stream of this GPU.
     /// `None` (default) keeps the fault branch dormant.
     emission_faults: Arc<Mutex<Option<EmissionFaults>>>,
+    /// Observability state (rank attribution + metrics), shared with every
+    /// stream of this GPU. Inert until armed.
+    obs: Arc<GpuObs>,
 }
 
 /// A simulated GPU (one Hopper die of a GH200 superchip).
@@ -88,8 +94,23 @@ impl Gpu {
                 cost,
                 handle,
                 emission_faults: Arc::new(Mutex::new(None)),
+                obs: Arc::new(GpuObs::default()),
             }),
         }
+    }
+
+    /// Attribute this GPU's trace spans (kernels, stream syncs, and the
+    /// notifications chained to them) to an MPI rank. Applies to existing
+    /// and future streams; spans recorded earlier stay unattributed.
+    pub fn set_rank(&self, rank: u32) {
+        self.inner.obs.set_rank(rank);
+    }
+
+    /// Attach metrics instruments (`gpu.kernels`, `gpu.emissions`,
+    /// `gpu.stream_syncs`) to the given registry. Counts from every GPU
+    /// attached to the same registry aggregate into the same instruments.
+    pub fn attach_metrics(&self, registry: &MetricsRegistry) {
+        self.inner.obs.attach(registry);
     }
 
     /// Arm a deterministic emission fault schedule on this GPU: every N-th
@@ -135,6 +156,7 @@ impl Gpu {
             self.inner.handle.clone(),
             self.inner.id.to_string(),
             self.inner.emission_faults.clone(),
+            self.inner.obs.clone(),
         )
     }
 

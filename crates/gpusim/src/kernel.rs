@@ -14,13 +14,16 @@
 //! it both moves data and costs time — without simulating 10⁸ CUDA threads
 //! individually.
 
-use parcomm_sim::{Event, SimDuration, SimHandle, SimTime};
+use parcomm_sim::{Event, SimDuration, SimHandle, SimTime, SpanId};
 
 use crate::cost::CostModel;
 
 /// A timed device-side action: a callback scheduled at an offset within
-/// the kernel's execution window.
-type Emission = (SimDuration, Box<dyn FnOnce(&SimHandle) + Send + 'static>);
+/// the kernel's execution window. The callback receives the kernel's own
+/// trace span ([`SpanId::NONE`] when tracing is off) so the actions a
+/// kernel emits — notification-flag writes above all — can be causally
+/// chained to the kernel that produced them.
+type Emission = (SimDuration, Box<dyn FnOnce(&SimHandle, SpanId) + Send + 'static>);
 
 /// Geometry and resource description of a kernel launch.
 #[derive(Clone, Debug)]
@@ -161,6 +164,17 @@ impl<'a> DeviceCtx<'a> {
     /// execution window is *not* implicitly extended; call
     /// [`extend`](Self::extend) for actions that occupy the device.
     pub fn at_offset(&mut self, offset: SimDuration, cb: impl FnOnce(&SimHandle) + Send + 'static) {
+        self.emissions.push((offset, Box::new(move |h, _span| cb(h))));
+    }
+
+    /// Like [`at_offset`](Self::at_offset), but the callback also receives
+    /// the emitting kernel's trace span ([`SpanId::NONE`] when tracing is
+    /// off), letting device notifications record causally-linked spans.
+    pub fn at_offset_traced(
+        &mut self,
+        offset: SimDuration,
+        cb: impl FnOnce(&SimHandle, SpanId) + Send + 'static,
+    ) {
         self.emissions.push((offset, Box::new(cb)));
     }
 
@@ -196,6 +210,8 @@ pub struct LaunchHandle {
     pub start: SimTime,
     /// Kernel end on the device.
     pub end: SimTime,
+    /// Trace span of the launch ([`SpanId::NONE`] when tracing is off).
+    pub span: SpanId,
 }
 
 impl LaunchHandle {

@@ -19,6 +19,7 @@ mod device;
 mod faults;
 mod kernel;
 mod mem;
+mod obs;
 mod stream;
 
 pub use cost::{AggLevel, CostModel};

@@ -1,0 +1,61 @@
+//! Per-GPU observability state: rank attribution for span recording plus
+//! optional metrics instruments.
+//!
+//! One [`GpuObs`] is shared between a [`crate::Gpu`] and every stream it
+//! creates (mirroring how the emission fault schedule is shared). Until
+//! [`crate::Gpu::set_rank`] / [`crate::Gpu::attach_metrics`] are called the
+//! state is inert: spans record unattributed exactly as before, and the
+//! metrics branch is a single `Option` check.
+
+use parcomm_obs::{Counter, MetricsRegistry};
+use parcomm_sim::Mutex;
+
+/// Metrics instruments for one GPU (shared across its streams).
+#[derive(Clone)]
+pub(crate) struct GpuInstruments {
+    /// Kernels launched.
+    pub kernels: Counter,
+    /// Timed device-side emissions scheduled (flag writes, copy notifies).
+    pub emissions: Counter,
+    /// `cudaStreamSynchronize` calls completed.
+    pub stream_syncs: Counter,
+}
+
+/// Shared observability state of one GPU.
+#[derive(Default)]
+pub(crate) struct GpuObs {
+    rank: Mutex<Option<u32>>,
+    instruments: Mutex<Option<GpuInstruments>>,
+}
+
+impl GpuObs {
+    /// The MPI rank this GPU is attributed to, once known.
+    pub(crate) fn rank(&self) -> Option<u32> {
+        *self.rank.lock()
+    }
+
+    pub(crate) fn set_rank(&self, rank: u32) {
+        *self.rank.lock() = Some(rank);
+    }
+
+    pub(crate) fn attach(&self, registry: &MetricsRegistry) {
+        *self.instruments.lock() = Some(GpuInstruments {
+            kernels: registry.counter("gpu.kernels"),
+            emissions: registry.counter("gpu.emissions"),
+            stream_syncs: registry.counter("gpu.stream_syncs"),
+        });
+    }
+
+    pub(crate) fn count_kernel(&self, emissions: u64) {
+        if let Some(i) = self.instruments.lock().as_ref() {
+            i.kernels.inc();
+            i.emissions.add(emissions);
+        }
+    }
+
+    pub(crate) fn count_stream_sync(&self) {
+        if let Some(i) = self.instruments.lock().as_ref() {
+            i.stream_syncs.inc();
+        }
+    }
+}

@@ -14,11 +14,12 @@ use std::sync::Arc;
 
 use parcomm_sim::Mutex;
 
-use parcomm_sim::{Ctx, Event, SimDuration, SimHandle, SimTime};
+use parcomm_sim::{Ctx, Event, SimDuration, SimHandle, SimTime, SpanId};
 
 use crate::cost::CostModel;
 use crate::faults::{EmissionFate, EmissionFaults};
 use crate::kernel::{DeviceCtx, KernelSpec, LaunchHandle};
+use crate::obs::GpuObs;
 
 struct StreamState {
     busy_until: SimTime,
@@ -39,6 +40,8 @@ struct StreamInner {
     gpu_name: String,
     /// The owning GPU's emission fault schedule (shared across its streams).
     emission_faults: Arc<Mutex<Option<EmissionFaults>>>,
+    /// The owning GPU's observability state (rank attribution + metrics).
+    obs: Arc<GpuObs>,
 }
 
 impl Stream {
@@ -47,6 +50,7 @@ impl Stream {
         handle: SimHandle,
         gpu_name: String,
         emission_faults: Arc<Mutex<Option<EmissionFaults>>>,
+        obs: Arc<GpuObs>,
     ) -> Self {
         let tail_done = Event::new();
         tail_done.set(&handle); // idle stream: nothing to wait for
@@ -56,6 +60,7 @@ impl Stream {
                 state: Mutex::new(StreamState { busy_until: SimTime::ZERO, tail_done }),
                 gpu_name,
                 emission_faults,
+                obs,
             }),
         }
     }
@@ -115,7 +120,9 @@ impl Stream {
         st.tail_done = done.clone();
         drop(st);
 
-        h.trace().record("kernel", start, end);
+        let span =
+            h.trace().record_attr("kernel", start, end, self.inner.obs.rank(), None, SpanId::NONE);
+        self.inner.obs.count_kernel(emissions.len() as u64);
         for (offset, cb) in emissions {
             // The window invariant is checked on the *natural* offset; an
             // injected delay may legitimately land past the window (the flag
@@ -130,10 +137,12 @@ impl Stream {
                 None => EmissionFate::Normal,
             };
             match fate {
-                EmissionFate::Normal => h.schedule_at(start + offset, cb),
+                EmissionFate::Normal => {
+                    h.schedule_at(start + offset, move |h| cb(h, span));
+                }
                 EmissionFate::Delayed(extra_us) => h.schedule_at(
                     start + offset + SimDuration::from_micros_f64(extra_us),
-                    cb,
+                    move |h| cb(h, span),
                 ),
                 EmissionFate::Lost => {
                     // The flag write never becomes visible; downstream
@@ -145,7 +154,7 @@ impl Stream {
             let done = done.clone();
             h.schedule_at(end, move |h| done.set(h));
         }
-        LaunchHandle { done, start, end }
+        LaunchHandle { done, start, end, span }
     }
 
     /// Enqueue an opaque device-time operation of the given duration (e.g. a
@@ -165,7 +174,7 @@ impl Stream {
             let done = done.clone();
             h.schedule_at(end, move |h| done.set(h));
         }
-        LaunchHandle { done, start, end }
+        LaunchHandle { done, start, end, span: SpanId::NONE }
     }
 
     /// `cudaStreamSynchronize`: block the calling host process until all
@@ -190,7 +199,15 @@ impl Stream {
         );
         let t0 = ctx.now();
         ctx.advance(sync);
-        ctx.handle().trace().record("stream_sync", t0, ctx.now());
+        ctx.handle().trace().record_attr(
+            "stream_sync",
+            t0,
+            ctx.now(),
+            self.inner.obs.rank(),
+            None,
+            SpanId::NONE,
+        );
+        self.inner.obs.count_stream_sync();
     }
 
     /// True when no device work is pending at the current instant.

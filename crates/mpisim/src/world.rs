@@ -11,11 +11,37 @@ use parcomm_sim::Mutex;
 
 use parcomm_gpu::{CostModel, EmissionFaultConfig, Gpu, GpuId, Location, Unit};
 use parcomm_net::{ClusterSpec, Fabric, NetFaultConfig};
+use parcomm_obs::{Counter, MetricsRegistry};
 use parcomm_sim::{Ctx, SimBarrier, SimDuration, Simulation};
 use parcomm_ucx::{UcxUniverse, Worker, WorkerAddress};
 
 use crate::p2p::MatchTable;
 use crate::progress::{PeFaultConfig, ProgressionEngine};
+
+/// MPI-layer instruments, shared by every rank's progression engine and the
+/// partitioned send/recv watchdogs. Cheap to clone; clones share counters.
+#[derive(Clone, Debug)]
+pub struct MpiInstruments {
+    /// Progression-engine poll sweeps executed (all ranks).
+    pub pe_polls: Counter,
+    /// Individual hook invocations across all sweeps.
+    pub pe_hook_runs: Counter,
+    /// Blocking waits that armed a watchdog timer.
+    pub watchdog_arms: Counter,
+    /// Watchdog timers that fired (stall detected).
+    pub watchdog_fires: Counter,
+}
+
+impl MpiInstruments {
+    fn new(registry: &MetricsRegistry) -> Self {
+        MpiInstruments {
+            pe_polls: registry.counter("mpi.pe.polls"),
+            pe_hook_runs: registry.counter("mpi.pe.hook_runs"),
+            watchdog_arms: registry.counter("mpi.watchdog.arms"),
+            watchdog_fires: registry.counter("mpi.watchdog.fires"),
+        }
+    }
+}
 
 /// World-level configuration.
 #[derive(Clone, Debug)]
@@ -64,6 +90,9 @@ struct WorldInner {
     addresses: Mutex<Vec<Option<WorkerAddress>>>,
     size: usize,
     start_barrier: SimBarrier,
+    /// Set by [`MpiWorld::enable_metrics`]; `None` keeps every layer's
+    /// instrumentation on its zero-cost `Option` fast path.
+    metrics: Mutex<Option<(MetricsRegistry, MpiInstruments)>>,
 }
 
 /// The simulated `MPI_COMM_WORLD`. Cheap to clone.
@@ -90,8 +119,37 @@ impl MpiWorld {
                 addresses: Mutex::new(vec![None; size]),
                 size,
                 start_barrier: SimBarrier::new(size),
+                metrics: Mutex::new(None),
             }),
         }
+    }
+
+    /// Create a [`MetricsRegistry`] and attach every layer's instruments to
+    /// it: fabric transfer/rail counters, UCX put/AM counters, and the
+    /// MPI-layer PE/watchdog counters. Call before [`MpiWorld::run_ranks`]
+    /// so per-rank GPUs attach as they initialize. Idempotent; returns the
+    /// (possibly pre-existing) registry.
+    pub fn enable_metrics(&self) -> MetricsRegistry {
+        let mut slot = self.inner.metrics.lock();
+        if let Some((reg, _)) = slot.as_ref() {
+            return reg.clone();
+        }
+        let registry = MetricsRegistry::new();
+        self.inner.fabric.attach_metrics(&registry);
+        self.inner.universe.attach_metrics(&registry);
+        let instruments = MpiInstruments::new(&registry);
+        *slot = Some((registry.clone(), instruments));
+        registry
+    }
+
+    /// The registry created by [`MpiWorld::enable_metrics`], if any.
+    pub fn metrics_registry(&self) -> Option<MetricsRegistry> {
+        self.inner.metrics.lock().as_ref().map(|(r, _)| r.clone())
+    }
+
+    /// The MPI-layer instruments, if metrics are enabled.
+    pub fn instruments(&self) -> Option<MpiInstruments> {
+        self.inner.metrics.lock().as_ref().map(|(_, i)| i.clone())
     }
 
     /// GH200 world with `nodes` nodes.
@@ -177,6 +235,10 @@ impl Rank {
     fn init(ctx: &mut Ctx, world: MpiWorld, rank: usize) -> Rank {
         let gpu_id = world.gpu_of(rank);
         let gpu = Gpu::new(gpu_id, world.inner.config.cost.clone(), ctx.handle());
+        gpu.set_rank(rank as u32);
+        if let Some(reg) = world.metrics_registry() {
+            gpu.attach_metrics(&reg);
+        }
         if let Some((_, ef)) = world
             .inner
             .config
@@ -203,6 +265,7 @@ impl Rank {
             rank,
             SimDuration::from_micros_f64(world.inner.config.progress_poll_us),
             pe_fault,
+            world.instruments(),
         );
         // MPI_Init barrier: every rank's worker address is published before
         // anyone communicates.

@@ -13,7 +13,8 @@ use std::sync::Arc;
 use parcomm_sim::Mutex;
 
 use parcomm_gpu::{Location, Unit};
-use parcomm_sim::{Event, SimDuration, SimHandle, SimTime};
+use parcomm_obs::{Counter, Histogram, MetricsRegistry};
+use parcomm_sim::{Event, SimDuration, SimHandle, SimTime, SpanId};
 
 use crate::faults::{NetError, NetFaultConfig, NetFaults};
 use crate::spec::{ClusterSpec, LinkSpec};
@@ -69,6 +70,20 @@ pub struct Transfer {
     pub arrival: SimTime,
     /// Fires at `arrival`.
     pub done: Event,
+    /// The transfer's `wire` trace span ([`SpanId::NONE`] when tracing is
+    /// off), for causal chaining by the transport above.
+    pub span: SpanId,
+}
+
+/// Metrics instruments for the fabric; attached via
+/// [`Fabric::attach_metrics`], dormant otherwise.
+struct NetInstruments {
+    transfers: Counter,
+    bytes: Counter,
+    fault_penalties: Counter,
+    bytes_hist: Histogram,
+    /// Per-NIC-rail bytes for cross-node traffic, indexed by rail.
+    rail_bytes: Vec<Counter>,
 }
 
 struct FabricInner {
@@ -79,6 +94,9 @@ struct FabricInner {
     /// Armed fault schedule; `None` (the default) keeps every fault branch
     /// dormant so fault-free runs draw nothing and schedule nothing extra.
     faults: Mutex<Option<NetFaults>>,
+    /// Attached metrics; `None` (the default) keeps metric updates to a
+    /// single `Option` check per transfer.
+    instruments: Mutex<Option<NetInstruments>>,
 }
 
 /// The cluster interconnect. Cheap to clone.
@@ -120,7 +138,39 @@ impl Fabric {
                 links,
                 index,
                 faults: Mutex::new(None),
+                instruments: Mutex::new(None),
             }),
+        }
+    }
+
+    /// Attach metrics instruments (`net.transfers`, `net.bytes`,
+    /// `net.fault_penalties`, `net.bytes_hist`, `net.rail<N>.bytes`) to the
+    /// given registry.
+    pub fn attach_metrics(&self, registry: &MetricsRegistry) {
+        let rails = (0..self.inner.spec.nics_per_node)
+            .map(|nic| registry.counter(&format!("net.rail{nic}.bytes")))
+            .collect();
+        *self.inner.instruments.lock() = Some(NetInstruments {
+            transfers: registry.counter("net.transfers"),
+            bytes: registry.counter("net.bytes"),
+            fault_penalties: registry.counter("net.fault_penalties"),
+            bytes_hist: registry.histogram("net.bytes_hist"),
+            rail_bytes: rails,
+        });
+    }
+
+    /// Count one transfer; `rail_shares` lists cross-node `(nic, bytes)`
+    /// shares (empty for intra-node traffic).
+    fn count_transfer(&self, bytes: u64, rail_shares: &[(u8, u64)]) {
+        if let Some(i) = self.inner.instruments.lock().as_ref() {
+            i.transfers.inc();
+            i.bytes.add(bytes);
+            i.bytes_hist.record(bytes);
+            for &(nic, share) in rail_shares {
+                if let Some(c) = i.rail_bytes.get(nic as usize) {
+                    c.add(share);
+                }
+            }
         }
     }
 
@@ -198,11 +248,19 @@ impl Fabric {
     /// Latency penalty for one transfer from the armed fault schedule
     /// (retransmits + spikes); zero — with no RNG draw — when unarmed.
     fn fault_penalty(&self) -> SimDuration {
-        let mut guard = self.inner.faults.lock();
-        match guard.as_mut() {
-            Some(f) => SimDuration::from_micros_f64(f.draw_penalty_us()),
-            None => SimDuration::ZERO,
+        let penalty = {
+            let mut guard = self.inner.faults.lock();
+            match guard.as_mut() {
+                Some(f) => SimDuration::from_micros_f64(f.draw_penalty_us()),
+                None => SimDuration::ZERO,
+            }
+        };
+        if !penalty.is_zero() {
+            if let Some(i) = self.inner.instruments.lock().as_ref() {
+                i.fault_penalties.inc();
+            }
         }
+        penalty
     }
 
     /// Compute the route between two locations.
@@ -290,6 +348,20 @@ impl Fabric {
         dst: Location,
         bytes: u64,
     ) -> Result<Transfer, NetError> {
+        self.try_transfer_caused(at, src, dst, bytes, SpanId::NONE)
+    }
+
+    /// Like [`try_transfer_at`](Fabric::try_transfer_at), with the caller's
+    /// trace span as the causal parent of the transfer's `wire` span (pass
+    /// [`SpanId::NONE`] when there is none).
+    pub fn try_transfer_caused(
+        &self,
+        at: SimTime,
+        src: Location,
+        dst: Location,
+        bytes: u64,
+        cause: SpanId,
+    ) -> Result<Transfer, NetError> {
         const SEGMENT_BYTES: u64 = 64 * 1024;
         let now = self.inner.handle.now();
         let at = at.max(now);
@@ -297,9 +369,9 @@ impl Fabric {
         // two nodes (UCX multi-rail): each rail carries an equal share and
         // the message completes when the slowest rail drains.
         if src.node != dst.node && bytes >= Self::STRIPE_THRESHOLD {
-            return self.striped_transfer(at, src, dst, bytes);
+            return self.striped_transfer(at, src, dst, bytes, cause);
         }
-        let route = self.route_at(at, src, dst)?;
+        let (route, src_nic) = self.route_at(at, src, dst)?;
         let mut cursor = at;
         let mut first_start = None;
         let mut tail = at;
@@ -323,15 +395,25 @@ impl Fabric {
             self.inner.handle.schedule_at(arrival, move |h| done.set(h));
         }
         let start = first_start.unwrap_or(at);
-        self.inner.handle.trace().record("wire", start, arrival);
-        Ok(Transfer { start, arrival, done })
+        let span = self.inner.handle.trace().record_attr("wire", start, arrival, None, None, cause);
+        let rail_shares: Vec<(u8, u64)> =
+            src_nic.map(|nic| vec![(nic, bytes)]).unwrap_or_default();
+        self.count_transfer(bytes, &rail_shares);
+        Ok(Transfer { start, arrival, done, span })
     }
 
     /// Like [`route`](Fabric::route), but steers cross-node hops around NIC
-    /// outages active at `at`. Identical to `route` when no faults are armed.
-    fn route_at(&self, at: SimTime, src: Location, dst: Location) -> Result<Route, NetError> {
+    /// outages active at `at`. Identical to `route` when no faults are
+    /// armed. Also reports the chosen source NIC on cross-node routes (for
+    /// per-rail accounting).
+    fn route_at(
+        &self,
+        at: SimTime,
+        src: Location,
+        dst: Location,
+    ) -> Result<(Route, Option<u8>), NetError> {
         if src.node == dst.node {
-            return Ok(self.route(src, dst));
+            return Ok((self.route(src, dst), None));
         }
         let src_nic = self.pick_nic(src.node, self.nic_for(src.unit), at)?;
         let dst_nic = self.pick_nic(dst.node, self.nic_for(dst.unit), at)?;
@@ -343,7 +425,7 @@ impl Fabric {
             .iter()
             .map(|id| SimDuration::from_micros_f64(self.inner.links[id.0].spec.latency_us))
             .sum();
-        Ok(Route { links, latency })
+        Ok((Route { links, latency }, Some(src_nic)))
     }
 
     /// Transfer starting at the current instant.
@@ -366,10 +448,12 @@ impl Fabric {
         src: Location,
         dst: Location,
         bytes: u64,
+        cause: SpanId,
     ) -> Result<Transfer, NetError> {
         const SEGMENT_BYTES: u64 = 64 * 1024;
         let rails = self.up_rails(src.node, dst.node, at)?;
         let share = bytes.div_ceil(rails.len() as u64);
+        let rail_shares: Vec<(u8, u64)> = rails.iter().map(|&nic| (nic, share)).collect();
         let mut first_start: Option<SimTime> = None;
         let mut arrival = at;
         for nic in rails {
@@ -400,8 +484,9 @@ impl Fabric {
             self.inner.handle.schedule_at(arrival, move |h| done.set(h));
         }
         let start = first_start.unwrap_or(at);
-        self.inner.handle.trace().record("wire", start, arrival);
-        Ok(Transfer { start, arrival, done })
+        let span = self.inner.handle.trace().record_attr("wire", start, arrival, None, None, cause);
+        self.count_transfer(bytes, &rail_shares);
+        Ok(Transfer { start, arrival, done, span })
     }
 
     /// Effective bandwidth between two locations for a large message,

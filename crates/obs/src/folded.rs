@@ -1,0 +1,103 @@
+//! Folded-stack flamegraph exporter.
+//!
+//! Renders each span as one frame stack — the span's causal chain from
+//! root cause to the span itself, rooted at the owning rank — in the
+//! classic `frame;frame;frame weight` text format consumed by
+//! `flamegraph.pl` / `inferno` / speedscope. Weights are the span's own
+//! duration in integer microseconds, so a flamegraph of the output shows
+//! where virtual time accumulates per rank along the pipeline's causal
+//! structure.
+
+use std::collections::BTreeMap;
+
+use parcomm_sim::TraceSpan;
+
+/// Render spans as aggregated folded stacks, one `stack weight` line per
+/// unique causal chain, sorted by stack name. Instant (zero-duration)
+/// spans carry no weight and are skipped.
+pub fn folded_stacks(spans: &[TraceSpan]) -> String {
+    // Effective rank: own, else inherited from the causal chain.
+    let mut ranks: Vec<Option<u32>> = Vec::with_capacity(spans.len());
+    for (i, s) in spans.iter().enumerate() {
+        let r = s.rank.or_else(|| {
+            s.caused_by.index().filter(|&c| c < i).and_then(|c| ranks[c])
+        });
+        ranks.push(r);
+    }
+
+    let mut agg: BTreeMap<String, u64> = BTreeMap::new();
+    for (i, s) in spans.iter().enumerate() {
+        let weight = s.end.saturating_since(s.start).as_micros_f64().round() as u64;
+        if weight == 0 {
+            continue;
+        }
+        // Walk to the root cause, collecting frames innermost-first.
+        let mut frames: Vec<&'static str> = vec![s.category];
+        let mut cur = s.caused_by;
+        let mut hops = 0;
+        while let Some(c) = cur.index().filter(|&c| c < spans.len()) {
+            frames.push(spans[c].category);
+            cur = spans[c].caused_by;
+            hops += 1;
+            if hops > spans.len() {
+                break; // cycle guard for malformed input
+            }
+        }
+        let root = match ranks[i] {
+            Some(r) => format!("rank{r}"),
+            None => "rank?".to_string(),
+        };
+        let mut stack = root;
+        for f in frames.iter().rev() {
+            stack.push(';');
+            stack.push_str(f);
+        }
+        *agg.entry(stack).or_default() += weight;
+    }
+
+    let mut out = String::new();
+    for (stack, weight) in &agg {
+        out.push_str(&format!("{stack} {weight}\n"));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parcomm_sim::{SimTime, SpanId, Trace};
+
+    fn t(us: u64) -> SimTime {
+        SimTime::from_nanos(us * 1000)
+    }
+
+    #[test]
+    fn stacks_follow_causal_chain_and_aggregate() {
+        let tr = Trace::default();
+        tr.enable_causal();
+        for _ in 0..2 {
+            let k = tr.record_attr("kernel", t(0), t(10), Some(0), None, SpanId::NONE);
+            let p = tr.record_causal("pe_post", t(10), t(12), Some(0), Some(0), k);
+            let put = tr.record_causal("put", t(12), t(12), Some(0), Some(0), p);
+            tr.record_attr("wire", t(12), t(16), None, None, put);
+        }
+        let out = folded_stacks(&tr.spans());
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(
+            lines,
+            [
+                "rank0;kernel 20",
+                "rank0;kernel;pe_post 4",
+                "rank0;kernel;pe_post;put;wire 8",
+            ]
+        );
+    }
+
+    #[test]
+    fn unattributed_spans_root_at_unknown_rank() {
+        let tr = Trace::default();
+        tr.enable();
+        tr.record("wire", t(0), t(5));
+        assert_eq!(folded_stacks(&tr.spans()), "rank?;wire 5\n");
+    }
+}

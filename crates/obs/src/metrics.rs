@@ -1,0 +1,341 @@
+//! First-party hermetic metrics: counters, gauges, log2-bucket histograms.
+//!
+//! A [`MetricsRegistry`] hands out cheap cloneable instruments backed by
+//! atomics. Layers *attach* instruments explicitly (e.g.
+//! `Fabric::attach_metrics`); a layer with nothing attached pays only an
+//! `Option` check per event, so metrics are zero-cost and digest-neutral
+//! when unused — instrument updates never touch the virtual clock, so even
+//! when attached they cannot perturb timing or event counts.
+//!
+//! [`MetricsRegistry::snapshot`] freezes every instrument into a
+//! [`MetricsSnapshot`] that renders to the same hand-rolled JSON style the
+//! bench reporter uses (the workspace builds with zero external
+//! dependencies, so no `serde`).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parcomm_sim::Mutex;
+
+/// Number of histogram buckets: one for zero plus one per power of two up
+/// to `u64::MAX`.
+const HIST_BUCKETS: usize = 65;
+
+/// A monotonically increasing counter.
+#[derive(Clone, Debug)]
+pub struct Counter {
+    v: Arc<AtomicU64>,
+}
+
+impl Counter {
+    /// Add `n` to the counter.
+    pub fn add(&self, n: u64) {
+        self.v.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Increment by one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.v.load(Ordering::Relaxed)
+    }
+}
+
+/// A last-write-wins gauge (f64, stored as bits in an atomic).
+#[derive(Clone, Debug)]
+pub struct Gauge {
+    bits: Arc<AtomicU64>,
+}
+
+impl Gauge {
+    /// Set the gauge.
+    pub fn set(&self, v: f64) {
+        self.bits.store(v.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.bits.load(Ordering::Relaxed))
+    }
+}
+
+#[derive(Debug)]
+struct HistState {
+    count: AtomicU64,
+    sum: AtomicU64,
+    buckets: [AtomicU64; HIST_BUCKETS],
+}
+
+/// A log2-bucket histogram of `u64` observations (bytes, iterations, µs).
+///
+/// Bucket 0 holds exact zeros; bucket `i ≥ 1` holds values in
+/// `[2^(i-1), 2^i)`.
+#[derive(Clone, Debug)]
+pub struct Histogram {
+    state: Arc<HistState>,
+}
+
+impl Histogram {
+    fn bucket_of(v: u64) -> usize {
+        if v == 0 {
+            0
+        } else {
+            64 - v.leading_zeros() as usize
+        }
+    }
+
+    /// Record one observation.
+    pub fn record(&self, v: u64) {
+        self.state.count.fetch_add(1, Ordering::Relaxed);
+        self.state.sum.fetch_add(v, Ordering::Relaxed);
+        self.state.buckets[Self::bucket_of(v)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Number of observations so far.
+    pub fn count(&self) -> u64 {
+        self.state.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of observations so far.
+    pub fn sum(&self) -> u64 {
+        self.state.sum.load(Ordering::Relaxed)
+    }
+}
+
+#[derive(Clone, Debug)]
+enum Instrument {
+    Counter(Counter),
+    Gauge(Gauge),
+    Histogram(Histogram),
+}
+
+/// Registry of named instruments. Cheap to clone; clones share state.
+/// Instrument lookups are idempotent: asking for the same name and kind
+/// twice returns handles to the same underlying value.
+#[derive(Clone, Default)]
+pub struct MetricsRegistry {
+    entries: Arc<Mutex<Vec<(String, Instrument)>>>,
+}
+
+impl MetricsRegistry {
+    /// Create an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Get or create the counter `name`.
+    pub fn counter(&self, name: &str) -> Counter {
+        let mut es = self.entries.lock();
+        for (n, i) in es.iter() {
+            if n == name {
+                if let Instrument::Counter(c) = i {
+                    return c.clone();
+                }
+            }
+        }
+        let c = Counter { v: Arc::new(AtomicU64::new(0)) };
+        es.push((name.to_string(), Instrument::Counter(c.clone())));
+        c
+    }
+
+    /// Get or create the gauge `name`.
+    pub fn gauge(&self, name: &str) -> Gauge {
+        let mut es = self.entries.lock();
+        for (n, i) in es.iter() {
+            if n == name {
+                if let Instrument::Gauge(g) = i {
+                    return g.clone();
+                }
+            }
+        }
+        let g = Gauge { bits: Arc::new(AtomicU64::new(0.0f64.to_bits())) };
+        es.push((name.to_string(), Instrument::Gauge(g.clone())));
+        g
+    }
+
+    /// Get or create the histogram `name`.
+    pub fn histogram(&self, name: &str) -> Histogram {
+        let mut es = self.entries.lock();
+        for (n, i) in es.iter() {
+            if n == name {
+                if let Instrument::Histogram(h) = i {
+                    return h.clone();
+                }
+            }
+        }
+        let h = Histogram {
+            state: Arc::new(HistState {
+                count: AtomicU64::new(0),
+                sum: AtomicU64::new(0),
+                buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            }),
+        };
+        es.push((name.to_string(), Instrument::Histogram(h.clone())));
+        h
+    }
+
+    /// Freeze every instrument into a snapshot, sorted by name.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let mut entries: Vec<(String, MetricValue)> = self
+            .entries
+            .lock()
+            .iter()
+            .map(|(n, i)| {
+                let v = match i {
+                    Instrument::Counter(c) => MetricValue::Counter(c.get()),
+                    Instrument::Gauge(g) => MetricValue::Gauge(g.get()),
+                    Instrument::Histogram(h) => {
+                        let buckets = h
+                            .state
+                            .buckets
+                            .iter()
+                            .enumerate()
+                            .filter_map(|(i, b)| {
+                                let c = b.load(Ordering::Relaxed);
+                                (c > 0).then(|| {
+                                    let lo = if i == 0 { 0 } else { 1u64 << (i - 1) };
+                                    (lo, c)
+                                })
+                            })
+                            .collect();
+                        MetricValue::Histogram { count: h.count(), sum: h.sum(), buckets }
+                    }
+                };
+                (n.clone(), v)
+            })
+            .collect();
+        entries.sort_by(|a, b| a.0.cmp(&b.0));
+        MetricsSnapshot { entries }
+    }
+}
+
+impl std::fmt::Debug for MetricsRegistry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MetricsRegistry")
+            .field("instruments", &self.entries.lock().len())
+            .finish()
+    }
+}
+
+/// A frozen instrument value.
+#[derive(Clone, Debug, PartialEq)]
+pub enum MetricValue {
+    /// Counter value.
+    Counter(u64),
+    /// Gauge value.
+    Gauge(f64),
+    /// Histogram: observation count, sum, and non-empty `(bucket_lo,
+    /// count)` pairs in ascending bucket order.
+    Histogram {
+        /// Number of observations.
+        count: u64,
+        /// Sum of observations.
+        sum: u64,
+        /// Non-empty buckets as `(lower_bound, count)`.
+        buckets: Vec<(u64, u64)>,
+    },
+}
+
+/// A point-in-time copy of every instrument, sorted by name.
+#[derive(Clone, Debug, Default)]
+pub struct MetricsSnapshot {
+    /// `(name, value)` pairs in ascending name order.
+    pub entries: Vec<(String, MetricValue)>,
+}
+
+impl MetricsSnapshot {
+    /// Value of the counter `name`, if present.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.entries.iter().find_map(|(n, v)| match v {
+            MetricValue::Counter(c) if n == name => Some(*c),
+            _ => None,
+        })
+    }
+
+    /// Serialize to pretty-printed JSON (hand-rolled, no `serde`).
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n");
+        for (i, (name, v)) in self.entries.iter().enumerate() {
+            if i > 0 {
+                out.push_str(",\n");
+            }
+            out.push_str(&format!("  {}: ", crate::json::quote(name)));
+            match v {
+                MetricValue::Counter(c) => out.push_str(&c.to_string()),
+                MetricValue::Gauge(g) => out.push_str(&crate::json::number(*g)),
+                MetricValue::Histogram { count, sum, buckets } => {
+                    out.push_str(&format!(
+                        "{{\"count\": {count}, \"sum\": {sum}, \"buckets\": ["
+                    ));
+                    for (j, (lo, c)) in buckets.iter().enumerate() {
+                        if j > 0 {
+                            out.push_str(", ");
+                        }
+                        out.push_str(&format!("[{lo}, {c}]"));
+                    }
+                    out.push_str("]}");
+                }
+            }
+        }
+        out.push_str("\n}");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_and_gauges_round_trip() {
+        let reg = MetricsRegistry::new();
+        let c = reg.counter("pe.polls");
+        c.add(3);
+        reg.counter("pe.polls").inc(); // same instrument by name
+        assert_eq!(c.get(), 4);
+        let g = reg.gauge("net.util");
+        g.set(0.5);
+        assert_eq!(reg.gauge("net.util").get(), 0.5);
+        let snap = reg.snapshot();
+        assert_eq!(snap.counter("pe.polls"), Some(4));
+    }
+
+    #[test]
+    fn histogram_buckets_are_log2() {
+        let reg = MetricsRegistry::new();
+        let h = reg.histogram("put.bytes");
+        for v in [0u64, 1, 2, 3, 1024, 1_000_000] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 6);
+        assert_eq!(h.sum(), 1 + 2 + 3 + 1024 + 1_000_000);
+        let snap = reg.snapshot();
+        let MetricValue::Histogram { count, buckets, .. } = &snap.entries[0].1 else {
+            panic!("expected histogram");
+        };
+        assert_eq!(*count, 6);
+        // 0 → bucket lo 0; 1 → lo 1; 2,3 → lo 2; 1024 → lo 1024;
+        // 1_000_000 → lo 2^19.
+        assert_eq!(
+            buckets,
+            &vec![(0u64, 1u64), (1, 1), (2, 2), (1024, 1), (1 << 19, 1)]
+        );
+    }
+
+    #[test]
+    fn snapshot_json_is_sorted_and_parseable() {
+        let reg = MetricsRegistry::new();
+        reg.counter("z.last").add(1);
+        reg.counter("a.first").add(2);
+        reg.histogram("m.hist").record(7);
+        let json = reg.snapshot().to_json();
+        let v = crate::json::parse(&json).expect("valid json");
+        let obj = v.as_object().expect("object");
+        assert_eq!(obj[0].0, "a.first");
+        assert_eq!(obj[2].0, "z.last");
+        assert_eq!(v.get("a.first").and_then(|x| x.as_f64()), Some(2.0));
+    }
+}

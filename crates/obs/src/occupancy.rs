@@ -1,0 +1,63 @@
+//! Windowed per-category span aggregation — the `gap_decomposition`
+//! occupancy table (paper §VI-B), generalized from the aggregation that
+//! used to live in `simcore::Trace::summarize`.
+
+use std::collections::BTreeMap;
+
+use parcomm_sim::{SimDuration, SimTime, TraceSpan};
+
+/// Aggregate of one category within a window.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct CategorySummary {
+    /// Number of spans intersecting the window.
+    pub count: u64,
+    /// Total virtual time across spans clipped to the window (spans may
+    /// overlap in wall terms — this is occupancy, not elapsed).
+    pub total: SimDuration,
+}
+
+/// Aggregate `spans` within `[from, to]` by category. Each intersecting
+/// span contributes its clipped duration; disjoint spans are skipped.
+pub fn occupancy(
+    spans: &[TraceSpan],
+    from: SimTime,
+    to: SimTime,
+) -> BTreeMap<&'static str, CategorySummary> {
+    let mut out: BTreeMap<&'static str, CategorySummary> = BTreeMap::new();
+    for s in spans {
+        if s.end < from || s.start > to {
+            continue;
+        }
+        let start = s.start.max(from);
+        let end = s.end.min(to);
+        let e = out.entry(s.category).or_default();
+        e.count += 1;
+        e.total += end.saturating_since(start);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parcomm_sim::Trace;
+
+    fn t(us: u64) -> SimTime {
+        SimTime::from_nanos(us * 1000)
+    }
+
+    #[test]
+    fn summary_clips_to_window() {
+        let tr = Trace::default();
+        tr.enable();
+        tr.record("kernel", t(0), t(10));
+        tr.record("kernel", t(20), t(30));
+        tr.record("sync", t(5), t(8));
+        tr.record("early", t(0), t(1)); // fully outside
+        let s = occupancy(&tr.spans(), t(5), t(25));
+        assert_eq!(s["kernel"].count, 2);
+        assert_eq!(s["kernel"].total, SimDuration::from_micros(10)); // 5 + 5
+        assert_eq!(s["sync"].total, SimDuration::from_micros(3));
+        assert!(!s.contains_key("early"));
+    }
+}

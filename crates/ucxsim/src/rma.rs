@@ -28,9 +28,9 @@ use std::sync::Arc;
 
 use parcomm_gpu::{Buffer, Location, MemSpace};
 use parcomm_net::Fabric;
-use parcomm_sim::{Event, Mutex, SimDuration, SimHandle, SimTime};
+use parcomm_sim::{Event, Mutex, SimDuration, SimHandle, SimTime, SpanId};
 
-use crate::worker::{Endpoint, UcxError, Worker};
+use crate::worker::{Endpoint, UcxError, UcxUniverse, Worker};
 
 /// Maximum attempts (first try + retries) for one `put_nbx` before it fails
 /// with [`UcxError::PutTimeout`].
@@ -175,10 +175,16 @@ impl Worker {
     }
 }
 
+/// Completion hook of a put: runs at arrival with the put's
+/// `put_complete` trace span ([`SpanId::NONE`] when causal tracing is
+/// off).
+type PutCompletion = Box<dyn FnOnce(&SimHandle, SpanId) + Send + 'static>;
+
 /// Everything one put attempt needs; kept in a struct so the retry chain
 /// can re-issue it from scheduled callbacks.
 struct PendingPut {
     fabric: Fabric,
+    universe: UcxUniverse,
     from: Location,
     to: Location,
     src: Buffer,
@@ -186,10 +192,12 @@ struct PendingPut {
     len: usize,
     dst: Buffer,
     dst_off: usize,
-    on_complete: Box<dyn FnOnce(&SimHandle) + Send + 'static>,
+    on_complete: PutCompletion,
     done: Event,
     result: Arc<Mutex<Option<Result<SimTime, UcxError>>>>,
     first_try_at: SimTime,
+    /// Causal parent of the put (e.g. the PE drain that issued it).
+    cause: SpanId,
 }
 
 /// Issue (or re-issue) one attempt of a put; schedules the next retry with
@@ -198,19 +206,38 @@ struct PendingPut {
 fn attempt_put(p: PendingPut, attempt: u32) -> SimTime {
     let h = p.fabric.sim().clone();
     let now = h.now();
-    match p.fabric.try_transfer_at(now, p.from, p.to, p.len as u64) {
+    if attempt == 0 {
+        if let Some(i) = p.universe.obs() {
+            i.puts.inc();
+        }
+    }
+    // The put's issue instant, causally chained to whatever posted it; the
+    // wire span it produces is in turn chained to the put.
+    let put_span = h.trace().record_causal("put", now, now, None, None, p.cause);
+    match p.fabric.try_transfer_caused(now, p.from, p.to, p.len as u64, put_span) {
         Ok(transfer) => {
             let arrival = transfer.arrival;
+            let wire_span = transfer.span;
             let PendingPut { src, src_off, len, dst, dst_off, on_complete, done, result, .. } = p;
             h.schedule_at(arrival, move |h| {
                 dst.copy_from_buffer(dst_off, &src, src_off, len);
-                on_complete(h);
+                let complete_span = h
+                    .trace()
+                    .record_causal("put_complete", arrival, arrival, None, None, wire_span);
+                on_complete(h, complete_span);
                 *result.lock() = Some(Ok(arrival));
                 done.set(h);
             });
             arrival
         }
         Err(net_err) => {
+            if let Some(i) = p.universe.obs() {
+                if attempt + 1 >= PUT_MAX_ATTEMPTS {
+                    i.put_failures.inc();
+                } else {
+                    i.put_retries.inc();
+                }
+            }
             if attempt + 1 >= PUT_MAX_ATTEMPTS {
                 let waited = now.since(p.first_try_at);
                 *p.result.lock() = Some(Err(UcxError::PutTimeout {
@@ -254,10 +281,32 @@ impl Endpoint {
         dst_off: usize,
         on_complete: impl FnOnce(&SimHandle) + Send + 'static,
     ) -> PutHandle {
+        self.put_nbx_caused(src, src_off, len, rkey, dst_off, SpanId::NONE, move |h, _span| {
+            on_complete(h)
+        })
+    }
+
+    /// Like [`put_nbx`](Endpoint::put_nbx), with causal tracing: `cause` is
+    /// the span that posted this put (e.g. the progression-engine drain),
+    /// and `on_complete` receives the put's `put_complete` span so chained
+    /// operations — the receive-side flag put above all — can extend the
+    /// causal chain. Identical to `put_nbx` when causal tracing is off.
+    #[allow(clippy::too_many_arguments)]
+    pub fn put_nbx_caused(
+        &self,
+        src: &Buffer,
+        src_off: usize,
+        len: usize,
+        rkey: &RKey,
+        dst_off: usize,
+        cause: SpanId,
+        on_complete: impl FnOnce(&SimHandle, SpanId) + Send + 'static,
+    ) -> PutHandle {
         let fabric = self.universe.fabric().clone();
         let done = Event::named("put_nbx");
         let result = Arc::new(Mutex::new(None));
         let pending = PendingPut {
+            universe: self.universe.clone(),
             from: src.space().location(),
             to: rkey.space().location(),
             src: src.clone(),
@@ -270,6 +319,7 @@ impl Endpoint {
             result: result.clone(),
             first_try_at: fabric.sim().now(),
             fabric,
+            cause,
         };
         let arrival = attempt_put(pending, 0);
         PutHandle { done, arrival, result }

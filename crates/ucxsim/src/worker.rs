@@ -18,6 +18,7 @@ use parcomm_sim::Mutex;
 
 use parcomm_gpu::Location;
 use parcomm_net::Fabric;
+use parcomm_obs::{Counter, MetricsRegistry};
 use parcomm_sim::{Ctx, Event, SimDuration, SimHandle};
 
 /// Address of a worker, obtainable via [`Worker::address`] and exchangeable
@@ -99,9 +100,21 @@ pub struct UcxUniverse {
     inner: Arc<UniverseInner>,
 }
 
+/// Metrics instruments of the UCX layer; attached via
+/// [`UcxUniverse::attach_metrics`], dormant otherwise.
+#[derive(Clone)]
+pub(crate) struct UcxInstruments {
+    pub(crate) puts: Counter,
+    pub(crate) put_retries: Counter,
+    pub(crate) put_failures: Counter,
+    pub(crate) am_sends: Counter,
+    pub(crate) am_retries: Counter,
+}
+
 struct UniverseInner {
     fabric: Fabric,
     workers: Mutex<HashMap<WorkerAddress, Arc<WorkerInner>>>,
+    instruments: Mutex<Option<UcxInstruments>>,
 }
 
 /// Worker addresses are globally unique so an address can never resolve in a
@@ -115,8 +128,26 @@ impl UcxUniverse {
             inner: Arc::new(UniverseInner {
                 fabric,
                 workers: Mutex::new(HashMap::new()),
+                instruments: Mutex::new(None),
             }),
         }
+    }
+
+    /// Attach metrics instruments (`ucx.puts`, `ucx.put_retries`,
+    /// `ucx.put_failures`, `ucx.am_sends`, `ucx.am_retries`) to the given
+    /// registry.
+    pub fn attach_metrics(&self, registry: &MetricsRegistry) {
+        *self.inner.instruments.lock() = Some(UcxInstruments {
+            puts: registry.counter("ucx.puts"),
+            put_retries: registry.counter("ucx.put_retries"),
+            put_failures: registry.counter("ucx.put_failures"),
+            am_sends: registry.counter("ucx.am_sends"),
+            am_retries: registry.counter("ucx.am_retries"),
+        });
+    }
+
+    pub(crate) fn obs(&self) -> Option<UcxInstruments> {
+        self.inner.instruments.lock().clone()
     }
 
     /// The underlying fabric.
@@ -317,6 +348,13 @@ fn am_send_attempt(
 ) {
     let h = universe.sim().clone();
     let now = h.now();
+    if let Some(i) = universe.obs() {
+        if attempt == 0 {
+            i.am_sends.inc();
+        } else {
+            i.am_retries.inc();
+        }
+    }
     match universe.fabric().try_transfer_at(now, src, dst.location, wire_bytes) {
         Ok(transfer) => {
             // Deliver into the mailbox exactly at arrival.

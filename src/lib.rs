@@ -57,6 +57,7 @@ pub use parcomm_gpu as gpu;
 pub use parcomm_mpi as mpi;
 pub use parcomm_nccl as nccl;
 pub use parcomm_net as net;
+pub use parcomm_obs as obs;
 pub use parcomm_sim as sim;
 pub use parcomm_ucx as ucx;
 

@@ -1,6 +1,7 @@
 //! Span-tracing integration: the trace must attribute virtual time to the
 //! right categories across the full stack, and stay free when disabled.
 
+use parcomm::obs::occupancy;
 use parcomm::prelude::*;
 use parcomm::sim::SimTime;
 
@@ -18,7 +19,8 @@ fn kernel_and_sync_spans_are_recorded() {
         }
     });
     sim.run().unwrap();
-    let summary = trace.summarize(SimTime::ZERO, SimTime::from_nanos(u64::MAX / 2));
+    let spans = trace.spans();
+    let summary = occupancy(&spans, SimTime::ZERO, SimTime::from_nanos(u64::MAX / 2));
     assert_eq!(summary["kernel"].count, 1);
     assert_eq!(summary["stream_sync"].count, 1);
     let sync_us = summary["stream_sync"].total.as_micros_f64();
@@ -54,7 +56,8 @@ fn wire_spans_cover_partitioned_puts() {
         }
     });
     sim.run().unwrap();
-    let summary = trace.summarize(SimTime::ZERO, SimTime::from_nanos(u64::MAX / 2));
+    let spans = trace.spans();
+    let summary = occupancy(&spans, SimTime::ZERO, SimTime::from_nanos(u64::MAX / 2));
     // 4 data puts + 4 chained flag puts + control messages: at least 8
     // wire spans.
     assert!(summary["wire"].count >= 8, "wire spans: {}", summary["wire"].count);
