@@ -17,20 +17,30 @@ use parcomm_core::{precv_init, prequest_create, psend_init, CopyMechanism, Prequ
 use parcomm_gpu::{AggLevel, KernelSpec};
 use parcomm_mpi::{MpiWorld, WorldConfig};
 use parcomm_sim::Simulation;
+use parcomm_sweep::SweepSpec;
 
 use crate::p2p::{goodput_gbps, measure, P2pMode, P2pParams};
 use crate::report::Experiment;
 
 /// Poll-interval sensitivity of the Progression-Engine copy path.
 pub fn run_poll_interval(quick: bool) -> Experiment {
+    run_poll_interval_threaded(quick, crate::report::threads())
+}
+
+/// [`run_poll_interval`] with an explicit sweep worker count.
+pub fn run_poll_interval_threaded(quick: bool, threads: usize) -> Experiment {
     let polls = if quick { vec![0.5f64, 4.0] } else { vec![0.1, 0.25, 0.5, 1.0, 2.0, 4.0, 8.0] };
     let mut exp = Experiment::new(
         "ablation_poll",
         "PE-copy single-epoch latency (µs) vs progression-engine poll interval",
         &["poll_us", "epoch_us"],
     );
+    let mut spec = SweepSpec::new();
     for &poll in &polls {
-        exp.push_row(vec![poll, pe_epoch_with_poll(poll)]);
+        spec.cell(format!("poll={poll}"), move || vec![poll, pe_epoch_with_poll(poll)]);
+    }
+    for row in spec.run(threads).into_values().expect("poll sweep") {
+        exp.push_row(row);
     }
     let first = exp.rows.first().map(|r| r[1]).unwrap_or(0.0);
     let last = exp.rows.last().map(|r| r[1]).unwrap_or(0.0);
@@ -83,6 +93,11 @@ fn pe_epoch_with_poll(poll_us: f64) -> f64 {
 /// §VI-A finding: one best intra-node, two best inter-node for large
 /// kernels).
 pub fn run_transport_sweep(quick: bool) -> Experiment {
+    run_transport_sweep_threaded(quick, crate::report::threads())
+}
+
+/// [`run_transport_sweep`] with an explicit sweep worker count.
+pub fn run_transport_sweep_threaded(quick: bool, threads: usize) -> Experiment {
     let transports = if quick { vec![1usize, 2] } else { vec![1, 2, 4, 8, 16] };
     let grid = 2048u32; // 16 MB payload: squarely in the large regime
     let mut exp = Experiment::new(
@@ -90,41 +105,12 @@ pub fn run_transport_sweep(quick: bool) -> Experiment {
         "Goodput (GB/s) vs transport partition count, 2048-grid kernels",
         &["transports", "intra_gbps", "inter_gbps"],
     );
+    let mut spec = SweepSpec::new();
     for &t in &transports {
-        let intra = measure(
-            P2pParams {
-                nodes: 1,
-                sender: 0,
-                receiver: 1,
-                grid,
-                block: 1024,
-                iters: if quick { 2 } else { 8 },
-                seed: 0xAB02,
-            },
-            P2pMode::Partitioned {
-                copy: CopyMechanism::ProgressionEngine,
-                agg: AggLevel::Block,
-                transports: t,
-            },
-        );
-        let inter = measure(
-            P2pParams {
-                nodes: 2,
-                sender: 0,
-                receiver: 4,
-                grid,
-                block: 1024,
-                iters: if quick { 2 } else { 8 },
-                seed: 0xAB03,
-            },
-            P2pMode::Partitioned {
-                copy: CopyMechanism::ProgressionEngine,
-                agg: AggLevel::Block,
-                transports: t,
-            },
-        );
-        let bytes = grid as usize * 1024 * 8;
-        exp.push_row(vec![t as f64, goodput_gbps(bytes, intra), goodput_gbps(bytes, inter)]);
+        spec.cell(format!("transports={t}"), move || transport_row(t, grid, quick));
+    }
+    for row in spec.run(threads).into_values().expect("transport sweep") {
+        exp.push_row(row);
     }
     let knee_intra = knee_row(&exp, 1);
     let knee_inter = knee_row(&exp, 2);
@@ -136,6 +122,44 @@ pub fn run_transport_sweep(quick: bool) -> Experiment {
          monotone instead of peaking"
     ));
     exp
+}
+
+/// One transport-sweep row: intra- and inter-node goodput at `t` puts.
+fn transport_row(t: usize, grid: u32, quick: bool) -> Vec<f64> {
+    let intra = measure(
+        P2pParams {
+            nodes: 1,
+            sender: 0,
+            receiver: 1,
+            grid,
+            block: 1024,
+            iters: if quick { 2 } else { 8 },
+            seed: 0xAB02,
+        },
+        P2pMode::Partitioned {
+            copy: CopyMechanism::ProgressionEngine,
+            agg: AggLevel::Block,
+            transports: t,
+        },
+    );
+    let inter = measure(
+        P2pParams {
+            nodes: 2,
+            sender: 0,
+            receiver: 4,
+            grid,
+            block: 1024,
+            iters: if quick { 2 } else { 8 },
+            seed: 0xAB03,
+        },
+        P2pMode::Partitioned {
+            copy: CopyMechanism::ProgressionEngine,
+            agg: AggLevel::Block,
+            transports: t,
+        },
+    );
+    let bytes = grid as usize * 1024 * 8;
+    vec![t as f64, goodput_gbps(bytes, intra), goodput_gbps(bytes, inter)]
 }
 
 /// Smallest transport count achieving ≥ 98 % of the column's best value.
@@ -150,18 +174,25 @@ fn knee_row(exp: &Experiment, col: usize) -> usize {
 
 /// Multi-block counter aggregation on/off across grid sizes.
 pub fn run_counter_aggregation(quick: bool) -> Experiment {
+    run_counter_aggregation_threaded(quick, crate::report::threads())
+}
+
+/// [`run_counter_aggregation`] with an explicit sweep worker count.
+pub fn run_counter_aggregation_threaded(quick: bool, threads: usize) -> Experiment {
     let grids = if quick { vec![4u32, 64] } else { vec![2, 8, 32, 128, 512] };
     let mut exp = Experiment::new(
         "ablation_counters",
         "Device pready kernel extension (µs): per-block writes vs GPU-global counters",
         &["blocks", "per_block_us", "counters_us"],
     );
+    let mut spec = SweepSpec::new();
     for &grid in &grids {
-        exp.push_row(vec![
-            grid as f64,
-            pready_ext(grid, false),
-            pready_ext(grid, true),
-        ]);
+        spec.cell(format!("blocks={grid}"), move || {
+            vec![grid as f64, pready_ext(grid, false), pready_ext(grid, true)]
+        });
+    }
+    for row in spec.run(threads).into_values().expect("counter sweep") {
+        exp.push_row(row);
     }
     exp.note(
         "counters keep the cost flat in the block count (one host write per transport \
@@ -229,6 +260,12 @@ fn pready_ext(grid: u32, counters: bool) -> f64 {
 /// construction: the `survived` column must stay 1.0, and the numerics are
 /// asserted bit-identical to fault-free before a row is reported.
 pub fn run_fault_goodput(quick: bool, fault_seed: u64) -> Experiment {
+    run_fault_goodput_threaded(quick, fault_seed, crate::report::threads())
+}
+
+/// [`run_fault_goodput`] with an explicit sweep worker count. The clean
+/// baseline runs once up front; each rate is then an independent cell.
+pub fn run_fault_goodput_threaded(quick: bool, fault_seed: u64, threads: usize) -> Experiment {
     use parcomm_fault::{chaos, FaultPlan};
 
     let rates: Vec<f64> =
@@ -240,18 +277,25 @@ pub fn run_fault_goodput(quick: bool, fault_seed: u64) -> Experiment {
     );
     const SIM_SEED: u64 = 0xFA017;
     let clean = chaos::run_allreduce(SIM_SEED, &FaultPlan::none(), 2);
+    let mut spec = SweepSpec::new();
     for &rate in &rates {
-        let run = if rate == 0.0 {
-            clean.clone()
-        } else {
-            chaos::run_allreduce(SIM_SEED, &FaultPlan::chaos(fault_seed, rate), 2)
-        };
-        assert_eq!(
-            run.numeric, clean.numeric,
-            "chaos(rate={rate}) corrupted the reduction — fault model broken"
-        );
-        let survived = if run.survived() { 1.0 } else { 0.0 };
-        exp.push_row(vec![rate, run.end_time_us, clean.end_time_us / run.end_time_us, survived]);
+        let clean = clean.clone();
+        spec.cell(format!("rate={rate}"), move || {
+            let run = if rate == 0.0 {
+                clean.clone()
+            } else {
+                chaos::run_allreduce(SIM_SEED, &FaultPlan::chaos(fault_seed, rate), 2)
+            };
+            assert_eq!(
+                run.numeric, clean.numeric,
+                "chaos(rate={rate}) corrupted the reduction — fault model broken"
+            );
+            let survived = if run.survived() { 1.0 } else { 0.0 };
+            vec![rate, run.end_time_us, clean.end_time_us / run.end_time_us, survived]
+        });
+    }
+    for row in spec.run(threads).into_values().expect("fault sweep") {
+        exp.push_row(row);
     }
     exp.note(format!(
         "fault seed {fault_seed:#x}: drops/spikes/NIC-outages degrade goodput, never numerics; \

@@ -1,0 +1,67 @@
+//! Deterministic parallel chaos campaign over the `parcomm-sweep` engine.
+//!
+//! Runs the CI chaos grid — eight fault seeds × two rates of the two-node
+//! partitioned allreduce, each cell replayed twice — and prints one report
+//! line per cell in grid order. The report is **byte-identical at any
+//! worker count**: diff the stdout of a `--threads 1` run against a
+//! `--threads 4` run to prove it.
+//!
+//! Flags:
+//! - `--quick` — trim to two seeds (smoke runs);
+//! - `--seeds N` — override the fault-seed count (CI uses a widened grid
+//!   for the wall-clock speedup check);
+//! - `--threads N` / `PARCOMM_THREADS=N` — sweep worker count (default:
+//!   available parallelism);
+//! - `--out <path>` — stream completed cells to a resumable JSON-lines
+//!   sink; a re-run against the same file skips the cells already on disk;
+//! - `PARCOMM_CHAOS_SEED` — shift the fault-seed block.
+//!
+//! Exits non-zero if any cell violates the fault-injection contract
+//! (replay divergence, rank errors, or corrupted numerics).
+
+use parcomm_fault::campaign::{self, CampaignConfig};
+use parcomm_sweep::JsonlSink;
+
+fn arg_value(flag: &str) -> Option<String> {
+    let mut args = std::env::args();
+    while let Some(a) = args.next() {
+        if a == flag {
+            return args.next();
+        }
+    }
+    None
+}
+
+fn main() {
+    let mut cfg = CampaignConfig::ci(parcomm_bench::quick_mode());
+    if let Some(seeds) = arg_value("--seeds").and_then(|s| s.parse().ok()) {
+        cfg.seeds = seeds;
+    }
+    let threads = parcomm_bench::threads();
+    eprintln!(
+        "chaos campaign: {} seeds x {} rates on {} worker(s)",
+        cfg.seeds,
+        cfg.rates.len(),
+        threads
+    );
+    let outcomes = match arg_value("--out") {
+        Some(path) => {
+            let mut sink = JsonlSink::open(&path).expect("open --out sink");
+            let restored = sink.len();
+            if restored > 0 {
+                eprintln!("resuming: {restored} cell(s) restored from {path}");
+            }
+            campaign::run_campaign_with_sink(&cfg, threads, &mut sink).expect("campaign sink")
+        }
+        None => campaign::run_campaign(&cfg, threads),
+    };
+    for o in &outcomes {
+        println!("{}", o.render());
+    }
+    let bad: Vec<_> = outcomes.iter().filter(|o| !o.ok()).collect();
+    if !bad.is_empty() {
+        eprintln!("chaos campaign: {} of {} cells FAILED the contract", bad.len(), outcomes.len());
+        std::process::exit(1);
+    }
+    println!("chaos campaign: {} cells ok", outcomes.len());
+}

@@ -1,5 +1,9 @@
 //! Run every table/figure harness in paper order. Pass `--quick` for a
 //! smoke run; set `PARCOMM_RESULTS_DIR` to save JSON next to the text.
+//! Pass `--threads N` (or `PARCOMM_THREADS=N`) to bound the sweep-engine
+//! worker count — each harness fans its parameter grid out in parallel,
+//! and the output is byte-identical at any thread count (default:
+//! available parallelism).
 //! Pass `--faults <seed>` to additionally run the whole suite's fault
 //! ablation: the canonical allreduce under seeded chaos at increasing
 //! fault rates (goodput vs fault rate, deterministic per seed).

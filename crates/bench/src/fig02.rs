@@ -7,12 +7,19 @@
 
 use parcomm_gpu::{CostModel, Gpu, GpuId, KernelSpec};
 use parcomm_sim::Simulation;
+use parcomm_sweep::SweepSpec;
 
 use crate::report::Experiment;
 use crate::stats::{mean, pow2_range, stddev};
 
 /// Run the Fig. 2 sweep. `quick` trims the sweep for smoke runs.
 pub fn run(quick: bool) -> Experiment {
+    run_threaded(quick, crate::report::threads())
+}
+
+/// [`run`] with an explicit sweep worker count: one sweep cell per grid
+/// size, byte-identical output at any `threads`.
+pub fn run_threaded(quick: bool, threads: usize) -> Experiment {
     let max_grid = if quick { 1024 } else { 128 * 1024 };
     let grids = pow2_range(1, max_grid);
     let samples = if quick { 3 } else { 10 };
@@ -24,28 +31,34 @@ pub fn run(quick: bool) -> Experiment {
         &["grid", "sync_us", "sync_sd", "total_us", "sync_pct", "lost_overlap_us"],
     );
 
+    let mut spec = SweepSpec::new();
     for &grid in &grids {
-        let mut sync_only = Vec::new();
-        let mut totals = Vec::new();
-        for s in 0..samples {
-            let (a, b) = sample(grid, iters, s as u64);
-            sync_only.extend(a);
-            totals.extend(b);
-        }
-        let sync_us = mean(&sync_only);
-        let total = mean(&totals);
-        let kernel_device_us = {
-            let cm = CostModel::default();
-            cm.kernel_duration(&KernelSpec::vector_add(grid, 1024)).as_micros_f64()
-        };
-        exp.push_row(vec![
-            grid as f64,
-            sync_us,
-            stddev(&sync_only),
-            total,
-            100.0 * sync_us / total,
-            kernel_device_us, // CPU blocked while the device computes
-        ]);
+        spec.cell(format!("grid={grid}"), move || {
+            let mut sync_only = Vec::new();
+            let mut totals = Vec::new();
+            for s in 0..samples {
+                let (a, b) = sample(grid, iters, s as u64);
+                sync_only.extend(a);
+                totals.extend(b);
+            }
+            let sync_us = mean(&sync_only);
+            let total = mean(&totals);
+            let kernel_device_us = {
+                let cm = CostModel::default();
+                cm.kernel_duration(&KernelSpec::vector_add(grid, 1024)).as_micros_f64()
+            };
+            vec![
+                grid as f64,
+                sync_us,
+                stddev(&sync_only),
+                total,
+                100.0 * sync_us / total,
+                kernel_device_us, // CPU blocked while the device computes
+            ]
+        });
+    }
+    for row in spec.run(threads).into_values().expect("fig02 sweep") {
+        exp.push_row(row);
     }
 
     let first = &exp.rows[0];

@@ -8,24 +8,37 @@
 
 use parcomm_gpu::AggLevel;
 use parcomm_sim::Simulation;
+use parcomm_sweep::SweepSpec;
 
 use crate::report::Experiment;
 use crate::stats::pow2_range;
 
 /// Run the Fig. 3 sweep.
 pub fn run(quick: bool) -> Experiment {
-    let threads = if quick { vec![1u32, 32, 1024] } else { pow2_range(1, 1024) };
+    run_threaded(quick, crate::report::threads())
+}
+
+/// [`run`] with an explicit sweep worker count: one sweep cell per thread
+/// count, byte-identical output at any `threads`.
+pub fn run_threaded(quick: bool, threads: usize) -> Experiment {
+    let counts = if quick { vec![1u32, 32, 1024] } else { pow2_range(1, 1024) };
     let mut exp = Experiment::new(
         "fig03",
         "Device-side MPIX_Pready cost by aggregation level (1 block, intra-node)",
         &["threads", "thread_us", "warp_us", "block_us"],
     );
-    for &t in &threads {
-        let row = [AggLevel::Thread, AggLevel::Warp, AggLevel::Block]
-            .into_iter()
-            .map(|agg| pready_extension_us(t, agg))
-            .collect::<Vec<_>>();
-        exp.push_row(vec![t as f64, row[0], row[1], row[2]]);
+    let mut spec = SweepSpec::new();
+    for &t in &counts {
+        spec.cell(format!("threads={t}"), move || {
+            let row = [AggLevel::Thread, AggLevel::Warp, AggLevel::Block]
+                .into_iter()
+                .map(|agg| pready_extension_us(t, agg))
+                .collect::<Vec<_>>();
+            vec![t as f64, row[0], row[1], row[2]]
+        });
+    }
+    for row in spec.run(threads).into_values().expect("fig03 sweep") {
+        exp.push_row(row);
     }
     if let Some(last) = exp.rows.last() {
         let (thread, warp, block) = (last[1], last[2], last[3]);

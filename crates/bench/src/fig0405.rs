@@ -10,6 +10,7 @@
 
 use parcomm_core::CopyMechanism;
 use parcomm_gpu::AggLevel;
+use parcomm_sweep::SweepSpec;
 
 use crate::p2p::{goodput_gbps, measure, P2pMode, P2pParams};
 use crate::report::Experiment;
@@ -27,6 +28,12 @@ fn iters_for(grid: u32, quick: bool) -> usize {
 
 /// Fig. 4: intra-node Goodput sweep.
 pub fn run_fig04(quick: bool) -> Experiment {
+    run_fig04_threaded(quick, crate::report::threads())
+}
+
+/// [`run_fig04`] with an explicit sweep worker count: one sweep cell per
+/// grid size, byte-identical output at any `threads`.
+pub fn run_fig04_threaded(quick: bool, threads: usize) -> Experiment {
     let max_grid = if quick { 256 } else { 32 * 1024 };
     let grids = pow2_range(1, max_grid);
     let mut exp = Experiment::new(
@@ -34,42 +41,48 @@ pub fn run_fig04(quick: bool) -> Experiment {
         "Intra-node Goodput (GB/s): traditional vs Progression Engine vs Kernel Copy",
         &["grid", "trad_gbps", "pe_gbps", "kc_gbps", "pe_speedup", "kc_speedup"],
     );
+    let mut spec = SweepSpec::new();
     for &grid in &grids {
-        let params = P2pParams {
-            nodes: 1,
-            sender: 0,
-            receiver: 1,
-            grid,
-            block: 1024,
-            iters: iters_for(grid, quick),
-            seed: 0x0404 ^ grid as u64,
-        };
-        let bytes = params.bytes();
-        let trad = measure(params, P2pMode::Traditional);
-        let pe = measure(
-            params,
-            P2pMode::Partitioned {
-                copy: CopyMechanism::ProgressionEngine,
-                agg: AggLevel::Block,
-                transports: 1,
-            },
-        );
-        let kc = measure(
-            params,
-            P2pMode::Partitioned {
-                copy: CopyMechanism::KernelCopy,
-                agg: AggLevel::Block,
-                transports: 1,
-            },
-        );
-        exp.push_row(vec![
-            grid as f64,
-            goodput_gbps(bytes, trad),
-            goodput_gbps(bytes, pe),
-            goodput_gbps(bytes, kc),
-            trad / pe,
-            trad / kc,
-        ]);
+        spec.cell(format!("grid={grid}"), move || {
+            let params = P2pParams {
+                nodes: 1,
+                sender: 0,
+                receiver: 1,
+                grid,
+                block: 1024,
+                iters: iters_for(grid, quick),
+                seed: 0x0404 ^ grid as u64,
+            };
+            let bytes = params.bytes();
+            let trad = measure(params, P2pMode::Traditional);
+            let pe = measure(
+                params,
+                P2pMode::Partitioned {
+                    copy: CopyMechanism::ProgressionEngine,
+                    agg: AggLevel::Block,
+                    transports: 1,
+                },
+            );
+            let kc = measure(
+                params,
+                P2pMode::Partitioned {
+                    copy: CopyMechanism::KernelCopy,
+                    agg: AggLevel::Block,
+                    transports: 1,
+                },
+            );
+            vec![
+                grid as f64,
+                goodput_gbps(bytes, trad),
+                goodput_gbps(bytes, pe),
+                goodput_gbps(bytes, kc),
+                trad / pe,
+                trad / kc,
+            ]
+        });
+    }
+    for row in spec.run(threads).into_values().expect("fig04 sweep") {
+        exp.push_row(row);
     }
     summarize(&mut exp, 4, 5);
     exp.note("NVLink unidirectional bound: 150 GB/s (paper Fig. 4 reference line)");
@@ -82,6 +95,12 @@ pub fn run_fig04(quick: bool) -> Experiment {
 
 /// Fig. 5: inter-node Goodput sweep.
 pub fn run_fig05(quick: bool) -> Experiment {
+    run_fig05_threaded(quick, crate::report::threads())
+}
+
+/// [`run_fig05`] with an explicit sweep worker count: one sweep cell per
+/// grid size, byte-identical output at any `threads`.
+pub fn run_fig05_threaded(quick: bool, threads: usize) -> Experiment {
     let max_grid = if quick { 256 } else { 32 * 1024 };
     let grids = pow2_range(1, max_grid);
     let mut exp = Experiment::new(
@@ -89,35 +108,41 @@ pub fn run_fig05(quick: bool) -> Experiment {
         "Inter-node Goodput (GB/s): traditional vs Progression Engine (2 transport partitions)",
         &["grid", "trad_gbps", "pe_gbps", "pe_speedup"],
     );
+    let mut spec = SweepSpec::new();
     for &grid in &grids {
-        let params = P2pParams {
-            nodes: 2,
-            sender: 0,
-            receiver: 4,
-            grid,
-            block: 1024,
-            iters: iters_for(grid, quick),
-            seed: 0x0505 ^ grid as u64,
-        };
-        let bytes = params.bytes();
-        let trad = measure(params, P2pMode::Traditional);
-        // Two transport partitions for large kernels (paper §VI-A2), one
-        // otherwise — splitting only pays once each put is still large
-        // enough to drive the multi-rail wire at full rate.
-        let transports = if bytes as u64 / 2 >= parcomm_net::Fabric::STRIPE_THRESHOLD {
-            2
-        } else {
-            1
-        };
-        let pe = measure(
-            params,
-            P2pMode::Partitioned {
-                copy: CopyMechanism::ProgressionEngine,
-                agg: AggLevel::Block,
-                transports,
-            },
-        );
-        exp.push_row(vec![grid as f64, goodput_gbps(bytes, trad), goodput_gbps(bytes, pe), trad / pe]);
+        spec.cell(format!("grid={grid}"), move || {
+            let params = P2pParams {
+                nodes: 2,
+                sender: 0,
+                receiver: 4,
+                grid,
+                block: 1024,
+                iters: iters_for(grid, quick),
+                seed: 0x0505 ^ grid as u64,
+            };
+            let bytes = params.bytes();
+            let trad = measure(params, P2pMode::Traditional);
+            // Two transport partitions for large kernels (paper §VI-A2), one
+            // otherwise — splitting only pays once each put is still large
+            // enough to drive the multi-rail wire at full rate.
+            let transports = if bytes as u64 / 2 >= parcomm_net::Fabric::STRIPE_THRESHOLD {
+                2
+            } else {
+                1
+            };
+            let pe = measure(
+                params,
+                P2pMode::Partitioned {
+                    copy: CopyMechanism::ProgressionEngine,
+                    agg: AggLevel::Block,
+                    transports,
+                },
+            );
+            vec![grid as f64, goodput_gbps(bytes, trad), goodput_gbps(bytes, pe), trad / pe]
+        });
+    }
+    for row in spec.run(threads).into_values().expect("fig05 sweep") {
+        exp.push_row(row);
     }
     summarize(&mut exp, 3, 3);
     exp.note("paper anchors: 2.80x at one grid, 1.17x at the largest grid");

@@ -11,6 +11,7 @@ use parcomm_coll::pallreduce_init;
 use parcomm_gpu::KernelSpec;
 use parcomm_mpi::MpiWorld;
 use parcomm_sim::Simulation;
+use parcomm_sweep::SweepSpec;
 
 use crate::report::Experiment;
 use crate::stats::pow2_range;
@@ -25,15 +26,25 @@ enum Coll {
 
 /// Fig. 6: one node, four GH200.
 pub fn run_fig06(quick: bool) -> Experiment {
-    run(quick, 1, "fig06", "Allreduce, 4 GH200 (one node): kernel + collective time (µs)")
+    run_fig06_threaded(quick, crate::report::threads())
+}
+
+/// [`run_fig06`] with an explicit sweep worker count.
+pub fn run_fig06_threaded(quick: bool, threads: usize) -> Experiment {
+    run(quick, 1, "fig06", "Allreduce, 4 GH200 (one node): kernel + collective time (µs)", threads)
 }
 
 /// Fig. 7: two nodes, eight GH200.
 pub fn run_fig07(quick: bool) -> Experiment {
-    run(quick, 2, "fig07", "Allreduce, 8 GH200 (two nodes): kernel + collective time (µs)")
+    run_fig07_threaded(quick, crate::report::threads())
 }
 
-fn run(quick: bool, nodes: u16, id: &str, title: &str) -> Experiment {
+/// [`run_fig07`] with an explicit sweep worker count.
+pub fn run_fig07_threaded(quick: bool, threads: usize) -> Experiment {
+    run(quick, 2, "fig07", "Allreduce, 8 GH200 (two nodes): kernel + collective time (µs)", threads)
+}
+
+fn run(quick: bool, nodes: u16, id: &str, title: &str, threads: usize) -> Experiment {
     // Paper: large grids only (ring maximizes bandwidth for large
     // messages); 1K..32K blocks of 1024 threads → 8..256 MB buffers. The
     // full-sweep cap is 8K grids: beyond that the *simulator's* staging
@@ -45,12 +56,18 @@ fn run(quick: bool, nodes: u16, id: &str, title: &str) -> Experiment {
         title,
         &["grid", "mpi_allreduce_us", "partitioned_us", "nccl_us", "part_vs_mpi", "nccl_gap_us"],
     );
+    let mut spec = SweepSpec::new();
     for &grid in &grids {
-        let n = grid as usize * 1024;
-        let trad = timed(nodes, n, Coll::Traditional, quick);
-        let part = timed(nodes, n, Coll::Partitioned, quick);
-        let nccl = timed(nodes, n, Coll::Nccl, quick);
-        exp.push_row(vec![grid as f64, trad, part, nccl, trad / part, part - nccl]);
+        spec.cell(format!("grid={grid}"), move || {
+            let n = grid as usize * 1024;
+            let trad = timed(nodes, n, Coll::Traditional, quick);
+            let part = timed(nodes, n, Coll::Partitioned, quick);
+            let nccl = timed(nodes, n, Coll::Nccl, quick);
+            vec![grid as f64, trad, part, nccl, trad / part, part - nccl]
+        });
+    }
+    for row in spec.run(threads).into_values().expect("fig06/07 sweep") {
+        exp.push_row(row);
     }
     if let Some(first) = exp.rows.first() {
         exp.note(format!(

@@ -10,20 +10,31 @@ use parcomm_apps::{run_jacobi, JacobiConfig, JacobiModel};
 use parcomm_core::CopyMechanism;
 use parcomm_mpi::MpiWorld;
 use parcomm_sim::Simulation;
+use parcomm_sweep::SweepSpec;
 
 use crate::report::Experiment;
 
 /// Fig. 8: four GH200 on one node.
 pub fn run_fig08(quick: bool) -> Experiment {
-    run(quick, 1, "fig08", "Jacobi solver GFLOP/s, 4 GH200 (2x2 decomposition)")
+    run_fig08_threaded(quick, crate::report::threads())
+}
+
+/// [`run_fig08`] with an explicit sweep worker count.
+pub fn run_fig08_threaded(quick: bool, threads: usize) -> Experiment {
+    run(quick, 1, "fig08", "Jacobi solver GFLOP/s, 4 GH200 (2x2 decomposition)", threads)
 }
 
 /// Fig. 9: eight GH200 on two nodes.
 pub fn run_fig09(quick: bool) -> Experiment {
-    run(quick, 2, "fig09", "Jacobi solver GFLOP/s, 8 GH200 (4x2 decomposition)")
+    run_fig09_threaded(quick, crate::report::threads())
 }
 
-fn run(quick: bool, nodes: u16, id: &str, title: &str) -> Experiment {
+/// [`run_fig09`] with an explicit sweep worker count.
+pub fn run_fig09_threaded(quick: bool, threads: usize) -> Experiment {
+    run(quick, 2, "fig09", "Jacobi solver GFLOP/s, 8 GH200 (4x2 decomposition)", threads)
+}
+
+fn run(quick: bool, nodes: u16, id: &str, title: &str, threads: usize) -> Experiment {
     let multipliers: Vec<usize> =
         if quick { vec![1, 4] } else { vec![1, 2, 4, 8, 16, 32] };
     let mut exp = Experiment::new(
@@ -31,18 +42,24 @@ fn run(quick: bool, nodes: u16, id: &str, title: &str) -> Experiment {
         title,
         &["multiplier", "trad_gflops", "part_gflops", "speedup"],
     );
+    let mut spec = SweepSpec::new();
     for &m in &multipliers {
-        let trad = gflops(nodes, m, JacobiModel::Traditional, quick);
-        // The paper evaluates one partitioned implementation across both
-        // figures; the Progression Engine design works for every neighbor
-        // pair (Kernel Copy is intra-node only).
-        let part = gflops(
-            nodes,
-            m,
-            JacobiModel::Partitioned(CopyMechanism::ProgressionEngine),
-            quick,
-        );
-        exp.push_row(vec![m as f64, trad, part, part / trad]);
+        spec.cell(format!("multiplier={m}"), move || {
+            let trad = gflops(nodes, m, JacobiModel::Traditional, quick);
+            // The paper evaluates one partitioned implementation across both
+            // figures; the Progression Engine design works for every neighbor
+            // pair (Kernel Copy is intra-node only).
+            let part = gflops(
+                nodes,
+                m,
+                JacobiModel::Partitioned(CopyMechanism::ProgressionEngine),
+                quick,
+            );
+            vec![m as f64, trad, part, part / trad]
+        });
+    }
+    for row in spec.run(threads).into_values().expect("fig08/09 sweep") {
+        exp.push_row(row);
     }
     let max_speedup =
         exp.rows.iter().map(|r| r[3]).fold(f64::MIN, f64::max);

@@ -10,21 +10,32 @@ use parcomm_sim::Mutex;
 use parcomm_apps::{nccl_for_world, run_dl, DlConfig, DlModel};
 use parcomm_mpi::MpiWorld;
 use parcomm_sim::Simulation;
+use parcomm_sweep::SweepSpec;
 
 use crate::report::Experiment;
 use crate::stats::pow2_range;
 
 /// Fig. 10: four GH200 on one node.
 pub fn run_fig10(quick: bool) -> Experiment {
-    run(quick, 1, "fig10", "DL kernel per-step time (µs), 4 GH200")
+    run_fig10_threaded(quick, crate::report::threads())
+}
+
+/// [`run_fig10`] with an explicit sweep worker count.
+pub fn run_fig10_threaded(quick: bool, threads: usize) -> Experiment {
+    run(quick, 1, "fig10", "DL kernel per-step time (µs), 4 GH200", threads)
 }
 
 /// Fig. 11: eight GH200 on two nodes.
 pub fn run_fig11(quick: bool) -> Experiment {
-    run(quick, 2, "fig11", "DL kernel per-step time (µs), 8 GH200")
+    run_fig11_threaded(quick, crate::report::threads())
 }
 
-fn run(quick: bool, nodes: u16, id: &str, title: &str) -> Experiment {
+/// [`run_fig11`] with an explicit sweep worker count.
+pub fn run_fig11_threaded(quick: bool, threads: usize) -> Experiment {
+    run(quick, 2, "fig11", "DL kernel per-step time (µs), 8 GH200", threads)
+}
+
+fn run(quick: bool, nodes: u16, id: &str, title: &str, threads: usize) -> Experiment {
     // Gradient sizes: grid × 1024 threads × 8 B, large-kernel regime
     // (capped at 4K grids to bound the simulator's staging memory).
     let grids = if quick { vec![64u32, 256] } else { pow2_range(256, 4 * 1024) };
@@ -33,12 +44,18 @@ fn run(quick: bool, nodes: u16, id: &str, title: &str) -> Experiment {
         title,
         &["grid", "mpi_allreduce_us", "partitioned_us", "nccl_us", "part_vs_mpi", "nccl_vs_part"],
     );
+    let mut spec = SweepSpec::new();
     for &grid in &grids {
-        let n = grid as usize * 1024;
-        let trad = per_step(nodes, n, DlModel::Traditional, quick);
-        let part = per_step(nodes, n, DlModel::Partitioned, quick);
-        let nccl = per_step(nodes, n, DlModel::Nccl, quick);
-        exp.push_row(vec![grid as f64, trad, part, nccl, trad / part, part / nccl]);
+        spec.cell(format!("grid={grid}"), move || {
+            let n = grid as usize * 1024;
+            let trad = per_step(nodes, n, DlModel::Traditional, quick);
+            let part = per_step(nodes, n, DlModel::Partitioned, quick);
+            let nccl = per_step(nodes, n, DlModel::Nccl, quick);
+            vec![grid as f64, trad, part, nccl, trad / part, part / nccl]
+        });
+    }
+    for row in spec.run(threads).into_values().expect("fig10/11 sweep") {
+        exp.push_row(row);
     }
     exp.note(
         "ordering target (paper Figs. 10/11): NCCL < partitioned << MPI_Allreduce; the \

@@ -22,4 +22,4 @@ pub mod report;
 pub mod stats;
 pub mod table1;
 
-pub use report::{fault_seed, metrics_out, quick_mode, trace_out, Experiment};
+pub use report::{fault_seed, metrics_out, quick_mode, threads, trace_out, Experiment};

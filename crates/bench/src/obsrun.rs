@@ -17,7 +17,10 @@ use std::sync::Arc;
 use parcomm_coll::pallreduce_init;
 use parcomm_gpu::KernelSpec;
 use parcomm_mpi::{MpiError, MpiWorld, Rank};
-use parcomm_obs::{chrome_trace_json, folded_stacks, CriticalPath, MetricsSnapshot};
+use parcomm_obs::{
+    chrome_trace_json_with_counters, folded_stacks, CriticalPath, MetricsRegistry,
+    MetricsSnapshot,
+};
 use parcomm_sim::{Ctx, Mutex, SimTime, Simulation, Trace, TraceSpan};
 
 /// The artifacts of one traced allreduce run.
@@ -26,6 +29,10 @@ pub struct ObsRun {
     pub spans: Vec<TraceSpan>,
     /// End-of-run metrics snapshot across every layer.
     pub metrics: MetricsSnapshot,
+    /// Timestamped metrics snapshots at the measured-epoch boundaries
+    /// (pure atomic reads at deterministic points — digest-neutral),
+    /// rendered as Perfetto counter tracks by [`ObsRun::chrome_json`].
+    pub counter_samples: Vec<(SimTime, MetricsSnapshot)>,
     /// Start of the measured interval (rank 0).
     pub from: SimTime,
     /// End of the measured interval (rank 0).
@@ -33,9 +40,10 @@ pub struct ObsRun {
 }
 
 impl ObsRun {
-    /// The Chrome `trace_event` JSON export.
+    /// The Chrome `trace_event` JSON export, including `"C"` counter
+    /// events for the boundary metrics samples.
     pub fn chrome_json(&self) -> String {
-        chrome_trace_json(&self.spans)
+        chrome_trace_json_with_counters(&self.spans, &self.counter_samples)
     }
 
     /// Folded flamegraph stacks (`rankN;cat;...;cat weight_us` lines).
@@ -65,6 +73,8 @@ fn rank_body(
     n: usize,
     trace: &Trace,
     window: &Mutex<(SimTime, SimTime)>,
+    registry: &MetricsRegistry,
+    samples: &Mutex<Vec<(SimTime, MetricsSnapshot)>>,
 ) -> Result<(), MpiError> {
     let buf = rank.gpu().alloc_global(n * 8);
     let stream = rank.gpu().create_stream();
@@ -82,6 +92,7 @@ fn rank_body(
     if rank.rank() == 0 {
         trace.enable_causal(); // record the measured epoch, with handoffs
         window.lock().0 = ctx.now();
+        samples.lock().push((ctx.now(), registry.snapshot()));
     }
     coll.start(ctx)?;
     coll.pbuf_prepare(ctx)?;
@@ -90,6 +101,7 @@ fn rank_body(
     coll.wait(ctx)?;
     if rank.rank() == 0 {
         window.lock().1 = ctx.now();
+        samples.lock().push((ctx.now(), registry.snapshot()));
     }
     Ok(())
 }
@@ -105,10 +117,12 @@ pub fn run_traced_allreduce(quick: bool) -> Result<ObsRun, String> {
     let world = MpiWorld::gh200(&sim, 1);
     let registry = world.enable_metrics();
     let window = Arc::new(Mutex::new((SimTime::ZERO, SimTime::ZERO)));
+    let samples: Arc<Mutex<Vec<(SimTime, MetricsSnapshot)>>> = Arc::new(Mutex::new(Vec::new()));
     let errors: Arc<Mutex<Vec<(usize, MpiError)>>> = Arc::new(Mutex::new(Vec::new()));
     let (t2, w2, e2) = (trace.clone(), window.clone(), errors.clone());
+    let (r2, s2) = (registry.clone(), samples.clone());
     world.run_ranks(&mut sim, move |ctx, rank| {
-        if let Err(e) = rank_body(ctx, rank, n, &t2, &w2) {
+        if let Err(e) = rank_body(ctx, rank, n, &t2, &w2, &r2, &s2) {
             e2.lock().push((rank.rank(), e));
         }
     });
@@ -118,7 +132,8 @@ pub fn run_traced_allreduce(quick: bool) -> Result<ObsRun, String> {
         return Err(format!("traced allreduce: rank {r} failed: {e}"));
     }
     let (from, to) = *window.lock();
-    Ok(ObsRun { spans: trace.spans(), metrics: registry.snapshot(), from, to })
+    let counter_samples = samples.lock().clone();
+    Ok(ObsRun { spans: trace.spans(), metrics: registry.snapshot(), counter_samples, from, to })
 }
 
 /// Honor `--trace-out` / `--metrics-out` for a harness: when either is

@@ -18,18 +18,29 @@ use crate::stats::pow2_range;
 /// Host-driven partitioned ping-pong latency across payload sizes
 /// (1 partition, intra- and inter-node).
 pub fn run_latency(quick: bool) -> Experiment {
+    run_latency_threaded(quick, crate::report::threads())
+}
+
+/// [`run_latency`] with an explicit sweep worker count.
+pub fn run_latency_threaded(quick: bool, threads: usize) -> Experiment {
     let sizes = if quick { vec![64u32, 4096] } else { pow2_range(8, 1 << 20) };
     let mut exp = Experiment::new(
         "pbench_latency",
         "Partitioned half-round-trip latency (µs) vs payload, 1 partition",
         &["bytes", "intra_us", "inter_us"],
     );
+    let mut spec = parcomm_sweep::SweepSpec::new();
     for &bytes in &sizes {
-        exp.push_row(vec![
-            bytes as f64,
-            latency_once(1, 0, 1, bytes as usize, quick),
-            latency_once(2, 0, 4, bytes as usize, quick),
-        ]);
+        spec.cell(format!("bytes={bytes}"), move || {
+            vec![
+                bytes as f64,
+                latency_once(1, 0, 1, bytes as usize, quick),
+                latency_once(2, 0, 4, bytes as usize, quick),
+            ]
+        });
+    }
+    for row in spec.run(threads).into_values().expect("pbench latency sweep") {
+        exp.push_row(row);
     }
     exp.note("half round trip: sender Pready→wait; receiver wait; averaged over iterations");
     exp
@@ -84,15 +95,26 @@ fn latency_once(nodes: u16, a: usize, b: usize, bytes: usize, quick: bool) -> f6
 /// Per-partition overhead: fixed 8 MB payload split into 1..=256
 /// partitions, each `MPI_Pready`ed individually by the host.
 pub fn run_partition_overhead(quick: bool) -> Experiment {
+    run_partition_overhead_threaded(quick, crate::report::threads())
+}
+
+/// [`run_partition_overhead`] with an explicit sweep worker count.
+pub fn run_partition_overhead_threaded(quick: bool, threads: usize) -> Experiment {
     let parts = if quick { vec![1u32, 16] } else { pow2_range(1, 256) };
     let mut exp = Experiment::new(
         "pbench_partitions",
         "Host Pready cost vs partition count (8 MB payload, intra-node, µs/epoch)",
         &["partitions", "epoch_us", "per_partition_us"],
     );
+    let mut spec = parcomm_sweep::SweepSpec::new();
     for &p in &parts {
-        let epoch = partition_epoch(p as usize, quick);
-        exp.push_row(vec![p as f64, epoch, epoch / p as f64]);
+        spec.cell(format!("partitions={p}"), move || {
+            let epoch = partition_epoch(p as usize, quick);
+            vec![p as f64, epoch, epoch / p as f64]
+        });
+    }
+    for row in spec.run(threads).into_values().expect("pbench partitions sweep") {
+        exp.push_row(row);
     }
     let first = exp.rows.first().map(|r| r[1]).unwrap_or(0.0);
     let last = exp.rows.last().map(|r| r[1]).unwrap_or(0.0);
@@ -158,17 +180,28 @@ fn partition_epoch(partitions: usize, quick: bool) -> f64 {
 /// reference \[37\]): fraction of the communication hidden behind the
 /// kernel as the compute/transfer ratio varies.
 pub fn run_overlap(quick: bool) -> Experiment {
+    run_overlap_threaded(quick, crate::report::threads())
+}
+
+/// [`run_overlap`] with an explicit sweep worker count.
+pub fn run_overlap_threaded(quick: bool, threads: usize) -> Experiment {
     let ratios = if quick { vec![0.5f64, 2.0] } else { vec![0.25, 0.5, 1.0, 2.0, 4.0] };
     let mut exp = Experiment::new(
         "pbench_overlap",
         "Overlap efficiency vs compute/transfer ratio (8 MB inter-node, 8 transports)",
         &["compute_over_transfer", "serial_us", "overlapped_us", "hidden_frac"],
     );
+    let mut spec = parcomm_sweep::SweepSpec::new();
     for &r in &ratios {
-        let (serial, overlapped) = overlap_once(r, quick);
-        let ideal_hidden = serial - overlapped;
-        let comm = serial / (1.0 + r); // transfer share of the serial time
-        exp.push_row(vec![r, serial, overlapped, (ideal_hidden / comm).clamp(0.0, 1.0)]);
+        spec.cell(format!("ratio={r}"), move || {
+            let (serial, overlapped) = overlap_once(r, quick);
+            let ideal_hidden = serial - overlapped;
+            let comm = serial / (1.0 + r); // transfer share of the serial time
+            vec![r, serial, overlapped, (ideal_hidden / comm).clamp(0.0, 1.0)]
+        });
+    }
+    for row in spec.run(threads).into_values().expect("pbench overlap sweep") {
+        exp.push_row(row);
     }
     exp.note(
         "hidden_frac: share of the wire time buried under the kernel via progressive \

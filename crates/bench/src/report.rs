@@ -180,6 +180,15 @@ pub fn metrics_out() -> Option<String> {
     arg_value("--metrics-out").or_else(|| std::env::var("PARCOMM_METRICS_OUT").ok())
 }
 
+/// Worker-thread count for the sweep engine: `--threads N` (or
+/// `--threads=N`) on the command line, then `PARCOMM_THREADS`, then
+/// available parallelism. Every harness fans its parameter grid out over
+/// this many workers via `parcomm_sweep::SweepSpec`; output is
+/// byte-identical at any thread count.
+pub fn threads() -> usize {
+    parcomm_sweep::threads()
+}
+
 /// Chaos seed for the fault-injection ablation: `--faults <seed>` on the
 /// command line (decimal or `0x`-prefixed hex) or `PARCOMM_FAULTS=<seed>`.
 /// `None` means the caller should skip fault runs entirely.

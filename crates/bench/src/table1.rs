@@ -10,6 +10,7 @@ use parcomm_coll::pallreduce_init;
 use parcomm_core::{precv_init, prequest_create, psend_init, PrequestConfig};
 use parcomm_mpi::MpiWorld;
 use parcomm_sim::Simulation;
+use parcomm_sweep::SweepSpec;
 
 use crate::report::Experiment;
 use crate::stats::{mean, stddev};
@@ -32,9 +33,20 @@ struct Samples {
 
 /// Run the Table I measurement.
 pub fn run(quick: bool) -> Experiment {
+    run_threaded(quick, crate::report::threads())
+}
+
+/// [`run`] with an explicit sweep worker count: one sweep cell per
+/// sample world, merged in sample order so the table is byte-identical
+/// at any `threads`.
+pub fn run_threaded(quick: bool, threads: usize) -> Experiment {
     let samples = if quick { 3 } else { 10 };
     let iters = if quick { 10 } else { 100 };
 
+    let mut spec = SweepSpec::new();
+    for s in 0..samples {
+        spec.cell(format!("sample={s}"), move || sample(iters, s as u64));
+    }
     let mut all = Samples {
         p2p_init: Vec::new(),
         pallreduce_init: Vec::new(),
@@ -42,8 +54,7 @@ pub fn run(quick: bool) -> Experiment {
         pbuf_first: Vec::new(),
         pbuf_steady: Vec::new(),
     };
-    for s in 0..samples {
-        let one = sample(iters, s as u64);
+    for one in spec.run(threads).into_values().expect("table1 sweep") {
         all.p2p_init.extend(one.p2p_init);
         all.pallreduce_init.extend(one.pallreduce_init);
         all.prequest_create.extend(one.prequest_create);

@@ -26,8 +26,8 @@ use parcomm_sim::Mutex;
 
 use parcomm_gpu::{Buffer, CostModel, MemSpace};
 use parcomm_mpi::{chunk_range, MpiError, MpiWorld, ProgressionEngine, Rank};
-use parcomm_sim::{CountEvent, Ctx, SimDuration, SimHandle, SpanId};
-use parcomm_ucx::{AmMessage, Endpoint, PutHandle, RKey, Worker};
+use parcomm_sim::{CountEvent, Ctx, SimDuration, SimHandle, SimTime, SpanId};
+use parcomm_ucx::{AmMessage, Endpoint, PutAttr, PutHandle, RKey, Worker};
 
 use crate::channel::{am_tag, Channel, ReadyToReceive, ReceiverSetup, SenderSetup};
 use crate::overheads::ApiOverheads;
@@ -344,7 +344,7 @@ impl PsendRequest {
                 Some(k as u32),
                 SpanId::NONE,
             );
-            self.inner.issue_data_put(&h, k, host_span);
+            self.inner.issue_data_put(&h, k, host_span, t0);
         }
     }
 
@@ -528,8 +528,16 @@ impl PsendShared {
     /// receive-side flag put at its completion (paper §IV-A4). `cause` is
     /// the span that posted it (the progression-engine `pe_post` or the
     /// host `pready_host` span); the chained flag put is in turn caused by
-    /// the data put's completion span.
-    pub(crate) fn issue_data_put(&self, _h: &SimHandle, k: usize, cause: SpanId) {
+    /// the data put's completion span. `pready_at` is when the partition's
+    /// pready began processing — the flag put landing closes the
+    /// `mpi.pready_arrival_us` histogram interval.
+    pub(crate) fn issue_data_put(
+        &self,
+        _h: &SimHandle,
+        k: usize,
+        cause: SpanId,
+        pready_at: SimTime,
+    ) {
         let (ep, data_rkey, flag_rkey, notifier, flag_stage, t) = {
             let st = self.state.lock();
             (
@@ -548,12 +556,19 @@ impl PsendShared {
         let ep2 = ep.clone();
         let puts = self.puts.clone();
         let puts2 = puts.clone();
-        let h = ep.put_nbx_caused(
+        let attr = PutAttr {
+            src_rank: Some(self.my_rank as u32),
+            dst_rank: Some(self.dest as u32),
+            partition: Some(k as u32),
+        };
+        let world = self.world.clone();
+        let h = ep.put_nbx_attr(
             &self.buffer,
             byte_off,
             byte_len,
             &data_rkey,
             byte_off,
+            attr,
             cause,
             move |_h, complete_span| {
                 // Data delivered: chain the control put that raises the
@@ -564,14 +579,19 @@ impl PsendShared {
                 // the next MPI_Start) while a flag put is still reading it.
                 let notifier = notifier.clone();
                 let tc = tc.clone();
-                let fh = ep2.put_nbx_caused(
+                let fh = ep2.put_nbx_attr(
                     &flag_stage,
                     u0 * 8,
                     ulen * 8,
                     &flag_rkey,
                     u0 * 8,
+                    attr,
                     complete_span,
                     move |h, _span| {
+                        if let Some(ins) = world.instruments() {
+                            let us = h.now().since(pready_at).as_micros_f64();
+                            ins.pready_arrival_us.record(us.round() as u64);
+                        }
                         notifier.add(h, ulen as u64);
                         tc.add(h, 1);
                     },
@@ -584,8 +604,15 @@ impl PsendShared {
 
     /// Kernel-copy completion signal: the data already landed via in-kernel
     /// NVLink stores; only the flag put travels. `cause` is the
-    /// progression-engine `pe_post` span that posted it.
-    pub(crate) fn issue_completion_flag_put(&self, _h: &SimHandle, k: usize, cause: SpanId) {
+    /// progression-engine `pe_post` span that posted it; `pready_at` as in
+    /// [`PsendShared::issue_data_put`].
+    pub(crate) fn issue_completion_flag_put(
+        &self,
+        _h: &SimHandle,
+        k: usize,
+        cause: SpanId,
+        pready_at: SimTime,
+    ) {
         let (ep, flag_rkey, notifier, flag_stage, t) = {
             let st = self.state.lock();
             (
@@ -598,14 +625,25 @@ impl PsendShared {
         };
         let (u0, ulen) = chunk_range(self.user_partitions, t, k);
         let tc = self.transport_complete.clone();
-        let h = ep.put_nbx_caused(
+        let attr = PutAttr {
+            src_rank: Some(self.my_rank as u32),
+            dst_rank: Some(self.dest as u32),
+            partition: Some(k as u32),
+        };
+        let world = self.world.clone();
+        let h = ep.put_nbx_attr(
             &flag_stage,
             u0 * 8,
             ulen * 8,
             &flag_rkey,
             u0 * 8,
+            attr,
             cause,
             move |h, _span| {
+                if let Some(ins) = world.instruments() {
+                    let us = h.now().since(pready_at).as_micros_f64();
+                    ins.pready_arrival_us.record(us.round() as u64);
+                }
                 notifier.add(h, ulen as u64);
                 tc.add(h, 1);
             },

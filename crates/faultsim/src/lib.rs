@@ -47,8 +47,10 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod campaign;
 pub mod chaos;
 mod plan;
 
+pub use campaign::{CampaignConfig, CellOutcome};
 pub use parcomm_mpi::MpiError;
 pub use plan::FaultPlan;

@@ -13,7 +13,7 @@
 //! 4. **Zero-cost when disabled** — `FaultPlan::none()` reproduces the
 //!    frozen digests captured before the fault machinery existed.
 
-use parcomm_fault::{chaos, FaultPlan, MpiError};
+use parcomm_fault::{campaign, chaos, FaultPlan, MpiError};
 use parcomm_testkit::sweep;
 
 // Digests of the canonical workloads captured on the build *before* the
@@ -212,38 +212,50 @@ fn chaos_mix_is_deterministic_and_seed_sensitive() {
     // replays bit-identically, different seeds diverge, and the survivable
     // mix keeps numerics intact.
     let clean = chaos::run_allreduce(7, &FaultPlan::none(), 1);
-    let digests = sweep::assert_deterministic_and_seed_sensitive(&[1, 2, 3, 4], |seed| {
+    let clean_numeric = clean.numeric.clone();
+    let digests = sweep::assert_deterministic_and_seed_sensitive(&[1, 2, 3, 4], move |seed| {
         let run = chaos::run_allreduce(7, &FaultPlan::chaos(seed, 0.5), 1);
         assert!(run.survived(), "chaos(rate=0.5) is survivable: {:?}", run.errors);
-        assert_eq!(run.numeric, clean.numeric, "chaos must not corrupt numerics");
+        assert_eq!(run.numeric, clean_numeric, "chaos must not corrupt numerics");
         run.digest
     });
     assert!(digests.iter().all(|d| *d != clean.digest));
 }
 
-/// The CI chaos sweep (ignored by default; the `chaos` CI job runs it with
-/// `--ignored`): eight fault seeds, each at a moderate and an aggressive
-/// rate, every run replayed twice. `PARCOMM_CHAOS_SEED` shifts the whole
-/// seed block to explore fresh schedules without editing the test.
+/// The CI chaos sweep, now cheap enough to run by default: the eight-seed
+/// × two-rate campaign grid (each cell replayed twice) fans out over the
+/// `parcomm-sweep` work-stealing pool. `PARCOMM_CHAOS_SEED` shifts the
+/// whole seed block to explore fresh schedules without editing the test;
+/// `--threads N` / `PARCOMM_THREADS` bounds the workers.
 #[test]
-#[ignore = "long chaos sweep; run via `cargo test -p parcomm-fault -- --ignored`"]
 fn chaos_sweep_eight_seeds() {
-    let base: u64 = std::env::var("PARCOMM_CHAOS_SEED")
-        .ok()
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(0x5EED);
-    let clean = chaos::run_allreduce(0xFA017, &FaultPlan::none(), 2);
-    for seed in base..base + 8 {
-        for rate in [0.4, 0.9] {
-            let plan = FaultPlan::chaos(seed, rate);
-            let a = chaos::run_allreduce(0xFA017, &plan, 2);
-            let b = chaos::run_allreduce(0xFA017, &plan, 2);
-            assert_eq!(a.digest, b.digest, "seed {seed:#x} rate {rate}: replay diverged");
-            assert!(a.survived(), "seed {seed:#x} rate {rate}: {:?}", a.errors);
-            assert_eq!(
-                a.numeric, clean.numeric,
-                "seed {seed:#x} rate {rate}: chaos corrupted the reduction"
-            );
-        }
+    let cfg = campaign::CampaignConfig::ci(false);
+    let outcomes = campaign::run_campaign(&cfg, parcomm_sweep::threads());
+    assert_eq!(outcomes.len(), 16, "8 seeds x 2 rates");
+    for o in &outcomes {
+        assert!(o.replayed, "seed {:#x} rate {}: replay diverged", o.fault_seed, o.rate);
+        assert!(o.survived, "seed {:#x} rate {}: rank errors", o.fault_seed, o.rate);
+        assert!(
+            o.numeric_ok,
+            "seed {:#x} rate {}: chaos corrupted the reduction",
+            o.fault_seed, o.rate
+        );
     }
+}
+
+/// The campaign's aggregated report is byte-identical at any worker count
+/// (trimmed quick grid; the full grid's invariance is exercised by the CI
+/// `sweep` job diffing `chaos_campaign --threads 4` against serial).
+#[test]
+fn chaos_campaign_report_is_thread_count_invariant() {
+    let cfg = campaign::CampaignConfig::ci(true);
+    let render = |threads| {
+        campaign::run_campaign(&cfg, threads)
+            .iter()
+            .map(|o| format!("{}\n", o.render()))
+            .collect::<String>()
+    };
+    let serial = render(1);
+    assert_eq!(render(2), serial);
+    assert_eq!(render(8), serial);
 }

@@ -11,7 +11,7 @@ use parcomm_sim::Mutex;
 
 use parcomm_gpu::{CostModel, EmissionFaultConfig, Gpu, GpuId, Location, Unit};
 use parcomm_net::{ClusterSpec, Fabric, NetFaultConfig};
-use parcomm_obs::{Counter, MetricsRegistry};
+use parcomm_obs::{Counter, Histogram, MetricsRegistry};
 use parcomm_sim::{Ctx, SimBarrier, SimDuration, Simulation};
 use parcomm_ucx::{UcxUniverse, Worker, WorkerAddress};
 
@@ -30,6 +30,11 @@ pub struct MpiInstruments {
     pub watchdog_arms: Counter,
     /// Watchdog timers that fired (stall detected).
     pub watchdog_fires: Counter,
+    /// log2-bucket latency (µs) from a partition's pready being processed
+    /// (host `MPI_Pready` or progression-engine drain) to its receive-side
+    /// flags landing — the pready → arrival boundary of the paper's
+    /// pipeline.
+    pub pready_arrival_us: Histogram,
 }
 
 impl MpiInstruments {
@@ -39,6 +44,7 @@ impl MpiInstruments {
             pe_hook_runs: registry.counter("mpi.pe.hook_runs"),
             watchdog_arms: registry.counter("mpi.watchdog.arms"),
             watchdog_fires: registry.counter("mpi.watchdog.fires"),
+            pready_arrival_us: registry.histogram("mpi.pready_arrival_us"),
         }
     }
 }

@@ -362,6 +362,25 @@ impl Fabric {
         bytes: u64,
         cause: SpanId,
     ) -> Result<Transfer, NetError> {
+        self.try_transfer_attr(at, src, dst, bytes, cause, None, None)
+    }
+
+    /// Like [`try_transfer_caused`](Fabric::try_transfer_caused), with the
+    /// destination MPI rank (and partition) the transfer delivers into
+    /// recorded on its `wire` span, so `obs::critical` sees the cross-rank
+    /// hop exactly instead of inferring it. Attribution is digest-neutral:
+    /// span digests hash only `(category, start, end)`.
+    #[allow(clippy::too_many_arguments)]
+    pub fn try_transfer_attr(
+        &self,
+        at: SimTime,
+        src: Location,
+        dst: Location,
+        bytes: u64,
+        cause: SpanId,
+        dst_rank: Option<u32>,
+        partition: Option<u32>,
+    ) -> Result<Transfer, NetError> {
         const SEGMENT_BYTES: u64 = 64 * 1024;
         let now = self.inner.handle.now();
         let at = at.max(now);
@@ -369,7 +388,7 @@ impl Fabric {
         // two nodes (UCX multi-rail): each rail carries an equal share and
         // the message completes when the slowest rail drains.
         if src.node != dst.node && bytes >= Self::STRIPE_THRESHOLD {
-            return self.striped_transfer(at, src, dst, bytes, cause);
+            return self.striped_transfer(at, src, dst, bytes, cause, dst_rank, partition);
         }
         let (route, src_nic) = self.route_at(at, src, dst)?;
         let mut cursor = at;
@@ -395,7 +414,11 @@ impl Fabric {
             self.inner.handle.schedule_at(arrival, move |h| done.set(h));
         }
         let start = first_start.unwrap_or(at);
-        let span = self.inner.handle.trace().record_attr("wire", start, arrival, None, None, cause);
+        let span = self
+            .inner
+            .handle
+            .trace()
+            .record_attr("wire", start, arrival, dst_rank, partition, cause);
         let rail_shares: Vec<(u8, u64)> =
             src_nic.map(|nic| vec![(nic, bytes)]).unwrap_or_default();
         self.count_transfer(bytes, &rail_shares);
@@ -442,6 +465,7 @@ impl Fabric {
     /// internally. Under an armed NIC outage the message **re-stripes** over
     /// the surviving rails — degraded bandwidth, not failure — and only
     /// errors when no rail survives.
+    #[allow(clippy::too_many_arguments)]
     fn striped_transfer(
         &self,
         at: SimTime,
@@ -449,6 +473,8 @@ impl Fabric {
         dst: Location,
         bytes: u64,
         cause: SpanId,
+        dst_rank: Option<u32>,
+        partition: Option<u32>,
     ) -> Result<Transfer, NetError> {
         const SEGMENT_BYTES: u64 = 64 * 1024;
         let rails = self.up_rails(src.node, dst.node, at)?;
@@ -484,7 +510,11 @@ impl Fabric {
             self.inner.handle.schedule_at(arrival, move |h| done.set(h));
         }
         let start = first_start.unwrap_or(at);
-        let span = self.inner.handle.trace().record_attr("wire", start, arrival, None, None, cause);
+        let span = self
+            .inner
+            .handle
+            .trace()
+            .record_attr("wire", start, arrival, dst_rank, partition, cause);
         self.count_transfer(bytes, &rail_shares);
         Ok(Transfer { start, arrival, done, span })
     }

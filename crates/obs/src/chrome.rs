@@ -13,7 +13,10 @@
 //!   (fractional — virtual time is nanosecond-resolution);
 //! - causal edges as flow event pairs (`"s"` at the cause, `"f"` with
 //!   `bp: "e"` at the effect), which Perfetto draws as arrows across the
-//!   handoffs of the GPU-initiated pipeline.
+//!   handoffs of the GPU-initiated pipeline;
+//! - optionally ([`chrome_trace_json_with_counters`]) metrics snapshots
+//!   as `"C"` counter events on a dedicated `metrics` process, so put and
+//!   poll rates render as Perfetto counter tracks alongside the spans.
 //!
 //! The output is byte-deterministic for a given span stream.
 
@@ -21,6 +24,7 @@ use parcomm_sim::{SimTime, TraceSpan};
 
 use crate::json::quote;
 use crate::layers::{layer_of, layer_tid};
+use crate::metrics::{MetricValue, MetricsSnapshot};
 
 fn us(t: SimTime) -> String {
     format!("{:.3}", t.as_nanos() as f64 / 1000.0)
@@ -45,6 +49,60 @@ fn effective_ranks(spans: &[TraceSpan]) -> Vec<Option<u32>> {
 
 /// Render a span stream as a Chrome `trace_event` JSON document.
 pub fn chrome_trace_json(spans: &[TraceSpan]) -> String {
+    finish(span_events(spans))
+}
+
+/// Like [`chrome_trace_json`], additionally rendering timestamped metrics
+/// snapshots as Chrome `"C"` counter events on a dedicated `metrics`
+/// process: one counter track per counter/gauge, and `count`/`sum` series
+/// per histogram. `samples` must be in ascending time order (they render
+/// in the given order). With no samples the output is byte-identical to
+/// [`chrome_trace_json`].
+pub fn chrome_trace_json_with_counters(
+    spans: &[TraceSpan],
+    samples: &[(SimTime, MetricsSnapshot)],
+) -> String {
+    let mut events = span_events(spans);
+    if !samples.is_empty() {
+        events.push(format!(
+            "{{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":{METRICS_PID},\"tid\":0,\
+             \"args\":{{\"name\":\"metrics\"}}}}"
+        ));
+    }
+    for (at, snapshot) in samples {
+        for (name, value) in &snapshot.entries {
+            let series = match value {
+                MetricValue::Counter(c) => format!("\"value\":{c}"),
+                MetricValue::Gauge(g) => format!("\"value\":{}", crate::json::number(*g)),
+                MetricValue::Histogram { count, sum, .. } => {
+                    format!("\"count\":{count},\"sum\":{sum}")
+                }
+            };
+            events.push(format!(
+                "{{\"name\":{},\"ph\":\"C\",\"ts\":{},\"pid\":{METRICS_PID},\"tid\":0,\
+                 \"args\":{{{series}}}}}",
+                quote(name),
+                us(*at),
+            ));
+        }
+    }
+    finish(events)
+}
+
+/// Process id of the counter tracks — far above any rank pid so counters
+/// group under their own `metrics` process in the UI.
+const METRICS_PID: u64 = 1_000_000;
+
+fn finish(events: Vec<String>) -> String {
+    let mut out = String::from("{\"traceEvents\":[\n");
+    out.push_str(&events.join(",\n"));
+    out.push_str("\n],\"displayTimeUnit\":\"ms\"}\n");
+    out
+}
+
+/// Metadata, duration, and flow events for a span stream, in the
+/// exporter's deterministic order.
+fn span_events(spans: &[TraceSpan]) -> Vec<String> {
     let ranks = effective_ranks(spans);
     let pid_of = |r: Option<u32>| r.map(|r| r as u64 + 1).unwrap_or(0);
 
@@ -127,10 +185,7 @@ pub fn chrome_trace_json(spans: &[TraceSpan]) -> String {
         ));
     }
 
-    let mut out = String::from("{\"traceEvents\":[\n");
-    out.push_str(&events.join(",\n"));
-    out.push_str("\n],\"displayTimeUnit\":\"ms\"}\n");
-    out
+    events
 }
 
 #[cfg(test)]
@@ -207,6 +262,57 @@ mod tests {
             .count();
         assert_eq!(starts, finishes);
         assert_eq!(starts, 5);
+    }
+
+    #[test]
+    fn counter_events_render_as_a_metrics_process() {
+        use crate::metrics::MetricsRegistry;
+
+        let spans = tiny_trace();
+        let reg = MetricsRegistry::new();
+        let puts = reg.counter("ucx.puts");
+        let lat = reg.histogram("ucx.put_latency_us");
+        let s0 = reg.snapshot();
+        puts.inc();
+        lat.record(4);
+        let s1 = reg.snapshot();
+        let samples = vec![(t(0), s0), (t(14), s1)];
+
+        // No samples → byte-identical to the plain exporter.
+        assert_eq!(chrome_trace_json_with_counters(&spans, &[]), chrome_trace_json(&spans));
+
+        let json = chrome_trace_json_with_counters(&spans, &samples);
+        let v = crate::json::parse(&json).expect("valid json");
+        let events = v.get("traceEvents").and_then(|e| e.as_array()).expect("events");
+        let counters: Vec<_> = events
+            .iter()
+            .filter(|e| e.get("ph").and_then(|p| p.as_str()) == Some("C"))
+            .collect();
+        // 2 samples × 2 instruments.
+        assert_eq!(counters.len(), 4);
+        // Snapshot entries are name-sorted: the histogram precedes the
+        // counter within each sample.
+        assert_eq!(counters[2].get("name").and_then(|n| n.as_str()), Some("ucx.put_latency_us"));
+        assert_eq!(
+            counters[2].get("args").and_then(|a| a.get("count")).and_then(|c| c.as_f64()),
+            Some(1.0)
+        );
+        let last = counters.last().expect("counter");
+        assert_eq!(last.get("name").and_then(|n| n.as_str()), Some("ucx.puts"));
+        assert_eq!(
+            last.get("args").and_then(|a| a.get("value")).and_then(|c| c.as_f64()),
+            Some(1.0)
+        );
+        assert!(events.iter().any(|e| {
+            e.get("ph").and_then(|p| p.as_str()) == Some("M")
+                && e.get("args").and_then(|a| a.get("name")).and_then(|n| n.as_str())
+                    == Some("metrics")
+        }));
+        // The span events are untouched.
+        assert_eq!(
+            events.iter().filter(|e| e.get("ph").and_then(|p| p.as_str()) == Some("X")).count(),
+            6
+        );
     }
 
     #[test]

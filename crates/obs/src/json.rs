@@ -60,6 +60,46 @@ impl JsonValue {
             _ => None,
         }
     }
+
+    /// Serialize compactly (no whitespace). Member order is preserved, so
+    /// rendering is deterministic; non-finite numbers become `null`, as
+    /// in [`number`]. Finite values round-trip through [`parse`].
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.render_into(&mut out);
+        out
+    }
+
+    fn render_into(&self, out: &mut String) {
+        match self {
+            JsonValue::Null => out.push_str("null"),
+            JsonValue::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            JsonValue::Number(n) => out.push_str(&number(*n)),
+            JsonValue::String(s) => out.push_str(&quote(s)),
+            JsonValue::Array(items) => {
+                out.push('[');
+                for (i, v) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    v.render_into(out);
+                }
+                out.push(']');
+            }
+            JsonValue::Object(members) => {
+                out.push('{');
+                for (i, (k, v)) in members.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push_str(&quote(k));
+                    out.push(':');
+                    v.render_into(out);
+                }
+                out.push('}');
+            }
+        }
+    }
 }
 
 /// A parse failure: byte offset and message.
@@ -347,6 +387,19 @@ mod tests {
         let s = "a\"b\\c\nd\te\u{1}";
         let parsed = parse(&quote(s)).expect("parse");
         assert_eq!(parsed.as_str(), Some(s));
+    }
+
+    #[test]
+    fn render_round_trips_through_parse() {
+        let v = parse(r#"{"a": [1, 2.5, -3e2], "b": {"c": "x\ny", "d": true}, "e": null}"#)
+            .expect("parse");
+        let rendered = v.render();
+        assert_eq!(parse(&rendered).expect("reparse"), v);
+        assert_eq!(
+            rendered,
+            r#"{"a":[1.0,2.5,-300.0],"b":{"c":"x\ny","d":true},"e":null}"#
+        );
+        assert_eq!(JsonValue::Number(f64::NAN).render(), "null");
     }
 
     #[test]

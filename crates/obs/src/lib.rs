@@ -35,7 +35,7 @@ pub mod layers;
 pub mod metrics;
 pub mod occupancy;
 
-pub use chrome::chrome_trace_json;
+pub use chrome::{chrome_trace_json, chrome_trace_json_with_counters};
 pub use critical::{CriticalPath, CriticalStep};
 pub use folded::folded_stacks;
 pub use json::JsonValue;

@@ -1,0 +1,163 @@
+//! A first-party work-stealing thread pool for embarrassingly parallel
+//! sweep cells (no rayon/crossbeam — the workspace is hermetic).
+//!
+//! All cells are known up front, so the pool is deliberately simple: jobs
+//! are dealt round-robin into per-worker deques; a worker pops from the
+//! front of its own deque and, when empty, steals from the *back* of the
+//! first non-empty sibling (opposite ends keep contention low without
+//! unsafe code — the deques are plain `Mutex<VecDeque>`s). Because no job
+//! ever enqueues another, a fully empty scan means the pool is drained
+//! and the worker retires; no condvar or shutdown flag is needed.
+//!
+//! Each cell runs under [`std::panic::catch_unwind`], so one poisoned
+//! cell fails *that cell* (its panic payload is surfaced as a `String`)
+//! without aborting siblings or the campaign.
+
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::mpsc;
+
+use parcomm_sim::Mutex;
+
+/// A boxed sweep cell body.
+pub(crate) type Job<T> = Box<dyn FnOnce() -> T + Send>;
+
+/// A worker's deque of `(cell index, job)` pairs awaiting execution.
+type Deque<T> = Mutex<VecDeque<(usize, Job<T>)>>;
+
+/// Run `jobs` on up to `threads` workers, invoking `on_complete(index,
+/// result)` on the *calling* thread as each cell finishes. Completion
+/// order is nondeterministic above one thread; the index identifies the
+/// cell, and deterministic consumers must reassemble by it (see
+/// `SweepSpec::run`). With one thread the jobs run inline, in order.
+pub(crate) fn execute<T: Send>(
+    threads: usize,
+    jobs: Vec<Job<T>>,
+    mut on_complete: impl FnMut(usize, Result<T, String>),
+) {
+    let n = jobs.len();
+    if n == 0 {
+        return;
+    }
+    let threads = threads.clamp(1, n);
+    if threads == 1 {
+        for (idx, job) in jobs.into_iter().enumerate() {
+            on_complete(idx, run_cell(job));
+        }
+        return;
+    }
+
+    let deques: Vec<Deque<T>> = (0..threads).map(|_| Mutex::new(VecDeque::new())).collect();
+    for (idx, job) in jobs.into_iter().enumerate() {
+        deques[idx % threads].lock().push_back((idx, job));
+    }
+    let deques = &deques;
+    std::thread::scope(|s| {
+        let (tx, rx) = mpsc::channel();
+        for w in 0..threads {
+            let tx = tx.clone();
+            s.spawn(move || {
+                while let Some((idx, job)) = next_job(deques, w) {
+                    // The receiver disappears only if the caller panicked
+                    // out of `on_complete`; retire quietly in that case.
+                    if tx.send((idx, run_cell(job))).is_err() {
+                        break;
+                    }
+                }
+            });
+        }
+        drop(tx);
+        while let Ok((idx, result)) = rx.recv() {
+            on_complete(idx, result);
+        }
+    });
+}
+
+/// Pop from worker `w`'s own front, else steal from the back of the first
+/// non-empty sibling, else report the pool drained.
+fn next_job<T>(deques: &[Deque<T>], w: usize) -> Option<(usize, Job<T>)> {
+    if let Some(job) = deques[w].lock().pop_front() {
+        return Some(job);
+    }
+    for off in 1..deques.len() {
+        if let Some(job) = deques[(w + off) % deques.len()].lock().pop_back() {
+            return Some(job);
+        }
+    }
+    None
+}
+
+/// Run one cell, converting a panic into its payload message.
+fn run_cell<T>(job: Job<T>) -> Result<T, String> {
+    catch_unwind(AssertUnwindSafe(job)).map_err(|payload| {
+        if let Some(s) = payload.downcast_ref::<&str>() {
+            (*s).to_string()
+        } else if let Some(s) = payload.downcast_ref::<String>() {
+            s.clone()
+        } else {
+            "cell panicked with a non-string payload".to_string()
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    fn squares(n: usize) -> Vec<Job<usize>> {
+        (0..n).map(|i| Box::new(move || i * i) as Job<usize>).collect()
+    }
+
+    #[test]
+    fn every_job_completes_exactly_once_at_any_width() {
+        for threads in [1usize, 2, 3, 8, 64] {
+            let mut seen = vec![0u32; 17];
+            execute(threads, squares(17), |idx, res| {
+                assert_eq!(res, Ok(idx * idx));
+                seen[idx] += 1;
+            });
+            assert!(seen.iter().all(|&c| c == 1), "threads={threads}: {seen:?}");
+        }
+    }
+
+    #[test]
+    fn stealing_drains_an_imbalanced_deal() {
+        // One slow cell pins a worker; the fast cells dealt to it must be
+        // stolen by the idle workers for the run to finish promptly.
+        let done = AtomicUsize::new(0);
+        let jobs: Vec<Job<()>> = (0..32)
+            .map(|i| {
+                Box::new(move || {
+                    if i == 0 {
+                        std::thread::sleep(std::time::Duration::from_millis(50));
+                    }
+                }) as Job<()>
+            })
+            .collect();
+        execute(4, jobs, |_, res| {
+            assert!(res.is_ok());
+            done.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(done.load(Ordering::Relaxed), 32);
+    }
+
+    #[test]
+    fn panic_payloads_become_strings() {
+        let jobs: Vec<Job<u32>> = vec![
+            Box::new(|| panic!("boom {}", 7)),
+            Box::new(|| 42),
+            Box::new(|| panic!("static boom")),
+        ];
+        let mut results = vec![None; 3];
+        execute(2, jobs, |idx, res| results[idx] = Some(res));
+        assert_eq!(results[0], Some(Err("boom 7".to_string())));
+        assert_eq!(results[1], Some(Ok(42)));
+        assert_eq!(results[2], Some(Err("static boom".to_string())));
+    }
+
+    #[test]
+    fn empty_job_list_is_a_no_op() {
+        execute(8, Vec::<Job<()>>::new(), |_, _| panic!("no cells to complete"));
+    }
+}

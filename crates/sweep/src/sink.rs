@@ -1,0 +1,246 @@
+//! Streaming JSON-lines result sink with resume support.
+//!
+//! A campaign appends one line per *successfully* completed cell —
+//! `{"key": "...", "value": <json>}` — flushing after each line so a
+//! killed run loses at most the line being written. On restart,
+//! [`JsonlSink::open`] replays the file, skipping any line that does not
+//! parse (a truncated tail from the previous crash); the cells already on
+//! disk are restored instead of re-run (see `SweepSpec::run_with_sink`).
+//!
+//! Values cross the file boundary via the [`CellValue`] trait. `u64`
+//! values (trace digests) are encoded as `0x…` hex *strings* because they
+//! exceed the 2^53 precision of JSON numbers.
+
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+use parcomm_obs::json::{self, JsonValue};
+
+/// A sweep cell result that can round-trip through the JSON-lines sink.
+pub trait CellValue: Sized {
+    /// Encode the value for the sink.
+    fn to_json(&self) -> JsonValue;
+    /// Decode a sink value; `None` re-runs the cell (e.g. after a schema
+    /// change), so decoding must be strict rather than lossy.
+    fn from_json(v: &JsonValue) -> Option<Self>;
+}
+
+impl CellValue for f64 {
+    fn to_json(&self) -> JsonValue {
+        if self.is_finite() {
+            JsonValue::Number(*self)
+        } else {
+            JsonValue::Null
+        }
+    }
+    fn from_json(v: &JsonValue) -> Option<Self> {
+        match v {
+            JsonValue::Number(n) => Some(*n),
+            JsonValue::Null => Some(f64::NAN),
+            _ => None,
+        }
+    }
+}
+
+impl CellValue for u64 {
+    fn to_json(&self) -> JsonValue {
+        JsonValue::String(format!("{self:#018x}"))
+    }
+    fn from_json(v: &JsonValue) -> Option<Self> {
+        let s = v.as_str()?.strip_prefix("0x")?;
+        u64::from_str_radix(s, 16).ok()
+    }
+}
+
+impl CellValue for bool {
+    fn to_json(&self) -> JsonValue {
+        JsonValue::Bool(*self)
+    }
+    fn from_json(v: &JsonValue) -> Option<Self> {
+        match v {
+            JsonValue::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+}
+
+impl CellValue for String {
+    fn to_json(&self) -> JsonValue {
+        JsonValue::String(self.clone())
+    }
+    fn from_json(v: &JsonValue) -> Option<Self> {
+        v.as_str().map(str::to_string)
+    }
+}
+
+impl<T: CellValue> CellValue for Vec<T> {
+    fn to_json(&self) -> JsonValue {
+        JsonValue::Array(self.iter().map(CellValue::to_json).collect())
+    }
+    fn from_json(v: &JsonValue) -> Option<Self> {
+        v.as_array()?.iter().map(T::from_json).collect()
+    }
+}
+
+/// An append-only JSON-lines file of completed `(key, value)` cells.
+pub struct JsonlSink {
+    path: PathBuf,
+    file: std::fs::File,
+    entries: Vec<(String, JsonValue)>,
+}
+
+impl JsonlSink {
+    /// Open (creating if absent) a sink at `path`, replaying any cells a
+    /// previous run completed. Lines that fail to parse — the truncated
+    /// tail of a killed run — are skipped; if the file does not end in a
+    /// newline, one is appended first so new lines never splice onto the
+    /// partial tail. The first occurrence of a key wins.
+    pub fn open(path: impl AsRef<Path>) -> std::io::Result<Self> {
+        let path = path.as_ref().to_path_buf();
+        let mut entries: Vec<(String, JsonValue)> = Vec::new();
+        let mut needs_newline = false;
+        if let Ok(text) = std::fs::read_to_string(&path) {
+            needs_newline = !text.is_empty() && !text.ends_with('\n');
+            for line in text.lines() {
+                let Ok(v) = json::parse(line) else { continue };
+                let (Some(key), Some(value)) =
+                    (v.get("key").and_then(JsonValue::as_str), v.get("value"))
+                else {
+                    continue;
+                };
+                if !entries.iter().any(|(k, _)| k == key) {
+                    entries.push((key.to_string(), value.clone()));
+                }
+            }
+        }
+        let mut file =
+            std::fs::OpenOptions::new().create(true).append(true).open(&path)?;
+        if needs_newline {
+            file.write_all(b"\n")?;
+        }
+        Ok(JsonlSink { path, file, entries })
+    }
+
+    /// Path the sink writes to.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Number of completed cells on record.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when no cell has completed yet.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The recorded value for `key`, if that cell already completed.
+    pub fn get(&self, key: &str) -> Option<&JsonValue> {
+        self.entries.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+    }
+
+    /// Keys of every completed cell, in file order.
+    pub fn keys(&self) -> impl Iterator<Item = &str> {
+        self.entries.iter().map(|(k, _)| k.as_str())
+    }
+
+    /// Record a completed cell: append one line and flush it to disk.
+    /// A key appended twice keeps its first value on replay.
+    pub fn append(&mut self, key: &str, value: JsonValue) -> std::io::Result<()> {
+        let line = JsonValue::Object(vec![
+            ("key".to_string(), JsonValue::String(key.to_string())),
+            ("value".to_string(), value.clone()),
+        ])
+        .render();
+        self.file.write_all(line.as_bytes())?;
+        self.file.write_all(b"\n")?;
+        self.file.flush()?;
+        if !self.entries.iter().any(|(k, _)| k == key) {
+            self.entries.push((key.to_string(), value));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp(name: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("parcomm-sweep-{}-{name}.jsonl", std::process::id()))
+    }
+
+    #[test]
+    fn append_then_reopen_restores_entries() {
+        let path = temp("roundtrip");
+        let _ = std::fs::remove_file(&path);
+        {
+            let mut sink = JsonlSink::open(&path).expect("open");
+            assert!(sink.is_empty());
+            sink.append("a", 1.5f64.to_json()).expect("append");
+            sink.append("dig", 0xdead_beef_u64.to_json()).expect("append");
+        }
+        let sink = JsonlSink::open(&path).expect("reopen");
+        assert_eq!(sink.len(), 2);
+        assert_eq!(f64::from_json(sink.get("a").expect("a")), Some(1.5));
+        assert_eq!(u64::from_json(sink.get("dig").expect("dig")), Some(0xdead_beef));
+        assert_eq!(sink.keys().collect::<Vec<_>>(), vec!["a", "dig"]);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn truncated_tail_is_skipped_and_never_spliced() {
+        let path = temp("truncated");
+        let _ = std::fs::remove_file(&path);
+        {
+            let mut sink = JsonlSink::open(&path).expect("open");
+            sink.append("good", vec![1.0f64, 2.0].to_json()).expect("append");
+        }
+        // Simulate a crash mid-write: a partial line with no newline.
+        let mut text = std::fs::read_to_string(&path).expect("read");
+        text.push_str("{\"key\":\"half\",\"val");
+        std::fs::write(&path, &text).expect("write");
+
+        let mut sink = JsonlSink::open(&path).expect("reopen");
+        assert_eq!(sink.len(), 1, "partial line must not count as completed");
+        assert!(sink.get("half").is_none());
+        sink.append("next", 3.0f64.to_json()).expect("append");
+
+        let sink = JsonlSink::open(&path).expect("third open");
+        assert_eq!(
+            Vec::<f64>::from_json(sink.get("good").expect("good")),
+            Some(vec![1.0, 2.0])
+        );
+        assert_eq!(f64::from_json(sink.get("next").expect("next")), Some(3.0));
+        assert_eq!(sink.len(), 2);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn first_occurrence_of_a_key_wins() {
+        let path = temp("dup");
+        let _ = std::fs::remove_file(&path);
+        std::fs::write(
+            &path,
+            "{\"key\":\"k\",\"value\":1.0}\n{\"key\":\"k\",\"value\":2.0}\n",
+        )
+        .expect("write");
+        let sink = JsonlSink::open(&path).expect("open");
+        assert_eq!(sink.len(), 1);
+        assert_eq!(f64::from_json(sink.get("k").expect("k")), Some(1.0));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn cell_values_round_trip() {
+        assert_eq!(u64::from_json(&u64::MAX.to_json()), Some(u64::MAX));
+        assert_eq!(bool::from_json(&true.to_json()), Some(true));
+        assert_eq!(String::from_json(&"hé\"llo".to_string().to_json()), Some("hé\"llo".into()));
+        let v = vec!["a".to_string(), "b".to_string()];
+        assert_eq!(Vec::<String>::from_json(&v.to_json()), Some(v));
+        assert!(f64::from_json(&f64::INFINITY.to_json()).expect("null→nan").is_nan());
+        assert_eq!(u64::from_json(&JsonValue::Number(3.0)), None);
+    }
+}

@@ -1,0 +1,335 @@
+//! Keyed sweep specifications and their deterministic aggregation.
+//!
+//! A [`SweepSpec`] describes a campaign as an *ordered* grid of keyed
+//! cells, each an independent closure (one seed, one parameter point, one
+//! fault plan…). [`SweepSpec::run`] executes the cells on the
+//! work-stealing pool and reassembles the results **by cell index in
+//! insertion order**, so the aggregated output is byte-identical
+//! regardless of thread count or completion order. Insertion order — not
+//! a lexical key sort — is the contract, because it is the order the
+//! serial loops this engine replaced produced their tables in.
+//!
+//! A panicking cell surfaces as a typed [`CellError`] for that key;
+//! sibling cells are unaffected.
+
+use crate::pool::{self, Job};
+use crate::sink::{CellValue, JsonlSink};
+
+/// A failed sweep cell: the cell's key plus its panic payload.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CellError {
+    /// Key of the cell that failed.
+    pub key: String,
+    /// Panic payload (or other failure description).
+    pub message: String,
+}
+
+impl std::fmt::Display for CellError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "sweep cell '{}' failed: {}", self.key, self.message)
+    }
+}
+
+impl std::error::Error for CellError {}
+
+/// An ordered, keyed grid of independent experiment cells.
+pub struct SweepSpec<T> {
+    cells: Vec<(String, Job<T>)>,
+}
+
+impl<T> Default for SweepSpec<T> {
+    fn default() -> Self {
+        SweepSpec { cells: Vec::new() }
+    }
+}
+
+impl<T: Send> SweepSpec<T> {
+    /// An empty spec.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add a cell. Keys must be unique — they identify cells in the
+    /// resume sink and in error reports.
+    pub fn cell(
+        &mut self,
+        key: impl Into<String>,
+        body: impl FnOnce() -> T + Send + 'static,
+    ) -> &mut Self {
+        let key = key.into();
+        assert!(
+            !self.cells.iter().any(|(k, _)| *k == key),
+            "duplicate sweep cell key: {key}"
+        );
+        self.cells.push((key, Box::new(body)));
+        self
+    }
+
+    /// Number of cells.
+    pub fn len(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// True when the spec has no cells.
+    pub fn is_empty(&self) -> bool {
+        self.cells.is_empty()
+    }
+
+    /// Run every cell on up to `threads` workers and aggregate
+    /// deterministically (insertion order).
+    pub fn run(self, threads: usize) -> SweepResults<T> {
+        self.run_observed(threads, |_, _| {})
+    }
+
+    /// [`SweepSpec::run`], additionally invoking `observe(key, result)`
+    /// on the calling thread as each cell finishes — completion order,
+    /// which is nondeterministic above one thread; use it for streaming
+    /// progress or sinks, never for ordered output.
+    pub fn run_observed(
+        self,
+        threads: usize,
+        mut observe: impl FnMut(&str, &Result<T, CellError>),
+    ) -> SweepResults<T> {
+        let (keys, jobs): (Vec<String>, Vec<Job<T>>) = self.cells.into_iter().unzip();
+        let mut slots: Vec<Option<Result<T, CellError>>> =
+            (0..keys.len()).map(|_| None).collect();
+        pool::execute(threads, jobs, |idx, res| {
+            let res = res.map_err(|message| CellError { key: keys[idx].clone(), message });
+            observe(&keys[idx], &res);
+            slots[idx] = Some(res);
+        });
+        let cells = keys
+            .into_iter()
+            .zip(slots)
+            .map(|(key, slot)| (key, slot.expect("pool completes every cell")))
+            .collect();
+        SweepResults { cells }
+    }
+}
+
+enum Restored<T> {
+    Value(T),
+    Pending(usize),
+}
+
+impl<T: Send + CellValue> SweepSpec<T> {
+    /// Run with resume: cells whose key is already recorded in `sink` are
+    /// restored from disk instead of re-run; cells that complete are
+    /// appended to the sink as they finish. The aggregated results are
+    /// identical to a fresh [`SweepSpec::run`] (assuming the sink came
+    /// from the same spec). Failed cells are *not* persisted, so a rerun
+    /// retries exactly the missing ones.
+    pub fn run_with_sink(
+        self,
+        threads: usize,
+        sink: &mut JsonlSink,
+    ) -> std::io::Result<SweepResults<T>> {
+        let mut fresh: Vec<(String, Job<T>)> = Vec::new();
+        let mut layout: Vec<(String, Restored<T>)> = Vec::new();
+        for (key, job) in self.cells {
+            match sink.get(&key).and_then(T::from_json) {
+                Some(v) => layout.push((key, Restored::Value(v))),
+                None => {
+                    layout.push((key.clone(), Restored::Pending(fresh.len())));
+                    fresh.push((key, job));
+                }
+            }
+        }
+        let mut io_err: Option<std::io::Error> = None;
+        let ran = SweepSpec { cells: fresh }.run_observed(threads, |key, res| {
+            if let Ok(v) = res {
+                if io_err.is_none() {
+                    if let Err(e) = sink.append(key, v.to_json()) {
+                        io_err = Some(e);
+                    }
+                }
+            }
+        });
+        if let Some(e) = io_err {
+            return Err(e);
+        }
+        let mut ran: Vec<Option<Result<T, CellError>>> =
+            ran.cells.into_iter().map(|(_, r)| Some(r)).collect();
+        let cells = layout
+            .into_iter()
+            .map(|(key, slot)| match slot {
+                Restored::Value(v) => (key, Ok(v)),
+                Restored::Pending(i) => {
+                    (key, ran[i].take().expect("each pending cell resolves once"))
+                }
+            })
+            .collect();
+        Ok(SweepResults { cells })
+    }
+}
+
+/// Aggregated campaign results, in spec insertion order.
+pub struct SweepResults<T> {
+    cells: Vec<(String, Result<T, CellError>)>,
+}
+
+impl<T> SweepResults<T> {
+    /// Number of cells.
+    pub fn len(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// True when the campaign had no cells.
+    pub fn is_empty(&self) -> bool {
+        self.cells.is_empty()
+    }
+
+    /// Iterate `(key, result)` in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &Result<T, CellError>)> {
+        self.cells.iter().map(|(k, r)| (k.as_str(), r))
+    }
+
+    /// The result for `key`.
+    pub fn get(&self, key: &str) -> Option<&Result<T, CellError>> {
+        self.cells.iter().find(|(k, _)| k == key).map(|(_, r)| r)
+    }
+
+    /// Every cell error, in insertion order.
+    pub fn errors(&self) -> impl Iterator<Item = &CellError> {
+        self.cells.iter().filter_map(|(_, r)| r.as_ref().err())
+    }
+
+    /// Consume into `(key, result)` pairs, in insertion order.
+    pub fn into_cells(self) -> Vec<(String, Result<T, CellError>)> {
+        self.cells
+    }
+
+    /// Consume into the cell values in insertion order, or the first
+    /// [`CellError`] if any cell failed.
+    pub fn into_values(self) -> Result<Vec<T>, CellError> {
+        self.cells.into_iter().map(|(_, r)| r).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grid(n: usize) -> SweepSpec<f64> {
+        let mut spec = SweepSpec::new();
+        // Deliberately key so that lexical order differs from insertion
+        // order (grid=1024 sorts before grid=2): insertion order must win.
+        for i in (0..n).rev() {
+            let v = 2u64 << i;
+            spec.cell(format!("grid={v}"), move || v as f64 * 1.5);
+        }
+        spec
+    }
+
+    fn rendered(results: SweepResults<f64>) -> String {
+        results
+            .into_cells()
+            .into_iter()
+            .map(|(k, r)| format!("{k} -> {:?}\n", r.expect("ok")))
+            .collect()
+    }
+
+    #[test]
+    fn aggregation_is_identical_across_thread_counts() {
+        let serial = rendered(grid(12).run(1));
+        for threads in [2usize, 8] {
+            assert_eq!(rendered(grid(12).run(threads)), serial, "threads={threads}");
+        }
+        assert!(serial.starts_with("grid=4096 -> "), "insertion order, not lexical");
+    }
+
+    #[test]
+    fn panicking_cell_yields_typed_error_without_aborting_siblings() {
+        let mut spec = SweepSpec::new();
+        for i in 0..8u32 {
+            spec.cell(format!("seed={i}"), move || {
+                if i == 3 {
+                    panic!("injected failure at seed 3");
+                }
+                f64::from(i)
+            });
+        }
+        let results = spec.run(4);
+        let errs: Vec<_> = results.errors().cloned().collect();
+        assert_eq!(
+            errs,
+            vec![CellError {
+                key: "seed=3".to_string(),
+                message: "injected failure at seed 3".to_string()
+            }]
+        );
+        assert_eq!(results.iter().filter(|(_, r)| r.is_ok()).count(), 7);
+        assert_eq!(results.get("seed=7").and_then(|r| r.as_ref().ok()), Some(&7.0));
+        assert!(results.into_values().is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate sweep cell key")]
+    fn duplicate_keys_are_rejected() {
+        let mut spec = SweepSpec::new();
+        spec.cell("k", || 0.0).cell("k", || 1.0);
+    }
+
+    #[test]
+    fn observer_sees_every_completion() {
+        let mut spec = SweepSpec::new();
+        for i in 0..5u32 {
+            spec.cell(format!("c{i}"), move || f64::from(i));
+        }
+        let mut seen = Vec::new();
+        let results = spec.run_observed(3, |key, res| {
+            seen.push((key.to_string(), res.is_ok()));
+        });
+        assert_eq!(seen.len(), 5);
+        assert!(seen.iter().all(|(_, ok)| *ok));
+        assert_eq!(results.len(), 5);
+    }
+
+    #[test]
+    fn run_with_sink_resumes_only_missing_cells() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        use std::sync::Arc;
+
+        let path = std::env::temp_dir()
+            .join(format!("parcomm-sweep-{}-resume.jsonl", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        let runs = Arc::new(AtomicUsize::new(0));
+
+        let build = |runs: Arc<AtomicUsize>| {
+            let mut spec = SweepSpec::new();
+            for i in 0..6u64 {
+                let runs = runs.clone();
+                spec.cell(format!("cell={i}"), move || {
+                    runs.fetch_add(1, Ordering::Relaxed);
+                    i as f64 * 0.5
+                });
+            }
+            spec
+        };
+
+        let mut sink = JsonlSink::open(&path).expect("open");
+        let first = build(runs.clone())
+            .run_with_sink(2, &mut sink)
+            .expect("first run")
+            .into_values()
+            .expect("values");
+        assert_eq!(runs.load(Ordering::Relaxed), 6);
+
+        // Drop the last completed line to simulate a truncated sink.
+        let text = std::fs::read_to_string(&path).expect("read");
+        let mut lines: Vec<&str> = text.lines().collect();
+        lines.pop();
+        std::fs::write(&path, format!("{}\n", lines.join("\n"))).expect("rewrite");
+
+        let mut sink = JsonlSink::open(&path).expect("reopen");
+        assert_eq!(sink.len(), 5);
+        let second = build(runs.clone())
+            .run_with_sink(2, &mut sink)
+            .expect("second run")
+            .into_values()
+            .expect("values");
+        assert_eq!(runs.load(Ordering::Relaxed), 7, "exactly one missing cell re-ran");
+        assert_eq!(first, second, "resumed output identical to the fresh run");
+        let _ = std::fs::remove_file(&path);
+    }
+}

@@ -50,6 +50,7 @@ pub use digest::{report_digest, run_digest, trace_digest, Digest};
 pub use prop::{check, PropConfig, Shrink, TestResult};
 pub use sweep::{
     assert_all_equal, assert_deterministic, assert_deterministic_and_seed_sensitive,
+    assert_deterministic_and_seed_sensitive_threaded, assert_deterministic_threaded,
     assert_seed_sensitive,
 };
 pub use timer::{bench, BenchConfig, BenchStats};

@@ -12,9 +12,18 @@
 //! - [`assert_all_equal`] — metamorphic invariants: program variants that
 //!   must agree on a result (e.g. any partition-count permutation reduces
 //!   to the same values).
+//!
+//! The per-seed runners fan out over `parcomm_sweep::SweepSpec`: each seed
+//! is one sweep cell, executed on `--threads N` / `PARCOMM_THREADS`
+//! workers (default: available parallelism). Results are reassembled in
+//! seed order, so the returned digests — and any assertion failure — are
+//! independent of the worker count.
 
 use std::collections::BTreeMap;
 use std::fmt::Debug;
+use std::sync::Arc;
+
+use parcomm_sweep::SweepSpec;
 
 /// Run `program` twice for every seed and assert that both runs return the
 /// same digest. Returns the per-seed digests for further checks (e.g.
@@ -22,25 +31,39 @@ use std::fmt::Debug;
 ///
 /// `program` receives the seed and returns any comparable observation —
 /// typically a [`crate::digest::run_digest`] of the simulation, but raw
-/// output vectors work too.
-pub fn assert_deterministic<T, F>(seeds: &[u64], mut program: F) -> Vec<T>
+/// output vectors work too. Seeds run in parallel (see the module docs),
+/// so the program must be `Fn + Send + Sync` rather than `FnMut`.
+pub fn assert_deterministic<T, F>(seeds: &[u64], program: F) -> Vec<T>
 where
-    T: PartialEq + Debug,
-    F: FnMut(u64) -> T,
+    T: PartialEq + Debug + Send + 'static,
+    F: Fn(u64) -> T + Send + Sync + 'static,
+{
+    assert_deterministic_threaded(seeds, parcomm_sweep::threads(), program)
+}
+
+/// [`assert_deterministic`] with an explicit sweep worker count.
+pub fn assert_deterministic_threaded<T, F>(seeds: &[u64], threads: usize, program: F) -> Vec<T>
+where
+    T: PartialEq + Debug + Send + 'static,
+    F: Fn(u64) -> T + Send + Sync + 'static,
 {
     assert!(!seeds.is_empty(), "assert_deterministic: no seeds given");
-    let mut out = Vec::with_capacity(seeds.len());
-    for &seed in seeds {
-        let first = program(seed);
-        let second = program(seed);
-        assert_eq!(
-            first, second,
-            "seed {seed:#x}: two runs of the same program diverged — \
-             the (program, seed) determinism contract is broken"
-        );
-        out.push(first);
+    let program = Arc::new(program);
+    let mut spec = SweepSpec::new();
+    for (i, &seed) in seeds.iter().enumerate() {
+        let program = program.clone();
+        spec.cell(format!("{i}:seed={seed:#x}"), move || {
+            let first = program(seed);
+            let second = program(seed);
+            assert_eq!(
+                first, second,
+                "seed {seed:#x}: two runs of the same program diverged — \
+                 the (program, seed) determinism contract is broken"
+            );
+            first
+        });
     }
-    out
+    spec.run(threads).into_values().expect("determinism sweep")
 }
 
 /// Assert that not all seeds map to the same digest. Guards against a
@@ -65,10 +88,24 @@ pub fn assert_seed_sensitive<T: PartialEq + Debug>(seeds: &[u64], digests: &[T])
 /// One-call convenience: determinism plus seed sensitivity over `seeds`.
 pub fn assert_deterministic_and_seed_sensitive<T, F>(seeds: &[u64], program: F) -> Vec<T>
 where
-    T: PartialEq + Debug,
-    F: FnMut(u64) -> T,
+    T: PartialEq + Debug + Send + 'static,
+    F: Fn(u64) -> T + Send + Sync + 'static,
 {
-    let digests = assert_deterministic(seeds, program);
+    assert_deterministic_and_seed_sensitive_threaded(seeds, parcomm_sweep::threads(), program)
+}
+
+/// [`assert_deterministic_and_seed_sensitive`] with an explicit sweep
+/// worker count.
+pub fn assert_deterministic_and_seed_sensitive_threaded<T, F>(
+    seeds: &[u64],
+    threads: usize,
+    program: F,
+) -> Vec<T>
+where
+    T: PartialEq + Debug + Send + 'static,
+    F: Fn(u64) -> T + Send + Sync + 'static,
+{
+    let digests = assert_deterministic_threaded(seeds, threads, program);
     assert_seed_sensitive(seeds, &digests);
     digests
 }
@@ -121,14 +158,25 @@ mod tests {
 
     #[test]
     fn nondeterministic_program_is_caught() {
-        let mut flip = 0u64;
+        use std::sync::atomic::{AtomicU64, Ordering};
+        let flip = Arc::new(AtomicU64::new(0));
+        let f2 = flip.clone();
         let r = catch_unwind(AssertUnwindSafe(|| {
-            assert_deterministic(&[7], |seed| {
-                flip += 1;
-                seed + flip
+            assert_deterministic(&[7], move |seed| {
+                seed + f2.fetch_add(1, Ordering::SeqCst) + 1
             });
         }));
         assert!(r.is_err());
+    }
+
+    #[test]
+    fn threaded_runner_matches_serial_order() {
+        let seeds: Vec<u64> = (0..16).map(|i| 0x90 + i).collect();
+        let serial =
+            assert_deterministic_threaded(&seeds, 1, |seed| seed.wrapping_mul(0x9E37));
+        let parallel =
+            assert_deterministic_threaded(&seeds, 8, |seed| seed.wrapping_mul(0x9E37));
+        assert_eq!(serial, parallel, "digest order must not depend on the worker count");
     }
 
     #[test]

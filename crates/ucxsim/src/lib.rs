@@ -13,7 +13,7 @@ mod rma;
 mod worker;
 
 pub use rma::{
-    IpcMapping, MemHandle, PutHandle, RKey, PUT_MAX_ATTEMPTS, PUT_RETRY_BACKOFF_US,
+    IpcMapping, MemHandle, PutAttr, PutHandle, RKey, PUT_MAX_ATTEMPTS, PUT_RETRY_BACKOFF_US,
 };
 pub use worker::{
     AmMessage, Endpoint, UcxError, UcxUniverse, Worker, WorkerAddress, AM_MAX_ATTEMPTS,

@@ -180,6 +180,26 @@ impl Worker {
 /// off).
 type PutCompletion = Box<dyn FnOnce(&SimHandle, SpanId) + Send + 'static>;
 
+/// MPI-level attribution of a put, carried through its causal spans so
+/// `obs::critical` resolves cross-rank handoffs exactly: the `put` span
+/// takes the *source* rank, the `wire` and `put_complete` spans take the
+/// *destination* rank (the bytes land there). All fields are
+/// digest-neutral — span digests hash only `(category, start, end)`.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct PutAttr {
+    /// Rank that issued the put.
+    pub src_rank: Option<u32>,
+    /// Rank whose memory the put lands in.
+    pub dst_rank: Option<u32>,
+    /// Transport partition the put serves, when meaningful.
+    pub partition: Option<u32>,
+}
+
+impl PutAttr {
+    /// No attribution (the pre-existing `put_nbx_caused` behavior).
+    pub const NONE: PutAttr = PutAttr { src_rank: None, dst_rank: None, partition: None };
+}
+
 /// Everything one put attempt needs; kept in a struct so the retry chain
 /// can re-issue it from scheduled callbacks.
 struct PendingPut {
@@ -198,6 +218,8 @@ struct PendingPut {
     first_try_at: SimTime,
     /// Causal parent of the put (e.g. the PE drain that issued it).
     cause: SpanId,
+    /// MPI-level attribution for the put's causal spans.
+    attr: PutAttr,
 }
 
 /// Issue (or re-issue) one attempt of a put; schedules the next retry with
@@ -213,17 +235,48 @@ fn attempt_put(p: PendingPut, attempt: u32) -> SimTime {
     }
     // The put's issue instant, causally chained to whatever posted it; the
     // wire span it produces is in turn chained to the put.
-    let put_span = h.trace().record_causal("put", now, now, None, None, p.cause);
-    match p.fabric.try_transfer_caused(now, p.from, p.to, p.len as u64, put_span) {
+    let put_span =
+        h.trace().record_causal("put", now, now, p.attr.src_rank, p.attr.partition, p.cause);
+    match p.fabric.try_transfer_attr(
+        now,
+        p.from,
+        p.to,
+        p.len as u64,
+        put_span,
+        p.attr.dst_rank,
+        p.attr.partition,
+    ) {
         Ok(transfer) => {
             let arrival = transfer.arrival;
             let wire_span = transfer.span;
-            let PendingPut { src, src_off, len, dst, dst_off, on_complete, done, result, .. } = p;
+            let PendingPut {
+                universe,
+                src,
+                src_off,
+                len,
+                dst,
+                dst_off,
+                on_complete,
+                done,
+                result,
+                first_try_at,
+                attr,
+                ..
+            } = p;
             h.schedule_at(arrival, move |h| {
                 dst.copy_from_buffer(dst_off, &src, src_off, len);
-                let complete_span = h
-                    .trace()
-                    .record_causal("put_complete", arrival, arrival, None, None, wire_span);
+                if let Some(i) = universe.obs() {
+                    let issue_to_land = arrival.since(first_try_at).as_micros_f64();
+                    i.put_latency.record(issue_to_land.round() as u64);
+                }
+                let complete_span = h.trace().record_causal(
+                    "put_complete",
+                    arrival,
+                    arrival,
+                    attr.dst_rank,
+                    attr.partition,
+                    wire_span,
+                );
                 on_complete(h, complete_span);
                 *result.lock() = Some(Ok(arrival));
                 done.set(h);
@@ -302,6 +355,24 @@ impl Endpoint {
         cause: SpanId,
         on_complete: impl FnOnce(&SimHandle, SpanId) + Send + 'static,
     ) -> PutHandle {
+        self.put_nbx_attr(src, src_off, len, rkey, dst_off, PutAttr::NONE, cause, on_complete)
+    }
+
+    /// Like [`put_nbx_caused`](Endpoint::put_nbx_caused), additionally
+    /// carrying the MPI ranks (and partition) of the transfer through the
+    /// `put` → `wire` → `put_complete` causal chain — see [`PutAttr`].
+    #[allow(clippy::too_many_arguments)]
+    pub fn put_nbx_attr(
+        &self,
+        src: &Buffer,
+        src_off: usize,
+        len: usize,
+        rkey: &RKey,
+        dst_off: usize,
+        attr: PutAttr,
+        cause: SpanId,
+        on_complete: impl FnOnce(&SimHandle, SpanId) + Send + 'static,
+    ) -> PutHandle {
         let fabric = self.universe.fabric().clone();
         let done = Event::named("put_nbx");
         let result = Arc::new(Mutex::new(None));
@@ -320,6 +391,7 @@ impl Endpoint {
             first_try_at: fabric.sim().now(),
             fabric,
             cause,
+            attr,
         };
         let arrival = attempt_put(pending, 0);
         PutHandle { done, arrival, result }

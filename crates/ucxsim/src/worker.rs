@@ -18,7 +18,7 @@ use parcomm_sim::Mutex;
 
 use parcomm_gpu::Location;
 use parcomm_net::Fabric;
-use parcomm_obs::{Counter, MetricsRegistry};
+use parcomm_obs::{Counter, Histogram, MetricsRegistry};
 use parcomm_sim::{Ctx, Event, SimDuration, SimHandle};
 
 /// Address of a worker, obtainable via [`Worker::address`] and exchangeable
@@ -109,6 +109,9 @@ pub(crate) struct UcxInstruments {
     pub(crate) put_failures: Counter,
     pub(crate) am_sends: Counter,
     pub(crate) am_retries: Counter,
+    /// log2-bucket issue → last-byte-landed latency of each `put_nbx`
+    /// (µs), including any fault-retry backoff.
+    pub(crate) put_latency: Histogram,
 }
 
 struct UniverseInner {
@@ -134,7 +137,8 @@ impl UcxUniverse {
     }
 
     /// Attach metrics instruments (`ucx.puts`, `ucx.put_retries`,
-    /// `ucx.put_failures`, `ucx.am_sends`, `ucx.am_retries`) to the given
+    /// `ucx.put_failures`, `ucx.am_sends`, `ucx.am_retries`, and the
+    /// `ucx.put_latency_us` issue → completion histogram) to the given
     /// registry.
     pub fn attach_metrics(&self, registry: &MetricsRegistry) {
         *self.inner.instruments.lock() = Some(UcxInstruments {
@@ -143,6 +147,7 @@ impl UcxUniverse {
             put_failures: registry.counter("ucx.put_failures"),
             am_sends: registry.counter("ucx.am_sends"),
             am_retries: registry.counter("ucx.am_retries"),
+            put_latency: registry.histogram("ucx.put_latency_us"),
         });
     }
 

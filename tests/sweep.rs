@@ -1,0 +1,145 @@
+//! `parcomm-sweep` integration against the real simulation stack.
+//!
+//! The unit tests inside `crates/sweep` prove the engine on synthetic
+//! closures; these tests prove the property the whole PR rests on — that
+//! fanning *actual simulations* out over the work-stealing pool changes
+//! nothing about their results:
+//!
+//! - per-cell trace digests are byte-identical at 1, 2, and 8 workers,
+//!   and reproduce the frozen serial baselines bit for bit;
+//! - a panicking cell surfaces as a typed error while sibling simulations
+//!   complete with intact digests;
+//! - a truncated JSON-lines sink resumes: only the lost cell re-runs, and
+//!   the aggregated digests match the uninterrupted run.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use parcomm::fault::{chaos, FaultPlan};
+use parcomm_sweep::{CellError, CellValue, JsonlSink, SweepSpec};
+
+/// Frozen serial digests of `chaos::run_allreduce(seed, none, 1)` — the
+/// same constants `crates/faultsim/tests/chaos.rs` pins. Parallel sweep
+/// cells must reproduce them exactly.
+const FROZEN: &[(u64, u64)] = &[
+    (0xA11CE, 0x1398043747556f40),
+    (0xB0B, 0x65b7d5c9b7bbbcb8),
+    (0xC0C0A, 0xc1a31d5d266c8b20),
+    (0xFA017, 0x3e5fdd5171c85ddd),
+];
+
+fn digest_spec(seeds: &[u64]) -> SweepSpec<u64> {
+    let mut spec = SweepSpec::new();
+    for &seed in seeds {
+        spec.cell(format!("seed={seed:#x}"), move || {
+            chaos::run_allreduce(seed, &FaultPlan::none(), 1).digest
+        });
+    }
+    spec
+}
+
+fn render(spec: SweepSpec<u64>, threads: usize) -> String {
+    spec.run(threads)
+        .into_cells()
+        .into_iter()
+        .map(|(k, r)| format!("{k} -> {:#018x}\n", r.expect("cell ok")))
+        .collect()
+}
+
+#[test]
+fn simulation_sweep_is_byte_identical_across_thread_counts() {
+    let seeds: Vec<u64> = FROZEN.iter().map(|(s, _)| *s).chain([0x5EED, 0x777]).collect();
+    let serial = render(digest_spec(&seeds), 1);
+    assert_eq!(render(digest_spec(&seeds), 2), serial, "2 workers changed the output");
+    assert_eq!(render(digest_spec(&seeds), 8), serial, "8 workers changed the output");
+    for &(seed, want) in FROZEN {
+        assert!(
+            serial.contains(&format!("seed={seed:#x} -> {want:#018x}")),
+            "seed {seed:#x}: sweep cell diverged from the frozen serial digest\n{serial}"
+        );
+    }
+}
+
+#[test]
+fn panicking_simulation_cell_leaves_sibling_digests_intact() {
+    let mut spec = SweepSpec::new();
+    for &(seed, _) in FROZEN {
+        spec.cell(format!("seed={seed:#x}"), move || {
+            if seed == 0xB0B {
+                panic!("injected cell failure");
+            }
+            chaos::run_allreduce(seed, &FaultPlan::none(), 1).digest
+        });
+    }
+    let results = spec.run(4);
+    let errs: Vec<CellError> = results.errors().cloned().collect();
+    assert_eq!(errs.len(), 1);
+    assert_eq!(errs[0].key, "seed=0xb0b");
+    assert_eq!(errs[0].message, "injected cell failure");
+    for &(seed, want) in FROZEN.iter().filter(|(s, _)| *s != 0xB0B) {
+        assert_eq!(
+            results.get(&format!("seed={seed:#x}")).and_then(|r| r.as_ref().ok()),
+            Some(&want),
+            "sibling cell {seed:#x} must complete with the frozen digest"
+        );
+    }
+}
+
+#[test]
+fn truncated_sink_resumes_with_identical_digests() {
+    let path = std::env::temp_dir()
+        .join(format!("parcomm-root-sweep-{}-resume.jsonl", std::process::id()));
+    let _ = std::fs::remove_file(&path);
+    let seeds: Vec<u64> = FROZEN.iter().map(|(s, _)| *s).collect();
+    let runs = Arc::new(AtomicUsize::new(0));
+
+    let build = |runs: Arc<AtomicUsize>| {
+        let mut spec = SweepSpec::new();
+        for &seed in &seeds {
+            let runs = runs.clone();
+            spec.cell(format!("seed={seed:#x}"), move || {
+                runs.fetch_add(1, Ordering::Relaxed);
+                chaos::run_allreduce(seed, &FaultPlan::none(), 1).digest
+            });
+        }
+        spec
+    };
+
+    let mut sink = JsonlSink::open(&path).expect("open");
+    let first: Vec<u64> = build(runs.clone())
+        .run_with_sink(2, &mut sink)
+        .expect("first run")
+        .into_values()
+        .expect("values");
+    assert_eq!(runs.load(Ordering::Relaxed), seeds.len());
+    drop(sink);
+
+    // Kill the tail: the last completed cell's line is lost mid-write.
+    let text = std::fs::read_to_string(&path).expect("read");
+    let mut lines: Vec<&str> = text.lines().collect();
+    let dropped = lines.pop().expect("at least one line");
+    std::fs::write(&path, format!("{}\n{}", lines.join("\n"), &dropped[..dropped.len() / 2]))
+        .expect("rewrite");
+
+    let mut sink = JsonlSink::open(&path).expect("reopen");
+    assert_eq!(sink.len(), seeds.len() - 1, "the torn line must not count");
+    let second: Vec<u64> = build(runs.clone())
+        .run_with_sink(8, &mut sink)
+        .expect("second run")
+        .into_values()
+        .expect("values");
+    assert_eq!(
+        runs.load(Ordering::Relaxed),
+        seeds.len() + 1,
+        "exactly the lost cell re-ran"
+    );
+    assert_eq!(first, second, "resumed digests identical to the uninterrupted run");
+    for (seed, digest) in seeds.iter().zip(&first) {
+        assert_eq!(
+            u64::from_json(sink.get(&format!("seed={seed:#x}")).expect("on disk")),
+            Some(*digest),
+            "sink entry for {seed:#x} must hold the frozen digest"
+        );
+    }
+    let _ = std::fs::remove_file(&path);
+}
