@@ -15,10 +15,10 @@ use parcomm_sim::Mutex;
 
 use parcomm_apps::nccl_for_world;
 use parcomm_bench as b;
-use parcomm_coll::pallreduce_init;
+use parcomm_coll::{pallreduce_init, pallreduce_init_hierarchical};
 use parcomm_gpu::KernelSpec;
 use parcomm_mpi::{MpiError, MpiWorld, Rank};
-use parcomm_obs::{chrome_trace_json, is_causal_category, occupancy};
+use parcomm_obs::{chrome_trace_json, is_causal_category, occupancy, CriticalPath};
 use parcomm_sim::{Ctx, SimTime, Simulation};
 
 fn partitioned_body(
@@ -145,5 +145,117 @@ fn main() {
         } else {
             println!();
         }
+    }
+    two_node_section();
+}
+
+/// Two-node extension of the gap decomposition: where do the *cross-node*
+/// bytes and the end-to-end dependency chain go once the allreduce spans
+/// an IB hop? Prints, for the flat and the node-aware hierarchical ring
+/// on 8 GH200 (2 nodes): per-NIC-rail cross-node byte counts (the
+/// `net.rail<N>.bytes` fabric counters) and the critical path through the
+/// measured epoch's causal span graph. Appended after the one-node tables,
+/// which stay byte-identical.
+fn two_node_section() {
+    let n = 1024usize * 1024;
+    for hierarchical in [false, true] {
+        let label =
+            if hierarchical { "hierarchical ring, 2 nodes" } else { "flat ring, 2 nodes" };
+        let mut sim = Simulation::with_seed(0xDEC02);
+        let trace = sim.trace();
+        let world = MpiWorld::gh200(&sim, 2);
+        let registry = world.enable_metrics();
+        let topo = world.topology();
+        let window = Arc::new(Mutex::new((SimTime::ZERO, SimTime::ZERO)));
+        let errors: Arc<Mutex<Vec<(usize, MpiError)>>> = Arc::new(Mutex::new(Vec::new()));
+        let (w2, e2, trace2) = (window.clone(), errors.clone(), trace.clone());
+        world.run_ranks(&mut sim, move |ctx, rank| {
+            let buf = rank.gpu().alloc_global(n * 8);
+            let stream = rank.gpu().create_stream();
+            let grid = (n as u32).div_ceil(1024);
+            let init = if hierarchical {
+                pallreduce_init_hierarchical(ctx, rank, &buf, 4, &stream, 7)
+            } else {
+                pallreduce_init(ctx, rank, &buf, 4, &stream, 7)
+            };
+            let coll = match init {
+                Ok(c) => c,
+                Err(e) => {
+                    e2.lock().push((rank.rank(), e));
+                    return;
+                }
+            };
+            let epoch = |ctx: &mut Ctx| -> Result<(), MpiError> {
+                coll.start(ctx)?;
+                coll.pbuf_prepare(ctx)?;
+                let c2 = coll.clone();
+                stream.launch(ctx, KernelSpec::vector_add(grid, 1024), move |d| {
+                    c2.pready_device_all(d)
+                });
+                coll.wait(ctx)
+            };
+            // Warm-up epoch outside the traced window, as in the one-node
+            // decomposition.
+            if let Err(e) = epoch(ctx) {
+                e2.lock().push((rank.rank(), e));
+                return;
+            }
+            rank.barrier(ctx);
+            if rank.rank() == 0 {
+                trace2.enable_causal();
+                w2.lock().0 = ctx.now();
+            }
+            if let Err(e) = epoch(ctx) {
+                e2.lock().push((rank.rank(), e));
+                return;
+            }
+            if rank.rank() == 0 {
+                w2.lock().1 = ctx.now();
+            }
+        });
+        if let Err(e) = sim.run() {
+            eprintln!("error: {label} run failed: {e:?}");
+            std::process::exit(1);
+        }
+        if let Some((r, e)) = errors.lock().first() {
+            eprintln!("error: {label}: rank {r} failed: {e}");
+            std::process::exit(1);
+        }
+        let (from, to) = *window.lock();
+        println!("== {label}: measured epoch {} ==", to.since(from));
+        // Whole-run cross-node bytes by NIC rail: the flat ring funnels
+        // every boundary crossing through the boundary rank's NIC, the
+        // hierarchical ring runs one inter-node ring per local GPU index.
+        let snap = registry.snapshot();
+        let rail: Vec<u64> = (0..topo.nics_per_node())
+            .map(|r| snap.counter(&format!("net.rail{r}.bytes")).unwrap_or(0))
+            .collect();
+        let total: u64 = rail.iter().sum();
+        for (r, bytes) in rail.iter().enumerate() {
+            println!(
+                "  ib rail {r}: {bytes:>12} B cross-node ({:5.1}% of {total} B)",
+                100.0 * *bytes as f64 / total.max(1) as f64
+            );
+        }
+        let spans = trace.spans();
+        let path = CriticalPath::from_spans(&spans);
+        let cross_hops = path
+            .steps
+            .windows(2)
+            .filter(|w| match (w[0].rank, w[1].rank) {
+                (Some(a), Some(b)) => topo.node_of(a as usize) != topo.node_of(b as usize),
+                _ => false,
+            })
+            .count();
+        println!(
+            "  critical path: {} steps, {:.1}% coverage of the measured epoch, \
+             {cross_hops} cross-node handoffs",
+            path.steps.len(),
+            100.0 * path.coverage_of(from, to)
+        );
+        for (cat, d) in path.occupancy() {
+            println!("    {cat:<12} {d:>12} on the dependency chain");
+        }
+        println!();
     }
 }

@@ -1,0 +1,13 @@
+//! Scaling bench: flat vs hierarchical partitioned allreduce goodput
+//! across a node-count grid.
+//!
+//! Usage: `scaling [--nodes 1,2,4,8,16] [--quick] [--threads N]`
+//! (`PARCOMM_NODES`, `PARCOMM_QUICK`, and `PARCOMM_THREADS` work too).
+
+use parcomm_bench as b;
+
+fn main() {
+    let quick = b::quick_mode();
+    let nodes = b::scaling::nodes_arg().unwrap_or_else(|| b::scaling::default_nodes(quick));
+    b::scaling::run_scaling(&nodes, quick).emit();
+}

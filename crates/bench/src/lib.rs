@@ -19,6 +19,7 @@ pub mod obsrun;
 pub mod p2p;
 pub mod pbench;
 pub mod report;
+pub mod scaling;
 pub mod stats;
 pub mod table1;
 

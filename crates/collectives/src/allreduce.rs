@@ -44,6 +44,27 @@ pub fn pallreduce_init(
     Ok(Pallreduce { engine })
 }
 
+/// `MPIX_Pallreduce_init` with the node-aware hierarchical ring schedule
+/// ([`Schedule::hierarchical_ring_allreduce`]): intra-node NVLink
+/// reduce-scatter → inter-node rail-ring allreduce → intra-node allgather.
+/// Identical surface and chunking contract to [`pallreduce_init`] (the
+/// buffer divides into `user_partitions × world_size` chunks); on one node
+/// the schedule — and therefore the run — is identical to the flat ring.
+pub fn pallreduce_init_hierarchical(
+    ctx: &mut Ctx,
+    rank: &Rank,
+    buffer: &Buffer,
+    user_partitions: usize,
+    stream: &Stream,
+    tag: u64,
+) -> Result<Pallreduce, MpiError> {
+    crate::charge_pcoll_init_extra(ctx);
+    let topo = rank.topology();
+    let schedule = Schedule::hierarchical_ring_allreduce(rank.rank(), &topo);
+    let engine = CollectiveEngine::new(ctx, rank, schedule, buffer, user_partitions, stream, tag)?;
+    Ok(Pallreduce { engine })
+}
+
 impl Pallreduce {
     /// Number of user partitions.
     pub fn user_partitions(&self) -> usize {

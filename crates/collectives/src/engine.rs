@@ -19,7 +19,7 @@
 //! the cost the paper identifies as the NCCL gap) and issuing the next
 //! step's `MPI_Pready` calls.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::ops::Range;
 use std::sync::Arc;
 
@@ -39,7 +39,7 @@ struct SendChannel {
     /// Schedule steps this channel carries, in order; the slot for
     /// `(partition u, step s)` is `u * steps.len() + index_of(s)`.
     steps: Vec<usize>,
-    slot_of_step: HashMap<usize, usize>,
+    slot_of_step: BTreeMap<usize, usize>,
 }
 
 /// A receive channel from one neighbor.
@@ -47,7 +47,7 @@ struct RecvChannel {
     rreq: PrecvRequest,
     stage: Buffer,
     steps: Vec<usize>,
-    slot_of_step: HashMap<usize, usize>,
+    slot_of_step: BTreeMap<usize, usize>,
 }
 
 /// Per-user-partition progression state (Algorithm 2's `states[part]`).
@@ -79,8 +79,13 @@ struct EngineInner {
     /// MPI-layer instruments (watchdog arm/fire counters), if the world
     /// has metrics enabled.
     instruments: Option<MpiInstruments>,
-    send: HashMap<usize, SendChannel>,
-    recv: HashMap<usize, RecvChannel>,
+    /// Per-peer channels, ordered by peer rank: `start`/`pbuf_prepare`
+    /// iterate these, and multi-peer schedules (the hierarchical ring has
+    /// up to four neighbors) need that order deterministic for digest
+    /// stability — a `HashMap`'s per-instance seed would reorder channel
+    /// starts run to run.
+    send: BTreeMap<usize, SendChannel>,
+    recv: BTreeMap<usize, RecvChannel>,
     states: Mutex<Vec<PartState>>,
     /// Device-initiated readiness queue (collective device binding).
     pending_device: Mutex<std::collections::VecDeque<usize>>,
@@ -123,8 +128,8 @@ impl CollectiveEngine {
         let chunk_bytes = part_bytes / schedule.chunks;
 
         // Group steps by neighbor.
-        let mut out_steps: HashMap<usize, Vec<usize>> = HashMap::new();
-        let mut in_steps: HashMap<usize, Vec<usize>> = HashMap::new();
+        let mut out_steps: BTreeMap<usize, Vec<usize>> = BTreeMap::new();
+        let mut in_steps: BTreeMap<usize, Vec<usize>> = BTreeMap::new();
         for (i, step) in schedule.steps.iter().enumerate() {
             for &o in &step.outgoing {
                 out_steps.entry(o).or_default().push(i);
@@ -136,7 +141,7 @@ impl CollectiveEngine {
 
         // Create the channels. Order init calls by peer rank so the two
         // sides of each channel agree (matching is on (src, dst, tag)).
-        let mut send = HashMap::new();
+        let mut send = BTreeMap::new();
         let mut peers: Vec<usize> = out_steps.keys().copied().collect();
         peers.sort_unstable();
         for o in peers {
@@ -150,7 +155,7 @@ impl CollectiveEngine {
             let slot_of_step = steps.iter().enumerate().map(|(j, &s)| (s, j)).collect();
             send.insert(o, SendChannel { sreq, stage, steps, slot_of_step });
         }
-        let mut recv = HashMap::new();
+        let mut recv = BTreeMap::new();
         let mut peers: Vec<usize> = in_steps.keys().copied().collect();
         peers.sort_unstable();
         for inc in peers {

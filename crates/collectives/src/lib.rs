@@ -15,7 +15,9 @@ mod engine;
 mod more_colls;
 mod schedule;
 
-pub use allreduce::{pallreduce_init, pbcast_init, Pallreduce, Pbcast};
+pub use allreduce::{
+    pallreduce_init, pallreduce_init_hierarchical, pbcast_init, Pallreduce, Pbcast,
+};
 pub use more_colls::{
     pallgather_init, palltoall_init, pgather_init, preduce_scatter_init, pscatter_init,
     Pallgather, Palltoall, Pgather, PreduceScatter, Pscatter,

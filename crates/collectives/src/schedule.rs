@@ -17,6 +17,8 @@
 //! (Algorithm 1), binomial-tree broadcast, and ring reduce-scatter — all on
 //! the same executor.
 
+use parcomm_net::Topology;
+
 /// The reduction op for a step.
 #[derive(Copy, Clone, PartialEq, Eq, Debug)]
 pub enum StepOp {
@@ -85,6 +87,90 @@ impl Schedule {
                 let arrived_offset = (rank + 2 * p - i - 1) % p;
                 let op = if i < p - 1 { StepOp::Sum } else { StepOp::Nop };
                 steps.push(Step { incoming, ready_offset, op, outgoing, arrived_offset, early_stage: false });
+            }
+        }
+        Schedule { steps, chunks: p }
+    }
+
+    /// Node-aware hierarchical ring allreduce for `rank` in `topo`'s world
+    /// (N nodes × G GPUs): intra-node ring reduce-scatter over NVLink →
+    /// inter-node ring allreduce over the NIC-rail-aligned rings →
+    /// intra-node ring allgather. Same algebra, same executor as the flat
+    /// ring — only the step list differs.
+    ///
+    /// The buffer is cut into `chunks = N·G` pieces indexed
+    /// `c = shard·N + sub_chunk`: shard `s ∈ [0, G)` is the slice the
+    /// node-local ring scatters to local GPU `(s − 1) mod G`, and its `N`
+    /// sub-chunks are what the inter-node ring pipelines. Local rank `l`
+    /// ends phase A owning shard `(l + 1) mod G` node-reduced; phase B
+    /// allreduces that shard across nodes on the ring of same-local-index
+    /// GPUs — `G` concurrent rings, each on its own NIC rail, so all rails
+    /// stay busy while only `2(N−1)` (vs the flat ring's `2(N·G−1)`) steps
+    /// cross the IB boundary; phase C allgathers shards back over NVLink.
+    ///
+    /// Degenerates to exactly [`Schedule::ring_allreduce`] at `N == 1`,
+    /// and to a flat inter-node ring at `G == 1`.
+    pub fn hierarchical_ring_allreduce(rank: usize, topo: &Topology) -> Schedule {
+        let p = topo.num_ranks();
+        assert!(rank < p);
+        let n = topo.nodes() as usize;
+        let g = topo.gpus_per_node() as usize;
+        let l = topo.local_index(rank) as usize;
+        let node = topo.node_of(rank) as usize;
+        let mut steps = Vec::new();
+        if p > 1 {
+            let local_prev = topo.local_prev(rank);
+            let local_next = topo.local_next(rank);
+            // Phase A — intra-node ring reduce-scatter over shards, each
+            // round expanded to the shard's N sub-chunks so phase B can
+            // pipeline them without re-chunking.
+            for i in 0..g.saturating_sub(1) {
+                let send_shard = (l + 2 * g - i) % g;
+                let recv_shard = (l + 2 * g - i - 1) % g;
+                for m in 0..n {
+                    steps.push(Step {
+                        incoming: vec![local_prev],
+                        ready_offset: send_shard * n + m,
+                        op: StepOp::Sum,
+                        outgoing: vec![local_next],
+                        arrived_offset: recv_shard * n + m,
+                        early_stage: false,
+                    });
+                }
+            }
+            // Phase B — inter-node ring allreduce of the owned shard over
+            // the rail ring (same local index on every node).
+            let shard = (l + 1) % g;
+            let rail_prev = topo.rail_prev(rank);
+            let rail_next = topo.rail_next(rank);
+            for i in 0..2 * n.saturating_sub(1) {
+                let send_m = (node + 2 * n - i) % n;
+                let recv_m = (node + 2 * n - i - 1) % n;
+                let op = if i < n - 1 { StepOp::Sum } else { StepOp::Nop };
+                steps.push(Step {
+                    incoming: vec![rail_prev],
+                    ready_offset: shard * n + send_m,
+                    op,
+                    outgoing: vec![rail_next],
+                    arrived_offset: shard * n + recv_m,
+                    early_stage: false,
+                });
+            }
+            // Phase C — intra-node ring allgather of the now globally
+            // reduced shards (the flat ring's NOP half, shard-expanded).
+            for i in g.saturating_sub(1)..2 * g.saturating_sub(1) {
+                let send_shard = (l + 2 * g - i) % g;
+                let recv_shard = (l + 2 * g - i - 1) % g;
+                for m in 0..n {
+                    steps.push(Step {
+                        incoming: vec![local_prev],
+                        ready_offset: send_shard * n + m,
+                        op: StepOp::Nop,
+                        outgoing: vec![local_next],
+                        arrived_offset: recv_shard * n + m,
+                        early_stage: false,
+                    });
+                }
             }
         }
         Schedule { steps, chunks: p }
@@ -345,6 +431,121 @@ mod tests {
                 assert!(have.iter().all(|&b| b), "p={p} root={root}: all ranks reached");
             }
         }
+    }
+
+    fn topo(n: u16, g: u8) -> Topology {
+        Topology::new(n, g, g.min(4)).expect("valid topology")
+    }
+
+    /// Interpret a set of per-rank schedules synchronously on integer chunk
+    /// values and check every rank ends with the full sum of every chunk.
+    fn simulate_allreduce(schedules: &[Schedule]) {
+        let p = schedules.len();
+        let chunks = schedules[0].chunks;
+        assert!(schedules.iter().all(|s| s.chunks == chunks), "chunks must agree across ranks");
+        let steps = schedules[0].len();
+        assert!(schedules.iter().all(|s| s.len() == steps), "step counts must agree");
+        // vals[r][c] starts as a distinct power-of-primes-free token; use
+        // (r+1)*(c+1) so sums are distinguishable from overwrites.
+        let mut vals: Vec<Vec<u64>> =
+            (0..p).map(|r| (0..chunks).map(|c| ((r + 1) * (c + 1)) as u64).collect()).collect();
+        for i in 0..steps {
+            // Stage every rank's outgoing chunk before applying arrivals
+            // (the engine stages at step entry, then the put lands).
+            let staged: Vec<u64> = (0..p).map(|r| vals[r][schedules[r].steps[i].ready_offset]).collect();
+            for r in 0..p {
+                let step = &schedules[r].steps[i];
+                for &src in &step.incoming {
+                    // The sender must list us as its outgoing neighbor with
+                    // a matching chunk offset (channel slot alignment).
+                    let s_step = &schedules[src].steps[i];
+                    assert!(s_step.outgoing.contains(&r), "step {i}: {src} must send to {r}");
+                    assert_eq!(s_step.ready_offset, step.arrived_offset, "step {i} rank {r}");
+                    match step.op {
+                        StepOp::Sum => vals[r][step.arrived_offset] += staged[src],
+                        StepOp::Nop => vals[r][step.arrived_offset] = staged[src],
+                    }
+                }
+            }
+        }
+        for c in 0..chunks {
+            let want: u64 = (0..p).map(|r| ((r + 1) * (c + 1)) as u64).sum();
+            for r in 0..p {
+                assert_eq!(vals[r][c], want, "rank {r} chunk {c}");
+            }
+        }
+    }
+
+    #[test]
+    fn flat_ring_allreduce_simulates_correctly() {
+        for p in [2usize, 3, 4, 8] {
+            let s: Vec<Schedule> = (0..p).map(|r| Schedule::ring_allreduce(r, p)).collect();
+            simulate_allreduce(&s);
+        }
+    }
+
+    #[test]
+    fn hierarchical_ring_allreduce_simulates_correctly() {
+        for (n, g) in [(1u16, 4u8), (2, 4), (2, 2), (4, 2), (4, 4), (3, 3), (2, 1), (8, 4), (16, 4)] {
+            let t = topo(n, g);
+            let s: Vec<Schedule> =
+                (0..t.num_ranks()).map(|r| Schedule::hierarchical_ring_allreduce(r, &t)).collect();
+            simulate_allreduce(&s);
+        }
+    }
+
+    #[test]
+    fn hierarchical_degenerates_to_flat_ring_on_one_node() {
+        let t = topo(1, 4);
+        for r in 0..4 {
+            let h = Schedule::hierarchical_ring_allreduce(r, &t);
+            let f = Schedule::ring_allreduce(r, 4);
+            assert_eq!(h.chunks, f.chunks);
+            assert_eq!(h.len(), f.len());
+            for (hs, fs) in h.steps.iter().zip(&f.steps) {
+                assert_eq!(hs.incoming, fs.incoming);
+                assert_eq!(hs.outgoing, fs.outgoing);
+                assert_eq!(hs.ready_offset, fs.ready_offset);
+                assert_eq!(hs.arrived_offset, fs.arrived_offset);
+                assert_eq!(hs.op, fs.op);
+            }
+        }
+        // Single-rank worlds have empty schedules, as with the flat ring.
+        assert!(Schedule::hierarchical_ring_allreduce(0, &topo(1, 1)).is_empty());
+    }
+
+    #[test]
+    fn hierarchical_crosses_nodes_only_in_phase_b() {
+        let t = topo(4, 4);
+        let per_rank_cross: Vec<usize> = (0..t.num_ranks())
+            .map(|r| {
+                Schedule::hierarchical_ring_allreduce(r, &t)
+                    .steps
+                    .iter()
+                    .filter(|s| s.outgoing.iter().any(|&d| !t.same_node(r, d)))
+                    .count()
+            })
+            .collect();
+        // Every rank crosses the IB boundary exactly 2(N−1) times…
+        assert!(per_rank_cross.iter().all(|&c| c == 2 * (4 - 1)));
+        // …while the flat ring's node-crossing pairs cross 2(NG−1) times.
+        let flat_cross: usize = {
+            let p = t.num_ranks();
+            let s = Schedule::ring_allreduce(3, p); // rank 3 → rank 4 crosses
+            s.steps.iter().filter(|st| st.outgoing.iter().any(|&d| !t.same_node(3, d))).count()
+        };
+        assert_eq!(flat_cross, 2 * (16 - 1));
+    }
+
+    #[test]
+    fn hierarchical_phase_b_spreads_over_all_rails() {
+        // The G inter-node rings run at fixed local index, so with G == K
+        // NICs every rail carries exactly one ring.
+        let t = Topology::new(4, 4, 4).expect("topo");
+        let rails: Vec<u8> = (0..4).map(|l| t.nic_of_rank(l)).collect();
+        let mut sorted = rails.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, vec![0, 1, 2, 3]);
     }
 
     #[test]

@@ -132,8 +132,7 @@ pub fn prequest_create(
     let mapped_peer = match config.copy {
         CopyMechanism::KernelCopy => {
             let rkey = data_rkey.expect("prepared implies rkey");
-            let node = rank.gpu().id().node;
-            Some(rkey.rkey_ptr(node)?)
+            Some(rkey.rkey_ptr(rank.gpu().id().location())?)
         }
         CopyMechanism::ProgressionEngine => None,
     };

@@ -7,6 +7,7 @@
 //! partition / step so a chaos-test failure is diagnosable from the error
 //! alone.
 
+use parcomm_net::TopologyError;
 use parcomm_ucx::UcxError;
 
 /// Typed failure of an MPI-level operation.
@@ -54,6 +55,9 @@ pub enum MpiError {
         /// What was wrong.
         context: String,
     },
+    /// The cluster spec handed to world construction is structurally
+    /// invalid (zero nodes, zero GPUs per node, more NICs than GPUs, …).
+    InvalidTopology(TopologyError),
     /// A transport-layer (UCX) failure bubbled up.
     Transport(UcxError),
 }
@@ -82,6 +86,7 @@ impl std::fmt::Display for MpiError {
                 write!(f, "rank {rank}: progression engine halted")
             }
             MpiError::InvalidArgument { context } => write!(f, "invalid argument: {context}"),
+            MpiError::InvalidTopology(e) => write!(f, "invalid topology: {e}"),
             MpiError::Transport(e) => write!(f, "transport error: {e}"),
         }
     }

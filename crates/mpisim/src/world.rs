@@ -10,7 +10,7 @@ use std::sync::Arc;
 use parcomm_sim::Mutex;
 
 use parcomm_gpu::{CostModel, EmissionFaultConfig, Gpu, GpuId, Location, Unit};
-use parcomm_net::{ClusterSpec, Fabric, NetFaultConfig};
+use parcomm_net::{ClusterSpec, Fabric, NetFaultConfig, Topology};
 use parcomm_obs::{Counter, Histogram, MetricsRegistry};
 use parcomm_sim::{Ctx, SimBarrier, SimDuration, Simulation};
 use parcomm_ucx::{UcxUniverse, Worker, WorkerAddress};
@@ -89,6 +89,7 @@ impl WorldConfig {
 
 struct WorldInner {
     config: WorldConfig,
+    topology: Topology,
     fabric: Fabric,
     universe: UcxUniverse,
     matching: MatchTable,
@@ -108,17 +109,29 @@ pub struct MpiWorld {
 }
 
 impl MpiWorld {
-    /// Build a world over a fresh fabric; one rank per GPU.
+    /// Build a world over a fresh fabric; one rank per GPU. Panics on a
+    /// malformed cluster spec; use [`MpiWorld::try_new`] for the typed
+    /// error.
     pub fn new(sim: &Simulation, config: WorldConfig) -> Self {
-        let fabric = Fabric::new(sim.handle(), config.cluster.clone());
+        MpiWorld::try_new(sim, config).unwrap_or_else(|e| panic!("MPI world construction: {e}"))
+    }
+
+    /// Fallible form of [`MpiWorld::new`]: validates the cluster shape and
+    /// returns [`crate::MpiError::InvalidTopology`] instead of panicking on
+    /// a degenerate spec (zero nodes, zero GPUs, more NICs than GPUs, …).
+    pub fn try_new(sim: &Simulation, config: WorldConfig) -> Result<Self, crate::MpiError> {
+        let fabric = Fabric::try_new(sim.handle(), config.cluster.clone())
+            .map_err(crate::MpiError::InvalidTopology)?;
+        let topology = fabric.topology();
         if let Some(nf) = &config.net_faults {
             fabric.arm_faults(nf.clone());
         }
         let universe = UcxUniverse::new(fabric.clone());
-        let size = config.cluster.total_gpus() as usize;
-        MpiWorld {
+        let size = topology.num_ranks();
+        Ok(MpiWorld {
             inner: Arc::new(WorldInner {
                 config,
+                topology,
                 fabric,
                 universe,
                 matching: MatchTable::new(),
@@ -127,7 +140,7 @@ impl MpiWorld {
                 start_barrier: SimBarrier::new(size),
                 metrics: Mutex::new(None),
             }),
-        }
+        })
     }
 
     /// Create a [`MetricsRegistry`] and attach every layer's instruments to
@@ -183,15 +196,20 @@ impl MpiWorld {
         &self.inner.universe
     }
 
+    /// The validated cluster topology (rank ↔ GPU mapping, locality
+    /// queries, NIC rails).
+    pub fn topology(&self) -> Topology {
+        self.inner.topology
+    }
+
     /// The GPU identity rank `r` drives.
     pub fn gpu_of(&self, r: usize) -> GpuId {
-        let per = self.inner.config.cluster.gpus_per_node as usize;
-        GpuId { node: (r / per) as u16, index: (r % per) as u8 }
+        self.inner.topology.gpu_of(r)
     }
 
     /// The node rank `r` runs on.
     pub fn node_of(&self, r: usize) -> u16 {
-        self.gpu_of(r).node
+        self.inner.topology.node_of(r)
     }
 
     pub(crate) fn matching(&self) -> &MatchTable {
@@ -292,6 +310,11 @@ impl Rank {
     /// The world this rank belongs to.
     pub fn world(&self) -> &MpiWorld {
         &self.world
+    }
+
+    /// The cluster topology of this rank's world.
+    pub fn topology(&self) -> Topology {
+        self.world.topology()
     }
 
     /// The GPU this rank drives.

@@ -209,9 +209,8 @@ mod tests {
     fn duration_scales_with_bytes_and_ranks() {
         let sim = Simulation::new(SimConfig::default());
         let fabric = Fabric::new(sim.handle(), ClusterSpec::gh200(1));
-        let ring: Vec<Location> = (0..4u8)
-            .map(|i| Location { node: 0, unit: parcomm_gpu::Unit::Gpu(i) })
-            .collect();
+        let topo = fabric.topology();
+        let ring: Vec<Location> = (0..topo.num_ranks()).map(|r| topo.location_of(r)).collect();
         let comm = NcclComm::new(fabric, ring, NcclConfig::default());
         let small = comm.allreduce_duration(1 << 10);
         let large = comm.allreduce_duration(1 << 26);
@@ -226,12 +225,8 @@ mod tests {
     fn inter_node_ring_is_ib_bound() {
         let sim = Simulation::new(SimConfig::default());
         let fabric = Fabric::new(sim.handle(), ClusterSpec::gh200(2));
-        let ring: Vec<Location> = (0..8usize)
-            .map(|i| Location {
-                node: (i / 4) as u16,
-                unit: parcomm_gpu::Unit::Gpu((i % 4) as u8),
-            })
-            .collect();
+        let topo = fabric.topology();
+        let ring: Vec<Location> = (0..topo.num_ranks()).map(|r| topo.location_of(r)).collect();
         let comm = NcclComm::new(fabric, ring, NcclConfig::default());
         let (bw, _) = comm.ring_limits();
         // The two node-crossing hops stripe over 4 NIC rails: 200 GB/s,

@@ -18,6 +18,7 @@ use parcomm_sim::{Event, SimDuration, SimHandle, SimTime, SpanId};
 
 use crate::faults::{NetError, NetFaultConfig, NetFaults};
 use crate::spec::{ClusterSpec, LinkSpec};
+use crate::topology::{RouteClass, Topology, TopologyError};
 
 /// Index of a physical link within the fabric.
 #[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
@@ -88,6 +89,7 @@ struct NetInstruments {
 
 struct FabricInner {
     spec: ClusterSpec,
+    topology: Topology,
     handle: SimHandle,
     links: Vec<Link>,
     index: HashMap<LinkKey, LinkId>,
@@ -107,7 +109,17 @@ pub struct Fabric {
 
 impl Fabric {
     /// Build the fabric for `spec`, scheduling completions on `handle`.
+    /// Panics on a malformed spec; use [`Fabric::try_new`] for the typed
+    /// error.
     pub fn new(handle: SimHandle, spec: ClusterSpec) -> Fabric {
+        Fabric::try_new(handle, spec)
+            .unwrap_or_else(|e| panic!("invalid cluster spec: {e}"))
+    }
+
+    /// Fallible form of [`Fabric::new`]: validates the spec's shape into a
+    /// [`Topology`] and reports the typed defect instead of panicking.
+    pub fn try_new(handle: SimHandle, spec: ClusterSpec) -> Result<Fabric, TopologyError> {
+        let topology = spec.topology()?;
         let mut links = Vec::new();
         let mut index = HashMap::new();
         let mut add = |key: LinkKey, ls: &LinkSpec| {
@@ -131,23 +143,24 @@ impl Fabric {
                 add(LinkKey::Ib { node, nic, up: false }, &spec.ib);
             }
         }
-        Fabric {
+        Ok(Fabric {
             inner: Arc::new(FabricInner {
                 spec,
+                topology,
                 handle,
                 links,
                 index,
                 faults: Mutex::new(None),
                 instruments: Mutex::new(None),
             }),
-        }
+        })
     }
 
     /// Attach metrics instruments (`net.transfers`, `net.bytes`,
     /// `net.fault_penalties`, `net.bytes_hist`, `net.rail<N>.bytes`) to the
     /// given registry.
     pub fn attach_metrics(&self, registry: &MetricsRegistry) {
-        let rails = (0..self.inner.spec.nics_per_node)
+        let rails = (0..self.inner.topology.nics_per_node())
             .map(|nic| registry.counter(&format!("net.rail{nic}.bytes")))
             .collect();
         *self.inner.instruments.lock() = Some(NetInstruments {
@@ -191,6 +204,11 @@ impl Fabric {
         &self.inner.spec
     }
 
+    /// The validated topology of this fabric.
+    pub fn topology(&self) -> Topology {
+        self.inner.topology
+    }
+
     /// The simulation handle the fabric schedules on.
     pub fn sim(&self) -> &SimHandle {
         &self.inner.handle
@@ -205,10 +223,7 @@ impl Fabric {
     }
 
     fn nic_for(&self, unit: Unit) -> u8 {
-        match unit {
-            Unit::Gpu(i) => i % self.inner.spec.nics_per_node,
-            Unit::Cpu => 0,
-        }
+        self.inner.topology.nic_of(unit)
     }
 
     /// Pick a usable NIC on `node` for a transfer starting at `at`,
@@ -217,7 +232,7 @@ impl Fabric {
     fn pick_nic(&self, node: u16, preferred: u8, at: SimTime) -> Result<u8, NetError> {
         let guard = self.inner.faults.lock();
         let Some(f) = guard.as_ref() else { return Ok(preferred) };
-        let n = self.inner.spec.nics_per_node;
+        let n = self.inner.topology.nics_per_node();
         for i in 0..n {
             let nic = (preferred + i) % n;
             if f.nic_up(node, nic, at) {
@@ -230,7 +245,7 @@ impl Fabric {
     /// The NIC rails (paired by index on both nodes) usable at `at` for a
     /// striped cross-node transfer. Errors only when no rail survives.
     fn up_rails(&self, src_node: u16, dst_node: u16, at: SimTime) -> Result<Vec<u8>, NetError> {
-        let n = self.inner.spec.nics_per_node;
+        let n = self.inner.topology.nics_per_node();
         let guard = self.inner.faults.lock();
         let Some(f) = guard.as_ref() else { return Ok((0..n).collect()) };
         let rails: Vec<u8> = (0..n)
@@ -270,31 +285,34 @@ impl Fabric {
     /// GPU-direct PCIe/C2C cost folded into the IB latency.
     pub fn route(&self, src: Location, dst: Location) -> Route {
         let mut links = Vec::with_capacity(2);
-        if src == dst {
+        match RouteClass::classify(src, dst) {
             // Local copy within one unit's memory: host-mem pseudo-link for
-            // CPUs; GPos-local copies are modeled by the GPU cost model and
+            // CPUs; GPU-local copies are modeled by the GPU cost model and
             // take the host-mem link's latency floor here.
-            links.push(self.link(LinkKey::HostMem { node: src.node }));
-        } else if src.node == dst.node {
-            match (src.unit, dst.unit) {
+            RouteClass::SameGpu | RouteClass::HostLocal => {
+                links.push(self.link(LinkKey::HostMem { node: src.node }));
+            }
+            RouteClass::NvLink => match (src.unit, dst.unit) {
                 (Unit::Gpu(a), Unit::Gpu(b)) => {
                     links.push(self.link(LinkKey::NvLink { node: src.node, src: a, dst: b }));
                 }
+                _ => unreachable!("NvLink class implies GPU endpoints"),
+            },
+            RouteClass::C2cHost => match (src.unit, dst.unit) {
                 (Unit::Gpu(a), Unit::Cpu) => {
                     links.push(self.link(LinkKey::C2c { node: src.node, gpu: a, up: true }));
                 }
                 (Unit::Cpu, Unit::Gpu(b)) => {
                     links.push(self.link(LinkKey::C2c { node: src.node, gpu: b, up: false }));
                 }
-                (Unit::Cpu, Unit::Cpu) => {
-                    links.push(self.link(LinkKey::HostMem { node: src.node }));
-                }
+                _ => unreachable!("C2cHost class implies one GPU and one CPU endpoint"),
+            },
+            RouteClass::IbCrossNode => {
+                let src_nic = self.nic_for(src.unit);
+                let dst_nic = self.nic_for(dst.unit);
+                links.push(self.link(LinkKey::Ib { node: src.node, nic: src_nic, up: true }));
+                links.push(self.link(LinkKey::Ib { node: dst.node, nic: dst_nic, up: false }));
             }
-        } else {
-            let src_nic = self.nic_for(src.unit);
-            let dst_nic = self.nic_for(dst.unit);
-            links.push(self.link(LinkKey::Ib { node: src.node, nic: src_nic, up: true }));
-            links.push(self.link(LinkKey::Ib { node: dst.node, nic: dst_nic, up: false }));
         }
         let latency = links
             .iter()
@@ -525,7 +543,7 @@ impl Fabric {
     pub fn striped_bandwidth_gbps(&self, src: Location, dst: Location) -> f64 {
         let base = self.path_bandwidth_gbps(src, dst);
         if src.node != dst.node {
-            base * self.inner.spec.nics_per_node as f64
+            base * self.inner.topology.nics_per_node() as f64
         } else {
             base
         }
@@ -539,7 +557,7 @@ impl Fabric {
         // Mirror transfer_at's multi-rail striping for large cross-node
         // messages: each rail carries an equal share.
         let bytes = if src.node != dst.node && bytes >= Self::STRIPE_THRESHOLD {
-            bytes.div_ceil(self.inner.spec.nics_per_node as u64)
+            bytes.div_ceil(self.inner.topology.nics_per_node() as u64)
         } else {
             bytes
         };

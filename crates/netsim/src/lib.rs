@@ -12,7 +12,9 @@
 mod fabric;
 mod faults;
 mod spec;
+mod topology;
 
 pub use fabric::{Fabric, LinkId, Route, Transfer};
 pub use faults::{NetError, NetFaultConfig, NicOutage, MAX_RETRANSMITS};
 pub use spec::{ClusterSpec, LinkSpec};
+pub use topology::{RouteClass, Topology, TopologyError};

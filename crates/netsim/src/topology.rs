@@ -1,0 +1,385 @@
+//! First-class cluster topology: the single home of rank ↔ (node, GPU)
+//! mapping, locality queries, route classification, and NIC-rail
+//! assignment.
+//!
+//! Every layer that used to do ad-hoc `rank % gpus_per_node` arithmetic
+//! (fabric routing, rkey/IPC eligibility, world construction, collective
+//! schedule builders) asks a [`Topology`] instead. The type is validated at
+//! construction — see [`TopologyError`] — so a malformed [`ClusterSpec`]
+//! fails loudly with a typed error rather than silently wrapping modulo
+//! zero, and it is `Copy`, so handing it to schedule builders or device
+//! code costs nothing.
+//!
+//! Rank layout is the paper's deployment: one rank per GPU, ranks dense by
+//! node (`rank = node * gpus_per_node + local_index`; ranks 0–3 on node 0,
+//! 4–7 on node 1 for the 2×4 GH200 testbed).
+
+use parcomm_gpu::{GpuId, Location, Unit};
+
+use crate::spec::ClusterSpec;
+
+/// A malformed cluster shape, reported at [`Topology`] construction.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TopologyError {
+    /// `nodes == 0`: no cluster.
+    ZeroNodes,
+    /// `gpus_per_node == 0`: ranks are one-per-GPU, so no ranks exist.
+    ZeroGpusPerNode,
+    /// `nics_per_node == 0`: cross-node routes would have no rail.
+    ZeroNics,
+    /// More NICs than GPUs: the `GPU i → NIC i % nics` rail assignment
+    /// would leave rails permanently dark, which is always a spec typo on
+    /// the GH200-style one-NIC-per-GPU designs this models.
+    NicsExceedGpus {
+        /// NICs per node in the offending spec.
+        nics: u8,
+        /// GPUs per node in the offending spec.
+        gpus: u8,
+    },
+    /// A rank index outside `0..num_ranks()`.
+    RankOutOfRange {
+        /// The offending rank.
+        rank: usize,
+        /// World size of the topology.
+        size: usize,
+    },
+    /// A `GpuId` naming a node or on-node index the topology doesn't have.
+    GpuOutOfRange {
+        /// The offending identity.
+        node: u16,
+        /// The offending on-node index.
+        index: u8,
+    },
+}
+
+impl std::fmt::Display for TopologyError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TopologyError::ZeroNodes => write!(f, "cluster spec has zero nodes"),
+            TopologyError::ZeroGpusPerNode => write!(f, "cluster spec has zero GPUs per node"),
+            TopologyError::ZeroNics => write!(f, "cluster spec has zero NICs per node"),
+            TopologyError::NicsExceedGpus { nics, gpus } => {
+                write!(f, "cluster spec has more NICs ({nics}) than GPUs ({gpus}) per node")
+            }
+            TopologyError::RankOutOfRange { rank, size } => {
+                write!(f, "rank {rank} out of range for world of {size} ranks")
+            }
+            TopologyError::GpuOutOfRange { node, index } => {
+                write!(f, "gpu{node}.{index} does not exist in this topology")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TopologyError {}
+
+/// The structural class of a route between two locations. Intra- and
+/// inter-node paths are different *regimes* (different substrate, different
+/// eligibility rules), not just different bandwidth values.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
+pub enum RouteClass {
+    /// Source and destination are the same GPU (local HBM copy).
+    SameGpu,
+    /// GPU → GPU on one node: the dedicated NVLink pair.
+    NvLink,
+    /// GPU ↔ CPU on one node: the NVLink-C2C hop.
+    C2cHost,
+    /// CPU-local traffic on one node: the host-memory pseudo-link.
+    HostLocal,
+    /// Different nodes: NIC uplink → InfiniBand → NIC downlink. The only
+    /// class where Kernel Copy is impossible and rail striping applies.
+    IbCrossNode,
+}
+
+impl RouteClass {
+    /// Classify the route between two locations. Pure — needs no spec,
+    /// because the class depends only on where the endpoints sit.
+    pub fn classify(src: Location, dst: Location) -> RouteClass {
+        if src.node != dst.node {
+            return RouteClass::IbCrossNode;
+        }
+        match (src.unit, dst.unit) {
+            (Unit::Gpu(a), Unit::Gpu(b)) if a == b => RouteClass::SameGpu,
+            (Unit::Gpu(_), Unit::Gpu(_)) => RouteClass::NvLink,
+            (Unit::Gpu(_), Unit::Cpu) | (Unit::Cpu, Unit::Gpu(_)) => RouteClass::C2cHost,
+            (Unit::Cpu, Unit::Cpu) => RouteClass::HostLocal,
+        }
+    }
+
+    /// True when the route never leaves the node.
+    pub fn is_intra_node(self) -> bool {
+        !matches!(self, RouteClass::IbCrossNode)
+    }
+
+    /// True when a CUDA-IPC mapping of device memory can serve this route —
+    /// the Kernel Copy substrate. Exactly the intra-node classes: IPC
+    /// handles never cross the InfiniBand boundary, so cross-node traffic
+    /// must take the Progression Engine path.
+    pub fn ipc_eligible(self) -> bool {
+        self.is_intra_node()
+    }
+}
+
+/// Validated cluster shape with every locality query the stack needs.
+/// `Copy` and three words wide — pass it by value.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub struct Topology {
+    nodes: u16,
+    gpus_per_node: u8,
+    nics_per_node: u8,
+}
+
+impl Topology {
+    /// Build a topology from a raw shape, validating it.
+    pub fn new(nodes: u16, gpus_per_node: u8, nics_per_node: u8) -> Result<Topology, TopologyError> {
+        if nodes == 0 {
+            return Err(TopologyError::ZeroNodes);
+        }
+        if gpus_per_node == 0 {
+            return Err(TopologyError::ZeroGpusPerNode);
+        }
+        if nics_per_node == 0 {
+            return Err(TopologyError::ZeroNics);
+        }
+        if nics_per_node > gpus_per_node {
+            return Err(TopologyError::NicsExceedGpus { nics: nics_per_node, gpus: gpus_per_node });
+        }
+        Ok(Topology { nodes, gpus_per_node, nics_per_node })
+    }
+
+    /// Number of nodes.
+    pub fn nodes(&self) -> u16 {
+        self.nodes
+    }
+
+    /// GPUs on every node.
+    pub fn gpus_per_node(&self) -> u8 {
+        self.gpus_per_node
+    }
+
+    /// NICs on every node.
+    pub fn nics_per_node(&self) -> u8 {
+        self.nics_per_node
+    }
+
+    /// World size: one MPI rank per GPU.
+    pub fn num_ranks(&self) -> usize {
+        self.nodes as usize * self.gpus_per_node as usize
+    }
+
+    fn check_rank(&self, rank: usize) -> usize {
+        assert!(
+            rank < self.num_ranks(),
+            "{}",
+            TopologyError::RankOutOfRange { rank, size: self.num_ranks() }
+        );
+        rank
+    }
+
+    /// The GPU rank `r` drives.
+    pub fn gpu_of(&self, r: usize) -> GpuId {
+        self.check_rank(r);
+        let per = self.gpus_per_node as usize;
+        GpuId { node: (r / per) as u16, index: (r % per) as u8 }
+    }
+
+    /// The rank driving `gpu` (inverse of [`Topology::gpu_of`]).
+    pub fn rank_of(&self, gpu: GpuId) -> usize {
+        assert!(
+            gpu.node < self.nodes && gpu.index < self.gpus_per_node,
+            "{}",
+            TopologyError::GpuOutOfRange { node: gpu.node, index: gpu.index }
+        );
+        gpu.node as usize * self.gpus_per_node as usize + gpu.index as usize
+    }
+
+    /// The node rank `r` runs on.
+    pub fn node_of(&self, r: usize) -> u16 {
+        self.gpu_of(r).node
+    }
+
+    /// Rank `r`'s GPU index on its node.
+    pub fn local_index(&self, r: usize) -> u8 {
+        self.gpu_of(r).index
+    }
+
+    /// The fabric location of rank `r`'s GPU.
+    pub fn location_of(&self, r: usize) -> Location {
+        self.gpu_of(r).location()
+    }
+
+    /// True when two ranks share a node.
+    pub fn same_node(&self, a: usize, b: usize) -> bool {
+        self.node_of(a) == self.node_of(b)
+    }
+
+    /// Route class between two ranks' GPUs.
+    pub fn route_class(&self, a: usize, b: usize) -> RouteClass {
+        RouteClass::classify(self.location_of(a), self.location_of(b))
+    }
+
+    /// The NIC rail serving `unit` for cross-node traffic: GPU *i* uses
+    /// NIC *i* mod `nics_per_node` (rail affinity by PCIe proximity on the
+    /// GH200 boards); CPU traffic takes rail 0. This is the one place the
+    /// assignment arithmetic lives.
+    pub fn nic_of(&self, unit: Unit) -> u8 {
+        match unit {
+            Unit::Gpu(i) => i % self.nics_per_node,
+            Unit::Cpu => 0,
+        }
+    }
+
+    /// The NIC rail serving rank `r`'s GPU.
+    pub fn nic_of_rank(&self, r: usize) -> u8 {
+        self.nic_of(Unit::Gpu(self.local_index(r)))
+    }
+
+    /// The designated leader rank (local index 0) of `node`.
+    pub fn node_leader(&self, node: u16) -> usize {
+        assert!(node < self.nodes, "node {node} out of range ({} nodes)", self.nodes);
+        node as usize * self.gpus_per_node as usize
+    }
+
+    /// True when rank `r` is its node's leader.
+    pub fn is_node_leader(&self, r: usize) -> bool {
+        self.local_index(r) == 0
+    }
+
+    /// The contiguous rank range living on `node`.
+    pub fn ranks_on_node(&self, node: u16) -> std::ops::Range<usize> {
+        let lead = self.node_leader(node);
+        lead..lead + self.gpus_per_node as usize
+    }
+
+    /// Next rank on rank `r`'s node-local ring (wraps within the node).
+    pub fn local_next(&self, r: usize) -> usize {
+        let g = self.gpus_per_node as usize;
+        let gpu = self.gpu_of(r);
+        gpu.node as usize * g + (gpu.index as usize + 1) % g
+    }
+
+    /// Previous rank on rank `r`'s node-local ring.
+    pub fn local_prev(&self, r: usize) -> usize {
+        let g = self.gpus_per_node as usize;
+        let gpu = self.gpu_of(r);
+        gpu.node as usize * g + (gpu.index as usize + g - 1) % g
+    }
+
+    /// The same-local-index rank on the next node (wraps): rank `r`'s
+    /// neighbor on its NIC-rail-aligned inter-node ring.
+    pub fn rail_next(&self, r: usize) -> usize {
+        let gpu = self.gpu_of(r);
+        let n = ((gpu.node + 1) % self.nodes) as usize;
+        n * self.gpus_per_node as usize + gpu.index as usize
+    }
+
+    /// The same-local-index rank on the previous node (wraps).
+    pub fn rail_prev(&self, r: usize) -> usize {
+        let gpu = self.gpu_of(r);
+        let n = ((gpu.node + self.nodes - 1) % self.nodes) as usize;
+        n * self.gpus_per_node as usize + gpu.index as usize
+    }
+}
+
+impl ClusterSpec {
+    /// Validate the cluster shape, returning the typed defect if any.
+    pub fn validate(&self) -> Result<(), TopologyError> {
+        self.topology().map(|_| ())
+    }
+
+    /// The validated [`Topology`] of this spec.
+    pub fn topology(&self) -> Result<Topology, TopologyError> {
+        Topology::new(self.nodes, self.gpus_per_node, self.nics_per_node)
+    }
+}
+
+impl std::fmt::Display for Topology {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}x{} ({} NIC/node)", self.nodes, self.gpus_per_node, self.nics_per_node)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn topo(n: u16, g: u8, k: u8) -> Topology {
+        Topology::new(n, g, k).expect("valid topology")
+    }
+
+    #[test]
+    fn validation_rejects_degenerate_shapes() {
+        assert_eq!(Topology::new(0, 4, 4), Err(TopologyError::ZeroNodes));
+        assert_eq!(Topology::new(2, 0, 4), Err(TopologyError::ZeroGpusPerNode));
+        assert_eq!(Topology::new(2, 4, 0), Err(TopologyError::ZeroNics));
+        assert_eq!(
+            Topology::new(2, 2, 4),
+            Err(TopologyError::NicsExceedGpus { nics: 4, gpus: 2 })
+        );
+        let mut spec = ClusterSpec::gh200(2);
+        assert!(spec.validate().is_ok());
+        spec.nodes = 0;
+        assert_eq!(spec.validate(), Err(TopologyError::ZeroNodes));
+    }
+
+    #[test]
+    fn rank_gpu_mapping_round_trips() {
+        let t = topo(3, 4, 2);
+        assert_eq!(t.num_ranks(), 12);
+        for r in 0..t.num_ranks() {
+            let gpu = t.gpu_of(r);
+            assert_eq!(t.rank_of(gpu), r);
+            assert_eq!(t.node_of(r), gpu.node);
+            assert_eq!(t.local_index(r), gpu.index);
+            assert_eq!(t.location_of(r), gpu.location());
+        }
+        assert_eq!(t.gpu_of(5), GpuId { node: 1, index: 1 });
+    }
+
+    #[test]
+    #[should_panic(expected = "rank 12 out of range")]
+    fn rank_out_of_range_panics() {
+        topo(3, 4, 2).gpu_of(12);
+    }
+
+    #[test]
+    fn route_classes() {
+        let gpu = |node, i| Location { node, unit: Unit::Gpu(i) };
+        let cpu = |node| Location { node, unit: Unit::Cpu };
+        assert_eq!(RouteClass::classify(gpu(0, 1), gpu(0, 1)), RouteClass::SameGpu);
+        assert_eq!(RouteClass::classify(gpu(0, 1), gpu(0, 2)), RouteClass::NvLink);
+        assert_eq!(RouteClass::classify(gpu(0, 1), cpu(0)), RouteClass::C2cHost);
+        assert_eq!(RouteClass::classify(cpu(0), gpu(0, 3)), RouteClass::C2cHost);
+        assert_eq!(RouteClass::classify(cpu(0), cpu(0)), RouteClass::HostLocal);
+        assert_eq!(RouteClass::classify(gpu(0, 1), gpu(1, 1)), RouteClass::IbCrossNode);
+        assert!(RouteClass::NvLink.ipc_eligible());
+        assert!(RouteClass::C2cHost.ipc_eligible());
+        assert!(!RouteClass::IbCrossNode.ipc_eligible());
+        assert!(!RouteClass::IbCrossNode.is_intra_node());
+    }
+
+    #[test]
+    fn rails_and_rings() {
+        let t = topo(4, 4, 2);
+        // GPU i rides NIC i % 2.
+        assert_eq!(t.nic_of(Unit::Gpu(0)), 0);
+        assert_eq!(t.nic_of(Unit::Gpu(3)), 1);
+        assert_eq!(t.nic_of(Unit::Cpu), 0);
+        assert_eq!(t.nic_of_rank(7), 1);
+        // Leaders and node rank ranges.
+        assert_eq!(t.node_leader(2), 8);
+        assert!(t.is_node_leader(8));
+        assert!(!t.is_node_leader(9));
+        assert_eq!(t.ranks_on_node(1), 4..8);
+        // Node-local ring wraps within the node.
+        assert_eq!(t.local_next(7), 4);
+        assert_eq!(t.local_prev(4), 7);
+        // Rail ring hops nodes at fixed local index.
+        assert_eq!(t.rail_next(13), 1); // node 3, gpu 1 -> node 0, gpu 1
+        assert_eq!(t.rail_prev(1), 13);
+        assert_eq!(t.route_class(0, 1), RouteClass::NvLink);
+        assert_eq!(t.route_class(0, 4), RouteClass::IbCrossNode);
+        assert!(t.same_node(4, 7));
+        assert!(!t.same_node(3, 4));
+    }
+}

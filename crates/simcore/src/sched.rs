@@ -244,7 +244,7 @@ impl Simulation {
             }),
             yield_tx,
             shutdown: AtomicBool::new(false),
-            trace: Trace::default(),
+            trace: Trace::for_sim(cfg.seed),
         });
         Simulation { core, yield_rx, started: false }
     }

@@ -27,7 +27,7 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
 use parcomm_gpu::{Buffer, Location, MemSpace};
-use parcomm_net::Fabric;
+use parcomm_net::{Fabric, RouteClass};
 use parcomm_sim::{Event, Mutex, SimDuration, SimHandle, SimTime, SpanId};
 
 use crate::worker::{Endpoint, UcxError, UcxUniverse, Worker};
@@ -83,23 +83,25 @@ impl RKey {
 
     /// Direct load/store mapping of the remote region (`ucp_rkey_ptr`).
     ///
-    /// Only available when the region is GPU global memory on the same node
-    /// as the caller — the CUDA-IPC transport the paper modified. All other
-    /// combinations return [`UcxError::RkeyPtrUnavailable`], matching
-    /// mainline UCX exposing this only for host-reachable mappings.
-    pub fn rkey_ptr(&self, caller_node: u16) -> Result<IpcMapping, UcxError> {
+    /// Only available when the region is GPU global memory and the route
+    /// from `caller` to it is IPC-eligible ([`RouteClass::ipc_eligible`]:
+    /// any intra-node class) — the CUDA-IPC transport the paper modified.
+    /// Cross-node routes and non-CUDA regions return
+    /// [`UcxError::RkeyPtrUnavailable`], matching mainline UCX exposing
+    /// this only for host-reachable mappings; cross-node traffic must take
+    /// the Progression Engine path.
+    pub fn rkey_ptr(&self, caller: Location) -> Result<IpcMapping, UcxError> {
         if !self.ipc_valid.load(Ordering::Acquire) {
             return Err(UcxError::MappingRevoked);
         }
-        match self.buffer.space() {
-            MemSpace::Device { node, .. } if node == caller_node => {
-                Ok(IpcMapping { buffer: self.buffer.clone(), valid: self.ipc_valid.clone() })
-            }
-            MemSpace::Device { .. } => {
-                Err(UcxError::RkeyPtrUnavailable("peer GPU is on a different node"))
-            }
-            _ => Err(UcxError::RkeyPtrUnavailable("region is not CUDA memory")),
+        let space = self.buffer.space();
+        if !matches!(space, MemSpace::Device { .. }) {
+            return Err(UcxError::RkeyPtrUnavailable("region is not CUDA memory"));
         }
+        if !RouteClass::classify(caller, space.location()).ipc_eligible() {
+            return Err(UcxError::RkeyPtrUnavailable("peer GPU is on a different node"));
+        }
+        Ok(IpcMapping { buffer: self.buffer.clone(), valid: self.ipc_valid.clone() })
     }
 
     /// Revoke the CUDA-IPC mapping (fault injection: the driver tore down

@@ -189,20 +189,21 @@ fn rkey_ptr_rules() {
     let k_other = w.mem_map(&dev_other).pack_rkey();
     let k_host = w.mem_map(&host).pack_rkey();
 
-    let mapped = k_same.rkey_ptr(0).expect("same-node device rkey_ptr");
+    let caller = Location { node: 0, unit: Unit::Gpu(0) };
+    let mapped = k_same.rkey_ptr(caller).expect("same-node device rkey_ptr");
     assert!(mapped.is_valid());
     mapped.buffer().write_f64(0, 9.5);
     assert_eq!(dev_same.read_f64(0), 9.5);
 
-    assert!(matches!(k_other.rkey_ptr(0), Err(UcxError::RkeyPtrUnavailable(_))));
-    assert!(matches!(k_host.rkey_ptr(0), Err(UcxError::RkeyPtrUnavailable(_))));
+    assert!(matches!(k_other.rkey_ptr(caller), Err(UcxError::RkeyPtrUnavailable(_))));
+    assert!(matches!(k_host.rkey_ptr(caller), Err(UcxError::RkeyPtrUnavailable(_))));
 
     // Revocation: every mapping derived from any clone of the key dies, and
     // further rkey_ptr calls surface the typed error.
     let k_clone = k_same.clone();
     k_clone.revoke_ipc();
     assert!(!mapped.is_valid());
-    assert!(matches!(k_same.rkey_ptr(0), Err(UcxError::MappingRevoked)));
+    assert!(matches!(k_same.rkey_ptr(caller), Err(UcxError::MappingRevoked)));
 }
 
 #[test]
