@@ -10,6 +10,7 @@ fn main() {
     b::ablations::run_poll_interval(q).emit();
     b::ablations::run_transport_sweep(q).emit();
     b::ablations::run_counter_aggregation(q).emit();
+    b::striping::run(q).emit();
     b::ablations::run_fault_goodput(q, b::fault_seed().unwrap_or(0xC4A05)).emit();
     b::obsrun::emit_requested_outputs(q);
 }

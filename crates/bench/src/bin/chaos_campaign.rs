@@ -39,9 +39,10 @@ fn main() {
     }
     let threads = parcomm_bench::threads();
     eprintln!(
-        "chaos campaign: {} seeds x {} rates on {} worker(s)",
+        "chaos campaign: {} seeds x {} rates x {} stripe counts on {} worker(s)",
         cfg.seeds,
         cfg.rates.len(),
+        cfg.stripes.len(),
         threads
     );
     let outcomes = match arg_value("--out") {

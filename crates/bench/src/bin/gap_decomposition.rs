@@ -17,7 +17,7 @@ use parcomm_apps::nccl_for_world;
 use parcomm_bench as b;
 use parcomm_coll::{pallreduce_init, pallreduce_init_hierarchical};
 use parcomm_gpu::KernelSpec;
-use parcomm_mpi::{MpiError, MpiWorld, Rank};
+use parcomm_mpi::{MpiError, MpiWorld, Rank, WorldConfig};
 use parcomm_obs::{chrome_trace_json, is_causal_category, occupancy, CriticalPath};
 use parcomm_sim::{Ctx, SimTime, Simulation};
 
@@ -151,19 +151,27 @@ fn main() {
 
 /// Two-node extension of the gap decomposition: where do the *cross-node*
 /// bytes and the end-to-end dependency chain go once the allreduce spans
-/// an IB hop? Prints, for the flat and the node-aware hierarchical ring
-/// on 8 GH200 (2 nodes): per-NIC-rail cross-node byte counts (the
+/// an IB hop? Prints, for the flat ring, the node-aware hierarchical
+/// ring, and the flat ring with 4-way multi-path striping on 8 GH200
+/// (2 nodes): per-NIC-rail cross-node byte counts (the
 /// `net.rail<N>.bytes` fabric counters) and the critical path through the
 /// measured epoch's causal span graph. Appended after the one-node tables,
 /// which stay byte-identical.
 fn two_node_section() {
     let n = 1024usize * 1024;
-    for hierarchical in [false, true] {
-        let label =
-            if hierarchical { "hierarchical ring, 2 nodes" } else { "flat ring, 2 nodes" };
+    for (hierarchical, stripes) in [(false, 1usize), (true, 1), (false, 4)] {
+        let label = match (hierarchical, stripes) {
+            (true, _) => "hierarchical ring, 2 nodes".to_string(),
+            (false, 1) => "flat ring, 2 nodes".to_string(),
+            (false, s) => format!("flat ring + {s}-stripe striping, 2 nodes"),
+        };
         let mut sim = Simulation::with_seed(0xDEC02);
         let trace = sim.trace();
-        let world = MpiWorld::gh200(&sim, 2);
+        let world = {
+            let mut cfg = WorldConfig::gh200(2);
+            cfg.stripes = stripes;
+            MpiWorld::new(&sim, cfg)
+        };
         let registry = world.enable_metrics();
         let topo = world.topology();
         let window = Arc::new(Mutex::new((SimTime::ZERO, SimTime::ZERO)));
@@ -237,6 +245,13 @@ fn two_node_section() {
                 100.0 * *bytes as f64 / total.max(1) as f64
             );
         }
+        let max_share =
+            100.0 * rail.iter().copied().max().unwrap_or(0) as f64 / total.max(1) as f64;
+        println!(
+            "  max rail share: {max_share:.1}% of cross-node bytes across {} rails{}",
+            rail.len(),
+            if max_share <= 50.0 { " — balanced (no rail above 50%)" } else { "" }
+        );
         let spans = trace.spans();
         let path = CriticalPath::from_spans(&spans);
         let cross_hops = path

@@ -26,6 +26,7 @@ fn main() {
     b::fig0809::run_fig09(q).emit();
     b::fig1011::run_fig10(q).emit();
     b::fig1011::run_fig11(q).emit();
+    b::striping::run(q).emit();
     if let Some(seed) = b::fault_seed() {
         b::ablations::run_fault_goodput(q, seed).emit();
     }

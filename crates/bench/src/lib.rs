@@ -21,6 +21,7 @@ pub mod pbench;
 pub mod report;
 pub mod scaling;
 pub mod stats;
+pub mod striping;
 pub mod table1;
 
 pub use report::{fault_seed, metrics_out, quick_mode, threads, trace_out, Experiment};

@@ -144,6 +144,7 @@ impl CollectiveEngine {
         let mut send = BTreeMap::new();
         let mut peers: Vec<usize> = out_steps.keys().copied().collect();
         peers.sort_unstable();
+        let stripes = rank.world().config().stripes;
         for o in peers {
             let steps = out_steps.remove(&o).expect("key exists");
             let slots = user_partitions * steps.len();
@@ -152,6 +153,14 @@ impl CollectiveEngine {
             // Each (partition, step) slot travels independently: one
             // transport partition per slot.
             sreq.set_transport_partitions(slots)?;
+            // Cross-node channels stripe their data puts over the NIC
+            // rails when the world asks for it; intra-node hops keep the
+            // dedicated NVLink pair (the hierarchical schedule already
+            // saturates it, and leaving them single-path keeps stripes=1
+            // worlds bit-identical to the pre-striping stack).
+            if stripes > 1 && !rank.topology().same_node(rank.rank(), o) {
+                sreq.set_stripes(stripes)?;
+            }
             let slot_of_step = steps.iter().enumerate().map(|(j, &s)| (s, j)).collect();
             send.insert(o, SendChannel { sreq, stage, steps, slot_of_step });
         }

@@ -468,10 +468,11 @@ mod tests {
                 }
             }
         }
-        for c in 0..chunks {
-            let want: u64 = (0..p).map(|r| ((r + 1) * (c + 1)) as u64).sum();
-            for r in 0..p {
-                assert_eq!(vals[r][c], want, "rank {r} chunk {c}");
+        for (r, v) in vals.iter().enumerate() {
+            assert_eq!(v.len(), chunks);
+            for (c, &got) in v.iter().enumerate() {
+                let want: u64 = (0..p).map(|rr| ((rr + 1) * (c + 1)) as u64).sum();
+                assert_eq!(got, want, "rank {r} chunk {c}");
             }
         }
     }

@@ -27,7 +27,7 @@ use parcomm_sim::Mutex;
 use parcomm_gpu::{Buffer, CostModel, MemSpace};
 use parcomm_mpi::{chunk_range, MpiError, MpiWorld, ProgressionEngine, Rank};
 use parcomm_sim::{CountEvent, Ctx, SimDuration, SimHandle, SimTime, SpanId};
-use parcomm_ucx::{AmMessage, Endpoint, PutAttr, PutHandle, RKey, Worker};
+use parcomm_ucx::{AmMessage, Endpoint, PutAttr, PutHandle, RKey, Worker, MAX_STRIPES};
 
 use crate::channel::{am_tag, Channel, ReadyToReceive, ReceiverSetup, SenderSetup};
 use crate::overheads::ApiOverheads;
@@ -66,6 +66,11 @@ pub(crate) struct SendState {
     /// Host staging for the chained flag puts: one u64 per user partition,
     /// holding the current epoch number.
     pub flag_stage: Buffer,
+    /// Stripe count for the data puts: each transport partition's payload
+    /// splits into up to this many stripes routed concurrently over the
+    /// eligible fabric paths. `1` (the default) is the classic single-path
+    /// protocol, untouched.
+    pub stripes: usize,
 }
 
 pub(crate) struct PsendShared {
@@ -178,6 +183,7 @@ pub fn psend_init(
                 user_ready: vec![false; partitions],
                 sent: vec![false; 1],
                 flag_stage,
+                stripes: 1,
             }),
             transport_complete: CountEvent::named("psend transport_complete"),
             puts: Arc::new(Mutex::new(Vec::new())),
@@ -225,6 +231,34 @@ impl PsendRequest {
         st.transport_partitions = t;
         st.ready = vec![0; t];
         st.sent = vec![false; t];
+        Ok(())
+    }
+
+    /// Current stripe count for this channel's data puts.
+    pub fn stripes(&self) -> usize {
+        self.inner.state.lock().stripes
+    }
+
+    /// Configure multi-path striping: split each transport partition's data
+    /// put into up to `stripes` stripes routed concurrently over the
+    /// eligible fabric paths (NIC rails across nodes, NVLink relays within
+    /// one). The plan degrades gracefully when the route offers fewer
+    /// paths; `1` restores the exact single-path protocol. Must be called
+    /// before any partition of the current epoch is marked ready; `stripes`
+    /// must be in `1..=MAX_STRIPES`.
+    pub fn set_stripes(&self, stripes: usize) -> Result<(), MpiError> {
+        if !(1..=MAX_STRIPES).contains(&stripes) {
+            return Err(MpiError::InvalidArgument {
+                context: format!("invalid stripe count {stripes} (max {MAX_STRIPES})"),
+            });
+        }
+        let mut st = self.inner.state.lock();
+        if !st.ready.iter().all(|&c| c == 0) {
+            return Err(MpiError::InvalidArgument {
+                context: "set_stripes after partitions were marked ready".into(),
+            });
+        }
+        st.stripes = stripes;
         Ok(())
     }
 
@@ -538,7 +572,7 @@ impl PsendShared {
         cause: SpanId,
         pready_at: SimTime,
     ) {
-        let (ep, data_rkey, flag_rkey, notifier, flag_stage, t) = {
+        let (ep, data_rkey, flag_rkey, notifier, flag_stage, t, stripes) = {
             let st = self.state.lock();
             (
                 self.endpoint.clone(),
@@ -547,6 +581,7 @@ impl PsendShared {
                 st.notifier.clone().expect("pbuf_prepare not completed"),
                 st.flag_stage.clone(),
                 st.transport_partitions,
+                st.stripes,
             )
         };
         let (u0, ulen) = chunk_range(self.user_partitions, t, k);
@@ -562,12 +597,18 @@ impl PsendShared {
             partition: Some(k as u32),
         };
         let world = self.world.clone();
-        let h = ep.put_nbx_attr(
+        // The data put carries the channel's stripe count; stripe count 1
+        // is put_nbx_attr exactly. The chained flag put below is never
+        // striped — it is 8 bytes per user partition of control traffic,
+        // and it must observe the *assembled* payload, which the striped
+        // put's completion (firing at the assembly barrier) guarantees.
+        let h = ep.put_nbx_striped(
             &self.buffer,
             byte_off,
             byte_len,
             &data_rkey,
             byte_off,
+            stripes,
             attr,
             cause,
             move |_h, complete_span| {

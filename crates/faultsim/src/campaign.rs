@@ -27,6 +27,10 @@ pub struct CampaignConfig {
     pub rates: Vec<f64>,
     /// GH200 nodes in the world.
     pub nodes: u16,
+    /// Cross-node stripe counts each `(seed, rate)` point runs at — the
+    /// multi-path striping axis. Stripe count 1 is the classic single-path
+    /// protocol; higher counts exercise re-striping under NIC outages.
+    pub stripes: Vec<usize>,
 }
 
 impl CampaignConfig {
@@ -46,6 +50,7 @@ impl CampaignConfig {
             seeds: if quick { 2 } else { 8 },
             rates: vec![0.4, 0.9],
             nodes: 2,
+            stripes: vec![1, 4],
         }
     }
 }
@@ -57,6 +62,8 @@ pub struct CellOutcome {
     pub fault_seed: u64,
     /// Chaos rate of this cell's plan.
     pub rate: f64,
+    /// Cross-node stripe count of this cell's world.
+    pub stripes: usize,
     /// Trace digest of the faulted run.
     pub digest: u64,
     /// Virtual completion time (µs) of the faulted run.
@@ -79,9 +86,10 @@ impl CellOutcome {
     /// diffing two reports proves two runs agreed cell for cell).
     pub fn render(&self) -> String {
         format!(
-            "seed={:#x} rate={} digest={:#018x} end_us={:.3} survived={} replayed={} numeric_ok={}",
+            "seed={:#x} rate={} stripes={} digest={:#018x} end_us={:.3} survived={} replayed={} numeric_ok={}",
             self.fault_seed,
             self.rate,
+            self.stripes,
             self.digest,
             self.end_time_us,
             self.survived,
@@ -96,6 +104,7 @@ impl CellValue for CellOutcome {
         JsonValue::Object(vec![
             ("fault_seed".to_string(), self.fault_seed.to_json()),
             ("rate".to_string(), self.rate.to_json()),
+            ("stripes".to_string(), (self.stripes as u64).to_json()),
             ("digest".to_string(), self.digest.to_json()),
             ("end_time_us".to_string(), self.end_time_us.to_json()),
             ("survived".to_string(), self.survived.to_json()),
@@ -108,6 +117,7 @@ impl CellValue for CellOutcome {
         Some(CellOutcome {
             fault_seed: u64::from_json(v.get("fault_seed")?)?,
             rate: f64::from_json(v.get("rate")?)?,
+            stripes: u64::from_json(v.get("stripes")?)? as usize,
             digest: u64::from_json(v.get("digest")?)?,
             end_time_us: f64::from_json(v.get("end_time_us")?)?,
             survived: bool::from_json(v.get("survived")?)?,
@@ -117,31 +127,35 @@ impl CellValue for CellOutcome {
     }
 }
 
-/// Build the campaign's sweep: one cell per `(fault seed, rate)` point,
-/// keyed `seed=0x…,rate=…` in grid order. The fault-free baseline runs
-/// once up front (serially) and is captured by every cell for the
-/// numerics check.
+/// Build the campaign's sweep: one cell per `(fault seed, rate, stripes)`
+/// point, keyed `seed=0x…,rate=…,stripes=…` in grid order. The fault-free
+/// baseline runs once up front (serially, single-path) and is captured by
+/// every cell for the numerics check — striped reassembly must reproduce
+/// the single-path numerics bit for bit, chaos or not.
 pub fn campaign_spec(cfg: &CampaignConfig) -> SweepSpec<CellOutcome> {
     let clean = chaos::run_allreduce(cfg.sim_seed, &FaultPlan::none(), cfg.nodes);
     let mut spec = SweepSpec::new();
     for fault_seed in cfg.base_fault_seed..cfg.base_fault_seed + cfg.seeds {
         for &rate in &cfg.rates {
-            let clean_numeric = clean.numeric.clone();
-            let (sim_seed, nodes) = (cfg.sim_seed, cfg.nodes);
-            spec.cell(format!("seed={fault_seed:#x},rate={rate}"), move || {
-                let plan = FaultPlan::chaos(fault_seed, rate);
-                let a = chaos::run_allreduce(sim_seed, &plan, nodes);
-                let b = chaos::run_allreduce(sim_seed, &plan, nodes);
-                CellOutcome {
-                    fault_seed,
-                    rate,
-                    digest: a.digest,
-                    end_time_us: a.end_time_us,
-                    survived: a.survived(),
-                    replayed: a.digest == b.digest,
-                    numeric_ok: a.numeric == clean_numeric,
-                }
-            });
+            for &stripes in &cfg.stripes {
+                let clean_numeric = clean.numeric.clone();
+                let (sim_seed, nodes) = (cfg.sim_seed, cfg.nodes);
+                spec.cell(format!("seed={fault_seed:#x},rate={rate},stripes={stripes}"), move || {
+                    let plan = FaultPlan::chaos(fault_seed, rate);
+                    let a = chaos::run_allreduce_striped(sim_seed, &plan, nodes, stripes);
+                    let b = chaos::run_allreduce_striped(sim_seed, &plan, nodes, stripes);
+                    CellOutcome {
+                        fault_seed,
+                        rate,
+                        stripes,
+                        digest: a.digest,
+                        end_time_us: a.end_time_us,
+                        survived: a.survived(),
+                        replayed: a.digest == b.digest,
+                        numeric_ok: a.numeric == clean_numeric,
+                    }
+                });
+            }
         }
     }
     spec
@@ -175,6 +189,7 @@ mod tests {
         let cell = CellOutcome {
             fault_seed: 0x5EED,
             rate: 0.4,
+            stripes: 4,
             digest: 0xdead_beef_dead_beef,
             end_time_us: 1234.5,
             survived: true,
@@ -184,7 +199,12 @@ mod tests {
         assert_eq!(CellOutcome::from_json(&cell.to_json()), Some(cell.clone()));
         assert!(!cell.ok());
         let line = cell.render();
-        assert!(line.contains("seed=0x5eed") && line.contains("numeric_ok=false"), "{line}");
+        assert!(
+            line.contains("seed=0x5eed")
+                && line.contains("stripes=4")
+                && line.contains("numeric_ok=false"),
+            "{line}"
+        );
     }
 
     #[test]
@@ -197,6 +217,7 @@ mod tests {
             seeds: 1,
             rates: vec![0.4],
             nodes: 1,
+            stripes: vec![1],
         };
         let serial = run_campaign(&cfg, 1);
         let parallel = run_campaign(&cfg, 4);

@@ -59,11 +59,29 @@ pub fn run_world<F>(seed: u64, plan: &FaultPlan, nodes: u16, body: F) -> ChaosRu
 where
     F: Fn(&mut Ctx, &mut Rank) -> Result<Vec<f64>, MpiError> + Send + Sync + 'static,
 {
+    run_world_with(seed, plan, nodes, |_| {}, body)
+}
+
+/// [`run_world`] with an extra hook mutating the [`WorldConfig`] after the
+/// fault plan is applied — the entry point for world-level knobs (stripe
+/// count above all) that are not part of the fault plan itself.
+pub fn run_world_with<C, F>(
+    seed: u64,
+    plan: &FaultPlan,
+    nodes: u16,
+    configure: C,
+    body: F,
+) -> ChaosRun
+where
+    C: FnOnce(&mut WorldConfig),
+    F: Fn(&mut Ctx, &mut Rank) -> Result<Vec<f64>, MpiError> + Send + Sync + 'static,
+{
     let mut sim = Simulation::with_seed(seed);
     let trace = sim.trace();
     trace.enable();
     let mut cfg = WorldConfig::gh200(nodes);
     plan.apply(&mut cfg);
+    configure(&mut cfg);
     let world = MpiWorld::new(&sim, cfg);
     let registry = world.enable_metrics();
     let numeric = Arc::new(Mutex::new(Vec::new()));
@@ -98,7 +116,14 @@ where
 /// the frozen-baseline recipe: with [`FaultPlan::none`] its digest is
 /// byte-identical to the pre-fault-injection build.
 pub fn run_allreduce(seed: u64, plan: &FaultPlan, nodes: u16) -> ChaosRun {
-    run_world(seed, plan, nodes, |ctx, rank| {
+    run_allreduce_striped(seed, plan, nodes, 1)
+}
+
+/// [`run_allreduce`] with the world's cross-node stripe count set: the
+/// chaos-campaign striping axis. `stripes == 1` is exactly
+/// [`run_allreduce`] — same config, same digest.
+pub fn run_allreduce_striped(seed: u64, plan: &FaultPlan, nodes: u16, stripes: usize) -> ChaosRun {
+    run_world_with(seed, plan, nodes, |cfg| cfg.stripes = stripes, |ctx, rank| {
         let partitions = 4usize;
         let n = partitions * rank.size() * 64;
         let buf = rank.gpu().alloc_global(n * 8);

@@ -231,7 +231,7 @@ fn chaos_mix_is_deterministic_and_seed_sensitive() {
 fn chaos_sweep_eight_seeds() {
     let cfg = campaign::CampaignConfig::ci(false);
     let outcomes = campaign::run_campaign(&cfg, parcomm_sweep::threads());
-    assert_eq!(outcomes.len(), 16, "8 seeds x 2 rates");
+    assert_eq!(outcomes.len(), 32, "8 seeds x 2 rates x 2 stripe counts");
     for o in &outcomes {
         assert!(o.replayed, "seed {:#x} rate {}: replay diverged", o.fault_seed, o.rate);
         assert!(o.survived, "seed {:#x} rate {}: rank errors", o.fault_seed, o.rate);

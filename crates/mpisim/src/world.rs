@@ -69,6 +69,11 @@ pub struct WorldConfig {
     pub pe_faults: Vec<(usize, PeFaultConfig)>,
     /// Per-rank device flag-write (emission) fault schedules.
     pub gpu_flag_faults: Vec<(usize, EmissionFaultConfig)>,
+    /// Stripe count for cross-node partitioned data puts issued by the
+    /// collective engine's channels: each data put splits into up to this
+    /// many stripes routed concurrently over the NIC rails. `1` (the
+    /// default) is the classic single-path protocol, bit-for-bit.
+    pub stripes: usize,
 }
 
 impl WorldConfig {
@@ -83,6 +88,7 @@ impl WorldConfig {
             net_faults: None,
             pe_faults: Vec::new(),
             gpu_flag_faults: Vec::new(),
+            stripes: 1,
         }
     }
 }

@@ -17,6 +17,7 @@ use parcomm_obs::{Counter, Histogram, MetricsRegistry};
 use parcomm_sim::{Event, SimDuration, SimHandle, SimTime, SpanId};
 
 use crate::faults::{NetError, NetFaultConfig, NetFaults};
+use crate::multipath::{relay_for_rail, MultiPathPlan, PlanError};
 use crate::spec::{ClusterSpec, LinkSpec};
 use crate::topology::{RouteClass, Topology, TopologyError};
 
@@ -74,6 +75,42 @@ pub struct Transfer {
     /// The transfer's `wire` trace span ([`SpanId::NONE`] when tracing is
     /// off), for causal chaining by the transport above.
     pub span: SpanId,
+}
+
+/// The per-stripe outcome of a planned multi-path transfer: which byte
+/// range landed when, over which rail.
+#[derive(Clone, Debug)]
+pub struct StripeArrival {
+    /// Stripe index within the plan.
+    pub index: usize,
+    /// Byte offset of the stripe within the payload.
+    pub offset: u64,
+    /// Stripe length in bytes.
+    pub len: u64,
+    /// The NIC rail the stripe actually rode (after outage re-striping);
+    /// `None` for intra-node stripes and single-path delegation.
+    pub rail: Option<u8>,
+    /// When the stripe's last byte arrives at the destination.
+    pub arrival: SimTime,
+    /// The stripe's `wire` trace span ([`SpanId::NONE`] when tracing is
+    /// off), for per-stripe causal chaining by the transport above.
+    pub span: SpanId,
+}
+
+/// An in-flight or completed multi-path transfer executed from a
+/// [`MultiPathPlan`]: per-stripe arrivals for partial reassembly plus one
+/// overall completion that fires when the slowest stripe lands.
+#[derive(Clone, Debug)]
+pub struct StripedTransfer {
+    /// When the first stripe's first hop started serializing.
+    pub start: SimTime,
+    /// When the whole payload is reassembled (slowest stripe's arrival,
+    /// plus any fault penalty).
+    pub arrival: SimTime,
+    /// Fires at `arrival`.
+    pub done: Event,
+    /// Per-stripe arrivals, in payload order.
+    pub stripes: Vec<StripeArrival>,
 }
 
 /// Metrics instruments for the fabric; attached via
@@ -535,6 +572,173 @@ impl Fabric {
             .record_attr("wire", start, arrival, dst_rank, partition, cause);
         self.count_transfer(bytes, &rail_shares);
         Ok(Transfer { start, arrival, done, span })
+    }
+
+    /// Compute a [`MultiPathPlan`] splitting `bytes` from `src` to `dst`
+    /// into (up to) `stripes` stripes over the paths this fabric's
+    /// topology offers. Pure planning — reserves nothing; execute with
+    /// [`try_transfer_planned`](Fabric::try_transfer_planned).
+    pub fn plan(
+        &self,
+        src: Location,
+        dst: Location,
+        bytes: u64,
+        stripes: usize,
+    ) -> Result<MultiPathPlan, PlanError> {
+        MultiPathPlan::compute(&self.inner.topology, src, dst, bytes, stripes)
+    }
+
+    /// Execute a [`MultiPathPlan`]: reserve every stripe's partition →
+    /// translate → assemble hops, record one `wire` span per stripe, and
+    /// fire `done` when the slowest stripe lands.
+    ///
+    /// A single-path plan delegates to the ordinary transfer path
+    /// ([`try_transfer_attr`](Fabric::try_transfer_attr)) and is therefore
+    /// bit-for-bit identical to an unplanned transfer — including the
+    /// implicit multi-rail striping for large cross-node messages.
+    ///
+    /// Under an armed NIC outage a multi-stripe cross-node plan
+    /// **re-stripes at issue time**: stripes planned onto a downed rail
+    /// remap deterministically onto the surviving rails (recomputing their
+    /// relay hops), and the transfer only errors — with a typed
+    /// [`NetError`] — when no rail survives on either node.
+    pub fn try_transfer_planned(
+        &self,
+        at: SimTime,
+        plan: &MultiPathPlan,
+        cause: SpanId,
+        dst_rank: Option<u32>,
+        partition: Option<u32>,
+    ) -> Result<StripedTransfer, NetError> {
+        const SEGMENT_BYTES: u64 = 64 * 1024;
+        let now = self.inner.handle.now();
+        let at = at.max(now);
+        if plan.is_single_path() {
+            let t = self.try_transfer_attr(
+                at, plan.src, plan.dst, plan.bytes, cause, dst_rank, partition,
+            )?;
+            return Ok(StripedTransfer {
+                start: t.start,
+                arrival: t.arrival,
+                done: t.done,
+                stripes: vec![StripeArrival {
+                    index: 0,
+                    offset: 0,
+                    len: plan.bytes,
+                    rail: None,
+                    arrival: t.arrival,
+                    span: t.span,
+                }],
+            });
+        }
+        let topo = self.inner.topology;
+        let cross_node = plan.src.node != plan.dst.node;
+        // One survivor query for the whole plan: every stripe re-stripes
+        // against the same outage snapshot, deterministically.
+        let survivors = if cross_node {
+            self.up_rails(plan.src.node, plan.dst.node, at)?
+        } else {
+            Vec::new()
+        };
+        let mut first_start: Option<SimTime> = None;
+        let mut overall = at;
+        let mut rail_shares: Vec<(u8, u64)> = Vec::new();
+        let mut landed: Vec<(u64, u64, Option<u8>, SimTime, SimTime)> = Vec::new();
+        for stripe in &plan.stripes {
+            let (hops, used_rail) = if cross_node {
+                let planned = stripe.rail.expect("cross-node multi-stripe plans pin rails");
+                // Remap onto a surviving rail; identity when the planned
+                // rail is up (the common, fault-free case).
+                let rail = if survivors.contains(&planned) {
+                    planned
+                } else {
+                    survivors[planned as usize % survivors.len()]
+                };
+                // Relays follow the rail actually used, so re-striping
+                // keeps the three-stage pipeline consistent.
+                let src_relay = relay_for_rail(&topo, plan.src.unit, rail);
+                let dst_relay = relay_for_rail(&topo, plan.dst.unit, rail);
+                let mut hops = Vec::with_capacity(4);
+                if let (Unit::Gpu(g), Some(r)) = (plan.src.unit, src_relay) {
+                    hops.push(self.link(LinkKey::NvLink { node: plan.src.node, src: g, dst: r }));
+                }
+                hops.push(self.link(LinkKey::Ib { node: plan.src.node, nic: rail, up: true }));
+                hops.push(self.link(LinkKey::Ib { node: plan.dst.node, nic: rail, up: false }));
+                if let (Unit::Gpu(g), Some(r)) = (plan.dst.unit, dst_relay) {
+                    hops.push(self.link(LinkKey::NvLink { node: plan.dst.node, src: r, dst: g }));
+                }
+                (hops, Some(rail))
+            } else {
+                // Intra-node NVLink multipath: the direct pair, or a
+                // two-hop relay through a peer GPU.
+                let (a, b) = match (plan.src.unit, plan.dst.unit) {
+                    (Unit::Gpu(a), Unit::Gpu(b)) => (a, b),
+                    _ => unreachable!("intra-node multi-stripe plans imply GPU endpoints"),
+                };
+                let node = plan.src.node;
+                let hops = match stripe.src_relay {
+                    None => vec![self.link(LinkKey::NvLink { node, src: a, dst: b })],
+                    Some(r) => vec![
+                        self.link(LinkKey::NvLink { node, src: a, dst: r }),
+                        self.link(LinkKey::NvLink { node, src: r, dst: b }),
+                    ],
+                };
+                (hops, None)
+            };
+            let mut cursor = at;
+            let mut tail = at;
+            let mut latency = SimDuration::ZERO;
+            let mut stripe_start: Option<SimTime> = None;
+            for id in hops {
+                let link = &self.inner.links[id.0];
+                let (s, e) = link.reserve(cursor, stripe.len);
+                if stripe_start.is_none() {
+                    stripe_start = Some(s);
+                }
+                let seg = SimDuration::from_micros_f64(
+                    link.spec.serialize_us(stripe.len.min(SEGMENT_BYTES)),
+                );
+                cursor = s + seg;
+                tail = tail.max(e);
+                latency += SimDuration::from_micros_f64(link.spec.latency_us);
+            }
+            let stripe_start = stripe_start.unwrap_or(at);
+            if first_start.is_none() {
+                first_start = Some(stripe_start);
+            }
+            let stripe_arrival = tail + latency;
+            overall = overall.max(stripe_arrival);
+            if let Some(rail) = used_rail {
+                match rail_shares.iter_mut().find(|(r, _)| *r == rail) {
+                    Some((_, share)) => *share += stripe.len,
+                    None => rail_shares.push((rail, stripe.len)),
+                }
+            }
+            landed.push((stripe.offset, stripe.len, used_rail, stripe_start, stripe_arrival));
+        }
+        let arrival = overall + self.fault_penalty();
+        let done = Event::new();
+        {
+            let done = done.clone();
+            self.inner.handle.schedule_at(arrival, move |h| done.set(h));
+        }
+        let trace = self.inner.handle.trace();
+        let stripes: Vec<StripeArrival> = landed
+            .into_iter()
+            .enumerate()
+            .map(|(index, (offset, len, rail, s, a))| StripeArrival {
+                index,
+                offset,
+                len,
+                rail,
+                arrival: a,
+                span: trace.record_attr("wire", s, a, dst_rank, partition, cause),
+            })
+            .collect();
+        // Rail accounting uses the exact stripe lengths, so the per-rail
+        // counters sum to the payload precisely.
+        self.count_transfer(plan.bytes, &rail_shares);
+        Ok(StripedTransfer { start: first_start.unwrap_or(at), arrival, done, stripes })
     }
 
     /// Effective bandwidth between two locations for a large message,

@@ -11,10 +11,12 @@
 
 mod fabric;
 mod faults;
+mod multipath;
 mod spec;
 mod topology;
 
-pub use fabric::{Fabric, LinkId, Route, Transfer};
+pub use fabric::{Fabric, LinkId, Route, StripeArrival, StripedTransfer, Transfer};
 pub use faults::{NetError, NetFaultConfig, NicOutage, MAX_RETRANSMITS};
+pub use multipath::{MultiPathPlan, PlanError, Stripe, MAX_STRIPES};
 pub use spec::{ClusterSpec, LinkSpec};
 pub use topology::{RouteClass, Topology, TopologyError};

@@ -1,0 +1,381 @@
+//! Multi-path striping plans: splitting one payload across several
+//! physical paths of the cluster.
+//!
+//! A [`MultiPathPlan`] is computed **from the topology alone** — it names
+//! which byte range of the payload rides which path (NIC rail and, where
+//! the CommBench-style three-stage pipeline applies, which relay GPUs the
+//! stripe hops through on the way to / from that rail). The fabric then
+//! executes the plan (`Fabric::try_transfer_planned`), reserving the
+//! partition → translate → assemble hops of every stripe and reassembling
+//! with deterministic completion accounting.
+//!
+//! Plan selection degrades gracefully by class:
+//!
+//! - [`RouteClass::IbCrossNode`]: up to `nics_per_node` stripes, one per
+//!   NIC rail, starting at the source GPU's own rail. A stripe whose rail
+//!   is not the endpoint GPU's own NIC takes an NVLink *partition* hop to
+//!   the GPU fronting that rail (and a mirrored *assemble* hop on the
+//!   destination node) — the three-stage pipeline.
+//! - [`RouteClass::NvLink`]: up to `1 + (gpus_per_node - 2)` stripes — the
+//!   direct pair plus one relay path through every other GPU on the node.
+//! - [`RouteClass::SameGpu`] / [`RouteClass::C2cHost`] /
+//!   [`RouteClass::HostLocal`]: exactly one path exists, so any requested
+//!   stripe count degrades to a single-path plan.
+//!
+//! A **single-path plan** (one stripe, no rail pin, no relays) is the
+//! explicit statement "route this exactly as an unplanned transfer": the
+//! fabric delegates it to the ordinary transfer path, so stripe count 1 is
+//! bit-for-bit identical to the pre-striping stack by construction.
+
+use parcomm_gpu::{Location, Unit};
+
+use crate::topology::{RouteClass, Topology};
+
+/// Upper bound on the stripe count a plan will accept. Far above any rail
+/// count this fabric models; a request beyond it is a caller bug surfaced
+/// as a typed [`PlanError`] rather than silently clamped.
+pub const MAX_STRIPES: usize = 64;
+
+/// Why a multi-path plan could not be built.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum PlanError {
+    /// A stripe count of zero: no payload could travel.
+    ZeroStripes,
+    /// A stripe count above [`MAX_STRIPES`].
+    TooManyStripes {
+        /// The requested stripe count.
+        requested: usize,
+        /// The accepted maximum ([`MAX_STRIPES`]).
+        max: usize,
+    },
+}
+
+impl std::fmt::Display for PlanError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PlanError::ZeroStripes => write!(f, "multi-path plan with zero stripes"),
+            PlanError::TooManyStripes { requested, max } => {
+                write!(f, "multi-path plan with {requested} stripes (max {max})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PlanError {}
+
+/// One stripe of a [`MultiPathPlan`]: a contiguous byte range of the
+/// payload and the path it rides.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Stripe {
+    /// Stripe index within the plan (dense from 0).
+    pub index: usize,
+    /// Byte offset of this stripe within the payload.
+    pub offset: u64,
+    /// Stripe length in bytes (> 0 except for the zero-byte payload's
+    /// single stripe).
+    pub len: u64,
+    /// Partition-stage relay: the source-node GPU the stripe hops to over
+    /// NVLink before leaving the node (or, intra-node, before reaching the
+    /// destination GPU). `None` when the stripe leaves the source GPU
+    /// directly.
+    pub src_relay: Option<u8>,
+    /// Assemble-stage relay on the destination node, mirroring
+    /// [`Stripe::src_relay`].
+    pub dst_relay: Option<u8>,
+    /// The NIC rail the translate stage rides (cross-node plans only).
+    /// `None` pins no rail: the fabric routes as it would unplanned.
+    pub rail: Option<u8>,
+}
+
+/// A computed multi-path striping decision for one payload.
+#[derive(Clone, Debug)]
+pub struct MultiPathPlan {
+    /// Payload source location.
+    pub src: Location,
+    /// Payload destination location.
+    pub dst: Location,
+    /// Total payload bytes.
+    pub bytes: u64,
+    /// Route class between the endpoints (drives path eligibility).
+    pub class: RouteClass,
+    /// The stripe count the caller asked for (before degradation).
+    pub requested: usize,
+    /// The stripes, in payload order. Offsets are contiguous and lengths
+    /// sum to `bytes` exactly.
+    pub stripes: Vec<Stripe>,
+}
+
+impl MultiPathPlan {
+    /// Compute a plan splitting `bytes` from `src` to `dst` into (up to)
+    /// `stripes` stripes over the paths `topo` offers. Degrades the stripe
+    /// count gracefully — never errors on an over-ask relative to the
+    /// *topology*; only a structurally invalid request (zero or absurd
+    /// stripe count) is a typed error.
+    pub fn compute(
+        topo: &Topology,
+        src: Location,
+        dst: Location,
+        bytes: u64,
+        stripes: usize,
+    ) -> Result<MultiPathPlan, PlanError> {
+        if stripes == 0 {
+            return Err(PlanError::ZeroStripes);
+        }
+        if stripes > MAX_STRIPES {
+            return Err(PlanError::TooManyStripes { requested: stripes, max: MAX_STRIPES });
+        }
+        let class = RouteClass::classify(src, dst);
+        let paths = Self::eligible_paths(topo, class);
+        // Every stripe must carry at least one byte (zero-byte payloads
+        // keep one empty stripe so the plan stays well-formed).
+        let effective = stripes.min(paths).min(bytes.max(1) as usize).max(1);
+        let mut out = Vec::with_capacity(effective);
+        if effective == 1 {
+            out.push(Stripe {
+                index: 0,
+                offset: 0,
+                len: bytes,
+                src_relay: None,
+                dst_relay: None,
+                rail: None,
+            });
+        } else {
+            let share = bytes.div_ceil(effective as u64);
+            let mut offset = 0u64;
+            let mut index = 0usize;
+            while offset < bytes {
+                let len = share.min(bytes - offset);
+                let (src_relay, dst_relay, rail) =
+                    Self::path_of(topo, src, dst, class, index);
+                out.push(Stripe { index, offset, len, src_relay, dst_relay, rail });
+                offset += len;
+                index += 1;
+            }
+        }
+        Ok(MultiPathPlan { src, dst, bytes, class, requested: stripes, stripes: out })
+    }
+
+    /// How many concurrently usable paths the topology offers between the
+    /// endpoints.
+    fn eligible_paths(topo: &Topology, class: RouteClass) -> usize {
+        match class {
+            RouteClass::IbCrossNode => topo.nics_per_node() as usize,
+            RouteClass::NvLink => {
+                // The dedicated pair, plus a two-hop relay path through
+                // every GPU that is neither endpoint.
+                1 + (topo.gpus_per_node() as usize).saturating_sub(2)
+            }
+            // One substrate, one path: relaying a local copy through a
+            // peer cannot add bandwidth, so RouteClass forbids striping.
+            RouteClass::SameGpu | RouteClass::C2cHost | RouteClass::HostLocal => 1,
+        }
+    }
+
+    /// The path assignment of stripe `index` for a genuinely multi-path
+    /// plan (`effective > 1`, so only NvLink / IbCrossNode reach here).
+    fn path_of(
+        topo: &Topology,
+        src: Location,
+        dst: Location,
+        class: RouteClass,
+        index: usize,
+    ) -> (Option<u8>, Option<u8>, Option<u8>) {
+        match class {
+            RouteClass::IbCrossNode => {
+                let nics = topo.nics_per_node() as usize;
+                // Rails cycle from the source's own rail so stripe 0 keeps
+                // the endpoint's NIC affinity.
+                let rail = ((topo.nic_of(src.unit) as usize + index) % nics) as u8;
+                (
+                    relay_for_rail(topo, src.unit, rail),
+                    relay_for_rail(topo, dst.unit, rail),
+                    Some(rail),
+                )
+            }
+            RouteClass::NvLink => {
+                let (a, b) = match (src.unit, dst.unit) {
+                    (Unit::Gpu(a), Unit::Gpu(b)) => (a, b),
+                    _ => unreachable!("NvLink class implies GPU endpoints"),
+                };
+                if index == 0 {
+                    // Stripe 0 takes the dedicated pair.
+                    (None, None, None)
+                } else {
+                    // Stripe i relays through the i-th GPU that is neither
+                    // endpoint (ascending index — deterministic).
+                    let relay = (0..topo.gpus_per_node())
+                        .filter(|&g| g != a && g != b)
+                        .nth(index - 1)
+                        .expect("eligible_paths bounds the relay index");
+                    (Some(relay), Some(relay), None)
+                }
+            }
+            _ => unreachable!("single-path classes never reach path_of"),
+        }
+    }
+
+    /// Number of stripes the plan actually carries.
+    pub fn effective_stripes(&self) -> usize {
+        self.stripes.len()
+    }
+
+    /// True when the plan is the explicit single-path degenerate: one
+    /// stripe, no rail pin, no relays — the fabric routes it exactly as an
+    /// unplanned transfer.
+    pub fn is_single_path(&self) -> bool {
+        self.stripes.len() == 1
+            && self.stripes[0].rail.is_none()
+            && self.stripes[0].src_relay.is_none()
+            && self.stripes[0].dst_relay.is_none()
+    }
+}
+
+/// The NVLink relay fronting `rail` for an endpoint `unit`, or `None` when
+/// the endpoint's own NIC *is* that rail (or the endpoint is not a GPU —
+/// host traffic has no NVLink partition stage). Also used by the fabric
+/// when an outage re-stripes a plan onto a surviving rail at issue time.
+pub(crate) fn relay_for_rail(topo: &Topology, unit: Unit, rail: u8) -> Option<u8> {
+    match unit {
+        Unit::Gpu(g) => {
+            if topo.nic_of(Unit::Gpu(g)) == rail {
+                None
+            } else {
+                // GPU index `rail` always fronts NIC `rail` (`nic_of` is
+                // `index % nics` and `rail < nics <= gpus`).
+                Some(rail)
+            }
+        }
+        Unit::Cpu => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn topo(n: u16, g: u8, k: u8) -> Topology {
+        Topology::new(n, g, k).expect("valid topology")
+    }
+
+    fn gpu(node: u16, i: u8) -> Location {
+        Location { node, unit: Unit::Gpu(i) }
+    }
+
+    #[test]
+    fn invalid_stripe_counts_are_typed_errors() {
+        let t = topo(2, 4, 4);
+        match MultiPathPlan::compute(&t, gpu(0, 0), gpu(1, 0), 1024, 0) {
+            Err(PlanError::ZeroStripes) => {}
+            other => panic!("expected ZeroStripes, got {other:?}"),
+        }
+        match MultiPathPlan::compute(&t, gpu(0, 0), gpu(1, 0), 1024, MAX_STRIPES + 1) {
+            Err(PlanError::TooManyStripes { requested, max }) => {
+                assert_eq!((requested, max), (MAX_STRIPES + 1, MAX_STRIPES));
+            }
+            other => panic!("expected TooManyStripes, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn stripe_count_one_is_the_single_path_degenerate() {
+        let t = topo(2, 4, 4);
+        let p = MultiPathPlan::compute(&t, gpu(0, 0), gpu(1, 2), 4096, 1).unwrap();
+        assert!(p.is_single_path());
+        assert_eq!(p.stripes[0].len, 4096);
+        assert_eq!(p.stripes[0].offset, 0);
+    }
+
+    #[test]
+    fn stripes_tile_the_payload_exactly() {
+        let t = topo(2, 4, 4);
+        for bytes in [1u64, 7, 1024, 1025, 65536, 1 << 20] {
+            for stripes in 1..=6usize {
+                let p = MultiPathPlan::compute(&t, gpu(0, 1), gpu(1, 3), bytes, stripes)
+                    .unwrap();
+                let mut cursor = 0u64;
+                for (i, s) in p.stripes.iter().enumerate() {
+                    assert_eq!(s.index, i);
+                    assert_eq!(s.offset, cursor, "bytes={bytes} stripes={stripes}");
+                    assert!(s.len > 0);
+                    cursor += s.len;
+                }
+                assert_eq!(cursor, bytes, "bytes={bytes} stripes={stripes}");
+                assert!(p.effective_stripes() <= stripes);
+            }
+        }
+    }
+
+    #[test]
+    fn cross_node_stripes_cycle_rails_from_the_source_rail() {
+        let t = topo(2, 4, 4);
+        let p = MultiPathPlan::compute(&t, gpu(0, 1), gpu(1, 1), 4096, 4).unwrap();
+        let rails: Vec<u8> = p.stripes.iter().map(|s| s.rail.unwrap()).collect();
+        assert_eq!(rails, vec![1, 2, 3, 0]);
+        // Stripe 0 rides the endpoints' own rail: no relays. Every other
+        // stripe partitions to the GPU fronting its rail on both nodes.
+        assert_eq!(p.stripes[0].src_relay, None);
+        assert_eq!(p.stripes[0].dst_relay, None);
+        for s in &p.stripes[1..] {
+            assert_eq!(s.src_relay, Some(s.rail.unwrap()));
+            assert_eq!(s.dst_relay, Some(s.rail.unwrap()));
+        }
+    }
+
+    #[test]
+    fn shared_rails_need_no_relay_for_their_own_gpus() {
+        // 4 GPUs, 2 NICs: GPU 3 fronts rail 1 itself.
+        let t = topo(2, 4, 2);
+        let p = MultiPathPlan::compute(&t, gpu(0, 3), gpu(1, 3), 4096, 2).unwrap();
+        assert_eq!(p.stripes[0].rail, Some(1));
+        assert_eq!(p.stripes[0].src_relay, None, "rail 1 is GPU 3's own NIC");
+        assert_eq!(p.stripes[1].rail, Some(0));
+        assert_eq!(p.stripes[1].src_relay, Some(0));
+        // Over-asking clamps to the 2 rails the topology offers.
+        let p = MultiPathPlan::compute(&t, gpu(0, 0), gpu(1, 0), 4096, 8).unwrap();
+        assert_eq!(p.effective_stripes(), 2);
+    }
+
+    #[test]
+    fn nvlink_plans_relay_through_peer_gpus() {
+        let t = topo(1, 4, 4);
+        let p = MultiPathPlan::compute(&t, gpu(0, 0), gpu(0, 2), 3000, 3).unwrap();
+        assert_eq!(p.effective_stripes(), 3);
+        assert_eq!(p.stripes[0].src_relay, None);
+        // Relays are the GPUs that are neither endpoint, ascending: 1, 3.
+        assert_eq!(p.stripes[1].src_relay, Some(1));
+        assert_eq!(p.stripes[2].src_relay, Some(3));
+        assert!(p.stripes.iter().all(|s| s.rail.is_none()));
+    }
+
+    #[test]
+    fn forbidden_classes_degrade_to_single_path() {
+        let t = topo(2, 4, 4);
+        let cpu = |node| Location { node, unit: Unit::Cpu };
+        // Same GPU, host-local, and C2C: one substrate, one path.
+        for (s, d) in [
+            (gpu(0, 1), gpu(0, 1)),
+            (cpu(0), cpu(0)),
+            (gpu(0, 1), cpu(0)),
+            (cpu(0), gpu(0, 2)),
+        ] {
+            let p = MultiPathPlan::compute(&t, s, d, 8192, 4).unwrap();
+            assert!(p.is_single_path(), "{:?} must degrade to single path", p.class);
+        }
+        // A two-GPU node offers no NVLink relay: intra-node striping
+        // degrades too.
+        let t2 = topo(1, 2, 2);
+        let p = MultiPathPlan::compute(&t2, gpu(0, 0), gpu(0, 1), 8192, 4).unwrap();
+        assert!(p.is_single_path());
+    }
+
+    #[test]
+    fn tiny_payloads_never_get_empty_stripes() {
+        let t = topo(2, 4, 4);
+        let p = MultiPathPlan::compute(&t, gpu(0, 0), gpu(1, 0), 3, 4).unwrap();
+        assert_eq!(p.effective_stripes(), 3);
+        assert!(p.stripes.iter().all(|s| s.len == 1));
+        let p = MultiPathPlan::compute(&t, gpu(0, 0), gpu(1, 0), 0, 4).unwrap();
+        assert_eq!(p.effective_stripes(), 1);
+        assert_eq!(p.stripes[0].len, 0);
+    }
+}

@@ -12,6 +12,7 @@
 mod rma;
 mod worker;
 
+pub use parcomm_net::MAX_STRIPES;
 pub use rma::{
     IpcMapping, MemHandle, PutAttr, PutHandle, RKey, PUT_MAX_ATTEMPTS, PUT_RETRY_BACKOFF_US,
 };

@@ -27,7 +27,7 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
 use parcomm_gpu::{Buffer, Location, MemSpace};
-use parcomm_net::{Fabric, RouteClass};
+use parcomm_net::{Fabric, NetError, RouteClass};
 use parcomm_sim::{Event, Mutex, SimDuration, SimHandle, SimTime, SpanId};
 
 use crate::worker::{Endpoint, UcxError, UcxUniverse, Worker};
@@ -222,6 +222,11 @@ struct PendingPut {
     cause: SpanId,
     /// MPI-level attribution for the put's causal spans.
     attr: PutAttr,
+    /// Requested stripe count. `1` (the overwhelmingly common case) takes
+    /// the classic single-transfer path untouched; `> 1` routes the put
+    /// through a [`MultiPathPlan`](parcomm_net::MultiPathPlan) with
+    /// per-stripe functional copies and completion spans.
+    stripes: usize,
 }
 
 /// Issue (or re-issue) one attempt of a put; schedules the next retry with
@@ -239,6 +244,9 @@ fn attempt_put(p: PendingPut, attempt: u32) -> SimTime {
     // wire span it produces is in turn chained to the put.
     let put_span =
         h.trace().record_causal("put", now, now, p.attr.src_rank, p.attr.partition, p.cause);
+    if p.stripes > 1 {
+        return attempt_put_striped(p, attempt, put_span, h, now);
+    }
     match p.fabric.try_transfer_attr(
         now,
         p.from,
@@ -285,31 +293,119 @@ fn attempt_put(p: PendingPut, attempt: u32) -> SimTime {
             });
             arrival
         }
-        Err(net_err) => {
-            if let Some(i) = p.universe.obs() {
-                if attempt + 1 >= PUT_MAX_ATTEMPTS {
-                    i.put_failures.inc();
-                } else {
-                    i.put_retries.inc();
-                }
-            }
-            if attempt + 1 >= PUT_MAX_ATTEMPTS {
-                let waited = now.since(p.first_try_at);
-                *p.result.lock() = Some(Err(UcxError::PutTimeout {
-                    attempts: attempt + 1,
-                    waited_us: waited.as_micros_f64() as u64,
-                    cause: net_err.to_string(),
-                }));
-                p.done.set(&h);
-            } else {
-                let backoff =
-                    SimDuration::from_micros_f64(PUT_RETRY_BACKOFF_US * f64::powi(2.0, attempt as i32));
-                h.schedule_in(backoff, move |_h| {
-                    attempt_put(p, attempt + 1);
+        Err(net_err) => retry_or_fail(p, attempt, net_err, &h, now),
+    }
+}
+
+/// Shared failure arm of the put retry chain: schedule the next attempt
+/// with exponential backoff, or settle the handle with
+/// [`UcxError::PutTimeout`] once attempts are exhausted.
+fn retry_or_fail(
+    p: PendingPut,
+    attempt: u32,
+    net_err: NetError,
+    h: &SimHandle,
+    now: SimTime,
+) -> SimTime {
+    if let Some(i) = p.universe.obs() {
+        if attempt + 1 >= PUT_MAX_ATTEMPTS {
+            i.put_failures.inc();
+        } else {
+            i.put_retries.inc();
+        }
+    }
+    if attempt + 1 >= PUT_MAX_ATTEMPTS {
+        let waited = now.since(p.first_try_at);
+        *p.result.lock() = Some(Err(UcxError::PutTimeout {
+            attempts: attempt + 1,
+            waited_us: waited.as_micros_f64() as u64,
+            cause: net_err.to_string(),
+        }));
+        p.done.set(h);
+    } else {
+        let backoff =
+            SimDuration::from_micros_f64(PUT_RETRY_BACKOFF_US * f64::powi(2.0, attempt as i32));
+        h.schedule_in(backoff, move |_h| {
+            attempt_put(p, attempt + 1);
+        });
+    }
+    now
+}
+
+/// The multi-path arm of [`attempt_put`]: execute the put through a
+/// [`MultiPathPlan`](parcomm_net::MultiPathPlan). Each stripe applies its
+/// partial functional copy and records its own `put_complete` span (caused
+/// by that stripe's `wire` span) the instant it lands; the put's
+/// completion hook, latency metric, and `done` event fire only at the
+/// **assembly barrier** — the slowest stripe's arrival — so chained
+/// operations (the receive-side flag put above all) never observe a
+/// partially reassembled payload. Retries and [`UcxError::PutTimeout`]
+/// behave exactly as on the single-path arm; each retry re-plans against
+/// the rails surviving at that instant.
+fn attempt_put_striped(
+    p: PendingPut,
+    attempt: u32,
+    put_span: SpanId,
+    h: SimHandle,
+    now: SimTime,
+) -> SimTime {
+    let plan = p
+        .fabric
+        .plan(p.from, p.to, p.len as u64, p.stripes)
+        .expect("stripe count validated when the request was configured");
+    match p.fabric.try_transfer_planned(now, &plan, put_span, p.attr.dst_rank, p.attr.partition) {
+        Ok(st) => {
+            let arrival = st.arrival;
+            let PendingPut {
+                universe,
+                src,
+                src_off,
+                dst,
+                dst_off,
+                on_complete,
+                done,
+                result,
+                first_try_at,
+                attr,
+                ..
+            } = p;
+            // The last-landing stripe's put_complete span, handed to the
+            // completion hook so the chained flag put extends the causal
+            // chain from the stripe that actually finished the payload.
+            let last_span = Arc::new(Mutex::new(SpanId::NONE));
+            for s in &st.stripes {
+                let (dst, src) = (dst.clone(), src.clone());
+                let (s_off, d_off, s_len) =
+                    (src_off + s.offset as usize, dst_off + s.offset as usize, s.len as usize);
+                let (stripe_arrival, stripe_span) = (s.arrival, s.span);
+                let last = last_span.clone();
+                h.schedule_at(stripe_arrival, move |h| {
+                    dst.copy_from_buffer(d_off, &src, s_off, s_len);
+                    let span = h.trace().record_causal(
+                        "put_complete",
+                        stripe_arrival,
+                        stripe_arrival,
+                        attr.dst_rank,
+                        attr.partition,
+                        stripe_span,
+                    );
+                    *last.lock() = span;
                 });
             }
-            now
+            // Scheduled after the stripe landings, so at the barrier
+            // instant FIFO ordering guarantees every copy has applied.
+            h.schedule_at(arrival, move |h| {
+                if let Some(i) = universe.obs() {
+                    let issue_to_land = arrival.since(first_try_at).as_micros_f64();
+                    i.put_latency.record(issue_to_land.round() as u64);
+                }
+                on_complete(h, *last_span.lock());
+                *result.lock() = Some(Ok(arrival));
+                done.set(h);
+            });
+            arrival
         }
+        Err(net_err) => retry_or_fail(p, attempt, net_err, &h, now),
     }
 }
 
@@ -375,6 +471,32 @@ impl Endpoint {
         cause: SpanId,
         on_complete: impl FnOnce(&SimHandle, SpanId) + Send + 'static,
     ) -> PutHandle {
+        self.put_nbx_striped(src, src_off, len, rkey, dst_off, 1, attr, cause, on_complete)
+    }
+
+    /// Like [`put_nbx_attr`](Endpoint::put_nbx_attr), splitting the payload
+    /// into up to `stripes` stripes routed concurrently over the eligible
+    /// paths of the fabric (a [`MultiPathPlan`](parcomm_net::MultiPathPlan)
+    /// per attempt). `stripes <= 1` is **exactly** `put_nbx_attr` — same
+    /// code path, same events, same spans — so single-path behavior is
+    /// unchanged by construction. Each stripe lands (functional copy +
+    /// `put_complete` span) at its own arrival; `on_complete`, the handle's
+    /// result, and `done` fire at the assembly barrier when the slowest
+    /// stripe arrives. The caller is responsible for `stripes` being within
+    /// [`parcomm_net::MAX_STRIPES`].
+    #[allow(clippy::too_many_arguments)]
+    pub fn put_nbx_striped(
+        &self,
+        src: &Buffer,
+        src_off: usize,
+        len: usize,
+        rkey: &RKey,
+        dst_off: usize,
+        stripes: usize,
+        attr: PutAttr,
+        cause: SpanId,
+        on_complete: impl FnOnce(&SimHandle, SpanId) + Send + 'static,
+    ) -> PutHandle {
         let fabric = self.universe.fabric().clone();
         let done = Event::named("put_nbx");
         let result = Arc::new(Mutex::new(None));
@@ -394,6 +516,7 @@ impl Endpoint {
             fabric,
             cause,
             attr,
+            stripes: stripes.max(1),
         };
         let arrival = attempt_put(pending, 0);
         PutHandle { done, arrival, result }

@@ -187,6 +187,154 @@ fn chrome_export_of_two_rank_run_is_valid() {
     }
 }
 
+/// A 4-stripe cross-node put records one `wire` span per stripe and one
+/// `put_complete` span per stripe *caused by* that stripe's wire span,
+/// and the whole causal graph still round-trips through the Chrome
+/// exporter: one X event per span and balanced s/f flow pairs per edge.
+#[test]
+fn striped_chrome_export_round_trips_with_per_stripe_edges() {
+    let mut sim = Simulation::with_seed(0x57A9);
+    let trace = sim.trace();
+    trace.enable_causal();
+    let world = MpiWorld::gh200(&sim, 2);
+    world.run_ranks(&mut sim, |ctx, rank| {
+        let parts = 4usize;
+        let buf = rank.gpu().alloc_global(parts * 4096);
+        match rank.rank() {
+            3 => {
+                let sreq = psend_init(ctx, rank, 4, 17, &buf, parts).expect("init");
+                sreq.set_transport_partitions(parts).expect("transports");
+                sreq.set_stripes(4).expect("stripes");
+                sreq.start(ctx).expect("start");
+                sreq.pbuf_prepare(ctx).expect("pbuf_prepare");
+                for u in 0..parts {
+                    sreq.pready(ctx, u).expect("pready");
+                }
+                sreq.wait(ctx).expect("wait");
+            }
+            4 => {
+                let rreq = precv_init(ctx, rank, 3, 17, &buf, parts).expect("init");
+                rreq.start(ctx).expect("start");
+                rreq.pbuf_prepare(ctx).expect("pbuf_prepare");
+                rreq.wait(ctx).expect("wait");
+            }
+            _ => {}
+        }
+    });
+    sim.run().expect("striped p2p sim");
+    let spans = trace.spans();
+
+    // Four 4-stripe data puts: at least 16 wire spans, and every
+    // per-stripe completion edge points at a wire span.
+    let wires = spans.iter().filter(|s| s.category == "wire").count();
+    assert!(wires >= 16, "4 puts x 4 stripes must record >= 16 wire spans, got {wires}");
+    let mut stripe_edges = 0usize;
+    for s in spans.iter().filter(|s| s.category == "put_complete") {
+        let c = s.caused_by.index().expect("every put_complete has a cause");
+        assert_eq!(
+            spans[c].category, "wire",
+            "put_complete must be caused by its stripe's wire span"
+        );
+        assert!(spans[c].start <= s.start, "stripe edge goes forward in time");
+        stripe_edges += 1;
+    }
+    assert!(
+        stripe_edges >= 16,
+        "4 puts x 4 stripes must record >= 16 per-stripe completions, got {stripe_edges}"
+    );
+
+    let doc = chrome_trace_json(&spans);
+    let v = json::parse(&doc).expect("export must be valid JSON");
+    let events = v.get("traceEvents").and_then(|e| e.as_array()).expect("traceEvents array");
+    let ph = |e: &json::JsonValue| e.get("ph").and_then(|p| p.as_str()).map(str::to_owned);
+    let durations = events.iter().filter(|e| ph(e).as_deref() == Some("X")).count();
+    assert_eq!(durations, spans.len(), "one X event per span");
+    let edges = spans.iter().filter(|s| !s.caused_by.is_none()).count();
+    let starts = events.iter().filter(|e| ph(e).as_deref() == Some("s")).count();
+    let finishes = events.iter().filter(|e| ph(e).as_deref() == Some("f")).count();
+    assert_eq!(starts, edges, "one flow start per causal edge");
+    assert_eq!(finishes, edges, "one flow finish per causal edge");
+}
+
+/// Completion accounting: over one striped epoch, the `net.rail<N>.bytes`
+/// occupancy counters sum to exactly the payload plus the per-partition
+/// completion flags — stripes never double-count or drop bytes, even when
+/// the partition length does not divide by the stripe count. The epoch is
+/// isolated from handshake traffic by snapshotting the counters between
+/// two barriers after `pbuf_prepare` settles.
+#[test]
+fn striped_rail_byte_counters_sum_to_payload() {
+    // 3 partitions x 98317 B: not divisible by 4 stripes, well under the
+    // fabric's 1 MiB implicit-striping threshold per put.
+    let parts = 3usize;
+    let part_bytes = 98_317usize;
+    let mut sim = Simulation::with_seed(0x4A11);
+    let world = MpiWorld::gh200(&sim, 2);
+    let registry = world.enable_metrics();
+    let nics = world.topology().nics_per_node() as usize;
+    let mid = Arc::new(Mutex::new(Vec::new()));
+    let (m2, r2) = (mid.clone(), registry.clone());
+    world.run_ranks(&mut sim, move |ctx, rank| {
+        let buf = rank.gpu().alloc_global(parts * part_bytes);
+        let sreq = (rank.rank() == 3).then(|| {
+            let sreq = psend_init(ctx, rank, 4, 19, &buf, parts).expect("init");
+            sreq.set_transport_partitions(parts).expect("transports");
+            sreq.set_stripes(4).expect("stripes");
+            sreq.start(ctx).expect("start");
+            sreq.pbuf_prepare(ctx).expect("pbuf_prepare");
+            sreq
+        });
+        let rreq = (rank.rank() == 4).then(|| {
+            let rreq = precv_init(ctx, rank, 3, 19, &buf, parts).expect("init");
+            rreq.start(ctx).expect("start");
+            rreq.pbuf_prepare(ctx).expect("pbuf_prepare");
+            rreq
+        });
+        // Handshake traffic is fully on the wire before the first barrier;
+        // rank 0 snapshots the counters before anyone can issue a put.
+        rank.barrier(ctx);
+        if rank.rank() == 0 {
+            let snap = r2.snapshot();
+            *m2.lock() = (0..nics)
+                .map(|r| snap.counter(&format!("net.rail{r}.bytes")).unwrap_or(0))
+                .collect();
+        }
+        rank.barrier(ctx);
+        if let Some(sreq) = sreq {
+            for u in 0..parts {
+                sreq.pready(ctx, u).expect("pready");
+            }
+            sreq.wait(ctx).expect("wait");
+        }
+        if let Some(rreq) = rreq {
+            rreq.wait(ctx).expect("wait");
+        }
+    });
+    sim.run().expect("rail accounting sim");
+    let before = mid.lock().clone();
+    assert_eq!(before.len(), nics, "mid-run snapshot must have been taken");
+    let after = registry.snapshot();
+    let deltas: Vec<u64> = (0..nics)
+        .map(|r| after.counter(&format!("net.rail{r}.bytes")).unwrap_or(0) - before[r])
+        .collect();
+    let total: u64 = deltas.iter().sum();
+    // Exactly the payload plus one 8-byte completion flag per partition.
+    let expected = (parts * part_bytes + parts * 8) as u64;
+    assert_eq!(
+        total, expected,
+        "rail byte counters must sum to payload + flags (deltas {deltas:?})"
+    );
+    assert!(
+        deltas.iter().all(|&d| d > 0),
+        "4 stripes must touch every rail: {deltas:?}"
+    );
+    let max = *deltas.iter().max().expect("nonempty");
+    assert!(
+        max * 2 < total,
+        "no rail may carry half the striped payload: {deltas:?}"
+    );
+}
+
 /// Property: causality is consistent with virtual time. Over several seeds
 /// and the full causal-level partitioned allreduce, every recorded edge
 /// points to an earlier-recorded span that started no later than its

@@ -1,0 +1,466 @@
+//! Striping conformance suite: multi-path striped partitioned transfers
+//! must be *invisible* to every observable except time and rail
+//! occupancy.
+//!
+//! - a seeded property test (with shrinking) checks striped reassembly is
+//!   byte-identical to the single-path protocol across random payload
+//!   sizes, partition counts, and stripe counts;
+//! - stripe count 1 must reproduce the pre-striping frozen whole-stack
+//!   digests bit-for-bit (`tests/topology.rs` baselines);
+//! - 2- and 4-stripe cross-node runs get their own frozen digests;
+//! - NIC outages mid-transfer re-stripe onto the surviving rails, and an
+//!   all-rails outage surfaces as the typed
+//!   [`UcxError::PutTimeout`] through the wait watchdog — never a panic;
+//! - stripe counts degrade gracefully where the route class offers fewer
+//!   paths, and invalid counts are typed `InvalidArgument` errors.
+
+use std::sync::Arc;
+
+use parcomm::fault::{chaos, FaultPlan};
+use parcomm::mpi::MpiError;
+use parcomm::net::MAX_STRIPES;
+use parcomm::prelude::*;
+use parcomm::sim::Mutex;
+use parcomm::ucx::UcxError;
+use parcomm_testkit::digest;
+use parcomm_testkit::prop::{check, PropConfig, TestResult};
+
+/// Deterministic per-byte payload pattern: distinct across partitions and
+/// offsets so any stripe misplacement (wrong offset, wrong partition,
+/// truncation) changes the received bytes.
+fn pattern(part: usize, i: usize) -> u8 {
+    ((part * 131 + i * 7) % 251) as u8
+}
+
+/// One cross-node psend/precv epoch on 2 GH200 nodes (sender rank 3 =
+/// last GPU of node 0, receiver rank 4 = first GPU of node 1) with the
+/// sender's channel set to `stripes`. Returns the receiver's buffer bytes
+/// after `wait` — the reassembled payload the property test compares.
+fn cross_node_payload(parts: usize, part_bytes: usize, stripes: usize) -> Vec<u8> {
+    let mut sim = Simulation::with_seed(0x5712E5);
+    let world = MpiWorld::gh200(&sim, 2);
+    let received = Arc::new(Mutex::new(Vec::new()));
+    let r2 = received.clone();
+    world.run_ranks(&mut sim, move |ctx, rank| {
+        let buf = rank.gpu().alloc_global(parts * part_bytes);
+        match rank.rank() {
+            3 => {
+                for u in 0..parts {
+                    let bytes: Vec<u8> = (0..part_bytes).map(|i| pattern(u, i)).collect();
+                    buf.write_bytes(u * part_bytes, &bytes);
+                }
+                let sreq = psend_init(ctx, rank, 4, 9, &buf, parts).expect("psend init");
+                sreq.set_transport_partitions(parts).expect("transports");
+                sreq.set_stripes(stripes).expect("stripes");
+                sreq.start(ctx).expect("start");
+                sreq.pbuf_prepare(ctx).expect("pbuf_prepare");
+                for u in 0..parts {
+                    sreq.pready(ctx, u).expect("pready");
+                }
+                sreq.wait(ctx).expect("wait");
+            }
+            4 => {
+                let rreq = precv_init(ctx, rank, 3, 9, &buf, parts).expect("precv init");
+                rreq.start(ctx).expect("start");
+                rreq.pbuf_prepare(ctx).expect("pbuf_prepare");
+                rreq.wait(ctx).expect("wait");
+                *r2.lock() = buf.read_bytes(0, parts * part_bytes);
+            }
+            _ => {}
+        }
+    });
+    sim.run().expect("cross-node p2p sim");
+    Arc::try_unwrap(received).expect("ranks done").into_inner()
+}
+
+/// Satellite 1 — property: for random (partition count, partition bytes,
+/// stripe count), the striped receiver payload is byte-identical to the
+/// single-path receiver payload. Shrinking drives a failure toward the
+/// smallest payload/stripe combination; shrunk-invalid inputs (zero
+/// partitions, zero bytes, stripe counts without a multi-path plan) are
+/// discarded rather than failed.
+#[test]
+fn striped_reassembly_matches_single_path() {
+    let cfg = PropConfig { cases: 20, ..PropConfig::default() };
+    check(
+        &cfg,
+        "striped_reassembly_matches_single_path",
+        |rng| {
+            (
+                rng.uniform_range(1, 9),    // partitions
+                rng.uniform_range(1, 4097), // bytes per partition
+                rng.uniform_range(2, 9),    // stripe count
+            )
+        },
+        |&(parts, part_bytes, stripes)| {
+            if parts == 0 || part_bytes == 0 || stripes < 2 {
+                return TestResult::Discard;
+            }
+            let (parts, part_bytes, stripes) =
+                (parts as usize, part_bytes as usize, stripes as usize);
+            let single = cross_node_payload(parts, part_bytes, 1);
+            let striped = cross_node_payload(parts, part_bytes, stripes);
+            if single == striped {
+                TestResult::Pass
+            } else {
+                let diverges = single.iter().zip(&striped).position(|(a, b)| a != b);
+                TestResult::Fail(format!(
+                    "striped payload diverges from single-path at byte {diverges:?} \
+                     (parts={parts}, part_bytes={part_bytes}, stripes={stripes})"
+                ))
+            }
+        },
+    );
+}
+
+/// The exact frozen-digest recipe of `tests/topology.rs`
+/// (`cross_node_p2p_digest_is_frozen`), with the stripe count set
+/// explicitly. At `stripes == 1` it must reproduce the pre-striping
+/// baseline bit-for-bit; higher counts get their own frozen digests.
+fn frozen_recipe_digest(stripes: usize) -> u64 {
+    let mut sim = Simulation::with_seed(0x70F0);
+    let trace = sim.trace();
+    trace.enable();
+    let world = MpiWorld::gh200(&sim, 2);
+    world.run_ranks(&mut sim, move |ctx, rank| {
+        let parts = 8usize;
+        let bytes = parts * 1024;
+        let buf = rank.gpu().alloc_global(bytes);
+        match rank.rank() {
+            3 => {
+                for u in 0..parts {
+                    buf.write_f64_slice(u * 1024, &[u as f64 + 1.0; 128]);
+                }
+                let sreq = psend_init(ctx, rank, 4, 7, &buf, parts).expect("init");
+                sreq.set_transport_partitions(2).expect("set_transport_partitions");
+                sreq.set_stripes(stripes).expect("set_stripes");
+                sreq.start(ctx).expect("start");
+                sreq.pbuf_prepare(ctx).expect("pbuf_prepare");
+                for u in (0..parts).rev() {
+                    sreq.pready(ctx, u).expect("pready");
+                }
+                sreq.wait(ctx).expect("wait");
+            }
+            4 => {
+                let rreq = precv_init(ctx, rank, 3, 7, &buf, parts).expect("init");
+                rreq.start(ctx).expect("start");
+                rreq.pbuf_prepare(ctx).expect("pbuf_prepare");
+                rreq.wait(ctx).expect("wait");
+                for u in 0..parts {
+                    assert_eq!(buf.read_f64(u * 1024), u as f64 + 1.0);
+                }
+            }
+            _ => {}
+        }
+    });
+    let report = sim.run().expect("p2p sim");
+    digest::run_digest(&report, &trace)
+}
+
+/// Satellite 2 — stripe count 1 is the identity: an explicit
+/// `set_stripes(1)` on the frozen-recipe channel reproduces the
+/// pre-striping whole-stack digest bit-for-bit.
+#[test]
+fn stripe_count_one_reproduces_frozen_cross_node_digest() {
+    assert_eq!(
+        frozen_recipe_digest(1),
+        0x2290320e5c2e5b46,
+        "set_stripes(1) must be run-identical to the pre-striping protocol"
+    );
+}
+
+/// Satellite 2 — new frozen anchors: 2- and 4-stripe cross-node runs are
+/// deterministic, distinct from single-path and from each other, and
+/// pinned so future routing changes show up here.
+#[test]
+fn multi_stripe_cross_node_digests_are_frozen() {
+    let two = frozen_recipe_digest(2);
+    let four = frozen_recipe_digest(4);
+    assert_eq!(two, frozen_recipe_digest(2), "2-stripe run is not deterministic");
+    assert_eq!(four, frozen_recipe_digest(4), "4-stripe run is not deterministic");
+    assert_ne!(two, 0x2290320e5c2e5b46, "2-stripe routing must change the trace");
+    assert_ne!(two, four, "2- and 4-stripe routings must differ");
+    assert_eq!(two, 0x09875afc126d5503, "2-stripe cross-node digest drifted");
+    assert_eq!(four, 0x1246ae4aedbcc0ec, "4-stripe cross-node digest drifted");
+}
+
+/// The canonical partitioned-allreduce digest of `tests/topology.rs`,
+/// with the world's cross-node stripe count set explicitly.
+fn allreduce_digest_striped(nodes: u16, seed: u64, hierarchical: bool, stripes: usize) -> u64 {
+    use parcomm::coll::pallreduce_init_hierarchical;
+    let mut sim = Simulation::with_seed(seed);
+    let trace = sim.trace();
+    trace.enable();
+    let world = {
+        let mut cfg = WorldConfig::gh200(nodes);
+        cfg.stripes = stripes;
+        MpiWorld::new(&sim, cfg)
+    };
+    let out = Arc::new(Mutex::new(Vec::new()));
+    let o2 = out.clone();
+    world.run_ranks(&mut sim, move |ctx, rank| {
+        let partitions = 4usize;
+        let p = rank.size();
+        let n = partitions * p * 64;
+        let buf = rank.gpu().alloc_global(n * 8);
+        let vals: Vec<f64> = (0..n).map(|i| (rank.rank() * 31 + i) as f64).collect();
+        buf.write_f64_slice(0, &vals);
+        let stream = rank.gpu().create_stream();
+        let coll = if hierarchical {
+            pallreduce_init_hierarchical(ctx, rank, &buf, partitions, &stream, 90)
+        } else {
+            pallreduce_init(ctx, rank, &buf, partitions, &stream, 90)
+        }
+        .expect("init");
+        coll.start(ctx).expect("start");
+        coll.pbuf_prepare(ctx).expect("pbuf_prepare");
+        let c2 = coll.clone();
+        stream.launch(ctx, KernelSpec::vector_add(4, 256), move |d| c2.pready_device_all(d));
+        coll.wait(ctx).expect("wait");
+        if rank.rank() == 0 {
+            let got = buf.read_f64_slice(0, n);
+            for (i, v) in got.iter().enumerate() {
+                let expect = (31 * p * (p - 1) / 2 + p * i) as f64;
+                assert_eq!(*v, expect, "allreduce sum mismatch at element {i}");
+            }
+            *o2.lock() = got;
+        }
+    });
+    let report = sim.run().expect("allreduce sim");
+    let mut d = digest::Digest::new();
+    d.write_u64(digest::run_digest(&report, &trace));
+    d.write_f64_slice(&out.lock());
+    d.finish()
+}
+
+/// Satellite 2 — a `stripes: 1` world is bit-identical to the default
+/// world on the frozen 2-node allreduce baselines, and a striped world
+/// still passes the numeric assertions deterministically.
+#[test]
+fn stripe_count_one_world_reproduces_frozen_allreduce_digests() {
+    assert_eq!(
+        allreduce_digest_striped(2, 0x70F0, false, 1),
+        0xfae17788c449ef51,
+        "stripes=1 world drifted from the frozen 2-node flat baseline"
+    );
+    assert_eq!(
+        allreduce_digest_striped(2, 0x70F0, true, 1),
+        0xa95f8b187f6fb0d8,
+        "stripes=1 world drifted from the frozen 2-node hierarchical baseline"
+    );
+}
+
+/// A 4-stripe world changes the trace (cross-node channels stripe) but
+/// not the reduction; the run stays deterministic.
+#[test]
+fn striped_allreduce_is_deterministic_and_numerically_identical() {
+    let a = allreduce_digest_striped(2, 0x70F0, true, 4);
+    let b = allreduce_digest_striped(2, 0x70F0, true, 4);
+    assert_eq!(a, b, "4-stripe hierarchical allreduce is not deterministic");
+    assert_ne!(
+        a, 0xa95f8b187f6fb0d8,
+        "4-stripe cross-node channels must change the event stream"
+    );
+}
+
+/// Cross-node 4-stripe psend under chaos: rank 4 (node 1) streams four
+/// 64 KiB partitions to rank 0 (node 0) — below the fabric's implicit
+/// striping threshold, so only the plan spreads them. Returns rank 0's
+/// per-partition checksums as the numeric observable.
+fn striped_chaos_round(seed: u64, plan: &FaultPlan, stripes: usize) -> chaos::ChaosRun {
+    const PARTS: usize = 4;
+    const PART_F64: usize = 8 * 1024; // 64 KiB per partition
+    chaos::run_world(seed, plan, 2, move |ctx, rank| {
+        let buf = rank.gpu().alloc_global(PARTS * PART_F64 * 8);
+        match rank.rank() {
+            4 => {
+                for u in 0..PARTS {
+                    buf.write_f64_slice(u * PART_F64 * 8, &vec![(u + 1) as f64; PART_F64]);
+                }
+                let sreq = psend_init(ctx, rank, 0, 0x33, &buf, PARTS)?;
+                sreq.set_transport_partitions(PARTS)?;
+                sreq.set_stripes(stripes)?;
+                sreq.start(ctx)?;
+                sreq.pbuf_prepare(ctx)?;
+                // The first-call handshake (receiver-side mem_map + rkey
+                // packing) costs a few hundred virtual µs; holding the
+                // preadys until t ≥ 2000 µs gives outage windows a put
+                // window to target that is cleanly past the handshake.
+                ctx.advance(SimDuration::from_micros_f64(2000.0));
+                for u in 0..PARTS {
+                    sreq.pready(ctx, u)?;
+                }
+                sreq.wait(ctx)?;
+                Ok(Vec::new())
+            }
+            0 => {
+                let rreq = precv_init(ctx, rank, 4, 0x33, &buf, PARTS)?;
+                rreq.start(ctx)?;
+                rreq.pbuf_prepare(ctx)?;
+                rreq.wait(ctx)?;
+                Ok((0..PARTS)
+                    .map(|u| buf.read_f64_slice(u * PART_F64 * 8, PART_F64).iter().sum())
+                    .collect())
+            }
+            _ => Ok(Vec::new()),
+        }
+    })
+}
+
+/// Satellite 3 — a NIC outage mid-transfer re-stripes the planned stripes
+/// onto the surviving rails: the run survives, delivers identical bytes,
+/// replays deterministically, and pays the degraded-bandwidth cost.
+#[test]
+fn nic_outage_mid_transfer_restripes_onto_surviving_rails() {
+    let clean = striped_chaos_round(0x57AB, &FaultPlan::none(), 4);
+    assert!(clean.survived(), "fault-free round: {:?}", clean.errors);
+    // Two of the four rails go dark across the put window (one NIC on
+    // each node, covering both directions of the rail pairing).
+    let plan = FaultPlan::none()
+        .with_nic_outage(1, 1, 50.0, 1e9)
+        .with_nic_outage(0, 2, 50.0, 1e9)
+        .with_watchdog(5e6);
+    let a = striped_chaos_round(0x57AB, &plan, 4);
+    let b = striped_chaos_round(0x57AB, &plan, 4);
+    assert_eq!(a.digest, b.digest, "re-striped run must replay identically");
+    assert!(a.survived(), "surviving rails must absorb the stripes: {:?}", a.errors);
+    assert_eq!(a.numeric, clean.numeric, "re-striping must not corrupt the payload");
+    assert_ne!(a.digest, clean.digest, "the outage must actually reroute stripes");
+    assert!(
+        a.end_time_us > clean.end_time_us,
+        "two rails move the payload slower than four ({} vs {})",
+        a.end_time_us,
+        clean.end_time_us
+    );
+}
+
+/// Satellite 3 — when *every* rail on the sender's node is down, the
+/// striped put exhausts its retry budget and the armed watchdog surfaces
+/// the typed [`UcxError::PutTimeout`] — a typed error path, not a panic.
+#[test]
+fn all_rails_down_surfaces_typed_put_timeout() {
+    // The outage opens after the first-call handshake settles (well under
+    // 1500 µs) but before the held-back preadys issue the data puts
+    // (t ≥ 2000 µs), so it is the *striped transfer* that hits the wall.
+    let plan = FaultPlan::none()
+        .with_nic_outage(1, 0, 1500.0, f64::INFINITY)
+        .with_nic_outage(1, 1, 1500.0, f64::INFINITY)
+        .with_nic_outage(1, 2, 1500.0, f64::INFINITY)
+        .with_nic_outage(1, 3, 1500.0, f64::INFINITY)
+        .with_watchdog(5_000.0);
+    let run = striped_chaos_round(0xDEAD, &plan, 4);
+    assert!(!run.survived(), "an all-rails outage cannot be survived");
+    assert!(
+        run.errors
+            .iter()
+            .any(|(_, e)| matches!(e, MpiError::Transport(UcxError::PutTimeout { .. }))),
+        "want a typed PutTimeout from the sender, got {:?}",
+        run.errors
+    );
+}
+
+/// Satellite 3 — graceful degradation: a stripe count larger than the
+/// route class supports clamps to the available paths. An intra-node
+/// NvLink channel accepts `set_stripes(MAX_STRIPES)` and still delivers
+/// the exact payload, and a 1-byte-partition cross-node channel collapses
+/// to one stripe per byte without corruption.
+#[test]
+fn stripe_counts_degrade_gracefully_with_route_class() {
+    // Intra-node NvLink pair (ranks 0 → 1 on one node).
+    let mut sim = Simulation::with_seed(0x1A7E);
+    let world = MpiWorld::gh200(&sim, 1);
+    let ok = Arc::new(Mutex::new(false));
+    let ok2 = ok.clone();
+    world.run_ranks(&mut sim, move |ctx, rank| {
+        let parts = 4usize;
+        let buf = rank.gpu().alloc_global(parts * 512);
+        match rank.rank() {
+            0 => {
+                for u in 0..parts {
+                    buf.write_f64_slice(u * 512, &[(u * u + 3) as f64; 64]);
+                }
+                let sreq = psend_init(ctx, rank, 1, 11, &buf, parts).expect("init");
+                sreq.set_stripes(MAX_STRIPES).expect("max stripe count is valid everywhere");
+                sreq.start(ctx).expect("start");
+                sreq.pbuf_prepare(ctx).expect("pbuf_prepare");
+                for u in 0..parts {
+                    sreq.pready(ctx, u).expect("pready");
+                }
+                sreq.wait(ctx).expect("wait");
+            }
+            1 => {
+                let rreq = precv_init(ctx, rank, 0, 11, &buf, parts).expect("init");
+                rreq.start(ctx).expect("start");
+                rreq.pbuf_prepare(ctx).expect("pbuf_prepare");
+                rreq.wait(ctx).expect("wait");
+                for u in 0..parts {
+                    assert_eq!(buf.read_f64(u * 512), (u * u + 3) as f64);
+                }
+                *ok2.lock() = true;
+            }
+            _ => {}
+        }
+    });
+    sim.run().expect("intra-node striped sim");
+    assert!(*ok.lock(), "receiver must have verified the NvLink payload");
+    // Cross-node with 1-byte partitions: more stripes than bytes.
+    assert_eq!(
+        cross_node_payload(2, 1, 8),
+        cross_node_payload(2, 1, 1),
+        "stripe count must clamp to the byte count"
+    );
+}
+
+/// Satellite 3 — stripe-count validation is typed: zero and
+/// beyond-maximum counts are `InvalidArgument`, and reconfiguration after
+/// a partition was marked ready is rejected.
+#[test]
+fn invalid_stripe_counts_are_typed_errors() {
+    let mut sim = Simulation::with_seed(0x2B2B);
+    let world = MpiWorld::gh200(&sim, 2);
+    world.run_ranks(&mut sim, |ctx, rank| {
+        let parts = 2usize;
+        let buf = rank.gpu().alloc_global(parts * 256);
+        match rank.rank() {
+            3 => {
+                let sreq = psend_init(ctx, rank, 4, 13, &buf, parts).expect("init");
+                for bad in [0usize, MAX_STRIPES + 1] {
+                    match sreq.set_stripes(bad) {
+                        Err(MpiError::InvalidArgument { context }) => {
+                            assert!(
+                                context.contains("stripe count"),
+                                "error must name the stripe count: {context}"
+                            );
+                        }
+                        other => panic!("set_stripes({bad}) must be InvalidArgument: {other:?}"),
+                    }
+                }
+                sreq.set_stripes(MAX_STRIPES).expect("max is valid");
+                sreq.set_stripes(2).expect("reconfiguration before ready is valid");
+                for u in 0..parts {
+                    buf.write_f64_slice(u * 256, &[7.0; 32]);
+                }
+                sreq.start(ctx).expect("start");
+                sreq.pbuf_prepare(ctx).expect("pbuf_prepare");
+                sreq.pready(ctx, 0).expect("pready");
+                match sreq.set_stripes(4) {
+                    Err(MpiError::InvalidArgument { context }) => {
+                        assert!(context.contains("ready"), "error must say why: {context}");
+                    }
+                    other => panic!("set_stripes after pready must fail: {other:?}"),
+                }
+                sreq.pready(ctx, 1).expect("pready");
+                sreq.wait(ctx).expect("wait");
+            }
+            4 => {
+                let rreq = precv_init(ctx, rank, 3, 13, &buf, parts).expect("init");
+                rreq.start(ctx).expect("start");
+                rreq.pbuf_prepare(ctx).expect("pbuf_prepare");
+                rreq.wait(ctx).expect("wait");
+                assert_eq!(buf.read_f64(0), 7.0);
+            }
+            _ => {}
+        }
+    });
+    sim.run().expect("validation sim");
+}

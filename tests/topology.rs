@@ -151,7 +151,8 @@ fn sixteen_node_allreduce_is_deterministic() {
 #[test]
 fn degenerate_cluster_specs_yield_typed_errors() {
     let sim = Simulation::with_seed(1);
-    let cases: [(Box<dyn Fn(&mut ClusterSpec)>, TopologyError); 4] = [
+    type SpecMutation = Box<dyn Fn(&mut ClusterSpec)>;
+    let cases: [(SpecMutation, TopologyError); 4] = [
         (Box::new(|c| c.nodes = 0), TopologyError::ZeroNodes),
         (Box::new(|c| c.gpus_per_node = 0), TopologyError::ZeroGpusPerNode),
         (Box::new(|c| c.nics_per_node = 0), TopologyError::ZeroNics),
