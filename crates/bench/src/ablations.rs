@@ -284,7 +284,11 @@ pub fn run_fault_goodput_threaded(quick: bool, fault_seed: u64, threads: usize) 
             let run = if rate == 0.0 {
                 clean.clone()
             } else {
-                chaos::run_allreduce(SIM_SEED, &FaultPlan::chaos(fault_seed, rate), 2)
+                chaos::run_allreduce(
+                    SIM_SEED,
+                    &FaultPlan::chaos(fault_seed, rate).expect("sweep rates are in [0, 1]"),
+                    2,
+                )
             };
             assert_eq!(
                 run.numeric, clean.numeric,

@@ -14,12 +14,29 @@
 //!   available parallelism);
 //! - `--out <path>` — stream completed cells to a resumable JSON-lines
 //!   sink; a re-run against the same file skips the cells already on disk;
+//! - `--fault-plan <file>` — skip the campaign: load one `FaultPlan` from
+//!   JSON (e.g. a minimized plan from `results/`), run the two-node
+//!   allreduce under it, and report survival — the reproduce-one-cell
+//!   workflow;
+//! - `--coverage` — run the coverage-guided search instead of the fixed
+//!   grid: each round synthesizes plans toward unexplored fault-class ×
+//!   layer points, and the first contract failure per cell is bisected to
+//!   a minimal failing plan written as JSON under `--min-out`;
+//! - `--budget N` — coverage-mode cell budget (default 36);
+//! - `--recover` / `--no-recover` — arm (default) or disarm the recovery
+//!   escalation ladder; the contract adapts (e.g. a PE crash is *expected*
+//!   to be a typed failure when recovery is off);
+//! - `--min-out <dir>` — where minimized failing plans land (default
+//!   `results`);
 //! - `PARCOMM_CHAOS_SEED` — shift the fault-seed block.
 //!
 //! Exits non-zero if any cell violates the fault-injection contract
 //! (replay divergence, rank errors, or corrupted numerics).
 
+use parcomm_fault::coverage::{self, CoverageCampaignConfig};
 use parcomm_fault::campaign::{self, CampaignConfig};
+use parcomm_fault::{chaos, FaultPlan};
+use parcomm_recover::{RecoveryReport, run_allreduce_recovering, RecoverPolicy};
 use parcomm_sweep::JsonlSink;
 
 fn arg_value(flag: &str) -> Option<String> {
@@ -32,7 +49,92 @@ fn arg_value(flag: &str) -> Option<String> {
     None
 }
 
+fn arg_flag(flag: &str) -> bool {
+    std::env::args().any(|a| a == flag)
+}
+
+/// `--fault-plan <file>`: reproduce one plan (minimized or hand-written)
+/// against the canonical two-node allreduce and report what happened.
+fn run_one_plan(path: &str, recover: bool) -> ! {
+    let body = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("--fault-plan {path}: {e}");
+        std::process::exit(2);
+    });
+    let plan = FaultPlan::from_json_str(&body).unwrap_or_else(|e| {
+        eprintln!("--fault-plan {path}: invalid plan: {e}");
+        std::process::exit(2);
+    });
+    let run = if recover {
+        run_allreduce_recovering(0xFA017, &plan, 2, &RecoverPolicy::new())
+    } else {
+        chaos::run_allreduce(0xFA017, &plan, 2)
+    };
+    let report = RecoveryReport::from_metrics(&run.metrics);
+    println!(
+        "plan {path}: survived={} digest={:#018x} end={:.1}us recover={recover} {report:?}",
+        run.survived(),
+        run.digest,
+        run.end_time_us
+    );
+    for (rank, err) in &run.errors {
+        println!("  rank {rank}: {err}");
+    }
+    std::process::exit(if run.survived() { 0 } else { 1 });
+}
+
+/// `--coverage`: the guided campaign, plus minimized-failure emission.
+fn run_coverage(threads: usize, recover: bool) -> ! {
+    let mut cfg = CoverageCampaignConfig { recover, ..CoverageCampaignConfig::default() };
+    if let Some(budget) = arg_value("--budget").and_then(|s| s.parse().ok()) {
+        cfg.budget = budget;
+    }
+    if parcomm_bench::quick_mode() {
+        cfg.budget = cfg.budget.min(12);
+    }
+    eprintln!(
+        "coverage campaign: budget {} on {} worker(s), recovery {}",
+        cfg.budget,
+        threads,
+        if recover { "armed" } else { "off" }
+    );
+    let report = coverage::run_coverage_campaign(&cfg, threads);
+    print!("{}", report.render());
+    if !report.failures.is_empty() {
+        let dir = arg_value("--min-out").unwrap_or_else(|| "results".to_string());
+        std::fs::create_dir_all(&dir).expect("create --min-out dir");
+        for f in &report.failures {
+            let slug: String = f
+                .target
+                .chars()
+                .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
+                .collect();
+            let path = format!("{dir}/chaos_min_{slug}.json");
+            std::fs::write(&path, f.to_json_string()).expect("write minimized plan");
+            eprintln!("minimized failing plan ({} shrink steps) -> {path}", f.shrink_steps);
+        }
+        eprintln!(
+            "coverage campaign: {} of {} cells FAILED the contract",
+            report.failures.len(),
+            report.outcomes.len()
+        );
+        std::process::exit(1);
+    }
+    println!(
+        "coverage campaign: {} cells ok, {} coverage points",
+        report.outcomes.len(),
+        report.covered.len()
+    );
+    std::process::exit(0);
+}
+
 fn main() {
+    let recover = !arg_flag("--no-recover");
+    if let Some(path) = arg_value("--fault-plan") {
+        run_one_plan(&path, recover);
+    }
+    if arg_flag("--coverage") {
+        run_coverage(parcomm_bench::threads(), recover);
+    }
     let mut cfg = CampaignConfig::ci(parcomm_bench::quick_mode());
     if let Some(seeds) = arg_value("--seeds").and_then(|s| s.parse().ok()) {
         cfg.seeds = seeds;

@@ -27,7 +27,7 @@ use parcomm_sim::Mutex;
 
 use parcomm_core::{precv_init, psend_init, PrecvRequest, PsendRequest};
 use parcomm_gpu::{Buffer, CostModel, DeviceCtx, KernelSpec, Stream};
-use parcomm_mpi::{HookOutcome, MpiError, MpiInstruments, ProgressionEngine, Rank};
+use parcomm_mpi::{HookOutcome, MpiError, MpiInstruments, ProgressionEngine, Rank, RecoverConfig};
 use parcomm_sim::{Ctx, SimDuration, SimTime, SpanId};
 
 use crate::schedule::{Schedule, StepOp};
@@ -76,6 +76,10 @@ struct EngineInner {
     /// Armed Algorithm-2 watchdog (from the world config); `None` in
     /// fault-free runs keeps the wait loop event-identical to the seed.
     watchdog_us: Option<f64>,
+    /// Epoch-recovery policy (from the world config). When armed, a stall
+    /// escalates through lease check → host drain → channel replay before
+    /// the fatal timeout; `None` keeps the pre-recovery wait loop exactly.
+    recover: Option<RecoverConfig>,
     /// MPI-layer instruments (watchdog arm/fire counters), if the world
     /// has metrics enabled.
     instruments: Option<MpiInstruments>,
@@ -197,6 +201,7 @@ impl CollectiveEngine {
                 progression: rank.progression().clone(),
                 rank: rank.rank(),
                 watchdog_us: rank.world().config().wait_watchdog_us,
+                recover: rank.world().config().recover.clone(),
                 instruments: rank.world().instruments(),
                 send,
                 recv,
@@ -516,10 +521,20 @@ impl CollectiveEngine {
     /// than the timeout returns [`MpiError::CollectiveTimeout`] naming the
     /// stuck partition and step instead of spinning forever — the typed
     /// surface for lost arrivals (crashed peers, lost device flag writes).
+    /// With [`parcomm_mpi::WorldConfig::recover`] armed instead, a stall of
+    /// `detect_us` escalates through the recovery ladder before anything is
+    /// fatal: an expired progression-engine lease hands the pending device
+    /// notifications to this context (host-drain takeover — the crashed
+    /// rank keeps progressing its own collective), then every send
+    /// channel's undelivered transports are replayed under a fresh
+    /// generation. Only after `max_replays` fruitless rounds does the typed
+    /// [`MpiError::Unrecoverable`] surface.
     pub(crate) fn wait(&self, ctx: &mut Ctx) -> Result<(), MpiError> {
         let total = self.inner.schedule.len();
         let mut stall_started: Option<SimTime> = None;
-        if self.inner.watchdog_us.is_some() {
+        let mut attempts = 0u32;
+        let detect_us = self.stall_bound_us();
+        if detect_us.is_some() {
             if let Some(ins) = &self.inner.instruments {
                 ins.watchdog_arms.inc();
             }
@@ -536,13 +551,50 @@ impl CollectiveEngine {
             if progressed {
                 stall_started = None;
             } else {
-                if let Some(timeout_us) = self.inner.watchdog_us {
+                if let Some(timeout_us) = detect_us {
                     let t0 = *stall_started.get_or_insert(ctx.now());
                     if ctx.now().since(t0).as_micros_f64() >= timeout_us {
-                        if let Some(ins) = &self.inner.instruments {
-                            ins.watchdog_fires.inc();
+                        match &self.inner.recover {
+                            None => {
+                                if let Some(ins) = &self.inner.instruments {
+                                    ins.watchdog_fires.inc();
+                                }
+                                return Err(self.stall_error(timeout_us, total));
+                            }
+                            Some(rc) => {
+                                if attempts >= rc.max_replays {
+                                    if let Some(ins) = &self.inner.instruments {
+                                        ins.watchdog_fires.inc();
+                                    }
+                                    let diag = self.stall_error(timeout_us, total);
+                                    return Err(MpiError::Unrecoverable {
+                                        rank: self.inner.rank,
+                                        context: format!("collective epoch: {diag}"),
+                                        attempts,
+                                    });
+                                }
+                                attempts += 1;
+                                if self
+                                    .inner
+                                    .progression
+                                    .lease_expired(ctx.now(), rc.lease_us)
+                                {
+                                    if let Some(ins) = &self.inner.instruments {
+                                        ins.recover_lease_expired.inc();
+                                        ins.recover_host_drains.inc();
+                                    }
+                                    // Host takeover of the dead PE's queue:
+                                    // activates any partitions whose device
+                                    // readiness was never drained. The queue
+                                    // pop is the exactly-once point.
+                                    self.drain_device(ctx);
+                                }
+                                for ch in self.inner.send.values() {
+                                    ch.sreq.recover_epoch(ctx);
+                                }
+                                stall_started = None;
+                            }
                         }
-                        return Err(self.stall_error(timeout_us, total));
                     }
                 }
                 // Block until any new arrival on any receive channel (or a
@@ -557,6 +609,16 @@ impl CollectiveEngine {
             ch.rreq.wait(ctx)?;
         }
         Ok(())
+    }
+
+    /// The stall-detection bound for the wait loop: the recovery policy's
+    /// `detect_us` when armed (capped by the fatal watchdog, if both are
+    /// set), else the watchdog alone, else unbounded.
+    fn stall_bound_us(&self) -> Option<f64> {
+        match (&self.inner.recover, self.inner.watchdog_us) {
+            (Some(rc), w) => Some(rc.detect_us.min(w.unwrap_or(f64::INFINITY))),
+            (None, w) => w,
+        }
     }
 
     /// Build the [`MpiError::CollectiveTimeout`] for the current stall:
@@ -608,7 +670,7 @@ impl CollectiveEngine {
             // channel's slot count).
             let target = (current + 1).min(ch.rreq.user_partitions() as u64);
             if current < target {
-                match self.inner.watchdog_us {
+                match self.stall_bound_us() {
                     None => ctx.wait_count(&ev, target),
                     Some(timeout_us) => {
                         let _ = ctx.wait_count_timeout(

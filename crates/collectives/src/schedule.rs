@@ -17,6 +17,7 @@
 //! (Algorithm 1), binomial-tree broadcast, and ring reduce-scatter — all on
 //! the same executor.
 
+use parcomm_mpi::MpiError;
 use parcomm_net::Topology;
 
 /// The reduction op for a step.
@@ -174,6 +175,64 @@ impl Schedule {
             }
         }
         Schedule { steps, chunks: p }
+    }
+
+    /// Quarantine repair: the hierarchical ring allreduce recomputed over
+    /// the surviving nodes of `topo`, routing around every node in
+    /// `quarantined` (the recovery ladder's final rung — a node whose ranks
+    /// crashed unrecoverably is excised and the collective re-formed for
+    /// the next epoch over the survivors).
+    ///
+    /// The repaired schedule is the hierarchical schedule of the *virtual*
+    /// sub-topology formed by the surviving nodes in ascending order, with
+    /// neighbor indices mapped back to real ranks — so the rail rings skip
+    /// quarantined nodes and the intra-node phases are untouched. Its
+    /// `chunks` equals the surviving communicator size: the repaired
+    /// collective reduces over survivors only (crashed contributions are
+    /// lost by definition).
+    ///
+    /// Typed failure when repair is impossible: `rank`'s own node is
+    /// quarantined (it cannot route around itself) surfaces
+    /// [`MpiError::Unrecoverable`].
+    pub fn repair_hierarchical_ring(
+        rank: usize,
+        topo: &Topology,
+        quarantined: &[u16],
+    ) -> Result<Schedule, MpiError> {
+        let g = topo.gpus_per_node() as usize;
+        let node = topo.node_of(rank);
+        if quarantined.contains(&node) {
+            return Err(MpiError::Unrecoverable {
+                rank,
+                context: format!(
+                    "schedule repair: own node {node} is quarantined — no route around self"
+                ),
+                attempts: 0,
+            });
+        }
+        let survivors: Vec<u16> =
+            (0..topo.nodes()).filter(|nd| !quarantined.contains(nd)).collect();
+        // Own node survives, so survivors is non-empty.
+        let vtopo = Topology::new(survivors.len() as u16, g as u8, topo.nics_per_node())
+            .map_err(MpiError::InvalidTopology)?;
+        let vnode = survivors
+            .iter()
+            .position(|&nd| nd == node)
+            .expect("own node is a survivor");
+        let vrank = vnode * g + topo.local_index(rank) as usize;
+        let vsched = Schedule::hierarchical_ring_allreduce(vrank, &vtopo);
+        let chunks = vsched.chunks;
+        let map = |v: usize| survivors[v / g] as usize * g + v % g;
+        let steps = vsched
+            .steps
+            .into_iter()
+            .map(|mut s| {
+                s.incoming = s.incoming.into_iter().map(map).collect();
+                s.outgoing = s.outgoing.into_iter().map(map).collect();
+                s
+            })
+            .collect();
+        Ok(Schedule { steps, chunks })
     }
 
     /// Binomial-tree broadcast schedule rooted at `root`: all NOP steps.

@@ -140,7 +140,7 @@ pub fn prequest_create(
     ctx.advance(ApiOverheads::sample(ctx, send.overheads.prequest_create));
 
     let pinned_flags = rank.gpu().alloc_pinned_host(config.transport_partitions * 8);
-    Ok(DevicePrequest {
+    let dp = DevicePrequest {
         inner: Arc::new(DpInner {
             send,
             config,
@@ -154,7 +154,17 @@ pub fn prequest_create(
                 epoch: 0,
             }),
         }),
-    })
+    };
+    // Recovery: let a blocking wait drain this queue from host context when
+    // the progression engine's lease expires. The queue pop is the
+    // exactly-once point, so a false-positive takeover (stalled-not-dead PE)
+    // is harmless.
+    let drain = dp.clone();
+    *dp.inner.send.device_drain.lock() =
+        Some(Box::new(move |ctx: &mut Ctx| {
+            let _ = drain.drain_notifications(ctx);
+        }));
+    Ok(dp)
 }
 
 impl DevicePrequest {
@@ -163,6 +173,8 @@ impl DevicePrequest {
     /// the pinned mapping.)
     pub fn free(self, ctx: &mut Ctx) {
         ctx.advance(SimDuration::from_micros_f64(5.0));
+        // Break the drain-hook reference cycle through the send channel.
+        *self.inner.send.device_drain.lock() = None;
         drop(self);
     }
 

@@ -20,6 +20,7 @@
 //! internal `mark_ready` / `issue_*` entry points.
 
 use std::ops::Range;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use parcomm_sim::Mutex;
@@ -91,9 +92,29 @@ pub(crate) struct PsendShared {
     pub transport_complete: CountEvent,
     /// Handles of the puts issued this epoch (data and chained flag puts),
     /// scanned by the `MPI_Wait` watchdog to surface transport failures.
-    /// Cleared at `MPI_Start`.
+    /// Cleared at `MPI_Start` and by epoch replay (a replay supersedes the
+    /// old attempt's handles — their failures are no longer diagnostic).
     pub puts: Arc<Mutex<Vec<PutHandle>>>,
+    /// Replay generation: bumped by [`PsendShared::recover_epoch`]. Every
+    /// put-completion closure captures the generation it was issued under
+    /// and discards its side effects if a replay has superseded it — stale
+    /// duplicates from a half-completed attempt cannot double-count.
+    pub gen: Arc<AtomicU64>,
+    /// Per-transport delivered latch for the current epoch: set exactly
+    /// once, by the first (current-generation) flag put to land. Replay
+    /// re-issues only undelivered transports; a racing duplicate that lands
+    /// after the latch is discarded.
+    pub delivered: Arc<Mutex<Vec<bool>>>,
+    /// Host-drain takeover hook for the device (`MPIX_Pready`-from-kernel)
+    /// path: registered by `prequest_create`, it drains the device
+    /// notification queue from the waiter's context when the progression
+    /// engine's lease expires. Draining pops from the same queue the PE
+    /// hook drains, so each notification is serviced exactly once.
+    pub device_drain: Mutex<Option<DrainHook>>,
 }
+
+/// Boxed host-drain callback; see [`PsendShared::device_drain`].
+pub type DrainHook = Box<dyn FnMut(&mut Ctx) + Send>;
 
 /// A persistent partitioned send channel (`MPI_Psend_init` result).
 #[derive(Clone)]
@@ -187,6 +208,9 @@ pub fn psend_init(
             }),
             transport_complete: CountEvent::named("psend transport_complete"),
             puts: Arc::new(Mutex::new(Vec::new())),
+            gen: Arc::new(AtomicU64::new(0)),
+            delivered: Arc::new(Mutex::new(vec![false; 1])),
+            device_drain: Mutex::new(None),
         }),
     })
 }
@@ -231,6 +255,7 @@ impl PsendRequest {
         st.transport_partitions = t;
         st.ready = vec![0; t];
         st.sent = vec![false; t];
+        *self.inner.delivered.lock() = vec![false; t];
         Ok(())
     }
 
@@ -276,6 +301,7 @@ impl PsendRequest {
         st.ready = vec![0; t];
         st.user_ready = vec![false; self.inner.user_partitions];
         st.sent = vec![false; t];
+        *self.inner.delivered.lock() = vec![false; t];
         self.inner.puts.lock().clear();
         self.inner.transport_complete.reset();
         // Flag puts carry the epoch number so MPI_Parrived can distinguish
@@ -390,6 +416,14 @@ impl PsendRequest {
     /// surfaces as [`MpiError::Transport`], a crashed progression engine as
     /// [`MpiError::ProgressionHalted`], anything else as
     /// [`MpiError::WaitTimeout`].
+    ///
+    /// With [`parcomm_mpi::WorldConfig::recover`] enabled, a stall instead
+    /// escalates through the recovery ladder every `detect_us`: if the
+    /// progression engine's lease has expired, its pending device
+    /// notifications are drained from this context; then the epoch's
+    /// undelivered transports are replayed under a fresh generation. Only
+    /// after `max_replays` fruitless rounds does the typed
+    /// [`MpiError::Unrecoverable`] surface.
     pub fn wait(&self, ctx: &mut Ctx) -> Result<(), MpiError> {
         let t = {
             let st = self.inner.state.lock();
@@ -400,9 +434,10 @@ impl PsendRequest {
             }
             st.transport_partitions as u64
         };
-        match self.inner.world.config().wait_watchdog_us {
-            None => ctx.wait_count(&self.inner.transport_complete, t),
-            Some(timeout_us) => {
+        let recover = self.inner.world.config().recover.clone();
+        match (recover, self.inner.world.config().wait_watchdog_us) {
+            (None, None) => ctx.wait_count(&self.inner.transport_complete, t),
+            (None, Some(timeout_us)) => {
                 let instruments = self.inner.world.instruments();
                 if let Some(ins) = &instruments {
                     ins.watchdog_arms.inc();
@@ -415,9 +450,55 @@ impl PsendRequest {
                     return Err(self.inner.diagnose_stall(timeout_us, t));
                 }
             }
+            (Some(rc), watchdog_us) => {
+                let instruments = self.inner.world.instruments();
+                let detect_us = rc.detect_us.min(watchdog_us.unwrap_or(f64::INFINITY));
+                let dt = SimDuration::from_micros_f64(detect_us);
+                let mut attempts = 0u32;
+                loop {
+                    if let Some(ins) = &instruments {
+                        ins.watchdog_arms.inc();
+                    }
+                    if ctx.wait_count_timeout(&self.inner.transport_complete, t, dt) {
+                        break;
+                    }
+                    if let Some(ins) = &instruments {
+                        ins.watchdog_fires.inc();
+                    }
+                    if attempts >= rc.max_replays {
+                        let diag = self.inner.diagnose_stall(detect_us, t);
+                        return Err(MpiError::Unrecoverable {
+                            rank: self.inner.my_rank,
+                            context: format!(
+                                "psend transport completion (dst {}): {diag}",
+                                self.inner.dest
+                            ),
+                            attempts,
+                        });
+                    }
+                    attempts += 1;
+                    if self.inner.progression.lease_expired(ctx.now(), rc.lease_us) {
+                        if let Some(ins) = &instruments {
+                            ins.recover_lease_expired.inc();
+                        }
+                        self.inner.host_drain_device(ctx);
+                    }
+                    self.inner.recover_epoch(ctx);
+                }
+            }
         }
         self.inner.state.lock().started = false;
         Ok(())
+    }
+
+    /// Replay the current epoch's undelivered transport partitions under a
+    /// fresh generation (the lease/replay rung of the recovery ladder).
+    /// Idempotent and safe to call spuriously: every transport's delivery is
+    /// latched exactly once, and completions from superseded generations are
+    /// discarded, so a replay of an epoch that was quietly completing merely
+    /// wastes bandwidth. Returns the number of transports re-posted.
+    pub fn recover_epoch(&self, ctx: &mut Ctx) -> usize {
+        self.inner.recover_epoch(ctx)
     }
 
     /// `MPI_Test` (sender side): true when the epoch is fully delivered.
@@ -506,6 +587,64 @@ impl PsendShared {
         }
     }
 
+    /// Host-drain takeover: run the registered device-notification drain (if
+    /// the device path is in use) from the calling context. Exactly-once is
+    /// guaranteed by the shared queue the drain pops from.
+    pub(crate) fn host_drain_device(&self, ctx: &mut Ctx) {
+        let mut slot = self.device_drain.lock();
+        if let Some(drain) = slot.as_mut() {
+            if let Some(ins) = self.world.instruments() {
+                ins.recover_host_drains.inc();
+            }
+            drain(ctx);
+        }
+    }
+
+    /// Replay the epoch's undelivered transports under a fresh generation;
+    /// see [`PsendRequest::recover_epoch`].
+    pub(crate) fn recover_epoch(&self, ctx: &mut Ctx) -> usize {
+        let todo: Vec<usize> = {
+            let st = self.state.lock();
+            if !st.started || !st.prepared {
+                return 0;
+            }
+            let d = self.delivered.lock();
+            st.sent
+                .iter()
+                .enumerate()
+                .filter(|&(k, &sent)| sent && !d[k])
+                .map(|(k, _)| k)
+                .collect()
+        };
+        if todo.is_empty() {
+            return 0;
+        }
+        // Supersede the half-completed attempt: completions still in flight
+        // carry the old generation and will be discarded on landing. The old
+        // put handles are dropped so their (now-moot) failures stop feeding
+        // the stall diagnosis.
+        self.gen.fetch_add(1, Ordering::AcqRel);
+        self.puts.lock().clear();
+        if let Some(ins) = self.world.instruments() {
+            ins.recover_replays.inc();
+        }
+        for &k in &todo {
+            let t0 = ctx.now();
+            ctx.advance(SimDuration::from_micros_f64(self.cost.data_put_post_us));
+            let h = ctx.handle();
+            let span = h.trace().record_causal(
+                "recover_replay",
+                t0,
+                ctx.now(),
+                Some(self.my_rank as u32),
+                Some(k as u32),
+                SpanId::NONE,
+            );
+            self.issue_data_put(&h, k, span, t0);
+        }
+        todo.len()
+    }
+
     /// Mark a user range ready; returns the transport partitions that just
     /// became complete (and latches them as sent).
     pub(crate) fn mark_ready(&self, users: Range<usize>) -> Result<Vec<usize>, MpiError> {
@@ -591,6 +730,13 @@ impl PsendShared {
         let ep2 = ep.clone();
         let puts = self.puts.clone();
         let puts2 = puts.clone();
+        // Generation tag: a replay bumps `gen`, so completions of puts
+        // issued under an older generation (or after this transport's
+        // delivered latch is set) discard their side effects — replay is
+        // idempotent.
+        let issue_gen = self.gen.load(Ordering::Acquire);
+        let gen = self.gen.clone();
+        let delivered = self.delivered.clone();
         let attr = PutAttr {
             src_rank: Some(self.my_rank as u32),
             dst_rank: Some(self.dest as u32),
@@ -629,6 +775,16 @@ impl PsendShared {
                     attr,
                     complete_span,
                     move |h, _span| {
+                        {
+                            let mut d = delivered.lock();
+                            if gen.load(Ordering::Acquire) != issue_gen || d[k] {
+                                if let Some(ins) = world.instruments() {
+                                    ins.recover_stale_puts.inc();
+                                }
+                                return;
+                            }
+                            d[k] = true;
+                        }
                         if let Some(ins) = world.instruments() {
                             let us = h.now().since(pready_at).as_micros_f64();
                             ins.pready_arrival_us.record(us.round() as u64);
@@ -672,6 +828,9 @@ impl PsendShared {
             partition: Some(k as u32),
         };
         let world = self.world.clone();
+        let issue_gen = self.gen.load(Ordering::Acquire);
+        let gen = self.gen.clone();
+        let delivered = self.delivered.clone();
         let h = ep.put_nbx_attr(
             &flag_stage,
             u0 * 8,
@@ -681,6 +840,16 @@ impl PsendShared {
             attr,
             cause,
             move |h, _span| {
+                {
+                    let mut d = delivered.lock();
+                    if gen.load(Ordering::Acquire) != issue_gen || d[k] {
+                        if let Some(ins) = world.instruments() {
+                            ins.recover_stale_puts.inc();
+                        }
+                        return;
+                    }
+                    d[k] = true;
+                }
                 if let Some(ins) = world.instruments() {
                     let us = h.now().since(pready_at).as_micros_f64();
                     ins.pready_arrival_us.record(us.round() as u64);

@@ -141,7 +141,7 @@ pub fn campaign_spec(cfg: &CampaignConfig) -> SweepSpec<CellOutcome> {
                 let clean_numeric = clean.numeric.clone();
                 let (sim_seed, nodes) = (cfg.sim_seed, cfg.nodes);
                 spec.cell(format!("seed={fault_seed:#x},rate={rate},stripes={stripes}"), move || {
-                    let plan = FaultPlan::chaos(fault_seed, rate);
+                    let plan = FaultPlan::chaos(fault_seed, rate).expect("grid rates are in [0, 1]");
                     let a = chaos::run_allreduce_striped(sim_seed, &plan, nodes, stripes);
                     let b = chaos::run_allreduce_striped(sim_seed, &plan, nodes, stripes);
                     CellOutcome {

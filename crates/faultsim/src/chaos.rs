@@ -119,25 +119,49 @@ pub fn run_allreduce(seed: u64, plan: &FaultPlan, nodes: u16) -> ChaosRun {
     run_allreduce_striped(seed, plan, nodes, 1)
 }
 
+/// [`run_allreduce`] with the recovery escalation ladder armed (or not):
+/// `recover` lands in [`WorldConfig::recover`] before the world is built.
+/// With `None` this is exactly [`run_allreduce`] — same config, same
+/// digest; with `Some` and a fault-free plan the digest is *still*
+/// identical (recovery only arms cancellable timers; see
+/// `tests/recovery.rs`).
+pub fn run_allreduce_recovering(
+    seed: u64,
+    plan: &FaultPlan,
+    nodes: u16,
+    recover: Option<parcomm_mpi::RecoverConfig>,
+) -> ChaosRun {
+    run_world_with(seed, plan, nodes, move |cfg| cfg.recover = recover, |ctx, rank| {
+        allreduce_body(ctx, rank)
+    })
+}
+
 /// [`run_allreduce`] with the world's cross-node stripe count set: the
 /// chaos-campaign striping axis. `stripes == 1` is exactly
 /// [`run_allreduce`] — same config, same digest.
 pub fn run_allreduce_striped(seed: u64, plan: &FaultPlan, nodes: u16, stripes: usize) -> ChaosRun {
     run_world_with(seed, plan, nodes, |cfg| cfg.stripes = stripes, |ctx, rank| {
-        let partitions = 4usize;
-        let n = partitions * rank.size() * 64;
-        let buf = rank.gpu().alloc_global(n * 8);
-        let vals: Vec<f64> = (0..n).map(|i| (rank.rank() * 31 + i) as f64).collect();
-        buf.write_f64_slice(0, &vals);
-        let stream = rank.gpu().create_stream();
-        let coll = pallreduce_init(ctx, rank, &buf, partitions, &stream, 90)?;
-        coll.start(ctx)?;
-        coll.pbuf_prepare(ctx)?;
-        let c2 = coll.clone();
-        stream.launch(ctx, KernelSpec::vector_add(4, 256), move |d| c2.pready_device_all(d));
-        coll.wait(ctx)?;
-        Ok(buf.read_f64_slice(0, n))
+        allreduce_body(ctx, rank)
     })
+}
+
+/// The canonical allreduce rank program shared by every chaos workload
+/// variant (identical code path ⇒ identical digests whatever the config
+/// knobs around it).
+fn allreduce_body(ctx: &mut Ctx, rank: &mut Rank) -> Result<Vec<f64>, MpiError> {
+    let partitions = 4usize;
+    let n = partitions * rank.size() * 64;
+    let buf = rank.gpu().alloc_global(n * 8);
+    let vals: Vec<f64> = (0..n).map(|i| (rank.rank() * 31 + i) as f64).collect();
+    buf.write_f64_slice(0, &vals);
+    let stream = rank.gpu().create_stream();
+    let coll = pallreduce_init(ctx, rank, &buf, partitions, &stream, 90)?;
+    coll.start(ctx)?;
+    coll.pbuf_prepare(ctx)?;
+    let c2 = coll.clone();
+    stream.launch(ctx, KernelSpec::vector_add(4, 256), move |d| c2.pready_device_all(d));
+    coll.wait(ctx)?;
+    Ok(buf.read_f64_slice(0, n))
 }
 
 /// The canonical Jacobi chaos workload: the functional-test solver with

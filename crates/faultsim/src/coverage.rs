@@ -1,0 +1,772 @@
+//! Coverage-guided chaos search: mutate [`FaultPlan`]s toward unexplored
+//! fault-class × layer combinations instead of walking a fixed seed×rate
+//! grid.
+//!
+//! The classic campaign ([`crate::campaign`]) sweeps `chaos(seed, rate)`
+//! points — every cell injects the same three network classes at different
+//! intensities, so its *coverage* (which fault classes, at which layers, in
+//! which combinations) saturates after the first cell. This module treats
+//! coverage as the search objective:
+//!
+//! 1. enumerate the coverage targets — every single [`FaultClass`] and
+//!    every unordered pair of distinct classes;
+//! 2. each round, synthesize one candidate plan per still-uncovered target
+//!    (parameters drawn from a per-round seeded RNG, generation strictly
+//!    serial so the campaign is worker-count invariant);
+//! 3. run the batch on the `parcomm-sweep` pool, twice per cell, and check
+//!    the recovery contract: recoverable classes must survive with
+//!    numerics bit-identical to the fault-free baseline and replay
+//!    deterministically; unrecoverable classes must fail with a typed
+//!    error, never a hang;
+//! 4. any contract violation is bisected with `parcomm-testkit`'s greedy
+//!    shrinker to a minimal failing [`FaultPlan`], reported as JSON so the
+//!    cell replays from the artifact.
+//!
+//! At equal cell budget the guided campaign covers strictly more distinct
+//! coverage points than the grid (asserted in `tests/recovery.rs`).
+
+use std::collections::BTreeSet;
+
+use parcomm_mpi::RecoverConfig;
+use parcomm_sim::SimRng;
+use parcomm_sweep::SweepSpec;
+use parcomm_testkit::prop::{shrink_failure, Shrink, TestResult};
+
+use crate::{chaos, CampaignConfig, FaultPlan};
+
+/// The injectable fault classes the search steers over.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum FaultClass {
+    /// Transient per-attempt wire drop (retransmitted).
+    LinkDrop,
+    /// Per-transfer congestion latency spike.
+    LatencySpike,
+    /// One NIC dark for a window (re-stripe / retry around it).
+    NicOutage,
+    /// Every NIC on one node dark for a window (epoch replay territory).
+    MultiNicOutage,
+    /// Progression-engine stall window.
+    PeStall,
+    /// Progression-engine crash (lease detection + host drain).
+    PeCrash,
+    /// Delayed device flag-write emissions.
+    FlagDelay,
+    /// Lost device flag-write emissions (unrecoverable by design).
+    FlagLoss,
+}
+
+/// The stack layer a fault class is injected at.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum FaultLayer {
+    /// `netsim` fabric / routing.
+    Net,
+    /// `mpisim` progression engine.
+    Mpi,
+    /// `gpusim` stream emission.
+    Gpu,
+}
+
+impl FaultClass {
+    /// Every class, in canonical search order.
+    pub const ALL: [FaultClass; 8] = [
+        FaultClass::LinkDrop,
+        FaultClass::LatencySpike,
+        FaultClass::NicOutage,
+        FaultClass::MultiNicOutage,
+        FaultClass::PeStall,
+        FaultClass::PeCrash,
+        FaultClass::FlagDelay,
+        FaultClass::FlagLoss,
+    ];
+
+    /// The layer this class is injected at.
+    pub fn layer(&self) -> FaultLayer {
+        match self {
+            FaultClass::LinkDrop
+            | FaultClass::LatencySpike
+            | FaultClass::NicOutage
+            | FaultClass::MultiNicOutage => FaultLayer::Net,
+            FaultClass::PeStall | FaultClass::PeCrash => FaultLayer::Mpi,
+            FaultClass::FlagDelay | FaultClass::FlagLoss => FaultLayer::Gpu,
+        }
+    }
+
+    /// Stable short name used in coverage-point keys and report lines.
+    pub fn key(&self) -> &'static str {
+        match self {
+            FaultClass::LinkDrop => "link_drop",
+            FaultClass::LatencySpike => "latency_spike",
+            FaultClass::NicOutage => "nic_outage",
+            FaultClass::MultiNicOutage => "multi_nic_outage",
+            FaultClass::PeStall => "pe_stall",
+            FaultClass::PeCrash => "pe_crash",
+            FaultClass::FlagDelay => "flag_delay",
+            FaultClass::FlagLoss => "flag_loss",
+        }
+    }
+
+    fn layer_key(&self) -> &'static str {
+        match self.layer() {
+            FaultLayer::Net => "net",
+            FaultLayer::Mpi => "mpi",
+            FaultLayer::Gpu => "gpu",
+        }
+    }
+}
+
+/// Classify which fault classes a plan actually injects.
+pub fn classes_of(plan: &FaultPlan) -> Vec<FaultClass> {
+    let mut out = Vec::new();
+    if let Some(net) = &plan.net {
+        if net.drop_prob > 0.0 {
+            out.push(FaultClass::LinkDrop);
+        }
+        if net.spike_prob > 0.0 {
+            out.push(FaultClass::LatencySpike);
+        }
+        match net.nic_outages.len() {
+            0 => {}
+            1 => out.push(FaultClass::NicOutage),
+            _ => out.push(FaultClass::MultiNicOutage),
+        }
+    }
+    if plan.pe.iter().any(|(_, f)| f.stall_us > 0.0) {
+        out.push(FaultClass::PeStall);
+    }
+    if plan.pe.iter().any(|(_, f)| f.crash_at_us.is_some()) {
+        out.push(FaultClass::PeCrash);
+    }
+    if plan.flags.iter().any(|(_, f)| f.delay_every > 0) {
+        out.push(FaultClass::FlagDelay);
+    }
+    if plan.flags.iter().any(|(_, f)| f.lose_every > 0) {
+        out.push(FaultClass::FlagLoss);
+    }
+    out.sort();
+    out.dedup();
+    out
+}
+
+/// The coverage points a plan explores: one `class@layer` point per active
+/// class plus one `a+b` point per unordered pair of distinct active
+/// classes (the cross-class interaction axis the fixed grid never varies).
+pub fn coverage_points(plan: &FaultPlan) -> BTreeSet<String> {
+    let classes = classes_of(plan);
+    let mut points = BTreeSet::new();
+    for c in &classes {
+        points.insert(format!("{}@{}", c.key(), c.layer_key()));
+    }
+    for (i, a) in classes.iter().enumerate() {
+        for b in &classes[i + 1..] {
+            points.insert(format!("{}+{}", a.key(), b.key()));
+        }
+    }
+    points
+}
+
+/// The coverage points the classic fixed grid reaches, computed honestly
+/// from the grid's own plans (every `chaos(seed, rate)` cell injects the
+/// same class mix, so this saturates at a handful of points).
+pub fn grid_coverage_points(cfg: &CampaignConfig) -> BTreeSet<String> {
+    let mut points = BTreeSet::new();
+    for fault_seed in cfg.base_fault_seed..cfg.base_fault_seed + cfg.seeds {
+        for &rate in &cfg.rates {
+            let plan = FaultPlan::chaos(fault_seed, rate).expect("grid rates are in [0, 1]");
+            points.extend(coverage_points(&plan));
+        }
+    }
+    points
+}
+
+/// What the recovery contract expects of a plan's run.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Expectation {
+    /// Recoverable mix: the run must survive, numerics must match the
+    /// fault-free baseline bit for bit, and replay must be deterministic.
+    Recover,
+    /// Unrecoverable mix: the run must fail with a typed error (never a
+    /// hang) and still replay deterministically.
+    TypedFailure,
+}
+
+/// The contract classification for a plan: lost flag writes are the one
+/// class recovery cannot paper over (the partition is never marked ready,
+/// so there is nothing to replay); everything else must recover when the
+/// escalation ladder is armed. With recovery disabled, a PE crash is also
+/// expected to surface as a typed error.
+pub fn expectation(plan: &FaultPlan, recover_enabled: bool) -> Expectation {
+    let classes = classes_of(plan);
+    if classes.contains(&FaultClass::FlagLoss) {
+        return Expectation::TypedFailure;
+    }
+    if classes.contains(&FaultClass::PeCrash) && !recover_enabled {
+        return Expectation::TypedFailure;
+    }
+    // An all-rails outage outlives the put-retry budget and leaves no rail
+    // to re-stripe onto; only epoch replay can carry it.
+    if classes.contains(&FaultClass::MultiNicOutage) && !recover_enabled {
+        return Expectation::TypedFailure;
+    }
+    Expectation::Recover
+}
+
+/// One executed search cell.
+#[derive(Clone, Debug)]
+pub struct CoverageOutcome {
+    /// Search round the cell was generated in.
+    pub round: u32,
+    /// Coverage target the plan was synthesized for (a point key).
+    pub target: String,
+    /// The synthesized plan.
+    pub plan: FaultPlan,
+    /// What the contract expected.
+    pub expectation: Expectation,
+    /// Trace digest of the first run.
+    pub digest: u64,
+    /// The fault actually perturbed the trace (digest differs from the
+    /// fault-free baseline) — distinguishes genuinely exercised cells
+    /// from plans whose windows missed the traffic.
+    pub perturbed: bool,
+    /// Every rank completed without a typed error.
+    pub survived: bool,
+    /// The second run reproduced the digest bit for bit.
+    pub replayed: bool,
+    /// Rank-0 numerics matched the fault-free baseline.
+    pub numeric_ok: bool,
+}
+
+impl CoverageOutcome {
+    /// True when the cell upheld the contract for its expectation class.
+    pub fn ok(&self) -> bool {
+        match self.expectation {
+            Expectation::Recover => self.survived && self.replayed && self.numeric_ok,
+            Expectation::TypedFailure => !self.survived && self.replayed,
+        }
+    }
+
+    /// One deterministic report line (diffable across worker counts).
+    pub fn render(&self) -> String {
+        let classes: Vec<&str> = classes_of(&self.plan).iter().map(|c| c.key()).collect();
+        format!(
+            "round={} target={} classes=[{}] expect={:?} digest={:#018x} perturbed={} survived={} replayed={} numeric_ok={} ok={}",
+            self.round,
+            self.target,
+            classes.join("+"),
+            self.expectation,
+            self.digest,
+            self.perturbed,
+            self.survived,
+            self.replayed,
+            self.numeric_ok,
+            self.ok()
+        )
+    }
+}
+
+/// A contract violation bisected to a minimal reproducer.
+#[derive(Clone, Debug)]
+pub struct MinimizedFailure {
+    /// Coverage target of the original failing cell.
+    pub target: String,
+    /// The minimal plan that still violates the contract.
+    pub minimal_plan: FaultPlan,
+    /// Why the minimal plan fails.
+    pub reason: String,
+    /// Accepted shrink steps from the original plan to the minimum.
+    pub shrink_steps: u32,
+}
+
+impl MinimizedFailure {
+    /// The reproducer as a JSON document (plan + context), ready to write
+    /// under `results/` and replay with `--fault-plan`.
+    pub fn to_json_string(&self) -> String {
+        use parcomm_obs::json::JsonValue;
+        JsonValue::Object(vec![
+            ("target".to_string(), JsonValue::String(self.target.clone())),
+            ("reason".to_string(), JsonValue::String(self.reason.clone())),
+            ("shrink_steps".to_string(), JsonValue::Number(self.shrink_steps as f64)),
+            ("plan".to_string(), self.minimal_plan.to_json()),
+        ])
+        .render()
+    }
+}
+
+/// Configuration for one coverage-guided campaign.
+#[derive(Clone, Debug)]
+pub struct CoverageCampaignConfig {
+    /// Simulation seed shared by every cell.
+    pub sim_seed: u64,
+    /// Search seed: parameterizes every synthesized plan.
+    pub search_seed: u64,
+    /// Total cell budget (each cell = two runs of the workload).
+    pub budget: u32,
+    /// GH200 nodes in the world.
+    pub nodes: u16,
+    /// Arm the recovery escalation ladder (`WorldConfig::recover`).
+    pub recover: bool,
+    /// Cap on shrink steps when bisecting a contract violation.
+    pub max_shrink_steps: u32,
+}
+
+impl Default for CoverageCampaignConfig {
+    fn default() -> Self {
+        CoverageCampaignConfig {
+            sim_seed: 0xFA017,
+            search_seed: 0xC0FE_A6ED,
+            budget: 36,
+            nodes: 2,
+            recover: true,
+            max_shrink_steps: 24,
+        }
+    }
+}
+
+/// The campaign's result: every cell outcome, the covered point set, and
+/// any bisected contract violations.
+#[derive(Clone, Debug)]
+pub struct CoverageReport {
+    /// Executed cells in deterministic (round, target) order.
+    pub outcomes: Vec<CoverageOutcome>,
+    /// Distinct coverage points explored.
+    pub covered: BTreeSet<String>,
+    /// Contract violations, bisected to minimal plans.
+    pub failures: Vec<MinimizedFailure>,
+}
+
+impl CoverageReport {
+    /// One deterministic multi-line report: cell lines then a summary.
+    /// Byte-identical at any worker count (asserted in CI by diffing the
+    /// serial and 4-worker renders).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for o in &self.outcomes {
+            out.push_str(&o.render());
+            out.push('\n');
+        }
+        out.push_str(&format!(
+            "cells={} covered_points={} failures={}\n",
+            self.outcomes.len(),
+            self.covered.len(),
+            self.failures.len()
+        ));
+        for f in &self.failures {
+            out.push_str(&format!(
+                "FAIL target={} steps={} reason={} plan={}\n",
+                f.target,
+                f.shrink_steps,
+                f.reason,
+                f.minimal_plan.to_json_string()
+            ));
+        }
+        out
+    }
+}
+
+/// Run the workload one cell observes: the canonical two-node partitioned
+/// allreduce, with the recovery ladder armed iff `recover`.
+fn run_cell(sim_seed: u64, plan: &FaultPlan, nodes: u16, recover: bool) -> chaos::ChaosRun {
+    let recover_cfg = if recover { Some(RecoverConfig::default()) } else { None };
+    chaos::run_allreduce_recovering(sim_seed, plan, nodes, recover_cfg)
+}
+
+/// Evaluate the contract for `plan`; `Pass` when upheld.
+fn contract(
+    sim_seed: u64,
+    plan: &FaultPlan,
+    nodes: u16,
+    recover: bool,
+    clean_numeric: &[f64],
+) -> TestResult {
+    let a = run_cell(sim_seed, plan, nodes, recover);
+    let b = run_cell(sim_seed, plan, nodes, recover);
+    let expect = expectation(plan, recover);
+    if a.digest != b.digest {
+        return TestResult::Fail(format!(
+            "replay diverged: {:#x} vs {:#x}",
+            a.digest, b.digest
+        ));
+    }
+    match expect {
+        Expectation::Recover => {
+            if !a.survived() {
+                return TestResult::Fail(format!("unrecovered: {:?}", a.errors));
+            }
+            if a.numeric != clean_numeric {
+                return TestResult::Fail("numerics diverged from fault-free baseline".into());
+            }
+            TestResult::Pass
+        }
+        Expectation::TypedFailure => {
+            if a.survived() {
+                return TestResult::Fail(
+                    "expected a typed failure but the run survived".into(),
+                );
+            }
+            TestResult::Pass
+        }
+    }
+}
+
+/// Synthesize a plan that injects exactly `classes`, with parameters drawn
+/// from `rng`. All windows are finite and placed so recoverable classes
+/// stay inside the escalation ladder's reach.
+fn synthesize(classes: &[FaultClass], rng: &mut SimRng, nodes: u16) -> FaultPlan {
+    let ranks = nodes as usize * 4;
+    // 200 ms: past the full replay budget (4 × 20 ms detection windows)
+    // but cheap for wedged unrecoverable cells.
+    let mut plan = FaultPlan::none().with_watchdog(200_000.0);
+    let drop = if classes.contains(&FaultClass::LinkDrop) {
+        0.05 + 0.30 * rng.uniform()
+    } else {
+        0.0
+    };
+    let (spike_p, spike_us) = if classes.contains(&FaultClass::LatencySpike) {
+        (0.10 + 0.40 * rng.uniform(), 10.0 + 40.0 * rng.uniform())
+    } else {
+        (0.0, 10.0)
+    };
+    if drop > 0.0 || spike_p > 0.0 {
+        plan = plan.with_link_faults(drop, spike_p, spike_us);
+    }
+    if classes.contains(&FaultClass::NicOutage) {
+        // Cross-node data puts fly between ~400 and ~800 µs fault-free;
+        // open the window inside that band so the outage meets traffic.
+        let node = (rng.uniform_range(0, nodes as u64)) as u16;
+        let nic = rng.uniform_range(0, 4) as u8;
+        let from = 300.0 + 300.0 * rng.uniform();
+        let until = from + 1_000.0 + 1_000.0 * rng.uniform();
+        plan = plan.with_nic_outage(node, nic, from, until).expect("finite ordered window");
+    }
+    if classes.contains(&FaultClass::MultiNicOutage) {
+        // Every rail on one node dark across the data-put window. The
+        // window opens after the channel handshake settles (~400 µs on
+        // two nodes) — an outage overlapping the handshake is a
+        // documented survivability limit, not a recovery target — and
+        // ends inside the stall-detection horizon so epoch replay lands.
+        let node = (rng.uniform_range(0, nodes as u64)) as u16;
+        let from = 600.0 + 200.0 * rng.uniform();
+        let until = 8_000.0 + 4_000.0 * rng.uniform();
+        for nic in 0..4u8 {
+            plan = plan.with_nic_outage(node, nic, from, until).expect("finite ordered window");
+        }
+    }
+    if classes.contains(&FaultClass::PeStall) {
+        // While the engine is actively draining preadys (first ~200 µs).
+        let rank = rng.uniform_range(0, ranks as u64) as usize;
+        let at = 20.0 + 130.0 * rng.uniform();
+        let stall = 200.0 + 1_800.0 * rng.uniform();
+        plan = plan.with_pe_stall(rank, at, stall);
+    }
+    if classes.contains(&FaultClass::PeCrash) {
+        // Mid-epoch: after channel setup begins, before the engine has
+        // drained the device preadys (the epoch completes in ~500–800 µs
+        // fault-free, so a crash past ~200 µs can land after the PE's
+        // work is already done and exercise nothing).
+        let rank = rng.uniform_range(0, ranks as u64) as usize;
+        let at = 20.0 + 140.0 * rng.uniform();
+        plan = plan.with_pe_crash(rank, at);
+    }
+    if classes.contains(&FaultClass::FlagDelay) {
+        // The collective batches all partitions of a `pready_device_all`
+        // into one aggregated flag-write emission, so only stride 1 is
+        // guaranteed to hit it.
+        let rank = rng.uniform_range(0, ranks as u64) as usize;
+        let delay = 20.0 + 60.0 * rng.uniform();
+        plan = plan.with_delayed_flag_writes(rank, 1, delay);
+    }
+    if classes.contains(&FaultClass::FlagLoss) {
+        // Stride 1 for the same aggregated-emission reason as FlagDelay.
+        let rank = rng.uniform_range(0, ranks as u64) as usize;
+        plan = plan.with_lost_flag_writes(rank, 1);
+    }
+    plan
+}
+
+/// Canonical target list: every single class, then every unordered pair,
+/// keyed by the coverage point the target is meant to reach.
+fn targets() -> Vec<(String, Vec<FaultClass>)> {
+    let mut out = Vec::new();
+    for c in FaultClass::ALL {
+        out.push((format!("{}@{}", c.key(), c.layer_key()), vec![c]));
+    }
+    for (i, a) in FaultClass::ALL.iter().enumerate() {
+        for b in &FaultClass::ALL[i + 1..] {
+            // One NIC down and a whole node dark are mutually exclusive
+            // classifications of the same outage list — the pair is
+            // unreachable by construction.
+            if (*a, *b) == (FaultClass::NicOutage, FaultClass::MultiNicOutage) {
+                continue;
+            }
+            out.push((format!("{}+{}", a.key(), b.key()), vec![*a, *b]));
+        }
+    }
+    out
+}
+
+/// Run the coverage-guided campaign on `threads` workers.
+///
+/// Candidate plans are generated serially round by round (each round takes
+/// the first still-uncovered targets, up to eight per round) and only the
+/// cell *execution* fans out, so the report renders byte-identically at
+/// any worker count.
+pub fn run_coverage_campaign(cfg: &CoverageCampaignConfig, threads: usize) -> CoverageReport {
+    let clean = run_cell(cfg.sim_seed, &FaultPlan::none(), cfg.nodes, cfg.recover);
+    let clean_numeric = clean.numeric.clone();
+    let all_targets = targets();
+    let mut covered: BTreeSet<String> = BTreeSet::new();
+    let mut outcomes: Vec<CoverageOutcome> = Vec::new();
+    let mut failures: Vec<MinimizedFailure> = Vec::new();
+    let mut cells = 0u32;
+    let mut round = 0u32;
+    while cells < cfg.budget {
+        // Serial candidate generation: first uncovered targets this round;
+        // once everything is covered, keep probing covered pairs with
+        // fresh parameters until the budget runs out.
+        let pending: Vec<&(String, Vec<FaultClass>)> = {
+            let fresh: Vec<_> =
+                all_targets.iter().filter(|(key, _)| !covered.contains(key)).collect();
+            if fresh.is_empty() {
+                all_targets.iter().skip((round as usize * 7) % all_targets.len()).collect()
+            } else {
+                fresh
+            }
+        };
+        let batch: Vec<(String, FaultPlan)> = pending
+            .iter()
+            .take(8.min((cfg.budget - cells) as usize))
+            .map(|(key, classes)| {
+                let mut rng = SimRng::seeded(
+                    cfg.search_seed ^ (round as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                        ^ fnv(key.as_bytes()),
+                );
+                (key.clone(), synthesize(classes, &mut rng, cfg.nodes))
+            })
+            .collect();
+        if batch.is_empty() {
+            break;
+        }
+        let mut spec: SweepSpec<(u64, bool, bool, bool, bool)> = SweepSpec::new();
+        for (key, plan) in &batch {
+            let plan = plan.clone();
+            let (sim_seed, nodes, recover) = (cfg.sim_seed, cfg.nodes, cfg.recover);
+            let clean_numeric = clean_numeric.clone();
+            let clean_digest = clean.digest;
+            spec.cell(format!("r{round}:{key}"), move || {
+                let a = run_cell(sim_seed, &plan, nodes, recover);
+                let b = run_cell(sim_seed, &plan, nodes, recover);
+                (
+                    a.digest,
+                    a.digest != clean_digest,
+                    a.survived(),
+                    a.digest == b.digest,
+                    a.numeric == clean_numeric,
+                )
+            });
+        }
+        let results = spec.run(threads).into_values().expect("coverage cells observe, never panic");
+        for ((key, plan), (digest, perturbed, survived, replayed, numeric_ok)) in
+            batch.into_iter().zip(results)
+        {
+            cells += 1;
+            let outcome = CoverageOutcome {
+                round,
+                target: key.clone(),
+                expectation: expectation(&plan, cfg.recover),
+                plan: plan.clone(),
+                digest,
+                perturbed,
+                survived,
+                replayed,
+                numeric_ok,
+            };
+            covered.extend(coverage_points(&plan));
+            if !outcome.ok() {
+                let reason = format!(
+                    "target {key}: survived={survived} replayed={replayed} numeric_ok={numeric_ok} \
+                     (expected {:?})",
+                    outcome.expectation
+                );
+                let (sim_seed, nodes, recover) = (cfg.sim_seed, cfg.nodes, cfg.recover);
+                let clean_numeric = clean_numeric.clone();
+                let eval = move |p: &FaultPlan| -> TestResult {
+                    contract(sim_seed, p, nodes, recover, &clean_numeric)
+                };
+                let (minimal_plan, reason, shrink_steps) =
+                    shrink_failure(plan, reason, cfg.max_shrink_steps, &eval);
+                failures.push(MinimizedFailure {
+                    target: key,
+                    minimal_plan,
+                    reason,
+                    shrink_steps,
+                });
+            }
+            outcomes.push(outcome);
+        }
+        round += 1;
+    }
+    CoverageReport { outcomes, covered, failures }
+}
+
+fn fnv(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// Shrinking a [`FaultPlan`] removes or weakens one fault at a time (the
+/// watchdog is kept so shrunk candidates stay bounded): drop the whole net
+/// config, zero one probability, drop outages or per-rank entries. Every
+/// candidate has strictly fewer active fault knobs, so the greedy descent
+/// terminates.
+impl Shrink for FaultPlan {
+    fn shrink(&self) -> Vec<Self> {
+        let mut out = Vec::new();
+        if let Some(net) = &self.net {
+            let mut p = self.clone();
+            p.net = None;
+            out.push(p);
+            if net.drop_prob > 0.0 {
+                let mut p = self.clone();
+                p.net.as_mut().expect("checked").drop_prob = 0.0;
+                out.push(p);
+            }
+            if net.spike_prob > 0.0 {
+                let mut p = self.clone();
+                p.net.as_mut().expect("checked").spike_prob = 0.0;
+                out.push(p);
+            }
+            if !net.nic_outages.is_empty() {
+                let mut p = self.clone();
+                p.net.as_mut().expect("checked").nic_outages.clear();
+                out.push(p);
+                if net.nic_outages.len() > 1 {
+                    for i in 0..net.nic_outages.len() {
+                        let mut p = self.clone();
+                        p.net.as_mut().expect("checked").nic_outages.remove(i);
+                        out.push(p);
+                    }
+                }
+            }
+        }
+        if !self.pe.is_empty() {
+            let mut p = self.clone();
+            p.pe.clear();
+            out.push(p);
+            for i in 0..self.pe.len() {
+                if self.pe[i].1.stall_us > 0.0 {
+                    let mut p = self.clone();
+                    p.pe[i].1.stall_us = 0.0;
+                    out.push(p);
+                }
+                if self.pe[i].1.crash_at_us.is_some() {
+                    let mut p = self.clone();
+                    p.pe[i].1.crash_at_us = None;
+                    out.push(p);
+                }
+            }
+        }
+        if !self.flags.is_empty() {
+            let mut p = self.clone();
+            p.flags.clear();
+            out.push(p);
+            for i in 0..self.flags.len() {
+                if self.flags[i].1.delay_every > 0 {
+                    let mut p = self.clone();
+                    p.flags[i].1.delay_every = 0;
+                    out.push(p);
+                }
+                if self.flags[i].1.lose_every > 0 {
+                    let mut p = self.clone();
+                    p.flags[i].1.lose_every = 0;
+                    out.push(p);
+                }
+            }
+        }
+        // Prune structurally-empty fault configs left by the zeroing steps.
+        out.retain(|p| p != self);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classes_and_points_classify_plans() {
+        let plan = FaultPlan::chaos(0x5EED, 0.4).expect("rate in range");
+        let classes = classes_of(&plan);
+        assert!(classes.contains(&FaultClass::LinkDrop));
+        assert!(classes.contains(&FaultClass::LatencySpike));
+        assert!(classes.contains(&FaultClass::NicOutage));
+        let points = coverage_points(&plan);
+        assert!(points.contains("link_drop@net"));
+        assert!(points.contains("link_drop+latency_spike"));
+        // 3 singles + 3 pairs.
+        assert_eq!(points.len(), 6);
+    }
+
+    #[test]
+    fn grid_coverage_saturates_low() {
+        // Every grid cell injects the same class mix: whole-grid coverage
+        // is the same handful of points regardless of seeds × rates.
+        let grid = grid_coverage_points(&CampaignConfig::ci(false));
+        assert!(grid.len() <= 6, "grid covers {} points: {grid:?}", grid.len());
+    }
+
+    #[test]
+    fn synthesis_hits_requested_classes() {
+        let mut rng = SimRng::seeded(7);
+        for c in FaultClass::ALL {
+            let plan = synthesize(&[c], &mut rng, 2);
+            assert_eq!(classes_of(&plan), vec![c], "single-class synthesis for {c:?}");
+            plan.validate().expect("synthesized plans validate");
+        }
+        let plan = synthesize(&[FaultClass::PeCrash, FaultClass::FlagDelay], &mut rng, 2);
+        assert_eq!(classes_of(&plan), vec![FaultClass::PeCrash, FaultClass::FlagDelay]);
+    }
+
+    #[test]
+    fn shrink_candidates_are_strictly_smaller_and_valid() {
+        let plan = synthesize(
+            &[FaultClass::LinkDrop, FaultClass::PeCrash, FaultClass::FlagLoss],
+            &mut SimRng::seeded(3),
+            2,
+        );
+        let candidates = plan.shrink();
+        assert!(!candidates.is_empty());
+        for c in &candidates {
+            assert_ne!(c, &plan, "candidates must differ from the input");
+            assert!(
+                coverage_points(c).len() < coverage_points(&plan).len()
+                    || classes_of(c).len() < classes_of(&plan).len()
+                    || c.net.is_none() && plan.net.is_some(),
+                "candidate did not remove anything: {c:?}"
+            );
+            c.validate().expect("shrunk plans stay valid");
+        }
+        // A fully-shrunk plan bottoms out at watchdog-only.
+        let empty = FaultPlan::none().with_watchdog(1e6);
+        assert!(empty.shrink().is_empty(), "nothing left to shrink");
+    }
+
+    #[test]
+    fn expectation_classifies_recoverability() {
+        let loss = FaultPlan::none().with_lost_flag_writes(1, 3).with_watchdog(1e6);
+        assert_eq!(expectation(&loss, true), Expectation::TypedFailure);
+        let crash = FaultPlan::none().with_pe_crash(1, 300.0).with_watchdog(1e6);
+        assert_eq!(expectation(&crash, true), Expectation::Recover);
+        assert_eq!(expectation(&crash, false), Expectation::TypedFailure);
+        let drops = FaultPlan::none().with_link_faults(0.2, 0.0, 10.0).with_watchdog(1e6);
+        assert_eq!(expectation(&drops, true), Expectation::Recover);
+        let mut rails = FaultPlan::none().with_watchdog(1e6);
+        for nic in 0..4u8 {
+            rails = rails.with_nic_outage(0, nic, 600.0, 9_000.0).expect("window");
+        }
+        assert_eq!(expectation(&rails, true), Expectation::Recover);
+        assert_eq!(expectation(&rails, false), Expectation::TypedFailure);
+    }
+}

@@ -20,7 +20,7 @@
 //! | transient link drop / latency spike | `netsim` fabric | retransmit / absorb — latency only, never integrity |
 //! | NIC outage window | `netsim` routing | re-route + re-stripe over surviving rails; UCX put retry with backoff if the whole node is dark |
 //! | progression-engine stall | `mpisim` PE daemon | bounded: delayed puts, then catches up |
-//! | progression-engine crash | `mpisim` PE daemon | unsurvivable: watchdog surfaces [`MpiError::ProgressionHalted`] |
+//! | progression-engine crash | `mpisim` PE daemon | recovery off: watchdog surfaces [`MpiError::ProgressionHalted`]; recovery on: host lease-detects the dead engine, drains its queue, and replays the epoch |
 //! | delayed / lost device flag write | `gpusim` stream emission | delayed: absorbed; lost: watchdog surfaces a typed timeout |
 //! | IPC revocation mid-epoch | `ucxsim` rkey | Kernel Copy falls back to the Progression Engine per `MPIX_Pready` |
 //!
@@ -34,7 +34,7 @@
 //! use parcomm_fault::{chaos, FaultPlan};
 //!
 //! // Seeded chaos: transient drops + spikes + one NIC down-window.
-//! let plan = FaultPlan::chaos(0xC4A05, 0.3);
+//! let plan = FaultPlan::chaos(0xC4A05, 0.3).expect("rate in [0, 1]");
 //! let a = chaos::run_allreduce(7, &plan, 1);
 //! let b = chaos::run_allreduce(7, &plan, 1);
 //! assert_eq!(a.digest, b.digest, "same (seed, plan) => same trace");
@@ -49,8 +49,10 @@
 
 pub mod campaign;
 pub mod chaos;
+pub mod coverage;
 mod plan;
 
 pub use campaign::{CampaignConfig, CellOutcome};
+pub use coverage::{CoverageCampaignConfig, CoverageOutcome, CoverageReport, FaultClass, FaultLayer};
 pub use parcomm_mpi::MpiError;
-pub use plan::FaultPlan;
+pub use plan::{FaultPlan, PlanError};

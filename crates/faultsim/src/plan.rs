@@ -1,11 +1,68 @@
 //! The [`FaultPlan`]: one seeded, declarative description of every fault a
 //! run will experience, applied onto a [`WorldConfig`] before the world is
 //! built.
+//!
+//! Plans round-trip through JSON (see [`FaultPlan::to_json_string`] /
+//! [`FaultPlan::from_json_str`]) so a failing chaos cell can be minimized,
+//! written under `results/`, and replayed bit-for-bit from the artifact.
 
 use parcomm_gpu::EmissionFaultConfig;
 use parcomm_mpi::{PeFaultConfig, WorldConfig};
 use parcomm_net::{NetFaultConfig, NicOutage};
+use parcomm_obs::json::{self, JsonValue};
 use parcomm_sim::SimRng;
+
+/// Typed rejection of a malformed [`FaultPlan`] before it reaches a world.
+///
+/// Construction-time validation keeps the chaos search space well-formed:
+/// a plan that survives [`FaultPlan::validate`] can always be applied and
+/// replayed; a plan that does not is a caller bug surfaced eagerly, never a
+/// silently clamped or wedged run.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PlanError {
+    /// A probability or chaos rate outside `[0, 1]` (or NaN).
+    RateOutOfRange {
+        /// What was out of range (e.g. `"chaos rate"`, `"drop_prob"`).
+        what: &'static str,
+        /// The offending value.
+        rate: f64,
+    },
+    /// A duration or instant that must be non-negative was negative or NaN.
+    NegativeDuration {
+        /// Which field was negative.
+        what: &'static str,
+        /// The offending value.
+        value: f64,
+    },
+    /// A NIC outage window with `until_us < from_us` covers nothing.
+    EmptyWindow {
+        /// Window start (µs).
+        from_us: f64,
+        /// Window end (µs), before the start.
+        until_us: f64,
+    },
+    /// A JSON document that does not decode to a plan.
+    Malformed(String),
+}
+
+impl std::fmt::Display for PlanError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PlanError::RateOutOfRange { what, rate } => {
+                write!(f, "{what} {rate} outside [0, 1]")
+            }
+            PlanError::NegativeDuration { what, value } => {
+                write!(f, "{what} must be non-negative, got {value}")
+            }
+            PlanError::EmptyWindow { from_us, until_us } => {
+                write!(f, "outage window ends ({until_us}µs) before it starts ({from_us}µs)")
+            }
+            PlanError::Malformed(why) => write!(f, "malformed fault plan: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for PlanError {}
 
 /// A deterministic fault schedule for one simulated run.
 ///
@@ -44,19 +101,25 @@ impl FaultPlan {
             && self.flags.is_empty()
     }
 
-    /// A seeded *survivable* chaos mix scaled by `rate` (clamped to
-    /// `[0, 1]`): transient drops and latency spikes with probability
-    /// proportional to `rate`, plus (above a threshold) one single-NIC
-    /// down-window that routing re-stripes around. Injected faults degrade
-    /// goodput, never integrity — survivable runs produce bit-identical
-    /// numerics to the fault-free run.
+    /// A seeded *survivable* chaos mix scaled by `rate`: transient drops
+    /// and latency spikes with probability proportional to `rate`, plus
+    /// (above a threshold) one single-NIC down-window that routing
+    /// re-stripes around. Injected faults degrade goodput, never integrity
+    /// — survivable runs produce bit-identical numerics to the fault-free
+    /// run.
+    ///
+    /// A `rate` outside `[0, 1]` (or NaN) is rejected with
+    /// [`PlanError::RateOutOfRange`] rather than clamped, so sweep specs and
+    /// JSON plans that drift out of the calibrated range fail loudly.
     ///
     /// A generous watchdog is armed as a safety net: if a "survivable" mix
     /// ever does wedge the run, the failure is a typed [`parcomm_mpi::MpiError`],
     /// not a hung test. All parameters derive from `seed` via a dedicated
     /// RNG: the same `(seed, rate)` always builds the identical plan.
-    pub fn chaos(seed: u64, rate: f64) -> Self {
-        let rate = rate.clamp(0.0, 1.0);
+    pub fn chaos(seed: u64, rate: f64) -> Result<Self, PlanError> {
+        if !(0.0..=1.0).contains(&rate) {
+            return Err(PlanError::RateOutOfRange { what: "chaos rate", rate });
+        }
         let mut rng = SimRng::seeded(seed ^ 0x00FA_017C_4A05);
         let mut net = NetFaultConfig {
             seed: rng.next_u64(),
@@ -76,13 +139,13 @@ impl FaultPlan {
                 until_us: from_us + 200.0 + 800.0 * rate * rng.uniform(),
             });
         }
-        FaultPlan {
+        Ok(FaultPlan {
             seed,
             watchdog_us: Some(5_000_000.0),
             net: Some(net),
             pe: Vec::new(),
             flags: Vec::new(),
-        }
+        })
     }
 
     /// Arm the blocking-wait watchdog at `timeout_us` virtual microseconds.
@@ -105,14 +168,32 @@ impl FaultPlan {
     }
 
     /// Add a NIC down-window: `(node, nic)` is unusable for transfers
-    /// starting in `[from_us, until_us)`.
-    pub fn with_nic_outage(mut self, node: u16, nic: u8, from_us: f64, until_us: f64) -> Self {
+    /// starting in `[from_us, until_us)`. `until_us` may be
+    /// `f64::INFINITY` for a permanent outage; a window that starts at a
+    /// negative or NaN instant, or ends before it starts, is rejected with
+    /// a typed [`PlanError`].
+    pub fn with_nic_outage(
+        mut self,
+        node: u16,
+        nic: u8,
+        from_us: f64,
+        until_us: f64,
+    ) -> Result<Self, PlanError> {
+        if from_us.is_nan() || from_us < 0.0 {
+            return Err(PlanError::NegativeDuration { what: "nic outage from_us", value: from_us });
+        }
+        if until_us.is_nan() {
+            return Err(PlanError::NegativeDuration { what: "nic outage until_us", value: until_us });
+        }
+        if until_us < from_us {
+            return Err(PlanError::EmptyWindow { from_us, until_us });
+        }
         let net = self.net.get_or_insert_with(|| NetFaultConfig {
             seed: self.seed,
             ..NetFaultConfig::default()
         });
         net.nic_outages.push(NicOutage { node, nic, from_us, until_us });
-        self
+        Ok(self)
     }
 
     /// Stall `rank`'s progression engine for `stall_us` once the virtual
@@ -125,7 +206,9 @@ impl FaultPlan {
     }
 
     /// Crash `rank`'s progression engine at `at_us` (unsurvivable for PE
-    /// channels: arm a watchdog to get `MpiError::ProgressionHalted`).
+    /// channels unless recovery is armed: without it, arm a watchdog to get
+    /// `MpiError::ProgressionHalted`; with `WorldConfig::recover` set, the
+    /// host lease-detects the dead engine and drains its queue).
     pub fn with_pe_crash(mut self, rank: usize, at_us: f64) -> Self {
         let f = self.pe_entry(rank);
         f.crash_at_us = Some(at_us);
@@ -149,6 +232,63 @@ impl FaultPlan {
         self
     }
 
+    /// Check every probability, duration, and window in the plan.
+    ///
+    /// Hand-built and JSON-decoded plans go through the same gate the
+    /// builders enforce: probabilities in `[0, 1]`, durations non-negative
+    /// (`f64::INFINITY` is a legal `until_us`), outage windows ordered.
+    pub fn validate(&self) -> Result<(), PlanError> {
+        fn prob(what: &'static str, v: f64) -> Result<(), PlanError> {
+            if (0.0..=1.0).contains(&v) {
+                Ok(())
+            } else {
+                Err(PlanError::RateOutOfRange { what, rate: v })
+            }
+        }
+        fn nonneg(what: &'static str, v: f64) -> Result<(), PlanError> {
+            if v >= 0.0 {
+                Ok(())
+            } else {
+                Err(PlanError::NegativeDuration { what, value: v })
+            }
+        }
+        if let Some(w) = self.watchdog_us {
+            nonneg("watchdog_us", w)?;
+        }
+        if let Some(net) = &self.net {
+            prob("drop_prob", net.drop_prob)?;
+            prob("spike_prob", net.spike_prob)?;
+            nonneg("retransmit_delay_us", net.retransmit_delay_us)?;
+            nonneg("spike_us", net.spike_us)?;
+            for o in &net.nic_outages {
+                nonneg("nic outage from_us", o.from_us)?;
+                if o.until_us.is_nan() {
+                    return Err(PlanError::NegativeDuration {
+                        what: "nic outage until_us",
+                        value: o.until_us,
+                    });
+                }
+                if o.until_us < o.from_us {
+                    return Err(PlanError::EmptyWindow {
+                        from_us: o.from_us,
+                        until_us: o.until_us,
+                    });
+                }
+            }
+        }
+        for (_, f) in &self.pe {
+            nonneg("pe stall_at_us", f.stall_at_us)?;
+            nonneg("pe stall_us", f.stall_us)?;
+            if let Some(c) = f.crash_at_us {
+                nonneg("pe crash_at_us", c)?;
+            }
+        }
+        for (_, f) in &self.flags {
+            nonneg("flag delay_us", f.delay_us)?;
+        }
+        Ok(())
+    }
+
     /// Apply the plan onto a [`WorldConfig`]. [`FaultPlan::none`] leaves
     /// `cfg` bit-for-bit unchanged.
     pub fn apply(&self, cfg: &mut WorldConfig) {
@@ -160,6 +300,159 @@ impl FaultPlan {
         }
         cfg.pe_faults.extend(self.pe.iter().cloned());
         cfg.gpu_flag_faults.extend(self.flags.iter().cloned());
+    }
+
+    /// Encode the plan as a [`JsonValue`] tree.
+    ///
+    /// `u64` fields (seeds, every-N counters) are hex strings — JSON
+    /// numbers are `f64` and cannot carry a full 64-bit seed exactly —
+    /// and non-finite durations encode as the string `"inf"`.
+    pub fn to_json(&self) -> JsonValue {
+        let mut root: Vec<(String, JsonValue)> =
+            vec![("seed".into(), hex_to_json(self.seed))];
+        if let Some(w) = self.watchdog_us {
+            root.push(("watchdog_us".into(), dur_to_json(w)));
+        }
+        if let Some(net) = &self.net {
+            let outages: Vec<JsonValue> = net
+                .nic_outages
+                .iter()
+                .map(|o| {
+                    JsonValue::Object(vec![
+                        ("node".into(), JsonValue::Number(o.node as f64)),
+                        ("nic".into(), JsonValue::Number(o.nic as f64)),
+                        ("from_us".into(), dur_to_json(o.from_us)),
+                        ("until_us".into(), dur_to_json(o.until_us)),
+                    ])
+                })
+                .collect();
+            root.push((
+                "net".into(),
+                JsonValue::Object(vec![
+                    ("seed".into(), hex_to_json(net.seed)),
+                    ("drop_prob".into(), JsonValue::Number(net.drop_prob)),
+                    ("retransmit_delay_us".into(), JsonValue::Number(net.retransmit_delay_us)),
+                    ("spike_prob".into(), JsonValue::Number(net.spike_prob)),
+                    ("spike_us".into(), JsonValue::Number(net.spike_us)),
+                    ("nic_outages".into(), JsonValue::Array(outages)),
+                ]),
+            ));
+        }
+        if !self.pe.is_empty() {
+            let pe: Vec<JsonValue> = self
+                .pe
+                .iter()
+                .map(|(rank, f)| {
+                    let mut m = vec![
+                        ("rank".into(), JsonValue::Number(*rank as f64)),
+                        ("stall_at_us".into(), dur_to_json(f.stall_at_us)),
+                        ("stall_us".into(), dur_to_json(f.stall_us)),
+                    ];
+                    if let Some(c) = f.crash_at_us {
+                        m.push(("crash_at_us".into(), dur_to_json(c)));
+                    }
+                    JsonValue::Object(m)
+                })
+                .collect();
+            root.push(("pe".into(), JsonValue::Array(pe)));
+        }
+        if !self.flags.is_empty() {
+            let flags: Vec<JsonValue> = self
+                .flags
+                .iter()
+                .map(|(rank, f)| {
+                    JsonValue::Object(vec![
+                        ("rank".into(), JsonValue::Number(*rank as f64)),
+                        ("delay_every".into(), hex_to_json(f.delay_every)),
+                        ("delay_us".into(), dur_to_json(f.delay_us)),
+                        ("lose_every".into(), hex_to_json(f.lose_every)),
+                    ])
+                })
+                .collect();
+            root.push(("flags".into(), JsonValue::Array(flags)));
+        }
+        JsonValue::Object(root)
+    }
+
+    /// Render the plan as a JSON string (see [`FaultPlan::to_json`]).
+    pub fn to_json_string(&self) -> String {
+        self.to_json().render()
+    }
+
+    /// Decode a plan from a [`JsonValue`] tree and [`FaultPlan::validate`] it.
+    pub fn from_json(v: &JsonValue) -> Result<Self, PlanError> {
+        let mut plan = FaultPlan {
+            seed: hex_from_json(req(v, "seed")?, "seed")?,
+            ..FaultPlan::default()
+        };
+        if let Some(w) = v.get("watchdog_us") {
+            plan.watchdog_us = Some(dur_from_json(w, "watchdog_us")?);
+        }
+        if let Some(net) = v.get("net") {
+            let mut cfg = NetFaultConfig {
+                seed: hex_from_json(req(net, "seed")?, "net.seed")?,
+                drop_prob: num_from_json(req(net, "drop_prob")?, "net.drop_prob")?,
+                retransmit_delay_us: num_from_json(
+                    req(net, "retransmit_delay_us")?,
+                    "net.retransmit_delay_us",
+                )?,
+                spike_prob: num_from_json(req(net, "spike_prob")?, "net.spike_prob")?,
+                spike_us: num_from_json(req(net, "spike_us")?, "net.spike_us")?,
+                nic_outages: Vec::new(),
+            };
+            let outages = req(net, "nic_outages")?
+                .as_array()
+                .ok_or_else(|| PlanError::Malformed("net.nic_outages is not an array".into()))?;
+            for o in outages {
+                cfg.nic_outages.push(NicOutage {
+                    node: num_from_json(req(o, "node")?, "outage.node")? as u16,
+                    nic: num_from_json(req(o, "nic")?, "outage.nic")? as u8,
+                    from_us: dur_from_json(req(o, "from_us")?, "outage.from_us")?,
+                    until_us: dur_from_json(req(o, "until_us")?, "outage.until_us")?,
+                });
+            }
+            plan.net = Some(cfg);
+        }
+        if let Some(pe) = v.get("pe") {
+            let entries = pe
+                .as_array()
+                .ok_or_else(|| PlanError::Malformed("pe is not an array".into()))?;
+            for e in entries {
+                let mut f = PeFaultConfig {
+                    stall_at_us: dur_from_json(req(e, "stall_at_us")?, "pe.stall_at_us")?,
+                    stall_us: dur_from_json(req(e, "stall_us")?, "pe.stall_us")?,
+                    crash_at_us: None,
+                };
+                if let Some(c) = e.get("crash_at_us") {
+                    f.crash_at_us = Some(dur_from_json(c, "pe.crash_at_us")?);
+                }
+                let rank = num_from_json(req(e, "rank")?, "pe.rank")? as usize;
+                plan.pe.push((rank, f));
+            }
+        }
+        if let Some(flags) = v.get("flags") {
+            let entries = flags
+                .as_array()
+                .ok_or_else(|| PlanError::Malformed("flags is not an array".into()))?;
+            for e in entries {
+                let f = EmissionFaultConfig {
+                    delay_every: hex_from_json(req(e, "delay_every")?, "flags.delay_every")?,
+                    delay_us: dur_from_json(req(e, "delay_us")?, "flags.delay_us")?,
+                    lose_every: hex_from_json(req(e, "lose_every")?, "flags.lose_every")?,
+                };
+                let rank = num_from_json(req(e, "rank")?, "flags.rank")? as usize;
+                plan.flags.push((rank, f));
+            }
+        }
+        plan.validate()?;
+        Ok(plan)
+    }
+
+    /// Parse a plan from a JSON string and [`FaultPlan::validate`] it.
+    pub fn from_json_str(s: &str) -> Result<Self, PlanError> {
+        let v = json::parse(s)
+            .map_err(|e| PlanError::Malformed(e.to_string()))?;
+        FaultPlan::from_json(&v)
     }
 
     fn pe_entry(&mut self, rank: usize) -> &mut PeFaultConfig {
@@ -181,6 +474,44 @@ impl FaultPlan {
     }
 }
 
+fn req<'a>(v: &'a JsonValue, key: &str) -> Result<&'a JsonValue, PlanError> {
+    v.get(key)
+        .ok_or_else(|| PlanError::Malformed(format!("missing field `{key}`")))
+}
+
+fn hex_to_json(v: u64) -> JsonValue {
+    JsonValue::String(format!("{v:x}"))
+}
+
+fn hex_from_json(v: &JsonValue, what: &str) -> Result<u64, PlanError> {
+    v.as_str()
+        .and_then(|s| u64::from_str_radix(s, 16).ok())
+        .ok_or_else(|| PlanError::Malformed(format!("{what}: expected hex string")))
+}
+
+fn num_from_json(v: &JsonValue, what: &str) -> Result<f64, PlanError> {
+    v.as_f64()
+        .ok_or_else(|| PlanError::Malformed(format!("{what}: expected number")))
+}
+
+fn dur_to_json(v: f64) -> JsonValue {
+    if v.is_finite() {
+        JsonValue::Number(v)
+    } else {
+        JsonValue::String("inf".into())
+    }
+}
+
+fn dur_from_json(v: &JsonValue, what: &str) -> Result<f64, PlanError> {
+    if let Some(n) = v.as_f64() {
+        return Ok(n);
+    }
+    if v.as_str() == Some("inf") {
+        return Ok(f64::INFINITY);
+    }
+    Err(PlanError::Malformed(format!("{what}: expected number or \"inf\"")))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -198,23 +529,70 @@ mod tests {
 
     #[test]
     fn chaos_is_seed_deterministic() {
-        let a = FaultPlan::chaos(42, 0.5);
-        let b = FaultPlan::chaos(42, 0.5);
+        let a = FaultPlan::chaos(42, 0.5).expect("rate in range");
+        let b = FaultPlan::chaos(42, 0.5).expect("rate in range");
         assert_eq!(a, b);
-        let c = FaultPlan::chaos(43, 0.5);
+        let c = FaultPlan::chaos(43, 0.5).expect("rate in range");
         assert_ne!(a, c, "different seed => different plan");
         assert!(!a.is_none());
     }
 
     #[test]
     fn chaos_scales_with_rate() {
-        let quiet = FaultPlan::chaos(7, 0.0);
-        let loud = FaultPlan::chaos(7, 1.0);
+        let quiet = FaultPlan::chaos(7, 0.0).expect("rate in range");
+        let loud = FaultPlan::chaos(7, 1.0).expect("rate in range");
         let (q, l) = (quiet.net.expect("net"), loud.net.expect("net"));
         assert_eq!(q.drop_prob, 0.0);
         assert!(l.drop_prob > 0.0);
         assert!(q.nic_outages.is_empty(), "low rate: no outage");
         assert_eq!(l.nic_outages.len(), 1, "high rate: one down-window");
+    }
+
+    #[test]
+    fn chaos_rejects_out_of_range_rate() {
+        assert!(matches!(
+            FaultPlan::chaos(1, -0.1),
+            Err(PlanError::RateOutOfRange { .. })
+        ));
+        assert!(matches!(
+            FaultPlan::chaos(1, 1.5),
+            Err(PlanError::RateOutOfRange { .. })
+        ));
+        assert!(matches!(
+            FaultPlan::chaos(1, f64::NAN),
+            Err(PlanError::RateOutOfRange { .. })
+        ));
+    }
+
+    #[test]
+    fn nic_outage_rejects_bad_windows() {
+        assert!(matches!(
+            FaultPlan::none().with_nic_outage(0, 0, -5.0, 10.0),
+            Err(PlanError::NegativeDuration { .. })
+        ));
+        assert!(matches!(
+            FaultPlan::none().with_nic_outage(0, 0, 10.0, 5.0),
+            Err(PlanError::EmptyWindow { .. })
+        ));
+        assert!(matches!(
+            FaultPlan::none().with_nic_outage(0, 0, 0.0, f64::NAN),
+            Err(PlanError::NegativeDuration { .. })
+        ));
+        // A permanent outage is legal.
+        let p = FaultPlan::none()
+            .with_nic_outage(0, 0, 0.0, f64::INFINITY)
+            .expect("infinite window is valid");
+        p.validate().expect("plan validates");
+    }
+
+    #[test]
+    fn validate_catches_hand_built_badness() {
+        let mut plan = FaultPlan::none().with_link_faults(1.5, 0.0, 10.0);
+        assert!(matches!(plan.validate(), Err(PlanError::RateOutOfRange { .. })));
+        plan = FaultPlan::none().with_pe_stall(0, -1.0, 10.0);
+        assert!(matches!(plan.validate(), Err(PlanError::NegativeDuration { .. })));
+        plan = FaultPlan::chaos(9, 0.6).expect("rate in range");
+        plan.validate().expect("chaos plans validate");
     }
 
     #[test]
@@ -225,6 +603,7 @@ mod tests {
             .with_lost_flag_writes(2, 3)
             .with_delayed_flag_writes(2, 5, 30.0)
             .with_nic_outage(0, 1, 10.0, 20.0)
+            .expect("valid window")
             .with_watchdog(1e6);
         assert_eq!(plan.pe.len(), 1, "stall and crash merge onto rank 1");
         assert_eq!(plan.pe[0].1.crash_at_us, Some(400.0));
@@ -237,5 +616,42 @@ mod tests {
         assert_eq!(cfg.wait_watchdog_us, Some(1e6));
         assert_eq!(cfg.pe_faults.len(), 1);
         assert_eq!(cfg.net_faults.expect("net").nic_outages.len(), 1);
+    }
+
+    #[test]
+    fn json_round_trip_preserves_plan() {
+        let plan = FaultPlan::chaos(0xDEAD_BEEF_CAFE_F00D, 0.7)
+            .expect("rate in range")
+            .with_pe_stall(1, 100.0, 50.0)
+            .with_pe_crash(2, 400.0)
+            .with_delayed_flag_writes(3, 5, 30.0)
+            .with_lost_flag_writes(4, 7)
+            .with_nic_outage(1, 2, 25.0, f64::INFINITY)
+            .expect("valid window");
+        let text = plan.to_json_string();
+        let back = FaultPlan::from_json_str(&text).expect("round-trip decodes");
+        assert_eq!(plan, back, "JSON round-trip is lossless");
+        // u64 seeds survive exactly even above 2^53.
+        assert_eq!(back.seed, 0xDEAD_BEEF_CAFE_F00D);
+    }
+
+    #[test]
+    fn from_json_rejects_invalid_plans() {
+        assert!(matches!(
+            FaultPlan::from_json_str("{"),
+            Err(PlanError::Malformed(_))
+        ));
+        assert!(matches!(
+            FaultPlan::from_json_str("{\"watchdog_us\": 1.0}"),
+            Err(PlanError::Malformed(_)),
+        ));
+        // Decodes structurally but fails validation: drop_prob > 1.
+        let bad = "{\"seed\": \"0\", \"net\": {\"seed\": \"0\", \"drop_prob\": 2.0, \
+                   \"retransmit_delay_us\": 5.0, \"spike_prob\": 0.0, \"spike_us\": 0.0, \
+                   \"nic_outages\": []}}";
+        assert!(matches!(
+            FaultPlan::from_json_str(bad),
+            Err(PlanError::RateOutOfRange { .. })
+        ));
     }
 }

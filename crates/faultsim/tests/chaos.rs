@@ -111,7 +111,9 @@ fn nic_outage_restripes_and_survives() {
     let clean = striped_round(0xB0B, &FaultPlan::none());
     let plan = FaultPlan::none()
         .with_nic_outage(0, 0, 0.0, 1e6)
+        .expect("valid window")
         .with_nic_outage(1, 2, 0.0, 1e6)
+        .expect("valid window")
         .with_watchdog(5e6);
     let a = striped_round(0xB0B, &plan);
     let b = striped_round(0xB0B, &plan);
@@ -214,7 +216,7 @@ fn chaos_mix_is_deterministic_and_seed_sensitive() {
     let clean = chaos::run_allreduce(7, &FaultPlan::none(), 1);
     let clean_numeric = clean.numeric.clone();
     let digests = sweep::assert_deterministic_and_seed_sensitive(&[1, 2, 3, 4], move |seed| {
-        let run = chaos::run_allreduce(7, &FaultPlan::chaos(seed, 0.5), 1);
+        let run = chaos::run_allreduce(7, &FaultPlan::chaos(seed, 0.5).expect("rate in range"), 1);
         assert!(run.survived(), "chaos(rate=0.5) is survivable: {:?}", run.errors);
         assert_eq!(run.numeric, clean_numeric, "chaos must not corrupt numerics");
         run.digest

@@ -60,6 +60,18 @@ pub enum MpiError {
     InvalidTopology(TopologyError),
     /// A transport-layer (UCX) failure bubbled up.
     Transport(UcxError),
+    /// The recovery escalation ladder was exhausted: every rung (put retry,
+    /// re-striping, fallback, lease-gated replay, host drain, quarantine
+    /// repair) ran out or does not apply. Surfaced only when recovery is
+    /// enabled and repair is impossible.
+    Unrecoverable {
+        /// The rank that gave up.
+        rank: usize,
+        /// What could not be recovered (operation + last diagnosis).
+        context: String,
+        /// Recovery attempts (replays/drains) spent before giving up.
+        attempts: u32,
+    },
 }
 
 impl std::fmt::Display for MpiError {
@@ -88,6 +100,10 @@ impl std::fmt::Display for MpiError {
             MpiError::InvalidArgument { context } => write!(f, "invalid argument: {context}"),
             MpiError::InvalidTopology(e) => write!(f, "invalid topology: {e}"),
             MpiError::Transport(e) => write!(f, "transport error: {e}"),
+            MpiError::Unrecoverable { rank, context, attempts } => write!(
+                f,
+                "rank {rank}: unrecoverable after {attempts} recovery attempts: {context}"
+            ),
         }
     }
 }

@@ -21,4 +21,4 @@ pub use error::MpiError;
 pub use p2p::P2pOp;
 pub use persistent::PersistentRequest;
 pub use progress::{HookOutcome, PeFaultConfig, ProgressionEngine};
-pub use world::{MpiInstruments, MpiWorld, Rank, WorldConfig};
+pub use world::{MpiInstruments, MpiWorld, Rank, RecoverConfig, WorldConfig};

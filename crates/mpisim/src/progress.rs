@@ -16,7 +16,7 @@ use std::sync::Arc;
 
 use parcomm_sim::Mutex;
 
-use parcomm_sim::{Ctx, Event, SimDuration};
+use parcomm_sim::{Ctx, Event, SimDuration, SimTime};
 
 /// What a hook wants after an invocation.
 #[derive(Copy, Clone, PartialEq, Eq, Debug)]
@@ -64,6 +64,10 @@ pub struct ProgressionEngine {
     inner: Arc<Mutex<PeState>>,
     poll: SimDuration,
     crashed: Arc<AtomicBool>,
+    /// Virtual instant of the last hook sweep — the engine's heartbeat,
+    /// renewed immediately before each sweep. Recovery's lease check reads
+    /// this to distinguish a slow PE from a dead one without any wall clock.
+    heartbeat: Arc<Mutex<SimTime>>,
 }
 
 impl ProgressionEngine {
@@ -81,8 +85,13 @@ impl ProgressionEngine {
             work_available: Event::new(),
         }));
         let crashed = Arc::new(AtomicBool::new(false));
-        let engine =
-            ProgressionEngine { inner: inner.clone(), poll, crashed: crashed.clone() };
+        let heartbeat = Arc::new(Mutex::new(SimTime::ZERO));
+        let engine = ProgressionEngine {
+            inner: inner.clone(),
+            poll,
+            crashed: crashed.clone(),
+            heartbeat: heartbeat.clone(),
+        };
         let mut stall_pending = fault.as_ref().is_some_and(|f| f.stall_us > 0.0);
         ctx.spawn_daemon(format!("progress{rank}"), move |ctx| {
             loop {
@@ -143,6 +152,12 @@ impl ProgressionEngine {
                         break;
                     }
                 }
+                // Renew the lease immediately before the sweep: a live PE
+                // always heartbeats before servicing hooks, so a stale
+                // heartbeat with hooks pending means the loop is dead (or
+                // stalled long enough that host takeover is safe anyway —
+                // takeover is idempotent).
+                *heartbeat.lock() = ctx.now();
                 // Run every registered hook once. Hooks are temporarily
                 // moved out so they can re-enter the engine (e.g. register
                 // follow-up work) without deadlocking the lock.
@@ -198,6 +213,27 @@ impl ProgressionEngine {
     /// True once an injected crash has permanently halted the engine.
     pub fn is_crashed(&self) -> bool {
         self.crashed.load(Ordering::Acquire)
+    }
+
+    /// Virtual instant of the engine's last hook sweep (its heartbeat).
+    pub fn last_heartbeat(&self) -> SimTime {
+        *self.heartbeat.lock()
+    }
+
+    /// Lease check: true when the engine is provably dead (crashed) or has
+    /// hooks registered yet has not swept them within `lease_us` of `now`.
+    /// A parked-idle engine (no hooks) never expires — there is nothing to
+    /// take over. False positives on a merely-stalled engine are safe: the
+    /// host-drain takeover pops from the same queue the PE hook drains, so
+    /// each notification is serviced exactly once.
+    pub fn lease_expired(&self, now: SimTime, lease_us: f64) -> bool {
+        if self.is_crashed() {
+            return true;
+        }
+        if self.hook_count() == 0 {
+            return false;
+        }
+        now.saturating_since(self.last_heartbeat()).as_micros_f64() > lease_us
     }
 
     /// Number of registered hooks (diagnostics/tests).

@@ -35,6 +35,19 @@ pub struct MpiInstruments {
     /// flags landing — the pready → arrival boundary of the paper's
     /// pipeline.
     pub pready_arrival_us: Histogram,
+    /// PE leases found expired (crash or missed heartbeat) by a recovering
+    /// waiter.
+    pub recover_lease_expired: Counter,
+    /// Epoch replays issued by the recovery ladder (each may re-post many
+    /// puts).
+    pub recover_replays: Counter,
+    /// Stale put completions (from a superseded replay generation, or a
+    /// duplicate of an already-delivered transport partition) discarded by
+    /// the generation gate.
+    pub recover_stale_puts: Counter,
+    /// Host-side takeovers of a dead progression engine's pending device
+    /// notifications.
+    pub recover_host_drains: Counter,
 }
 
 impl MpiInstruments {
@@ -45,7 +58,41 @@ impl MpiInstruments {
             watchdog_arms: registry.counter("mpi.watchdog.arms"),
             watchdog_fires: registry.counter("mpi.watchdog.fires"),
             pready_arrival_us: registry.histogram("mpi.pready_arrival_us"),
+            recover_lease_expired: registry.counter("mpi.recover.lease_expired"),
+            recover_replays: registry.counter("mpi.recover.replays"),
+            recover_stale_puts: registry.counter("mpi.recover.stale_puts"),
+            recover_host_drains: registry.counter("mpi.recover.host_drains"),
         }
+    }
+}
+
+/// Epoch-level recovery policy (the top rungs of the escalation ladder:
+/// per-put retry → re-striping → Kernel-Copy fallback → **lease + replay +
+/// host drain**). `None` in [`WorldConfig::recover`] disables every recovery
+/// path — the default, bit-for-bit identical to the pre-recovery stack.
+///
+/// When enabled and no fault fires, recovery is digest-neutral: the only
+/// extra machinery is cancellable timed-wait backstops (heap tombstones the
+/// run loop skips) and atomic heartbeat/generation bookkeeping, none of
+/// which schedules an observable event.
+#[derive(Clone, Debug, PartialEq)]
+pub struct RecoverConfig {
+    /// Maximum epoch replays per blocking wait before the typed
+    /// [`crate::MpiError::Unrecoverable`] surfaces.
+    pub max_replays: u32,
+    /// Stall window (µs) with zero progress before the recovery ladder
+    /// escalates. Must comfortably exceed any legitimate single-step stall
+    /// (and the per-put retry budget, so retries settle first).
+    pub detect_us: f64,
+    /// Progression-engine lease (µs): a PE with registered hooks that has
+    /// not swept them within this window is treated as dead and its pending
+    /// device notifications are drained from host context.
+    pub lease_us: f64,
+}
+
+impl Default for RecoverConfig {
+    fn default() -> Self {
+        RecoverConfig { max_replays: 4, detect_us: 20_000.0, lease_us: 2_000.0 }
     }
 }
 
@@ -74,6 +121,10 @@ pub struct WorldConfig {
     /// many stripes routed concurrently over the NIC rails. `1` (the
     /// default) is the classic single-path protocol, bit-for-bit.
     pub stripes: usize,
+    /// Epoch-level recovery policy. `None` (the default) disables the
+    /// lease/replay/host-drain ladder entirely — pre-recovery behavior,
+    /// bit-for-bit.
+    pub recover: Option<RecoverConfig>,
 }
 
 impl WorldConfig {
@@ -89,6 +140,7 @@ impl WorldConfig {
             pe_faults: Vec::new(),
             gpu_flag_faults: Vec::new(),
             stripes: 1,
+            recover: None,
         }
     }
 }
@@ -346,6 +398,13 @@ impl Rank {
     /// Host software overhead per MPI call.
     pub fn mpi_overhead(&self) -> SimDuration {
         SimDuration::from_micros_f64(self.world.inner.config.mpi_overhead_us)
+    }
+
+    /// The epoch-recovery policy, if enabled. Blocking partitioned waits use
+    /// this to escalate a stalled epoch through lease check → replay → host
+    /// drain instead of timing out fatally.
+    pub fn recover_config(&self) -> Option<RecoverConfig> {
+        self.world.inner.config.recover.clone()
     }
 
     /// The armed wait-watchdog timeout, if any. Blocking MPI waits use this

@@ -34,6 +34,7 @@ pub mod json;
 pub mod layers;
 pub mod metrics;
 pub mod occupancy;
+pub mod spill;
 
 pub use chrome::{chrome_trace_json, chrome_trace_json_with_counters};
 pub use critical::{CriticalPath, CriticalStep};
@@ -42,3 +43,4 @@ pub use json::JsonValue;
 pub use layers::{is_causal_category, layer_of};
 pub use metrics::{Counter, Gauge, Histogram, MetricValue, MetricsRegistry, MetricsSnapshot};
 pub use occupancy::{occupancy, CategorySummary};
+pub use spill::{attach_jsonl_spill, SpanSpill};

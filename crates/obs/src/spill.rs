@@ -1,0 +1,205 @@
+//! JSONL span spill — the file-backed end of the trace eviction sink.
+//!
+//! A bounded trace ring buffer ([`Trace::set_capacity`]) keeps memory flat
+//! on long chaos campaigns, but on its own it *discards* the evicted
+//! prefix. [`SpanSpill`] turns eviction into streaming: attach it with
+//! [`attach_jsonl_spill`] and every span the ring evicts is appended to a
+//! JSON-Lines file, one object per line, in eviction (= recording) order.
+//! Retained window + spill file together reconstruct the full history.
+//!
+//! The spill is a pure retention mechanism: it runs outside the span
+//! store's lock, never touches the virtual clock, and therefore never
+//! perturbs a run's digest. Write errors are counted
+//! ([`SpanSpill::write_errors`]) rather than panicking — an observability
+//! sink must not take down the simulation it observes.
+//!
+//! Line shape (times in integer nanoseconds of virtual time; `rank`,
+//! `partition`, and `caused_by` omitted when absent):
+//!
+//! ```json
+//! {"category":"wire","start_ns":1200,"end_ns":3400,"rank":1,"partition":0,"caused_by":17}
+//! ```
+
+use std::fs::File;
+use std::io::{BufWriter, Write};
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use parcomm_sim::{Trace, TraceSpan};
+
+use crate::json::quote;
+
+/// Append-only JSONL sink for evicted trace spans.
+pub struct SpanSpill {
+    out: Mutex<BufWriter<File>>,
+    written: AtomicU64,
+    write_errors: AtomicU64,
+}
+
+impl SpanSpill {
+    /// Create (truncating) the spill file at `path`.
+    pub fn create(path: impl AsRef<Path>) -> std::io::Result<Arc<SpanSpill>> {
+        let file = File::create(path)?;
+        Ok(Arc::new(SpanSpill {
+            out: Mutex::new(BufWriter::new(file)),
+            written: AtomicU64::new(0),
+            write_errors: AtomicU64::new(0),
+        }))
+    }
+
+    /// Render one span as its JSONL line (no trailing newline).
+    pub fn line(span: &TraceSpan) -> String {
+        let mut s = String::with_capacity(96);
+        s.push_str("{\"category\":");
+        s.push_str(&quote(span.category));
+        s.push_str(&format!(
+            ",\"start_ns\":{},\"end_ns\":{}",
+            span.start.as_nanos(),
+            span.end.as_nanos()
+        ));
+        if let Some(rank) = span.rank {
+            s.push_str(&format!(",\"rank\":{rank}"));
+        }
+        if let Some(partition) = span.partition {
+            s.push_str(&format!(",\"partition\":{partition}"));
+        }
+        if !span.caused_by.is_none() {
+            s.push_str(&format!(",\"caused_by\":{}", span.caused_by.as_u64()));
+        }
+        s.push('}');
+        s
+    }
+
+    /// Append one span. Errors are tallied, not raised.
+    pub fn write(&self, span: &TraceSpan) {
+        let line = SpanSpill::line(span);
+        let mut out = self.out.lock().expect("spill writer poisoned");
+        match writeln!(out, "{line}") {
+            Ok(()) => {
+                self.written.fetch_add(1, Ordering::Relaxed);
+            }
+            Err(_) => {
+                self.write_errors.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Spans successfully appended so far.
+    pub fn written(&self) -> u64 {
+        self.written.load(Ordering::Relaxed)
+    }
+
+    /// Failed appends so far (disk full, closed file, …).
+    pub fn write_errors(&self) -> u64 {
+        self.write_errors.load(Ordering::Relaxed)
+    }
+
+    /// Flush buffered lines to the file.
+    pub fn flush(&self) -> std::io::Result<()> {
+        self.out.lock().expect("spill writer poisoned").flush()
+    }
+}
+
+impl Drop for SpanSpill {
+    fn drop(&mut self) {
+        if let Ok(mut out) = self.out.lock() {
+            let _ = out.flush();
+        }
+    }
+}
+
+/// Create a [`SpanSpill`] at `path` and install it as `trace`'s eviction
+/// sink. Returns the spill handle for flushing and accounting; dropping
+/// every clone of the handle flushes the file, and
+/// `trace.set_evict_sink(None)` detaches early.
+pub fn attach_jsonl_spill(
+    trace: &Trace,
+    path: impl AsRef<Path>,
+) -> std::io::Result<Arc<SpanSpill>> {
+    let spill = SpanSpill::create(path)?;
+    let sink = Arc::clone(&spill);
+    trace.set_evict_sink(Some(Arc::new(move |span: &TraceSpan| sink.write(span))));
+    Ok(spill)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::parse;
+    use parcomm_sim::{SimTime, SpanId};
+
+    fn t(us: u64) -> SimTime {
+        SimTime::from_nanos(us * 1000)
+    }
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("parcomm-spill-{name}-{}", std::process::id()));
+        p
+    }
+
+    #[test]
+    fn line_renders_optional_fields_only_when_present() {
+        let span = TraceSpan {
+            category: "wire",
+            start: t(1),
+            end: t(3),
+            rank: Some(2),
+            partition: None,
+            caused_by: SpanId::from_index(4),
+        };
+        let line = SpanSpill::line(&span);
+        let v = parse(&line).expect("line is valid JSON");
+        assert_eq!(v.get("category").and_then(|c| c.as_str()), Some("wire"));
+        assert_eq!(v.get("start_ns").and_then(|n| n.as_f64()), Some(1000.0));
+        assert_eq!(v.get("end_ns").and_then(|n| n.as_f64()), Some(3000.0));
+        assert_eq!(v.get("rank").and_then(|n| n.as_f64()), Some(2.0));
+        assert!(v.get("partition").is_none());
+        assert_eq!(v.get("caused_by").and_then(|n| n.as_f64()), Some(5.0));
+        let bare = TraceSpan {
+            category: "kernel",
+            start: t(0),
+            end: t(1),
+            rank: None,
+            partition: None,
+            caused_by: SpanId::NONE,
+        };
+        let line = SpanSpill::line(&bare);
+        assert!(!line.contains("rank") && !line.contains("caused_by"));
+        parse(&line).expect("bare line is valid JSON");
+    }
+
+    #[test]
+    fn spill_captures_every_evicted_span_in_order() {
+        let path = tmp("order");
+        let trace = Trace::default();
+        trace.enable();
+        trace.set_capacity(Some(2));
+        let spill = attach_jsonl_spill(&trace, &path).expect("create spill");
+        let names: [&'static str; 5] = ["a", "b", "c", "d", "e"];
+        for (i, name) in names.iter().enumerate() {
+            trace.record(name, t(i as u64), t(i as u64 + 1));
+        }
+        spill.flush().expect("flush");
+        assert_eq!(spill.written(), 3);
+        assert_eq!(spill.write_errors(), 0);
+        // Retained + spilled == recorded: history is whole.
+        assert_eq!(spill.written() + trace.span_count() as u64, trace.recorded());
+        let body = std::fs::read_to_string(&path).expect("read spill");
+        let cats: Vec<String> = body
+            .lines()
+            .map(|l| {
+                parse(l)
+                    .expect("valid JSONL line")
+                    .get("category")
+                    .and_then(|c| c.as_str())
+                    .expect("category present")
+                    .to_string()
+            })
+            .collect();
+        assert_eq!(cats, ["a", "b", "c"]);
+        trace.set_evict_sink(None);
+        let _ = std::fs::remove_file(&path);
+    }
+}

@@ -1,0 +1,42 @@
+//! Fast runtime probes of the escalation ladder (the full conformance
+//! suite lives at the workspace root in `tests/recovery.rs`).
+
+use parcomm_fault::FaultPlan;
+use parcomm_recover::{run_allreduce_recovering, RecoverPolicy, RecoveryReport};
+
+#[test]
+fn zero_fault_recovery_run_matches_recovery_off() {
+    let policy = RecoverPolicy::new();
+    let on = run_allreduce_recovering(0xA11CE, &FaultPlan::none(), 1, &policy);
+    let off = parcomm_fault::chaos::run_allreduce(0xA11CE, &FaultPlan::none(), 1);
+    assert!(on.survived() && off.survived());
+    assert_eq!(on.digest, off.digest, "recovery must be digest-neutral when no fault fires");
+    assert!(RecoveryReport::from_metrics(&on.metrics).quiet());
+}
+
+#[test]
+fn pe_crash_recovers_with_host_drain() {
+    let plan = FaultPlan::none().with_pe_crash(1, 80.0).with_watchdog(5_000_000.0);
+    let clean = parcomm_fault::chaos::run_allreduce(0xA11CE, &FaultPlan::none(), 1);
+    let run = run_allreduce_recovering(0xA11CE, &plan, 1, &RecoverPolicy::new());
+    assert!(run.survived(), "PE crash must recover: {:?}", run.errors);
+    assert_eq!(run.numeric, clean.numeric, "recovered numerics must match fault-free");
+    let report = RecoveryReport::from_metrics(&run.metrics);
+    assert!(!report.quiet(), "the ladder must have fired: {report:?}");
+}
+
+#[test]
+fn all_rails_down_recovers_by_replay() {
+    // Window opens after the ~400 µs channel handshake settles and closes
+    // inside the 20 ms stall-detection horizon, so epoch replay lands.
+    let mut plan = FaultPlan::none().with_watchdog(5_000_000.0);
+    for nic in 0..4u8 {
+        plan = plan.with_nic_outage(0, nic, 600.0, 8_000.0).expect("valid window");
+    }
+    let clean = parcomm_fault::chaos::run_allreduce(0xA11CE, &FaultPlan::none(), 2);
+    let run = run_allreduce_recovering(0xA11CE, &plan, 2, &RecoverPolicy::new());
+    assert!(run.survived(), "finite all-rails outage must recover: {:?}", run.errors);
+    assert_eq!(run.numeric, clean.numeric);
+    let report = RecoveryReport::from_metrics(&run.metrics);
+    assert!(report.replays > 0, "epoch replay must have fired: {report:?}");
+}

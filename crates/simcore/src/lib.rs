@@ -57,4 +57,4 @@ pub use rng::SimRng;
 pub use sched::{ProcessId, SimConfig, SimHandle, SimReport, Simulation, SpawnHandle};
 pub use sync::{Semaphore, SimBarrier, SimChannel};
 pub use time::{SimDuration, SimTime};
-pub use trace::{SpanId, Trace, TraceSpan};
+pub use trace::{EvictSink, SpanId, Trace, TraceSpan};

@@ -33,7 +33,10 @@
 //!   `PARCOMM_TRACE_CAP` environment variable read at simulation
 //!   construction): once full, the oldest spans are evicted;
 //!   [`Trace::spans`] remaps surviving causal edges and drops edges into
-//!   the evicted prefix;
+//!   the evicted prefix. An optional **eviction sink**
+//!   ([`Trace::set_evict_sink`]) streams evicted spans out at eviction
+//!   time instead of discarding them, so bounded memory no longer means
+//!   lost history;
 //! - **deterministic 1-in-N causal sampling**
 //!   ([`Trace::enable_causal_sampled`]): causal *chains* are sampled at
 //!   their head span from a dedicated RNG seeded by the simulation seed
@@ -147,11 +150,16 @@ struct Sampler {
     one_in: u64,
 }
 
+/// Callback invoked with each span the ring buffer evicts, in eviction
+/// order. See [`Trace::set_evict_sink`].
+pub type EvictSink = Arc<dyn Fn(&TraceSpan) + Send + Sync>;
+
 #[derive(Default)]
 pub(crate) struct TraceState {
     level: AtomicU8,
     store: Mutex<SpanStore>,
     sampler: Mutex<Option<Sampler>>,
+    evict_sink: Mutex<Option<EvictSink>>,
 }
 
 /// Shared handle to a simulation's trace buffer.
@@ -225,12 +233,42 @@ impl Trace {
     /// the default). Once full, recording evicts the oldest span; see
     /// [`Trace::spans`] for how causal edges are re-based.
     pub fn set_capacity(&self, cap: Option<usize>) {
-        let mut store = self.state.store.lock();
-        store.capacity = cap.unwrap_or(0);
-        if store.capacity > 0 {
-            while store.spans.len() > store.capacity {
-                store.spans.pop_front();
-                store.evicted += 1;
+        let mut dropped: Vec<TraceSpan> = Vec::new();
+        {
+            let mut store = self.state.store.lock();
+            store.capacity = cap.unwrap_or(0);
+            if store.capacity > 0 {
+                while store.spans.len() > store.capacity {
+                    if let Some(s) = store.spans.pop_front() {
+                        dropped.push(s);
+                    }
+                    store.evicted += 1;
+                }
+            }
+        }
+        self.drain_to_sink(&dropped);
+    }
+
+    /// Stream spans the ring buffer evicts into `sink`, in eviction order,
+    /// instead of discarding them — long chaos campaigns keep a bounded
+    /// in-memory window while spilling the full history (e.g. to a JSONL
+    /// file via `parcomm-obs`). The sink runs *after* the span store's
+    /// lock is released, so it may call back into this trace; it is a pure
+    /// retention decision and never perturbs the simulation or its digest.
+    /// [`Trace::reset`] discards deliberately and does not sink. `None`
+    /// detaches.
+    pub fn set_evict_sink(&self, sink: Option<EvictSink>) {
+        *self.state.evict_sink.lock() = sink;
+    }
+
+    fn drain_to_sink(&self, dropped: &[TraceSpan]) {
+        if dropped.is_empty() {
+            return;
+        }
+        let sink = self.state.evict_sink.lock().clone();
+        if let Some(sink) = sink {
+            for span in dropped {
+                sink(span);
             }
         }
     }
@@ -263,12 +301,17 @@ impl Trace {
     ) -> SpanId {
         // A suppressed cause never escapes into the store.
         let caused_by = if caused_by == SpanId::SUPPRESSED { SpanId::NONE } else { caused_by };
+        let mut evicted_span: Option<TraceSpan> = None;
         let mut store = self.state.store.lock();
         let id = SpanId::from_index(store.evicted as usize + store.spans.len());
         store.spans.push_back(TraceSpan { category, start, end, rank, partition, caused_by });
         if store.capacity > 0 && store.spans.len() > store.capacity {
-            store.spans.pop_front();
+            evicted_span = store.spans.pop_front();
             store.evicted += 1;
+        }
+        drop(store);
+        if let Some(s) = evicted_span {
+            self.drain_to_sink(std::slice::from_ref(&s));
         }
         id
     }
@@ -459,6 +502,39 @@ mod tests {
         tr.reset();
         assert_eq!(tr.evicted(), 0);
         assert_eq!(tr.recorded(), 0);
+    }
+
+    #[test]
+    fn evict_sink_receives_exactly_the_evicted_prefix_in_order() {
+        let tr = Trace::default();
+        tr.enable();
+        tr.set_capacity(Some(2));
+        let sunk = Arc::new(Mutex::new(Vec::new()));
+        let tap = Arc::clone(&sunk);
+        tr.set_evict_sink(Some(Arc::new(move |s: &TraceSpan| {
+            tap.lock().push(s.category);
+        })));
+        for name in ["a", "b", "c", "d", "e"] {
+            // Leak is fine in tests; categories are &'static str.
+            tr.record(Box::leak(name.to_string().into_boxed_str()), t(0), t(1));
+        }
+        // Retained window is the last 2; everything before streamed out.
+        assert_eq!(tr.span_count(), 2);
+        assert_eq!(*sunk.lock(), vec!["a", "b", "c"]);
+        // Shrinking the cap sinks the extra evictions too.
+        tr.set_capacity(Some(1));
+        assert_eq!(*sunk.lock(), vec!["a", "b", "c", "d"]);
+        // Retained + sunk == recorded: no span is lost.
+        assert_eq!(sunk.lock().len() as u64 + tr.span_count() as u64, tr.recorded());
+        // reset() discards deliberately: nothing new is sunk.
+        tr.reset();
+        assert_eq!(sunk.lock().len(), 4);
+        // Detaching stops the stream.
+        tr.set_capacity(Some(1));
+        tr.set_evict_sink(None);
+        tr.record("x", t(0), t(1));
+        tr.record("y", t(0), t(1));
+        assert_eq!(sunk.lock().len(), 4);
     }
 
     #[test]

@@ -47,7 +47,7 @@ pub mod sweep;
 pub mod timer;
 
 pub use digest::{report_digest, run_digest, trace_digest, Digest};
-pub use prop::{check, PropConfig, Shrink, TestResult};
+pub use prop::{check, shrink_failure, PropConfig, Shrink, TestResult};
 pub use sweep::{
     assert_all_equal, assert_deterministic, assert_deterministic_and_seed_sensitive,
     assert_deterministic_and_seed_sensitive_threaded, assert_deterministic_threaded,

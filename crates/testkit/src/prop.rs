@@ -270,7 +270,11 @@ where
 
 /// Greedy first-fail shrink descent. Returns the minimal failing input, its
 /// failure reason, and the number of accepted shrink steps.
-fn shrink_failure<T: Shrink + Clone>(
+///
+/// Exposed so harnesses outside the [`check`] runner — the coverage-guided
+/// chaos campaign above all — can bisect a failing structured input (e.g. a
+/// `FaultPlan`) to a minimal reproducer with the same greedy descent.
+pub fn shrink_failure<T: Shrink + Clone>(
     mut cur: T,
     mut reason: String,
     max_steps: u32,

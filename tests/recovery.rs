@@ -1,0 +1,374 @@
+//! Recovery conformance suite — the escalation-ladder contract end to end:
+//!
+//! 1. **Digest neutrality** — arming recovery with zero faults reproduces
+//!    the frozen pre-recovery digests bit for bit;
+//! 2. **PE crash mid-epoch** — lease detection, host drain, and epoch
+//!    replay carry the run to numerics bit-identical to the fault-free
+//!    baseline (while recovery-off still surfaces the typed error);
+//! 3. **All rails down** — a finite full-node NIC outage recovers through
+//!    generation-tagged epoch replay, numerics intact;
+//! 4. **Idempotent replay** — spurious `recover_epoch` calls on a live
+//!    epoch are harmless: duplicate puts land under a stale generation and
+//!    are discarded (a seeded property test with shrinking);
+//! 5. **Quarantine + schedule repair** — the hierarchical allreduce
+//!    schedule recomputed around a quarantined node still reduces
+//!    correctly over the survivors, and an unroutable repair is a typed
+//!    [`MpiError::Unrecoverable`], never a hang;
+//! 6. **Coverage-guided search beats the grid** — at equal cell budget the
+//!    guided campaign reaches strictly more fault-class × layer coverage
+//!    points than the fixed seed×rate grid, with zero contract failures.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use parcomm::coll::{Schedule, StepOp};
+use parcomm::fault::coverage::{self, CoverageCampaignConfig};
+use parcomm::fault::{campaign::CampaignConfig, chaos, FaultPlan};
+use parcomm::mpi::MpiError;
+use parcomm::net::Topology;
+use parcomm::prelude::*;
+use parcomm::recover::{run_allreduce_recovering, EscalationLevel};
+use parcomm::sim::Mutex;
+use parcomm_testkit::prop::{check, PropConfig, TestResult};
+
+/// The frozen whole-stack digests of `crates/faultsim/tests/chaos.rs`,
+/// captured before the fault subsystem (and, a fortiori, before recovery)
+/// existed. A recovery-armed zero-fault run must reproduce them exactly.
+const FROZEN_ALLREDUCE: &[(u64, u64)] = &[
+    (0xA11CE, 0x1398043747556f40),
+    (0xB0B, 0x65b7d5c9b7bbbcb8),
+    (0xC0C0A, 0xc1a31d5d266c8b20),
+    (0xFA017, 0x3e5fdd5171c85ddd),
+];
+
+#[test]
+fn recovery_armed_zero_fault_reproduces_frozen_digests() {
+    let policy = RecoverPolicy::new();
+    for &(seed, want) in FROZEN_ALLREDUCE {
+        let run = run_allreduce_recovering(seed, &FaultPlan::none(), 1, &policy);
+        assert!(run.survived());
+        assert_eq!(
+            run.digest, want,
+            "seed {seed:#x}: arming recovery perturbed the frozen zero-fault digest"
+        );
+        assert!(RecoveryReport::from_metrics(&run.metrics).quiet());
+    }
+    // Cross-node worlds have no frozen baseline of their own; equality with
+    // the recovery-off run proves neutrality there too.
+    for seed in [0xA11CE, 0xFA017] {
+        let on = run_allreduce_recovering(seed, &FaultPlan::none(), 2, &policy);
+        let off = chaos::run_allreduce(seed, &FaultPlan::none(), 2);
+        assert_eq!(on.digest, off.digest, "seed {seed:#x}: 2-node digest drift");
+    }
+}
+
+#[test]
+fn pe_crash_mid_epoch_recovers_bit_identical() {
+    // The crash must land inside the epoch (runs end ~479 µs and the PE's
+    // queue drains in the first ~200 µs; 80 µs is mid-flight).
+    let plan = FaultPlan::none().with_pe_crash(1, 80.0).with_watchdog(5_000_000.0);
+    let clean = chaos::run_allreduce(0xA11CE, &FaultPlan::none(), 1);
+
+    // Recovery off: the crash is still the typed error it always was.
+    let off = chaos::run_allreduce(0xA11CE, &plan, 1);
+    assert!(!off.survived(), "recovery-off behavior must be unchanged");
+
+    // Recovery on: lease expiry, host drain, epoch replay — and the
+    // reduction is bit-identical to the fault-free run.
+    let run = run_allreduce_recovering(0xA11CE, &plan, 1, &RecoverPolicy::new());
+    assert!(run.survived(), "PE crash must recover: {:?}", run.errors);
+    assert_eq!(run.numeric, clean.numeric, "recovered numerics must match fault-free");
+    let report = RecoveryReport::from_metrics(&run.metrics);
+    assert!(report.lease_expired > 0, "lease detection must fire: {report:?}");
+    assert!(report.host_drains > 0, "host drain must fire: {report:?}");
+    assert!(report.highest_level() >= EscalationLevel::LeaseTakeover);
+
+    // Replayable: the same (seed, plan, policy) reproduces the digest.
+    let again = run_allreduce_recovering(0xA11CE, &plan, 1, &RecoverPolicy::new());
+    assert_eq!(run.digest, again.digest, "recovery must stay deterministic");
+}
+
+#[test]
+fn all_rails_down_recovers_by_epoch_replay() {
+    // All four NICs of node 0 dark for a finite window. It opens at 600 µs
+    // — after the ~400 µs channel handshake settles (an outage overlapping
+    // the handshake is genuinely unrecoverable; see DESIGN.md §13) — and
+    // closes inside the 20 ms stall-detection horizon.
+    let mut plan = FaultPlan::none().with_watchdog(5_000_000.0);
+    for nic in 0..4u8 {
+        plan = plan.with_nic_outage(0, nic, 600.0, 8_000.0).expect("valid window");
+    }
+    let clean = chaos::run_allreduce(0xA11CE, &FaultPlan::none(), 2);
+    let run = run_allreduce_recovering(0xA11CE, &plan, 2, &RecoverPolicy::new());
+    assert!(run.survived(), "finite all-rails outage must recover: {:?}", run.errors);
+    assert_eq!(run.numeric, clean.numeric, "replayed numerics must match fault-free");
+    let report = RecoveryReport::from_metrics(&run.metrics);
+    assert!(report.replays > 0, "epoch replay must have fired: {report:?}");
+    assert_eq!(report.highest_level(), EscalationLevel::EpochReplay);
+    let again = run_allreduce_recovering(0xA11CE, &plan, 2, &RecoverPolicy::new());
+    assert_eq!(run.digest, again.digest, "recovery must stay deterministic");
+}
+
+/// Deterministic per-byte payload, distinct across partitions and offsets.
+fn pattern(part: usize, i: usize) -> u8 {
+    ((part * 137 + i * 11) % 251) as u8
+}
+
+/// One cross-node psend/precv epoch (rank 3 → rank 4) with `replays`
+/// spurious `recover_epoch` calls injected between `pready` and `wait`.
+/// Returns the receiver's reassembled bytes plus the recovery counters.
+fn p2p_with_spurious_replays(
+    parts: usize,
+    part_bytes: usize,
+    replays: usize,
+) -> (Vec<u8>, u64, u64) {
+    let mut sim = Simulation::with_seed(0x1D3E_4B07);
+    let world = MpiWorld::gh200(&sim, 2);
+    let registry = world.enable_metrics();
+    let received = Arc::new(Mutex::new(Vec::new()));
+    let r2 = received.clone();
+    world.run_ranks(&mut sim, move |ctx, rank| {
+        let buf = rank.gpu().alloc_global(parts * part_bytes);
+        match rank.rank() {
+            3 => {
+                for u in 0..parts {
+                    let bytes: Vec<u8> = (0..part_bytes).map(|i| pattern(u, i)).collect();
+                    buf.write_bytes(u * part_bytes, &bytes);
+                }
+                let sreq = psend_init(ctx, rank, 4, 11, &buf, parts).expect("psend init");
+                sreq.start(ctx).expect("start");
+                sreq.pbuf_prepare(ctx).expect("pbuf_prepare");
+                for u in 0..parts {
+                    sreq.pready(ctx, u).expect("pready");
+                }
+                for _ in 0..replays {
+                    sreq.recover_epoch(ctx);
+                }
+                sreq.wait(ctx).expect("wait");
+            }
+            4 => {
+                let rreq = precv_init(ctx, rank, 3, 11, &buf, parts).expect("precv init");
+                rreq.start(ctx).expect("start");
+                rreq.pbuf_prepare(ctx).expect("pbuf_prepare");
+                rreq.wait(ctx).expect("wait");
+                *r2.lock() = buf.read_bytes(0, parts * part_bytes);
+            }
+            _ => {}
+        }
+    });
+    sim.run().expect("p2p sim");
+    let snap = registry.snapshot();
+    let c = |name: &str| snap.counter(name).unwrap_or(0);
+    let bytes = Arc::try_unwrap(received).expect("ranks done").into_inner();
+    (bytes, c("mpi.recover.replays"), c("mpi.recover.stale_puts"))
+}
+
+/// Satellite 4 — property: epoch replay is idempotent. Any number of
+/// spurious replays of a live epoch leaves the received payload
+/// byte-identical to the expected pattern; superseded-generation
+/// completions are discarded, never applied twice.
+#[test]
+fn spurious_epoch_replay_is_idempotent() {
+    let cfg = PropConfig { cases: 10, ..PropConfig::default() };
+    check(
+        &cfg,
+        "spurious_epoch_replay_is_idempotent",
+        |rng| {
+            (
+                rng.uniform_range(1, 7),    // partitions
+                rng.uniform_range(1, 2049), // bytes per partition
+                rng.uniform_range(1, 4),    // spurious replays
+            )
+        },
+        |&(parts, part_bytes, replays)| {
+            if parts == 0 || part_bytes == 0 || replays == 0 {
+                return TestResult::Discard;
+            }
+            let (parts, part_bytes, replays) =
+                (parts as usize, part_bytes as usize, replays as usize);
+            let (got, _, _) = p2p_with_spurious_replays(parts, part_bytes, replays);
+            let want: Vec<u8> = (0..parts)
+                .flat_map(|u| (0..part_bytes).map(move |i| pattern(u, i)))
+                .collect();
+            if got == want {
+                TestResult::Pass
+            } else {
+                let at = want.iter().zip(&got).position(|(a, b)| a != b);
+                TestResult::Fail(format!(
+                    "replayed payload diverges at byte {at:?} \
+                     (parts={parts}, part_bytes={part_bytes}, replays={replays})"
+                ))
+            }
+        },
+    );
+
+    // A fixed instance pins the counter semantics: every spurious call is
+    // a counted replay, and the superseded puts really landed stale.
+    let (got, replay_count, stale) = p2p_with_spurious_replays(4, 512, 2);
+    assert_eq!(got.len(), 4 * 512);
+    assert_eq!(replay_count, 2, "each spurious recover_epoch is one counted replay");
+    assert!(stale > 0, "old-generation completions must be discarded as stale");
+}
+
+/// Value-level schedule interpreter: executes the per-rank schedules in
+/// lockstep over one f64 per chunk, staging sends before applying arrivals
+/// (so a step may send and receive the same buffer slot safely).
+fn interpret(scheds: &BTreeMap<usize, Schedule>, init: &BTreeMap<usize, Vec<f64>>) -> BTreeMap<usize, Vec<f64>> {
+    let orig = init.clone();
+    let mut bufs = init.clone();
+    let steps = scheds.values().map(|s| s.len()).max().unwrap_or(0);
+    for i in 0..steps {
+        let mut staged: BTreeMap<usize, f64> = BTreeMap::new();
+        for (&r, sched) in scheds {
+            if let Some(step) = sched.steps.get(i) {
+                if !step.outgoing.is_empty() {
+                    let src = if step.early_stage { &orig[&r] } else { &bufs[&r] };
+                    staged.insert(r, src[step.ready_offset]);
+                }
+            }
+        }
+        for (&r, sched) in scheds {
+            if let Some(step) = sched.steps.get(i) {
+                for src in &step.incoming {
+                    let v = *staged
+                        .get(src)
+                        .unwrap_or_else(|| panic!("step {i}: rank {r} expects a send from {src}"));
+                    let buf = bufs.get_mut(&r).expect("rank buffer");
+                    match step.op {
+                        StepOp::Sum => buf[step.arrived_offset] += v,
+                        StepOp::Nop => buf[step.arrived_offset] = v,
+                    }
+                }
+            }
+        }
+    }
+    bufs
+}
+
+fn chunk_value(rank: usize, c: usize) -> f64 {
+    (rank * 13 + c * 7 + 1) as f64
+}
+
+#[test]
+fn quarantine_repair_reroutes_4node_hierarchical_allreduce() {
+    let topo = Topology::new(4, 4, 4).expect("4-node GH200 topology");
+    let ranks = 16usize;
+
+    // Sanity: the unrepaired hierarchical schedule is a correct allreduce
+    // under the interpreter (validates the interpreter itself).
+    let scheds: BTreeMap<usize, Schedule> =
+        (0..ranks).map(|r| (r, Schedule::hierarchical_ring_allreduce(r, &topo))).collect();
+    let chunks = scheds[&0].chunks;
+    let init: BTreeMap<usize, Vec<f64>> = (0..ranks)
+        .map(|r| (r, (0..chunks).map(|c| chunk_value(r, c)).collect()))
+        .collect();
+    let done = interpret(&scheds, &init);
+    for r in 0..ranks {
+        for (c, got) in done[&r].iter().enumerate() {
+            let want: f64 = (0..ranks).map(|s| chunk_value(s, c)).sum();
+            assert_eq!(*got, want, "unrepaired rank {r} chunk {c}");
+        }
+    }
+
+    // Quarantine node 2 (ranks 8..12): every survivor repairs its schedule
+    // and the repaired collective reduces over exactly the survivors.
+    let mut q = Quarantine::new();
+    q.add(2);
+    let survivors: Vec<usize> = (0..ranks).filter(|r| topo.node_of(*r) != 2).collect();
+    let repaired: BTreeMap<usize, Schedule> = survivors
+        .iter()
+        .map(|&r| (r, q.repair_allreduce(r, &topo).expect("repair must succeed")))
+        .collect();
+    let rchunks = repaired[&0].chunks;
+    assert_eq!(rchunks, survivors.len(), "repaired chunk space is the surviving world");
+    let rinit: BTreeMap<usize, Vec<f64>> = survivors
+        .iter()
+        .map(|&r| (r, (0..rchunks).map(|c| chunk_value(r, c)).collect()))
+        .collect();
+    let rdone = interpret(&repaired, &rinit);
+    for &r in &survivors {
+        for (c, got) in rdone[&r].iter().enumerate() {
+            let want: f64 = survivors.iter().map(|&s| chunk_value(s, c)).sum();
+            assert_eq!(*got, want, "repaired rank {r} chunk {c}");
+        }
+        // The repaired schedule never routes through the quarantined node.
+        for step in &repaired[&r].steps {
+            for peer in step.incoming.iter().chain(&step.outgoing) {
+                assert_ne!(topo.node_of(*peer), 2, "rank {r} still routed via node 2");
+            }
+        }
+    }
+
+    // A rank on the quarantined node cannot route around itself: typed
+    // surrender, not a panic or a hang.
+    match q.repair_allreduce(9, &topo) {
+        Err(MpiError::Unrecoverable { rank, .. }) => assert_eq!(rank, 9),
+        other => panic!("expected Unrecoverable for a quarantined rank, got {other:?}"),
+    }
+}
+
+/// Satellite 1 — property: `FaultPlan` JSON round-trips exactly, for
+/// chaos-derived plans decorated with every fault class (including
+/// unbounded outage windows, which encode as `"inf"`).
+#[test]
+fn fault_plan_json_round_trip_property() {
+    let cfg = PropConfig { cases: 64, ..PropConfig::default() };
+    check(
+        &cfg,
+        "fault_plan_json_round_trip_property",
+        |rng| (rng.next_u64(), rng.uniform_range(0, 101), rng.next_u64()),
+        |&(seed, pct, decor)| {
+            let rate = pct as f64 / 100.0;
+            let mut plan = FaultPlan::chaos(seed, rate).expect("rate in range");
+            if decor & 1 != 0 {
+                plan = plan.with_pe_stall(decor as usize % 8, 20.0 + pct as f64, 500.0);
+            }
+            if decor & 2 != 0 {
+                plan = plan.with_pe_crash(decor as usize % 4, 40.0);
+            }
+            if decor & 4 != 0 {
+                plan = plan.with_delayed_flag_writes(0, 1 + decor % 5, 12.5);
+            }
+            if decor & 8 != 0 {
+                plan = plan.with_lost_flag_writes(1, 1 + decor % 3);
+            }
+            if decor & 16 != 0 {
+                plan = plan
+                    .with_nic_outage((decor % 2) as u16, (decor % 4) as u8, 100.0, f64::INFINITY)
+                    .expect("valid open window");
+            }
+            let json = plan.to_json_string();
+            match FaultPlan::from_json_str(&json) {
+                Ok(back) if back == plan => TestResult::Pass,
+                Ok(back) => TestResult::Fail(format!("round-trip drift:\n{plan:?}\n!=\n{back:?}")),
+                Err(e) => TestResult::Fail(format!("round-trip rejected: {e}\n{json}")),
+            }
+        },
+    );
+}
+
+/// Acceptance: at equal cell budget the coverage-guided campaign reaches
+/// strictly more distinct fault-class × layer points than the fixed
+/// seed×rate grid, with every cell honoring the recovery contract.
+#[test]
+fn coverage_campaign_beats_grid_at_equal_budget() {
+    let grid = CampaignConfig::ci(false);
+    let grid_cells = grid.seeds as usize * grid.rates.len() * grid.stripes.len();
+    let grid_points = coverage::grid_coverage_points(&grid);
+
+    let cfg = CoverageCampaignConfig { budget: grid_cells as u32, ..CoverageCampaignConfig::default() };
+    let report = coverage::run_coverage_campaign(&cfg, 4);
+    assert_eq!(report.outcomes.len(), grid_cells, "campaign must spend exactly the budget");
+    assert!(
+        report.failures.is_empty(),
+        "contract failures under guided search:\n{}",
+        report.render()
+    );
+    assert!(
+        report.covered.len() > grid_points.len(),
+        "guided coverage ({}) must beat the grid ({}) at {} cells",
+        report.covered.len(),
+        grid_points.len(),
+        grid_cells
+    );
+}

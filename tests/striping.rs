@@ -318,7 +318,9 @@ fn nic_outage_mid_transfer_restripes_onto_surviving_rails() {
     // each node, covering both directions of the rail pairing).
     let plan = FaultPlan::none()
         .with_nic_outage(1, 1, 50.0, 1e9)
+        .expect("valid window")
         .with_nic_outage(0, 2, 50.0, 1e9)
+        .expect("valid window")
         .with_watchdog(5e6);
     let a = striped_chaos_round(0x57AB, &plan, 4);
     let b = striped_chaos_round(0x57AB, &plan, 4);
@@ -344,9 +346,13 @@ fn all_rails_down_surfaces_typed_put_timeout() {
     // (t ≥ 2000 µs), so it is the *striped transfer* that hits the wall.
     let plan = FaultPlan::none()
         .with_nic_outage(1, 0, 1500.0, f64::INFINITY)
+        .expect("valid window")
         .with_nic_outage(1, 1, 1500.0, f64::INFINITY)
+        .expect("valid window")
         .with_nic_outage(1, 2, 1500.0, f64::INFINITY)
+        .expect("valid window")
         .with_nic_outage(1, 3, 1500.0, f64::INFINITY)
+        .expect("valid window")
         .with_watchdog(5_000.0);
     let run = striped_chaos_round(0xDEAD, &plan, 4);
     assert!(!run.survived(), "an all-rails outage cannot be survived");
