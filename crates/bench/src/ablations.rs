@@ -98,6 +98,17 @@ pub fn run_transport_sweep(quick: bool) -> Experiment {
 
 /// [`run_transport_sweep`] with an explicit sweep worker count.
 pub fn run_transport_sweep_threaded(quick: bool, threads: usize) -> Experiment {
+    run_transport_sweep_mech(quick, threads, CopyMechanism::ProgressionEngine)
+}
+
+/// [`run_transport_sweep`] over an explicit copy mechanism (the
+/// `--mechanism` axis): under `Shmem` the intra-node pair rides symmetric
+/// puts while the inter-node pair measures the typed PE fallback.
+pub fn run_transport_sweep_mech(
+    quick: bool,
+    threads: usize,
+    mechanism: CopyMechanism,
+) -> Experiment {
     let transports = if quick { vec![1usize, 2] } else { vec![1, 2, 4, 8, 16] };
     let grid = 2048u32; // 16 MB payload: squarely in the large regime
     let mut exp = Experiment::new(
@@ -105,9 +116,10 @@ pub fn run_transport_sweep_threaded(quick: bool, threads: usize) -> Experiment {
         "Goodput (GB/s) vs transport partition count, 2048-grid kernels",
         &["transports", "intra_gbps", "inter_gbps"],
     );
+    exp.note(format!("copy mechanism: {}", mechanism.short_name()));
     let mut spec = SweepSpec::new();
     for &t in &transports {
-        spec.cell(format!("transports={t}"), move || transport_row(t, grid, quick));
+        spec.cell(format!("transports={t}"), move || transport_row(t, grid, quick, mechanism));
     }
     for row in spec.run(threads).into_values().expect("transport sweep") {
         exp.push_row(row);
@@ -125,7 +137,7 @@ pub fn run_transport_sweep_threaded(quick: bool, threads: usize) -> Experiment {
 }
 
 /// One transport-sweep row: intra- and inter-node goodput at `t` puts.
-fn transport_row(t: usize, grid: u32, quick: bool) -> Vec<f64> {
+fn transport_row(t: usize, grid: u32, quick: bool, mechanism: CopyMechanism) -> Vec<f64> {
     let intra = measure(
         P2pParams {
             nodes: 1,
@@ -136,11 +148,7 @@ fn transport_row(t: usize, grid: u32, quick: bool) -> Vec<f64> {
             iters: if quick { 2 } else { 8 },
             seed: 0xAB02,
         },
-        P2pMode::Partitioned {
-            copy: CopyMechanism::ProgressionEngine,
-            agg: AggLevel::Block,
-            transports: t,
-        },
+        P2pMode::Partitioned { copy: mechanism, agg: AggLevel::Block, transports: t },
     );
     let inter = measure(
         P2pParams {
@@ -152,11 +160,7 @@ fn transport_row(t: usize, grid: u32, quick: bool) -> Vec<f64> {
             iters: if quick { 2 } else { 8 },
             seed: 0xAB03,
         },
-        P2pMode::Partitioned {
-            copy: CopyMechanism::ProgressionEngine,
-            agg: AggLevel::Block,
-            transports: t,
-        },
+        P2pMode::Partitioned { copy: mechanism, agg: AggLevel::Block, transports: t },
     );
     let bytes = grid as usize * 1024 * 8;
     vec![t as f64, goodput_gbps(bytes, intra), goodput_gbps(bytes, inter)]

@@ -28,6 +28,10 @@
 //!   to be a typed failure when recovery is off);
 //! - `--min-out <dir>` — where minimized failing plans land (default
 //!   `results`);
+//! - `--mechanism pe|kc|shmem` (or `PARCOMM_MECHANISM`) — the copy
+//!   mechanism every cell's world negotiates, the mechanism axis of the
+//!   point space; under `shmem` the coverage search additionally targets
+//!   the shmem-signal fault classes (default `pe`);
 //! - `PARCOMM_CHAOS_SEED` — shift the fault-seed block.
 //!
 //! Exits non-zero if any cell violates the fault-injection contract
@@ -88,14 +92,18 @@ fn run_coverage(threads: usize, recover: bool) -> ! {
     if let Some(budget) = arg_value("--budget").and_then(|s| s.parse().ok()) {
         cfg.budget = budget;
     }
+    if let Some(m) = parcomm_bench::mechanism() {
+        cfg.mechanism = m;
+    }
     if parcomm_bench::quick_mode() {
         cfg.budget = cfg.budget.min(12);
     }
     eprintln!(
-        "coverage campaign: budget {} on {} worker(s), recovery {}",
+        "coverage campaign: budget {} on {} worker(s), recovery {}, mechanism {}",
         cfg.budget,
         threads,
-        if recover { "armed" } else { "off" }
+        if recover { "armed" } else { "off" },
+        cfg.mechanism.short_name()
     );
     let report = coverage::run_coverage_campaign(&cfg, threads);
     print!("{}", report.render());
@@ -139,13 +147,17 @@ fn main() {
     if let Some(seeds) = arg_value("--seeds").and_then(|s| s.parse().ok()) {
         cfg.seeds = seeds;
     }
+    if let Some(m) = parcomm_bench::mechanism() {
+        cfg.mechanism = m;
+    }
     let threads = parcomm_bench::threads();
     eprintln!(
-        "chaos campaign: {} seeds x {} rates x {} stripe counts on {} worker(s)",
+        "chaos campaign: {} seeds x {} rates x {} stripe counts on {} worker(s), mechanism {}",
         cfg.seeds,
         cfg.rates.len(),
         cfg.stripes.len(),
-        threads
+        threads,
+        cfg.mechanism.short_name()
     );
     let outcomes = match arg_value("--out") {
         Some(path) => {

@@ -1,0 +1,8 @@
+//! Three-mechanism head-to-head: Progression Engine vs Kernel Copy vs the
+//! symmetric-heap (shmem) backend, plus the rkey-exchange invariant. Pass
+//! `--quick` for the reduced sweep; `--threads N` sets sweep workers.
+use parcomm_bench as b;
+
+fn main() {
+    b::mechanisms::run(b::quick_mode()).emit();
+}

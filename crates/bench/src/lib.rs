@@ -15,6 +15,7 @@ pub mod fig0405;
 pub mod fig0607;
 pub mod fig0809;
 pub mod fig1011;
+pub mod mechanisms;
 pub mod obsrun;
 pub mod p2p;
 pub mod pbench;
@@ -24,4 +25,6 @@ pub mod stats;
 pub mod striping;
 pub mod table1;
 
-pub use report::{fault_seed, metrics_out, quick_mode, threads, trace_out, Experiment};
+pub use report::{
+    fault_seed, mechanism, metrics_out, quick_mode, threads, trace_out, Experiment,
+};

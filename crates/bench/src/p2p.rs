@@ -8,7 +8,7 @@ use parcomm_sim::Mutex;
 
 use parcomm_core::{precv_init, prequest_create, psend_init, CopyMechanism, PrequestConfig};
 use parcomm_gpu::{AggLevel, KernelSpec};
-use parcomm_mpi::MpiWorld;
+use parcomm_mpi::{MpiError, MpiWorld, WorldConfig};
 use parcomm_sim::Simulation;
 
 /// A P2P experiment variant.
@@ -58,7 +58,13 @@ impl P2pParams {
 /// (compute + communication, per the paper's Goodput definition).
 pub fn measure(params: P2pParams, mode: P2pMode) -> f64 {
     let mut sim = Simulation::with_seed(params.seed);
-    let world = MpiWorld::gh200(&sim, params.nodes);
+    // Measuring the symmetric-heap mechanism needs the world default set to
+    // Shmem so the channel negotiates symmetric offsets at pbuf_prepare.
+    let mut config = WorldConfig::gh200(params.nodes);
+    if let P2pMode::Partitioned { copy: CopyMechanism::Shmem, .. } = mode {
+        config.mechanism = CopyMechanism::Shmem;
+    }
+    let world = MpiWorld::new(&sim, config);
     let out = Arc::new(Mutex::new(0.0f64));
     let out2 = out.clone();
     let (sender, receiver) = (params.sender, params.receiver);
@@ -95,18 +101,29 @@ pub fn measure(params: P2pParams, mode: P2pMode) -> f64 {
                     let sreq = psend_init(ctx, rank, receiver, 7, &buf, parts).expect("init");
                     sreq.start(ctx).expect("start");
                     sreq.pbuf_prepare(ctx).expect("pbuf_prepare");
-                    let preq = prequest_create(
-                        ctx,
-                        rank,
-                        &sreq,
-                        PrequestConfig {
-                            copy,
-                            agg,
-                            transport_partitions: transports.min(parts),
-                            multi_block_counters: true,
-                        },
-                    )
-                    .expect("prequest");
+                    let want = PrequestConfig {
+                        copy,
+                        agg,
+                        transport_partitions: transports.min(parts),
+                        multi_block_counters: true,
+                    };
+                    let preq = match prequest_create(ctx, rank, &sreq, want) {
+                        Ok(p) => p,
+                        // Route-forbidden symmetric access (the inter-node
+                        // pair): measure the typed Progression-Engine
+                        // fallback the runtime demotes to.
+                        Err(MpiError::Shmem(_)) => prequest_create(
+                            ctx,
+                            rank,
+                            &sreq,
+                            PrequestConfig {
+                                copy: CopyMechanism::ProgressionEngine,
+                                ..want
+                            },
+                        )
+                        .expect("PE prequest always available"),
+                        Err(e) => panic!("prequest: {e:?}"),
+                    };
                     rank.barrier(ctx);
                     // Measured region per the paper: "the time to execute
                     // the equivalent of Kernel_B and MPI_Wait" — the epoch

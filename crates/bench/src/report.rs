@@ -189,6 +189,15 @@ pub fn threads() -> usize {
     parcomm_sweep::threads()
 }
 
+/// Copy mechanism selected on the command line: `--mechanism pe|kc|shmem`
+/// (or `PARCOMM_MECHANISM=<short name>`). `None` when unset or
+/// unparseable — callers fall back to their own default.
+pub fn mechanism() -> Option<parcomm_core::CopyMechanism> {
+    arg_value("--mechanism")
+        .or_else(|| std::env::var("PARCOMM_MECHANISM").ok())
+        .and_then(|s| parcomm_core::CopyMechanism::from_short_name(&s))
+}
+
 /// Chaos seed for the fault-injection ablation: `--faults <seed>` on the
 /// command line (decimal or `0x`-prefixed hex) or `PARCOMM_FAULTS=<seed>`.
 /// `None` means the caller should skip fault runs entirely.

@@ -5,17 +5,27 @@ use std::sync::Arc;
 
 use parcomm_coll::pallreduce_init;
 use parcomm_gpu::KernelSpec;
-use parcomm_mpi::MpiWorld;
+use parcomm_mpi::{CopyMechanism, MpiWorld, WorldConfig};
 use parcomm_sim::{Mutex, Simulation};
 use parcomm_testkit::{digest, sweep};
 
 /// Run the partitioned allreduce with `partitions` user partitions and
 /// return (trace digest, reduced values on rank 0).
 fn run_allreduce(seed: u64, partitions: usize) -> (u64, Vec<u64>) {
+    run_allreduce_mech(seed, partitions, CopyMechanism::ProgressionEngine)
+}
+
+/// [`run_allreduce`] with the world's copy mechanism selected, so the
+/// collective engine's per-peer channels negotiate it end to end.
+fn run_allreduce_mech(
+    seed: u64,
+    partitions: usize,
+    mechanism: CopyMechanism,
+) -> (u64, Vec<u64>) {
     let mut sim = Simulation::with_seed(seed);
     let trace = sim.trace();
     trace.enable();
-    let world = MpiWorld::gh200(&sim, 1);
+    let world = MpiWorld::new(&sim, WorldConfig { mechanism, ..WorldConfig::gh200(1) });
     let p = world.size();
     // Element count divisible by every partition count under test and by
     // the communicator size, so all variants reduce the same payload.
@@ -60,6 +70,20 @@ fn allreduce_values_are_partition_count_invariant() {
         ("2 partitions", values(2)),
         ("4 partitions", values(4)),
         ("8 partitions", values(8)),
+    ]);
+}
+
+#[test]
+fn allreduce_over_shmem_channels_is_deterministic_and_value_identical() {
+    // The engine's intra-node ring channels negotiate the symmetric-heap
+    // mechanism when it is the world default; the schedule must stay
+    // deterministic and the numerics identical to the PE run.
+    sweep::assert_deterministic_and_seed_sensitive(&[11, 22, 33], |seed| {
+        run_allreduce_mech(seed, 4, CopyMechanism::Shmem).0
+    });
+    sweep::assert_all_equal([
+        ("progression engine", run_allreduce_mech(0xD1CE, 4, CopyMechanism::ProgressionEngine).1),
+        ("shmem", run_allreduce_mech(0xD1CE, 4, CopyMechanism::Shmem).1),
     ]);
 }
 

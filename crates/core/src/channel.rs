@@ -2,6 +2,7 @@
 //! bootstrap objects exchanged between sender and receiver (paper §IV-A1,
 //! §IV-A2).
 
+use parcomm_shmem::ShmemError;
 use parcomm_sim::CountEvent;
 use parcomm_ucx::{RKey, WorkerAddress};
 
@@ -68,12 +69,43 @@ pub(crate) struct ReceiverSetup {
     pub notifier: CountEvent,
     /// Receiver-side user partition count (must match the sender's).
     pub user_partitions: usize,
+    /// When the receiver demoted a requested shmem channel to the
+    /// Progression Engine, the typed reason (route forbids symmetric
+    /// access, registration failure, heap exhausted). On hardware this is a
+    /// status code in the setup reply; the simulation carries the full
+    /// error for exact diagnostics.
+    pub shmem_denied: Option<ShmemError>,
 }
 
 impl ReceiverSetup {
     /// Modeled wire size: two packed rkeys (UCX rkeys are ~100 B each),
     /// remote address, counts.
     pub const WIRE_BYTES: u64 = 256;
+}
+
+/// The receiver's `setup_t` response on a negotiated **symmetric-heap**
+/// channel: no rkey travels — only the receiver's symmetric offsets, which
+/// the sender translates locally against the world's heap. This is the
+/// whole point of the mechanism: channel setup shrinks from two packed
+/// rkeys (~100 B each) to two 8-byte offsets, and `ucx.rkey_exchanges`
+/// stays at zero.
+#[derive(Clone)]
+pub(crate) struct ShmemReceiverSetup {
+    /// Symmetric offset of the receive data buffer in the receiver's
+    /// segment.
+    pub data_off: u64,
+    /// Symmetric offset of the partition status flags.
+    pub flag_off: u64,
+    /// Same notifier contract as [`ReceiverSetup::notifier`], bumped by the
+    /// device-initiated `shmem_signal` at its arrival instant.
+    pub notifier: CountEvent,
+    /// Receiver-side user partition count (must match the sender's).
+    pub user_partitions: usize,
+}
+
+impl ShmemReceiverSetup {
+    /// Modeled wire size: two symmetric offsets, counts — no rkeys.
+    pub const WIRE_BYTES: u64 = 48;
 }
 
 /// Ready-to-receive payload for epochs after the first.

@@ -26,24 +26,12 @@ use std::sync::Arc;
 use parcomm_sim::Mutex;
 
 use parcomm_gpu::{AggLevel, Buffer, DeviceCtx};
-use parcomm_mpi::{chunk_range, HookOutcome, MpiError, Rank};
+use parcomm_mpi::{chunk_range, CopyMechanism, HookOutcome, MpiError, Rank};
 use parcomm_sim::{Ctx, SimDuration, SpanId};
 use parcomm_ucx::IpcMapping;
 
 use crate::overheads::ApiOverheads;
 use crate::send::{PsendRequest, PsendShared};
-
-/// How the payload moves when a kernel marks partitions ready.
-#[derive(Copy, Clone, PartialEq, Eq, Debug)]
-pub enum CopyMechanism {
-    /// Device threads raise flags in pinned host memory; the host
-    /// progression engine issues the RMA puts (MPI-ACX style).
-    ProgressionEngine,
-    /// The kernel stores payload directly into the peer GPU's memory over
-    /// NVLink via the `ucp_rkey_ptr` IPC mapping; only the completion
-    /// signal goes through the host. Intra-node only.
-    KernelCopy,
-}
 
 /// Configuration for [`prequest_create`].
 #[derive(Copy, Clone, Debug)]
@@ -118,9 +106,9 @@ pub fn prequest_create(
     config: PrequestConfig,
 ) -> Result<DevicePrequest, MpiError> {
     let send = sreq.shared().clone();
-    let (prepared, data_rkey) = {
+    let (prepared, data_rkey, shmem_active, shmem_denied) = {
         let st = send.state.lock();
-        (st.prepared, st.data_rkey.clone())
+        (st.prepared, st.data_rkey.clone(), st.shmem.is_some(), st.shmem_denied.clone())
     };
     if !prepared {
         return Err(MpiError::InvalidArgument {
@@ -129,12 +117,34 @@ pub fn prequest_create(
     }
     sreq.set_transport_partitions(config.transport_partitions)?;
 
-    let mapped_peer = match config.copy {
-        CopyMechanism::KernelCopy => {
-            let rkey = data_rkey.expect("prepared implies rkey");
-            Some(rkey.rkey_ptr(rank.gpu().id().location())?)
+    let mapped_peer = if shmem_active {
+        // A negotiated shmem channel is one-sided by construction: every
+        // device pready issues symmetric-heap puts regardless of
+        // `config.copy` — there is no rkey to map and no PE hop to take.
+        None
+    } else {
+        match config.copy {
+            CopyMechanism::KernelCopy => {
+                let rkey = data_rkey.expect("prepared implies rkey");
+                Some(rkey.rkey_ptr(rank.gpu().id().location())?)
+            }
+            CopyMechanism::Shmem => {
+                // The channel negotiated the classic rkey protocol, so the
+                // shmem mechanism cannot be honored; surface the receiver's
+                // typed demotion reason when there is one. Callers fall back
+                // by retrying with the Progression Engine.
+                return Err(match shmem_denied {
+                    Some(e) => MpiError::Shmem(e),
+                    None => MpiError::InvalidArgument {
+                        context: "MPIX_Prequest_create: copy mechanism Shmem but the channel \
+                                  negotiated the classic rkey protocol (request Shmem on both \
+                                  endpoints or via WorldConfig::mechanism)"
+                            .into(),
+                    },
+                });
+            }
+            CopyMechanism::ProgressionEngine => None,
         }
-        CopyMechanism::ProgressionEngine => None,
     };
 
     ctx.advance(ApiOverheads::sample(ctx, send.overheads.prequest_create));
@@ -226,6 +236,39 @@ impl DevicePrequest {
         let per_write_us = train_us / completed.len().max(1) as f64;
         let mut last_off = SimDuration::ZERO;
 
+        if send.state.lock().shmem.is_some() {
+            // Device-initiated one-sided path: as each transport's covering
+            // blocks finish, the leader thread issues the symmetric put
+            // itself — no pinned-flag train, no PE drain. The issue cost is
+            // serialized per put, and one closing fence covers the batch.
+            for (i, &k) in completed.iter().enumerate() {
+                let (u0, ulen) = chunk_range(users, t, k);
+                let frac = (u0 + ulen) as f64 / users as f64;
+                let ready = SimDuration::from_micros_f64(
+                    compute.as_micros_f64() * frac
+                        + cost.syncthreads_us
+                        + (i + 1) as f64 * cost.shmem_put_issue_us,
+                );
+                last_off = last_off
+                    .max(ready + SimDuration::from_micros_f64(cost.kernel_store_fence_us));
+                let send2 = send.clone();
+                d.at_offset_shmem_traced(ready, move |h, kernel_span| {
+                    send2.issue_shmem_put(h, k, kernel_span, h.now());
+                });
+            }
+            let end = d.current_end_offset();
+            if last_off > end {
+                d.extend(last_off - end);
+            }
+            let epoch = send.state.lock().epoch;
+            let mut p = inner.pending.lock();
+            if p.epoch != epoch {
+                p.epoch = epoch;
+                p.processed = 0;
+            }
+            return;
+        }
+
         match self.kernel_copy_mapping() {
             None => {
                 for (i, &k) in completed.iter().enumerate() {
@@ -296,14 +339,14 @@ impl DevicePrequest {
     fn kernel_copy_mapping(&self) -> Option<IpcMapping> {
         match self.inner.config.copy {
             CopyMechanism::KernelCopy => {
-                let m = self.inner.mapped_peer.as_ref().expect("kernel-copy mapping");
+                let m = self.inner.mapped_peer.as_ref()?;
                 if m.is_valid() {
                     Some(m.clone())
                 } else {
                     None
                 }
             }
-            CopyMechanism::ProgressionEngine => None,
+            _ => None,
         }
     }
 
@@ -331,6 +374,33 @@ impl DevicePrequest {
                 let mut c = inner.counters.lock();
                 c.iter_mut().for_each(|v| *v = 0);
             }
+        }
+
+        if send.state.lock().shmem.is_some() {
+            // Device-initiated one-sided path: block consensus, then the
+            // leader thread issues one symmetric put per completed
+            // transport (serialized), closed by a system fence. Payload and
+            // receive-side flags travel in the put itself — no pinned-flag
+            // notification and no progression-engine involvement.
+            let sync_us = cost.aggregation_sync_us(AggLevel::Block, block_dim.min(n))
+                + blocks_covered as f64 * cost.device_atomic_us;
+            let base = d.extend(SimDuration::from_micros_f64(sync_us));
+            let mut last = base;
+            for (i, &k) in completed.iter().enumerate() {
+                let at =
+                    base + SimDuration::from_micros_f64((i + 1) as f64 * cost.shmem_put_issue_us);
+                last = last.max(at);
+                let send2 = send.clone();
+                d.at_offset_shmem_traced(at, move |h, kernel_span| {
+                    send2.issue_shmem_put(h, k, kernel_span, h.now());
+                });
+            }
+            let end_target = last + SimDuration::from_micros_f64(cost.kernel_store_fence_us);
+            let end = d.current_end_offset();
+            if end_target > end {
+                d.extend(end_target - end);
+            }
+            return;
         }
 
         match self.kernel_copy_mapping() {

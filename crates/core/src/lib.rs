@@ -10,8 +10,9 @@
 //! - **Device API**: [`prequest_create`]/`free` building the slim
 //!   [`DevicePrequest`] (`MPIX_Prequest`), with in-kernel
 //!   `pready_all`/`pready_users` at thread/warp/block aggregation levels
-//!   ([`parcomm_gpu::AggLevel`]) and two copy mechanisms
-//!   ([`CopyMechanism::ProgressionEngine`], [`CopyMechanism::KernelCopy`]).
+//!   ([`parcomm_gpu::AggLevel`]) and three copy mechanisms
+//!   ([`CopyMechanism::ProgressionEngine`], [`CopyMechanism::KernelCopy`],
+//!   [`CopyMechanism::Shmem`] — the symmetric-heap one-sided backend).
 //!
 //! See `DESIGN.md` for the experiment map and calibration anchors.
 
@@ -24,8 +25,9 @@ mod overheads;
 mod recv;
 mod send;
 
-pub use device::{prequest_create, CopyMechanism, DevicePrequest, PrequestConfig};
+pub use device::{prequest_create, DevicePrequest, PrequestConfig};
 pub use overheads::{ApiOverheads, Overhead};
-pub use parcomm_mpi::MpiError;
+pub use parcomm_mpi::{CopyMechanism, MpiError};
+pub use parcomm_shmem::ShmemError;
 pub use recv::{precv_init, PrecvRequest};
 pub use send::{psend_init, transport_of_user, PsendRequest};

@@ -13,11 +13,15 @@ use std::sync::Arc;
 use parcomm_sim::Mutex;
 
 use parcomm_gpu::{Buffer, CostModel, MemSpace};
-use parcomm_mpi::{MpiError, MpiWorld, Rank};
+use parcomm_mpi::{CopyMechanism, MpiError, MpiWorld, Rank};
+use parcomm_net::RouteClass;
+use parcomm_shmem::ShmemError;
 use parcomm_sim::{CountEvent, Ctx, SimDuration};
 use parcomm_ucx::{AmMessage, Endpoint, Worker};
 
-use crate::channel::{am_tag, Channel, ReadyToReceive, ReceiverSetup, SenderSetup};
+use crate::channel::{
+    am_tag, Channel, ReadyToReceive, ReceiverSetup, SenderSetup, ShmemReceiverSetup,
+};
 use crate::overheads::ApiOverheads;
 
 pub(crate) struct RecvState {
@@ -28,6 +32,15 @@ pub(crate) struct RecvState {
     /// Device-memory mirror of the arrival flags for the `MPIX_Parrived`
     /// device binding, refreshed during `MPI_Wait` (paper §IV-A4).
     pub device_mirror: Option<Buffer>,
+    /// Per-request copy-mechanism override (else the world default).
+    pub requested: Option<CopyMechanism>,
+    /// True when this channel negotiated the symmetric-heap mechanism (the
+    /// receive buffer and flags are bound into the heap and the sender puts
+    /// into them directly).
+    pub shmem: bool,
+    /// Set when shmem was requested but demoted: the typed reason that went
+    /// back to the sender in the classic setup reply.
+    pub shmem_denied: Option<ShmemError>,
 }
 
 pub(crate) struct PrecvShared {
@@ -107,6 +120,9 @@ pub fn precv_init(
                 prepared: false,
                 ep_to_sender: None,
                 device_mirror: None,
+                requested: None,
+                shmem: false,
+                shmem_denied: None,
             }),
         }),
     })
@@ -126,6 +142,35 @@ impl PrecvRequest {
     /// The receive buffer.
     pub fn buffer(&self) -> &Buffer {
         &self.inner.buffer
+    }
+
+    /// Per-request copy-mechanism override (else the world default,
+    /// [`parcomm_mpi::WorldConfig::mechanism`]). The receiver is the
+    /// deciding side: at its first `MPIX_Pbuf_prepare` it either binds its
+    /// buffers into the symmetric heap and replies with offsets (shmem
+    /// accepted) or packs rkeys as usual (demoted, with the typed reason
+    /// carried back to the sender). Rejected once the channel has
+    /// negotiated.
+    pub fn set_mechanism(&self, m: CopyMechanism) -> Result<(), MpiError> {
+        let mut st = self.inner.state.lock();
+        if st.prepared {
+            return Err(MpiError::InvalidArgument {
+                context: "set_mechanism after the channel negotiated at MPIX_Pbuf_prepare".into(),
+            });
+        }
+        st.requested = Some(m);
+        Ok(())
+    }
+
+    /// True when the channel negotiated the symmetric-heap mechanism.
+    pub fn shmem_active(&self) -> bool {
+        self.inner.state.lock().shmem
+    }
+
+    /// The typed reason a requested shmem channel was demoted to the
+    /// Progression Engine, if it was.
+    pub fn shmem_denial(&self) -> Option<ShmemError> {
+        self.inner.state.lock().shmem_denied.clone()
     }
 
     /// `MPI_Start`: open a new receive epoch.
@@ -183,22 +228,68 @@ impl PrecvRequest {
                     ),
                 });
             }
-            let data_rkey = inner.worker.mem_map(&inner.buffer).pack_rkey();
-            let flag_rkey = inner.worker.mem_map(&inner.flags).pack_rkey();
+            // The receiver decides the channel's copy mechanism: its own
+            // override (or the world default), gated on route and heap
+            // eligibility. Accepting shmem binds the receive buffers into
+            // the symmetric heap and replies with offsets — no rkey is
+            // packed at all on this channel. Any denial demotes to the
+            // classic rkey reply, carrying the typed reason to the sender.
+            let requested = {
+                let st = inner.state.lock();
+                st.requested.unwrap_or(inner.world.config().mechanism)
+            };
+            let shmem_offsets = if requested == CopyMechanism::Shmem {
+                Some(inner.try_shmem_bind())
+            } else {
+                None
+            };
             let ep = inner.worker.create_endpoint(ss.sender_addr)?;
-            ep.am_send(
-                am_tag(Channel::SetupReply, inner.tag, inner.src, inner.my_rank),
-                ReceiverSetup {
-                    data_rkey,
-                    flag_rkey,
-                    notifier: inner.arrived.clone(),
-                    user_partitions: inner.user_partitions,
-                },
-                ReceiverSetup::WIRE_BYTES,
-            );
-            let mut st = inner.state.lock();
-            st.ep_to_sender = Some(ep);
-            st.prepared = true;
+            match shmem_offsets {
+                Some(Ok((data_off, flag_off))) => {
+                    ep.am_send(
+                        am_tag(Channel::SetupReply, inner.tag, inner.src, inner.my_rank),
+                        ShmemReceiverSetup {
+                            data_off,
+                            flag_off,
+                            notifier: inner.arrived.clone(),
+                            user_partitions: inner.user_partitions,
+                        },
+                        ShmemReceiverSetup::WIRE_BYTES,
+                    );
+                    let mut st = inner.state.lock();
+                    st.ep_to_sender = Some(ep);
+                    st.shmem = true;
+                    st.prepared = true;
+                }
+                other => {
+                    let denied = match other {
+                        Some(Err(e)) => {
+                            if let Some(i) = inner.world.shmem_heap().obs() {
+                                i.fallbacks.inc();
+                            }
+                            Some(e)
+                        }
+                        _ => None,
+                    };
+                    let data_rkey = inner.worker.mem_map(&inner.buffer).pack_rkey();
+                    let flag_rkey = inner.worker.mem_map(&inner.flags).pack_rkey();
+                    ep.am_send(
+                        am_tag(Channel::SetupReply, inner.tag, inner.src, inner.my_rank),
+                        ReceiverSetup {
+                            data_rkey,
+                            flag_rkey,
+                            notifier: inner.arrived.clone(),
+                            user_partitions: inner.user_partitions,
+                            shmem_denied: denied.clone(),
+                        },
+                        ReceiverSetup::WIRE_BYTES,
+                    );
+                    let mut st = inner.state.lock();
+                    st.ep_to_sender = Some(ep);
+                    st.shmem_denied = denied;
+                    st.prepared = true;
+                }
+            }
         } else {
             ctx.advance(ApiOverheads::sample(ctx, inner.overheads.pbuf_prepare_steady));
             let ep = inner.state.lock().ep_to_sender.clone().expect("prepared state lost");
@@ -304,6 +395,28 @@ impl PrecvRequest {
 }
 
 impl PrecvShared {
+    /// Eligibility gate + heap binding for the shmem mechanism, receiver
+    /// side. Symmetric access requires an IPC-eligible route between the
+    /// two ranks' GPUs (anything intra-node; IB cross-node routes cannot be
+    /// load/store-addressed) and a live heap registration on both ends;
+    /// then the receive buffer and the flag words are bound into this
+    /// rank's segment. Any failure is the typed demotion reason.
+    fn try_shmem_bind(&self) -> Result<(u64, u64), ShmemError> {
+        let heap = self.world.shmem_heap();
+        let src_gpu = self.world.gpu_of(self.src).location();
+        let dst_gpu = self.world.gpu_of(self.my_rank).location();
+        let class = RouteClass::classify(src_gpu, dst_gpu);
+        if !class.ipc_eligible() {
+            return Err(ShmemError::RouteForbidden { src: src_gpu, dst: dst_gpu, class });
+        }
+        if !heap.is_registered(self.src) {
+            return Err(ShmemError::RegistrationFailed { rank: self.src });
+        }
+        let data_off = heap.bind(self.my_rank, &self.buffer)?;
+        let flag_off = heap.bind(self.my_rank, &self.flags)?;
+        Ok((data_off, flag_off))
+    }
+
     /// Handshake receive honoring the wait watchdog: without one armed this
     /// is exactly the seed's unbounded `am_recv`; with one armed, a dead
     /// peer surfaces a typed timeout instead of parking this rank forever.

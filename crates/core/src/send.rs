@@ -26,12 +26,22 @@ use std::sync::Arc;
 use parcomm_sim::Mutex;
 
 use parcomm_gpu::{Buffer, CostModel, MemSpace};
-use parcomm_mpi::{chunk_range, MpiError, MpiWorld, ProgressionEngine, Rank};
+use parcomm_mpi::{chunk_range, CopyMechanism, MpiError, MpiWorld, ProgressionEngine, Rank};
+use parcomm_shmem::ShmemError;
 use parcomm_sim::{CountEvent, Ctx, SimDuration, SimHandle, SimTime, SpanId};
 use parcomm_ucx::{AmMessage, Endpoint, PutAttr, PutHandle, RKey, Worker, MAX_STRIPES};
 
-use crate::channel::{am_tag, Channel, ReadyToReceive, ReceiverSetup, SenderSetup};
+use crate::channel::{
+    am_tag, Channel, ReadyToReceive, ReceiverSetup, SenderSetup, ShmemReceiverSetup,
+};
 use crate::overheads::ApiOverheads;
+
+/// Maximum attempts for a device-initiated shmem put (first try + retries),
+/// mirroring the UCX transport's retry budget so chaos outcomes are
+/// comparable across mechanisms.
+const SHMEM_PUT_MAX_ATTEMPTS: u32 = 6;
+/// Initial retry backoff for a failed shmem put, doubled per attempt.
+const SHMEM_PUT_RETRY_BACKOFF_US: f64 = 20.0;
 
 /// Which transport partition covers user partition `u` when `users` user
 /// partitions are aggregated into `transports` transport partitions
@@ -48,6 +58,17 @@ pub fn transport_of_user(users: usize, transports: usize, u: usize) -> usize {
     }
 }
 
+/// A negotiated symmetric-heap channel: the receiver's data and flag
+/// buffers, resolved *locally* by the sender from the symmetric offsets in
+/// the setup reply — no rkey was exchanged and none is needed again.
+#[derive(Clone)]
+pub(crate) struct ShmemChannel {
+    /// The receiver's data buffer (heap-translated).
+    pub data: Buffer,
+    /// The receiver's partition status flags (heap-translated).
+    pub flags: Buffer,
+}
+
 pub(crate) struct SendState {
     pub epoch: u64,
     pub started: bool,
@@ -55,6 +76,14 @@ pub(crate) struct SendState {
     pub transport_partitions: usize,
     pub data_rkey: Option<RKey>,
     pub flag_rkey: Option<RKey>,
+    /// Per-request copy-mechanism override (else the world default).
+    pub requested: Option<CopyMechanism>,
+    /// Set when the receiver accepted the shmem mechanism for this channel.
+    pub shmem: Option<ShmemChannel>,
+    /// Set when this side wanted shmem but the receiver demoted the channel
+    /// to the Progression Engine: the typed reason, kept for diagnostics
+    /// and surfaced by `prequest_create(copy: Shmem)`.
+    pub shmem_denied: Option<ShmemError>,
     /// Receiver's arrival counter (the sim stand-in for the receiver
     /// polling its flag memory); bumped by the chained flag put.
     pub notifier: Option<CountEvent>,
@@ -111,6 +140,10 @@ pub(crate) struct PsendShared {
     /// engine's lease expires. Draining pops from the same queue the PE
     /// hook drains, so each notification is serviced exactly once.
     pub device_drain: Mutex<Option<DrainHook>>,
+    /// Settled failure of a device-initiated shmem put (retry budget
+    /// exhausted). Checked first by the stall diagnosis; cleared at
+    /// `MPI_Start` and by epoch replay.
+    pub shmem_failure: Arc<Mutex<Option<ShmemError>>>,
 }
 
 /// Boxed host-drain callback; see [`PsendShared::device_drain`].
@@ -199,6 +232,9 @@ pub fn psend_init(
                 transport_partitions: 1,
                 data_rkey: None,
                 flag_rkey: None,
+                requested: None,
+                shmem: None,
+                shmem_denied: None,
                 notifier: None,
                 ready: vec![0; 1],
                 user_ready: vec![false; partitions],
@@ -211,6 +247,7 @@ pub fn psend_init(
             gen: Arc::new(AtomicU64::new(0)),
             delivered: Arc::new(Mutex::new(vec![false; 1])),
             device_drain: Mutex::new(None),
+            shmem_failure: Arc::new(Mutex::new(None)),
         }),
     })
 }
@@ -264,6 +301,36 @@ impl PsendRequest {
         self.inner.state.lock().stripes
     }
 
+    /// Per-request copy-mechanism override (else the channel negotiates the
+    /// world default, [`parcomm_mpi::WorldConfig::mechanism`]). The
+    /// *receiver* resolves the mechanism at its first `MPIX_Pbuf_prepare`,
+    /// so an override must be set symmetrically on both endpoints' requests
+    /// before either side prepares. Rejected once the channel has
+    /// negotiated.
+    pub fn set_mechanism(&self, m: CopyMechanism) -> Result<(), MpiError> {
+        let mut st = self.inner.state.lock();
+        if st.prepared {
+            return Err(MpiError::InvalidArgument {
+                context: "set_mechanism after the channel negotiated at MPIX_Pbuf_prepare".into(),
+            });
+        }
+        st.requested = Some(m);
+        Ok(())
+    }
+
+    /// True when the channel negotiated the symmetric-heap mechanism: data
+    /// and flags travel as device-initiated one-sided puts against the
+    /// receiver's symmetric offsets, with no rkey exchange.
+    pub fn shmem_active(&self) -> bool {
+        self.inner.state.lock().shmem.is_some()
+    }
+
+    /// The typed reason the receiver demoted a requested shmem channel to
+    /// the Progression Engine, if it did.
+    pub fn shmem_denial(&self) -> Option<ShmemError> {
+        self.inner.state.lock().shmem_denied.clone()
+    }
+
     /// Configure multi-path striping: split each transport partition's data
     /// put into up to `stripes` stripes routed concurrently over the
     /// eligible fabric paths (NIC rails across nodes, NVLink relays within
@@ -303,6 +370,7 @@ impl PsendRequest {
         st.sent = vec![false; t];
         *self.inner.delivered.lock() = vec![false; t];
         self.inner.puts.lock().clear();
+        *self.inner.shmem_failure.lock() = None;
         self.inner.transport_complete.reset();
         // Flag puts carry the epoch number so MPI_Parrived can distinguish
         // epochs without a reset race.
@@ -337,24 +405,60 @@ impl PsendRequest {
             ctx.advance(ApiOverheads::sample(ctx, self.inner.overheads.pbuf_prepare_first_send));
             let reply_tag = am_tag(Channel::SetupReply, self.inner.tag, self.inner.my_rank, self.inner.dest);
             let msg = self.recv_handshake(ctx, reply_tag, "setup reply")?;
-            let rs = msg
-                .payload
-                .downcast::<ReceiverSetup>()
-                .expect("setup reply payload type mismatch");
-            if rs.user_partitions != self.inner.user_partitions {
-                return Err(MpiError::InvalidArgument {
-                    context: format!(
-                        "partitioned channel: sender ({}) and receiver ({}) partition \
-                         counts differ",
-                        self.inner.user_partitions, rs.user_partitions
-                    ),
-                });
+            // The receiver decides the mechanism and its reply *type* is the
+            // verdict: a shmem reply carries two symmetric offsets instead
+            // of packed rkeys. Try the shmem shape first; a mismatch hands
+            // the payload back for the classic decode.
+            match msg.payload.downcast::<ShmemReceiverSetup>() {
+                Ok(srs) => {
+                    if srs.user_partitions != self.inner.user_partitions {
+                        return Err(MpiError::InvalidArgument {
+                            context: format!(
+                                "partitioned channel: sender ({}) and receiver ({}) partition \
+                                 counts differ",
+                                self.inner.user_partitions, srs.user_partitions
+                            ),
+                        });
+                    }
+                    let heap = self.inner.world.shmem_heap();
+                    let data = heap.translate(
+                        self.inner.dest,
+                        srs.data_off,
+                        (self.inner.user_partitions * self.inner.partition_bytes) as u64,
+                    )?;
+                    let flags =
+                        heap.translate(self.inner.dest, srs.flag_off, (self.inner.user_partitions * 8) as u64)?;
+                    if let Some(i) = heap.obs() {
+                        // One data rkey and one flag rkey that never had to
+                        // be packed, shipped, or unpacked.
+                        i.rkey_exchanges_avoided.add(2);
+                    }
+                    let mut st = self.inner.state.lock();
+                    st.notifier = Some(srs.notifier.clone());
+                    st.shmem = Some(ShmemChannel { data, flags });
+                    st.prepared = true;
+                }
+                Err(payload) => {
+                    let rs = payload
+                        .downcast::<ReceiverSetup>()
+                        .expect("setup reply payload type mismatch");
+                    if rs.user_partitions != self.inner.user_partitions {
+                        return Err(MpiError::InvalidArgument {
+                            context: format!(
+                                "partitioned channel: sender ({}) and receiver ({}) partition \
+                                 counts differ",
+                                self.inner.user_partitions, rs.user_partitions
+                            ),
+                        });
+                    }
+                    let mut st = self.inner.state.lock();
+                    st.data_rkey = Some(rs.data_rkey.clone());
+                    st.flag_rkey = Some(rs.flag_rkey.clone());
+                    st.notifier = Some(rs.notifier.clone());
+                    st.shmem_denied = rs.shmem_denied.clone();
+                    st.prepared = true;
+                }
             }
-            let mut st = self.inner.state.lock();
-            st.data_rkey = Some(rs.data_rkey.clone());
-            st.flag_rkey = Some(rs.flag_rkey.clone());
-            st.notifier = Some(rs.notifier.clone());
-            st.prepared = true;
         } else {
             ctx.advance(ApiOverheads::sample(ctx, self.inner.overheads.pbuf_prepare_steady));
             let rtr_tag = am_tag(Channel::ReadyToReceive, self.inner.tag, self.inner.my_rank, self.inner.dest);
@@ -568,6 +672,9 @@ impl PsendShared {
     /// (transport gave up after retries), a crashed progression engine, then
     /// the generic stalled-counter timeout.
     pub(crate) fn diagnose_stall(&self, timeout_us: f64, expected: u64) -> MpiError {
+        if let Some(e) = self.shmem_failure.lock().clone() {
+            return MpiError::Shmem(e);
+        }
         let failed = self.puts.lock().iter().find_map(|p| match p.result() {
             Some(Err(e)) => Some(e),
             _ => None,
@@ -625,6 +732,7 @@ impl PsendShared {
         // the stall diagnosis.
         self.gen.fetch_add(1, Ordering::AcqRel);
         self.puts.lock().clear();
+        *self.shmem_failure.lock() = None;
         if let Some(ins) = self.world.instruments() {
             ins.recover_replays.inc();
         }
@@ -704,13 +812,14 @@ impl PsendShared {
     /// the data put's completion span. `pready_at` is when the partition's
     /// pready began processing — the flag put landing closes the
     /// `mpi.pready_arrival_us` histogram interval.
-    pub(crate) fn issue_data_put(
-        &self,
-        _h: &SimHandle,
-        k: usize,
-        cause: SpanId,
-        pready_at: SimTime,
-    ) {
+    pub(crate) fn issue_data_put(&self, h: &SimHandle, k: usize, cause: SpanId, pready_at: SimTime) {
+        if self.state.lock().shmem.is_some() {
+            // Negotiated shmem channel: every delivery of transport `k` —
+            // host pready, PE-drained device notification, or epoch replay —
+            // goes out as a one-sided symmetric put.
+            self.issue_shmem_put(h, k, cause, pready_at);
+            return;
+        }
         let (ep, data_rkey, flag_rkey, notifier, flag_stage, t, stripes) = {
             let st = self.state.lock();
             (
@@ -859,6 +968,175 @@ impl PsendShared {
             },
         );
         self.puts.lock().push(h);
+    }
+
+    /// Issue the device-initiated one-sided put for transport partition `k`
+    /// on a negotiated shmem channel: translate the receiver's symmetric
+    /// offsets locally, push the payload through the fabric, and raise the
+    /// receive-side partition flags at arrival (`shmem_signal`) — no host
+    /// PE hop, no rkey, no chained control put. `cause` is the span that
+    /// initiated it (device emission, host pready, or recovery replay).
+    pub(crate) fn issue_shmem_put(&self, h: &SimHandle, k: usize, cause: SpanId, pready_at: SimTime) {
+        let (sh, notifier, t, epoch) = {
+            let st = self.state.lock();
+            (
+                st.shmem.clone().expect("shmem channel negotiated"),
+                st.notifier.clone().expect("pbuf_prepare not completed"),
+                st.transport_partitions,
+                st.epoch,
+            )
+        };
+        let (u0, ulen) = chunk_range(self.user_partitions, t, k);
+        let job = ShmemPutJob {
+            world: self.world.clone(),
+            src: self.buffer.clone(),
+            data: sh.data,
+            flags: sh.flags,
+            notifier,
+            tc: self.transport_complete.clone(),
+            gen: self.gen.clone(),
+            issue_gen: self.gen.load(Ordering::Acquire),
+            delivered: self.delivered.clone(),
+            failure: self.shmem_failure.clone(),
+            k,
+            u0,
+            ulen,
+            partition_bytes: self.partition_bytes,
+            epoch,
+            my_rank: self.my_rank,
+            dest: self.dest,
+            signal_us: self.cost.shmem_signal_us,
+            cause,
+            pready_at,
+            first_at: h.now(),
+        };
+        run_shmem_put(job, h, 0);
+    }
+}
+
+/// Everything one in-flight shmem put needs, cloneable across retries.
+struct ShmemPutJob {
+    world: MpiWorld,
+    src: Buffer,
+    data: Buffer,
+    flags: Buffer,
+    notifier: CountEvent,
+    tc: CountEvent,
+    gen: Arc<AtomicU64>,
+    issue_gen: u64,
+    delivered: Arc<Mutex<Vec<bool>>>,
+    failure: Arc<Mutex<Option<ShmemError>>>,
+    k: usize,
+    u0: usize,
+    ulen: usize,
+    partition_bytes: usize,
+    epoch: u64,
+    my_rank: usize,
+    dest: usize,
+    signal_us: f64,
+    cause: SpanId,
+    pready_at: SimTime,
+    first_at: SimTime,
+}
+
+/// One attempt of a shmem put: route the payload through the fabric, and at
+/// arrival (+ the signal store cost) deposit the bytes, raise the receiver's
+/// partition flags in place, and bump the completion counters. A fabric
+/// outage retries with doubling backoff; exhausting the budget settles a
+/// typed [`ShmemError::WireTimeout`] for the stall diagnosis.
+fn run_shmem_put(job: ShmemPutJob, h: &SimHandle, attempt: u32) {
+    let now = h.now();
+    let byte_off = job.u0 * job.partition_bytes;
+    let byte_len = job.ulen * job.partition_bytes;
+    let src_loc = job.src.space().location();
+    let dst_loc = job.data.space().location();
+    let heap_obs = job.world.shmem_heap().obs();
+    if attempt == 0 {
+        if let Some(i) = &heap_obs {
+            i.puts.inc();
+            i.bytes.add(byte_len as u64);
+        }
+    }
+    let put_span = h.trace().record_causal(
+        "shmem_put",
+        now,
+        now,
+        Some(job.my_rank as u32),
+        Some(job.k as u32),
+        job.cause,
+    );
+    match job.world.fabric().try_transfer_attr(
+        now,
+        src_loc,
+        dst_loc,
+        byte_len as u64,
+        put_span,
+        Some(job.dest as u32),
+        Some(job.k as u32),
+    ) {
+        Ok(transfer) => {
+            let arrival = transfer.arrival;
+            let wire_span = transfer.span;
+            let signal = SimDuration::from_micros_f64(job.signal_us);
+            h.schedule_at(arrival + signal, move |h| {
+                // Bytes land and flags are (re)stamped regardless of
+                // staleness — both are idempotent, exactly like a classic
+                // put's functional copy. Only the completion side effects
+                // are gated on the generation/delivered latch.
+                job.data.copy_from_buffer(byte_off, &job.src, byte_off, byte_len);
+                for u in job.u0..job.u0 + job.ulen {
+                    job.flags.write_flag(u, job.epoch);
+                }
+                {
+                    let mut d = job.delivered.lock();
+                    if job.gen.load(Ordering::Acquire) != job.issue_gen || d[job.k] {
+                        if let Some(ins) = job.world.instruments() {
+                            ins.recover_stale_puts.inc();
+                        }
+                        return;
+                    }
+                    d[job.k] = true;
+                }
+                h.trace().record_causal(
+                    "shmem_signal",
+                    arrival,
+                    h.now(),
+                    Some(job.dest as u32),
+                    Some(job.k as u32),
+                    wire_span,
+                );
+                if let Some(i) = job.world.shmem_heap().obs() {
+                    i.signals.inc();
+                }
+                if let Some(ins) = job.world.instruments() {
+                    let us = h.now().since(job.pready_at).as_micros_f64();
+                    ins.pready_arrival_us.record(us.round() as u64);
+                }
+                job.notifier.add(h, job.ulen as u64);
+                job.tc.add(h, 1);
+            });
+        }
+        Err(net_err) => {
+            if attempt + 1 >= SHMEM_PUT_MAX_ATTEMPTS {
+                if let Some(i) = &heap_obs {
+                    i.put_failures.inc();
+                }
+                let waited = now.since(job.first_at).as_micros_f64();
+                *job.failure.lock() = Some(ShmemError::WireTimeout {
+                    attempts: attempt + 1,
+                    waited_us: waited.round() as u64,
+                    cause: net_err.to_string(),
+                });
+            } else {
+                if let Some(i) = &heap_obs {
+                    i.put_retries.inc();
+                }
+                let backoff = SimDuration::from_micros_f64(
+                    SHMEM_PUT_RETRY_BACKOFF_US * f64::powi(2.0, attempt as i32),
+                );
+                h.schedule_in(backoff, move |h| run_shmem_put(job, h, attempt + 1));
+            }
+        }
     }
 }
 

@@ -9,6 +9,7 @@
 //! results in cell order, a campaign's output (and its JSON-lines sink)
 //! is byte-identical at any `--threads` count.
 
+use parcomm_core::CopyMechanism;
 use parcomm_obs::json::JsonValue;
 use parcomm_sweep::{CellValue, JsonlSink, SweepSpec};
 
@@ -31,6 +32,10 @@ pub struct CampaignConfig {
     /// multi-path striping axis. Stripe count 1 is the classic single-path
     /// protocol; higher counts exercise re-striping under NIC outages.
     pub stripes: Vec<usize>,
+    /// Copy mechanism the world negotiates (`--mechanism pe|kc|shmem`).
+    /// Under `Shmem` the intra-node engine channels ride the symmetric
+    /// heap while cross-node channels demote to the Progression Engine.
+    pub mechanism: CopyMechanism,
 }
 
 impl CampaignConfig {
@@ -51,6 +56,7 @@ impl CampaignConfig {
             rates: vec![0.4, 0.9],
             nodes: 2,
             stripes: vec![1, 4],
+            mechanism: CopyMechanism::ProgressionEngine,
         }
     }
 }
@@ -64,6 +70,8 @@ pub struct CellOutcome {
     pub rate: f64,
     /// Cross-node stripe count of this cell's world.
     pub stripes: usize,
+    /// Copy mechanism this cell's world negotiated.
+    pub mechanism: CopyMechanism,
     /// Trace digest of the faulted run.
     pub digest: u64,
     /// Virtual completion time (µs) of the faulted run.
@@ -86,10 +94,11 @@ impl CellOutcome {
     /// diffing two reports proves two runs agreed cell for cell).
     pub fn render(&self) -> String {
         format!(
-            "seed={:#x} rate={} stripes={} digest={:#018x} end_us={:.3} survived={} replayed={} numeric_ok={}",
+            "seed={:#x} rate={} stripes={} mech={} digest={:#018x} end_us={:.3} survived={} replayed={} numeric_ok={}",
             self.fault_seed,
             self.rate,
             self.stripes,
+            self.mechanism.short_name(),
             self.digest,
             self.end_time_us,
             self.survived,
@@ -105,6 +114,10 @@ impl CellValue for CellOutcome {
             ("fault_seed".to_string(), self.fault_seed.to_json()),
             ("rate".to_string(), self.rate.to_json()),
             ("stripes".to_string(), (self.stripes as u64).to_json()),
+            (
+                "mechanism".to_string(),
+                JsonValue::String(self.mechanism.short_name().to_string()),
+            ),
             ("digest".to_string(), self.digest.to_json()),
             ("end_time_us".to_string(), self.end_time_us.to_json()),
             ("survived".to_string(), self.survived.to_json()),
@@ -118,6 +131,7 @@ impl CellValue for CellOutcome {
             fault_seed: u64::from_json(v.get("fault_seed")?)?,
             rate: f64::from_json(v.get("rate")?)?,
             stripes: u64::from_json(v.get("stripes")?)? as usize,
+            mechanism: CopyMechanism::from_short_name(v.get("mechanism")?.as_str()?)?,
             digest: u64::from_json(v.get("digest")?)?,
             end_time_us: f64::from_json(v.get("end_time_us")?)?,
             survived: bool::from_json(v.get("survived")?)?,
@@ -133,28 +147,40 @@ impl CellValue for CellOutcome {
 /// every cell for the numerics check — striped reassembly must reproduce
 /// the single-path numerics bit for bit, chaos or not.
 pub fn campaign_spec(cfg: &CampaignConfig) -> SweepSpec<CellOutcome> {
-    let clean = chaos::run_allreduce(cfg.sim_seed, &FaultPlan::none(), cfg.nodes);
+    let mechanism = cfg.mechanism;
+    let clean =
+        chaos::run_allreduce_cell(cfg.sim_seed, &FaultPlan::none(), cfg.nodes, 1, mechanism, None);
     let mut spec = SweepSpec::new();
     for fault_seed in cfg.base_fault_seed..cfg.base_fault_seed + cfg.seeds {
         for &rate in &cfg.rates {
             for &stripes in &cfg.stripes {
                 let clean_numeric = clean.numeric.clone();
                 let (sim_seed, nodes) = (cfg.sim_seed, cfg.nodes);
-                spec.cell(format!("seed={fault_seed:#x},rate={rate},stripes={stripes}"), move || {
-                    let plan = FaultPlan::chaos(fault_seed, rate).expect("grid rates are in [0, 1]");
-                    let a = chaos::run_allreduce_striped(sim_seed, &plan, nodes, stripes);
-                    let b = chaos::run_allreduce_striped(sim_seed, &plan, nodes, stripes);
-                    CellOutcome {
-                        fault_seed,
-                        rate,
-                        stripes,
-                        digest: a.digest,
-                        end_time_us: a.end_time_us,
-                        survived: a.survived(),
-                        replayed: a.digest == b.digest,
-                        numeric_ok: a.numeric == clean_numeric,
-                    }
-                });
+                let mech = mechanism.short_name();
+                spec.cell(
+                    format!("seed={fault_seed:#x},rate={rate},stripes={stripes},mech={mech}"),
+                    move || {
+                        let plan =
+                            FaultPlan::chaos(fault_seed, rate).expect("grid rates are in [0, 1]");
+                        let a = chaos::run_allreduce_cell(
+                            sim_seed, &plan, nodes, stripes, mechanism, None,
+                        );
+                        let b = chaos::run_allreduce_cell(
+                            sim_seed, &plan, nodes, stripes, mechanism, None,
+                        );
+                        CellOutcome {
+                            fault_seed,
+                            rate,
+                            stripes,
+                            mechanism,
+                            digest: a.digest,
+                            end_time_us: a.end_time_us,
+                            survived: a.survived(),
+                            replayed: a.digest == b.digest,
+                            numeric_ok: a.numeric == clean_numeric,
+                        }
+                    },
+                );
             }
         }
     }
@@ -190,6 +216,7 @@ mod tests {
             fault_seed: 0x5EED,
             rate: 0.4,
             stripes: 4,
+            mechanism: CopyMechanism::Shmem,
             digest: 0xdead_beef_dead_beef,
             end_time_us: 1234.5,
             survived: true,
@@ -202,6 +229,7 @@ mod tests {
         assert!(
             line.contains("seed=0x5eed")
                 && line.contains("stripes=4")
+                && line.contains("mech=shmem")
                 && line.contains("numeric_ok=false"),
             "{line}"
         );
@@ -218,10 +246,38 @@ mod tests {
             rates: vec![0.4],
             nodes: 1,
             stripes: vec![1],
+            mechanism: CopyMechanism::ProgressionEngine,
         };
         let serial = run_campaign(&cfg, 1);
         let parallel = run_campaign(&cfg, 4);
         assert_eq!(serial, parallel, "campaign output must not depend on the worker count");
         assert!(serial.iter().all(CellOutcome::ok), "{serial:?}");
+    }
+
+    #[test]
+    fn campaign_cells_uphold_the_contract_over_shmem() {
+        // The mechanism axis: the same tiny grid with the world negotiating
+        // the symmetric heap. All four ranks are intra-node, so every engine
+        // channel actually rides shmem; survival, replay, and numerics must
+        // hold exactly as they do over the Progression Engine.
+        let cfg = CampaignConfig {
+            sim_seed: 0xFA017,
+            base_fault_seed: 0x5EED,
+            seeds: 1,
+            rates: vec![0.4],
+            nodes: 1,
+            stripes: vec![1],
+            mechanism: CopyMechanism::Shmem,
+        };
+        let outcomes = run_campaign(&cfg, 2);
+        assert!(outcomes.iter().all(CellOutcome::ok), "{outcomes:?}");
+        assert!(outcomes.iter().all(|o| o.mechanism == CopyMechanism::Shmem));
+        // The negotiated mechanism changes the event stream: the shmem grid
+        // must not alias the PE grid's digests.
+        let pe = run_campaign(
+            &CampaignConfig { mechanism: CopyMechanism::ProgressionEngine, ..cfg },
+            2,
+        );
+        assert_ne!(outcomes[0].digest, pe[0].digest, "mechanism axis must move the digest");
     }
 }

@@ -19,7 +19,7 @@ use std::sync::Arc;
 
 use parcomm_apps::{run_jacobi, JacobiConfig, JacobiModel};
 use parcomm_coll::pallreduce_init;
-use parcomm_core::CopyMechanism;
+use parcomm_core::{precv_init, prequest_create, psend_init, CopyMechanism, PrequestConfig};
 use parcomm_gpu::KernelSpec;
 use parcomm_mpi::{MpiError, MpiWorld, Rank, WorldConfig};
 use parcomm_obs::MetricsSnapshot;
@@ -143,6 +143,104 @@ pub fn run_allreduce_striped(seed: u64, plan: &FaultPlan, nodes: u16, stripes: u
     run_world_with(seed, plan, nodes, |cfg| cfg.stripes = stripes, |ctx, rank| {
         allreduce_body(ctx, rank)
     })
+}
+
+/// The full-knob campaign cell: stripe count, world copy mechanism, and
+/// the recovery ladder, all set before the world is built. With defaults
+/// (`stripes == 1`, `CopyMechanism::ProgressionEngine`, `recover: None`)
+/// this is exactly [`run_allreduce`] — same config, same digest. Under
+/// `CopyMechanism::Shmem` the engine's intra-node channels negotiate the
+/// symmetric heap while route-forbidden cross-node channels demote to the
+/// Progression Engine, so the mechanism axis is safe at any node count.
+pub fn run_allreduce_cell(
+    seed: u64,
+    plan: &FaultPlan,
+    nodes: u16,
+    stripes: usize,
+    mechanism: CopyMechanism,
+    recover: Option<parcomm_mpi::RecoverConfig>,
+) -> ChaosRun {
+    run_world_with(
+        seed,
+        plan,
+        nodes,
+        move |cfg| {
+            cfg.stripes = stripes;
+            cfg.mechanism = mechanism;
+            cfg.recover = recover;
+        },
+        allreduce_body,
+    )
+}
+
+/// The canonical *device-initiated* p2p chaos workload: rank 1 launches a
+/// kernel whose threads mark partitions ready on a 4-partition psend to
+/// rank 0, so the device emission path — flag writes under the classic
+/// protocols, symmetric puts + signals under [`CopyMechanism::Shmem`] —
+/// is exactly what the fault schedule meets. The collective workload
+/// cannot exercise shmem-signal faults (its engine hands partitions to
+/// the host in one aggregated flag write and the symmetric puts are then
+/// issued host-side), so the coverage campaign routes shmem-signal
+/// targets here. Rank 0 is the receiver, so the kept numeric observable
+/// is the delivered payload itself.
+pub fn run_device_p2p_cell(
+    seed: u64,
+    plan: &FaultPlan,
+    nodes: u16,
+    mechanism: CopyMechanism,
+    recover: Option<parcomm_mpi::RecoverConfig>,
+) -> ChaosRun {
+    run_world_with(
+        seed,
+        plan,
+        nodes,
+        move |cfg| {
+            cfg.mechanism = mechanism;
+            cfg.recover = recover;
+        },
+        move |ctx, rank| device_p2p_body(ctx, rank, mechanism),
+    )
+}
+
+/// Rank program for [`run_device_p2p_cell`]: intra-node 1 -> 0, 4 user
+/// partitions x 1 KiB, 2 transport partitions, progressive device pready
+/// with `copy` matching the world mechanism.
+fn device_p2p_body(
+    ctx: &mut Ctx,
+    rank: &mut Rank,
+    mechanism: CopyMechanism,
+) -> Result<Vec<f64>, MpiError> {
+    let parts = 4usize;
+    let buf = rank.gpu().alloc_global(parts * 1024);
+    match rank.rank() {
+        1 => {
+            for u in 0..parts {
+                buf.write_f64_slice(u * 1024, &[(u * 3 + 1) as f64; 128]);
+            }
+            let sreq = psend_init(ctx, rank, 0, 19, &buf, parts)?;
+            sreq.start(ctx)?;
+            sreq.pbuf_prepare(ctx)?;
+            let preq = prequest_create(ctx, rank, &sreq, PrequestConfig {
+                copy: mechanism,
+                transport_partitions: 2,
+                ..PrequestConfig::default()
+            })?;
+            let stream = rank.gpu().create_stream();
+            stream.launch(ctx, KernelSpec::vector_add(2, 256), move |d| {
+                preq.pready_all_progressive(d)
+            });
+            sreq.wait(ctx)?;
+            Ok(Vec::new())
+        }
+        0 => {
+            let rreq = precv_init(ctx, rank, 1, 19, &buf, parts)?;
+            rreq.start(ctx)?;
+            rreq.pbuf_prepare(ctx)?;
+            rreq.wait(ctx)?;
+            Ok((0..parts).map(|u| buf.read_f64(u * 1024)).collect())
+        }
+        _ => Ok(Vec::new()),
+    }
 }
 
 /// The canonical allreduce rank program shared by every chaos workload

@@ -27,6 +27,7 @@
 
 use std::collections::BTreeSet;
 
+use parcomm_core::CopyMechanism;
 use parcomm_mpi::RecoverConfig;
 use parcomm_sim::SimRng;
 use parcomm_sweep::SweepSpec;
@@ -53,6 +54,11 @@ pub enum FaultClass {
     FlagDelay,
     /// Lost device flag-write emissions (unrecoverable by design).
     FlagLoss,
+    /// Delayed device shmem-signal emissions (symmetric-heap channels).
+    ShmemSignalDelay,
+    /// Lost device shmem-signal emissions (epoch replay re-issues the put
+    /// host-side when the escalation ladder is armed).
+    ShmemSignalLoss,
 }
 
 /// The stack layer a fault class is injected at.
@@ -68,7 +74,7 @@ pub enum FaultLayer {
 
 impl FaultClass {
     /// Every class, in canonical search order.
-    pub const ALL: [FaultClass; 8] = [
+    pub const ALL: [FaultClass; 10] = [
         FaultClass::LinkDrop,
         FaultClass::LatencySpike,
         FaultClass::NicOutage,
@@ -77,6 +83,8 @@ impl FaultClass {
         FaultClass::PeCrash,
         FaultClass::FlagDelay,
         FaultClass::FlagLoss,
+        FaultClass::ShmemSignalDelay,
+        FaultClass::ShmemSignalLoss,
     ];
 
     /// The layer this class is injected at.
@@ -87,7 +95,23 @@ impl FaultClass {
             | FaultClass::NicOutage
             | FaultClass::MultiNicOutage => FaultLayer::Net,
             FaultClass::PeStall | FaultClass::PeCrash => FaultLayer::Mpi,
-            FaultClass::FlagDelay | FaultClass::FlagLoss => FaultLayer::Gpu,
+            FaultClass::FlagDelay
+            | FaultClass::FlagLoss
+            | FaultClass::ShmemSignalDelay
+            | FaultClass::ShmemSignalLoss => FaultLayer::Gpu,
+        }
+    }
+
+    /// True if this class only bites on channels that negotiated the
+    /// symmetric-heap mechanism — and, dually, if the *flag-write* classes
+    /// are the ones that need the classic device→PE notification path.
+    /// The search only targets classes its copy mechanism can exercise.
+    pub fn requires_mechanism(&self) -> Option<CopyMechanism> {
+        match self {
+            FaultClass::ShmemSignalDelay | FaultClass::ShmemSignalLoss => {
+                Some(CopyMechanism::Shmem)
+            }
+            _ => None,
         }
     }
 
@@ -102,6 +126,8 @@ impl FaultClass {
             FaultClass::PeCrash => "pe_crash",
             FaultClass::FlagDelay => "flag_delay",
             FaultClass::FlagLoss => "flag_loss",
+            FaultClass::ShmemSignalDelay => "shmem_delay",
+            FaultClass::ShmemSignalLoss => "shmem_loss",
         }
     }
 
@@ -142,6 +168,12 @@ pub fn classes_of(plan: &FaultPlan) -> Vec<FaultClass> {
     if plan.flags.iter().any(|(_, f)| f.lose_every > 0) {
         out.push(FaultClass::FlagLoss);
     }
+    if plan.shmem_signals.iter().any(|(_, f)| f.delay_every > 0) {
+        out.push(FaultClass::ShmemSignalDelay);
+    }
+    if plan.shmem_signals.iter().any(|(_, f)| f.lose_every > 0) {
+        out.push(FaultClass::ShmemSignalLoss);
+    }
     out.sort();
     out.dedup();
     out
@@ -164,15 +196,26 @@ pub fn coverage_points(plan: &FaultPlan) -> BTreeSet<String> {
     points
 }
 
+/// Qualify a coverage point with the copy-mechanism axis: the same fault
+/// class exercised under a different mechanism drives a different data
+/// path, so `pe:link_drop@net` and `shmem:link_drop@net` are distinct
+/// points of the search space.
+pub fn mechanism_point(mechanism: CopyMechanism, point: &str) -> String {
+    format!("{}:{point}", mechanism.short_name())
+}
+
 /// The coverage points the classic fixed grid reaches, computed honestly
 /// from the grid's own plans (every `chaos(seed, rate)` cell injects the
-/// same class mix, so this saturates at a handful of points).
+/// same class mix, so this saturates at a handful of points — all on the
+/// grid's single mechanism).
 pub fn grid_coverage_points(cfg: &CampaignConfig) -> BTreeSet<String> {
     let mut points = BTreeSet::new();
     for fault_seed in cfg.base_fault_seed..cfg.base_fault_seed + cfg.seeds {
         for &rate in &cfg.rates {
             let plan = FaultPlan::chaos(fault_seed, rate).expect("grid rates are in [0, 1]");
-            points.extend(coverage_points(&plan));
+            points.extend(
+                coverage_points(&plan).iter().map(|p| mechanism_point(cfg.mechanism, p)),
+            );
         }
     }
     points
@@ -193,13 +236,27 @@ pub enum Expectation {
 /// class recovery cannot paper over (the partition is never marked ready,
 /// so there is nothing to replay); everything else must recover when the
 /// escalation ladder is armed. With recovery disabled, a PE crash is also
-/// expected to surface as a typed error.
-pub fn expectation(plan: &FaultPlan, recover_enabled: bool) -> Expectation {
-    let classes = classes_of(plan);
+/// expected to surface as a typed error. Classes the campaign's copy
+/// `mechanism` cannot exercise (shmem-signal faults under the classic
+/// protocols) are inert and never flip the expectation.
+pub fn expectation(
+    plan: &FaultPlan,
+    recover_enabled: bool,
+    mechanism: CopyMechanism,
+) -> Expectation {
+    let classes: Vec<FaultClass> = classes_of(plan)
+        .into_iter()
+        .filter(|c| c.requires_mechanism().map(|m| m == mechanism).unwrap_or(true))
+        .collect();
     if classes.contains(&FaultClass::FlagLoss) {
         return Expectation::TypedFailure;
     }
     if classes.contains(&FaultClass::PeCrash) && !recover_enabled {
+        return Expectation::TypedFailure;
+    }
+    // A lost shmem signal leaves the data written but the completion
+    // never delivered; only host-side epoch replay re-issues the put.
+    if classes.contains(&FaultClass::ShmemSignalLoss) && !recover_enabled {
         return Expectation::TypedFailure;
     }
     // An all-rails outage outlives the put-retry budget and leaves no rail
@@ -304,6 +361,11 @@ pub struct CoverageCampaignConfig {
     pub nodes: u16,
     /// Arm the recovery escalation ladder (`WorldConfig::recover`).
     pub recover: bool,
+    /// Copy mechanism the campaign's worlds negotiate — the mechanism axis
+    /// of the point space. Under `Shmem` the search additionally targets
+    /// the shmem-signal fault classes; under the classic protocols those
+    /// classes are inert and never scheduled.
+    pub mechanism: CopyMechanism,
     /// Cap on shrink steps when bisecting a contract violation.
     pub max_shrink_steps: u32,
 }
@@ -316,6 +378,7 @@ impl Default for CoverageCampaignConfig {
             budget: 36,
             nodes: 2,
             recover: true,
+            mechanism: CopyMechanism::ProgressionEngine,
             max_shrink_steps: 24,
         }
     }
@@ -362,30 +425,56 @@ impl CoverageReport {
     }
 }
 
-/// Run the workload one cell observes: the canonical two-node partitioned
-/// allreduce, with the recovery ladder armed iff `recover`.
-fn run_cell(sim_seed: u64, plan: &FaultPlan, nodes: u16, recover: bool) -> chaos::ChaosRun {
-    let recover_cfg = if recover { Some(RecoverConfig::default()) } else { None };
-    chaos::run_allreduce_recovering(sim_seed, plan, nodes, recover_cfg)
+/// True when the plan injects device shmem-signal faults. Such cells
+/// observe the device-initiated p2p workload instead of the collective:
+/// the collective engine hands partitions to the host in one aggregated
+/// flag write and the symmetric puts are then issued host-side, so its
+/// trace never meets the shmem-signal schedule.
+fn wants_device_p2p(plan: &FaultPlan) -> bool {
+    classes_of(plan).iter().any(|c| c.requires_mechanism() == Some(CopyMechanism::Shmem))
 }
 
-/// Evaluate the contract for `plan`; `Pass` when upheld.
+/// Run the workload one cell observes — the canonical two-node partitioned
+/// allreduce over `mechanism`, or the device-initiated p2p epoch for plans
+/// carrying shmem-signal faults — with the recovery ladder armed iff
+/// `recover`.
+fn run_cell(
+    sim_seed: u64,
+    plan: &FaultPlan,
+    nodes: u16,
+    recover: bool,
+    mechanism: CopyMechanism,
+) -> chaos::ChaosRun {
+    let recover_cfg = if recover { Some(RecoverConfig::default()) } else { None };
+    if wants_device_p2p(plan) {
+        chaos::run_device_p2p_cell(sim_seed, plan, nodes, mechanism, recover_cfg)
+    } else {
+        chaos::run_allreduce_cell(sim_seed, plan, nodes, 1, mechanism, recover_cfg)
+    }
+}
+
+/// Evaluate the contract for `plan`; `Pass` when upheld. Two clean
+/// baselines because the cell workload is plan-dependent (shrinking can
+/// move a plan across the workload boundary mid-bisection).
 fn contract(
     sim_seed: u64,
     plan: &FaultPlan,
     nodes: u16,
     recover: bool,
-    clean_numeric: &[f64],
+    mechanism: CopyMechanism,
+    clean_allreduce: &[f64],
+    clean_p2p: &[f64],
 ) -> TestResult {
-    let a = run_cell(sim_seed, plan, nodes, recover);
-    let b = run_cell(sim_seed, plan, nodes, recover);
-    let expect = expectation(plan, recover);
+    let a = run_cell(sim_seed, plan, nodes, recover, mechanism);
+    let b = run_cell(sim_seed, plan, nodes, recover, mechanism);
+    let expect = expectation(plan, recover, mechanism);
     if a.digest != b.digest {
         return TestResult::Fail(format!(
             "replay diverged: {:#x} vs {:#x}",
             a.digest, b.digest
         ));
     }
+    let clean_numeric = if wants_device_p2p(plan) { clean_p2p } else { clean_allreduce };
     match expect {
         Expectation::Recover => {
             if !a.survived() {
@@ -479,18 +568,47 @@ fn synthesize(classes: &[FaultClass], rng: &mut SimRng, nodes: u16) -> FaultPlan
         let rank = rng.uniform_range(0, ranks as u64) as usize;
         plan = plan.with_lost_flag_writes(rank, 1);
     }
+    if classes.contains(&FaultClass::ShmemSignalDelay) {
+        // Stride 1 on rank 1: shmem-signal cells observe the device p2p
+        // workload, where rank 1 is the sender and only the sender's
+        // stream emits signals — a fault elsewhere would be inert.
+        let delay = 20.0 + 60.0 * rng.uniform();
+        plan = plan.with_delayed_shmem_signals(1, 1, delay);
+    }
+    if classes.contains(&FaultClass::ShmemSignalLoss) {
+        plan = plan.with_lost_shmem_signals(1, 1);
+    }
     plan
 }
 
+/// The classes `mechanism` can actually exercise: shmem-signal faults need
+/// symmetric-heap channels; the flag-write classes need the classic
+/// device→PE notification path that shmem channels bypass (on a mixed
+/// multi-node shmem world whether a flag fault bites depends on which rank
+/// it lands on, so the search skips them rather than schedule cells whose
+/// contract is rank-placement roulette).
+fn mechanism_classes(mechanism: CopyMechanism) -> Vec<FaultClass> {
+    FaultClass::ALL
+        .into_iter()
+        .filter(|c| match c.requires_mechanism() {
+            Some(m) => m == mechanism,
+            None => !(mechanism == CopyMechanism::Shmem
+                && matches!(c, FaultClass::FlagDelay | FaultClass::FlagLoss)),
+        })
+        .collect()
+}
+
 /// Canonical target list: every single class, then every unordered pair,
-/// keyed by the coverage point the target is meant to reach.
-fn targets() -> Vec<(String, Vec<FaultClass>)> {
+/// keyed by the coverage point the target is meant to reach — restricted
+/// to the classes the campaign's copy mechanism can exercise.
+fn targets(mechanism: CopyMechanism) -> Vec<(String, Vec<FaultClass>)> {
+    let classes = mechanism_classes(mechanism);
     let mut out = Vec::new();
-    for c in FaultClass::ALL {
+    for &c in &classes {
         out.push((format!("{}@{}", c.key(), c.layer_key()), vec![c]));
     }
-    for (i, a) in FaultClass::ALL.iter().enumerate() {
-        for b in &FaultClass::ALL[i + 1..] {
+    for (i, a) in classes.iter().enumerate() {
+        for b in &classes[i + 1..] {
             // One NIC down and a whole node dark are mutually exclusive
             // classifications of the same outage list — the pair is
             // unreachable by construction.
@@ -510,9 +628,19 @@ fn targets() -> Vec<(String, Vec<FaultClass>)> {
 /// cell *execution* fans out, so the report renders byte-identically at
 /// any worker count.
 pub fn run_coverage_campaign(cfg: &CoverageCampaignConfig, threads: usize) -> CoverageReport {
-    let clean = run_cell(cfg.sim_seed, &FaultPlan::none(), cfg.nodes, cfg.recover);
+    let clean = run_cell(cfg.sim_seed, &FaultPlan::none(), cfg.nodes, cfg.recover, cfg.mechanism);
     let clean_numeric = clean.numeric.clone();
-    let all_targets = targets();
+    // Fault-free baseline of the *other* cell workload (plans carrying
+    // shmem-signal faults observe the device p2p epoch, see `run_cell`).
+    let clean_p2p = chaos::run_device_p2p_cell(
+        cfg.sim_seed,
+        &FaultPlan::none(),
+        cfg.nodes,
+        cfg.mechanism,
+        if cfg.recover { Some(RecoverConfig::default()) } else { None },
+    );
+    let clean_p2p_numeric = clean_p2p.numeric.clone();
+    let all_targets = targets(cfg.mechanism);
     let mut covered: BTreeSet<String> = BTreeSet::new();
     let mut outcomes: Vec<CoverageOutcome> = Vec::new();
     let mut failures: Vec<MinimizedFailure> = Vec::new();
@@ -548,12 +676,16 @@ pub fn run_coverage_campaign(cfg: &CoverageCampaignConfig, threads: usize) -> Co
         let mut spec: SweepSpec<(u64, bool, bool, bool, bool)> = SweepSpec::new();
         for (key, plan) in &batch {
             let plan = plan.clone();
-            let (sim_seed, nodes, recover) = (cfg.sim_seed, cfg.nodes, cfg.recover);
-            let clean_numeric = clean_numeric.clone();
-            let clean_digest = clean.digest;
+            let (sim_seed, nodes, recover, mechanism) =
+                (cfg.sim_seed, cfg.nodes, cfg.recover, cfg.mechanism);
+            let (clean_digest, clean_numeric) = if wants_device_p2p(&plan) {
+                (clean_p2p.digest, clean_p2p_numeric.clone())
+            } else {
+                (clean.digest, clean_numeric.clone())
+            };
             spec.cell(format!("r{round}:{key}"), move || {
-                let a = run_cell(sim_seed, &plan, nodes, recover);
-                let b = run_cell(sim_seed, &plan, nodes, recover);
+                let a = run_cell(sim_seed, &plan, nodes, recover, mechanism);
+                let b = run_cell(sim_seed, &plan, nodes, recover, mechanism);
                 (
                     a.digest,
                     a.digest != clean_digest,
@@ -571,7 +703,7 @@ pub fn run_coverage_campaign(cfg: &CoverageCampaignConfig, threads: usize) -> Co
             let outcome = CoverageOutcome {
                 round,
                 target: key.clone(),
-                expectation: expectation(&plan, cfg.recover),
+                expectation: expectation(&plan, cfg.recover, cfg.mechanism),
                 plan: plan.clone(),
                 digest,
                 perturbed,
@@ -579,17 +711,29 @@ pub fn run_coverage_campaign(cfg: &CoverageCampaignConfig, threads: usize) -> Co
                 replayed,
                 numeric_ok,
             };
-            covered.extend(coverage_points(&plan));
+            covered.extend(
+                coverage_points(&plan).iter().map(|p| mechanism_point(cfg.mechanism, p)),
+            );
             if !outcome.ok() {
                 let reason = format!(
                     "target {key}: survived={survived} replayed={replayed} numeric_ok={numeric_ok} \
                      (expected {:?})",
                     outcome.expectation
                 );
-                let (sim_seed, nodes, recover) = (cfg.sim_seed, cfg.nodes, cfg.recover);
+                let (sim_seed, nodes, recover, mechanism) =
+                    (cfg.sim_seed, cfg.nodes, cfg.recover, cfg.mechanism);
                 let clean_numeric = clean_numeric.clone();
+                let clean_p2p_numeric = clean_p2p_numeric.clone();
                 let eval = move |p: &FaultPlan| -> TestResult {
-                    contract(sim_seed, p, nodes, recover, &clean_numeric)
+                    contract(
+                        sim_seed,
+                        p,
+                        nodes,
+                        recover,
+                        mechanism,
+                        &clean_numeric,
+                        &clean_p2p_numeric,
+                    )
                 };
                 let (minimal_plan, reason, shrink_steps) =
                     shrink_failure(plan, reason, cfg.max_shrink_steps, &eval);
@@ -685,6 +829,28 @@ impl Shrink for FaultPlan {
                 }
             }
         }
+        if !self.shmem_signals.is_empty() {
+            let mut p = self.clone();
+            p.shmem_signals.clear();
+            out.push(p);
+            for i in 0..self.shmem_signals.len() {
+                if self.shmem_signals[i].1.delay_every > 0 {
+                    let mut p = self.clone();
+                    p.shmem_signals[i].1.delay_every = 0;
+                    out.push(p);
+                }
+                if self.shmem_signals[i].1.lose_every > 0 {
+                    let mut p = self.clone();
+                    p.shmem_signals[i].1.lose_every = 0;
+                    out.push(p);
+                }
+            }
+        }
+        if !self.shmem_heap_fail.is_empty() {
+            let mut p = self.clone();
+            p.shmem_heap_fail.clear();
+            out.push(p);
+        }
         // Prune structurally-empty fault configs left by the zeroing steps.
         out.retain(|p| p != self);
         out
@@ -755,18 +921,56 @@ mod tests {
 
     #[test]
     fn expectation_classifies_recoverability() {
+        const PE: CopyMechanism = CopyMechanism::ProgressionEngine;
         let loss = FaultPlan::none().with_lost_flag_writes(1, 3).with_watchdog(1e6);
-        assert_eq!(expectation(&loss, true), Expectation::TypedFailure);
+        assert_eq!(expectation(&loss, true, PE), Expectation::TypedFailure);
         let crash = FaultPlan::none().with_pe_crash(1, 300.0).with_watchdog(1e6);
-        assert_eq!(expectation(&crash, true), Expectation::Recover);
-        assert_eq!(expectation(&crash, false), Expectation::TypedFailure);
+        assert_eq!(expectation(&crash, true, PE), Expectation::Recover);
+        assert_eq!(expectation(&crash, false, PE), Expectation::TypedFailure);
         let drops = FaultPlan::none().with_link_faults(0.2, 0.0, 10.0).with_watchdog(1e6);
-        assert_eq!(expectation(&drops, true), Expectation::Recover);
+        assert_eq!(expectation(&drops, true, PE), Expectation::Recover);
         let mut rails = FaultPlan::none().with_watchdog(1e6);
         for nic in 0..4u8 {
             rails = rails.with_nic_outage(0, nic, 600.0, 9_000.0).expect("window");
         }
-        assert_eq!(expectation(&rails, true), Expectation::Recover);
-        assert_eq!(expectation(&rails, false), Expectation::TypedFailure);
+        assert_eq!(expectation(&rails, true, PE), Expectation::Recover);
+        assert_eq!(expectation(&rails, false, PE), Expectation::TypedFailure);
+    }
+
+    #[test]
+    fn mechanism_axis_shapes_targets_and_expectations() {
+        // Shmem-signal faults need symmetric-heap channels: under the
+        // classic protocols the classes are inert, so a loss plan is
+        // expected to (trivially) recover; under Shmem a loss without the
+        // escalation ladder is a typed failure.
+        let loss = FaultPlan::none().with_lost_shmem_signals(0, 1).with_watchdog(1e6);
+        assert_eq!(classes_of(&loss), vec![FaultClass::ShmemSignalLoss]);
+        assert_eq!(
+            expectation(&loss, false, CopyMechanism::ProgressionEngine),
+            Expectation::Recover,
+            "inert under the classic protocol"
+        );
+        assert_eq!(
+            expectation(&loss, false, CopyMechanism::Shmem),
+            Expectation::TypedFailure
+        );
+        assert_eq!(expectation(&loss, true, CopyMechanism::Shmem), Expectation::Recover);
+
+        // The PE target list carries the flag-write classes and no shmem
+        // classes; the shmem list swaps them.
+        let pe_targets = targets(CopyMechanism::ProgressionEngine);
+        assert!(pe_targets.iter().any(|(k, _)| k == "flag_loss@gpu"));
+        assert!(!pe_targets.iter().any(|(k, _)| k.contains("shmem")));
+        let shmem_targets = targets(CopyMechanism::Shmem);
+        assert!(shmem_targets.iter().any(|(k, _)| k == "shmem_loss@gpu"));
+        assert!(shmem_targets.iter().any(|(k, _)| k == "shmem_delay+shmem_loss"));
+        assert!(!shmem_targets.iter().any(|(k, _)| k.contains("flag_")));
+
+        // Point keys are mechanism-qualified, so the axis genuinely grows
+        // the point space instead of folding onto the classic points.
+        assert_eq!(mechanism_point(CopyMechanism::Shmem, "link_drop@net"), "shmem:link_drop@net");
+        let mut grid = CampaignConfig::ci(true);
+        grid.mechanism = CopyMechanism::Shmem;
+        assert!(grid_coverage_points(&grid).iter().all(|p| p.starts_with("shmem:")));
     }
 }

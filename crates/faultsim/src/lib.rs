@@ -22,6 +22,8 @@
 //! | progression-engine stall | `mpisim` PE daemon | bounded: delayed puts, then catches up |
 //! | progression-engine crash | `mpisim` PE daemon | recovery off: watchdog surfaces [`MpiError::ProgressionHalted`]; recovery on: host lease-detects the dead engine, drains its queue, and replays the epoch |
 //! | delayed / lost device flag write | `gpusim` stream emission | delayed: absorbed; lost: watchdog surfaces a typed timeout |
+//! | delayed / lost device shmem signal | `gpusim` stream emission (symmetric-heap channels) | delayed: absorbed; lost: epoch replay re-issues the put host-side when recovery is armed, typed timeout otherwise |
+//! | symmetric-heap registration failure | `parcomm-shmem` heap | the channel demotes to the Progression Engine with a typed `ShmemError` denial |
 //! | IPC revocation mid-epoch | `ucxsim` rkey | Kernel Copy falls back to the Progression Engine per `MPIX_Pready` |
 //!
 //! Unsurvivable classes require an armed watchdog

@@ -83,6 +83,13 @@ pub struct FaultPlan {
     pub pe: Vec<(usize, PeFaultConfig)>,
     /// Per-rank device flag-write (emission) faults.
     pub flags: Vec<(usize, EmissionFaultConfig)>,
+    /// Per-rank device shmem-signal emission faults — only bite on channels
+    /// that negotiated the symmetric-heap mechanism.
+    pub shmem_signals: Vec<(usize, EmissionFaultConfig)>,
+    /// Ranks whose symmetric-heap registration fails at world construction;
+    /// channels binding toward them demote to the Progression Engine with a
+    /// typed `ShmemError::RegistrationFailed`.
+    pub shmem_heap_fail: Vec<usize>,
 }
 
 impl FaultPlan {
@@ -99,6 +106,8 @@ impl FaultPlan {
             && self.net.is_none()
             && self.pe.is_empty()
             && self.flags.is_empty()
+            && self.shmem_signals.is_empty()
+            && self.shmem_heap_fail.is_empty()
     }
 
     /// A seeded *survivable* chaos mix scaled by `rate`: transient drops
@@ -143,8 +152,7 @@ impl FaultPlan {
             seed,
             watchdog_us: Some(5_000_000.0),
             net: Some(net),
-            pe: Vec::new(),
-            flags: Vec::new(),
+            ..FaultPlan::default()
         })
     }
 
@@ -232,6 +240,36 @@ impl FaultPlan {
         self
     }
 
+    /// Delay every `every`-th device shmem-signal emission on `rank` by
+    /// `delay_us` (survivable: the receiver's notifier fires late). Inert
+    /// unless the rank's channels negotiated the symmetric-heap mechanism.
+    pub fn with_delayed_shmem_signals(mut self, rank: usize, every: u64, delay_us: f64) -> Self {
+        let f = self.shmem_entry(rank);
+        f.delay_every = every;
+        f.delay_us = delay_us;
+        self
+    }
+
+    /// Lose every `every`-th device shmem-signal emission on `rank`
+    /// entirely (recoverable when the escalation ladder is armed: the put
+    /// is replayed host-side on the next epoch retry; otherwise arm a
+    /// watchdog to get a typed timeout).
+    pub fn with_lost_shmem_signals(mut self, rank: usize, every: u64) -> Self {
+        let f = self.shmem_entry(rank);
+        f.lose_every = every;
+        self
+    }
+
+    /// Fail `rank`'s symmetric-heap registration at world construction:
+    /// every shmem negotiation touching that rank demotes to the
+    /// Progression Engine with a typed denial (survivable by design).
+    pub fn with_shmem_heap_failure(mut self, rank: usize) -> Self {
+        if !self.shmem_heap_fail.contains(&rank) {
+            self.shmem_heap_fail.push(rank);
+        }
+        self
+    }
+
     /// Check every probability, duration, and window in the plan.
     ///
     /// Hand-built and JSON-decoded plans go through the same gate the
@@ -286,6 +324,9 @@ impl FaultPlan {
         for (_, f) in &self.flags {
             nonneg("flag delay_us", f.delay_us)?;
         }
+        for (_, f) in &self.shmem_signals {
+            nonneg("shmem signal delay_us", f.delay_us)?;
+        }
         Ok(())
     }
 
@@ -300,6 +341,8 @@ impl FaultPlan {
         }
         cfg.pe_faults.extend(self.pe.iter().cloned());
         cfg.gpu_flag_faults.extend(self.flags.iter().cloned());
+        cfg.shmem_faults.extend(self.shmem_signals.iter().cloned());
+        cfg.shmem_heap_fail.extend(self.shmem_heap_fail.iter().copied());
     }
 
     /// Encode the plan as a [`JsonValue`] tree.
@@ -370,6 +413,29 @@ impl FaultPlan {
                 })
                 .collect();
             root.push(("flags".into(), JsonValue::Array(flags)));
+        }
+        if !self.shmem_signals.is_empty() {
+            let sig: Vec<JsonValue> = self
+                .shmem_signals
+                .iter()
+                .map(|(rank, f)| {
+                    JsonValue::Object(vec![
+                        ("rank".into(), JsonValue::Number(*rank as f64)),
+                        ("delay_every".into(), hex_to_json(f.delay_every)),
+                        ("delay_us".into(), dur_to_json(f.delay_us)),
+                        ("lose_every".into(), hex_to_json(f.lose_every)),
+                    ])
+                })
+                .collect();
+            root.push(("shmem_signals".into(), JsonValue::Array(sig)));
+        }
+        if !self.shmem_heap_fail.is_empty() {
+            let ranks: Vec<JsonValue> = self
+                .shmem_heap_fail
+                .iter()
+                .map(|r| JsonValue::Number(*r as f64))
+                .collect();
+            root.push(("shmem_heap_fail".into(), JsonValue::Array(ranks)));
         }
         JsonValue::Object(root)
     }
@@ -444,6 +510,29 @@ impl FaultPlan {
                 plan.flags.push((rank, f));
             }
         }
+        if let Some(sig) = v.get("shmem_signals") {
+            let entries = sig
+                .as_array()
+                .ok_or_else(|| PlanError::Malformed("shmem_signals is not an array".into()))?;
+            for e in entries {
+                let f = EmissionFaultConfig {
+                    delay_every: hex_from_json(req(e, "delay_every")?, "shmem_signals.delay_every")?,
+                    delay_us: dur_from_json(req(e, "delay_us")?, "shmem_signals.delay_us")?,
+                    lose_every: hex_from_json(req(e, "lose_every")?, "shmem_signals.lose_every")?,
+                };
+                let rank = num_from_json(req(e, "rank")?, "shmem_signals.rank")? as usize;
+                plan.shmem_signals.push((rank, f));
+            }
+        }
+        if let Some(ranks) = v.get("shmem_heap_fail") {
+            let entries = ranks
+                .as_array()
+                .ok_or_else(|| PlanError::Malformed("shmem_heap_fail is not an array".into()))?;
+            for r in entries {
+                plan.shmem_heap_fail
+                    .push(num_from_json(r, "shmem_heap_fail rank")? as usize);
+            }
+        }
         plan.validate()?;
         Ok(plan)
     }
@@ -470,6 +559,15 @@ impl FaultPlan {
         } else {
             self.flags.push((rank, EmissionFaultConfig::default()));
             &mut self.flags.last_mut().expect("just pushed").1
+        }
+    }
+
+    fn shmem_entry(&mut self, rank: usize) -> &mut EmissionFaultConfig {
+        if let Some(i) = self.shmem_signals.iter().position(|(r, _)| *r == rank) {
+            &mut self.shmem_signals[i].1
+        } else {
+            self.shmem_signals.push((rank, EmissionFaultConfig::default()));
+            &mut self.shmem_signals.last_mut().expect("just pushed").1
         }
     }
 }
@@ -524,6 +622,8 @@ mod tests {
         assert!(cfg.net_faults.is_none());
         assert!(cfg.pe_faults.is_empty());
         assert!(cfg.gpu_flag_faults.is_empty());
+        assert!(cfg.shmem_faults.is_empty());
+        assert!(cfg.shmem_heap_fail.is_empty());
         assert!(FaultPlan::none().is_none());
     }
 
@@ -626,6 +726,9 @@ mod tests {
             .with_pe_crash(2, 400.0)
             .with_delayed_flag_writes(3, 5, 30.0)
             .with_lost_flag_writes(4, 7)
+            .with_delayed_shmem_signals(5, 2, 45.0)
+            .with_lost_shmem_signals(6, 9)
+            .with_shmem_heap_failure(7)
             .with_nic_outage(1, 2, 25.0, f64::INFINITY)
             .expect("valid window");
         let text = plan.to_json_string();
@@ -633,6 +736,28 @@ mod tests {
         assert_eq!(plan, back, "JSON round-trip is lossless");
         // u64 seeds survive exactly even above 2^53.
         assert_eq!(back.seed, 0xDEAD_BEEF_CAFE_F00D);
+    }
+
+    #[test]
+    fn shmem_builders_accumulate_and_apply() {
+        let plan = FaultPlan::none()
+            .with_delayed_shmem_signals(1, 3, 25.0)
+            .with_lost_shmem_signals(1, 4)
+            .with_shmem_heap_failure(2)
+            .with_shmem_heap_failure(2); // idempotent
+        assert_eq!(plan.shmem_signals.len(), 1, "delay and loss merge onto rank 1");
+        assert_eq!(plan.shmem_signals[0].1.delay_every, 3);
+        assert_eq!(plan.shmem_signals[0].1.lose_every, 4);
+        assert_eq!(plan.shmem_heap_fail, vec![2]);
+        assert!(!plan.is_none());
+        plan.validate().expect("shmem plan validates");
+        let mut cfg = WorldConfig::gh200(1);
+        plan.apply(&mut cfg);
+        assert_eq!(cfg.shmem_faults.len(), 1);
+        assert_eq!(cfg.shmem_heap_fail, vec![2]);
+        // A negative shmem delay is caught like every other duration.
+        let bad = FaultPlan::none().with_delayed_shmem_signals(0, 1, -4.0);
+        assert!(matches!(bad.validate(), Err(PlanError::NegativeDuration { .. })));
     }
 
     #[test]

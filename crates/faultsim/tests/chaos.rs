@@ -245,6 +245,75 @@ fn chaos_sweep_eight_seeds() {
     }
 }
 
+/// The mechanism axis end to end, on both cell workloads the coverage
+/// campaign schedules. Signal faults observe the device-initiated p2p
+/// epoch — the collective issues its symmetric puts host-side, so its
+/// trace never meets the shmem-signal schedule: a delayed signal is
+/// absorbed, a lost one recovers through epoch replay when the
+/// escalation ladder is armed. A heap registration failure demotes the
+/// collective's channels to the Progression Engine — all without
+/// touching the numerics, all replayable.
+#[test]
+fn shmem_fault_classes_uphold_the_chaos_contract() {
+    use parcomm_core::CopyMechanism;
+    use parcomm_mpi::RecoverConfig;
+
+    let p2p = |plan: &FaultPlan, recover: Option<RecoverConfig>| {
+        chaos::run_device_p2p_cell(0xFA017, plan, 1, CopyMechanism::Shmem, recover)
+    };
+    let clean = p2p(&FaultPlan::none(), None);
+    assert!(clean.survived());
+    assert_eq!(clean.numeric, vec![1.0, 4.0, 7.0, 10.0], "rank 0 keeps the received payload");
+    assert_ne!(
+        clean.digest,
+        chaos::run_device_p2p_cell(
+            0xFA017,
+            &FaultPlan::none(),
+            1,
+            CopyMechanism::ProgressionEngine,
+            None,
+        )
+        .digest,
+        "the shmem cell must actually negotiate a different mechanism"
+    );
+
+    // Delayed signals on the sender: survivable without recovery.
+    let delayed = FaultPlan::none().with_delayed_shmem_signals(1, 1, 60.0).with_watchdog(5e6);
+    let a = p2p(&delayed, None);
+    let b = p2p(&delayed, None);
+    assert_eq!(a.digest, b.digest, "same (seed, plan) must replay identically");
+    assert!(a.survived(), "delayed shmem signals are absorbed: {:?}", a.errors);
+    assert_eq!(a.numeric, clean.numeric);
+    assert_ne!(a.digest, clean.digest, "the delay must actually perturb the trace");
+
+    // Lost signals: the escalation ladder replays the epoch host-side.
+    let lost = FaultPlan::none().with_lost_shmem_signals(1, 1).with_watchdog(5e6);
+    let recovered = p2p(&lost, Some(RecoverConfig::default()));
+    assert!(
+        recovered.survived(),
+        "epoch replay must carry a lost shmem signal: {:?}",
+        recovered.errors
+    );
+    assert_eq!(recovered.numeric, clean.numeric, "replayed puts must not corrupt the payload");
+
+    // Heap registration failure on the collective workload: typed
+    // demotion to the PE, never an error.
+    let coll = |plan: &FaultPlan| {
+        chaos::run_allreduce_cell(0xFA017, plan, 1, 1, CopyMechanism::Shmem, None)
+    };
+    let coll_clean = coll(&FaultPlan::none());
+    assert!(coll_clean.survived());
+    assert_ne!(
+        coll_clean.digest,
+        chaos::run_allreduce(0xFA017, &FaultPlan::none(), 1).digest,
+        "the shmem allreduce cell must actually negotiate a different mechanism"
+    );
+    let demoted = coll(&FaultPlan::none().with_shmem_heap_failure(0).with_watchdog(5e6));
+    assert!(demoted.survived(), "heap failure demotes, never breaks: {:?}", demoted.errors);
+    assert_eq!(demoted.numeric, coll_clean.numeric);
+    assert_ne!(demoted.digest, coll_clean.digest, "the PE fallback changes the event stream");
+}
+
 /// The campaign's aggregated report is byte-identical at any worker count
 /// (trimmed quick grid; the full grid's invariance is exercised by the CI
 /// `sweep` job diffing `chaos_campaign --threads 4` against serial).

@@ -97,6 +97,16 @@ pub struct CostModel {
     /// Progression-engine poll interval (how often the MPI runtime's
     /// progress thread inspects flags and the UCX worker).
     pub progress_poll_us: f64,
+    /// Device-side cost of issuing one symmetric-heap one-sided put
+    /// (`shmem_put`-style): local offset translation plus pushing the
+    /// descriptor onto the NVLink store path. Slightly above the launch
+    /// latency class of costs, far below the host's `data_put_post_us` —
+    /// this gap is the mechanism's whole advantage.
+    pub shmem_put_issue_us: f64,
+    /// Device-side cost of the completion signal paired with a shmem put
+    /// (`shmem_signal`-style flag store on the target), paid on the wire
+    /// side after arrival.
+    pub shmem_signal_us: f64,
 }
 
 impl Default for CostModel {
@@ -120,6 +130,8 @@ impl Default for CostModel {
             control_put_post_us: 0.5,
             kernel_store_fence_us: 0.3,
             progress_poll_us: 0.50,
+            shmem_put_issue_us: 1.2,
+            shmem_signal_us: 0.5,
         }
     }
 }

@@ -42,6 +42,9 @@ struct GpuInner {
     /// Armed emission fault schedule, shared with every stream of this GPU.
     /// `None` (default) keeps the fault branch dormant.
     emission_faults: Arc<Mutex<Option<EmissionFaults>>>,
+    /// Armed symmetric-heap signal fault schedule, independent of the
+    /// notification-flag schedule above.
+    shmem_faults: Arc<Mutex<Option<EmissionFaults>>>,
     /// Observability state (rank attribution + metrics), shared with every
     /// stream of this GPU. Inert until armed.
     obs: Arc<GpuObs>,
@@ -94,6 +97,7 @@ impl Gpu {
                 cost,
                 handle,
                 emission_faults: Arc::new(Mutex::new(None)),
+                shmem_faults: Arc::new(Mutex::new(None)),
                 obs: Arc::new(GpuObs::default()),
             }),
         }
@@ -118,6 +122,15 @@ impl Gpu {
     /// the device's streams (existing and future). See [`EmissionFaultConfig`].
     pub fn arm_emission_faults(&self, cfg: EmissionFaultConfig) {
         *self.inner.emission_faults.lock() = Some(EmissionFaults::new(cfg));
+    }
+
+    /// Arm a deterministic fault schedule for this GPU's *symmetric-heap*
+    /// signal emissions (the shmem one-sided path): every N-th shmem
+    /// put/signal is delayed or lost across all streams. Independent of
+    /// [`arm_emission_faults`](Self::arm_emission_faults), so chaos
+    /// campaigns can target one copy mechanism without perturbing the other.
+    pub fn arm_shmem_signal_faults(&self, cfg: EmissionFaultConfig) {
+        *self.inner.shmem_faults.lock() = Some(EmissionFaults::new(cfg));
     }
 
     /// This GPU's identity.
@@ -156,6 +169,7 @@ impl Gpu {
             self.inner.handle.clone(),
             self.inner.id.to_string(),
             self.inner.emission_faults.clone(),
+            self.inner.shmem_faults.clone(),
             self.inner.obs.clone(),
         )
     }

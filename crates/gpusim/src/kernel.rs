@@ -18,12 +18,26 @@ use parcomm_sim::{Event, SimDuration, SimHandle, SimTime, SpanId};
 
 use crate::cost::CostModel;
 
+/// What kind of device-visible side effect an emission is. The stream
+/// engine classifies each kind against its own fault schedule: pinned-host
+/// flag writes (the PE/KC notification path) against the flag schedule,
+/// symmetric-heap signals (the shmem one-sided path) against the shmem
+/// schedule — so chaos campaigns can fault one mechanism without touching
+/// the other.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum EmissionKind {
+    /// A pinned-host notification-flag write (`MPIX_Pready` device flag).
+    FlagWrite,
+    /// A symmetric-heap one-sided put/signal emission.
+    Shmem,
+}
+
 /// A timed device-side action: a callback scheduled at an offset within
 /// the kernel's execution window. The callback receives the kernel's own
 /// trace span ([`SpanId::NONE`] when tracing is off) so the actions a
 /// kernel emits — notification-flag writes above all — can be causally
 /// chained to the kernel that produced them.
-type Emission = (SimDuration, Box<dyn FnOnce(&SimHandle, SpanId) + Send + 'static>);
+type Emission = (SimDuration, EmissionKind, Box<dyn FnOnce(&SimHandle, SpanId) + Send + 'static>);
 
 /// Geometry and resource description of a kernel launch.
 #[derive(Clone, Debug)]
@@ -164,7 +178,7 @@ impl<'a> DeviceCtx<'a> {
     /// execution window is *not* implicitly extended; call
     /// [`extend`](Self::extend) for actions that occupy the device.
     pub fn at_offset(&mut self, offset: SimDuration, cb: impl FnOnce(&SimHandle) + Send + 'static) {
-        self.emissions.push((offset, Box::new(move |h, _span| cb(h))));
+        self.emissions.push((offset, EmissionKind::FlagWrite, Box::new(move |h, _span| cb(h))));
     }
 
     /// Like [`at_offset`](Self::at_offset), but the callback also receives
@@ -175,7 +189,20 @@ impl<'a> DeviceCtx<'a> {
         offset: SimDuration,
         cb: impl FnOnce(&SimHandle, SpanId) + Send + 'static,
     ) {
-        self.emissions.push((offset, Box::new(cb)));
+        self.emissions.push((offset, EmissionKind::FlagWrite, Box::new(cb)));
+    }
+
+    /// Like [`at_offset_traced`](Self::at_offset_traced), but tagged as a
+    /// symmetric-heap emission: the stream engine classifies it against the
+    /// GPU's *shmem* signal fault schedule
+    /// ([`Gpu::arm_shmem_signal_faults`](crate::Gpu::arm_shmem_signal_faults))
+    /// instead of the notification-flag schedule.
+    pub fn at_offset_shmem_traced(
+        &mut self,
+        offset: SimDuration,
+        cb: impl FnOnce(&SimHandle, SpanId) + Send + 'static,
+    ) {
+        self.emissions.push((offset, EmissionKind::Shmem, Box::new(cb)));
     }
 
     /// Non-blocking access to the simulation (e.g. for reading the RNG).

@@ -18,7 +18,7 @@ use parcomm_sim::{Ctx, Event, SimDuration, SimHandle, SimTime, SpanId};
 
 use crate::cost::CostModel;
 use crate::faults::{EmissionFate, EmissionFaults};
-use crate::kernel::{DeviceCtx, KernelSpec, LaunchHandle};
+use crate::kernel::{DeviceCtx, EmissionKind, KernelSpec, LaunchHandle};
 use crate::obs::GpuObs;
 
 struct StreamState {
@@ -38,8 +38,12 @@ struct StreamInner {
     cost: CostModel,
     state: Mutex<StreamState>,
     gpu_name: String,
-    /// The owning GPU's emission fault schedule (shared across its streams).
+    /// The owning GPU's notification-flag fault schedule (shared across its
+    /// streams).
     emission_faults: Arc<Mutex<Option<EmissionFaults>>>,
+    /// The owning GPU's symmetric-heap signal fault schedule, kept separate
+    /// so chaos campaigns can fault one mechanism without the other.
+    shmem_faults: Arc<Mutex<Option<EmissionFaults>>>,
     /// The owning GPU's observability state (rank attribution + metrics).
     obs: Arc<GpuObs>,
 }
@@ -50,6 +54,7 @@ impl Stream {
         handle: SimHandle,
         gpu_name: String,
         emission_faults: Arc<Mutex<Option<EmissionFaults>>>,
+        shmem_faults: Arc<Mutex<Option<EmissionFaults>>>,
         obs: Arc<GpuObs>,
     ) -> Self {
         let tail_done = Event::new();
@@ -60,6 +65,7 @@ impl Stream {
                 state: Mutex::new(StreamState { busy_until: SimTime::ZERO, tail_done }),
                 gpu_name,
                 emission_faults,
+                shmem_faults,
                 obs,
             }),
         }
@@ -123,7 +129,7 @@ impl Stream {
         let span =
             h.trace().record_attr("kernel", start, end, self.inner.obs.rank(), None, SpanId::NONE);
         self.inner.obs.count_kernel(emissions.len() as u64);
-        for (offset, cb) in emissions {
+        for (offset, kind, cb) in emissions {
             // The window invariant is checked on the *natural* offset; an
             // injected delay may legitimately land past the window (the flag
             // write drains after the kernel retires).
@@ -132,7 +138,11 @@ impl Stream {
                 "kernel '{}' emission at {offset} beyond its window {duration}",
                 spec.name
             );
-            let fate = match self.inner.emission_faults.lock().as_mut() {
+            let schedule = match kind {
+                EmissionKind::FlagWrite => &self.inner.emission_faults,
+                EmissionKind::Shmem => &self.inner.shmem_faults,
+            };
+            let fate = match schedule.lock().as_mut() {
                 Some(f) => f.classify(),
                 None => EmissionFate::Normal,
             };

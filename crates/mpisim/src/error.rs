@@ -8,6 +8,7 @@
 //! alone.
 
 use parcomm_net::TopologyError;
+use parcomm_shmem::ShmemError;
 use parcomm_ucx::UcxError;
 
 /// Typed failure of an MPI-level operation.
@@ -60,6 +61,10 @@ pub enum MpiError {
     InvalidTopology(TopologyError),
     /// A transport-layer (UCX) failure bubbled up.
     Transport(UcxError),
+    /// A symmetric-heap (shmem backend) failure bubbled up: route forbids
+    /// symmetric access, heap exhausted/unregistered, or a device put
+    /// exhausted its retry budget.
+    Shmem(ShmemError),
     /// The recovery escalation ladder was exhausted: every rung (put retry,
     /// re-striping, fallback, lease-gated replay, host drain, quarantine
     /// repair) ran out or does not apply. Surfaced only when recovery is
@@ -100,6 +105,7 @@ impl std::fmt::Display for MpiError {
             MpiError::InvalidArgument { context } => write!(f, "invalid argument: {context}"),
             MpiError::InvalidTopology(e) => write!(f, "invalid topology: {e}"),
             MpiError::Transport(e) => write!(f, "transport error: {e}"),
+            MpiError::Shmem(e) => write!(f, "shmem error: {e}"),
             MpiError::Unrecoverable { rank, context, attempts } => write!(
                 f,
                 "rank {rank}: unrecoverable after {attempts} recovery attempts: {context}"
@@ -113,5 +119,11 @@ impl std::error::Error for MpiError {}
 impl From<UcxError> for MpiError {
     fn from(e: UcxError) -> Self {
         MpiError::Transport(e)
+    }
+}
+
+impl From<ShmemError> for MpiError {
+    fn from(e: ShmemError) -> Self {
+        MpiError::Shmem(e)
     }
 }

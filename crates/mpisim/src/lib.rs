@@ -11,6 +11,7 @@
 
 mod coll;
 mod error;
+mod mechanism;
 mod p2p;
 mod persistent;
 mod progress;
@@ -18,6 +19,7 @@ mod world;
 
 pub use coll::chunk_range;
 pub use error::MpiError;
+pub use mechanism::CopyMechanism;
 pub use p2p::P2pOp;
 pub use persistent::PersistentRequest;
 pub use progress::{HookOutcome, PeFaultConfig, ProgressionEngine};

@@ -1,0 +1,63 @@
+//! The copy-mechanism selector shared by every partitioned layer.
+//!
+//! Lives in the MPI core (rather than `parcomm-core`) so the world
+//! configuration can carry a default mechanism and both channel endpoints
+//! can resolve the same negotiation without a dependency cycle.
+
+/// How the payload moves when partitions are marked ready.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub enum CopyMechanism {
+    /// Device threads raise flags in pinned host memory; the host
+    /// progression engine issues the RMA puts (MPI-ACX style).
+    ProgressionEngine,
+    /// The kernel stores payload directly into the peer GPU's memory over
+    /// NVLink via the `ucp_rkey_ptr` IPC mapping; only the completion
+    /// signal goes through the host. Intra-node only.
+    KernelCopy,
+    /// Symmetric-heap one-sided: both endpoints bind their buffers into
+    /// the world's symmetric heap at channel setup, so the device
+    /// translates `(rank, offset)` locally and emits `shmem_put` +
+    /// `shmem_signal` straight onto the fabric — no host progression-engine
+    /// hop and **no rkey exchange, ever**. Intra-node (NVLink-class routes)
+    /// only; forbidden routes fall back to the Progression Engine with a
+    /// typed `ShmemError`.
+    Shmem,
+}
+
+impl CopyMechanism {
+    /// Stable short name (CLI flags, bench output).
+    pub fn short_name(self) -> &'static str {
+        match self {
+            CopyMechanism::ProgressionEngine => "pe",
+            CopyMechanism::KernelCopy => "kc",
+            CopyMechanism::Shmem => "shmem",
+        }
+    }
+
+    /// Parse the short name used by `--mechanism pe|kc|shmem` flags.
+    pub fn from_short_name(s: &str) -> Option<CopyMechanism> {
+        match s {
+            "pe" => Some(CopyMechanism::ProgressionEngine),
+            "kc" => Some(CopyMechanism::KernelCopy),
+            "shmem" => Some(CopyMechanism::Shmem),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn short_names_round_trip() {
+        for m in [
+            CopyMechanism::ProgressionEngine,
+            CopyMechanism::KernelCopy,
+            CopyMechanism::Shmem,
+        ] {
+            assert_eq!(CopyMechanism::from_short_name(m.short_name()), Some(m));
+        }
+        assert_eq!(CopyMechanism::from_short_name("bogus"), None);
+    }
+}

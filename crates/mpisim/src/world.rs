@@ -12,9 +12,11 @@ use parcomm_sim::Mutex;
 use parcomm_gpu::{CostModel, EmissionFaultConfig, Gpu, GpuId, Location, Unit};
 use parcomm_net::{ClusterSpec, Fabric, NetFaultConfig, Topology};
 use parcomm_obs::{Counter, Histogram, MetricsRegistry};
+use parcomm_shmem::SymmetricHeap;
 use parcomm_sim::{Ctx, SimBarrier, SimDuration, Simulation};
 use parcomm_ucx::{UcxUniverse, Worker, WorkerAddress};
 
+use crate::mechanism::CopyMechanism;
 use crate::p2p::MatchTable;
 use crate::progress::{PeFaultConfig, ProgressionEngine};
 
@@ -125,6 +127,24 @@ pub struct WorldConfig {
     /// lease/replay/host-drain ladder entirely — pre-recovery behavior,
     /// bit-for-bit.
     pub recover: Option<RecoverConfig>,
+    /// Default copy mechanism for partitioned channels. Both channel
+    /// endpoints resolve this identically at setup, so no extra handshake
+    /// travels; a per-request `set_mechanism` override takes precedence.
+    /// The default ([`CopyMechanism::ProgressionEngine`]) is the classic
+    /// protocol, bit-for-bit.
+    pub mechanism: CopyMechanism,
+    /// Symmetric-heap segment size per rank (bytes). The heap is registered
+    /// once at world construction; channels using
+    /// [`CopyMechanism::Shmem`] bind their buffers into it and exchange
+    /// offsets instead of rkeys.
+    pub shmem_heap_bytes: u64,
+    /// Per-rank shmem signal-emission fault schedules (delayed / lost
+    /// device `shmem_signal`s), independent of `gpu_flag_faults`.
+    pub shmem_faults: Vec<(usize, EmissionFaultConfig)>,
+    /// Ranks whose symmetric-heap registration fails at world construction
+    /// (fault hook): their channels fall back to the Progression Engine
+    /// with a typed `ShmemError::RegistrationFailed`.
+    pub shmem_heap_fail: Vec<usize>,
 }
 
 impl WorldConfig {
@@ -141,6 +161,10 @@ impl WorldConfig {
             gpu_flag_faults: Vec::new(),
             stripes: 1,
             recover: None,
+            mechanism: CopyMechanism::ProgressionEngine,
+            shmem_heap_bytes: 1 << 22,
+            shmem_faults: Vec::new(),
+            shmem_heap_fail: Vec::new(),
         }
     }
 }
@@ -150,6 +174,9 @@ struct WorldInner {
     topology: Topology,
     fabric: Fabric,
     universe: UcxUniverse,
+    /// The once-per-world symmetric heap (registered at construction;
+    /// [`CopyMechanism::Shmem`] channels bind into it).
+    shmem_heap: SymmetricHeap,
     matching: MatchTable,
     /// Worker address of each rank, filled as ranks start.
     addresses: Mutex<Vec<Option<WorkerAddress>>>,
@@ -186,12 +213,18 @@ impl MpiWorld {
         }
         let universe = UcxUniverse::new(fabric.clone());
         let size = topology.num_ranks();
+        // The symmetric heap registers once here — per-rank base offsets
+        // are deterministic from this point and no rkey ever travels for
+        // buffers bound into it.
+        let shmem_heap =
+            SymmetricHeap::new(size, config.shmem_heap_bytes, &config.shmem_heap_fail);
         Ok(MpiWorld {
             inner: Arc::new(WorldInner {
                 config,
                 topology,
                 fabric,
                 universe,
+                shmem_heap,
                 matching: MatchTable::new(),
                 addresses: Mutex::new(vec![None; size]),
                 size,
@@ -214,6 +247,7 @@ impl MpiWorld {
         let registry = MetricsRegistry::new();
         self.inner.fabric.attach_metrics(&registry);
         self.inner.universe.attach_metrics(&registry);
+        self.inner.shmem_heap.attach_metrics(&registry);
         let instruments = MpiInstruments::new(&registry);
         *slot = Some((registry.clone(), instruments));
         registry
@@ -252,6 +286,11 @@ impl MpiWorld {
     /// The UCX universe (shared by the Partitioned component).
     pub fn universe(&self) -> &UcxUniverse {
         &self.inner.universe
+    }
+
+    /// The world's symmetric heap (registered once at construction).
+    pub fn shmem_heap(&self) -> &SymmetricHeap {
+        &self.inner.shmem_heap
     }
 
     /// The validated cluster topology (rank ↔ GPU mapping, locality
@@ -329,6 +368,15 @@ impl Rank {
             .find(|(r, _)| *r == rank)
         {
             gpu.arm_emission_faults(ef.clone());
+        }
+        if let Some((_, ef)) = world
+            .inner
+            .config
+            .shmem_faults
+            .iter()
+            .find(|(r, _)| *r == rank)
+        {
+            gpu.arm_shmem_signal_faults(ef.clone());
         }
         let worker = world
             .inner

@@ -40,9 +40,10 @@ pub const PUT_MAX_ATTEMPTS: u32 = 6;
 pub const PUT_RETRY_BACKOFF_US: f64 = 20.0;
 
 /// A registered memory region (`ucp_mem_map`).
-#[derive(Clone, Debug)]
+#[derive(Clone)]
 pub struct MemHandle {
     buffer: Buffer,
+    universe: UcxUniverse,
 }
 
 impl MemHandle {
@@ -53,8 +54,19 @@ impl MemHandle {
 
     /// Pack a remote key for this region (`ucp_rkey_pack`). The returned
     /// key is what the receiver ships to the sender in its `setup_t` reply.
+    /// Counted as `ucx.rkey_exchanges` — the per-channel handshake cost
+    /// the symmetric-heap backend exists to avoid.
     pub fn pack_rkey(&self) -> RKey {
+        if let Some(i) = self.universe.obs() {
+            i.rkey_exchanges.inc();
+        }
         RKey { buffer: self.buffer.clone(), ipc_valid: Arc::new(AtomicBool::new(true)) }
+    }
+}
+
+impl std::fmt::Debug for MemHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MemHandle").field("buffer", &self.buffer).finish()
     }
 }
 
@@ -173,7 +185,7 @@ impl Worker {
     /// Registration *cost* is charged by the caller (it is part of the
     /// `MPIX_Prequest_create` / first-`Pbuf_prepare` overheads in Table I).
     pub fn mem_map(&self, buffer: &Buffer) -> MemHandle {
-        MemHandle { buffer: buffer.clone() }
+        MemHandle { buffer: buffer.clone(), universe: self.universe.clone() }
     }
 }
 

@@ -109,6 +109,10 @@ pub(crate) struct UcxInstruments {
     pub(crate) put_failures: Counter,
     pub(crate) am_sends: Counter,
     pub(crate) am_retries: Counter,
+    /// Remote keys packed (`ucp_rkey_pack`): one per region a channel
+    /// exposes for RMA. The symmetric-heap backend's claim to fame is that
+    /// this counter stays at zero on its channels.
+    pub(crate) rkey_exchanges: Counter,
     /// log2-bucket issue → last-byte-landed latency of each `put_nbx`
     /// (µs), including any fault-retry backoff.
     pub(crate) put_latency: Histogram,
@@ -137,9 +141,9 @@ impl UcxUniverse {
     }
 
     /// Attach metrics instruments (`ucx.puts`, `ucx.put_retries`,
-    /// `ucx.put_failures`, `ucx.am_sends`, `ucx.am_retries`, and the
-    /// `ucx.put_latency_us` issue → completion histogram) to the given
-    /// registry.
+    /// `ucx.put_failures`, `ucx.am_sends`, `ucx.am_retries`,
+    /// `ucx.rkey_exchanges`, and the `ucx.put_latency_us` issue →
+    /// completion histogram) to the given registry.
     pub fn attach_metrics(&self, registry: &MetricsRegistry) {
         *self.inner.instruments.lock() = Some(UcxInstruments {
             puts: registry.counter("ucx.puts"),
@@ -147,6 +151,7 @@ impl UcxUniverse {
             put_failures: registry.counter("ucx.put_failures"),
             am_sends: registry.counter("ucx.am_sends"),
             am_retries: registry.counter("ucx.am_retries"),
+            rkey_exchanges: registry.counter("ucx.rkey_exchanges"),
             put_latency: registry.histogram("ucx.put_latency_us"),
         });
     }

@@ -59,6 +59,7 @@ pub use parcomm_nccl as nccl;
 pub use parcomm_net as net;
 pub use parcomm_obs as obs;
 pub use parcomm_recover as recover;
+pub use parcomm_shmem as shmem;
 pub use parcomm_sim as sim;
 pub use parcomm_ucx as ucx;
 
@@ -75,5 +76,6 @@ pub mod prelude {
     pub use parcomm_nccl::{NcclComm, NcclConfig};
     pub use parcomm_net::ClusterSpec;
     pub use parcomm_recover::{Quarantine, RecoverPolicy, RecoveryReport};
+    pub use parcomm_shmem::{ShmemError, SymmetricHeap};
     pub use parcomm_sim::{Ctx, Event, SimConfig, SimDuration, SimTime, Simulation};
 }
