@@ -11,6 +11,8 @@
 
 mod deep_learning;
 mod jacobi;
+mod moe;
 
 pub use deep_learning::{nccl_for_world, run_dl, DlConfig, DlModel, DlResult};
 pub use jacobi::{jacobi_reference, process_grid, run_jacobi, JacobiConfig, JacobiModel, JacobiResult};
+pub use moe::{moe_reference, route, run_moe, MoeConfig, MoeResult};

@@ -32,6 +32,11 @@
 //!   mechanism every cell's world negotiates, the mechanism axis of the
 //!   point space; under `shmem` the coverage search additionally targets
 //!   the shmem-signal fault classes (default `pe`);
+//! - `--channels N` — the multiplexed-load axis (canonical values 1, 64,
+//!   1024): above 1 every cell (grid or coverage) observes the
+//!   mux-admitted MoE dispatch/combine workload instead of the single
+//!   collective, so fault classes land on N-channel multiplexed traffic
+//!   and coverage points gain a `cN:` qualifier (default 1);
 //! - `PARCOMM_CHAOS_SEED` — shift the fault-seed block.
 //!
 //! Exits non-zero if any cell violates the fault-injection contract
@@ -55,6 +60,13 @@ fn arg_value(flag: &str) -> Option<String> {
 
 fn arg_flag(flag: &str) -> bool {
     std::env::args().any(|a| a == flag)
+}
+
+/// `--channels N`: the multiplexed-load axis (1 = classic workloads).
+fn channels_arg() -> usize {
+    let n: usize = arg_value("--channels").and_then(|s| s.parse().ok()).unwrap_or(1);
+    assert!(n >= 1, "--channels must be at least 1");
+    n
 }
 
 /// `--fault-plan <file>`: reproduce one plan (minimized or hand-written)
@@ -95,15 +107,17 @@ fn run_coverage(threads: usize, recover: bool) -> ! {
     if let Some(m) = parcomm_bench::mechanism() {
         cfg.mechanism = m;
     }
+    cfg.channels = channels_arg();
     if parcomm_bench::quick_mode() {
         cfg.budget = cfg.budget.min(12);
     }
     eprintln!(
-        "coverage campaign: budget {} on {} worker(s), recovery {}, mechanism {}",
+        "coverage campaign: budget {} on {} worker(s), recovery {}, mechanism {}, channels {}",
         cfg.budget,
         threads,
         if recover { "armed" } else { "off" },
-        cfg.mechanism.short_name()
+        cfg.mechanism.short_name(),
+        cfg.channels
     );
     let report = coverage::run_coverage_campaign(&cfg, threads);
     print!("{}", report.render());
@@ -150,14 +164,16 @@ fn main() {
     if let Some(m) = parcomm_bench::mechanism() {
         cfg.mechanism = m;
     }
+    cfg.channels = channels_arg();
     let threads = parcomm_bench::threads();
     eprintln!(
-        "chaos campaign: {} seeds x {} rates x {} stripe counts on {} worker(s), mechanism {}",
+        "chaos campaign: {} seeds x {} rates x {} stripe counts on {} worker(s), mechanism {}, channels {}",
         cfg.seeds,
         cfg.rates.len(),
         cfg.stripes.len(),
         threads,
-        cfg.mechanism.short_name()
+        cfg.mechanism.short_name(),
+        cfg.channels
     );
     let outcomes = match arg_value("--out") {
         Some(path) => {

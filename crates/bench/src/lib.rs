@@ -16,6 +16,7 @@ pub mod fig0607;
 pub mod fig0809;
 pub mod fig1011;
 pub mod mechanisms;
+pub mod mux;
 pub mod obsrun;
 pub mod p2p;
 pub mod pbench;

@@ -103,6 +103,15 @@ impl Pallreduce {
         self.engine.parrived(u)
     }
 
+    /// Channel-table lookups the engine performed on its completion path so
+    /// far. Test support for the O(1)-per-event contract: the conformance
+    /// suite asserts this grows linearly with arrivals, never with an
+    /// O(channels) rescan factor.
+    #[doc(hidden)]
+    pub fn completion_lookup_ops(&self) -> u64 {
+        self.engine.completion_lookup_ops()
+    }
+
     /// `MPI_Wait`: progress the schedule (Algorithm 2) to completion.
     ///
     /// With `WorldConfig::wait_watchdog_us` armed, a stalled schedule

@@ -21,6 +21,7 @@
 
 use std::collections::BTreeMap;
 use std::ops::Range;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use parcomm_sim::Mutex;
@@ -32,22 +33,31 @@ use parcomm_sim::{Ctx, SimDuration, SimTime, SpanId};
 
 use crate::schedule::{Schedule, StepOp};
 
+/// Sentinel for "this peer has no channel" / "this step is not served" in
+/// the O(1) index arrays of the channel table.
+const NO_ENTRY: u32 = u32::MAX;
+
 /// A send channel to one neighbor, serving a set of schedule steps.
 struct SendChannel {
+    /// The neighbor rank this channel reaches.
+    peer: usize,
     sreq: PsendRequest,
     stage: Buffer,
     /// Schedule steps this channel carries, in order; the slot for
     /// `(partition u, step s)` is `u * steps.len() + index_of(s)`.
     steps: Vec<usize>,
-    slot_of_step: BTreeMap<usize, usize>,
+    /// Dense step → slot index (`NO_ENTRY` for steps this channel does not
+    /// serve): the per-arrival lookup is one array read, not a map walk.
+    slot_of_step: Vec<u32>,
 }
 
 /// A receive channel from one neighbor.
 struct RecvChannel {
+    peer: usize,
     rreq: PrecvRequest,
     stage: Buffer,
     steps: Vec<usize>,
-    slot_of_step: BTreeMap<usize, usize>,
+    slot_of_step: Vec<u32>,
 }
 
 /// Per-user-partition progression state (Algorithm 2's `states[part]`).
@@ -83,13 +93,22 @@ struct EngineInner {
     /// MPI-layer instruments (watchdog arm/fire counters), if the world
     /// has metrics enabled.
     instruments: Option<MpiInstruments>,
-    /// Per-peer channels, ordered by peer rank: `start`/`pbuf_prepare`
-    /// iterate these, and multi-peer schedules (the hierarchical ring has
-    /// up to four neighbors) need that order deterministic for digest
-    /// stability — a `HashMap`'s per-instance seed would reorder channel
-    /// starts run to run.
-    send: BTreeMap<usize, SendChannel>,
-    recv: BTreeMap<usize, RecvChannel>,
+    /// The channel table: channels dense in ascending-peer order (the
+    /// order `start`/`pbuf_prepare` iterate, and multi-peer schedules — the
+    /// hierarchical ring has up to four neighbors — need deterministic for
+    /// digest stability; a `HashMap`'s per-instance seed would reorder
+    /// channel starts run to run), plus peer-indexed arrays so the
+    /// per-event completion path resolves a channel in O(1) instead of a
+    /// map walk per flag arrival.
+    send: Vec<SendChannel>,
+    recv: Vec<RecvChannel>,
+    /// Peer rank → index into `send` / `recv` (`NO_ENTRY` when absent).
+    send_of_peer: Vec<u32>,
+    recv_of_peer: Vec<u32>,
+    /// Channel-table lookups performed on the completion path (arrival
+    /// checks and next-step sends). Digest-neutral; the conformance suite
+    /// asserts it stays linear in arrivals — no O(channels) rescans.
+    completion_lookups: AtomicU64,
     states: Mutex<Vec<PartState>>,
     /// Device-initiated readiness queue (collective device binding).
     pending_device: Mutex<std::collections::VecDeque<usize>>,
@@ -144,8 +163,19 @@ impl CollectiveEngine {
         }
 
         // Create the channels. Order init calls by peer rank so the two
-        // sides of each channel agree (matching is on (src, dst, tag)).
-        let mut send = BTreeMap::new();
+        // sides of each channel agree (matching is on (src, dst, tag));
+        // the table keeps that ascending-peer order as its dense layout.
+        let total_steps = schedule.steps.len();
+        let world_size = rank.size();
+        let slot_index = |steps: &[usize]| {
+            let mut slot_of_step = vec![NO_ENTRY; total_steps];
+            for (j, &s) in steps.iter().enumerate() {
+                slot_of_step[s] = j as u32;
+            }
+            slot_of_step
+        };
+        let mut send = Vec::with_capacity(out_steps.len());
+        let mut send_of_peer = vec![NO_ENTRY; world_size];
         let mut peers: Vec<usize> = out_steps.keys().copied().collect();
         peers.sort_unstable();
         let stripes = rank.world().config().stripes;
@@ -165,10 +195,12 @@ impl CollectiveEngine {
             if stripes > 1 && !rank.topology().same_node(rank.rank(), o) {
                 sreq.set_stripes(stripes)?;
             }
-            let slot_of_step = steps.iter().enumerate().map(|(j, &s)| (s, j)).collect();
-            send.insert(o, SendChannel { sreq, stage, steps, slot_of_step });
+            let slot_of_step = slot_index(&steps);
+            send_of_peer[o] = send.len() as u32;
+            send.push(SendChannel { peer: o, sreq, stage, steps, slot_of_step });
         }
-        let mut recv = BTreeMap::new();
+        let mut recv = Vec::with_capacity(in_steps.len());
+        let mut recv_of_peer = vec![NO_ENTRY; world_size];
         let mut peers: Vec<usize> = in_steps.keys().copied().collect();
         peers.sort_unstable();
         for inc in peers {
@@ -176,8 +208,9 @@ impl CollectiveEngine {
             let slots = user_partitions * steps.len();
             let stage = rank.gpu().alloc_global(slots * chunk_bytes);
             let rreq = precv_init(ctx, rank, inc, tag, &stage, slots)?;
-            let slot_of_step = steps.iter().enumerate().map(|(j, &s)| (s, j)).collect();
-            recv.insert(inc, RecvChannel { rreq, stage, steps, slot_of_step });
+            let slot_of_step = slot_index(&steps);
+            recv_of_peer[inc] = recv.len() as u32;
+            recv.push(RecvChannel { peer: inc, rreq, stage, steps, slot_of_step });
         }
 
         let states = (0..user_partitions)
@@ -205,6 +238,9 @@ impl CollectiveEngine {
                 instruments: rank.world().instruments(),
                 send,
                 recv,
+                send_of_peer,
+                recv_of_peer,
+                completion_lookups: AtomicU64::new(0),
                 states: Mutex::new(states),
                 pending_device: Mutex::new(std::collections::VecDeque::new()),
                 hook_active: Mutex::new(false),
@@ -220,12 +256,18 @@ impl CollectiveEngine {
         &self.inner.schedule
     }
 
+    /// Completion-path channel-table lookups so far (test support: the
+    /// conformance suite asserts this stays linear in arrivals).
+    pub(crate) fn completion_lookup_ops(&self) -> u64 {
+        self.inner.completion_lookups.load(Ordering::Relaxed)
+    }
+
     /// `MPI_Start` for every underlying channel plus state reset.
     pub(crate) fn start(&self, ctx: &mut Ctx) -> Result<(), MpiError> {
-        for ch in self.inner.send.values() {
+        for ch in &self.inner.send {
             ch.sreq.start(ctx)?;
         }
-        for ch in self.inner.recv.values() {
+        for ch in &self.inner.recv {
             ch.rreq.start(ctx)?;
         }
         let mut states = self.inner.states.lock();
@@ -247,10 +289,10 @@ impl CollectiveEngine {
     pub(crate) fn pbuf_prepare(&self, ctx: &mut Ctx) -> Result<(), MpiError> {
         // Receive channels reply/RTR first so no sender can block forever
         // waiting for its peer's receive side.
-        for ch in self.inner.recv.values() {
+        for ch in &self.inner.recv {
             ch.rreq.pbuf_prepare(ctx)?;
         }
-        for ch in self.inner.send.values() {
+        for ch in &self.inner.send {
             ch.sreq.pbuf_prepare(ctx)?;
         }
         Ok(())
@@ -381,8 +423,11 @@ impl CollectiveEngine {
     fn stage_and_send(&self, ctx: &mut Ctx, u: usize, s: usize) -> Result<(), MpiError> {
         let step = &self.inner.schedule.steps[s];
         for &o in &step.outgoing {
-            let ch = self.inner.send.get(&o).expect("send channel exists");
-            let j = ch.slot_of_step[&s];
+            self.inner.completion_lookups.fetch_add(1, Ordering::Relaxed);
+            let ci = self.inner.send_of_peer[o];
+            debug_assert_ne!(ci, NO_ENTRY, "send channel exists");
+            let ch = &self.inner.send[ci as usize];
+            let j = ch.slot_of_step[s] as usize;
             let slot = u * ch.steps.len() + j;
             // Stage the outgoing chunk (device-local copy), then Pready.
             let src_off = self.chunk_off(u, step.ready_offset);
@@ -426,8 +471,11 @@ impl CollectiveEngine {
                         if st.processed[xi] {
                             continue;
                         }
-                        let ch = self.inner.recv.get(&inc).expect("recv channel");
-                        let j = ch.slot_of_step[&s];
+                        self.inner.completion_lookups.fetch_add(1, Ordering::Relaxed);
+                        let ci = self.inner.recv_of_peer[inc];
+                        debug_assert_ne!(ci, NO_ENTRY, "recv channel exists");
+                        let ch = &self.inner.recv[ci as usize];
+                        let j = ch.slot_of_step[s] as usize;
                         let slot = u * ch.steps.len() + j;
                         if ch.rreq.parrived(slot) {
                             st.processed[xi] = true;
@@ -440,7 +488,7 @@ impl CollectiveEngine {
                 // kernels and synchronize the stream).
                 for &(inc, slot) in &arrived_now {
                     progressed = true;
-                    let ch = self.inner.recv.get(&inc).expect("recv channel");
+                    let ch = &self.inner.recv[self.inner.recv_of_peer[inc] as usize];
                     let dst_off = self.chunk_off(u, step.arrived_offset);
                     let stage_off = slot * self.inner.chunk_bytes;
                     match step.op {
@@ -589,7 +637,7 @@ impl CollectiveEngine {
                                     // pop is the exactly-once point.
                                     self.drain_device(ctx);
                                 }
-                                for ch in self.inner.send.values() {
+                                for ch in &self.inner.send {
                                     ch.sreq.recover_epoch(ctx);
                                 }
                                 stall_started = None;
@@ -602,10 +650,10 @@ impl CollectiveEngine {
                 self.wait_any_arrival(ctx);
             }
         }
-        for ch in self.inner.send.values() {
+        for ch in &self.inner.send {
             ch.sreq.wait(ctx)?;
         }
-        for ch in self.inner.recv.values() {
+        for ch in &self.inner.recv {
             ch.rreq.wait(ctx)?;
         }
         Ok(())
@@ -646,15 +694,15 @@ impl CollectiveEngine {
     /// slot). Test-support only.
     #[doc(hidden)]
     pub fn debug_dump_stages(&self, me: usize) {
-        for (peer, ch) in &self.inner.send {
+        for ch in &self.inner.send {
             let v: Vec<f64> =
                 (0..ch.steps.len()).map(|j| ch.stage.read_f64(j * self.inner.chunk_bytes)).collect();
-            println!("rank {me}: send→{peer} steps {:?} stage {v:?}", ch.steps);
+            println!("rank {me}: send→{} steps {:?} stage {v:?}", ch.peer, ch.steps);
         }
-        for (peer, ch) in &self.inner.recv {
+        for ch in &self.inner.recv {
             let v: Vec<f64> =
                 (0..ch.steps.len()).map(|j| ch.stage.read_f64(j * self.inner.chunk_bytes)).collect();
-            println!("rank {me}: recv←{peer} steps {:?} stage {v:?}", ch.steps);
+            println!("rank {me}: recv←{} steps {:?} stage {v:?}", ch.peer, ch.steps);
         }
     }
 
@@ -663,7 +711,7 @@ impl CollectiveEngine {
     /// bounded so the stall check in [`CollectiveEngine::wait`] re-runs.
     fn wait_any_arrival(&self, ctx: &mut Ctx) {
         if self.inner.recv.len() == 1 {
-            let ch = self.inner.recv.values().next().expect("one");
+            let ch = self.inner.recv.first().expect("one");
             let current = ch.rreq.arrived_count();
             let ev = ch.rreq.arrived_event().clone();
             // Wait for at least one more than we've seen (bounded by the

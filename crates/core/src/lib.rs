@@ -19,12 +19,14 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+mod batch;
 mod channel;
 mod device;
 mod overheads;
 mod recv;
 mod send;
 
+pub use batch::pbuf_prepare_batch;
 pub use device::{prequest_create, DevicePrequest, PrequestConfig};
 pub use overheads::{ApiOverheads, Overhead};
 pub use parcomm_mpi::{CopyMechanism, MpiError};

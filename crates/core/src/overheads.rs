@@ -31,6 +31,13 @@ pub struct ApiOverheads {
     /// Steady-state `MPIX_Pbuf_prepare` bookkeeping per side (the 3.4 µs
     /// average is dominated by the RTR signal's wire latency).
     pub pbuf_prepare_steady: Overhead,
+    /// Per-channel increment for channels *after the first* in one batched
+    /// `MPIX_Pbuf_prepare` tick ([`crate::pbuf_prepare_batch`]): the
+    /// once-per-process setup (deferred MCA init, endpoint warm-up) is
+    /// charged by the batch's first channel; every further channel pays
+    /// only its own registration bookkeeping. This is the admission-
+    /// batching amortization the mux layer relies on at 4096 channels.
+    pub pbuf_prepare_batch_extra: Overhead,
     /// Extra cost of `MPIX_P<collective>_init` on top of its constituent
     /// point-to-point inits (Table I: 62.3 ± 6.2 µs total).
     pub pcoll_init_extra: Overhead,
@@ -44,6 +51,7 @@ impl Default for ApiOverheads {
             pbuf_prepare_first_recv: Overhead { mean_us: 185.0, sd_us: 8.0 },
             pbuf_prepare_first_send: Overhead { mean_us: 5.0, sd_us: 1.0 },
             pbuf_prepare_steady: Overhead { mean_us: 0.5, sd_us: 0.15 },
+            pbuf_prepare_batch_extra: Overhead { mean_us: 2.5, sd_us: 0.6 },
             pcoll_init_extra: Overhead { mean_us: 28.0, sd_us: 4.0 },
         }
     }

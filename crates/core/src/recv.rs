@@ -193,6 +193,14 @@ impl PrecvRequest {
     /// deferred registration and rkey reply; later calls send the
     /// ready-to-receive signal.
     pub fn pbuf_prepare(&self, ctx: &mut Ctx) -> Result<(), MpiError> {
+        self.pbuf_prepare_charged(ctx, true)
+    }
+
+    /// [`PrecvRequest::pbuf_prepare`] with the overhead charge gated: a
+    /// batched tick ([`crate::pbuf_prepare_batch`]) charges the deferred
+    /// MCA-init portion of the first-call cost once for the whole batch and
+    /// bills every further channel only its own registration increment.
+    pub(crate) fn pbuf_prepare_charged(&self, ctx: &mut Ctx, charge: bool) -> Result<(), MpiError> {
         let (first, epoch) = {
             let st = self.inner.state.lock();
             if !st.started {
@@ -206,7 +214,12 @@ impl PrecvRequest {
         if first {
             // Deferred MCA init + ucp_mem_map of data and flag regions +
             // rkey packing: the bulk of the paper's 193.4 µs first-call cost.
-            ctx.advance(ApiOverheads::sample(ctx, inner.overheads.pbuf_prepare_first_recv));
+            let o = if charge {
+                inner.overheads.pbuf_prepare_first_recv
+            } else {
+                inner.overheads.pbuf_prepare_batch_extra
+            };
+            ctx.advance(ApiOverheads::sample(ctx, o));
             let setup_tag = am_tag(Channel::Setup, inner.tag, inner.src, inner.my_rank);
             let msg = inner.recv_handshake(ctx, setup_tag, "sender setup")?;
             let ss = msg.payload.downcast::<SenderSetup>().expect("setup payload type mismatch");

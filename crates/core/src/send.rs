@@ -392,6 +392,15 @@ impl PsendRequest {
     /// `MPIX_Pbuf_prepare` (sender side): block until the receiver's buffer
     /// is guaranteed ready for this epoch.
     pub fn pbuf_prepare(&self, ctx: &mut Ctx) -> Result<(), MpiError> {
+        self.pbuf_prepare_charged(ctx, true)
+    }
+
+    /// [`PsendRequest::pbuf_prepare`] with the overhead charge gated: a
+    /// batched tick ([`crate::pbuf_prepare_batch`]) charges the full
+    /// first-call overhead once and bills every further channel the
+    /// per-channel batch increment instead. The handshake protocol itself
+    /// (reply / RTR consumption) is identical either way.
+    pub(crate) fn pbuf_prepare_charged(&self, ctx: &mut Ctx, charge: bool) -> Result<(), MpiError> {
         let (first, epoch) = {
             let st = self.inner.state.lock();
             if !st.started {
@@ -402,7 +411,12 @@ impl PsendRequest {
             (!st.prepared, st.epoch)
         };
         if first {
-            ctx.advance(ApiOverheads::sample(ctx, self.inner.overheads.pbuf_prepare_first_send));
+            let o = if charge {
+                self.inner.overheads.pbuf_prepare_first_send
+            } else {
+                self.inner.overheads.pbuf_prepare_batch_extra
+            };
+            ctx.advance(ApiOverheads::sample(ctx, o));
             let reply_tag = am_tag(Channel::SetupReply, self.inner.tag, self.inner.my_rank, self.inner.dest);
             let msg = self.recv_handshake(ctx, reply_tag, "setup reply")?;
             // The receiver decides the mechanism and its reply *type* is the

@@ -36,6 +36,12 @@ pub struct CampaignConfig {
     /// Under `Shmem` the intra-node engine channels ride the symmetric
     /// heap while cross-node channels demote to the Progression Engine.
     pub mechanism: CopyMechanism,
+    /// Per-rank mux channel budget (`--channels`). At the default `1`
+    /// every cell drives the classic single-collective allreduce; above 1
+    /// the cell switches to the mux-enabled MoE workload
+    /// ([`chaos::run_moe_cell`]) so the same fault grid lands on
+    /// multiplexed load — {1, 64, 1024} is the canonical axis.
+    pub channels: usize,
 }
 
 impl CampaignConfig {
@@ -57,6 +63,7 @@ impl CampaignConfig {
             nodes: 2,
             stripes: vec![1, 4],
             mechanism: CopyMechanism::ProgressionEngine,
+            channels: 1,
         }
     }
 }
@@ -72,6 +79,8 @@ pub struct CellOutcome {
     pub stripes: usize,
     /// Copy mechanism this cell's world negotiated.
     pub mechanism: CopyMechanism,
+    /// Per-rank mux channel budget (1 = classic allreduce workload).
+    pub channels: usize,
     /// Trace digest of the faulted run.
     pub digest: u64,
     /// Virtual completion time (µs) of the faulted run.
@@ -94,11 +103,12 @@ impl CellOutcome {
     /// diffing two reports proves two runs agreed cell for cell).
     pub fn render(&self) -> String {
         format!(
-            "seed={:#x} rate={} stripes={} mech={} digest={:#018x} end_us={:.3} survived={} replayed={} numeric_ok={}",
+            "seed={:#x} rate={} stripes={} mech={} channels={} digest={:#018x} end_us={:.3} survived={} replayed={} numeric_ok={}",
             self.fault_seed,
             self.rate,
             self.stripes,
             self.mechanism.short_name(),
+            self.channels,
             self.digest,
             self.end_time_us,
             self.survived,
@@ -118,6 +128,7 @@ impl CellValue for CellOutcome {
                 "mechanism".to_string(),
                 JsonValue::String(self.mechanism.short_name().to_string()),
             ),
+            ("channels".to_string(), (self.channels as u64).to_json()),
             ("digest".to_string(), self.digest.to_json()),
             ("end_time_us".to_string(), self.end_time_us.to_json()),
             ("survived".to_string(), self.survived.to_json()),
@@ -132,6 +143,11 @@ impl CellValue for CellOutcome {
             rate: f64::from_json(v.get("rate")?)?,
             stripes: u64::from_json(v.get("stripes")?)? as usize,
             mechanism: CopyMechanism::from_short_name(v.get("mechanism")?.as_str()?)?,
+            // Absent in sinks written before the channels axis existed.
+            channels: match v.get("channels") {
+                Some(c) => u64::from_json(c)? as usize,
+                None => 1,
+            },
             digest: u64::from_json(v.get("digest")?)?,
             end_time_us: f64::from_json(v.get("end_time_us")?)?,
             survived: bool::from_json(v.get("survived")?)?,
@@ -148,8 +164,15 @@ impl CellValue for CellOutcome {
 /// the single-path numerics bit for bit, chaos or not.
 pub fn campaign_spec(cfg: &CampaignConfig) -> SweepSpec<CellOutcome> {
     let mechanism = cfg.mechanism;
-    let clean =
-        chaos::run_allreduce_cell(cfg.sim_seed, &FaultPlan::none(), cfg.nodes, 1, mechanism, None);
+    let channels = cfg.channels;
+    let run = move |sim_seed: u64, plan: &FaultPlan, nodes: u16, stripes: usize| {
+        if channels > 1 {
+            chaos::run_moe_cell(sim_seed, plan, nodes, channels, stripes, mechanism, None)
+        } else {
+            chaos::run_allreduce_cell(sim_seed, plan, nodes, stripes, mechanism, None)
+        }
+    };
+    let clean = run(cfg.sim_seed, &FaultPlan::none(), cfg.nodes, 1);
     let mut spec = SweepSpec::new();
     for fault_seed in cfg.base_fault_seed..cfg.base_fault_seed + cfg.seeds {
         for &rate in &cfg.rates {
@@ -158,21 +181,20 @@ pub fn campaign_spec(cfg: &CampaignConfig) -> SweepSpec<CellOutcome> {
                 let (sim_seed, nodes) = (cfg.sim_seed, cfg.nodes);
                 let mech = mechanism.short_name();
                 spec.cell(
-                    format!("seed={fault_seed:#x},rate={rate},stripes={stripes},mech={mech}"),
+                    format!(
+                        "seed={fault_seed:#x},rate={rate},stripes={stripes},mech={mech},channels={channels}"
+                    ),
                     move || {
                         let plan =
                             FaultPlan::chaos(fault_seed, rate).expect("grid rates are in [0, 1]");
-                        let a = chaos::run_allreduce_cell(
-                            sim_seed, &plan, nodes, stripes, mechanism, None,
-                        );
-                        let b = chaos::run_allreduce_cell(
-                            sim_seed, &plan, nodes, stripes, mechanism, None,
-                        );
+                        let a = run(sim_seed, &plan, nodes, stripes);
+                        let b = run(sim_seed, &plan, nodes, stripes);
                         CellOutcome {
                             fault_seed,
                             rate,
                             stripes,
                             mechanism,
+                            channels,
                             digest: a.digest,
                             end_time_us: a.end_time_us,
                             survived: a.survived(),
@@ -217,6 +239,7 @@ mod tests {
             rate: 0.4,
             stripes: 4,
             mechanism: CopyMechanism::Shmem,
+            channels: 64,
             digest: 0xdead_beef_dead_beef,
             end_time_us: 1234.5,
             survived: true,
@@ -230,9 +253,16 @@ mod tests {
             line.contains("seed=0x5eed")
                 && line.contains("stripes=4")
                 && line.contains("mech=shmem")
+                && line.contains("channels=64")
                 && line.contains("numeric_ok=false"),
             "{line}"
         );
+        // Sinks written before the channels axis still restore (axis = 1).
+        let mut legacy = cell.to_json();
+        if let JsonValue::Object(fields) = &mut legacy {
+            fields.retain(|(k, _)| k != "channels");
+        }
+        assert_eq!(CellOutcome::from_json(&legacy).map(|c| c.channels), Some(1));
     }
 
     #[test]
@@ -247,6 +277,7 @@ mod tests {
             nodes: 1,
             stripes: vec![1],
             mechanism: CopyMechanism::ProgressionEngine,
+            channels: 1,
         };
         let serial = run_campaign(&cfg, 1);
         let parallel = run_campaign(&cfg, 4);
@@ -268,6 +299,7 @@ mod tests {
             nodes: 1,
             stripes: vec![1],
             mechanism: CopyMechanism::Shmem,
+            channels: 1,
         };
         let outcomes = run_campaign(&cfg, 2);
         assert!(outcomes.iter().all(CellOutcome::ok), "{outcomes:?}");
@@ -279,5 +311,28 @@ mod tests {
             2,
         );
         assert_ne!(outcomes[0].digest, pe[0].digest, "mechanism axis must move the digest");
+    }
+
+    #[test]
+    fn campaign_runs_the_moe_cell_on_the_channels_axis() {
+        // channels > 1 switches every cell to the mux-admitted MoE
+        // workload; the contract (survive, replay, bit-identical numerics)
+        // must hold under multiplexed load exactly as it does for the
+        // single collective.
+        let cfg = CampaignConfig {
+            sim_seed: 0xFA017,
+            base_fault_seed: 0x5EED,
+            seeds: 1,
+            rates: vec![0.4],
+            nodes: 1,
+            stripes: vec![1],
+            mechanism: CopyMechanism::ProgressionEngine,
+            channels: 64,
+        };
+        let moe = run_campaign(&cfg, 2);
+        assert!(moe.iter().all(CellOutcome::ok), "{moe:?}");
+        assert!(moe.iter().all(|o| o.channels == 64));
+        let classic = run_campaign(&CampaignConfig { channels: 1, ..cfg }, 2);
+        assert_ne!(moe[0].digest, classic[0].digest, "channels axis must move the workload");
     }
 }

@@ -17,7 +17,7 @@
 
 use std::sync::Arc;
 
-use parcomm_apps::{run_jacobi, JacobiConfig, JacobiModel};
+use parcomm_apps::{run_jacobi, run_moe, JacobiConfig, JacobiModel, MoeConfig};
 use parcomm_coll::pallreduce_init;
 use parcomm_core::{precv_init, prequest_create, psend_init, CopyMechanism, PrequestConfig};
 use parcomm_gpu::KernelSpec;
@@ -199,6 +199,70 @@ pub fn run_device_p2p_cell(
             cfg.recover = recover;
         },
         move |ctx, rank| device_p2p_body(ctx, rank, mechanism),
+    )
+}
+
+/// The MoE cell configuration for a `channels`-per-rank budget on a
+/// `nodes`-node world: tenants are scaled so every rank admits roughly
+/// `channels` mux channels (each tenant opens 4 channels per peer —
+/// dispatch/combine × send/recv), with an 8:1 hot tenant up front whenever
+/// there is more than one. Tiny tokens keep the per-channel payload cheap
+/// so the axis scales channel *count*, not bytes.
+pub fn moe_chaos_config(nodes: u16, channels: usize, mechanism: CopyMechanism) -> MoeConfig {
+    let peers = nodes as usize * 4 - 1;
+    let tenants = (channels / (4 * peers)).max(1);
+    let mut tenant_weights = vec![1u64; tenants];
+    tenant_weights[0] = if tenants > 1 { 8 } else { 1 };
+    MoeConfig {
+        tenants,
+        tenant_weights,
+        tokens_per_rank: 8,
+        hidden: 2,
+        layers: 1,
+        capacity_factor_pct: 200,
+        mechanism,
+        functional: true,
+        seed: 0x0E0E,
+    }
+}
+
+/// The mux-enabled MoE chaos workload: every rank admits its share of a
+/// ~`channels`-channel grid through a `MuxService` (batched ticks,
+/// weighted-fair admission, indexed channel table) and runs one
+/// dispatch/combine layer, so fault classes meet *multiplexed* load — many
+/// concurrent partitioned channels — instead of the single collective the
+/// classic cells drive. Under `KernelCopy` and `Shmem` the sends are
+/// device-initiated, so flag-write and shmem-signal fault schedules land
+/// on real MoE emissions. The kept numeric observable is rank 0's
+/// `(checksum, tokens_routed, tokens_dropped, channels)`.
+pub fn run_moe_cell(
+    seed: u64,
+    plan: &FaultPlan,
+    nodes: u16,
+    channels: usize,
+    stripes: usize,
+    mechanism: CopyMechanism,
+    recover: Option<parcomm_mpi::RecoverConfig>,
+) -> ChaosRun {
+    let cfg = moe_chaos_config(nodes, channels, mechanism);
+    run_world_with(
+        seed,
+        plan,
+        nodes,
+        move |w| {
+            w.stripes = stripes;
+            w.mechanism = mechanism;
+            w.recover = recover;
+        },
+        move |ctx, rank| {
+            let res = run_moe(ctx, rank, &cfg)?;
+            Ok(vec![
+                res.checksum,
+                res.tokens_routed as f64,
+                res.tokens_dropped as f64,
+                res.channels as f64,
+            ])
+        },
     )
 }
 

@@ -204,6 +204,21 @@ pub fn mechanism_point(mechanism: CopyMechanism, point: &str) -> String {
     format!("{}:{point}", mechanism.short_name())
 }
 
+/// Qualify a coverage point with the channel-count axis: the same fault
+/// class meeting *multiplexed* load (the mux-admitted MoE cell at 64 or
+/// 1024 channels) exercises the admission batcher, the indexed channel
+/// table, and per-tenant drain paths the single-collective cell never
+/// touches, so `c64:pe:pe_stall@mpi` is a distinct point from
+/// `pe:pe_stall@mpi`. The classic `channels == 1` space keeps its
+/// unprefixed keys.
+pub fn channel_point(channels: usize, point: &str) -> String {
+    if channels > 1 {
+        format!("c{channels}:{point}")
+    } else {
+        point.to_string()
+    }
+}
+
 /// The coverage points the classic fixed grid reaches, computed honestly
 /// from the grid's own plans (every `chaos(seed, rate)` cell injects the
 /// same class mix, so this saturates at a handful of points — all on the
@@ -232,23 +247,38 @@ pub enum Expectation {
     TypedFailure,
 }
 
-/// The contract classification for a plan: lost flag writes are the one
-/// class recovery cannot paper over (the partition is never marked ready,
-/// so there is nothing to replay); everything else must recover when the
-/// escalation ladder is armed. With recovery disabled, a PE crash is also
-/// expected to surface as a typed error. Classes the campaign's copy
-/// `mechanism` cannot exercise (shmem-signal faults under the classic
-/// protocols) are inert and never flip the expectation.
+/// [`expectation_at`] on the classic single-channel axis.
 pub fn expectation(
     plan: &FaultPlan,
     recover_enabled: bool,
     mechanism: CopyMechanism,
 ) -> Expectation {
+    expectation_at(plan, recover_enabled, mechanism, 1)
+}
+
+/// The contract classification for a plan: on the classic axis
+/// (`channels == 1`) lost flag writes are the one class recovery cannot
+/// paper over — the collective engine hands all partitions to the host in
+/// one aggregated flag write, and a lost aggregate leaves nothing to
+/// replay. On the multiplexed axis the MoE cell runs over plain
+/// partitioned channels, where the escalation ladder *can* re-drive the
+/// epoch host-side, so a lost flag write recovers whenever the ladder is
+/// armed. Everything else must recover when the escalation ladder is
+/// armed; with recovery disabled, a PE crash is also expected to surface
+/// as a typed error. Classes the campaign's copy `mechanism` cannot
+/// exercise (shmem-signal faults under the classic protocols) are inert
+/// and never flip the expectation.
+pub fn expectation_at(
+    plan: &FaultPlan,
+    recover_enabled: bool,
+    mechanism: CopyMechanism,
+    channels: usize,
+) -> Expectation {
     let classes: Vec<FaultClass> = classes_of(plan)
         .into_iter()
         .filter(|c| c.requires_mechanism().map(|m| m == mechanism).unwrap_or(true))
         .collect();
-    if classes.contains(&FaultClass::FlagLoss) {
+    if classes.contains(&FaultClass::FlagLoss) && (channels == 1 || !recover_enabled) {
         return Expectation::TypedFailure;
     }
     if classes.contains(&FaultClass::PeCrash) && !recover_enabled {
@@ -366,6 +396,12 @@ pub struct CoverageCampaignConfig {
     /// the shmem-signal fault classes; under the classic protocols those
     /// classes are inert and never scheduled.
     pub mechanism: CopyMechanism,
+    /// Per-rank mux channel budget — the multiplexed-load axis
+    /// (`--channels`, canonical values {1, 64, 1024}). At the default `1`
+    /// cells observe the classic workloads; above 1 every cell observes
+    /// the mux-admitted MoE dispatch/combine instead, and covered points
+    /// gain a `c<channels>:` qualifier.
+    pub channels: usize,
     /// Cap on shrink steps when bisecting a contract violation.
     pub max_shrink_steps: u32,
 }
@@ -379,6 +415,7 @@ impl Default for CoverageCampaignConfig {
             nodes: 2,
             recover: true,
             mechanism: CopyMechanism::ProgressionEngine,
+            channels: 1,
             max_shrink_steps: 24,
         }
     }
@@ -434,19 +471,25 @@ fn wants_device_p2p(plan: &FaultPlan) -> bool {
     classes_of(plan).iter().any(|c| c.requires_mechanism() == Some(CopyMechanism::Shmem))
 }
 
-/// Run the workload one cell observes — the canonical two-node partitioned
-/// allreduce over `mechanism`, or the device-initiated p2p epoch for plans
-/// carrying shmem-signal faults — with the recovery ladder armed iff
-/// `recover`.
+/// Run the workload one cell observes. At `channels == 1` that is the
+/// canonical two-node partitioned allreduce over `mechanism`, or the
+/// device-initiated p2p epoch for plans carrying shmem-signal faults; at
+/// `channels > 1` every plan observes the mux-admitted MoE
+/// dispatch/combine cell instead (device-driven under `KernelCopy` and
+/// `Shmem`, so flag-write and shmem-signal schedules land on multiplexed
+/// emissions directly). The recovery ladder is armed iff `recover`.
 fn run_cell(
     sim_seed: u64,
     plan: &FaultPlan,
     nodes: u16,
     recover: bool,
     mechanism: CopyMechanism,
+    channels: usize,
 ) -> chaos::ChaosRun {
     let recover_cfg = if recover { Some(RecoverConfig::default()) } else { None };
-    if wants_device_p2p(plan) {
+    if channels > 1 {
+        chaos::run_moe_cell(sim_seed, plan, nodes, channels, 1, mechanism, recover_cfg)
+    } else if wants_device_p2p(plan) {
         chaos::run_device_p2p_cell(sim_seed, plan, nodes, mechanism, recover_cfg)
     } else {
         chaos::run_allreduce_cell(sim_seed, plan, nodes, 1, mechanism, recover_cfg)
@@ -456,25 +499,31 @@ fn run_cell(
 /// Evaluate the contract for `plan`; `Pass` when upheld. Two clean
 /// baselines because the cell workload is plan-dependent (shrinking can
 /// move a plan across the workload boundary mid-bisection).
+#[allow(clippy::too_many_arguments)]
 fn contract(
     sim_seed: u64,
     plan: &FaultPlan,
     nodes: u16,
     recover: bool,
     mechanism: CopyMechanism,
-    clean_allreduce: &[f64],
+    channels: usize,
+    clean_primary: &[f64],
     clean_p2p: &[f64],
 ) -> TestResult {
-    let a = run_cell(sim_seed, plan, nodes, recover, mechanism);
-    let b = run_cell(sim_seed, plan, nodes, recover, mechanism);
-    let expect = expectation(plan, recover, mechanism);
+    let a = run_cell(sim_seed, plan, nodes, recover, mechanism, channels);
+    let b = run_cell(sim_seed, plan, nodes, recover, mechanism, channels);
+    let expect = expectation_at(plan, recover, mechanism, channels);
     if a.digest != b.digest {
         return TestResult::Fail(format!(
             "replay diverged: {:#x} vs {:#x}",
             a.digest, b.digest
         ));
     }
-    let clean_numeric = if wants_device_p2p(plan) { clean_p2p } else { clean_allreduce };
+    let clean_numeric = if channels == 1 && wants_device_p2p(plan) {
+        clean_p2p
+    } else {
+        clean_primary
+    };
     match expect {
         Expectation::Recover => {
             if !a.survived() {
@@ -499,11 +548,23 @@ fn contract(
 /// Synthesize a plan that injects exactly `classes`, with parameters drawn
 /// from `rng`. All windows are finite and placed so recoverable classes
 /// stay inside the escalation ladder's reach.
-fn synthesize(classes: &[FaultClass], rng: &mut SimRng, nodes: u16) -> FaultPlan {
+///
+/// Timed windows are placed against the cell workload's virtual-time
+/// horizon. The classic cells (`channels == 1`) finish in about a
+/// millisecond, so their windows keep the hand-tuned literals below. The
+/// multiplexed MoE cell spends its first milliseconds admitting channels
+/// and only drains its epochs near the end — roughly 75 µs of virtual
+/// time per admitted channel (~4.8 ms at 64 channels, measured) — so at
+/// `channels > 1` the stall/crash/outage windows stretch across that
+/// horizon instead of expiring before the multiplexed traffic exists.
+fn synthesize(classes: &[FaultClass], rng: &mut SimRng, nodes: u16, channels: usize) -> FaultPlan {
     let ranks = nodes as usize * 4;
+    let horizon = 75.0 * channels as f64;
     // 200 ms: past the full replay budget (4 × 20 ms detection windows)
-    // but cheap for wedged unrecoverable cells.
-    let mut plan = FaultPlan::none().with_watchdog(200_000.0);
+    // but cheap for wedged unrecoverable cells. Multiplexed cells scale it
+    // with the horizon so a long stall still drains before the watchdog.
+    let watchdog = if channels > 1 { 200_000.0_f64.max(8.0 * horizon) } else { 200_000.0 };
+    let mut plan = FaultPlan::none().with_watchdog(watchdog);
     let drop = if classes.contains(&FaultClass::LinkDrop) {
         0.05 + 0.30 * rng.uniform()
     } else {
@@ -520,10 +581,17 @@ fn synthesize(classes: &[FaultClass], rng: &mut SimRng, nodes: u16) -> FaultPlan
     if classes.contains(&FaultClass::NicOutage) {
         // Cross-node data puts fly between ~400 and ~800 µs fault-free;
         // open the window inside that band so the outage meets traffic.
+        // Multiplexed cells put their cross-node puts near the end of the
+        // horizon, so the window opens later and spans most of the run.
         let node = (rng.uniform_range(0, nodes as u64)) as u16;
         let nic = rng.uniform_range(0, 4) as u8;
-        let from = 300.0 + 300.0 * rng.uniform();
-        let until = from + 1_000.0 + 1_000.0 * rng.uniform();
+        let (from, until) = if channels > 1 {
+            let from = (0.05 + 0.35 * rng.uniform()) * horizon;
+            (from, from + (0.4 + 0.6 * rng.uniform()) * horizon)
+        } else {
+            let from = 300.0 + 300.0 * rng.uniform();
+            (from, from + 1_000.0 + 1_000.0 * rng.uniform())
+        };
         plan = plan.with_nic_outage(node, nic, from, until).expect("finite ordered window");
     }
     if classes.contains(&FaultClass::MultiNicOutage) {
@@ -540,19 +608,34 @@ fn synthesize(classes: &[FaultClass], rng: &mut SimRng, nodes: u16) -> FaultPlan
         }
     }
     if classes.contains(&FaultClass::PeStall) {
-        // While the engine is actively draining preadys (first ~200 µs).
+        // While the engine is actively draining preadys: the first
+        // ~200 µs on the classic cells. The MoE cell's preadys all land
+        // near the end of the horizon, so the stall opens early but lasts
+        // long enough to still be in force when the drain happens.
         let rank = rng.uniform_range(0, ranks as u64) as usize;
-        let at = 20.0 + 130.0 * rng.uniform();
-        let stall = 200.0 + 1_800.0 * rng.uniform();
+        let (at, stall) = if channels > 1 {
+            (
+                (0.05 + 0.25 * rng.uniform()) * horizon,
+                (0.9 + 0.4 * rng.uniform()) * horizon,
+            )
+        } else {
+            (20.0 + 130.0 * rng.uniform(), 200.0 + 1_800.0 * rng.uniform())
+        };
         plan = plan.with_pe_stall(rank, at, stall);
     }
     if classes.contains(&FaultClass::PeCrash) {
         // Mid-epoch: after channel setup begins, before the engine has
         // drained the device preadys (the epoch completes in ~500–800 µs
         // fault-free, so a crash past ~200 µs can land after the PE's
-        // work is already done and exercise nothing).
+        // work is already done and exercise nothing). A crash is
+        // permanent, so on multiplexed cells any point in the first half
+        // of the horizon lands before the late pready drain.
         let rank = rng.uniform_range(0, ranks as u64) as usize;
-        let at = 20.0 + 140.0 * rng.uniform();
+        let at = if channels > 1 {
+            (0.02 + 0.4 * rng.uniform()) * horizon
+        } else {
+            20.0 + 140.0 * rng.uniform()
+        };
         plan = plan.with_pe_crash(rank, at);
     }
     if classes.contains(&FaultClass::FlagDelay) {
@@ -581,28 +664,41 @@ fn synthesize(classes: &[FaultClass], rng: &mut SimRng, nodes: u16) -> FaultPlan
     plan
 }
 
-/// The classes `mechanism` can actually exercise: shmem-signal faults need
-/// symmetric-heap channels; the flag-write classes need the classic
-/// device→PE notification path that shmem channels bypass (on a mixed
-/// multi-node shmem world whether a flag fault bites depends on which rank
-/// it lands on, so the search skips them rather than schedule cells whose
-/// contract is rank-placement roulette).
-fn mechanism_classes(mechanism: CopyMechanism) -> Vec<FaultClass> {
+/// The classes `(mechanism, channels)` can actually exercise: shmem-signal
+/// faults need symmetric-heap channels; the flag-write classes need the
+/// classic device→PE notification path that shmem channels bypass (on a
+/// mixed multi-node shmem world whether a flag fault bites depends on
+/// which rank it lands on, so the search skips them rather than schedule
+/// cells whose contract is rank-placement roulette — the MoE cell is
+/// GPU-initiated under every mechanism, so the same two rules carry over
+/// unchanged to the multiplexed axis). One rule is multiplexed-axis only:
+/// the all-rails outage is skipped at `channels > 1` because its
+/// synthesized window cannot avoid the much longer multi-channel
+/// admission handshake, which is the documented survivability limit
+/// rather than a recovery target (the `channels == 1` axis covers the
+/// class).
+fn mechanism_classes(mechanism: CopyMechanism, channels: usize) -> Vec<FaultClass> {
     FaultClass::ALL
         .into_iter()
         .filter(|c| match c.requires_mechanism() {
             Some(m) => m == mechanism,
-            None => !(mechanism == CopyMechanism::Shmem
-                && matches!(c, FaultClass::FlagDelay | FaultClass::FlagLoss)),
+            None => match c {
+                FaultClass::FlagDelay | FaultClass::FlagLoss => {
+                    mechanism != CopyMechanism::Shmem
+                }
+                FaultClass::MultiNicOutage => channels == 1,
+                _ => true,
+            },
         })
         .collect()
 }
 
 /// Canonical target list: every single class, then every unordered pair,
 /// keyed by the coverage point the target is meant to reach — restricted
-/// to the classes the campaign's copy mechanism can exercise.
-fn targets(mechanism: CopyMechanism) -> Vec<(String, Vec<FaultClass>)> {
-    let classes = mechanism_classes(mechanism);
+/// to the classes the campaign's copy mechanism and channel budget can
+/// exercise.
+fn targets(mechanism: CopyMechanism, channels: usize) -> Vec<(String, Vec<FaultClass>)> {
+    let classes = mechanism_classes(mechanism, channels);
     let mut out = Vec::new();
     for &c in &classes {
         out.push((format!("{}@{}", c.key(), c.layer_key()), vec![c]));
@@ -628,7 +724,14 @@ fn targets(mechanism: CopyMechanism) -> Vec<(String, Vec<FaultClass>)> {
 /// cell *execution* fans out, so the report renders byte-identically at
 /// any worker count.
 pub fn run_coverage_campaign(cfg: &CoverageCampaignConfig, threads: usize) -> CoverageReport {
-    let clean = run_cell(cfg.sim_seed, &FaultPlan::none(), cfg.nodes, cfg.recover, cfg.mechanism);
+    let clean = run_cell(
+        cfg.sim_seed,
+        &FaultPlan::none(),
+        cfg.nodes,
+        cfg.recover,
+        cfg.mechanism,
+        cfg.channels,
+    );
     let clean_numeric = clean.numeric.clone();
     // Fault-free baseline of the *other* cell workload (plans carrying
     // shmem-signal faults observe the device p2p epoch, see `run_cell`).
@@ -640,7 +743,7 @@ pub fn run_coverage_campaign(cfg: &CoverageCampaignConfig, threads: usize) -> Co
         if cfg.recover { Some(RecoverConfig::default()) } else { None },
     );
     let clean_p2p_numeric = clean_p2p.numeric.clone();
-    let all_targets = targets(cfg.mechanism);
+    let all_targets = targets(cfg.mechanism, cfg.channels);
     let mut covered: BTreeSet<String> = BTreeSet::new();
     let mut outcomes: Vec<CoverageOutcome> = Vec::new();
     let mut failures: Vec<MinimizedFailure> = Vec::new();
@@ -667,7 +770,7 @@ pub fn run_coverage_campaign(cfg: &CoverageCampaignConfig, threads: usize) -> Co
                     cfg.search_seed ^ (round as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)
                         ^ fnv(key.as_bytes()),
                 );
-                (key.clone(), synthesize(classes, &mut rng, cfg.nodes))
+                (key.clone(), synthesize(classes, &mut rng, cfg.nodes, cfg.channels))
             })
             .collect();
         if batch.is_empty() {
@@ -676,16 +779,16 @@ pub fn run_coverage_campaign(cfg: &CoverageCampaignConfig, threads: usize) -> Co
         let mut spec: SweepSpec<(u64, bool, bool, bool, bool)> = SweepSpec::new();
         for (key, plan) in &batch {
             let plan = plan.clone();
-            let (sim_seed, nodes, recover, mechanism) =
-                (cfg.sim_seed, cfg.nodes, cfg.recover, cfg.mechanism);
-            let (clean_digest, clean_numeric) = if wants_device_p2p(&plan) {
+            let (sim_seed, nodes, recover, mechanism, channels) =
+                (cfg.sim_seed, cfg.nodes, cfg.recover, cfg.mechanism, cfg.channels);
+            let (clean_digest, clean_numeric) = if channels == 1 && wants_device_p2p(&plan) {
                 (clean_p2p.digest, clean_p2p_numeric.clone())
             } else {
                 (clean.digest, clean_numeric.clone())
             };
             spec.cell(format!("r{round}:{key}"), move || {
-                let a = run_cell(sim_seed, &plan, nodes, recover, mechanism);
-                let b = run_cell(sim_seed, &plan, nodes, recover, mechanism);
+                let a = run_cell(sim_seed, &plan, nodes, recover, mechanism, channels);
+                let b = run_cell(sim_seed, &plan, nodes, recover, mechanism, channels);
                 (
                     a.digest,
                     a.digest != clean_digest,
@@ -703,7 +806,7 @@ pub fn run_coverage_campaign(cfg: &CoverageCampaignConfig, threads: usize) -> Co
             let outcome = CoverageOutcome {
                 round,
                 target: key.clone(),
-                expectation: expectation(&plan, cfg.recover, cfg.mechanism),
+                expectation: expectation_at(&plan, cfg.recover, cfg.mechanism, cfg.channels),
                 plan: plan.clone(),
                 digest,
                 perturbed,
@@ -712,7 +815,9 @@ pub fn run_coverage_campaign(cfg: &CoverageCampaignConfig, threads: usize) -> Co
                 numeric_ok,
             };
             covered.extend(
-                coverage_points(&plan).iter().map(|p| mechanism_point(cfg.mechanism, p)),
+                coverage_points(&plan)
+                    .iter()
+                    .map(|p| channel_point(cfg.channels, &mechanism_point(cfg.mechanism, p))),
             );
             if !outcome.ok() {
                 let reason = format!(
@@ -720,8 +825,8 @@ pub fn run_coverage_campaign(cfg: &CoverageCampaignConfig, threads: usize) -> Co
                      (expected {:?})",
                     outcome.expectation
                 );
-                let (sim_seed, nodes, recover, mechanism) =
-                    (cfg.sim_seed, cfg.nodes, cfg.recover, cfg.mechanism);
+                let (sim_seed, nodes, recover, mechanism, channels) =
+                    (cfg.sim_seed, cfg.nodes, cfg.recover, cfg.mechanism, cfg.channels);
                 let clean_numeric = clean_numeric.clone();
                 let clean_p2p_numeric = clean_p2p_numeric.clone();
                 let eval = move |p: &FaultPlan| -> TestResult {
@@ -731,6 +836,7 @@ pub fn run_coverage_campaign(cfg: &CoverageCampaignConfig, threads: usize) -> Co
                         nodes,
                         recover,
                         mechanism,
+                        channels,
                         &clean_numeric,
                         &clean_p2p_numeric,
                     )
@@ -887,12 +993,30 @@ mod tests {
     fn synthesis_hits_requested_classes() {
         let mut rng = SimRng::seeded(7);
         for c in FaultClass::ALL {
-            let plan = synthesize(&[c], &mut rng, 2);
+            let plan = synthesize(&[c], &mut rng, 2, 1);
             assert_eq!(classes_of(&plan), vec![c], "single-class synthesis for {c:?}");
             plan.validate().expect("synthesized plans validate");
         }
-        let plan = synthesize(&[FaultClass::PeCrash, FaultClass::FlagDelay], &mut rng, 2);
+        let plan = synthesize(&[FaultClass::PeCrash, FaultClass::FlagDelay], &mut rng, 2, 1);
         assert_eq!(classes_of(&plan), vec![FaultClass::PeCrash, FaultClass::FlagDelay]);
+    }
+
+    #[test]
+    fn multiplexed_synthesis_scales_windows_to_the_moe_horizon() {
+        // The 64-channel MoE cell runs ~4.8 ms of virtual time with the
+        // pready drain at the end; a classic 20–150 µs stall window would
+        // expire before the multiplexed traffic exists.
+        let horizon = 75.0 * 64.0;
+        for seed in 0..16u64 {
+            let mut rng = SimRng::seeded(seed);
+            let plan = synthesize(&[FaultClass::PeStall], &mut rng, 2, 64);
+            let (_, f) = plan.pe.first().expect("stall entry");
+            assert!(f.stall_at_us + f.stall_us >= 0.9 * horizon, "stall must reach the drain");
+            let mut rng = SimRng::seeded(seed);
+            let plan = synthesize(&[FaultClass::NicOutage], &mut rng, 2, 64);
+            let outage = &plan.net.as_ref().expect("net faults").nic_outages[0];
+            assert!(outage.until_us - outage.from_us >= 0.4 * horizon, "outage spans the run");
+        }
     }
 
     #[test]
@@ -901,6 +1025,7 @@ mod tests {
             &[FaultClass::LinkDrop, FaultClass::PeCrash, FaultClass::FlagLoss],
             &mut SimRng::seeded(3),
             2,
+            1,
         );
         let candidates = plan.shrink();
         assert!(!candidates.is_empty());
@@ -924,6 +1049,11 @@ mod tests {
         const PE: CopyMechanism = CopyMechanism::ProgressionEngine;
         let loss = FaultPlan::none().with_lost_flag_writes(1, 3).with_watchdog(1e6);
         assert_eq!(expectation(&loss, true, PE), Expectation::TypedFailure);
+        // On the multiplexed axis the MoE cell's plain partitioned
+        // channels replay host-side, so an armed ladder recovers a lost
+        // flag write; without the ladder it is still a typed failure.
+        assert_eq!(expectation_at(&loss, true, PE, 64), Expectation::Recover);
+        assert_eq!(expectation_at(&loss, false, PE, 64), Expectation::TypedFailure);
         let crash = FaultPlan::none().with_pe_crash(1, 300.0).with_watchdog(1e6);
         assert_eq!(expectation(&crash, true, PE), Expectation::Recover);
         assert_eq!(expectation(&crash, false, PE), Expectation::TypedFailure);
@@ -958,10 +1088,10 @@ mod tests {
 
         // The PE target list carries the flag-write classes and no shmem
         // classes; the shmem list swaps them.
-        let pe_targets = targets(CopyMechanism::ProgressionEngine);
+        let pe_targets = targets(CopyMechanism::ProgressionEngine, 1);
         assert!(pe_targets.iter().any(|(k, _)| k == "flag_loss@gpu"));
         assert!(!pe_targets.iter().any(|(k, _)| k.contains("shmem")));
-        let shmem_targets = targets(CopyMechanism::Shmem);
+        let shmem_targets = targets(CopyMechanism::Shmem, 1);
         assert!(shmem_targets.iter().any(|(k, _)| k == "shmem_loss@gpu"));
         assert!(shmem_targets.iter().any(|(k, _)| k == "shmem_delay+shmem_loss"));
         assert!(!shmem_targets.iter().any(|(k, _)| k.contains("flag_")));
@@ -972,5 +1102,26 @@ mod tests {
         let mut grid = CampaignConfig::ci(true);
         grid.mechanism = CopyMechanism::Shmem;
         assert!(grid_coverage_points(&grid).iter().all(|p| p.starts_with("shmem:")));
+    }
+
+    #[test]
+    fn channel_axis_shapes_targets_and_points() {
+        // Multiplexed load is a distinct point space; the classic space
+        // keeps its unprefixed keys.
+        assert_eq!(channel_point(64, "pe:pe_stall@mpi"), "c64:pe:pe_stall@mpi");
+        assert_eq!(channel_point(1, "pe:pe_stall@mpi"), "pe:pe_stall@mpi");
+
+        // The MoE cell is GPU-initiated under every mechanism, so the
+        // flag classes survive onto the multiplexed axis (except under
+        // shmem — same roulette rule as the classic axis). The all-rails
+        // outage is classic-axis-only (admission-handshake overlap).
+        let pe = targets(CopyMechanism::ProgressionEngine, 64);
+        assert!(pe.iter().any(|(k, _)| k == "flag_loss@gpu"));
+        assert!(!pe.iter().any(|(k, _)| k.contains("multi_nic_outage")));
+        assert!(pe.iter().any(|(k, _)| k == "pe_stall@mpi"));
+        assert!(pe.iter().any(|(k, _)| k == "nic_outage@net"));
+        let shmem = targets(CopyMechanism::Shmem, 64);
+        assert!(shmem.iter().any(|(k, _)| k == "shmem_loss@gpu"));
+        assert!(!shmem.iter().any(|(k, _)| k.contains("flag_")));
     }
 }

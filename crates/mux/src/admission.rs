@@ -1,0 +1,118 @@
+//! Admission-control vocabulary: what a tenant asks for and the typed
+//! ways the service says "not now" or "never".
+
+/// Which side of a partitioned channel a submission opens.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Direction {
+    /// `MPI_Psend_init` side.
+    Send,
+    /// `MPI_Precv_init` side.
+    Recv,
+}
+
+impl Direction {
+    /// Canonical grant rank — every receive orders before every send
+    /// within a tenant, the keystone of the multi-tick deadlock-freedom
+    /// argument (see the service module docs).
+    pub(crate) fn order(self) -> u8 {
+        match self {
+            Direction::Recv => 0,
+            Direction::Send => 1,
+        }
+    }
+}
+
+
+/// One requested channel: who wants it, where it goes, and its partition
+/// geometry. The submitting tenant provides the buffer separately.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ChannelSpec {
+    /// Owning tenant index (into the service's weight vector).
+    pub tenant: usize,
+    /// Peer rank.
+    pub peer: usize,
+    /// Channel tag (must be unique per (peer, direction) among live
+    /// channels, as in plain partitioned init).
+    pub tag: u64,
+    /// User partition count.
+    pub partitions: usize,
+    /// Bytes per user partition.
+    pub partition_bytes: usize,
+    /// Send or receive side.
+    pub direction: Direction,
+}
+
+impl ChannelSpec {
+    /// Payload bytes moved per epoch.
+    pub fn bytes(&self) -> u64 {
+        self.partitions as u64 * self.partition_bytes as u64
+    }
+
+    /// Canonical within-tenant admission key: **all receives before all
+    /// sends**, then (tag, geometry, peer). Sorting a tick's pending
+    /// submissions by this key makes the admitted order — and therefore
+    /// the trace digest — invariant under submission shuffle, and the
+    /// recv-first rule is what lets batched admission span many ticks
+    /// without deadlocking (see the service module docs for the
+    /// argument).
+    pub(crate) fn canonical_key(&self) -> (u8, u64, usize, usize, usize) {
+        (self.direction.order(), self.tag, self.partitions, self.partition_bytes, self.peer)
+    }
+}
+
+/// Why a submission was refused. Everything here is a protocol answer,
+/// not a failure: backpressured tenants retry after draining, quota'd
+/// tenants resize or change mechanism.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum AdmissionError {
+    /// The spec names a tenant index outside the configured weight vector.
+    UnknownTenant {
+        /// Offending tenant index.
+        tenant: usize,
+        /// Configured tenant count.
+        tenants: usize,
+    },
+    /// Admitting one more channel would exceed the in-flight cap
+    /// (live channels plus queued submissions).
+    Backpressure {
+        /// Channels currently live in the table.
+        in_flight: usize,
+        /// Submissions queued but not yet admitted.
+        pending: usize,
+        /// The configured cap.
+        cap: usize,
+    },
+    /// A shmem-mechanism receive channel would overrun the tenant's
+    /// weighted share of the symmetric heap.
+    ShmemQuotaExceeded {
+        /// Tenant that asked.
+        tenant: usize,
+        /// Projected heap bytes for this channel (payload + arrival flags
+        /// + alignment slop).
+        requested: u64,
+        /// The tenant's total heap quota.
+        quota: u64,
+        /// Heap bytes the tenant has already reserved.
+        used: u64,
+    },
+}
+
+impl std::fmt::Display for AdmissionError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AdmissionError::UnknownTenant { tenant, tenants } => {
+                write!(f, "unknown tenant {tenant} (service has {tenants})")
+            }
+            AdmissionError::Backpressure { in_flight, pending, cap } => write!(
+                f,
+                "admission backpressure: {in_flight} in flight + {pending} pending at cap {cap}"
+            ),
+            AdmissionError::ShmemQuotaExceeded { tenant, requested, quota, used } => write!(
+                f,
+                "tenant {tenant} shmem quota exceeded: wants {requested} B with {used}/{quota} B used"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for AdmissionError {}

@@ -1,0 +1,548 @@
+//! The multiplexing service: admission, batched setup, fair drain.
+//!
+//! Lifecycle of a channel through the service:
+//!
+//! 1. [`MuxService::submit`] — the spec queues under its tenant. Typed
+//!    refusals happen *here*: backpressure at the in-flight cap, shmem
+//!    heap quota exhaustion. Reservation at submit (not at tick) keeps
+//!    the answer independent of tick scheduling.
+//! 2. [`MuxService::tick`] — *every* still-uninitialized pending channel
+//!    is `init`-ed + `MPI_Start`-ed first (inits only send setup
+//!    messages — cheap and non-blocking, so the whole backlog's
+//!    handshakes go into flight at the first tick). Then pending
+//!    submissions are canonically sorted per tenant (receives before
+//!    sends), interleaved across tenants by smooth weighted round-robin,
+//!    and the selected batch runs one
+//!    [`parcomm_core::pbuf_prepare_batch`] — the expensive part
+//!    (first-call registration) is what the batch coalesces: the first
+//!    channel pays the full first-call charge, the rest pay only the
+//!    per-channel batch increment. Each admitted channel comes out with
+//!    **epoch 1 already active** (started + prepared).
+//! 3. Epochs — [`MuxService::run_host_send_epoch`] /
+//!    [`MuxService::run_recv_epoch`] for host-driven channels, or
+//!    [`MuxService::begin_epoch`] + [`MuxService::record_epoch`] for
+//!    device-driven ones. [`MuxService::plan_rounds`] hands out the
+//!    weighted-fair drain order — a pure function of (weights, live
+//!    table), so every rank computes the identical grant sequence.
+//! 4. [`MuxService::retire`] — the channel leaves the table (its id goes
+//!    stale) and releases its in-flight slot and heap reservation.
+//!
+//! **Cross-rank contract and deadlock-freedom**: all ranks of a
+//! symmetric workload must submit mirrored channel sets (every send has
+//! a matching receive on its peer, with equal per-tenant endpoint counts
+//! on every rank) and drive `tick` until their pending queues drain.
+//! Under that contract, admission may span any number of `tick_batch`
+//! rounds without deadlock:
+//!
+//! - a granted **receive**'s first prepare waits only for its peer
+//!   sender's setup message, and every rank's first tick put its whole
+//!   backlog's inits in flight before anything blocked;
+//! - a granted **send**'s first prepare waits for its receiver's prepare
+//!   reply — and because every tenant grants all receives before any
+//!   send, and per-tick per-tenant grant counts are identical on every
+//!   rank (same weights, mirrored queue depths), a send is always
+//!   granted in a tick round no earlier than its partner receive. By
+//!   induction over tick rounds, every rank's round-`k` batch completes
+//!   once all ranks have reached round `k` — no circular wait exists.
+//!
+//! A 4096-channel grid therefore coalesces into sixteen 256-channel
+//! prepare batches, each paying one first-call registration charge.
+
+use parcomm_core::{
+    pbuf_prepare_batch, precv_init, psend_init, MpiError, PrecvRequest, PsendRequest,
+};
+use parcomm_gpu::Buffer;
+use parcomm_mpi::{CopyMechanism, MpiWorld, Rank};
+use parcomm_net::MultiPathPlan;
+use parcomm_obs::{Counter, Histogram};
+use parcomm_shmem::SHMEM_ALIGN;
+use parcomm_sim::Ctx;
+
+use crate::admission::{AdmissionError, ChannelSpec, Direction};
+use crate::fairness::WeightedFair;
+use crate::table::{ChannelTable, MuxChannelId};
+
+/// Service configuration.
+#[derive(Clone, Debug)]
+pub struct MuxConfig {
+    /// One weight per tenant (zero clamps to 1). Weights govern admission
+    /// interleave, drain grants, rail stripes, and heap quota.
+    pub tenant_weights: Vec<u64>,
+    /// Maximum channels admitted per [`MuxService::tick`].
+    pub tick_batch: usize,
+    /// Cap on live channels plus queued submissions; beyond it,
+    /// [`MuxService::submit`] answers [`AdmissionError::Backpressure`].
+    pub max_in_flight: usize,
+}
+
+impl Default for MuxConfig {
+    fn default() -> Self {
+        MuxConfig { tenant_weights: vec![1], tick_batch: 256, max_in_flight: 8192 }
+    }
+}
+
+impl MuxConfig {
+    /// Config with the given tenant weights and default caps.
+    pub fn with_weights(weights: &[u64]) -> Self {
+        MuxConfig { tenant_weights: weights.to_vec(), ..MuxConfig::default() }
+    }
+}
+
+/// The live endpoint object behind an admitted channel.
+#[derive(Clone)]
+pub enum MuxChannel {
+    /// Sender side.
+    Send(PsendRequest),
+    /// Receiver side.
+    Recv(PrecvRequest),
+}
+
+impl MuxChannel {
+    /// The send request, if this is a sender-side channel.
+    pub fn send(&self) -> Option<&PsendRequest> {
+        match self {
+            MuxChannel::Send(s) => Some(s),
+            MuxChannel::Recv(_) => None,
+        }
+    }
+
+    /// The receive request, if this is a receiver-side channel.
+    pub fn recv(&self) -> Option<&PrecvRequest> {
+        match self {
+            MuxChannel::Recv(r) => Some(r),
+            MuxChannel::Send(_) => None,
+        }
+    }
+}
+
+/// An admitted channel as it lives in the table.
+pub struct AdmittedChannel {
+    /// The spec it was admitted under.
+    pub spec: ChannelSpec,
+    /// The live request object.
+    pub chan: MuxChannel,
+    /// Rail stripes granted to this channel (1 on single-path routes).
+    pub stripes: usize,
+    /// Epochs drained so far (epoch 1 is active right after the tick).
+    pub epochs_run: u64,
+    /// Symmetric-heap bytes reserved against the tenant's quota.
+    shmem_bytes: u64,
+}
+
+struct Pending {
+    spec: ChannelSpec,
+    buffer: Buffer,
+    shmem_bytes: u64,
+    /// Set once the backlog-wide init pass has opened this channel
+    /// (request created, `MPI_Start`-ed, stripes assigned). The grant
+    /// tick then only pays the prepare.
+    inited: Option<(MuxChannel, usize)>,
+}
+
+struct TenantMetrics {
+    goodput: Counter,
+    epochs: Counter,
+    latency: Histogram,
+}
+
+#[derive(Clone, Default)]
+struct TenantStats {
+    goodput_bytes: u64,
+    epochs: u64,
+    latencies_us: Vec<f64>,
+}
+
+/// Per-tenant totals, with raw epoch latencies so callers can compute
+/// exact tail quantiles (the registry histogram is bucketed to 2×).
+#[derive(Clone, Debug)]
+pub struct TenantReport {
+    /// Tenant index.
+    pub tenant: usize,
+    /// The tenant's (clamped) weight.
+    pub weight: u64,
+    /// Payload bytes delivered across all recorded epochs.
+    pub goodput_bytes: u64,
+    /// Recorded epoch count.
+    pub epochs: u64,
+    /// Raw per-epoch latencies, in recording order.
+    pub latencies_us: Vec<f64>,
+}
+
+impl TenantReport {
+    /// Exact quantile of the recorded epoch latencies (nearest-rank), or
+    /// 0 when nothing was recorded.
+    pub fn latency_quantile_us(&self, q: f64) -> f64 {
+        if self.latencies_us.is_empty() {
+            return 0.0;
+        }
+        let mut v = self.latencies_us.clone();
+        v.sort_by(|a, b| a.partial_cmp(b).expect("latency NaN"));
+        let rank = ((q.clamp(0.0, 1.0) * v.len() as f64).ceil() as usize).max(1);
+        v[rank - 1]
+    }
+}
+
+/// The multiplexing service. One instance per rank; all instances of a
+/// symmetric workload must be constructed with the same [`MuxConfig`].
+pub struct MuxService {
+    world: MpiWorld,
+    tick_batch: usize,
+    max_in_flight: usize,
+    arbiter: WeightedFair,
+    pending: Vec<Vec<Pending>>,
+    pending_total: usize,
+    table: ChannelTable<AdmittedChannel>,
+    shmem_quota: Vec<u64>,
+    shmem_reserved: Vec<u64>,
+    stats: Vec<TenantStats>,
+    metrics: Vec<Option<TenantMetrics>>,
+}
+
+impl MuxService {
+    /// Build a service over `world`. The symmetric-heap quota per tenant
+    /// is the weighted largest-remainder share of the rank's segment.
+    pub fn new(world: &MpiWorld, config: MuxConfig) -> Self {
+        let arbiter = WeightedFair::new(&config.tenant_weights);
+        let n = arbiter.tenants();
+        let shmem_quota = arbiter.share(world.shmem_heap().bytes_per_rank());
+        MuxService {
+            world: world.clone(),
+            tick_batch: config.tick_batch.max(1),
+            max_in_flight: config.max_in_flight.max(1),
+            arbiter,
+            pending: (0..n).map(|_| Vec::new()).collect(),
+            pending_total: 0,
+            table: ChannelTable::new(),
+            shmem_quota,
+            shmem_reserved: vec![0; n],
+            stats: vec![TenantStats::default(); n],
+            metrics: (0..n).map(|_| None).collect(),
+        }
+    }
+
+    /// Number of configured tenants.
+    pub fn tenants(&self) -> usize {
+        self.arbiter.tenants()
+    }
+
+    /// Channels currently live in the table.
+    pub fn in_flight(&self) -> usize {
+        self.table.len()
+    }
+
+    /// Submissions queued but not yet admitted.
+    pub fn pending(&self) -> usize {
+        self.pending_total
+    }
+
+    /// A tenant's symmetric-heap quota, in bytes.
+    pub fn shmem_quota(&self, tenant: usize) -> u64 {
+        self.shmem_quota[tenant]
+    }
+
+    /// The indexed channel table's cumulative probe count (see
+    /// [`ChannelTable::probe_ops`]).
+    pub fn table_probe_ops(&self) -> u64 {
+        self.table.probe_ops()
+    }
+
+    /// Projected symmetric-heap footprint of a receive channel: payload +
+    /// one 8-byte arrival flag per partition + alignment slop for the two
+    /// bindings.
+    fn shmem_footprint(spec: &ChannelSpec) -> u64 {
+        spec.bytes() + spec.partitions as u64 * 8 + 2 * SHMEM_ALIGN
+    }
+
+    /// Queue a channel for admission. Refusals are typed and immediate;
+    /// acceptance reserves the in-flight slot (and, for shmem-eligible
+    /// receives, the heap bytes) so a later tick cannot oversubscribe.
+    pub fn submit(&mut self, spec: ChannelSpec, buffer: Buffer) -> Result<(), AdmissionError> {
+        let tenants = self.arbiter.tenants();
+        if spec.tenant >= tenants {
+            return Err(AdmissionError::UnknownTenant { tenant: spec.tenant, tenants });
+        }
+        if self.table.len() + self.pending_total >= self.max_in_flight {
+            return Err(AdmissionError::Backpressure {
+                in_flight: self.table.len(),
+                pending: self.pending_total,
+                cap: self.max_in_flight,
+            });
+        }
+        // Heap quota: a receive channel under the shmem mechanism binds
+        // payload + flags into this rank's segment at prepare time.
+        // Reservation is conservative — a cross-node route that later
+        // demotes to rkey still holds its reservation until retirement.
+        let shmem_bytes = if self.world.config().mechanism == CopyMechanism::Shmem
+            && spec.direction == Direction::Recv
+        {
+            let requested = Self::shmem_footprint(&spec);
+            let quota = self.shmem_quota[spec.tenant];
+            let used = self.shmem_reserved[spec.tenant];
+            if used + requested > quota {
+                return Err(AdmissionError::ShmemQuotaExceeded {
+                    tenant: spec.tenant,
+                    requested,
+                    quota,
+                    used,
+                });
+            }
+            self.shmem_reserved[spec.tenant] += requested;
+            requested
+        } else {
+            0
+        };
+        self.pending[spec.tenant].push(Pending { spec, buffer, shmem_bytes, inited: None });
+        self.pending_total += 1;
+        Ok(())
+    }
+
+    /// Admit up to `tick_batch` pending channels in one batched sweep and
+    /// return their ids in admission order. See the module docs for the
+    /// ordering and pairing contract.
+    pub fn tick(&mut self, ctx: &mut Ctx, rank: &Rank) -> Result<Vec<MuxChannelId>, MpiError> {
+        // Canonical within-tenant order first (receives before sends;
+        // descending so pop() drains the smallest key): both the init
+        // pass below and the grant selection walk this order, keeping
+        // the whole tick — inits included — invariant under any
+        // submission shuffle.
+        for q in &mut self.pending {
+            q.sort_by_key(|e| std::cmp::Reverse(e.spec.canonical_key()));
+        }
+
+        // Phase 0 — init + start the *entire* backlog, granted this tick
+        // or not. Inits only send setup messages, so nothing here blocks;
+        // after the first tick every handshake any peer's receive could
+        // wait on is already in flight. The expensive coalesced work
+        // (first-call prepare registration) stays per-grant below.
+        let topo = self.world.topology();
+        let my_loc = self.world.gpu_of(rank.rank()).location();
+        for q in &mut self.pending {
+            for p in q.iter_mut().rev().filter(|p| p.inited.is_none()) {
+                let (chan, stripes) = match p.spec.direction {
+                    Direction::Recv => {
+                        let r = precv_init(
+                            ctx, rank, p.spec.peer, p.spec.tag, &p.buffer, p.spec.partitions,
+                        )?;
+                        r.start(ctx)?;
+                        (MuxChannel::Recv(r), 1)
+                    }
+                    Direction::Send => {
+                        let s = psend_init(
+                            ctx, rank, p.spec.peer, p.spec.tag, &p.buffer, p.spec.partitions,
+                        )?;
+                        s.start(ctx)?;
+                        let peer_loc = self.world.gpu_of(p.spec.peer).location();
+                        let budget = MultiPathPlan::path_budget(&topo, my_loc, peer_loc);
+                        let stripes = if budget > 1 {
+                            let share = self.arbiter.share(budget as u64)[p.spec.tenant];
+                            let stripes = (share.max(1) as usize).min(budget);
+                            s.set_stripes(stripes)?;
+                            stripes
+                        } else {
+                            1
+                        };
+                        (MuxChannel::Send(s), stripes)
+                    }
+                };
+                p.inited = Some((chan, stripes));
+            }
+        }
+
+        // Phase 1 — weighted-fair grant selection over the sorted queues.
+        // The recv-first canonical order keeps multi-tick admission
+        // deadlock-free (module docs).
+        let mut grants: Vec<Pending> = Vec::new();
+        while grants.len() < self.tick_batch {
+            let eligible: Vec<bool> = self.pending.iter().map(|q| !q.is_empty()).collect();
+            let Some(t) = self.arbiter.pick(&eligible) else { break };
+            grants.push(self.pending[t].pop().expect("eligible tenant has pending"));
+            self.pending_total -= 1;
+        }
+        if grants.is_empty() {
+            return Ok(Vec::new());
+        }
+        let opened: Vec<(ChannelSpec, MuxChannel, usize, u64)> = grants
+            .into_iter()
+            .map(|p| {
+                let (chan, stripes) = p.inited.expect("phase 0 inited the whole backlog");
+                (p.spec, chan, stripes, p.shmem_bytes)
+            })
+            .collect();
+
+        // Phase 2 — one batched prepare for the whole tick, receives
+        // before sends: the first channel pays the full first-call
+        // charge, every other channel only the batch increment.
+        let recvs: Vec<PrecvRequest> =
+            opened.iter().filter_map(|(_, c, _, _)| c.recv().cloned()).collect();
+        let sends: Vec<PsendRequest> =
+            opened.iter().filter_map(|(_, c, _, _)| c.send().cloned()).collect();
+        pbuf_prepare_batch(ctx, &recvs, &sends)?;
+
+        // Phase 3 — table insertion in admission order: id assignment is
+        // deterministic, epoch 1 is live on every admitted channel.
+        let ids = opened
+            .into_iter()
+            .map(|(spec, chan, stripes, shmem_bytes)| {
+                self.table.insert(AdmittedChannel {
+                    spec,
+                    chan,
+                    stripes,
+                    epochs_run: 0,
+                    shmem_bytes,
+                })
+            })
+            .collect();
+        Ok(ids)
+    }
+
+    /// The admitted channel behind `id` (stale ids miss).
+    pub fn channel(&self, id: MuxChannelId) -> Option<&AdmittedChannel> {
+        self.table.get(id)
+    }
+
+    /// Live channels in ascending slot order.
+    pub fn channels(&self) -> impl Iterator<Item = (MuxChannelId, &AdmittedChannel)> {
+        self.table.iter()
+    }
+
+    /// Plan a weighted-fair drain sequence of `budget` epoch grants over
+    /// the live table: tenants interleave by smooth weighted round-robin,
+    /// channels rotate round-robin within each tenant. Pure function of
+    /// (weights, table contents) — every rank with a mirrored table
+    /// computes the identical sequence, so symmetric workloads can drain
+    /// in lockstep without negotiating.
+    pub fn plan_rounds(&self, budget: usize) -> Vec<MuxChannelId> {
+        let tenants = self.arbiter.tenants();
+        let mut per_tenant: Vec<Vec<MuxChannelId>> = vec![Vec::new(); tenants];
+        for (id, ch) in self.table.iter() {
+            per_tenant[ch.spec.tenant].push(id);
+        }
+        let eligible: Vec<bool> = per_tenant.iter().map(|v| !v.is_empty()).collect();
+        if !eligible.iter().any(|&e| e) {
+            return Vec::new();
+        }
+        let mut wf = WeightedFair::new(self.arbiter.weights());
+        let mut cursor = vec![0usize; tenants];
+        let mut out = Vec::with_capacity(budget);
+        for _ in 0..budget {
+            let t = wf.pick(&eligible).expect("at least one tenant eligible");
+            let ids = &per_tenant[t];
+            out.push(ids[cursor[t] % ids.len()]);
+            cursor[t] += 1;
+        }
+        out
+    }
+
+    /// Open the next epoch on `id` and hand back the request for the
+    /// caller to drive (device-driven epochs: launch a kernel that calls
+    /// `pready_*`, then `wait`, then [`MuxService::record_epoch`]). The
+    /// first call after admission is a no-op beyond bookkeeping — the
+    /// tick left epoch 1 started and prepared; later calls run
+    /// `MPI_Start` plus the steady (cheap) `MPIX_Pbuf_prepare`.
+    pub fn begin_epoch(&mut self, ctx: &mut Ctx, id: MuxChannelId) -> Result<MuxChannel, MpiError> {
+        let ch = self.table.get_mut(id).ok_or_else(|| MpiError::InvalidArgument {
+            context: format!("begin_epoch: stale or unknown channel id {id}"),
+        })?;
+        let first = ch.epochs_run == 0;
+        ch.epochs_run += 1;
+        let chan = ch.chan.clone();
+        if !first {
+            match &chan {
+                MuxChannel::Send(s) => {
+                    s.start(ctx)?;
+                    s.pbuf_prepare(ctx)?;
+                }
+                MuxChannel::Recv(r) => {
+                    r.start(ctx)?;
+                    r.pbuf_prepare(ctx)?;
+                }
+            }
+        }
+        Ok(chan)
+    }
+
+    /// Run one full host-driven epoch on a sender-side channel: begin,
+    /// `MPI_Pready` every partition, `MPI_Wait`. Returns the epoch
+    /// latency in µs and records it against the owning tenant.
+    pub fn run_host_send_epoch(&mut self, ctx: &mut Ctx, id: MuxChannelId) -> Result<f64, MpiError> {
+        let (tenant, bytes, parts) = {
+            let ch = self.table.get(id).ok_or_else(|| MpiError::InvalidArgument {
+                context: format!("run_host_send_epoch: stale or unknown channel id {id}"),
+            })?;
+            (ch.spec.tenant, ch.spec.bytes(), ch.spec.partitions)
+        };
+        let t0 = ctx.now().as_micros_f64();
+        let chan = self.begin_epoch(ctx, id)?;
+        let s = chan.send().ok_or_else(|| MpiError::InvalidArgument {
+            context: format!("run_host_send_epoch: channel {id} is a receiver"),
+        })?;
+        s.pready_range(ctx, 0..parts)?;
+        s.wait(ctx)?;
+        let dt = ctx.now().as_micros_f64() - t0;
+        self.record_epoch(tenant, bytes, dt);
+        Ok(dt)
+    }
+
+    /// Run one full epoch on a receiver-side channel: begin, `MPI_Wait`.
+    /// Returns the epoch latency in µs. Goodput is recorded on the send
+    /// side only, so the receive path records nothing.
+    pub fn run_recv_epoch(&mut self, ctx: &mut Ctx, id: MuxChannelId) -> Result<f64, MpiError> {
+        let t0 = ctx.now().as_micros_f64();
+        let chan = self.begin_epoch(ctx, id)?;
+        let r = chan.recv().ok_or_else(|| MpiError::InvalidArgument {
+            context: format!("run_recv_epoch: channel {id} is a sender"),
+        })?;
+        r.wait(ctx)?;
+        Ok(ctx.now().as_micros_f64() - t0)
+    }
+
+    /// Credit one completed epoch to `tenant`: `bytes` of goodput at
+    /// `latency_us`. Feeds both the raw per-tenant report and — when the
+    /// world has metrics enabled — the `mux.tenant<k>.*` instruments
+    /// (pure atomics, digest-neutral).
+    pub fn record_epoch(&mut self, tenant: usize, bytes: u64, latency_us: f64) {
+        let st = &mut self.stats[tenant];
+        st.goodput_bytes += bytes;
+        st.epochs += 1;
+        st.latencies_us.push(latency_us);
+        if self.metrics[tenant].is_none() {
+            if let Some(reg) = self.world.metrics_registry() {
+                self.metrics[tenant] = Some(TenantMetrics {
+                    goodput: reg.counter(&format!("mux.tenant{tenant}.goodput_bytes")),
+                    epochs: reg.counter(&format!("mux.tenant{tenant}.epochs")),
+                    latency: reg.histogram(&format!("mux.tenant{tenant}.epoch_latency_us")),
+                });
+            }
+        }
+        if let Some(m) = &self.metrics[tenant] {
+            m.goodput.add(bytes);
+            m.epochs.inc();
+            m.latency.record(latency_us.round().max(0.0) as u64);
+        }
+    }
+
+    /// Retire a channel: its id goes stale, its in-flight slot frees, and
+    /// any heap reservation returns to the tenant's quota. Returns the
+    /// spec it was admitted under.
+    pub fn retire(&mut self, id: MuxChannelId) -> Option<ChannelSpec> {
+        let ch = self.table.remove(id)?;
+        self.shmem_reserved[ch.spec.tenant] =
+            self.shmem_reserved[ch.spec.tenant].saturating_sub(ch.shmem_bytes);
+        Some(ch.spec)
+    }
+
+    /// Per-tenant totals with raw latencies (exact quantiles).
+    pub fn tenant_stats(&self) -> Vec<TenantReport> {
+        self.stats
+            .iter()
+            .enumerate()
+            .map(|(t, s)| TenantReport {
+                tenant: t,
+                weight: self.arbiter.weight(t),
+                goodput_bytes: s.goodput_bytes,
+                epochs: s.epochs,
+                latencies_us: s.latencies_us.clone(),
+            })
+            .collect()
+    }
+}

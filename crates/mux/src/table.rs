@@ -1,0 +1,208 @@
+//! The indexed channel table: a generational slab.
+//!
+//! The completion path of a multiplexer runs once per partition arrival —
+//! at 4096 channels × many partitions, an O(channels) registry scan per
+//! event is the difference between a service and a bonfire. The table
+//! stores channels in a slab addressed by dense index; a generation
+//! counter per slot makes stale ids (channel retired, slot reused) miss
+//! instead of aliasing. Every operation touches exactly one slot, and the
+//! table counts its slot probes so a regression test can assert the O(1)
+//! contract instead of trusting it.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Stable handle to a channel in a [`ChannelTable`]: dense slot index plus
+/// the slot generation at insert time. Ids from retired channels go stale
+/// rather than silently aliasing the slot's next occupant.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct MuxChannelId {
+    index: u32,
+    gen: u32,
+}
+
+impl MuxChannelId {
+    /// Dense slot index — usable as a direct array subscript by callers
+    /// that maintain side tables parallel to the slab.
+    pub fn index(self) -> usize {
+        self.index as usize
+    }
+}
+
+impl std::fmt::Display for MuxChannelId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "ch{}g{}", self.index, self.gen)
+    }
+}
+
+struct Slot<T> {
+    gen: u32,
+    value: Option<T>,
+}
+
+/// Generational slab of live channels. Insert returns a [`MuxChannelId`];
+/// lookups and removals are O(1) slot probes, observable via
+/// [`ChannelTable::probe_ops`].
+pub struct ChannelTable<T> {
+    slots: Vec<Slot<T>>,
+    free: Vec<u32>,
+    len: usize,
+    probes: AtomicU64,
+}
+
+impl<T> Default for ChannelTable<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> ChannelTable<T> {
+    /// An empty table.
+    pub fn new() -> Self {
+        ChannelTable { slots: Vec::new(), free: Vec::new(), len: 0, probes: AtomicU64::new(0) }
+    }
+
+    fn probe(&self) {
+        self.probes.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Number of live channels.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when no channel is live.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Cumulative count of slot probes across every insert/get/remove —
+    /// the observable that turns "lookups are O(1)" from a claim into an
+    /// assertable invariant: N operations must cost exactly N probes no
+    /// matter how many channels are live.
+    pub fn probe_ops(&self) -> u64 {
+        self.probes.load(Ordering::Relaxed)
+    }
+
+    /// Insert a channel, reusing the lowest freed slot if any (ids stay
+    /// dense, which keeps downstream side tables small).
+    pub fn insert(&mut self, value: T) -> MuxChannelId {
+        self.probe();
+        self.len += 1;
+        if let Some(i) = self.free.pop() {
+            let slot = &mut self.slots[i as usize];
+            slot.value = Some(value);
+            return MuxChannelId { index: i, gen: slot.gen };
+        }
+        let i = self.slots.len() as u32;
+        self.slots.push(Slot { gen: 0, value: Some(value) });
+        MuxChannelId { index: i, gen: 0 }
+    }
+
+    /// The channel behind `id`, or `None` when the id is stale or unknown.
+    pub fn get(&self, id: MuxChannelId) -> Option<&T> {
+        self.probe();
+        let slot = self.slots.get(id.index as usize)?;
+        if slot.gen != id.gen {
+            return None;
+        }
+        slot.value.as_ref()
+    }
+
+    /// Mutable access to the channel behind `id`.
+    pub fn get_mut(&mut self, id: MuxChannelId) -> Option<&mut T> {
+        self.probe();
+        let slot = self.slots.get_mut(id.index as usize)?;
+        if slot.gen != id.gen {
+            return None;
+        }
+        slot.value.as_mut()
+    }
+
+    /// Retire the channel behind `id`, bumping the slot generation so the
+    /// id (and any copies of it) go stale.
+    pub fn remove(&mut self, id: MuxChannelId) -> Option<T> {
+        self.probe();
+        let slot = self.slots.get_mut(id.index as usize)?;
+        if slot.gen != id.gen || slot.value.is_none() {
+            return None;
+        }
+        let value = slot.value.take();
+        slot.gen = slot.gen.wrapping_add(1);
+        self.free.push(id.index);
+        // Keep the free list sorted descending so pop() hands out the
+        // lowest index first — deterministic reuse order regardless of
+        // removal order within a tick.
+        self.free.sort_unstable_by(|a, b| b.cmp(a));
+        self.len -= 1;
+        value
+    }
+
+    /// Iterate live channels in ascending slot order (deterministic; this
+    /// is a full walk, intentionally not counted as a single probe).
+    pub fn iter(&self) -> impl Iterator<Item = (MuxChannelId, &T)> {
+        self.slots.iter().enumerate().filter_map(|(i, s)| {
+            s.value.as_ref().map(|v| (MuxChannelId { index: i as u32, gen: s.gen }, v))
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_get_remove_round_trip() {
+        let mut t = ChannelTable::new();
+        let a = t.insert("a");
+        let b = t.insert("b");
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.get(a), Some(&"a"));
+        assert_eq!(t.get(b), Some(&"b"));
+        assert_eq!(t.remove(a), Some("a"));
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.get(a), None);
+    }
+
+    #[test]
+    fn stale_ids_miss_after_slot_reuse() {
+        let mut t = ChannelTable::new();
+        let a = t.insert(1);
+        t.remove(a);
+        let b = t.insert(2);
+        assert_eq!(b.index(), a.index(), "lowest freed slot is reused");
+        assert_eq!(t.get(a), None, "old generation must miss");
+        assert_eq!(t.get(b), Some(&2));
+        assert_eq!(t.remove(a), None);
+    }
+
+    #[test]
+    fn reuse_order_is_lowest_index_first() {
+        let mut t = ChannelTable::new();
+        let ids: Vec<_> = (0..4).map(|i| t.insert(i)).collect();
+        t.remove(ids[2]);
+        t.remove(ids[0]);
+        assert_eq!(t.insert(10).index(), 0);
+        assert_eq!(t.insert(11).index(), 2);
+    }
+
+    #[test]
+    fn iter_walks_ascending_slot_order() {
+        let mut t = ChannelTable::new();
+        let ids: Vec<_> = (0..5).map(|i| t.insert(i * 10)).collect();
+        t.remove(ids[1]);
+        let seen: Vec<_> = t.iter().map(|(id, v)| (id.index(), *v)).collect();
+        assert_eq!(seen, vec![(0, 0), (2, 20), (3, 30), (4, 40)]);
+    }
+
+    #[test]
+    fn operations_cost_one_probe_each_regardless_of_population() {
+        let mut t = ChannelTable::new();
+        let ids: Vec<_> = (0..4096).map(|i| t.insert(i)).collect();
+        let after_insert = t.probe_ops();
+        assert_eq!(after_insert, 4096);
+        for id in &ids {
+            t.get(*id);
+        }
+        assert_eq!(t.probe_ops() - after_insert, 4096, "a scan would cost ~4096x more");
+    }
+}

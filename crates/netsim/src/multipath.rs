@@ -219,6 +219,15 @@ impl MultiPathPlan {
         self.stripes.len()
     }
 
+    /// How many concurrently usable paths the topology offers between the
+    /// endpoints, before any payload-size degradation — the stripe budget a
+    /// resource apportioner (e.g. the mux weighted-fair scheduler) can
+    /// split across tenants sharing the route. Equals the stripe count a
+    /// large-payload `MAX_STRIPES` plan would produce.
+    pub fn path_budget(topo: &Topology, src: Location, dst: Location) -> usize {
+        Self::eligible_paths(topo, RouteClass::classify(src, dst)).min(MAX_STRIPES)
+    }
+
     /// True when the plan is the explicit single-path degenerate: one
     /// stripe, no rail pin, no relays — the fabric routes it exactly as an
     /// unplanned transfer.

@@ -103,6 +103,28 @@ impl Histogram {
     pub fn sum(&self) -> u64 {
         self.state.sum.load(Ordering::Relaxed)
     }
+
+    /// Approximate quantile `q` (in `[0, 1]`) of the recorded observations:
+    /// the *upper bound* of the first log2 bucket whose cumulative count
+    /// reaches `ceil(q · count)`. Conservative by construction (never
+    /// under-reports); resolution is the bucket width, i.e. within 2× of
+    /// the true quantile. Returns 0 when nothing was recorded.
+    pub fn quantile(&self, q: f64) -> u64 {
+        let count = self.count();
+        if count == 0 {
+            return 0;
+        }
+        let target = ((q.clamp(0.0, 1.0) * count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, b) in self.state.buckets.iter().enumerate() {
+            seen += b.load(Ordering::Relaxed);
+            if seen >= target {
+                // Bucket 0 is exact zeros; bucket i ≥ 1 covers [2^(i-1), 2^i).
+                return if i == 0 { 0 } else { (1u64 << (i - 1)).saturating_mul(2) - 1 };
+            }
+        }
+        u64::MAX
+    }
 }
 
 #[derive(Clone, Debug)]
@@ -323,6 +345,25 @@ mod tests {
             buckets,
             &vec![(0u64, 1u64), (1, 1), (2, 2), (1024, 1), (1 << 19, 1)]
         );
+    }
+
+    #[test]
+    fn histogram_quantile_is_conservative_bucket_bound() {
+        let reg = MetricsRegistry::new();
+        let h = reg.histogram("lat.us");
+        assert_eq!(h.quantile(0.99), 0, "empty histogram");
+        for v in [0u64, 1, 2, 3, 100, 100, 100, 100, 100, 4000] {
+            h.record(v);
+        }
+        // p40 target = 4th of 10 sorted obs (3) → bucket [2,4) → bound 3.
+        assert_eq!(h.quantile(0.4), 3);
+        // p90 target = 9th (100) → bucket [64,128) → bound 127.
+        assert_eq!(h.quantile(0.9), 127);
+        // p99 target = 10th (4000) → bucket [2048,4096) → bound 4095; never
+        // under the true value.
+        assert_eq!(h.quantile(0.99), 4095);
+        assert!(h.quantile(0.99) >= 4000);
+        assert_eq!(h.quantile(0.0), 0);
     }
 
     #[test]

@@ -116,6 +116,15 @@ impl SymmetricHeap {
             .unwrap_or(0)
     }
 
+    /// Bytes already bound (bump-allocated, padding included) in `rank`'s
+    /// segment — the admission-quota accounting view: a multiplexer
+    /// apportioning the heap across tenants checks a tenant's projected
+    /// binding against its share before admitting the channel.
+    pub fn used(&self, rank: usize) -> u64 {
+        let segs = self.inner.segments.lock();
+        segs.get(rank).map(|s| s.cursor).unwrap_or(0)
+    }
+
     /// Adopt `buffer` into `rank`'s segment: bump-allocate an aligned
     /// symmetric offset and record the binding. The returned offset is what
     /// peers use to address the buffer — no rkey travels.

@@ -55,6 +55,7 @@ pub use parcomm_core as core;
 pub use parcomm_fault as fault;
 pub use parcomm_gpu as gpu;
 pub use parcomm_mpi as mpi;
+pub use parcomm_mux as mux;
 pub use parcomm_nccl as nccl;
 pub use parcomm_net as net;
 pub use parcomm_obs as obs;
@@ -73,6 +74,7 @@ pub mod prelude {
     pub use parcomm_fault::FaultPlan;
     pub use parcomm_gpu::{AggLevel, Buffer, CostModel, DeviceCtx, Gpu, KernelSpec, Stream};
     pub use parcomm_mpi::{MpiError, MpiWorld, Rank, WorldConfig};
+    pub use parcomm_mux::{ChannelSpec, Direction, MuxConfig, MuxService};
     pub use parcomm_nccl::{NcclComm, NcclConfig};
     pub use parcomm_net::ClusterSpec;
     pub use parcomm_recover::{Quarantine, RecoverPolicy, RecoveryReport};

@@ -372,3 +372,58 @@ fn coverage_campaign_beats_grid_at_equal_budget() {
         grid_cells
     );
 }
+
+/// Acceptance: the `--channels` axis. Fault classes meeting *multiplexed*
+/// load — the mux-admitted 64-channel MoE dispatch/combine cell — uphold
+/// the same recovery contract: the canonical chaos mix perturbs the trace
+/// yet recovers to numerics bit-identical to the fault-free baseline, a
+/// lost flag write replays host-side over the plain partitioned channels
+/// (unlike the collective engine, where it is unrecoverable by design),
+/// and the guided campaign's covered points carry the `c64:` qualifier so
+/// the axis genuinely grows the point space.
+#[test]
+fn chaos_contract_holds_under_multiplexed_channel_load() {
+    use parcomm::core::CopyMechanism;
+    use parcomm::mpi::RecoverConfig;
+
+    let mech = CopyMechanism::ProgressionEngine;
+    let recover = || Some(RecoverConfig::default());
+    let clean = chaos::run_moe_cell(0xFA017, &FaultPlan::none(), 2, 64, 1, mech, recover());
+    assert!(clean.survived(), "fault-free MoE cell must complete");
+
+    // The canonical chaos mix against the 64-channel cell: perturbed,
+    // survived, replayed, numerics intact.
+    let plan = FaultPlan::chaos(0x5EED, 0.4).expect("rate in range");
+    let a = chaos::run_moe_cell(0xFA017, &plan, 2, 64, 1, mech, recover());
+    let b = chaos::run_moe_cell(0xFA017, &plan, 2, 64, 1, mech, recover());
+    assert_ne!(a.digest, clean.digest, "chaos mix must perturb the multiplexed trace");
+    assert!(a.survived(), "chaos mix must recover: {:?}", a.errors);
+    assert_eq!(a.digest, b.digest, "multiplexed chaos replay must be deterministic");
+    assert_eq!(a.numeric, clean.numeric, "recovery must preserve MoE numerics bit for bit");
+
+    // A lost flag write recovers on plain partitioned channels (epoch
+    // replay re-issues the partitions host-side) — and is a typed
+    // failure, never a hang, once the ladder is disarmed.
+    let loss = FaultPlan::none().with_lost_flag_writes(4, 1).with_watchdog(200_000.0);
+    let lost = chaos::run_moe_cell(0xFA017, &loss, 2, 64, 1, mech, recover());
+    assert!(lost.survived(), "armed ladder must replay the lost flag write");
+    assert_eq!(lost.numeric, clean.numeric);
+    let unrec = chaos::run_moe_cell(0xFA017, &loss, 2, 64, 1, mech, None);
+    assert!(!unrec.survived(), "disarmed: a lost flag write must surface typed");
+
+    // The guided campaign on the channel axis: zero contract failures and
+    // every covered point qualified with the channel count.
+    let cfg = CoverageCampaignConfig { budget: 6, channels: 64, ..CoverageCampaignConfig::default() };
+    let report = coverage::run_coverage_campaign(&cfg, 2);
+    assert!(
+        report.failures.is_empty(),
+        "contract failures on the channel axis:\n{}",
+        report.render()
+    );
+    assert!(!report.covered.is_empty());
+    assert!(
+        report.covered.iter().all(|p| p.starts_with("c64:pe:")),
+        "channel-axis points must be c64-qualified: {:?}",
+        report.covered
+    );
+}
