@@ -37,6 +37,12 @@
 //!   mux-admitted MoE dispatch/combine workload instead of the single
 //!   collective, so fault classes land on N-channel multiplexed traffic
 //!   and coverage points gain a `cN:` qualifier (default 1);
+//! - `--shape uniform|ragged|oversub` — the topology-shape axis of the
+//!   coverage search: cells run on the classic uniform testbed, a ragged
+//!   4/2-GPU 2/1-NIC world, or the same ragged world at 2:1 rank
+//!   oversubscription; non-uniform points gain a `ragged:`/`oversub:`
+//!   qualifier and minimized failures carry the `--topology` spec
+//!   (default `uniform`);
 //! - `PARCOMM_CHAOS_SEED` — shift the fault-seed block.
 //!
 //! Exits non-zero if any cell violates the fault-injection contract
@@ -108,16 +114,28 @@ fn run_coverage(threads: usize, recover: bool) -> ! {
         cfg.mechanism = m;
     }
     cfg.channels = channels_arg();
+    if let Some(s) = arg_value("--shape") {
+        cfg.shape = match s.as_str() {
+            "uniform" => coverage::TopologyShape::Uniform,
+            "ragged" => coverage::TopologyShape::Ragged,
+            "oversub" => coverage::TopologyShape::Oversubscribed,
+            other => {
+                eprintln!("--shape {other}: expected uniform|ragged|oversub");
+                std::process::exit(2);
+            }
+        };
+    }
     if parcomm_bench::quick_mode() {
         cfg.budget = cfg.budget.min(12);
     }
     eprintln!(
-        "coverage campaign: budget {} on {} worker(s), recovery {}, mechanism {}, channels {}",
+        "coverage campaign: budget {} on {} worker(s), recovery {}, mechanism {}, channels {}, shape {}",
         cfg.budget,
         threads,
         if recover { "armed" } else { "off" },
         cfg.mechanism.short_name(),
-        cfg.channels
+        cfg.channels,
+        cfg.shape.key()
     );
     let report = coverage::run_coverage_campaign(&cfg, threads);
     print!("{}", report.render());

@@ -1,13 +1,21 @@
 //! Scaling bench: flat vs hierarchical partitioned allreduce goodput
-//! across a node-count grid.
+//! across a node-count grid or an explicit `--topology` shape grid.
 //!
 //! Usage: `scaling [--nodes 1,2,4,8,16] [--quick] [--threads N]`
-//! (`PARCOMM_NODES`, `PARCOMM_QUICK`, and `PARCOMM_THREADS` work too).
+//! or `scaling --topology "2x4;4,2,4,1:2,1,2,1@2"` — semicolon-separated
+//! cluster specs in the `--topology` grammar (uniform `NxG[xK][@O]`,
+//! ragged `G1,G2,…[:K1,K2,…][@O]`), each becoming one sweep cell.
+//! (`PARCOMM_NODES`, `PARCOMM_TOPOLOGY`, `PARCOMM_QUICK`, and
+//! `PARCOMM_THREADS` work too.)
 
 use parcomm_bench as b;
 
 fn main() {
     let quick = b::quick_mode();
+    if let Some(specs) = b::scaling::topology_arg() {
+        b::scaling::run_scaling_specs(&specs, quick).emit();
+        return;
+    }
     let nodes = b::scaling::nodes_arg().unwrap_or_else(|| b::scaling::default_nodes(quick));
     b::scaling::run_scaling(&nodes, quick).emit();
 }

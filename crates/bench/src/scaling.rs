@@ -32,7 +32,8 @@ use parcomm_sim::Mutex;
 
 use parcomm_coll::{pallreduce_init, pallreduce_init_hierarchical};
 use parcomm_gpu::KernelSpec;
-use parcomm_mpi::MpiWorld;
+use parcomm_mpi::{MpiWorld, WorldConfig};
+use parcomm_net::ClusterSpec;
 use parcomm_sim::Simulation;
 use parcomm_sweep::SweepSpec;
 use parcomm_testkit::digest;
@@ -71,16 +72,58 @@ pub fn nodes_arg() -> Option<Vec<u16>> {
     std::env::var("PARCOMM_NODES").ok().as_deref().and_then(parse)
 }
 
+/// Cluster shapes from `--topology` or `PARCOMM_TOPOLOGY`, if given:
+/// semicolon-separated `--topology` grammar specs (the ragged grammar
+/// already uses commas), e.g. `--topology "2x4;4,2,4,1:2,1,2,1@2"`.
+/// Each spec becomes one sweep cell, replacing the uniform `--nodes`
+/// grid. Panics with the grammar error on a malformed spec — a bench
+/// invocation problem, not a run outcome.
+pub fn topology_arg() -> Option<Vec<ClusterSpec>> {
+    fn parse(list: &str) -> Option<Vec<ClusterSpec>> {
+        let specs: Vec<ClusterSpec> = list
+            .split(';')
+            .filter(|s| !s.trim().is_empty())
+            .map(|s| {
+                let spec = ClusterSpec::parse(s).unwrap_or_else(|e| panic!("--topology: {e}"));
+                // Surface shape validation (typed TopologyError) up front,
+                // before any sweep cell spins up.
+                spec.topology().unwrap_or_else(|e| panic!("--topology {}: {e}", s.trim()));
+                spec
+            })
+            .collect();
+        (!specs.is_empty()).then_some(specs)
+    }
+    let mut args = std::env::args();
+    while let Some(a) = args.next() {
+        if a == "--topology" {
+            return args.next().as_deref().and_then(parse);
+        }
+        if let Some(v) = a.strip_prefix("--topology=") {
+            return parse(v);
+        }
+    }
+    std::env::var("PARCOMM_TOPOLOGY").ok().as_deref().and_then(parse)
+}
+
 /// One timed + digested run: a warm-up epoch, then one measured epoch of
 /// a `4 × p × chunk_elems`-element f64 allreduce on `nodes` GH200 nodes.
 /// Returns `(measured µs, run digest)`. The reduced buffer is verified
 /// against the closed-form expected sums before digesting, so a wrong
 /// schedule fails loudly rather than producing a fast-but-broken number.
 pub fn allreduce_cell(nodes: u16, hierarchical: bool, chunk_elems: usize) -> (f64, u64) {
+    allreduce_cell_on(ClusterSpec::gh200(nodes), hierarchical, chunk_elems)
+}
+
+/// [`allreduce_cell`] on an arbitrary cluster shape — ragged and
+/// oversubscribed `--topology` specs run the same verified, digested
+/// epoch pair; the uniform spec is bit-identical to the classic cell.
+pub fn allreduce_cell_on(cluster: ClusterSpec, hierarchical: bool, chunk_elems: usize) -> (f64, u64) {
+    let nodes = cluster.nodes;
     let mut sim = Simulation::with_seed(SCALING_SEED);
     let trace = sim.trace();
     trace.enable();
-    let world = MpiWorld::gh200(&sim, nodes);
+    let world =
+        MpiWorld::new(&sim, WorldConfig { cluster, ..WorldConfig::gh200(nodes) });
     let out = Arc::new(Mutex::new((0.0f64, Vec::new())));
     let o2 = out.clone();
     world.run_ranks(&mut sim, move |ctx, rank| {
@@ -180,5 +223,56 @@ pub fn run_scaling_threaded(nodes: &[u16], quick: bool, threads: usize) -> Exper
         );
     }
     exp.note("digests are frozen in crates/bench/tests/scaling.rs (seed 0x5CA1E0F0)");
+    exp
+}
+
+/// The `--topology` grid: one flat + hierarchical cell per cluster spec,
+/// uniform or ragged or oversubscribed, labeled by the spec rendered back
+/// into the grammar. The hierarchical schedule degrades per shape
+/// (truncated local rings, fold/unfold for surplus ranks) and every cell
+/// still verifies the reduced buffer against the closed-form sums.
+pub fn run_scaling_specs(specs: &[ClusterSpec], quick: bool) -> Experiment {
+    run_scaling_specs_threaded(specs, quick, crate::report::threads())
+}
+
+/// [`run_scaling_specs`] with an explicit sweep worker count.
+pub fn run_scaling_specs_threaded(specs: &[ClusterSpec], quick: bool, threads: usize) -> Experiment {
+    let chunk_elems = if quick { 256 } else { 4096 };
+    let mut exp = Experiment::new(
+        "scaling-topology",
+        "Partitioned allreduce over --topology shapes: flat vs hierarchical ring goodput",
+        &["nodes", "ranks", "flat_us", "hier_us", "flat_gbps", "hier_gbps", "hier_speedup"],
+    );
+    let mut spec = SweepSpec::new();
+    for cluster in specs {
+        let cluster = cluster.clone();
+        let label = cluster.render();
+        spec.cell(format!("topology={label}"), move || {
+            let ranks = cluster
+                .topology()
+                .unwrap_or_else(|e| panic!("--topology {label}: {e}"))
+                .num_ranks();
+            let bytes = (4 * ranks * chunk_elems * 8) as f64;
+            let (flat_us, flat_digest) = allreduce_cell_on(cluster.clone(), false, chunk_elems);
+            let (hier_us, hier_digest) = allreduce_cell_on(cluster.clone(), true, chunk_elems);
+            let row = vec![
+                cluster.nodes as f64,
+                ranks as f64,
+                flat_us,
+                hier_us,
+                bytes / (flat_us * 1e3),
+                bytes / (hier_us * 1e3),
+                flat_us / hier_us,
+            ];
+            let note = format!(
+                "topology={label}: flat digest 0x{flat_digest:016x}, hier digest 0x{hier_digest:016x}"
+            );
+            (row, note)
+        });
+    }
+    for (row, note) in spec.run(threads).into_values().expect("topology sweep") {
+        exp.push_row(row);
+        exp.note(note);
+    }
     exp
 }

@@ -709,8 +709,19 @@ impl CollectiveEngine {
     /// Block until an arrival count changes anywhere (poll-style backstop
     /// for multi-channel waiting). With the watchdog armed, the block is
     /// bounded so the stall check in [`CollectiveEngine::wait`] re-runs.
+    ///
+    /// Blocking on the receive channel's arrival event is only sound when
+    /// every step of this rank's schedule carries an incoming chunk, so
+    /// every step-advance is arrival-woken. A ragged-oversubscribed
+    /// surplus rank breaks that: its fold steps are send-only and its core
+    /// window is pure idle, so the sweep that advances them is woken by
+    /// nothing — blocking on its sole receive channel (the final unfold
+    /// step) would park the rank for a full watchdog period while its
+    /// outgoing work sits unissued. Such schedules poll instead.
     fn wait_any_arrival(&self, ctx: &mut Ctx) {
-        if self.inner.recv.len() == 1 {
+        let arrival_driven =
+            self.inner.schedule.steps.iter().all(|st| !st.incoming.is_empty());
+        if arrival_driven && self.inner.recv.len() == 1 {
             let ch = self.inner.recv.first().expect("one");
             let current = ch.rreq.arrived_count();
             let ev = ch.rreq.arrived_event().clone();

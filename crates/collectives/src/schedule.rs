@@ -32,7 +32,7 @@ pub enum StepOp {
 }
 
 /// One schedule step `S_i = (I, R, ⊕, O, A)`.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Step {
     /// Incoming neighbors (ranks this step receives from).
     pub incoming: Vec<usize>,
@@ -93,88 +93,192 @@ impl Schedule {
         Schedule { steps, chunks: p }
     }
 
-    /// Node-aware hierarchical ring allreduce for `rank` in `topo`'s world
-    /// (N nodes × G GPUs): intra-node ring reduce-scatter over NVLink →
-    /// inter-node ring allreduce over the NIC-rail-aligned rings →
-    /// intra-node ring allgather. Same algebra, same executor as the flat
-    /// ring — only the step list differs.
+    /// Node-aware hierarchical ring allreduce for `rank` in `topo`'s world:
+    /// intra-node ring reduce-scatter over NVLink → inter-node ring
+    /// allreduce over the NIC-rail-aligned rings → intra-node ring
+    /// allgather. Same algebra, same executor as the flat ring — only the
+    /// step list differs.
     ///
-    /// The buffer is cut into `chunks = N·G` pieces indexed
-    /// `c = shard·N + sub_chunk`: shard `s ∈ [0, G)` is the slice the
-    /// node-local ring scatters to local GPU `(s − 1) mod G`, and its `N`
-    /// sub-chunks are what the inter-node ring pipelines. Local rank `l`
-    /// ends phase A owning shard `(l + 1) mod G` node-reduced; phase B
-    /// allreduces that shard across nodes on the ring of same-local-index
-    /// GPUs — `G` concurrent rings, each on its own NIC rail, so all rails
-    /// stay busy while only `2(N−1)` (vs the flat ring's `2(N·G−1)`) steps
-    /// cross the IB boundary; phase C allgathers shards back over NVLink.
+    /// The core ring width is `S = min_local_size()` — on uniform shapes
+    /// the full per-node rank count `G·o`, on ragged shapes the smallest
+    /// node's. The buffer is cut into `chunks = N·S` pieces indexed
+    /// `c = shard·N + sub_chunk`: shard `s ∈ [0, S)` is the slice the
+    /// node-local ring scatters to core local rank `(s − 1) mod S`, and
+    /// its `N` sub-chunks are what the inter-node ring pipelines. Core
+    /// local rank `l` ends phase A owning shard `(l + 1) mod S`
+    /// node-reduced; phase B allreduces that shard across nodes on the
+    /// ring of same-local-index ranks — `S` concurrent rings spread over
+    /// the NIC rails, so only `2(N−1)` (vs the flat ring's `2(N·S−1)`)
+    /// steps cross the IB boundary; phase C allgathers shards back over
+    /// NVLink.
+    ///
+    /// **Ragged degradation.** Nodes wider than `S` carry *surplus* local
+    /// ranks (`l ≥ S`). Each folds onto core partner `l mod S` on its own
+    /// node: a pre-phase streams every chunk of the surplus rank into the
+    /// partner's buffer (summed), and a mirrored post-phase streams the
+    /// finished results back. Inter-node rail rings therefore run only
+    /// over local indices every node owns, and surplus ranks never cross
+    /// the IB boundary. Uniform shapes have no surplus, so their step
+    /// lists are bit-identical to the pre-ragged builder — the frozen
+    /// digests pin this.
     ///
     /// Degenerates to exactly [`Schedule::ring_allreduce`] at `N == 1`,
-    /// and to a flat inter-node ring at `G == 1`.
+    /// and to a flat inter-node ring at `S == 1` on uniform 1-GPU nodes.
     pub fn hierarchical_ring_allreduce(rank: usize, topo: &Topology) -> Schedule {
         let p = topo.num_ranks();
         assert!(rank < p);
         let n = topo.nodes() as usize;
-        let g = topo.gpus_per_node() as usize;
-        let l = topo.local_index(rank) as usize;
-        let node = topo.node_of(rank) as usize;
+        let s_core = topo.min_local_size();
+        let chunks = s_core * n;
+        let l = topo.local_rank(rank);
+        let node = topo.node_of(rank);
+        let base = topo.node_leader(node);
+        let node = node as usize;
+        let my_width = topo.local_size(node as u16);
+        // True when any node carries surplus ranks (p == chunks iff the
+        // shape is uniform in local width).
+        let folded = p > chunks;
         let mut steps = Vec::new();
         if p > 1 {
-            let local_prev = topo.local_prev(rank);
-            let local_next = topo.local_next(rank);
-            // Phase A — intra-node ring reduce-scatter over shards, each
-            // round expanded to the shard's N sub-chunks so phase B can
-            // pipeline them without re-chunking.
-            for i in 0..g.saturating_sub(1) {
-                let send_shard = (l + 2 * g - i) % g;
-                let recv_shard = (l + 2 * g - i - 1) % g;
-                for m in 0..n {
+            let idle = |steps: &mut Vec<Step>, count: usize| {
+                for _ in 0..count {
                     steps.push(Step {
-                        incoming: vec![local_prev],
-                        ready_offset: send_shard * n + m,
-                        op: StepOp::Sum,
-                        outgoing: vec![local_next],
-                        arrived_offset: recv_shard * n + m,
+                        incoming: Vec::new(),
+                        ready_offset: 0,
+                        op: StepOp::Nop,
+                        outgoing: Vec::new(),
+                        arrived_offset: 0,
                         early_stage: false,
                     });
                 }
+            };
+            // Surplus ranks folding onto this rank (core side), ascending.
+            let my_surplus: Vec<usize> = if l < s_core {
+                (s_core..my_width).filter(|j| j % s_core == l).map(|j| base + j).collect()
+            } else {
+                Vec::new()
+            };
+            // Fold pre-phase — surplus ranks stream every chunk into their
+            // core partner, summed, before the core phases read it.
+            if folded {
+                for c in 0..chunks {
+                    if l >= s_core {
+                        steps.push(Step {
+                            incoming: Vec::new(),
+                            ready_offset: c,
+                            op: StepOp::Sum,
+                            outgoing: vec![base + l % s_core],
+                            arrived_offset: c,
+                            early_stage: false,
+                        });
+                    } else if !my_surplus.is_empty() {
+                        steps.push(Step {
+                            incoming: my_surplus.clone(),
+                            ready_offset: c,
+                            op: StepOp::Sum,
+                            outgoing: Vec::new(),
+                            arrived_offset: c,
+                            early_stage: false,
+                        });
+                    } else {
+                        idle(&mut steps, 1);
+                    }
+                }
             }
-            // Phase B — inter-node ring allreduce of the owned shard over
-            // the rail ring (same local index on every node).
-            let shard = (l + 1) % g;
-            let rail_prev = topo.rail_prev(rank);
-            let rail_next = topo.rail_next(rank);
-            for i in 0..2 * n.saturating_sub(1) {
-                let send_m = (node + 2 * n - i) % n;
-                let recv_m = (node + 2 * n - i - 1) % n;
-                let op = if i < n - 1 { StepOp::Sum } else { StepOp::Nop };
-                steps.push(Step {
-                    incoming: vec![rail_prev],
-                    ready_offset: shard * n + send_m,
-                    op,
-                    outgoing: vec![rail_next],
-                    arrived_offset: shard * n + recv_m,
-                    early_stage: false,
-                });
-            }
-            // Phase C — intra-node ring allgather of the now globally
-            // reduced shards (the flat ring's NOP half, shard-expanded).
-            for i in g.saturating_sub(1)..2 * g.saturating_sub(1) {
-                let send_shard = (l + 2 * g - i) % g;
-                let recv_shard = (l + 2 * g - i - 1) % g;
-                for m in 0..n {
+            if l < s_core {
+                // Core ring neighbors: over the first S local ranks of the
+                // node (the full node width on uniform shapes, where this
+                // is exactly `local_next`/`local_prev`).
+                let core_prev = base + (l + s_core - 1) % s_core;
+                let core_next = base + (l + 1) % s_core;
+                // Phase A — intra-node ring reduce-scatter over shards,
+                // each round expanded to the shard's N sub-chunks so phase
+                // B can pipeline them without re-chunking.
+                for i in 0..s_core.saturating_sub(1) {
+                    let send_shard = (l + 2 * s_core - i) % s_core;
+                    let recv_shard = (l + 2 * s_core - i - 1) % s_core;
+                    for m in 0..n {
+                        steps.push(Step {
+                            incoming: vec![core_prev],
+                            ready_offset: send_shard * n + m,
+                            op: StepOp::Sum,
+                            outgoing: vec![core_next],
+                            arrived_offset: recv_shard * n + m,
+                            early_stage: false,
+                        });
+                    }
+                }
+                // Phase B — inter-node ring allreduce of the owned shard
+                // over the rail ring (same local index on every node; all
+                // nodes own indices below S).
+                let shard = (l + 1) % s_core;
+                let rail_prev = topo.rail_prev(rank);
+                let rail_next = topo.rail_next(rank);
+                for i in 0..2 * n.saturating_sub(1) {
+                    let send_m = (node + 2 * n - i) % n;
+                    let recv_m = (node + 2 * n - i - 1) % n;
+                    let op = if i < n - 1 { StepOp::Sum } else { StepOp::Nop };
                     steps.push(Step {
-                        incoming: vec![local_prev],
-                        ready_offset: send_shard * n + m,
-                        op: StepOp::Nop,
-                        outgoing: vec![local_next],
-                        arrived_offset: recv_shard * n + m,
+                        incoming: vec![rail_prev],
+                        ready_offset: shard * n + send_m,
+                        op,
+                        outgoing: vec![rail_next],
+                        arrived_offset: shard * n + recv_m,
                         early_stage: false,
                     });
+                }
+                // Phase C — intra-node ring allgather of the now globally
+                // reduced shards (the flat ring's NOP half, shard-expanded).
+                for i in s_core.saturating_sub(1)..2 * s_core.saturating_sub(1) {
+                    let send_shard = (l + 2 * s_core - i) % s_core;
+                    let recv_shard = (l + 2 * s_core - i - 1) % s_core;
+                    for m in 0..n {
+                        steps.push(Step {
+                            incoming: vec![core_prev],
+                            ready_offset: send_shard * n + m,
+                            op: StepOp::Nop,
+                            outgoing: vec![core_next],
+                            arrived_offset: recv_shard * n + m,
+                            early_stage: false,
+                        });
+                    }
+                }
+            } else {
+                // Surplus ranks idle through the core phases.
+                idle(
+                    &mut steps,
+                    2 * s_core.saturating_sub(1) * n + 2 * n.saturating_sub(1),
+                );
+            }
+            // Unfold post-phase — core partners stream the finished chunks
+            // back to their surplus ranks.
+            if folded {
+                for c in 0..chunks {
+                    if l >= s_core {
+                        steps.push(Step {
+                            incoming: vec![base + l % s_core],
+                            ready_offset: c,
+                            op: StepOp::Nop,
+                            outgoing: Vec::new(),
+                            arrived_offset: c,
+                            early_stage: false,
+                        });
+                    } else if !my_surplus.is_empty() {
+                        steps.push(Step {
+                            incoming: Vec::new(),
+                            ready_offset: c,
+                            op: StepOp::Nop,
+                            outgoing: my_surplus.clone(),
+                            arrived_offset: c,
+                            early_stage: false,
+                        });
+                    } else {
+                        idle(&mut steps, 1);
+                    }
                 }
             }
         }
-        Schedule { steps, chunks: p }
+        Schedule { steps, chunks }
     }
 
     /// Quarantine repair: the hierarchical ring allreduce recomputed over
@@ -199,7 +303,6 @@ impl Schedule {
         topo: &Topology,
         quarantined: &[u16],
     ) -> Result<Schedule, MpiError> {
-        let g = topo.gpus_per_node() as usize;
         let node = topo.node_of(rank);
         if quarantined.contains(&node) {
             return Err(MpiError::Unrecoverable {
@@ -212,17 +315,26 @@ impl Schedule {
         }
         let survivors: Vec<u16> =
             (0..topo.nodes()).filter(|nd| !quarantined.contains(nd)).collect();
-        // Own node survives, so survivors is non-empty.
-        let vtopo = Topology::new(survivors.len() as u16, g as u8, topo.nics_per_node())
-            .map_err(MpiError::InvalidTopology)?;
+        // Own node survives, so survivors is non-empty. The virtual
+        // sub-topology keeps each survivor's own GPU/NIC width, so ragged
+        // shapes repair into (possibly still ragged) smaller shapes.
+        let vtopo = Topology::ragged(
+            survivors.iter().map(|&nd| topo.gpus_on(nd)).collect(),
+            survivors.iter().map(|&nd| topo.nics_on(nd)).collect(),
+            topo.ranks_per_gpu(),
+        )
+        .map_err(MpiError::InvalidTopology)?;
         let vnode = survivors
             .iter()
             .position(|&nd| nd == node)
             .expect("own node is a survivor");
-        let vrank = vnode * g + topo.local_index(rank) as usize;
+        let vrank = vtopo.node_leader(vnode as u16) + topo.local_rank(rank);
         let vsched = Schedule::hierarchical_ring_allreduce(vrank, &vtopo);
         let chunks = vsched.chunks;
-        let map = |v: usize| survivors[v / g] as usize * g + v % g;
+        let map = |v: usize| {
+            let vn = vtopo.node_of(v);
+            topo.node_leader(survivors[vn as usize]) + vtopo.local_rank(v)
+        };
         let steps = vsched
             .steps
             .into_iter()
@@ -551,6 +663,175 @@ mod tests {
             let s: Vec<Schedule> =
                 (0..t.num_ranks()).map(|r| Schedule::hierarchical_ring_allreduce(r, &t)).collect();
             simulate_allreduce(&s);
+        }
+    }
+
+    fn hierarchical_schedules(t: &Topology) -> Vec<Schedule> {
+        (0..t.num_ranks()).map(|r| Schedule::hierarchical_ring_allreduce(r, t)).collect()
+    }
+
+    #[test]
+    fn ragged_hierarchical_simulates_correctly() {
+        for (gpus, nics, o) in [
+            (vec![4u8, 2, 4, 1], vec![2u8, 1, 2, 1], 1u8),
+            (vec![4, 2, 4, 1], vec![2, 1, 2, 1], 2),
+            (vec![2, 1], vec![1, 1], 1),
+            (vec![3, 3, 1], vec![2, 1, 1], 2),
+            (vec![1, 4], vec![1, 2], 3),
+            (vec![5], vec![2], 2),
+        ] {
+            let t = Topology::ragged(gpus.clone(), nics.clone(), o).expect("valid ragged");
+            simulate_allreduce(&hierarchical_schedules(&t));
+        }
+    }
+
+    #[test]
+    fn ragged_surplus_ranks_never_cross_nodes() {
+        let t = Topology::ragged(vec![4, 2, 4, 1], vec![2, 1, 2, 1], 2).expect("ragged");
+        let s_core = t.min_local_size();
+        for r in 0..t.num_ranks() {
+            if t.local_rank(r) < s_core {
+                continue;
+            }
+            let sched = Schedule::hierarchical_ring_allreduce(r, &t);
+            for (i, step) in sched.steps.iter().enumerate() {
+                for &peer in step.outgoing.iter().chain(&step.incoming) {
+                    assert!(
+                        t.same_node(r, peer),
+                        "surplus rank {r} touches off-node peer {peer} at step {i}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn uniform_oversubscription_matches_equal_width_uniform_shape() {
+        // 2 nodes × 2 GPUs × 2 ranks/GPU has the same rank layout and
+        // local widths as 2 nodes × 4 GPUs — the step lists must agree
+        // exactly (oversubscription is invisible to the schedule algebra
+        // when it stays uniform).
+        let over = Topology::ragged(vec![2, 2], vec![2, 2], 2).expect("oversubscribed");
+        let wide = Topology::new(2, 4, 2).expect("uniform");
+        assert_eq!(over.num_ranks(), wide.num_ranks());
+        for r in 0..over.num_ranks() {
+            let a = Schedule::hierarchical_ring_allreduce(r, &over);
+            let b = Schedule::hierarchical_ring_allreduce(r, &wide);
+            assert_eq!(a.chunks, b.chunks, "rank {r}");
+            assert_eq!(a.steps, b.steps, "rank {r}");
+        }
+    }
+
+    /// Final per-chunk values of a schedule set under the synchronous
+    /// interpreter (the flat ring's output is the reference semantics).
+    fn interpret(schedules: &[Schedule]) -> Vec<Vec<u64>> {
+        let p = schedules.len();
+        let chunks = schedules[0].chunks;
+        let mut vals: Vec<Vec<u64>> =
+            (0..p).map(|r| (0..chunks).map(|c| ((r + 1) * (c + 1)) as u64).collect()).collect();
+        let steps = schedules[0].len();
+        for i in 0..steps {
+            let staged: Vec<u64> =
+                (0..p).map(|r| vals[r][schedules[r].steps[i].ready_offset]).collect();
+            for r in 0..p {
+                let step = &schedules[r].steps[i];
+                for &src in &step.incoming {
+                    match step.op {
+                        StepOp::Sum => vals[r][step.arrived_offset] += staged[src],
+                        StepOp::Nop => vals[r][step.arrived_offset] = staged[src],
+                    }
+                }
+            }
+        }
+        vals
+    }
+
+    /// Seeded property test with shrinking: over random ragged and
+    /// oversubscribed specs, the hierarchical schedule's interpreted
+    /// output is bit-identical to the flat-ring reference run with the
+    /// same chunk count. On failure the spec is greedily shrunk (drop a
+    /// node, thin a node, drop oversubscription) to a minimal
+    /// counterexample before panicking.
+    #[test]
+    fn ragged_hierarchical_matches_flat_ring_reference_seeded() {
+        let mut state = 0x5EED_7A66u64;
+        let mut next = move |bound: u64| {
+            // SplitMix64 — deterministic across platforms.
+            state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            (z ^ (z >> 31)) % bound
+        };
+        let check = |gpus: &[u8], nics: &[u8], o: u8| -> bool {
+            let t = match Topology::ragged(gpus.to_vec(), nics.to_vec(), o) {
+                Ok(t) => t,
+                Err(_) => return true, // degenerate shrink candidate: skip
+            };
+            if t.num_ranks() < 2 {
+                return true;
+            }
+            let p = t.num_ranks();
+            let hier = interpret(&hierarchical_schedules(&t));
+            let chunks = hier[0].len();
+            let flat: Vec<Schedule> = (0..p).map(|r| Schedule::ring_allreduce(r, p)).collect();
+            let reference = interpret(&flat);
+            // Same world size, same `(r+1)(c+1)` tokens: the flat ring's
+            // chunk `c` result is the reference full sum, and every
+            // hierarchical rank must match it bit for bit on the chunks
+            // the hierarchical schedule defines (u64 tokens — exact
+            // equality, not epsilon).
+            hier.iter().all(|v| v[..] == reference[0][..chunks])
+        };
+        for case in 0..40 {
+            let nodes = 1 + next(4) as usize;
+            let gpus: Vec<u8> = (0..nodes).map(|_| 1 + next(4) as u8).collect();
+            let nics: Vec<u8> = gpus.iter().map(|&g| 1 + next(g as u64) as u8).collect();
+            let o = 1 + next(3) as u8;
+            if check(&gpus, &nics, o) {
+                continue;
+            }
+            // Shrink: drop nodes, then thin GPU counts, then drop
+            // oversubscription — keep any mutation that still fails.
+            let (mut gpus, mut nics, mut o) = (gpus, nics, o);
+            let mut shrunk = true;
+            while shrunk {
+                shrunk = false;
+                for i in 0..gpus.len() {
+                    if gpus.len() > 1 {
+                        let (mut g2, mut n2) = (gpus.clone(), nics.clone());
+                        g2.remove(i);
+                        n2.remove(i);
+                        if !check(&g2, &n2, o) {
+                            gpus = g2;
+                            nics = n2;
+                            shrunk = true;
+                            break;
+                        }
+                    }
+                }
+                for i in 0..gpus.len() {
+                    if gpus[i] > 1 {
+                        let mut g2 = gpus.clone();
+                        g2[i] -= 1;
+                        let mut n2 = nics.clone();
+                        n2[i] = n2[i].min(g2[i]);
+                        if !check(&g2, &n2, o) {
+                            gpus = g2;
+                            nics = n2;
+                            shrunk = true;
+                        }
+                    }
+                }
+                if o > 1 && !check(&gpus, &nics, o - 1) {
+                    o -= 1;
+                    shrunk = true;
+                }
+            }
+            panic!(
+                "case {case}: hierarchical != flat-ring reference; \
+                 minimal counterexample gpus={gpus:?} nics={nics:?} ranks_per_gpu={o}"
+            );
         }
     }
 

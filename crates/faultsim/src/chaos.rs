@@ -22,6 +22,7 @@ use parcomm_coll::pallreduce_init;
 use parcomm_core::{precv_init, prequest_create, psend_init, CopyMechanism, PrequestConfig};
 use parcomm_gpu::KernelSpec;
 use parcomm_mpi::{MpiError, MpiWorld, Rank, WorldConfig};
+use parcomm_net::ClusterSpec;
 use parcomm_obs::MetricsSnapshot;
 use parcomm_sim::{Ctx, Mutex, Simulation};
 use parcomm_testkit::digest;
@@ -173,6 +174,37 @@ pub fn run_allreduce_cell(
     )
 }
 
+/// [`run_allreduce_cell`] over an arbitrary cluster shape — the chaos
+/// campaign's topology-shape axis. With the uniform
+/// `ClusterSpec::gh200(nodes)` this is exactly [`run_allreduce_cell`]:
+/// same config, same digest.
+pub fn run_allreduce_cell_on(
+    seed: u64,
+    plan: &FaultPlan,
+    cluster: ClusterSpec,
+    stripes: usize,
+    mechanism: CopyMechanism,
+    recover: Option<parcomm_mpi::RecoverConfig>,
+) -> ChaosRun {
+    let nodes = if cluster.node_gpus.is_empty() {
+        cluster.nodes
+    } else {
+        cluster.node_gpus.len() as u16
+    };
+    run_world_with(
+        seed,
+        plan,
+        nodes,
+        move |cfg| {
+            cfg.cluster = cluster;
+            cfg.stripes = stripes;
+            cfg.mechanism = mechanism;
+            cfg.recover = recover;
+        },
+        allreduce_body,
+    )
+}
+
 /// The canonical *device-initiated* p2p chaos workload: rank 1 launches a
 /// kernel whose threads mark partitions ready on a 4-partition psend to
 /// rank 0, so the device emission path — flag writes under the classic
@@ -195,6 +227,35 @@ pub fn run_device_p2p_cell(
         plan,
         nodes,
         move |cfg| {
+            cfg.mechanism = mechanism;
+            cfg.recover = recover;
+        },
+        move |ctx, rank| device_p2p_body(ctx, rank, mechanism),
+    )
+}
+
+/// [`run_device_p2p_cell`] over an arbitrary cluster shape. Note that on
+/// an oversubscribed shape ranks 0 and 1 co-reside on GPU 0 of node 0, so
+/// the cell drives the `SameGpu` route regime — device HBM, no NVLink, no
+/// NIC — which no uniform shape can reach.
+pub fn run_device_p2p_cell_on(
+    seed: u64,
+    plan: &FaultPlan,
+    cluster: ClusterSpec,
+    mechanism: CopyMechanism,
+    recover: Option<parcomm_mpi::RecoverConfig>,
+) -> ChaosRun {
+    let nodes = if cluster.node_gpus.is_empty() {
+        cluster.nodes
+    } else {
+        cluster.node_gpus.len() as u16
+    };
+    run_world_with(
+        seed,
+        plan,
+        nodes,
+        move |cfg| {
+            cfg.cluster = cluster;
             cfg.mechanism = mechanism;
             cfg.recover = recover;
         },

@@ -29,6 +29,7 @@ use std::collections::BTreeSet;
 
 use parcomm_core::CopyMechanism;
 use parcomm_mpi::RecoverConfig;
+use parcomm_net::ClusterSpec;
 use parcomm_sim::SimRng;
 use parcomm_sweep::SweepSpec;
 use parcomm_testkit::prop::{shrink_failure, Shrink, TestResult};
@@ -70,6 +71,53 @@ pub enum FaultLayer {
     Mpi,
     /// `gpusim` stream emission.
     Gpu,
+}
+
+/// The topology-shape axis of the coverage point space: the same fault
+/// class meeting a *ragged* or *oversubscribed* world exercises rank↔GPU
+/// table walks, per-node rail cycling, fold/unfold collective phases, and
+/// `SameGpu` routes that no uniform world reaches. The classic uniform
+/// space keeps its unprefixed point keys.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum TopologyShape {
+    /// The classic `nodes × 4 GPU × 4 NIC` GH200 testbed.
+    Uniform,
+    /// Per-node GPU/NIC counts vary (alternating 4/2 GPUs, 2/1 NICs),
+    /// one rank per GPU.
+    Ragged,
+    /// The ragged shape at 2:1 ranks per GPU: co-resident ranks drive the
+    /// `SameGpu` route regime and the hierarchical fold/unfold phases.
+    Oversubscribed,
+}
+
+impl TopologyShape {
+    /// Every shape, in canonical search order.
+    pub const ALL: [TopologyShape; 3] =
+        [TopologyShape::Uniform, TopologyShape::Ragged, TopologyShape::Oversubscribed];
+
+    /// Stable short name used in coverage-point qualifiers.
+    pub fn key(&self) -> &'static str {
+        match self {
+            TopologyShape::Uniform => "uniform",
+            TopologyShape::Ragged => "ragged",
+            TopologyShape::Oversubscribed => "oversub",
+        }
+    }
+
+    /// The cluster spec this shape denotes on a `nodes`-node world.
+    pub fn cluster(&self, nodes: u16) -> ClusterSpec {
+        match self {
+            TopologyShape::Uniform => ClusterSpec::gh200(nodes),
+            TopologyShape::Ragged | TopologyShape::Oversubscribed => {
+                let gpus: Vec<u8> =
+                    (0..nodes).map(|v| if v % 2 == 0 { 4 } else { 2 }).collect();
+                let nics: Vec<u8> =
+                    (0..nodes).map(|v| if v % 2 == 0 { 2 } else { 1 }).collect();
+                let over = if *self == TopologyShape::Oversubscribed { 2 } else { 1 };
+                ClusterSpec::gh200_ragged(&gpus, &nics, over)
+            }
+        }
+    }
 }
 
 impl FaultClass {
@@ -219,6 +267,17 @@ pub fn channel_point(channels: usize, point: &str) -> String {
     }
 }
 
+/// Qualify a coverage point with the topology-shape axis: `pe:link_drop@net`
+/// covered on a ragged world is `ragged:pe:link_drop@net`, a distinct point
+/// from the uniform run of the same class. The classic uniform space keeps
+/// its unprefixed keys.
+pub fn shape_point(shape: TopologyShape, point: &str) -> String {
+    match shape {
+        TopologyShape::Uniform => point.to_string(),
+        _ => format!("{}:{point}", shape.key()),
+    }
+}
+
 /// The coverage points the classic fixed grid reaches, computed honestly
 /// from the grid's own plans (every `chaos(seed, rate)` cell injects the
 /// same class mix, so this saturates at a handful of points — all on the
@@ -355,6 +414,10 @@ impl CoverageOutcome {
 pub struct MinimizedFailure {
     /// Coverage target of the original failing cell.
     pub target: String,
+    /// Cluster shape the failing cell's world was built on, so the
+    /// artifact replays on the same (possibly ragged / oversubscribed)
+    /// topology — rendered into the artifact in `--topology` grammar.
+    pub cluster: ClusterSpec,
     /// The minimal plan that still violates the contract.
     pub minimal_plan: FaultPlan,
     /// Why the minimal plan fails.
@@ -365,11 +428,13 @@ pub struct MinimizedFailure {
 
 impl MinimizedFailure {
     /// The reproducer as a JSON document (plan + context), ready to write
-    /// under `results/` and replay with `--fault-plan`.
+    /// under `results/` and replay with `--fault-plan` on the carried
+    /// `--topology` shape.
     pub fn to_json_string(&self) -> String {
         use parcomm_obs::json::JsonValue;
         JsonValue::Object(vec![
             ("target".to_string(), JsonValue::String(self.target.clone())),
+            ("topology".to_string(), JsonValue::String(self.cluster.render())),
             ("reason".to_string(), JsonValue::String(self.reason.clone())),
             ("shrink_steps".to_string(), JsonValue::Number(self.shrink_steps as f64)),
             ("plan".to_string(), self.minimal_plan.to_json()),
@@ -402,6 +467,12 @@ pub struct CoverageCampaignConfig {
     /// the mux-admitted MoE dispatch/combine instead, and covered points
     /// gain a `c<channels>:` qualifier.
     pub channels: usize,
+    /// Topology-shape axis: the cluster shape every cell's world is built
+    /// on. Non-uniform shapes qualify covered points with `ragged:` /
+    /// `oversub:` and the bisected failure artifacts carry the spec. The
+    /// shape axis is defined on the classic cells — the multiplexed MoE
+    /// cell (`channels > 1`) always runs the uniform testbed.
+    pub shape: TopologyShape,
     /// Cap on shrink steps when bisecting a contract violation.
     pub max_shrink_steps: u32,
 }
@@ -416,6 +487,7 @@ impl Default for CoverageCampaignConfig {
             recover: true,
             mechanism: CopyMechanism::ProgressionEngine,
             channels: 1,
+            shape: TopologyShape::Uniform,
             max_shrink_steps: 24,
         }
     }
@@ -449,10 +521,15 @@ impl CoverageReport {
             self.covered.len(),
             self.failures.len()
         ));
+        // The fully-qualified point set (shape/channel/mechanism prefixes
+        // included), one sorted line — what the CI shape-axis grep reads.
+        let covered: Vec<&str> = self.covered.iter().map(|s| s.as_str()).collect();
+        out.push_str(&format!("covered=[{}]\n", covered.join(" ")));
         for f in &self.failures {
             out.push_str(&format!(
-                "FAIL target={} steps={} reason={} plan={}\n",
+                "FAIL target={} topology={} steps={} reason={} plan={}\n",
                 f.target,
+                f.cluster.render(),
                 f.shrink_steps,
                 f.reason,
                 f.minimal_plan.to_json_string()
@@ -485,14 +562,28 @@ fn run_cell(
     recover: bool,
     mechanism: CopyMechanism,
     channels: usize,
+    shape: TopologyShape,
 ) -> chaos::ChaosRun {
     let recover_cfg = if recover { Some(RecoverConfig::default()) } else { None };
     if channels > 1 {
         chaos::run_moe_cell(sim_seed, plan, nodes, channels, 1, mechanism, recover_cfg)
     } else if wants_device_p2p(plan) {
-        chaos::run_device_p2p_cell(sim_seed, plan, nodes, mechanism, recover_cfg)
+        chaos::run_device_p2p_cell_on(
+            sim_seed,
+            plan,
+            shape.cluster(nodes),
+            mechanism,
+            recover_cfg,
+        )
     } else {
-        chaos::run_allreduce_cell(sim_seed, plan, nodes, 1, mechanism, recover_cfg)
+        chaos::run_allreduce_cell_on(
+            sim_seed,
+            plan,
+            shape.cluster(nodes),
+            1,
+            mechanism,
+            recover_cfg,
+        )
     }
 }
 
@@ -507,11 +598,12 @@ fn contract(
     recover: bool,
     mechanism: CopyMechanism,
     channels: usize,
+    shape: TopologyShape,
     clean_primary: &[f64],
     clean_p2p: &[f64],
 ) -> TestResult {
-    let a = run_cell(sim_seed, plan, nodes, recover, mechanism, channels);
-    let b = run_cell(sim_seed, plan, nodes, recover, mechanism, channels);
+    let a = run_cell(sim_seed, plan, nodes, recover, mechanism, channels, shape);
+    let b = run_cell(sim_seed, plan, nodes, recover, mechanism, channels, shape);
     let expect = expectation_at(plan, recover, mechanism, channels);
     if a.digest != b.digest {
         return TestResult::Fail(format!(
@@ -557,8 +649,22 @@ fn contract(
 /// time per admitted channel (~4.8 ms at 64 channels, measured) — so at
 /// `channels > 1` the stall/crash/outage windows stretch across that
 /// horizon instead of expiring before the multiplexed traffic exists.
-fn synthesize(classes: &[FaultClass], rng: &mut SimRng, nodes: u16, channels: usize) -> FaultPlan {
-    let ranks = nodes as usize * 4;
+///
+/// Rank and NIC draws are bounded by the campaign's *shaped* topology —
+/// on a ragged world a synthesized NIC outage must name a NIC the chosen
+/// node actually has, and rank-targeted faults draw over the real
+/// (possibly oversubscribed) rank count. On the uniform shape every bound
+/// equals the historical literal, so the draw sequence — and with it the
+/// whole campaign — is unchanged.
+fn synthesize(
+    classes: &[FaultClass],
+    rng: &mut SimRng,
+    nodes: u16,
+    channels: usize,
+    shape: TopologyShape,
+) -> FaultPlan {
+    let topo = shape.cluster(nodes).topology().expect("campaign shapes validate");
+    let ranks = topo.num_ranks();
     let horizon = 75.0 * channels as f64;
     // 200 ms: past the full replay budget (4 × 20 ms detection windows)
     // but cheap for wedged unrecoverable cells. Multiplexed cells scale it
@@ -584,7 +690,7 @@ fn synthesize(classes: &[FaultClass], rng: &mut SimRng, nodes: u16, channels: us
         // Multiplexed cells put their cross-node puts near the end of the
         // horizon, so the window opens later and spans most of the run.
         let node = (rng.uniform_range(0, nodes as u64)) as u16;
-        let nic = rng.uniform_range(0, 4) as u8;
+        let nic = rng.uniform_range(0, topo.nics_on(node) as u64) as u8;
         let (from, until) = if channels > 1 {
             let from = (0.05 + 0.35 * rng.uniform()) * horizon;
             (from, from + (0.4 + 0.6 * rng.uniform()) * horizon)
@@ -600,10 +706,14 @@ fn synthesize(classes: &[FaultClass], rng: &mut SimRng, nodes: u16, channels: us
         // two nodes) — an outage overlapping the handshake is a
         // documented survivability limit, not a recovery target — and
         // ends inside the stall-detection horizon so epoch replay lands.
-        let node = (rng.uniform_range(0, nodes as u64)) as u16;
+        // All rails dark must still *classify* as a multi-NIC outage, so
+        // the draw is over nodes with at least two rails (on the uniform
+        // shape that is every node, keeping the historical draw sequence).
+        let multi: Vec<u16> = (0..nodes).filter(|&v| topo.nics_on(v) >= 2).collect();
+        let node = multi[rng.uniform_range(0, multi.len() as u64) as usize];
         let from = 600.0 + 200.0 * rng.uniform();
         let until = 8_000.0 + 4_000.0 * rng.uniform();
-        for nic in 0..4u8 {
+        for nic in 0..topo.nics_on(node) {
             plan = plan.with_nic_outage(node, nic, from, until).expect("finite ordered window");
         }
     }
@@ -731,14 +841,15 @@ pub fn run_coverage_campaign(cfg: &CoverageCampaignConfig, threads: usize) -> Co
         cfg.recover,
         cfg.mechanism,
         cfg.channels,
+        cfg.shape,
     );
     let clean_numeric = clean.numeric.clone();
     // Fault-free baseline of the *other* cell workload (plans carrying
     // shmem-signal faults observe the device p2p epoch, see `run_cell`).
-    let clean_p2p = chaos::run_device_p2p_cell(
+    let clean_p2p = chaos::run_device_p2p_cell_on(
         cfg.sim_seed,
         &FaultPlan::none(),
-        cfg.nodes,
+        cfg.shape.cluster(cfg.nodes),
         cfg.mechanism,
         if cfg.recover { Some(RecoverConfig::default()) } else { None },
     );
@@ -770,7 +881,7 @@ pub fn run_coverage_campaign(cfg: &CoverageCampaignConfig, threads: usize) -> Co
                     cfg.search_seed ^ (round as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)
                         ^ fnv(key.as_bytes()),
                 );
-                (key.clone(), synthesize(classes, &mut rng, cfg.nodes, cfg.channels))
+                (key.clone(), synthesize(classes, &mut rng, cfg.nodes, cfg.channels, cfg.shape))
             })
             .collect();
         if batch.is_empty() {
@@ -779,16 +890,16 @@ pub fn run_coverage_campaign(cfg: &CoverageCampaignConfig, threads: usize) -> Co
         let mut spec: SweepSpec<(u64, bool, bool, bool, bool)> = SweepSpec::new();
         for (key, plan) in &batch {
             let plan = plan.clone();
-            let (sim_seed, nodes, recover, mechanism, channels) =
-                (cfg.sim_seed, cfg.nodes, cfg.recover, cfg.mechanism, cfg.channels);
+            let (sim_seed, nodes, recover, mechanism, channels, shape) =
+                (cfg.sim_seed, cfg.nodes, cfg.recover, cfg.mechanism, cfg.channels, cfg.shape);
             let (clean_digest, clean_numeric) = if channels == 1 && wants_device_p2p(&plan) {
                 (clean_p2p.digest, clean_p2p_numeric.clone())
             } else {
                 (clean.digest, clean_numeric.clone())
             };
             spec.cell(format!("r{round}:{key}"), move || {
-                let a = run_cell(sim_seed, &plan, nodes, recover, mechanism, channels);
-                let b = run_cell(sim_seed, &plan, nodes, recover, mechanism, channels);
+                let a = run_cell(sim_seed, &plan, nodes, recover, mechanism, channels, shape);
+                let b = run_cell(sim_seed, &plan, nodes, recover, mechanism, channels, shape);
                 (
                     a.digest,
                     a.digest != clean_digest,
@@ -814,19 +925,20 @@ pub fn run_coverage_campaign(cfg: &CoverageCampaignConfig, threads: usize) -> Co
                 replayed,
                 numeric_ok,
             };
-            covered.extend(
-                coverage_points(&plan)
-                    .iter()
-                    .map(|p| channel_point(cfg.channels, &mechanism_point(cfg.mechanism, p))),
-            );
+            covered.extend(coverage_points(&plan).iter().map(|p| {
+                shape_point(
+                    cfg.shape,
+                    &channel_point(cfg.channels, &mechanism_point(cfg.mechanism, p)),
+                )
+            }));
             if !outcome.ok() {
                 let reason = format!(
                     "target {key}: survived={survived} replayed={replayed} numeric_ok={numeric_ok} \
                      (expected {:?})",
                     outcome.expectation
                 );
-                let (sim_seed, nodes, recover, mechanism, channels) =
-                    (cfg.sim_seed, cfg.nodes, cfg.recover, cfg.mechanism, cfg.channels);
+                let (sim_seed, nodes, recover, mechanism, channels, shape) =
+                    (cfg.sim_seed, cfg.nodes, cfg.recover, cfg.mechanism, cfg.channels, cfg.shape);
                 let clean_numeric = clean_numeric.clone();
                 let clean_p2p_numeric = clean_p2p_numeric.clone();
                 let eval = move |p: &FaultPlan| -> TestResult {
@@ -837,6 +949,7 @@ pub fn run_coverage_campaign(cfg: &CoverageCampaignConfig, threads: usize) -> Co
                         recover,
                         mechanism,
                         channels,
+                        shape,
                         &clean_numeric,
                         &clean_p2p_numeric,
                     )
@@ -845,6 +958,7 @@ pub fn run_coverage_campaign(cfg: &CoverageCampaignConfig, threads: usize) -> Co
                     shrink_failure(plan, reason, cfg.max_shrink_steps, &eval);
                 failures.push(MinimizedFailure {
                     target: key,
+                    cluster: cfg.shape.cluster(cfg.nodes),
                     minimal_plan,
                     reason,
                     shrink_steps,
@@ -993,12 +1107,66 @@ mod tests {
     fn synthesis_hits_requested_classes() {
         let mut rng = SimRng::seeded(7);
         for c in FaultClass::ALL {
-            let plan = synthesize(&[c], &mut rng, 2, 1);
+            let plan = synthesize(&[c], &mut rng, 2, 1, TopologyShape::Uniform);
             assert_eq!(classes_of(&plan), vec![c], "single-class synthesis for {c:?}");
             plan.validate().expect("synthesized plans validate");
         }
-        let plan = synthesize(&[FaultClass::PeCrash, FaultClass::FlagDelay], &mut rng, 2, 1);
+        let plan = synthesize(
+            &[FaultClass::PeCrash, FaultClass::FlagDelay],
+            &mut rng,
+            2,
+            1,
+            TopologyShape::Uniform,
+        );
         assert_eq!(classes_of(&plan), vec![FaultClass::PeCrash, FaultClass::FlagDelay]);
+    }
+
+    #[test]
+    fn shaped_synthesis_respects_ragged_bounds() {
+        // On the ragged/oversubscribed shapes every synthesized fault must
+        // name a rank and NIC the shaped world actually has, and the
+        // all-rails class must keep classifying as MultiNicOutage even
+        // though odd nodes carry a single rail.
+        for shape in [TopologyShape::Ragged, TopologyShape::Oversubscribed] {
+            let topo = shape.cluster(2).topology().expect("shape validates");
+            for seed in 0..32u64 {
+                let mut rng = SimRng::seeded(seed);
+                let plan = synthesize(&[FaultClass::NicOutage], &mut rng, 2, 1, shape);
+                let outage = &plan.net.as_ref().expect("net faults").nic_outages[0];
+                assert!(outage.nic < topo.nics_on(outage.node), "NIC exists on shaped node");
+                let mut rng = SimRng::seeded(seed);
+                let plan = synthesize(&[FaultClass::MultiNicOutage], &mut rng, 2, 1, shape);
+                assert_eq!(classes_of(&plan), vec![FaultClass::MultiNicOutage]);
+                let mut rng = SimRng::seeded(seed);
+                let plan = synthesize(&[FaultClass::PeCrash], &mut rng, 2, 1, shape);
+                let (rank, _) = plan.pe.first().expect("crash entry");
+                assert!(*rank < topo.num_ranks(), "rank exists on shaped world");
+            }
+        }
+    }
+
+    #[test]
+    fn shape_axis_qualifies_points_and_specs() {
+        assert_eq!(shape_point(TopologyShape::Uniform, "pe:link_drop@net"), "pe:link_drop@net");
+        assert_eq!(
+            shape_point(TopologyShape::Ragged, "pe:link_drop@net"),
+            "ragged:pe:link_drop@net"
+        );
+        assert_eq!(
+            shape_point(TopologyShape::Oversubscribed, "pe:flag_loss@gpu"),
+            "oversub:pe:flag_loss@gpu"
+        );
+        // The shaped specs validate and genuinely differ from uniform:
+        // ragged alternates 4/2 GPUs with 2/1 NICs, oversubscribed doubles
+        // the rank count on the same shape.
+        let ragged = TopologyShape::Ragged.cluster(4);
+        assert_eq!(ragged.node_gpus, vec![4, 2, 4, 2]);
+        assert_eq!(ragged.node_nics, vec![2, 1, 2, 1]);
+        let rt = ragged.topology().expect("ragged validates");
+        let ot = TopologyShape::Oversubscribed.cluster(4).topology().expect("oversub validates");
+        assert_eq!(ot.num_ranks(), 2 * rt.num_ranks());
+        assert_eq!(TopologyShape::Uniform.cluster(2).render(), "2x4x4");
+        assert_eq!(TopologyShape::Oversubscribed.cluster(2).render(), "4,2:2,1@2");
     }
 
     #[test]
@@ -1009,11 +1177,11 @@ mod tests {
         let horizon = 75.0 * 64.0;
         for seed in 0..16u64 {
             let mut rng = SimRng::seeded(seed);
-            let plan = synthesize(&[FaultClass::PeStall], &mut rng, 2, 64);
+            let plan = synthesize(&[FaultClass::PeStall], &mut rng, 2, 64, TopologyShape::Uniform);
             let (_, f) = plan.pe.first().expect("stall entry");
             assert!(f.stall_at_us + f.stall_us >= 0.9 * horizon, "stall must reach the drain");
             let mut rng = SimRng::seeded(seed);
-            let plan = synthesize(&[FaultClass::NicOutage], &mut rng, 2, 64);
+            let plan = synthesize(&[FaultClass::NicOutage], &mut rng, 2, 64, TopologyShape::Uniform);
             let outage = &plan.net.as_ref().expect("net faults").nic_outages[0];
             assert!(outage.until_us - outage.from_us >= 0.4 * horizon, "outage spans the run");
         }
@@ -1026,6 +1194,7 @@ mod tests {
             &mut SimRng::seeded(3),
             2,
             1,
+            TopologyShape::Uniform,
         );
         let candidates = plan.shrink();
         assert!(!candidates.is_empty());

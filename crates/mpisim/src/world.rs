@@ -296,7 +296,7 @@ impl MpiWorld {
     /// The validated cluster topology (rank ↔ GPU mapping, locality
     /// queries, NIC rails).
     pub fn topology(&self) -> Topology {
-        self.inner.topology
+        self.inner.topology.clone()
     }
 
     /// The GPU identity rank `r` drives.

@@ -24,8 +24,15 @@
 //!    device-driven ones. [`MuxService::plan_rounds`] hands out the
 //!    weighted-fair drain order — a pure function of (weights, live
 //!    table), so every rank computes the identical grant sequence.
-//! 4. [`MuxService::retire`] — the channel leaves the table (its id goes
-//!    stale) and releases its in-flight slot and heap reservation.
+//! 4. Teardown — [`MuxService::release`] is the graceful path: it
+//!    refuses (typed) while an epoch is active, charges the
+//!    `MPI_Request_free` host cost, and returns the in-flight slot plus
+//!    any heap reservation to the tenant's quota, so the freed tag and
+//!    bytes are immediately re-admissible under live traffic on the
+//!    other channels. [`MuxService::retire`] is the bookkeeping-only
+//!    drop for channels whose endpoint is already gone (peer crash,
+//!    recovery abandonment) — same quota return, no epoch check, no
+//!    free cost.
 //!
 //! **Cross-rank contract and deadlock-freedom**: all ranks of a
 //! symmetric workload must submit mirrored channel sets (every send has
@@ -238,6 +245,12 @@ impl MuxService {
     /// A tenant's symmetric-heap quota, in bytes.
     pub fn shmem_quota(&self, tenant: usize) -> u64 {
         self.shmem_quota[tenant]
+    }
+
+    /// Heap bytes a tenant currently holds reserved (released and retired
+    /// channels have already returned theirs).
+    pub fn shmem_reserved(&self, tenant: usize) -> u64 {
+        self.shmem_reserved[tenant]
     }
 
     /// The indexed channel table's cumulative probe count (see
@@ -521,9 +534,35 @@ impl MuxService {
         }
     }
 
-    /// Retire a channel: its id goes stale, its in-flight slot frees, and
-    /// any heap reservation returns to the tenant's quota. Returns the
-    /// spec it was admitted under.
+    /// Gracefully tear down a live channel: `MPI_Request_free` the
+    /// endpoint (typed refusal while an epoch is active — the channel
+    /// stays live and can be waited then released), drop the table entry
+    /// (its id goes stale), and return the in-flight slot plus any
+    /// symmetric-heap reservation to the tenant's quota. The freed tag
+    /// and heap bytes are immediately re-admissible: a subsequent
+    /// [`MuxService::submit`] + [`MuxService::tick`] opens a fresh
+    /// channel on the same (peer, tag, direction) while the rest of the
+    /// table keeps draining. Returns the spec the channel was admitted
+    /// under. Both sides of a pair must release symmetrically before
+    /// either re-admits, per the mirrored-submission contract.
+    pub fn release(&mut self, ctx: &mut Ctx, id: MuxChannelId) -> Result<ChannelSpec, MpiError> {
+        let ch = self.table.get(id).ok_or_else(|| MpiError::InvalidArgument {
+            context: format!("release: stale or unknown channel id {id}"),
+        })?;
+        // free() consumes a handle clone and owns the no-active-epoch
+        // check; on its typed error the table entry is untouched.
+        match &ch.chan {
+            MuxChannel::Send(s) => s.clone().free(ctx)?,
+            MuxChannel::Recv(r) => r.clone().free(ctx)?,
+        }
+        Ok(self.retire(id).expect("entry was live above"))
+    }
+
+    /// Retire a channel without freeing the endpoint: its id goes stale,
+    /// its in-flight slot frees, and any heap reservation returns to the
+    /// tenant's quota. Returns the spec it was admitted under. This is
+    /// the abandonment path (dead peer, recovery gave up); live channels
+    /// should go through [`MuxService::release`].
     pub fn retire(&mut self, id: MuxChannelId) -> Option<ChannelSpec> {
         let ch = self.table.remove(id)?;
         self.shmem_reserved[ch.spec.tenant] =

@@ -164,18 +164,22 @@ impl Fabric {
             links.push(Link { spec: ls.clone(), busy_until: Mutex::new(SimTime::ZERO) });
             index.insert(key, id);
         };
-        for node in 0..spec.nodes {
+        // Instantiate each node's own GPU/NIC complement (ragged shapes
+        // carry per-node counts; uniform specs reproduce the historical
+        // link set exactly).
+        for node in 0..topology.nodes() {
             add(LinkKey::HostMem { node }, &spec.host_mem);
-            for gpu in 0..spec.gpus_per_node {
+            let gpus = topology.gpus_on(node);
+            for gpu in 0..gpus {
                 add(LinkKey::C2c { node, gpu, up: true }, &spec.c2c);
                 add(LinkKey::C2c { node, gpu, up: false }, &spec.c2c);
-                for dst in 0..spec.gpus_per_node {
+                for dst in 0..gpus {
                     if dst != gpu {
                         add(LinkKey::NvLink { node, src: gpu, dst }, &spec.nvlink);
                     }
                 }
             }
-            for nic in 0..spec.nics_per_node {
+            for nic in 0..topology.nics_on(node) {
                 add(LinkKey::Ib { node, nic, up: true }, &spec.ib);
                 add(LinkKey::Ib { node, nic, up: false }, &spec.ib);
             }
@@ -243,7 +247,7 @@ impl Fabric {
 
     /// The validated topology of this fabric.
     pub fn topology(&self) -> Topology {
-        self.inner.topology
+        self.inner.topology.clone()
     }
 
     /// The simulation handle the fabric schedules on.
@@ -259,8 +263,8 @@ impl Fabric {
             .unwrap_or_else(|| panic!("no such link in topology: {key:?}"))
     }
 
-    fn nic_for(&self, unit: Unit) -> u8 {
-        self.inner.topology.nic_of(unit)
+    fn nic_for(&self, loc: Location) -> u8 {
+        self.inner.topology.nic_of(loc.node, loc.unit)
     }
 
     /// Pick a usable NIC on `node` for a transfer starting at `at`,
@@ -269,9 +273,8 @@ impl Fabric {
     fn pick_nic(&self, node: u16, preferred: u8, at: SimTime) -> Result<u8, NetError> {
         let guard = self.inner.faults.lock();
         let Some(f) = guard.as_ref() else { return Ok(preferred) };
-        let n = self.inner.topology.nics_per_node();
-        for i in 0..n {
-            let nic = (preferred + i) % n;
+        for i in 0..self.inner.topology.nics_on(node) {
+            let nic = self.inner.topology.cycle_nic(node, preferred, i);
             if f.nic_up(node, nic, at) {
                 return Ok(nic);
             }
@@ -280,9 +283,10 @@ impl Fabric {
     }
 
     /// The NIC rails (paired by index on both nodes) usable at `at` for a
-    /// striped cross-node transfer. Errors only when no rail survives.
+    /// striped cross-node transfer: the thinner node's NIC count bounds
+    /// the pairing on ragged shapes. Errors only when no rail survives.
     fn up_rails(&self, src_node: u16, dst_node: u16, at: SimTime) -> Result<Vec<u8>, NetError> {
-        let n = self.inner.topology.nics_per_node();
+        let n = self.inner.topology.nics_on(src_node).min(self.inner.topology.nics_on(dst_node));
         let guard = self.inner.faults.lock();
         let Some(f) = guard.as_ref() else { return Ok((0..n).collect()) };
         let rails: Vec<u8> = (0..n)
@@ -345,8 +349,8 @@ impl Fabric {
                 _ => unreachable!("C2cHost class implies one GPU and one CPU endpoint"),
             },
             RouteClass::IbCrossNode => {
-                let src_nic = self.nic_for(src.unit);
-                let dst_nic = self.nic_for(dst.unit);
+                let src_nic = self.nic_for(src);
+                let dst_nic = self.nic_for(dst);
                 links.push(self.link(LinkKey::Ib { node: src.node, nic: src_nic, up: true }));
                 links.push(self.link(LinkKey::Ib { node: dst.node, nic: dst_nic, up: false }));
             }
@@ -493,8 +497,8 @@ impl Fabric {
         if src.node == dst.node {
             return Ok((self.route(src, dst), None));
         }
-        let src_nic = self.pick_nic(src.node, self.nic_for(src.unit), at)?;
-        let dst_nic = self.pick_nic(dst.node, self.nic_for(dst.unit), at)?;
+        let src_nic = self.pick_nic(src.node, self.nic_for(src), at)?;
+        let dst_nic = self.pick_nic(dst.node, self.nic_for(dst), at)?;
         let links = vec![
             self.link(LinkKey::Ib { node: src.node, nic: src_nic, up: true }),
             self.link(LinkKey::Ib { node: dst.node, nic: dst_nic, up: false }),
@@ -631,7 +635,7 @@ impl Fabric {
                 }],
             });
         }
-        let topo = self.inner.topology;
+        let topo = self.inner.topology.clone();
         let cross_node = plan.src.node != plan.dst.node;
         // One survivor query for the whole plan: every stripe re-stripes
         // against the same outage snapshot, deterministically.
@@ -656,8 +660,8 @@ impl Fabric {
                 };
                 // Relays follow the rail actually used, so re-striping
                 // keeps the three-stage pipeline consistent.
-                let src_relay = relay_for_rail(&topo, plan.src.unit, rail);
-                let dst_relay = relay_for_rail(&topo, plan.dst.unit, rail);
+                let src_relay = relay_for_rail(&topo, plan.src.node, plan.src.unit, rail);
+                let dst_relay = relay_for_rail(&topo, plan.dst.node, plan.dst.unit, rail);
                 let mut hops = Vec::with_capacity(4);
                 if let (Unit::Gpu(g), Some(r)) = (plan.src.unit, src_relay) {
                     hops.push(self.link(LinkKey::NvLink { node: plan.src.node, src: g, dst: r }));
@@ -747,7 +751,12 @@ impl Fabric {
     pub fn striped_bandwidth_gbps(&self, src: Location, dst: Location) -> f64 {
         let base = self.path_bandwidth_gbps(src, dst);
         if src.node != dst.node {
-            base * self.inner.topology.nics_per_node() as f64
+            let rails = self
+                .inner
+                .topology
+                .nics_on(src.node)
+                .min(self.inner.topology.nics_on(dst.node));
+            base * rails as f64
         } else {
             base
         }
@@ -761,7 +770,12 @@ impl Fabric {
         // Mirror transfer_at's multi-rail striping for large cross-node
         // messages: each rail carries an equal share.
         let bytes = if src.node != dst.node && bytes >= Self::STRIPE_THRESHOLD {
-            bytes.div_ceil(self.inner.topology.nics_per_node() as u64)
+            let rails = self
+                .inner
+                .topology
+                .nics_on(src.node)
+                .min(self.inner.topology.nics_on(dst.node));
+            bytes.div_ceil(rails as u64)
         } else {
             bytes
         };

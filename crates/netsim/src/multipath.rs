@@ -11,12 +11,14 @@
 //!
 //! Plan selection degrades gracefully by class:
 //!
-//! - [`RouteClass::IbCrossNode`]: up to `nics_per_node` stripes, one per
-//!   NIC rail, starting at the source GPU's own rail. A stripe whose rail
-//!   is not the endpoint GPU's own NIC takes an NVLink *partition* hop to
-//!   the GPU fronting that rail (and a mirrored *assemble* hop on the
-//!   destination node) — the three-stage pipeline.
-//! - [`RouteClass::NvLink`]: up to `1 + (gpus_per_node - 2)` stripes — the
+//! - [`RouteClass::IbCrossNode`]: one stripe per *usable* NIC rail — the
+//!   smaller of the two endpoint nodes' NIC counts, so ragged shapes never
+//!   aim a stripe at a rail the far node cannot land — starting at the
+//!   source GPU's own rail. A stripe whose rail is not the endpoint GPU's
+//!   own NIC takes an NVLink *partition* hop to the GPU fronting that rail
+//!   (and a mirrored *assemble* hop on the destination node) — the
+//!   three-stage pipeline.
+//! - [`RouteClass::NvLink`]: up to `1 + (gpus_on(node) - 2)` stripes — the
 //!   direct pair plus one relay path through every other GPU on the node.
 //! - [`RouteClass::SameGpu`] / [`RouteClass::C2cHost`] /
 //!   [`RouteClass::HostLocal`]: exactly one path exists, so any requested
@@ -125,7 +127,7 @@ impl MultiPathPlan {
             return Err(PlanError::TooManyStripes { requested: stripes, max: MAX_STRIPES });
         }
         let class = RouteClass::classify(src, dst);
-        let paths = Self::eligible_paths(topo, class);
+        let paths = Self::eligible_paths(topo, src, dst, class);
         // Every stripe must carry at least one byte (zero-byte payloads
         // keep one empty stripe so the plan stays well-formed).
         let effective = stripes.min(paths).min(bytes.max(1) as usize).max(1);
@@ -157,13 +159,17 @@ impl MultiPathPlan {
 
     /// How many concurrently usable paths the topology offers between the
     /// endpoints.
-    fn eligible_paths(topo: &Topology, class: RouteClass) -> usize {
+    fn eligible_paths(topo: &Topology, src: Location, dst: Location, class: RouteClass) -> usize {
         match class {
-            RouteClass::IbCrossNode => topo.nics_per_node() as usize,
+            // A cross-node stripe needs a rail on *both* ends: ragged
+            // shapes clamp to the thinner node's NIC count.
+            RouteClass::IbCrossNode => {
+                topo.nics_on(src.node).min(topo.nics_on(dst.node)) as usize
+            }
             RouteClass::NvLink => {
                 // The dedicated pair, plus a two-hop relay path through
-                // every GPU that is neither endpoint.
-                1 + (topo.gpus_per_node() as usize).saturating_sub(2)
+                // every GPU on the node that is neither endpoint.
+                1 + (topo.gpus_on(src.node) as usize).saturating_sub(2)
             }
             // One substrate, one path: relaying a local copy through a
             // peer cannot add bandwidth, so RouteClass forbids striping.
@@ -182,13 +188,16 @@ impl MultiPathPlan {
     ) -> (Option<u8>, Option<u8>, Option<u8>) {
         match class {
             RouteClass::IbCrossNode => {
-                let nics = topo.nics_per_node() as usize;
+                let rails = Self::eligible_paths(topo, src, dst, class);
                 // Rails cycle from the source's own rail so stripe 0 keeps
-                // the endpoint's NIC affinity.
-                let rail = ((topo.nic_of(src.unit) as usize + index) % nics) as u8;
+                // the endpoint's NIC affinity (clamped into the usable rail
+                // range when the source node has more NICs than the
+                // destination can land).
+                let rail =
+                    ((topo.nic_of(src.node, src.unit) as usize + index) % rails) as u8;
                 (
-                    relay_for_rail(topo, src.unit, rail),
-                    relay_for_rail(topo, dst.unit, rail),
+                    relay_for_rail(topo, src.node, src.unit, rail),
+                    relay_for_rail(topo, dst.node, dst.unit, rail),
                     Some(rail),
                 )
             }
@@ -203,7 +212,7 @@ impl MultiPathPlan {
                 } else {
                     // Stripe i relays through the i-th GPU that is neither
                     // endpoint (ascending index — deterministic).
-                    let relay = (0..topo.gpus_per_node())
+                    let relay = (0..topo.gpus_on(src.node))
                         .filter(|&g| g != a && g != b)
                         .nth(index - 1)
                         .expect("eligible_paths bounds the relay index");
@@ -225,7 +234,7 @@ impl MultiPathPlan {
     /// split across tenants sharing the route. Equals the stripe count a
     /// large-payload `MAX_STRIPES` plan would produce.
     pub fn path_budget(topo: &Topology, src: Location, dst: Location) -> usize {
-        Self::eligible_paths(topo, RouteClass::classify(src, dst)).min(MAX_STRIPES)
+        Self::eligible_paths(topo, src, dst, RouteClass::classify(src, dst)).min(MAX_STRIPES)
     }
 
     /// True when the plan is the explicit single-path degenerate: one
@@ -239,18 +248,21 @@ impl MultiPathPlan {
     }
 }
 
-/// The NVLink relay fronting `rail` for an endpoint `unit`, or `None` when
-/// the endpoint's own NIC *is* that rail (or the endpoint is not a GPU —
-/// host traffic has no NVLink partition stage). Also used by the fabric
-/// when an outage re-stripes a plan onto a surviving rail at issue time.
-pub(crate) fn relay_for_rail(topo: &Topology, unit: Unit, rail: u8) -> Option<u8> {
+/// The NVLink relay fronting `rail` for an endpoint `unit` on `node`, or
+/// `None` when the endpoint's own NIC *is* that rail (or the endpoint is
+/// not a GPU — host traffic has no NVLink partition stage). Also used by
+/// the fabric when an outage re-stripes a plan onto a surviving rail at
+/// issue time.
+pub(crate) fn relay_for_rail(topo: &Topology, node: u16, unit: Unit, rail: u8) -> Option<u8> {
     match unit {
         Unit::Gpu(g) => {
-            if topo.nic_of(Unit::Gpu(g)) == rail {
+            if topo.nic_of(node, Unit::Gpu(g)) == rail {
                 None
             } else {
-                // GPU index `rail` always fronts NIC `rail` (`nic_of` is
-                // `index % nics` and `rail < nics <= gpus`).
+                // GPU index `rail` always fronts NIC `rail` on its own
+                // node (`nic_of` wraps the GPU index over the node's NIC
+                // count, and plans keep
+                // `rail < nics_on(node) <= gpus_on(node)`).
                 Some(rail)
             }
         }

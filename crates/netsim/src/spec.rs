@@ -5,6 +5,12 @@
 //! links (150 GB/s unidirectional); each Grace–Hopper pair is joined by
 //! NVLink-C2C (450 GB/s per direction); each node has four ConnectX-7
 //! 400 Gbit NICs (50 GB/s each).
+//!
+//! Beyond the uniform testbed, specs can be **ragged** (per-node GPU/NIC
+//! counts via [`ClusterSpec::node_gpus`]/[`ClusterSpec::node_nics`]) and
+//! **oversubscribed** ([`ClusterSpec::ranks_per_gpu`] ranks time-sharing
+//! each GPU). The `--topology` grammar parsed by [`ClusterSpec::parse`]
+//! exposes both to the bench binaries.
 
 /// Bandwidth/latency description of one link class.
 #[derive(Clone, Debug, PartialEq)]
@@ -27,12 +33,24 @@ impl LinkSpec {
 /// Whole-cluster shape and link classes.
 #[derive(Clone, Debug)]
 pub struct ClusterSpec {
-    /// Number of nodes.
+    /// Number of nodes (ignored when [`ClusterSpec::node_gpus`] is set —
+    /// the per-node list then carries the count).
     pub nodes: u16,
-    /// GPUs per node.
+    /// GPUs per node for uniform shapes.
     pub gpus_per_node: u8,
-    /// NICs per node (GPU *i* uses NIC *i* % `nics_per_node`).
+    /// NICs per node for uniform shapes (GPU *i* uses NIC
+    /// *i* % the node's NIC count).
     pub nics_per_node: u8,
+    /// Ragged override: GPUs on each node. Empty = uniform
+    /// (`nodes` × `gpus_per_node`); non-empty, its length is the node
+    /// count.
+    pub node_gpus: Vec<u8>,
+    /// Ragged override: NICs on each node. Empty = every node carries
+    /// `nics_per_node`; non-empty, must align with the node count.
+    pub node_nics: Vec<u8>,
+    /// Ranks sharing each GPU (oversubscription). 0 and 1 both mean the
+    /// classic one-rank-per-GPU deployment.
+    pub ranks_per_gpu: u8,
     /// GPU↔GPU intra-node links (per ordered pair).
     pub nvlink: LinkSpec,
     /// CPU↔GPU NVLink-C2C (per direction, per superchip).
@@ -50,6 +68,9 @@ impl ClusterSpec {
             nodes,
             gpus_per_node: 4,
             nics_per_node: 4,
+            node_gpus: Vec::new(),
+            node_nics: Vec::new(),
+            ranks_per_gpu: 1,
             nvlink: LinkSpec { name: "nvlink4x6", bandwidth_gbps: 150.0, latency_us: 1.9 },
             c2c: LinkSpec { name: "nvlink-c2c", bandwidth_gbps: 450.0, latency_us: 0.6 },
             ib: LinkSpec { name: "ib-cx7", bandwidth_gbps: 50.0, latency_us: 1.75 },
@@ -57,9 +78,117 @@ impl ClusterSpec {
         }
     }
 
+    /// GH200 link classes over a ragged shape: `node_gpus[v]` GPUs and
+    /// `node_nics[v]` NICs on node `v`, `ranks_per_gpu` ranks per GPU.
+    /// Pass an empty `node_nics` to give every node one NIC per GPU.
+    pub fn gh200_ragged(node_gpus: &[u8], node_nics: &[u8], ranks_per_gpu: u8) -> Self {
+        let nics =
+            if node_nics.is_empty() { node_gpus.to_vec() } else { node_nics.to_vec() };
+        ClusterSpec {
+            nodes: node_gpus.len() as u16,
+            node_gpus: node_gpus.to_vec(),
+            node_nics: nics,
+            ranks_per_gpu: ranks_per_gpu.max(1),
+            ..ClusterSpec::gh200(node_gpus.len() as u16)
+        }
+    }
+
+    /// Parse the `--topology` spec grammar onto GH200 link classes:
+    ///
+    /// - uniform: `NxG` or `NxGxK` (nodes × GPUs/node × NICs/node,
+    ///   K defaulting to G), e.g. `2x4`, `4x4x2`;
+    /// - ragged: comma-separated per-node GPU counts, optionally followed
+    ///   by `:` and per-node NIC counts, e.g. `4,2,4,1` or `4,2,4,1:2,1,2,1`;
+    /// - either form takes an `@O` oversubscription suffix (O ranks per
+    ///   GPU), e.g. `2x4@2`, `4,2,4,1@2`.
+    ///
+    /// Shape *validation* (empty nodes, rail mismatches, overflow) is the
+    /// topology's job; this only rejects strings the grammar cannot read.
+    pub fn parse(spec: &str) -> Result<ClusterSpec, String> {
+        let spec = spec.trim();
+        let (shape, over) = match spec.split_once('@') {
+            Some((s, o)) => {
+                let o: u8 = o
+                    .trim()
+                    .parse()
+                    .map_err(|_| format!("bad oversubscription factor in '{spec}'"))?;
+                (s.trim(), o)
+            }
+            None => (spec, 1),
+        };
+        if shape.is_empty() {
+            return Err("empty topology spec".to_string());
+        }
+        let mut cluster = if shape.contains(',') || shape.contains(':') {
+            let (gpus_s, nics_s) = match shape.split_once(':') {
+                Some((g, k)) => (g, Some(k)),
+                None => (shape, None),
+            };
+            let parse_list = |s: &str| -> Result<Vec<u8>, String> {
+                s.split(',')
+                    .map(|t| {
+                        t.trim()
+                            .parse::<u8>()
+                            .map_err(|_| format!("bad per-node count '{t}' in '{spec}'"))
+                    })
+                    .collect()
+            };
+            let gpus = parse_list(gpus_s)?;
+            let nics = match nics_s {
+                Some(k) => parse_list(k)?,
+                None => Vec::new(),
+            };
+            ClusterSpec::gh200_ragged(&gpus, &nics, 1)
+        } else {
+            let parts: Vec<&str> = shape.split('x').collect();
+            if parts.len() < 2 || parts.len() > 3 {
+                return Err(format!(
+                    "topology '{spec}' is neither NxG[xK] nor a per-node list"
+                ));
+            }
+            let nodes: u16 =
+                parts[0].trim().parse().map_err(|_| format!("bad node count in '{spec}'"))?;
+            let gpus: u8 =
+                parts[1].trim().parse().map_err(|_| format!("bad GPU count in '{spec}'"))?;
+            let nics: u8 = match parts.get(2) {
+                Some(t) => t.trim().parse().map_err(|_| format!("bad NIC count in '{spec}'"))?,
+                None => gpus,
+            };
+            ClusterSpec { nodes, gpus_per_node: gpus, nics_per_node: nics, ..ClusterSpec::gh200(nodes) }
+        };
+        cluster.ranks_per_gpu = over.max(1);
+        Ok(cluster)
+    }
+
+    /// Render the shape back into the `--topology` grammar
+    /// [`ClusterSpec::parse`] reads — `NxGxK[@O]` for uniform shapes,
+    /// `G1,…:K1,…[@O]` for ragged ones — so reports and failure artifacts
+    /// carry a spec that replays verbatim.
+    pub fn render(&self) -> String {
+        let mut out = if self.node_gpus.is_empty() {
+            format!("{}x{}x{}", self.nodes, self.gpus_per_node, self.nics_per_node)
+        } else {
+            let gpus: Vec<String> = self.node_gpus.iter().map(|g| g.to_string()).collect();
+            let nics: Vec<String> = self.node_nics.iter().map(|k| k.to_string()).collect();
+            if nics.is_empty() {
+                gpus.join(",")
+            } else {
+                format!("{}:{}", gpus.join(","), nics.join(","))
+            }
+        };
+        if self.ranks_per_gpu > 1 {
+            out.push_str(&format!("@{}", self.ranks_per_gpu));
+        }
+        out
+    }
+
     /// Total GPUs in the cluster.
     pub fn total_gpus(&self) -> u32 {
-        self.nodes as u32 * self.gpus_per_node as u32
+        if self.node_gpus.is_empty() {
+            self.nodes as u32 * self.gpus_per_node as u32
+        } else {
+            self.node_gpus.iter().map(|&g| g as u32).sum()
+        }
     }
 }
 
@@ -82,5 +211,43 @@ mod tests {
         let us = s.nvlink.serialize_us(150_000_000);
         assert!((us - 1000.0).abs() < 1e-6);
         assert_eq!(s.nvlink.serialize_us(0), 0.0);
+    }
+
+    #[test]
+    fn ragged_constructor_shapes() {
+        let s = ClusterSpec::gh200_ragged(&[4, 2, 4, 1], &[2, 1, 2, 1], 2);
+        assert_eq!(s.nodes, 4);
+        assert_eq!(s.total_gpus(), 11);
+        assert_eq!(s.ranks_per_gpu, 2);
+        // Empty NIC list: one NIC per GPU on every node.
+        let s = ClusterSpec::gh200_ragged(&[4, 2], &[], 1);
+        assert_eq!(s.node_nics, vec![4, 2]);
+    }
+
+    #[test]
+    fn topology_grammar_parses() {
+        let s = ClusterSpec::parse("2x4").expect("uniform");
+        assert_eq!((s.nodes, s.gpus_per_node, s.nics_per_node, s.ranks_per_gpu), (2, 4, 4, 1));
+        let s = ClusterSpec::parse("4x4x2@2").expect("uniform with nics and oversub");
+        assert_eq!((s.nodes, s.gpus_per_node, s.nics_per_node, s.ranks_per_gpu), (4, 4, 2, 2));
+        let s = ClusterSpec::parse("4,2,4,1:2,1,2,1@2").expect("ragged");
+        assert_eq!(s.node_gpus, vec![4, 2, 4, 1]);
+        assert_eq!(s.node_nics, vec![2, 1, 2, 1]);
+        assert_eq!(s.ranks_per_gpu, 2);
+        let s = ClusterSpec::parse("4,2").expect("ragged without nics");
+        assert_eq!(s.node_nics, vec![4, 2]);
+        assert!(ClusterSpec::parse("").is_err());
+        assert!(ClusterSpec::parse("2x").is_err());
+        assert!(ClusterSpec::parse("axb").is_err());
+        assert!(ClusterSpec::parse("2x4@x").is_err());
+        assert!(ClusterSpec::parse("4,zz").is_err());
+    }
+
+    #[test]
+    fn render_round_trips_through_parse() {
+        for spec in ["2x4x4", "4x4x2@2", "4,2,4,1:2,1,2,1@2", "4,2:4,2"] {
+            let parsed = ClusterSpec::parse(spec).expect("grammar");
+            assert_eq!(parsed.render(), spec, "render is the parse inverse");
+        }
     }
 }

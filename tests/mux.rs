@@ -433,6 +433,178 @@ fn shmem_quota_exhaustion_is_typed_per_tenant() {
 }
 
 // ---------------------------------------------------------------------------
+// Teardown and re-admission: `release` frees the endpoint, returns the
+// in-flight slot and heap quota, and the freed tag re-admits while the
+// rest of the table keeps draining.
+
+/// Admit → tear down → re-admit under live traffic, on a 4-rank ring with
+/// two tenants and a hard in-flight cap of 4: tenant 1's epoch 2 is in
+/// flight across the release of both tenant-0 channels and the
+/// re-admission tick, and the re-submission only fits because `release`
+/// returned the slots. Also pins the typed refusals: release of a channel
+/// with an active epoch, and release of a stale id.
+#[test]
+fn release_returns_slots_and_readmits_under_live_traffic() {
+    use parcomm::mux::{ChannelSpec, Direction, MuxConfig, MuxService};
+    let mut sim = Simulation::with_seed(0x7EA2);
+    let world = MpiWorld::new(&sim, WorldConfig::gh200(1));
+    world.run_ranks(&mut sim, move |ctx, rank| {
+        let mut mux = MuxService::new(
+            rank.world(),
+            MuxConfig { tenant_weights: vec![1, 1], max_in_flight: 4, ..MuxConfig::default() },
+        );
+        let me = rank.rank();
+        let next = (me + 1) % rank.size();
+        let prev = (me + rank.size() - 1) % rank.size();
+        let parts = 2usize;
+        let spec = |tenant: usize, peer: usize, direction: Direction| ChannelSpec {
+            tenant,
+            peer,
+            tag: 0xC00 + tenant as u64,
+            partitions: parts,
+            partition_bytes: 256,
+            direction,
+        };
+        let alloc = |rank: &Rank| rank.gpu().alloc_global(parts * 256);
+        for t in 0..2usize {
+            mux.submit(spec(t, next, Direction::Send), alloc(rank)).expect("submit send");
+            mux.submit(spec(t, prev, Direction::Recv), alloc(rank)).expect("submit recv");
+        }
+        let ids = mux.tick(ctx, rank).expect("tick");
+        assert_eq!(ids.len(), 4);
+        // Classify the admitted ids by (tenant, direction).
+        let find = |mux: &MuxService, t: usize, d: Direction| {
+            mux.channels()
+                .find(|(_, c)| c.spec.tenant == t && c.spec.direction == d)
+                .map(|(id, _)| id)
+                .expect("admitted")
+        };
+        let (t0_send, t0_recv) = (find(&mux, 0, Direction::Send), find(&mux, 0, Direction::Recv));
+        let (t1_send, t1_recv) = (find(&mux, 1, Direction::Send), find(&mux, 1, Direction::Recv));
+        // Epoch 1 (live from the tick) on everything: sends, then recvs.
+        for id in [t0_send, t1_send] {
+            mux.run_host_send_epoch(ctx, id).expect("send epoch 1");
+        }
+        for id in [t0_recv, t1_recv] {
+            mux.run_recv_epoch(ctx, id).expect("recv epoch 1");
+        }
+        // Open tenant 1's epoch 2 (recv first: the steady send prepare
+        // blocks on the receiver's RTR) and leave it in flight.
+        let t1r = mux.begin_epoch(ctx, t1_recv).expect("t1 recv epoch 2");
+        let t1s = mux.begin_epoch(ctx, t1_send).expect("t1 send epoch 2");
+        // A channel mid-epoch refuses release, typed, and stays live.
+        let busy = mux.release(ctx, t1_send).expect_err("active epoch must refuse release");
+        assert!(format!("{busy}").contains("active"), "wrong refusal: {busy}");
+        assert!(mux.channel(t1_send).is_some(), "failed release must leave the channel live");
+        // At the cap, one more submission backpressures...
+        assert!(matches!(
+            mux.submit(spec(0, next, Direction::Send), alloc(rank)),
+            Err(AdmissionError::Backpressure { in_flight: 4, pending: 0, cap: 4 })
+        ));
+        // ...until release returns tenant 0's two slots, mid-t1-traffic.
+        let spec_s = mux.release(ctx, t0_send).expect("t0 send is idle");
+        let spec_r = mux.release(ctx, t0_recv).expect("t0 recv is idle");
+        assert_eq!(mux.in_flight(), 2);
+        assert!(mux.channel(t0_send).is_none(), "released id must go stale");
+        let stale = mux.release(ctx, t0_send).expect_err("stale id");
+        assert!(format!("{stale}").contains("stale"), "wrong refusal: {stale}");
+        // Re-admit the released specs — same tags — while t1's epoch 2 is
+        // still in flight.
+        mux.submit(spec_s, alloc(rank)).expect("re-submit freed send slot");
+        mux.submit(spec_r, alloc(rank)).expect("re-submit freed recv slot");
+        let new_ids = mux.tick(ctx, rank).expect("re-admission tick");
+        assert_eq!(new_ids.len(), 2);
+        assert!(
+            !new_ids.contains(&t0_send) && !new_ids.contains(&t0_recv),
+            "re-admitted channels must get fresh ids"
+        );
+        // Drive tenant 1's in-flight epoch 2 to completion.
+        let s = t1s.send().expect("sender");
+        s.pready_range(ctx, 0..parts).expect("pready");
+        s.wait(ctx).expect("t1 send epoch 2 wait");
+        t1r.recv().expect("receiver").wait(ctx).expect("t1 recv epoch 2 wait");
+        // Epoch 1 on the re-admitted tenant-0 pair proves the reused tags
+        // carry traffic end to end.
+        let ns = find(&mux, 0, Direction::Send);
+        let nr = find(&mux, 0, Direction::Recv);
+        mux.run_host_send_epoch(ctx, ns).expect("re-admitted send epoch");
+        mux.run_recv_epoch(ctx, nr).expect("re-admitted recv epoch");
+    });
+    sim.run().expect("teardown/re-admission must not deadlock");
+}
+
+/// `release` returns symmetric-heap quota: a second big shmem receive is
+/// refused while the first lives, and admitted cleanly (still on the
+/// shmem fast path) once the first is released.
+#[test]
+fn release_returns_shmem_quota_for_readmission() {
+    use parcomm::mux::{ChannelSpec, Direction, MuxConfig, MuxService};
+    let mut sim = Simulation::with_seed(0x7EA3);
+    let config = WorldConfig { mechanism: CopyMechanism::Shmem, ..WorldConfig::gh200(1) };
+    let world = MpiWorld::new(&sim, config);
+    world.run_ranks(&mut sim, move |ctx, rank| {
+        if rank.rank() > 1 {
+            return;
+        }
+        let mut mux = MuxService::new(rank.world(), MuxConfig::with_weights(&[1, 1]));
+        let quota = mux.shmem_quota(0);
+        // ~60% of quota per channel: two concurrent reservations overrun
+        // the tenant's share, two *sequential* heap binds still fit the
+        // rank's physical segment (quota is half of it), so the re-admitted
+        // channel negotiates shmem rather than demoting to rkey.
+        let parts = 4usize;
+        let per_part = (quota as usize * 6 / 10) / parts;
+        let spec = |tag: u64, direction: Direction, peer: usize| ChannelSpec {
+            tenant: 0,
+            peer,
+            tag,
+            partitions: parts,
+            partition_bytes: per_part,
+            direction,
+        };
+        let alloc = |rank: &Rank| rank.gpu().alloc_global(parts * per_part);
+        if rank.rank() == 0 {
+            // Sender side: no heap charge, mirrors the receiver's lifecycle.
+            mux.submit(spec(21, Direction::Send, 1), alloc(rank)).expect("send 21");
+            assert_eq!(mux.shmem_reserved(0), 0, "sends never charge the heap");
+            let id = mux.tick(ctx, rank).expect("tick")[0];
+            mux.run_host_send_epoch(ctx, id).expect("epoch on 21");
+            mux.release(ctx, id).expect("release 21");
+            mux.submit(spec(22, Direction::Send, 1), alloc(rank)).expect("send 22");
+            let id = mux.tick(ctx, rank).expect("tick")[0];
+            mux.run_host_send_epoch(ctx, id).expect("epoch on 22");
+        } else {
+            mux.submit(spec(21, Direction::Recv, 0), alloc(rank)).expect("recv 21 fits");
+            let reserved = mux.shmem_reserved(0);
+            assert!(reserved > quota / 2, "one channel must hold over half the quota");
+            // The second channel is refused while the first holds its bytes.
+            match mux.submit(spec(22, Direction::Recv, 0), alloc(rank)) {
+                Err(AdmissionError::ShmemQuotaExceeded { tenant: 0, used, .. }) => {
+                    assert_eq!(used, reserved, "refusal must cite the live reservation");
+                }
+                other => panic!("expected quota refusal, got {other:?}"),
+            }
+            let id = mux.tick(ctx, rank).expect("tick")[0];
+            mux.run_recv_epoch(ctx, id).expect("epoch on 21");
+            assert!(
+                mux.channel(id).expect("live").chan.recv().expect("recv").shmem_active(),
+                "first channel must be on the shmem fast path"
+            );
+            mux.release(ctx, id).expect("release 21");
+            assert_eq!(mux.shmem_reserved(0), 0, "release must return the heap bytes");
+            mux.submit(spec(22, Direction::Recv, 0), alloc(rank)).expect("freed quota re-admits");
+            let id = mux.tick(ctx, rank).expect("tick")[0];
+            mux.run_recv_epoch(ctx, id).expect("epoch on 22");
+            assert!(
+                mux.channel(id).expect("live").chan.recv().expect("recv").shmem_active(),
+                "re-admitted channel must still negotiate shmem"
+            );
+        }
+    });
+    sim.run().expect("quota re-admission sim");
+}
+
+// ---------------------------------------------------------------------------
 // Per-tenant metrics: present when enabled, absent cost when not —
 // enabling the registry must not move the trace digest.
 

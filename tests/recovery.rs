@@ -427,3 +427,36 @@ fn chaos_contract_holds_under_multiplexed_channel_load() {
         report.covered
     );
 }
+
+/// Acceptance: the topology-shape axis. The guided campaign on the
+/// oversubscribed shape (4,2 GPUs / 2,1 NICs at 2:1 ranks per GPU — the
+/// fold/unfold hierarchical schedule, `SameGpu` routes, and per-node rail
+/// cycling all live) upholds the recovery contract, and every covered
+/// point carries the `oversub:` qualifier so the axis genuinely grows the
+/// point space. Failures, were any bisected, would carry the `--topology`
+/// spec in their artifacts.
+#[test]
+fn chaos_contract_holds_on_oversubscribed_shape() {
+    use parcomm::fault::coverage::TopologyShape;
+
+    let cfg = CoverageCampaignConfig {
+        budget: 6,
+        shape: TopologyShape::Oversubscribed,
+        ..CoverageCampaignConfig::default()
+    };
+    let report = coverage::run_coverage_campaign(&cfg, 2);
+    assert!(
+        report.failures.is_empty(),
+        "contract failures on the shape axis:\n{}",
+        report.render()
+    );
+    assert!(!report.covered.is_empty());
+    assert!(
+        report.covered.iter().all(|p| p.starts_with("oversub:pe:")),
+        "shape-axis points must be oversub-qualified: {:?}",
+        report.covered
+    );
+    // The shaped campaign is worker-count invariant like the classic one.
+    let again = coverage::run_coverage_campaign(&cfg, 1);
+    assert_eq!(report.render(), again.render(), "shape axis must stay deterministic");
+}

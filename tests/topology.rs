@@ -20,10 +20,18 @@ use parcomm_testkit::digest;
 /// event stream, so any behavior change — routing, rail assignment, world
 /// construction — shows up here.
 fn allreduce_digest(nodes: u16, seed: u64, hierarchical: bool) -> u64 {
+    allreduce_digest_spec(ClusterSpec::gh200(nodes), seed, hierarchical)
+}
+
+/// As [`allreduce_digest`], over an arbitrary (possibly ragged or
+/// oversubscribed) cluster spec.
+fn allreduce_digest_spec(cluster: ClusterSpec, seed: u64, hierarchical: bool) -> u64 {
     let mut sim = Simulation::with_seed(seed);
     let trace = sim.trace();
     trace.enable();
-    let world = MpiWorld::gh200(&sim, nodes);
+    let mut config = WorldConfig::gh200(cluster.nodes);
+    config.cluster = cluster;
+    let world = MpiWorld::new(&sim, config);
     let out = Arc::new(Mutex::new(Vec::new()));
     let o2 = out.clone();
     world.run_ranks(&mut sim, move |ctx, rank| {
@@ -89,6 +97,124 @@ fn two_node_digests_are_frozen() {
         0xa95f8b187f6fb0d8,
         "2-node hierarchical allreduce digest drifted"
     );
+}
+
+/// The canonical ragged anchor: 4 nodes of 4/2/4/1 GPUs with 2/1/2/1
+/// NICs and 2:1 rank oversubscription — 22 ranks, core ring width 2,
+/// surplus ranks folding on-node. Frozen like the uniform anchors: any
+/// drift in ragged routing, rail-ring skipping, or the fold/unfold
+/// schedule shows up here.
+#[test]
+fn ragged_allreduce_digests_are_frozen() {
+    let spec = || ClusterSpec::gh200_ragged(&[4, 2, 4, 1], &[2, 1, 2, 1], 2);
+    assert_eq!(
+        allreduce_digest_spec(spec(), 0x70F0, true),
+        RAGGED_HIER_DIGEST,
+        "ragged hierarchical allreduce digest drifted"
+    );
+    assert_eq!(
+        allreduce_digest_spec(spec(), 0x70F0, false),
+        RAGGED_FLAT_DIGEST,
+        "ragged flat allreduce digest drifted"
+    );
+}
+
+const RAGGED_HIER_DIGEST: u64 = 0x1b2b5a3bf9b7c235;
+const RAGGED_FLAT_DIGEST: u64 = 0x3e874c061cd82c80;
+const SAME_GPU_P2P_DIGEST: u64 = 0x5d68ad23b96b7b24;
+
+/// Oversubscribed co-resident ranks exercise the `SameGpu` route regime:
+/// on one node of two GPUs at 2:1, ranks 0 and 2 share GPU 0, so their
+/// partitioned p2p stays in device HBM (host-mem pseudo-link latency
+/// floor, no NVLink, no NIC). Digest-frozen end to end.
+#[test]
+fn same_gpu_p2p_digest_is_frozen() {
+    let mut sim = Simulation::with_seed(0x70F0);
+    let trace = sim.trace();
+    trace.enable();
+    let mut config = WorldConfig::gh200(1);
+    config.cluster = ClusterSpec::gh200_ragged(&[2], &[2], 2);
+    let world = MpiWorld::new(&sim, config);
+    let topo = world.topology();
+    assert_eq!(topo.num_ranks(), 4);
+    assert_eq!(topo.gpu_of(0), topo.gpu_of(2), "ranks 0 and 2 must co-reside");
+    assert_eq!(topo.route_class(0, 2), RouteClass::SameGpu);
+    world.run_ranks(&mut sim, |ctx, rank| {
+        let parts = 4usize;
+        let buf = rank.gpu().alloc_global(parts * 512);
+        match rank.rank() {
+            0 => {
+                for u in 0..parts {
+                    buf.write_f64_slice(u * 512, &[u as f64 + 0.5; 64]);
+                }
+                let sreq = psend_init(ctx, rank, 2, 9, &buf, parts).expect("init");
+                sreq.start(ctx).expect("start");
+                sreq.pbuf_prepare(ctx).expect("pbuf_prepare");
+                for u in 0..parts {
+                    sreq.pready(ctx, u).expect("pready");
+                }
+                sreq.wait(ctx).expect("wait");
+            }
+            2 => {
+                let rreq = precv_init(ctx, rank, 0, 9, &buf, parts).expect("init");
+                rreq.start(ctx).expect("start");
+                rreq.pbuf_prepare(ctx).expect("pbuf_prepare");
+                rreq.wait(ctx).expect("wait");
+                for u in 0..parts {
+                    assert_eq!(buf.read_f64(u * 512), u as f64 + 0.5);
+                }
+            }
+            _ => {}
+        }
+    });
+    let report = sim.run().expect("same-gpu p2p sim");
+    assert_eq!(
+        digest::run_digest(&report, &trace),
+        SAME_GPU_P2P_DIGEST,
+        "same-GPU p2p digest drifted"
+    );
+}
+
+#[test]
+fn ragged_allreduce_is_deterministic() {
+    let spec = || ClusterSpec::gh200_ragged(&[4, 2, 4, 1], &[2, 1, 2, 1], 2);
+    let a = allreduce_digest_spec(spec(), 0x5EED, true);
+    let b = allreduce_digest_spec(spec(), 0x5EED, true);
+    assert_eq!(a, b, "ragged hierarchical allreduce is not deterministic");
+}
+
+#[test]
+fn ragged_degenerate_specs_yield_typed_errors() {
+    let sim = Simulation::with_seed(1);
+    type SpecMutation = Box<dyn Fn(&mut ClusterSpec)>;
+    let cases: [(SpecMutation, TopologyError); 4] = [
+        (
+            Box::new(|c| c.node_gpus = vec![4, 0]),
+            TopologyError::EmptyNode { node: 1 },
+        ),
+        (
+            Box::new(|c| c.node_nics = vec![4, 4, 4]),
+            TopologyError::RaggedRailMismatch { gpu_nodes: 2, nic_nodes: 3 },
+        ),
+        (
+            Box::new(|c| c.node_nics = vec![4, 9]),
+            TopologyError::NicsExceedGpus { node: 1, nics: 9, gpus: 4 },
+        ),
+        (
+            Box::new(|c| c.ranks_per_gpu = 255),
+            TopologyError::OversubscriptionOverflow { node: 0, ranks: 1020, max: 256 },
+        ),
+    ];
+    for (mutate, want) in cases {
+        let mut config = WorldConfig::gh200(2);
+        config.cluster.node_gpus = vec![4, 4];
+        config.cluster.node_nics = vec![4, 4];
+        mutate(&mut config.cluster);
+        match MpiWorld::try_new(&sim, config) {
+            Err(MpiError::InvalidTopology(e)) => assert_eq!(e, want),
+            other => panic!("expected InvalidTopology({want:?}), got {other:?}"),
+        }
+    }
 }
 
 #[test]
@@ -158,7 +284,7 @@ fn degenerate_cluster_specs_yield_typed_errors() {
         (Box::new(|c| c.nics_per_node = 0), TopologyError::ZeroNics),
         (
             Box::new(|c| c.nics_per_node = 9),
-            TopologyError::NicsExceedGpus { nics: 9, gpus: 4 },
+            TopologyError::NicsExceedGpus { node: 0, nics: 9, gpus: 4 },
         ),
     ];
     for (mutate, want) in cases {
